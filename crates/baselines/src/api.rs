@@ -1,0 +1,107 @@
+//! The common interface all compared hash tables implement.
+//!
+//! The paper's evaluation drives every scheme through the same batched
+//! operations; this trait is that harness-facing surface. Each
+//! implementation charges its work to the shared [`gpu_sim::SimContext`],
+//! so throughput comparisons are apples-to-apples.
+
+use gpu_sim::SimContext;
+
+/// Errors surfaced by baseline tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// The operation is not supported by this scheme (e.g. CUDPP deletes).
+    Unsupported(&'static str),
+    /// Key 0 is reserved as the empty sentinel.
+    ZeroKey,
+    /// The simulated device ran out of memory.
+    Device(gpu_sim::device::DeviceError),
+    /// The scheme could not place all keys even after its recovery strategy
+    /// (rebuilds / resizes) hit its iteration bound.
+    CapacityExhausted {
+        /// Operations that could not be placed.
+        failed_ops: usize,
+    },
+    /// Error bubbled up from the DyCuckoo core.
+    Core(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            TableError::ZeroKey => write!(f, "key 0 is reserved"),
+            TableError::Device(e) => write!(f, "device error: {e}"),
+            TableError::CapacityExhausted { failed_ops } => {
+                write!(f, "could not place {failed_ops} operations")
+            }
+            TableError::Core(msg) => write!(f, "core error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<gpu_sim::device::DeviceError> for TableError {
+    fn from(e: gpu_sim::device::DeviceError) -> Self {
+        TableError::Device(e)
+    }
+}
+
+impl From<dycuckoo::Error> for TableError {
+    fn from(e: dycuckoo::Error) -> Self {
+        match e {
+            dycuckoo::Error::ZeroKey => TableError::ZeroKey,
+            dycuckoo::Error::Device(d) => TableError::Device(d),
+            other => TableError::Core(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for baseline operations.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+/// A batched GPU hash table under test.
+pub trait GpuHashTable {
+    /// Scheme name as printed by the harness (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Insert a batch of KV pairs (upserting on duplicates where the scheme
+    /// supports it). Schemes with a resize strategy apply it here.
+    fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()>;
+
+    /// Look up a batch of keys.
+    fn find_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>>;
+
+    /// Delete a batch of keys, returning the number of keys erased.
+    fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64>;
+
+    /// Live KV pairs.
+    fn len(&self) -> u64;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total key slots currently allocated.
+    fn capacity_slots(&self) -> u64;
+
+    /// Filled factor: live pairs over allocated slots.
+    fn fill_factor(&self) -> f64 {
+        if self.capacity_slots() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.capacity_slots() as f64
+        }
+    }
+
+    /// Device bytes currently held by the table (including, for SlabHash,
+    /// its allocator pool — the paper's point about dedicated allocators).
+    fn device_bytes(&self) -> u64;
+
+    /// Whether the scheme supports deletion (CUDPP does not).
+    fn supports_delete(&self) -> bool {
+        true
+    }
+}

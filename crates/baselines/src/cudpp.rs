@@ -1,0 +1,405 @@
+//! The CUDPP cuckoo hash (Alcantara et al., SIGGRAPH Asia 2009), as shipped
+//! in the CUDPP library and used as the paper's `CUDPP` baseline.
+//!
+//! Characteristics reproduced here:
+//!
+//! * **One KV per hash value** (64-bit packed pair), not a bucket — every
+//!   probe is an uncoalesced single-slot access that still occupies a full
+//!   128-byte transaction, which is why CUDPP trails the bucketized schemes.
+//! * **Thread-centric** insertion with `atomicExch`: a thread swaps its KV
+//!   into the slot and adopts whatever was evicted, moving it to that key's
+//!   *next* hash function (cyclically), à la random-walk cuckoo.
+//! * The number of hash functions is **auto-chosen from the requested load
+//!   factor** (2–5) — the paper observes this is why CUDPP's find
+//!   throughput drops at high fill.
+//! * Exceeding the iteration cap means a **full rebuild with fresh hash
+//!   functions**; deletion is unsupported.
+
+use gpu_sim::{run_rounds, Metrics, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+
+use dycuckoo::hashfn::UniversalHash;
+
+use crate::api::{GpuHashTable, Result, TableError};
+
+const EMPTY: u32 = 0;
+/// Address space tag for conflict grouping of slot atomics.
+const SLOT_SPACE: u32 = 100;
+
+/// Pick the number of hash functions the CUDPP heuristic would use for a
+/// target load factor.
+pub fn functions_for_load(load: f64) -> usize {
+    if load <= 0.4 {
+        2
+    } else if load <= 0.6 {
+        3
+    } else if load <= 0.8 {
+        4
+    } else {
+        5
+    }
+}
+
+/// The CUDPP baseline table.
+pub struct Cudpp {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    n_slots: usize,
+    d: usize,
+    hashes: Vec<UniversalHash>,
+    max_iter: u32,
+    occupied: u64,
+    seed: u64,
+    rebuilds: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CuOp {
+    key: u32,
+    val: u32,
+    /// Index of the hash function to use next.
+    fn_idx: usize,
+    iters: u32,
+    done: bool,
+    failed: bool,
+}
+
+struct CuInsertKernel<'a> {
+    keys: &'a mut [u32],
+    vals: &'a mut [u32],
+    n_slots: usize,
+    hashes: &'a [UniversalHash],
+    max_iter: u32,
+    inserted: u64,
+    failed: Vec<(u32, u32)>,
+}
+
+impl CuInsertKernel<'_> {
+    fn slot_of(&self, key: u32, fn_idx: usize) -> usize {
+        (self.hashes[fn_idx].raw(key) % self.n_slots as u64) as usize
+    }
+
+    /// The hash function index that maps `key` to `slot`, so an evicted key
+    /// can continue with the *next* function (random-walk cuckoo).
+    fn fn_of_slot(&self, key: u32, slot: usize) -> usize {
+        for (i, h) in self.hashes.iter().enumerate() {
+            if (h.raw(key) % self.n_slots as u64) as usize == slot {
+                return i;
+            }
+        }
+        // Unreachable for keys that were stored via these functions, but be
+        // defensive: restart the walk at function 0.
+        0
+    }
+}
+
+impl RoundKernel<Vec<CuOp>> for CuInsertKernel<'_> {
+    fn step(&mut self, lanes: &mut Vec<CuOp>, ctx: &mut RoundCtx) -> StepOutcome {
+        // Thread-centric: EVERY active lane advances one eviction step per
+        // round; each lane's access is its own (uncoalesced) transaction.
+        let mut any_pending = false;
+        for op in lanes.iter_mut() {
+            if op.done || op.failed {
+                continue;
+            }
+            let slot = self.slot_of(op.key, op.fn_idx);
+            // atomicExch of the packed 64-bit KV.
+            ctx.raw_atomic(SLOT_SPACE, slot);
+            ctx.write_slot();
+            let old_key = self.keys[slot];
+            let old_val = self.vals[slot];
+            self.keys[slot] = op.key;
+            self.vals[slot] = op.val;
+            if old_key == EMPTY {
+                op.done = true;
+                self.inserted += 1;
+                continue;
+            }
+            if old_key == op.key {
+                // Same key swapped out: value replaced in place.
+                op.done = true;
+                continue;
+            }
+            // Adopt the evicted key; its next location is the function after
+            // the one that put it here.
+            let prev_fn = self.fn_of_slot(old_key, slot);
+            op.key = old_key;
+            op.val = old_val;
+            op.fn_idx = (prev_fn + 1) % self.hashes.len();
+            op.iters += 1;
+            ctx.metrics.evictions += 1;
+            if op.iters >= self.max_iter {
+                op.failed = true;
+                self.failed.push((op.key, op.val));
+            } else {
+                any_pending = true;
+            }
+        }
+        if any_pending {
+            StepOutcome::Pending
+        } else {
+            StepOutcome::Done
+        }
+    }
+}
+
+impl Cudpp {
+    /// Create a table sized for `items` keys at `load` fill, choosing the
+    /// hash-function count with the CUDPP heuristic.
+    pub fn with_capacity(items: usize, load: f64, seed: u64, sim: &mut SimContext) -> Result<Self> {
+        let n_slots = ((items as f64 / load).ceil() as usize).max(1);
+        let d = functions_for_load(load);
+        sim.device.alloc((n_slots * 8) as u64)?;
+        let mut table = Self {
+            keys: vec![EMPTY; n_slots],
+            vals: vec![0; n_slots],
+            n_slots,
+            d,
+            hashes: Vec::new(),
+            // CUDPP uses ~7·lg(n) as its iteration cap.
+            max_iter: (7.0 * (n_slots.max(2) as f64).log2()).ceil() as u32,
+            occupied: 0,
+            seed,
+            rebuilds: 0,
+        };
+        table.reseed();
+        Ok(table)
+    }
+
+    /// Number of hash functions in use.
+    pub fn num_functions(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn reseed(&mut self) {
+        self.seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.hashes = (0..self.d)
+            .map(|i| UniversalHash::from_seed(self.seed ^ ((i as u64 + 1) << 32)))
+            .collect();
+    }
+
+    /// Create with an explicit hash-function count (used by the θ-sweep
+    /// experiment to mirror CUDPP's auto-selection).
+    pub fn with_capacity_and_functions(
+        items: usize,
+        load: f64,
+        d: usize,
+        seed: u64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        let mut t = Self::with_capacity(items, load, seed, sim)?;
+        t.d = d;
+        t.reseed();
+        Ok(t)
+    }
+
+    fn run_insert(&mut self, metrics: &mut Metrics, kvs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let mut warps: Vec<Vec<CuOp>> = kvs
+            .chunks(WARP_SIZE)
+            .map(|c| {
+                c.iter()
+                    .map(|&(key, val)| CuOp {
+                        key,
+                        val,
+                        fn_idx: 0,
+                        iters: 0,
+                        done: false,
+                        failed: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let before = self.occupied;
+        let mut kernel = CuInsertKernel {
+            keys: &mut self.keys,
+            vals: &mut self.vals,
+            n_slots: self.n_slots,
+            hashes: &self.hashes,
+            max_iter: self.max_iter,
+            inserted: 0,
+            failed: Vec::new(),
+        };
+        run_rounds(&mut kernel, &mut warps, metrics);
+        self.occupied = before + kernel.inserted;
+        kernel.failed
+    }
+
+    /// Rebuild the whole table with fresh hash functions (CUDPP's response
+    /// to an insertion failure), re-inserting all live KVs plus `extra`.
+    fn rebuild(&mut self, sim: &mut SimContext, extra: Vec<(u32, u32)>) -> Result<()> {
+        self.rebuilds += 1;
+        if self.rebuilds > 8 {
+            return Err(TableError::CapacityExhausted {
+                failed_ops: extra.len(),
+            });
+        }
+        let mut live: Vec<(u32, u32)> = self
+            .keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        sim.metrics.read_transactions += self.n_slots as u64 / 16; // drain scan (coalesced)
+        live.extend(extra);
+        self.keys.iter_mut().for_each(|k| *k = EMPTY);
+        self.occupied = 0;
+        self.reseed();
+        let failed = self.run_insert(&mut sim.metrics, &live);
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            self.rebuild(sim, failed)
+        }
+    }
+}
+
+impl GpuHashTable for Cudpp {
+    fn name(&self) -> &'static str {
+        "CUDPP"
+    }
+
+    fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {
+        if kvs.iter().any(|&(k, _)| k == EMPTY) {
+            return Err(TableError::ZeroKey);
+        }
+        sim.metrics.ops += kvs.len() as u64;
+        let failed = self.run_insert(&mut sim.metrics, kvs);
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            self.rebuild(sim, failed)
+        }
+    }
+
+    fn find_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
+        let metrics = &mut sim.metrics;
+        let mut results = Vec::with_capacity(keys.len());
+        let mut rounds = 0u64;
+        for chunk in keys.chunks(WARP_SIZE) {
+            // Thread-centric: lanes probe in parallel; the warp finishes when
+            // its slowest lane does (max probes in the chunk).
+            let mut max_probes = 0u64;
+            for &key in chunk {
+                let mut found = None;
+                let mut probes = 0u64;
+                for h in &self.hashes {
+                    let slot = (h.raw(key) % self.n_slots as u64) as usize;
+                    probes += 1;
+                    metrics.random_read_transactions += 1;
+                    metrics.lookups += 1;
+                    if self.keys[slot] == key {
+                        found = Some(self.vals[slot]);
+                        break;
+                    }
+                    if self.keys[slot] == EMPTY {
+                        // Classic CUDPP probes all d functions; an empty slot
+                        // cannot rule the key out (evictions move keys), so
+                        // keep probing.
+                        continue;
+                    }
+                }
+                max_probes = max_probes.max(probes);
+                results.push(found);
+            }
+            rounds += max_probes;
+        }
+        metrics.rounds += rounds;
+        metrics.ops += keys.len() as u64;
+        results
+    }
+
+    fn delete_batch(&mut self, _sim: &mut SimContext, _keys: &[u32]) -> Result<u64> {
+        Err(TableError::Unsupported("CUDPP does not support deletion"))
+    }
+
+    fn len(&self) -> u64 {
+        self.occupied
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.n_slots as u64
+    }
+
+    fn device_bytes(&self) -> u64 {
+        (self.n_slots * 8) as u64
+    }
+
+    fn supports_delete(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_count_tracks_load() {
+        assert_eq!(functions_for_load(0.3), 2);
+        assert_eq!(functions_for_load(0.5), 3);
+        assert_eq!(functions_for_load(0.7), 4);
+        assert_eq!(functions_for_load(0.9), 5);
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut sim = SimContext::new();
+        let mut t = Cudpp::with_capacity(500, 0.7, 3, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=350u32).map(|k| (k, k + 7)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 350);
+        let keys: Vec<u32> = (1..=350).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, v) in keys.iter().zip(found) {
+            assert_eq!(v, Some(k + 7), "key {k}");
+        }
+        assert_eq!(t.find_batch(&mut sim, &[5000]), vec![None]);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_value() {
+        let mut sim = SimContext::new();
+        let mut t = Cudpp::with_capacity(100, 0.5, 3, &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(9, 1)]).unwrap();
+        t.insert_batch(&mut sim, &[(9, 2)]).unwrap();
+        assert_eq!(t.find_batch(&mut sim, &[9]), vec![Some(2)]);
+    }
+
+    #[test]
+    fn delete_is_unsupported() {
+        let mut sim = SimContext::new();
+        let mut t = Cudpp::with_capacity(10, 0.5, 3, &mut sim).unwrap();
+        assert!(matches!(
+            t.delete_batch(&mut sim, &[1]),
+            Err(TableError::Unsupported(_))
+        ));
+        assert!(!t.supports_delete());
+    }
+
+    #[test]
+    fn high_load_fills_with_five_functions() {
+        let mut sim = SimContext::new();
+        let items = 2000;
+        let mut t = Cudpp::with_capacity(items, 0.85, 3, &mut sim).unwrap();
+        assert_eq!(t.num_functions(), 5);
+        let kvs: Vec<(u32, u32)> = (1..=items as u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), items as u64);
+        assert!(t.fill_factor() > 0.8);
+        let keys: Vec<u32> = (1..=items as u32).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn eviction_work_grows_with_load() {
+        let run = |load: f64| {
+            let mut sim = SimContext::new();
+            let items = 4000;
+            let mut t = Cudpp::with_capacity(items, load, 11, &mut sim).unwrap();
+            let kvs: Vec<(u32, u32)> = (1..=items as u32).map(|k| (k, k)).collect();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            sim.metrics.evictions
+        };
+        assert!(run(0.85) > run(0.4), "higher load must cause more evictions");
+    }
+}

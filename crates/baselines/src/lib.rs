@@ -1,0 +1,30 @@
+//! # baselines — the hash tables the paper compares DyCuckoo against
+//!
+//! Every baseline is a complete reimplementation (from its published
+//! description) on the same [`gpu_sim`] execution model, driven through the
+//! shared [`api::GpuHashTable`] trait:
+//!
+//! * [`cudpp::Cudpp`] — per-slot cuckoo hashing with `atomicExch` chains and
+//!   2–5 auto-chosen hash functions (Alcantara et al. / the CUDPP library).
+//!   Insert + find only; failure means a full rebuild.
+//! * [`megakv::MegaKv`] — two-function bucketized cuckoo, warp-centric with
+//!   spin-locking; resizing doubles/halves everything with a full rehash.
+//! * [`slab::SlabHash`] — chaining over 32-slot slab nodes with a dedicated
+//!   pool allocator and symbolic (tombstone) deletion.
+//! * [`linear::LinearProbing`] — open addressing with warp-wide 32-slot
+//!   probe windows (the appendix baseline).
+//! * [`adapter::DyCuckooTable`] — the DyCuckoo core behind the same trait.
+
+pub mod adapter;
+pub mod api;
+pub mod cudpp;
+pub mod linear;
+pub mod megakv;
+pub mod slab;
+
+pub use adapter::DyCuckooTable;
+pub use api::{GpuHashTable, Result, TableError};
+pub use cudpp::Cudpp;
+pub use linear::LinearProbing;
+pub use megakv::{MegaKv, ResizeBounds};
+pub use slab::SlabHash;

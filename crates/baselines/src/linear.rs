@@ -1,0 +1,367 @@
+//! Linear probing — the `Linear` baseline of the paper's appendix,
+//! modelled after the SIMD linear-probing tables the paper cites
+//! (Medusa-style): **thread-centric, slot-granular** probing.
+//!
+//! Each thread walks the slot sequence `h(k), h(k)+1, …` until it finds
+//! the key (find), an empty slot (miss / insert), with every probe an
+//! uncoalesced single-slot access. Probe sequences lengthen quickly as the
+//! filled factor grows (primary clustering), which is exactly the
+//! appendix's observation: every cuckoo scheme has constant find cost in
+//! θ, Linear does not. Deletion tombstones the slot (probes must not stop
+//! at tombstones), so the scheme cannot shrink.
+
+use gpu_sim::{run_rounds, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+
+use dycuckoo::hashfn::UniversalHash;
+
+use crate::api::{GpuHashTable, Result, TableError};
+
+const EMPTY: u32 = 0;
+const TOMB: u32 = u32::MAX;
+const SLOT_SPACE: u32 = 300;
+
+/// The linear-probing baseline.
+pub struct LinearProbing {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    n_slots: usize,
+    live: u64,
+    tombstones: u64,
+    hash: UniversalHash,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeGoal {
+    Find,
+    Insert,
+    Delete,
+}
+
+/// One lane-owned op: a probe cursor walking the slot sequence.
+#[derive(Debug, Clone, Copy)]
+struct LinOp {
+    key: u32,
+    val: u32,
+    /// Next slot to probe.
+    cursor: usize,
+    /// Slots probed so far (termination bound).
+    probed: usize,
+    /// First reusable (tombstone) slot seen, for inserts.
+    first_free: Option<usize>,
+    done: bool,
+}
+
+struct LinKernel<'a> {
+    table: &'a mut LinearProbing,
+    goal: ProbeGoal,
+    results: Vec<Option<u32>>,
+    out_base: usize,
+    inserted: u64,
+    updated: u64,
+    deleted: u64,
+    failed: usize,
+}
+
+impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
+    fn step(&mut self, lanes: &mut Vec<LinOp>, ctx: &mut RoundCtx) -> StepOutcome {
+        // Thread-centric: every active lane advances one slot per round,
+        // each probe its own uncoalesced transaction.
+        let mut pending = false;
+        let n = self.table.n_slots;
+        for (lane, op) in lanes.iter_mut().enumerate() {
+            if op.done {
+                continue;
+            }
+            let slot = op.cursor % n;
+            ctx.read_slot();
+            let k = self.table.keys[slot];
+            let result_idx = self.out_base + lane;
+            match self.goal {
+                ProbeGoal::Find => {
+                    if k == op.key {
+                        // Value shares no line with the key array: one more
+                        // slot read.
+                        ctx.read_slot();
+                        self.results[result_idx] = Some(self.table.vals[slot]);
+                        op.done = true;
+                    } else if k == EMPTY {
+                        op.done = true; // miss
+                    }
+                }
+                ProbeGoal::Delete => {
+                    if k == op.key {
+                        self.table.keys[slot] = TOMB;
+                        ctx.write_slot();
+                        self.table.live -= 1;
+                        self.table.tombstones += 1;
+                        self.deleted += 1;
+                        op.done = true;
+                    } else if k == EMPTY {
+                        op.done = true;
+                    }
+                }
+                ProbeGoal::Insert => {
+                    if k == op.key {
+                        ctx.raw_atomic(SLOT_SPACE, slot);
+                        self.table.vals[slot] = op.val;
+                        ctx.write_slot();
+                        self.updated += 1;
+                        op.done = true;
+                    } else if k == EMPTY {
+                        // Claim the first tombstone seen, else this slot.
+                        let claim = op.first_free.unwrap_or(slot);
+                        ctx.raw_atomic(SLOT_SPACE, claim);
+                        if self.table.keys[claim] == TOMB {
+                            self.table.tombstones -= 1;
+                        }
+                        self.table.keys[claim] = op.key;
+                        self.table.vals[claim] = op.val;
+                        ctx.write_slot();
+                        self.table.live += 1;
+                        self.inserted += 1;
+                        op.done = true;
+                    } else if k == TOMB && op.first_free.is_none() {
+                        op.first_free = Some(slot);
+                    }
+                }
+            }
+            if !op.done {
+                op.cursor = (op.cursor + 1) % n;
+                op.probed += 1;
+                if op.probed >= n {
+                    // Wrapped the whole table.
+                    match self.goal {
+                        ProbeGoal::Insert => match op.first_free {
+                            Some(claim) => {
+                                ctx.raw_atomic(SLOT_SPACE, claim);
+                                if self.table.keys[claim] == TOMB {
+                                    self.table.tombstones -= 1;
+                                }
+                                self.table.keys[claim] = op.key;
+                                self.table.vals[claim] = op.val;
+                                ctx.write_slot();
+                                self.table.live += 1;
+                                self.inserted += 1;
+                            }
+                            None => self.failed += 1,
+                        },
+                        _ => self.results[result_idx] = None,
+                    }
+                    op.done = true;
+                }
+            }
+            pending |= !op.done;
+        }
+        if pending {
+            StepOutcome::Pending
+        } else {
+            StepOutcome::Done
+        }
+    }
+}
+
+impl LinearProbing {
+    /// Create a table with `n_slots` slots.
+    pub fn new(n_slots: usize, seed: u64, sim: &mut SimContext) -> Result<Self> {
+        let n_slots = n_slots.max(1);
+        sim.device.alloc((n_slots * 8) as u64)?;
+        Ok(Self {
+            keys: vec![EMPTY; n_slots],
+            vals: vec![0; n_slots],
+            n_slots,
+            live: 0,
+            tombstones: 0,
+            hash: UniversalHash::from_seed(seed ^ 0x11EA_A311),
+        })
+    }
+
+    /// Size for `items` keys at `target_fill`.
+    pub fn with_capacity(
+        items: usize,
+        target_fill: f64,
+        seed: u64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        let slots = (items as f64 / target_fill).ceil() as usize;
+        Self::new(slots, seed, sim)
+    }
+
+    fn run(
+        &mut self,
+        sim: &mut SimContext,
+        goal: ProbeGoal,
+        ops: Vec<(u32, u32)>,
+    ) -> (Vec<Option<u32>>, u64, u64, u64, usize) {
+        let n = ops.len();
+        let mut results = vec![None; n];
+        let mut inserted = 0;
+        let mut updated = 0;
+        let mut deleted = 0;
+        let mut failed = 0;
+        // Warps of 32 lane-ops; the kernel's results buffer is shared, so
+        // run the warps in chunks carrying their output offset.
+        for (w, chunk) in ops.chunks(WARP_SIZE).enumerate() {
+            let mut lanes: Vec<LinOp> = chunk
+                .iter()
+                .map(|&(key, val)| LinOp {
+                    key,
+                    val,
+                    cursor: self.hash.bucket(key, self.n_slots),
+                    probed: 0,
+                    first_free: None,
+                    done: false,
+                })
+                .collect();
+            let mut kernel = LinKernel {
+                table: self,
+                goal,
+                results: std::mem::take(&mut results),
+                out_base: w * WARP_SIZE,
+                inserted: 0,
+                updated: 0,
+                deleted: 0,
+                failed: 0,
+            };
+            let mut warps = vec![std::mem::take(&mut lanes)];
+            run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+            results = kernel.results;
+            inserted += kernel.inserted;
+            updated += kernel.updated;
+            deleted += kernel.deleted;
+            failed += kernel.failed;
+        }
+        sim.metrics.ops += n as u64;
+        (results, inserted, updated, deleted, failed)
+    }
+}
+
+impl GpuHashTable for LinearProbing {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {
+        if kvs.iter().any(|&(k, _)| k == EMPTY || k == TOMB) {
+            return Err(TableError::ZeroKey);
+        }
+        let (_, _, _, _, failed) = self.run(sim, ProbeGoal::Insert, kvs.to_vec());
+        if failed > 0 {
+            return Err(TableError::CapacityExhausted { failed_ops: failed });
+        }
+        Ok(())
+    }
+
+    fn find_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
+        let ops: Vec<(u32, u32)> = keys.iter().map(|&k| (k, 0)).collect();
+        self.run(sim, ProbeGoal::Find, ops).0
+    }
+
+    fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64> {
+        let ops: Vec<(u32, u32)> = keys.iter().map(|&k| (k, 0)).collect();
+        let (_, _, _, deleted, _) = self.run(sim, ProbeGoal::Delete, ops);
+        Ok(deleted)
+    }
+
+    fn len(&self) -> u64 {
+        self.live
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.n_slots as u64
+    }
+
+    fn device_bytes(&self) -> u64 {
+        (self.n_slots * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut sim = SimContext::new();
+        let mut t = LinearProbing::new(512, 3, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=200u32).map(|k| (k, k + 1)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 200);
+        let keys: Vec<u32> = (1..=200).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, v) in keys.iter().zip(found) {
+            assert_eq!(v, Some(k + 1));
+        }
+        assert_eq!(t.find_batch(&mut sim, &[999]), vec![None]);
+    }
+
+    #[test]
+    fn delete_leaves_tombstones_probes_continue_past_them() {
+        let mut sim = SimContext::new();
+        let mut t = LinearProbing::new(128, 3, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=100u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let dels: Vec<u32> = (1..=50).collect();
+        assert_eq!(t.delete_batch(&mut sim, &dels).unwrap(), 50);
+        // Keys that may have probed past the deleted ones must survive.
+        let keys: Vec<u32> = (51..=100).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+        // Tombstones are reused by inserts.
+        let kvs2: Vec<(u32, u32)> = (201..=250u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs2).unwrap();
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn probe_cost_grows_with_fill() {
+        let run = |fill: f64| {
+            let mut sim = SimContext::new();
+            let items = 2000;
+            let mut t = LinearProbing::with_capacity(items, fill, 3, &mut sim).unwrap();
+            let kvs: Vec<(u32, u32)> = (1..=items as u32).map(|k| (k, k)).collect();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            sim.take_metrics();
+            let keys: Vec<u32> = (1..=items as u32).collect();
+            t.find_batch(&mut sim, &keys);
+            sim.take_metrics().random_transactions()
+        };
+        // Primary clustering: probe cost must grow substantially with θ.
+        assert!(
+            run(0.9) as f64 > 1.5 * run(0.5) as f64,
+            "dense table must probe much more"
+        );
+    }
+
+    #[test]
+    fn full_table_insert_fails() {
+        let mut sim = SimContext::new();
+        let mut t = LinearProbing::new(32, 3, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=32u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert!(matches!(
+            t.insert_batch(&mut sim, &[(100, 1)]),
+            Err(TableError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut sim = SimContext::new();
+        let mut t = LinearProbing::new(64, 3, &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(5, 1)]).unwrap();
+        t.insert_batch(&mut sim, &[(5, 2)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find_batch(&mut sim, &[5]), vec![Some(2)]);
+    }
+
+    #[test]
+    fn wraparound_probing_works() {
+        // Force keys whose home slots sit near the end of the array.
+        let mut sim = SimContext::new();
+        let mut t = LinearProbing::new(8, 3, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=8u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 8);
+        let keys: Vec<u32> = (1..=8).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+}

@@ -1,0 +1,611 @@
+//! MegaKV (Zhang et al., VLDB 2015), as characterized by the paper:
+//! a warp-centric cuckoo hash with **two** hash functions and one bucket
+//! per hash value.
+//!
+//! Layout: like the paper's port of MegaKV, buckets hold 32 keys in one
+//! 128-byte line with values in a separate array. MegaKV's find is the
+//! fastest of all schemes for an emergent reason: insertion tries table 0
+//! first and only spills to table 1 on a full bucket, so most keys are
+//! found on the *first* probe — whereas DyCuckoo's balanced two-layer
+//! distribution spreads keys 50/50 over the pair and averages closer to
+//! 1.5 probes.
+//!
+//! Behavioural differences from DyCuckoo that the experiments exercise:
+//!
+//! * No voter coordination: a warp whose lock acquisition fails **spins**
+//!   on the same bucket, paying the atomic-conflict cost every round.
+//! * Static design: resizing doubles/halves the *whole* structure and
+//!   rehashes every KV, with old and new tables coexisting during the
+//!   rehash (the memory spike visible in the filled-factor tracking
+//!   figure).
+
+use gpu_sim::{run_rounds, Locks, Metrics, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+
+use dycuckoo::hashfn::{splitmix64, UniversalHash};
+
+use crate::api::{GpuHashTable, Result, TableError};
+
+/// Key slots per bucket: 32 four-byte keys fill one 128-byte line (values
+/// live in a separate array, as in DyCuckoo's layout).
+pub const MK_BUCKET_SLOTS: usize = 32;
+
+const EMPTY_KEY: u32 = 0;
+
+/// Resize bounds for the dynamic experiments; `None` makes the table static
+/// (it still doubles on insertion failure, as the paper's protocol
+/// prescribes: "if an insertion failure is found, we trigger its resizing
+/// strategy").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResizeBounds {
+    /// Lower filled-factor bound α.
+    pub alpha: f64,
+    /// Upper filled-factor bound β.
+    pub beta: f64,
+}
+
+/// One of MegaKV's two subtables: key buckets, a value array and locks.
+#[derive(Debug, Clone)]
+struct MkTable {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    locks: Locks,
+    n_buckets: usize,
+    occupied: u64,
+}
+
+impl MkTable {
+    fn new(n_buckets: usize) -> Self {
+        Self {
+            keys: vec![EMPTY_KEY; n_buckets * MK_BUCKET_SLOTS],
+            vals: vec![0; n_buckets * MK_BUCKET_SLOTS],
+            locks: Locks::new(n_buckets),
+            n_buckets,
+            occupied: 0,
+        }
+    }
+
+    fn bucket_keys(&self, b: usize) -> &[u32] {
+        &self.keys[b * MK_BUCKET_SLOTS..(b + 1) * MK_BUCKET_SLOTS]
+    }
+
+    fn find_slot(&self, b: usize, key: u32) -> Option<usize> {
+        self.bucket_keys(b).iter().position(|&k| k == key)
+    }
+
+    fn find_empty(&self, b: usize) -> Option<usize> {
+        self.find_slot(b, EMPTY_KEY)
+    }
+
+    fn slot(&self, b: usize, s: usize) -> (u32, u32) {
+        let i = b * MK_BUCKET_SLOTS + s;
+        (self.keys[i], self.vals[i])
+    }
+
+    fn write(&mut self, b: usize, s: usize, key: u32, val: u32) {
+        let i = b * MK_BUCKET_SLOTS + s;
+        if self.keys[i] == EMPTY_KEY && key != EMPTY_KEY {
+            self.occupied += 1;
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+    }
+
+    fn erase(&mut self, b: usize, s: usize) {
+        let i = b * MK_BUCKET_SLOTS + s;
+        debug_assert_ne!(self.keys[i], EMPTY_KEY);
+        self.keys[i] = EMPTY_KEY;
+        self.occupied -= 1;
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        (self.n_buckets * MK_BUCKET_SLOTS) as u64
+    }
+
+    /// Key line + value line per bucket plus a lock word.
+    fn device_bytes(&self) -> u64 {
+        (self.n_buckets * (MK_BUCKET_SLOTS * 8 + 4)) as u64
+    }
+
+    fn iter_live(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != EMPTY_KEY)
+            .map(|(&k, &v)| (k, v))
+    }
+}
+
+/// The MegaKV baseline.
+pub struct MegaKv {
+    tables: Vec<MkTable>,
+    hashes: Vec<UniversalHash>,
+    bounds: Option<ResizeBounds>,
+    eviction_limit: u32,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MkOp {
+    key: u32,
+    val: u32,
+    target: usize,
+    evictions: u32,
+}
+
+struct MkWarp {
+    ops: Vec<MkOp>,
+    cur: usize,
+}
+
+#[derive(Default)]
+struct MkOutcome {
+    inserted: u64,
+    updated: u64,
+    failed: Vec<MkOp>,
+}
+
+struct MkInsertKernel<'a> {
+    tables: &'a mut [MkTable],
+    hashes: &'a [UniversalHash],
+    eviction_limit: u32,
+    seed: u64,
+    out: MkOutcome,
+}
+
+impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
+    fn step(&mut self, warp: &mut MkWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(op) = warp.ops.get(warp.cur).copied() else {
+            return StepOutcome::Done;
+        };
+        let t = op.target;
+        let b = self.hashes[t].bucket(op.key, self.tables[t].n_buckets);
+        // No voter: spin on the same bucket until the lock is acquired.
+        if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+            return StepOutcome::Pending;
+        }
+        ctx.read_bucket();
+        if let Some(slot) = self.tables[t].find_slot(b, op.key) {
+            self.tables[t].write(b, slot, op.key, op.val);
+            ctx.write_line(); // value line only
+            self.out.updated += 1;
+            warp.cur += 1;
+        } else if let Some(slot) = self.tables[t].find_empty(b) {
+            self.tables[t].write(b, slot, op.key, op.val);
+            ctx.write_line(); // key line
+            ctx.write_line(); // value line
+            self.out.inserted += 1;
+            warp.cur += 1;
+        } else if op.target == 0 && op.evictions == 0 {
+            // First bucket full: try the alternate bucket before evicting.
+            warp.ops[warp.cur].target = 1;
+        } else {
+            // Evict a pseudo-random victim and continue its chain in the
+            // other table.
+            let slot =
+                (splitmix64(self.seed ^ op.key as u64 ^ (op.evictions as u64) << 32) as usize)
+                    % MK_BUCKET_SLOTS;
+            let (ek, ev) = self.tables[t].slot(b, slot);
+            self.tables[t].write(b, slot, op.key, op.val);
+            ctx.write_line(); // key line
+            ctx.write_line(); // value line
+            ctx.metrics.evictions += 1;
+            let cur = &mut warp.ops[warp.cur];
+            cur.key = ek;
+            cur.val = ev;
+            cur.target = 1 - t;
+            cur.evictions = op.evictions + 1;
+            if cur.evictions >= self.eviction_limit {
+                self.out.failed.push(*cur);
+                warp.cur += 1;
+            }
+        }
+        ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+        if warp.cur == warp.ops.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+
+    fn end_round(&mut self) {
+        for t in self.tables.iter_mut() {
+            t.locks.end_round();
+        }
+    }
+}
+
+impl MegaKv {
+    /// Create a MegaKV table with `buckets_per_table` buckets in each of its
+    /// two subtables.
+    pub fn new(
+        buckets_per_table: usize,
+        bounds: Option<ResizeBounds>,
+        seed: u64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        let tables = vec![MkTable::new(buckets_per_table), MkTable::new(buckets_per_table)];
+        for t in &tables {
+            sim.device.alloc(t.device_bytes())?;
+        }
+        let hashes = vec![
+            UniversalHash::from_seed(seed ^ 0x1111_2222),
+            UniversalHash::from_seed(seed ^ 0x3333_4444),
+        ];
+        Ok(Self {
+            tables,
+            hashes,
+            bounds,
+            eviction_limit: 64,
+            seed,
+        })
+    }
+
+    /// Create a table pre-sized so `items` keys load it to `target_fill`.
+    pub fn with_capacity(
+        items: usize,
+        target_fill: f64,
+        bounds: Option<ResizeBounds>,
+        seed: u64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        // Mixed n/2n sizing (like DyCuckoo's) so the realized capacity
+        // tracks the requested budget tightly; MK_BUCKET_SLOTS equals
+        // dycuckoo's bucket width, so the helper applies directly.
+        let sizes = dycuckoo::mixed_bucket_sizes(items, 2, target_fill);
+        let mut t = Self::new(sizes[0], bounds, seed, sim)?;
+        if sizes[1] != sizes[0] {
+            sim.device.free(t.tables[1].device_bytes())?;
+            let fresh = MkTable::new(sizes[1]);
+            sim.device.alloc(fresh.device_bytes())?;
+            t.tables[1] = fresh;
+        }
+        Ok(t)
+    }
+
+    /// Internal kernel launch; does not bump `metrics.ops` (rehash reinserts
+    /// must stay out of the throughput denominator).
+    fn run_insert(&mut self, metrics: &mut Metrics, ops: Vec<MkOp>) -> MkOutcome {
+        let mut warps: Vec<MkWarp> = ops
+            .chunks(WARP_SIZE)
+            .map(|c| MkWarp {
+                ops: c.to_vec(),
+                cur: 0,
+            })
+            .collect();
+        let mut kernel = MkInsertKernel {
+            tables: &mut self.tables,
+            hashes: &self.hashes,
+            eviction_limit: self.eviction_limit,
+            seed: self.seed,
+            out: MkOutcome::default(),
+        };
+        run_rounds(&mut kernel, &mut warps, metrics);
+        kernel.out
+    }
+
+    /// Full rehash into tables of `new_buckets` buckets each — MegaKV's
+    /// only resizing strategy. Old and new tables coexist while the rehash
+    /// runs, which is visible in the device's peak-memory accounting.
+    fn rehash_to(&mut self, sim: &mut SimContext, new_buckets: usize) -> Result<()> {
+        // Drain all live KVs (one line read per bucket).
+        let mut live: Vec<(u32, u32)> = Vec::with_capacity(self.len() as usize);
+        for t in &self.tables {
+            sim.metrics.read_transactions += 2 * t.n_buckets as u64;
+            live.extend(t.iter_live());
+        }
+        let old_bytes: u64 = self.tables.iter().map(|t| t.device_bytes()).sum();
+        let fresh = vec![MkTable::new(new_buckets), MkTable::new(new_buckets)];
+        for t in &fresh {
+            sim.device.alloc(t.device_bytes())?;
+        }
+        self.tables = fresh;
+
+        let mut attempt = 0;
+        let mut ops: Vec<MkOp> = live
+            .into_iter()
+            .map(|(key, val)| MkOp {
+                key,
+                val,
+                target: 0,
+                evictions: 0,
+            })
+            .collect();
+        while !ops.is_empty() {
+            let out = self.run_insert(&mut sim.metrics, ops);
+            ops = out
+                .failed
+                .into_iter()
+                .map(|mut o| {
+                    o.target = 0;
+                    o.evictions = 0;
+                    o
+                })
+                .collect();
+            if !ops.is_empty() {
+                attempt += 1;
+                if attempt > 32 {
+                    return Err(TableError::CapacityExhausted {
+                        failed_ops: ops.len(),
+                    });
+                }
+                // Failed during rehash: grow again in place.
+                self.grow_in_place(sim)?;
+            }
+        }
+        sim.device.free(old_bytes)?;
+        Ok(())
+    }
+
+    /// Failure recovery inside `rehash_to`: move the current (partially
+    /// filled) tables into doubled ones.
+    fn grow_in_place(&mut self, sim: &mut SimContext) -> Result<()> {
+        let new_buckets = self.tables[0].n_buckets * 2;
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for t in &self.tables {
+            sim.metrics.read_transactions += 2 * t.n_buckets as u64;
+            live.extend(t.iter_live());
+        }
+        let old_bytes: u64 = self.tables.iter().map(|t| t.device_bytes()).sum();
+        let fresh = vec![MkTable::new(new_buckets), MkTable::new(new_buckets)];
+        for t in &fresh {
+            sim.device.alloc(t.device_bytes())?;
+        }
+        self.tables = fresh;
+        let ops: Vec<MkOp> = live
+            .into_iter()
+            .map(|(key, val)| MkOp {
+                key,
+                val,
+                target: 0,
+                evictions: 0,
+            })
+            .collect();
+        let out = self.run_insert(&mut sim.metrics, ops);
+        if !out.failed.is_empty() {
+            return Err(TableError::CapacityExhausted {
+                failed_ops: out.failed.len(),
+            });
+        }
+        sim.device.free(old_bytes)?;
+        Ok(())
+    }
+
+    fn maybe_resize(&mut self, sim: &mut SimContext) -> Result<()> {
+        let Some(bounds) = self.bounds else {
+            return Ok(());
+        };
+        loop {
+            let fill = self.fill_factor();
+            let n = self.tables[0].n_buckets;
+            if fill > bounds.beta {
+                self.rehash_to(sim, n * 2)?;
+            } else if fill < bounds.alpha && n > 1 {
+                self.rehash_to(sim, n / 2)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl GpuHashTable for MegaKv {
+    fn name(&self) -> &'static str {
+        "MegaKV"
+    }
+
+    fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {
+        if kvs.iter().any(|&(k, _)| k == EMPTY_KEY) {
+            return Err(TableError::ZeroKey);
+        }
+        sim.metrics.ops += kvs.len() as u64;
+        let ops: Vec<MkOp> = kvs
+            .iter()
+            .map(|&(key, val)| MkOp {
+                key,
+                val,
+                target: 0,
+                evictions: 0,
+            })
+            .collect();
+        let mut out = self.run_insert(&mut sim.metrics, ops);
+        let mut attempts = 0;
+        while !out.failed.is_empty() {
+            attempts += 1;
+            if attempts > 32 {
+                return Err(TableError::CapacityExhausted {
+                    failed_ops: out.failed.len(),
+                });
+            }
+            // Insertion failure triggers the resize strategy: double + full
+            // rehash, then retry the failed ops.
+            let n = self.tables[0].n_buckets;
+            self.rehash_to(sim, n * 2)?;
+            let retry: Vec<MkOp> = out
+                .failed
+                .iter()
+                .map(|f| MkOp {
+                    key: f.key,
+                    val: f.val,
+                    target: 0,
+                    evictions: 0,
+                })
+                .collect();
+            out = self.run_insert(&mut sim.metrics, retry);
+        }
+        self.maybe_resize(sim)
+    }
+
+    fn find_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
+        let metrics = &mut sim.metrics;
+        let mut results = Vec::with_capacity(keys.len());
+        let mut rounds: u64 = 0;
+        for chunk in keys.chunks(WARP_SIZE) {
+            let mut warp_rounds = 0u64;
+            for &key in chunk {
+                let mut found = None;
+                for t in 0..2 {
+                    let b = self.hashes[t].bucket(key, self.tables[t].n_buckets);
+                    metrics.read_transactions += 1;
+                    metrics.lookups += 1;
+                    warp_rounds += 1;
+                    if let Some(slot) = self.tables[t].find_slot(b, key) {
+                        metrics.read_transactions += 1; // value line
+                        found = Some(self.tables[t].slot(b, slot).1);
+                        break;
+                    }
+                }
+                results.push(found);
+            }
+            rounds = rounds.max(warp_rounds);
+        }
+        metrics.rounds += rounds;
+        metrics.ops += keys.len() as u64;
+        results
+    }
+
+    fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64> {
+        let mut deleted = 0u64;
+        let metrics = &mut sim.metrics;
+        let mut rounds: u64 = 0;
+        for chunk in keys.chunks(WARP_SIZE) {
+            let mut warp_rounds = 0u64;
+            for &key in chunk {
+                for t in 0..2 {
+                    let b = self.hashes[t].bucket(key, self.tables[t].n_buckets);
+                    metrics.read_transactions += 1;
+                    metrics.lookups += 1;
+                    warp_rounds += 1;
+                    if let Some(slot) = self.tables[t].find_slot(b, key) {
+                        self.tables[t].erase(b, slot);
+                        metrics.write_transactions += 1;
+                        deleted += 1;
+                        break;
+                    }
+                }
+            }
+            rounds = rounds.max(warp_rounds);
+        }
+        metrics.rounds += rounds;
+        metrics.ops += keys.len() as u64;
+        self.maybe_resize(sim)?;
+        Ok(deleted)
+    }
+
+    fn len(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupied).sum()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.tables.iter().map(|t| t.capacity_slots()).sum()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.device_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> SimContext {
+        SimContext::new()
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut sim = sim();
+        let mut t = MegaKv::new(16, None, 1, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=300u32).map(|k| (k, k * 2)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 300);
+        let keys: Vec<u32> = (1..=300).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, v) in keys.iter().zip(found) {
+            assert_eq!(v, Some(k * 2));
+        }
+        assert_eq!(t.find_batch(&mut sim, &[9999]), vec![None]);
+    }
+
+    #[test]
+    fn delete_then_miss() {
+        let mut sim = sim();
+        let mut t = MegaKv::new(16, None, 1, &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(10, 1), (11, 2)]).unwrap();
+        assert_eq!(t.delete_batch(&mut sim, &[10, 12]).unwrap(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find_batch(&mut sim, &[10, 11]), vec![None, Some(2)]);
+    }
+
+    #[test]
+    fn insertion_failure_triggers_doubling() {
+        let mut sim = sim();
+        // 2 tables × 1 bucket × 16 slots = 32 slots; inserting 200 keys must
+        // force growth even without bounds.
+        let mut t = MegaKv::new(1, None, 1, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=200u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 200);
+        assert!(t.capacity_slots() >= 200);
+        let keys: Vec<u32> = (1..=200).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn bounded_mode_resizes_on_fill() {
+        let mut sim = sim();
+        let bounds = ResizeBounds {
+            alpha: 0.3,
+            beta: 0.85,
+        };
+        let mut t = MegaKv::new(8, Some(bounds), 1, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=1000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let fill = t.fill_factor();
+        assert!(fill <= 0.85 + 1e-9, "fill {fill} above beta");
+        // Mass delete should halve the structure back down.
+        let dels: Vec<u32> = (1..=950).collect();
+        t.delete_batch(&mut sim, &dels).unwrap();
+        assert!(
+            t.fill_factor() >= 0.3 - 1e-9,
+            "fill {} below alpha after downsizing",
+            t.fill_factor()
+        );
+        let keys: Vec<u32> = (951..=1000).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn rehash_peak_memory_exceeds_steady_state() {
+        let mut sim = sim();
+        let bounds = ResizeBounds {
+            alpha: 0.3,
+            beta: 0.85,
+        };
+        let mut t = MegaKv::new(8, Some(bounds), 1, &mut sim).unwrap();
+        sim.device.reset_peak();
+        let kvs: Vec<(u32, u32)> = (1..=2000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert!(
+            sim.device.peak_bytes() > t.device_bytes(),
+            "full rehash must transiently hold old + new tables"
+        );
+    }
+
+    #[test]
+    fn upsert_semantics_in_same_bucket() {
+        let mut sim = sim();
+        let mut t = MegaKv::new(16, None, 1, &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(42, 1)]).unwrap();
+        t.insert_batch(&mut sim, &[(42, 2)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find_batch(&mut sim, &[42]), vec![Some(2)]);
+    }
+
+    #[test]
+    fn same_bucket_width_as_dycuckoo() {
+        // The paper's port of MegaKV shares DyCuckoo's key-only bucket
+        // layout: 32 keys per 128-byte line.
+        assert_eq!(MK_BUCKET_SLOTS, dycuckoo::BUCKET_SLOTS);
+    }
+}

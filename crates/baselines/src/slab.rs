@@ -1,0 +1,572 @@
+//! SlabHash (Ashkiani et al., IPDPS 2018): the dynamic GPU hash table the
+//! paper compares against.
+//!
+//! A chaining table whose chains are **slab lists**: 32-slot nodes sized to
+//! a cache line, traversed warp-cooperatively. Three properties the paper
+//! criticizes are modelled faithfully:
+//!
+//! * **Dedicated slab allocator**: slabs come from a pre-reserved pool that
+//!   grows in coarse chunks and never shrinks; every allocation bumps a
+//!   single atomic counter, so allocation-heavy phases contend on it.
+//! * **Symbolic deletion**: deletes only tombstone the slot. Tombstones are
+//!   reusable by later inserts, but the slab memory is never returned, so
+//!   the filled factor decays under delete-heavy workloads (the effect in
+//!   the paper's filled-factor tracking figure).
+//! * **Chained lookups**: a find may traverse several slabs, each a random
+//!   128-byte transaction — the `Ω(log log m)`-tail the paper mentions.
+
+use gpu_sim::{run_rounds, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+
+use dycuckoo::hashfn::UniversalHash;
+
+use crate::api::{GpuHashTable, Result, TableError};
+
+const EMPTY: u32 = 0;
+/// Tombstone marker for symbolically deleted slots.
+const TOMB: u32 = u32::MAX;
+/// Null slab pointer.
+const NIL: u32 = u32::MAX;
+/// KV slots per slab. The published slab layout packs keys, values and the
+/// next pointer into ONE 128-byte line (32 lanes × 4 bytes): 15 KV pairs
+/// (30 words) + the pointer — so a slab probe is a single transaction but
+/// holds less than half of what a DyCuckoo key bucket does.
+const SLAB_SLOTS: usize = 15;
+/// Slabs added to the pool per allocator growth.
+const POOL_CHUNK: usize = 256;
+/// Bytes per slab: one 128-byte line.
+const SLAB_BYTES: u64 = 128;
+/// Conflict address space of the slab allocator's bump counter.
+const ALLOC_SPACE: u32 = 200;
+/// Conflict address space of slot-claim atomics.
+const SLOT_SPACE: u32 = 201;
+
+/// The SlabHash baseline.
+pub struct SlabHash {
+    n_buckets: usize,
+    heads: Vec<u32>,
+    slab_keys: Vec<u32>,
+    slab_vals: Vec<u32>,
+    slab_next: Vec<u32>,
+    /// Slabs handed out by the allocator.
+    allocated_slabs: usize,
+    /// Slabs reserved in the pool (device memory actually held).
+    pool_slabs: usize,
+    live: u64,
+    tombstones: u64,
+    hash: UniversalHash,
+}
+
+impl SlabHash {
+    /// Create a SlabHash with `n_buckets` buckets, one initial slab each.
+    pub fn new(n_buckets: usize, seed: u64, sim: &mut SimContext) -> Result<Self> {
+        let n_buckets = n_buckets.max(1);
+        let pool_slabs = n_buckets.next_multiple_of(POOL_CHUNK);
+        sim.device
+            .alloc(n_buckets as u64 * 4 + pool_slabs as u64 * SLAB_BYTES)?;
+        let mut t = Self {
+            n_buckets,
+            heads: (0..n_buckets as u32).collect(),
+            slab_keys: Vec::new(),
+            slab_vals: Vec::new(),
+            slab_next: Vec::new(),
+            allocated_slabs: n_buckets,
+            pool_slabs,
+            live: 0,
+            tombstones: 0,
+            hash: UniversalHash::from_seed(seed ^ 0x51AB_51AB),
+        };
+        t.reserve_slab_storage(pool_slabs);
+        Ok(t)
+    }
+
+    /// Size the bucket array so the table *achieves* roughly `target_fill`
+    /// once `items` keys are chained in.
+    ///
+    /// Chaining can only reach high filled factors with long chains: every
+    /// chain ends in a partially filled slab (≈ half empty on average), so
+    /// with mean chain load λ the achieved fill is ≈ λ/(λ + s/2) for slab
+    /// size `s`. Inverting gives λ = (s/2)·φ/(1−φ): θ = 85% already needs
+    /// ≈ 3-slab chains, and θ = 90% needs ≈ 5 — exactly why the paper finds
+    /// SlabHash degrading sharply at high filled factors.
+    pub fn with_capacity(
+        items: usize,
+        target_fill: f64,
+        seed: u64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        assert!((0.0..1.0).contains(&target_fill));
+        let lambda = chain_load_for_fill(target_fill);
+        let n_buckets = ((items as f64 / lambda).ceil() as usize).max(1);
+        Self::new(n_buckets, seed, sim)
+    }
+
+    fn reserve_slab_storage(&mut self, slabs: usize) {
+        self.slab_keys.resize(slabs * SLAB_SLOTS, EMPTY);
+        self.slab_vals.resize(slabs * SLAB_SLOTS, 0);
+        self.slab_next.resize(slabs, NIL);
+    }
+
+    fn bucket_of(&self, key: u32) -> usize {
+        (self.hash.raw(key) % self.n_buckets as u64) as usize
+    }
+
+    fn slab_keys_of(&self, slab: u32) -> &[u32] {
+        let s = slab as usize * SLAB_SLOTS;
+        &self.slab_keys[s..s + SLAB_SLOTS]
+    }
+
+    /// Allocate a slab from the pool, growing the pool by a chunk (device
+    /// allocation) when exhausted. Charged as one atomic on the allocator's
+    /// bump counter.
+    fn alloc_slab(&mut self, sim: &mut SimContext, ctx: &mut RoundCtx) -> Result<u32> {
+        ctx.raw_atomic(ALLOC_SPACE, 0);
+        if self.allocated_slabs == self.pool_slabs {
+            sim.device.alloc(POOL_CHUNK as u64 * SLAB_BYTES)?;
+            self.pool_slabs += POOL_CHUNK;
+            self.reserve_slab_storage(self.pool_slabs);
+        }
+        let id = self.allocated_slabs as u32;
+        self.allocated_slabs += 1;
+        Ok(id)
+    }
+}
+
+/// Achieved fill for mean bucket load λ under Poisson-distributed bucket
+/// loads: `λ / (s · E[⌈X/s⌉])` with `X ~ Poisson(λ)` and slab size `s`.
+fn expected_fill(lambda: f64) -> f64 {
+    let s = SLAB_SLOTS as f64;
+    // E[ceil(X/s)] over the Poisson pmf (truncated at λ + 10σ).
+    let hi = (lambda + 10.0 * lambda.sqrt()).ceil() as u64 + SLAB_SLOTS as u64;
+    let mut pmf = (-lambda).exp();
+    let mut e_slabs = 0.0;
+    for x in 0..=hi {
+        if x > 0 {
+            pmf *= lambda / x as f64;
+        }
+        let slabs = x.div_ceil(SLAB_SLOTS as u64).max(1) as f64;
+        e_slabs += pmf * slabs;
+    }
+    lambda / (s * e_slabs)
+}
+
+/// Mean bucket load λ whose achieved fill matches `target` (bisection).
+/// Fill grows monotonically in λ: long chains amortize the partially
+/// filled tail slab.
+fn chain_load_for_fill(target: f64) -> f64 {
+    let (mut lo, mut hi) = (0.05, 2000.0);
+    // Fill is capped below 1.0; clamp unreachable targets to the hi end.
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if expected_fill(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlabOp {
+    key: u32,
+    val: u32,
+}
+
+/// Per-warp traversal state for the insert kernel.
+struct SlabWarp {
+    ops: Vec<SlabOp>,
+    cur: usize,
+    /// Slab the warp will inspect next round (NIL = start of a fresh op).
+    slab: u32,
+    /// First reusable slot seen along the chain: (slab, slot, was_tombstone).
+    free: Option<(u32, usize, bool)>,
+}
+
+/// The insert kernel needs the [`SimContext`] for pool growth (device
+/// allocation), which [`RoundKernel`] cannot thread through; it is therefore
+/// driven by a hand-rolled round loop that mirrors `run_rounds`.
+fn run_slab_insert(
+    table: &mut SlabHash,
+    sim: &mut SimContext,
+    kvs: &[(u32, u32)],
+) -> Result<(u64, u64)> {
+    let mut warps: Vec<SlabWarp> = kvs
+        .chunks(WARP_SIZE)
+        .map(|c| SlabWarp {
+            ops: c.iter().map(|&(key, val)| SlabOp { key, val }).collect(),
+            cur: 0,
+            slab: NIL,
+            free: None,
+        })
+        .collect();
+    let mut inserted = 0u64;
+    let mut updated = 0u64;
+    let mut pending: Vec<usize> = (0..warps.len()).collect();
+    while !pending.is_empty() {
+        sim.metrics.rounds += 1;
+        let mut metrics = std::mem::take(&mut sim.metrics);
+        let mut ctx = RoundCtx::new(&mut metrics);
+        let mut still = Vec::with_capacity(pending.len());
+        for wi in pending {
+            let warp = &mut warps[wi];
+            let Some(op) = warp.ops.get(warp.cur).copied() else {
+                continue;
+            };
+            if warp.slab == NIL {
+                warp.slab = table.heads[table.bucket_of(op.key)];
+                warp.free = None;
+            }
+            let slab = warp.slab;
+            if slab == table.heads[table.bucket_of(op.key)] {
+                ctx.read_bucket(); // base slab: direct-addressed
+            } else {
+                ctx.read_chained(); // pointer-chased chain step
+            }
+            let keys = table.slab_keys_of(slab);
+            if let Some(slot) = keys.iter().position(|&k| k == op.key) {
+                // Update in place.
+                ctx.raw_atomic(SLOT_SPACE, slab as usize * SLAB_SLOTS + slot);
+                ctx.write_line();
+                table.slab_vals[slab as usize * SLAB_SLOTS + slot] = op.val;
+                updated += 1;
+                warp.cur += 1;
+                warp.slab = NIL;
+            } else {
+                if warp.free.is_none() {
+                    if let Some(slot) = keys.iter().position(|&k| k == EMPTY || k == TOMB) {
+                        warp.free = Some((slab, slot, keys[slot] == TOMB));
+                    }
+                }
+                let next = table.slab_next[slab as usize];
+                if next == NIL {
+                    // End of chain: claim the remembered slot or grow.
+                    let (tslab, tslot, was_tomb) = match warp.free {
+                        Some(f) => f,
+                        None => {
+                            let fresh = {
+                                let r = table.alloc_slab(sim, &mut ctx);
+                                match r {
+                                    Ok(id) => id,
+                                    Err(e) => {
+                                        ctx.finish();
+                                        sim.metrics = metrics;
+                                        return Err(e);
+                                    }
+                                }
+                            };
+                            table.slab_next[slab as usize] = fresh;
+                            ctx.write_line(); // link pointer
+                            (fresh, 0, false)
+                        }
+                    };
+                    let idx = tslab as usize * SLAB_SLOTS + tslot;
+                    // atomicCAS claim: the remembered slot may have been
+                    // taken by another warp since we scanned it — on a
+                    // failed claim, restart the op's traversal.
+                    ctx.raw_atomic(SLOT_SPACE, idx);
+                    let current = table.slab_keys[idx];
+                    if current != EMPTY && current != TOMB {
+                        warp.free = None;
+                        warp.slab = NIL;
+                    } else {
+                        ctx.write_line(); // KV shares the slab line
+                        table.slab_keys[idx] = op.key;
+                        table.slab_vals[idx] = op.val;
+                        if was_tomb && current == TOMB {
+                            table.tombstones -= 1;
+                        }
+                        table.live += 1;
+                        inserted += 1;
+                        warp.cur += 1;
+                        warp.slab = NIL;
+                    }
+                } else {
+                    warp.slab = next;
+                }
+            }
+            if warp.cur < warp.ops.len() {
+                still.push(wi);
+            }
+        }
+        ctx.finish();
+        sim.metrics = metrics;
+        pending = still;
+    }
+    sim.metrics.ops += kvs.len() as u64;
+    Ok((inserted, updated))
+}
+
+/// Read-path traversal used by find and delete.
+struct SlabProbeWarp {
+    keys: Vec<u32>,
+    out_base: usize,
+    cur: usize,
+    slab: u32,
+}
+
+struct SlabFindKernel<'a> {
+    table: &'a SlabHash,
+    results: &'a mut [Option<u32>],
+}
+
+impl RoundKernel<SlabProbeWarp> for SlabFindKernel<'_> {
+    fn step(&mut self, warp: &mut SlabProbeWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(&key) = warp.keys.get(warp.cur) else {
+            return StepOutcome::Done;
+        };
+        if warp.slab == NIL {
+            warp.slab = self.table.heads[self.table.bucket_of(key)];
+            ctx.read_bucket(); // base slab: direct-addressed
+        } else {
+            ctx.read_chained(); // pointer-chased chain step
+        }
+        let slab = warp.slab;
+        let keys = self.table.slab_keys_of(slab);
+        if let Some(slot) = keys.iter().position(|&k| k == key) {
+            // Values share the slab line: no extra transaction.
+            self.results[warp.out_base + warp.cur] =
+                Some(self.table.slab_vals[slab as usize * SLAB_SLOTS + slot]);
+            warp.cur += 1;
+            warp.slab = NIL;
+        } else {
+            let next = self.table.slab_next[slab as usize];
+            if next == NIL {
+                self.results[warp.out_base + warp.cur] = None;
+                warp.cur += 1;
+                warp.slab = NIL;
+            } else {
+                warp.slab = next;
+            }
+        }
+        if warp.cur == warp.keys.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+}
+
+struct SlabDeleteKernel<'a> {
+    table: &'a mut SlabHash,
+    deleted: u64,
+}
+
+impl RoundKernel<SlabProbeWarp> for SlabDeleteKernel<'_> {
+    fn step(&mut self, warp: &mut SlabProbeWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(&key) = warp.keys.get(warp.cur) else {
+            return StepOutcome::Done;
+        };
+        if warp.slab == NIL {
+            warp.slab = self.table.heads[self.table.bucket_of(key)];
+            ctx.read_bucket(); // base slab: direct-addressed
+        } else {
+            ctx.read_chained(); // pointer-chased chain step
+        }
+        let slab = warp.slab;
+        let keys = self.table.slab_keys_of(slab);
+        if let Some(slot) = keys.iter().position(|&k| k == key) {
+            // Symbolic deletion: tombstone the slot; memory is not freed.
+            let idx = slab as usize * SLAB_SLOTS + slot;
+            self.table.slab_keys[idx] = TOMB;
+            ctx.write_line();
+            self.table.live -= 1;
+            self.table.tombstones += 1;
+            self.deleted += 1;
+            warp.cur += 1;
+            warp.slab = NIL;
+        } else {
+            let next = self.table.slab_next[slab as usize];
+            if next == NIL {
+                warp.cur += 1;
+                warp.slab = NIL;
+            } else {
+                warp.slab = next;
+            }
+        }
+        if warp.cur == warp.keys.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+}
+
+fn probe_warps(keys: &[u32]) -> Vec<SlabProbeWarp> {
+    let mut warps = Vec::with_capacity(keys.len() / WARP_SIZE + 1);
+    let mut base = 0;
+    for chunk in keys.chunks(WARP_SIZE) {
+        warps.push(SlabProbeWarp {
+            keys: chunk.to_vec(),
+            out_base: base,
+            cur: 0,
+            slab: NIL,
+        });
+        base += chunk.len();
+    }
+    warps
+}
+
+impl GpuHashTable for SlabHash {
+    fn name(&self) -> &'static str {
+        "SlabHash"
+    }
+
+    fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {
+        if kvs.iter().any(|&(k, _)| k == EMPTY || k == TOMB) {
+            return Err(TableError::ZeroKey);
+        }
+        run_slab_insert(self, sim, kvs)?;
+        Ok(())
+    }
+
+    fn find_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
+        let mut results = vec![None; keys.len()];
+        let mut warps = probe_warps(keys);
+        let mut kernel = SlabFindKernel {
+            table: self,
+            results: &mut results,
+        };
+        run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+        sim.metrics.ops += keys.len() as u64;
+        results
+    }
+
+    fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64> {
+        let mut warps = probe_warps(keys);
+        let mut kernel = SlabDeleteKernel {
+            table: self,
+            deleted: 0,
+        };
+        run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+        sim.metrics.ops += keys.len() as u64;
+        Ok(kernel.deleted)
+    }
+
+    fn len(&self) -> u64 {
+        self.live
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        (self.allocated_slabs * SLAB_SLOTS) as u64
+    }
+
+    fn device_bytes(&self) -> u64 {
+        self.n_buckets as u64 * 4 + self.pool_slabs as u64 * SLAB_BYTES
+    }
+}
+
+impl SlabHash {
+    /// Tombstoned slots currently wasted (until an insert reuses them).
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones
+    }
+
+    /// Average chain length in slabs.
+    pub fn avg_chain_slabs(&self) -> f64 {
+        self.allocated_slabs as f64 / self.n_buckets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::new(4, 5, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=500u32).map(|k| (k, k * 5)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 500);
+        let keys: Vec<u32> = (1..=500).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, v) in keys.iter().zip(found) {
+            assert_eq!(v, Some(k * 5));
+        }
+        assert_eq!(t.find_batch(&mut sim, &[12345]), vec![None]);
+    }
+
+    #[test]
+    fn chains_grow_beyond_one_slab() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::new(2, 5, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=300u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert!(t.avg_chain_slabs() > 1.0);
+        let keys: Vec<u32> = (1..=300).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn symbolic_delete_keeps_memory_but_reuses_slots() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::new(2, 5, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=200u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let bytes = t.device_bytes();
+        let slabs = t.allocated_slabs;
+        let dels: Vec<u32> = (1..=100).collect();
+        assert_eq!(t.delete_batch(&mut sim, &dels).unwrap(), 100);
+        assert_eq!(t.device_bytes(), bytes, "symbolic deletes free nothing");
+        assert_eq!(t.tombstones(), 100);
+        assert_eq!(t.len(), 100);
+        // Fresh inserts reuse tombstoned slots instead of allocating. A few
+        // tombstones can survive where the new keys hash unevenly across
+        // the two chains, but the bulk must be recycled.
+        let kvs2: Vec<(u32, u32)> = (1001..=1100u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs2).unwrap();
+        assert_eq!(t.len(), 200);
+        assert!(
+            t.tombstones() < 15,
+            "most tombstones should be reused, {} left",
+            t.tombstones()
+        );
+        assert!(
+            t.allocated_slabs <= slabs + 1,
+            "reuse should avoid slab allocation ({} vs {slabs})",
+            t.allocated_slabs
+        );
+    }
+
+    #[test]
+    fn fill_factor_decays_under_deletion() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::with_capacity(1000, 0.8, 5, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=1000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let before = t.fill_factor();
+        let dels: Vec<u32> = (1..=800).collect();
+        t.delete_batch(&mut sim, &dels).unwrap();
+        assert!(t.fill_factor() < before / 2.0);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::new(2, 5, &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(7, 1)]).unwrap();
+        t.insert_batch(&mut sim, &[(7, 9)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find_batch(&mut sim, &[7]), vec![Some(9)]);
+    }
+
+    #[test]
+    fn rejects_sentinel_keys() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::new(2, 5, &mut sim).unwrap();
+        assert!(t.insert_batch(&mut sim, &[(0, 1)]).is_err());
+        assert!(t.insert_batch(&mut sim, &[(u32::MAX, 1)]).is_err());
+    }
+
+    #[test]
+    fn pool_grows_in_chunks() {
+        let mut sim = SimContext::new();
+        let mut t = SlabHash::new(1, 5, &mut sim).unwrap();
+        let initial_pool = t.pool_slabs;
+        // Push enough keys into one bucket-space to exceed the pool.
+        let kvs: Vec<(u32, u32)> = (1..=(initial_pool as u32 + 10) * 32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert!(t.pool_slabs > initial_pool);
+        assert_eq!(t.pool_slabs % POOL_CHUNK, 0);
+    }
+}

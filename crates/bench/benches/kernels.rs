@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks of the hot simulated kernels.
+//!
+//! These measure **host-side wall-clock** of the simulator executing each
+//! kernel — the regression-tracking complement to the figure binaries,
+//! which report *simulated* GPU throughput. If one of these regresses, the
+//! simulator (and thus every experiment) got slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use baselines::{Cudpp, GpuHashTable, LinearProbing, MegaKv, SlabHash};
+use dycuckoo::{Config, DupPolicy, DyCuckoo, ResizeOp};
+use gpu_sim::SimContext;
+use workloads::keygen::unique_keys;
+
+const N: usize = 50_000;
+
+fn keyset(seed: u64) -> Vec<(u32, u32)> {
+    unique_keys(seed, N).map(|k| (k, k ^ 0xABCD)).collect()
+}
+
+fn static_cfg() -> Config {
+    Config {
+        alpha: 0.0,
+        beta: 1.0,
+        dup_policy: DupPolicy::PaperInsert,
+        ..Config::default()
+    }
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let kvs = keyset(1);
+    let mut g = c.benchmark_group("insert_50k_at_0.85");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("dycuckoo_voter", |b| {
+        b.iter(|| {
+            let mut sim = SimContext::new();
+            let mut t = DyCuckoo::with_capacity(static_cfg(), N, 0.85, &mut sim).unwrap();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            t.len()
+        })
+    });
+    g.bench_function("megakv", |b| {
+        b.iter(|| {
+            let mut sim = SimContext::new();
+            let mut t = MegaKv::with_capacity(N, 0.85, None, 1, &mut sim).unwrap();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            t.len()
+        })
+    });
+    g.bench_function("slab", |b| {
+        b.iter(|| {
+            let mut sim = SimContext::new();
+            let mut t = SlabHash::with_capacity(N, 0.85, 1, &mut sim).unwrap();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            t.len()
+        })
+    });
+    g.bench_function("cudpp", |b| {
+        b.iter(|| {
+            let mut sim = SimContext::new();
+            let mut t = Cudpp::with_capacity(N, 0.85, 1, &mut sim).unwrap();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            t.len()
+        })
+    });
+    g.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut sim = SimContext::new();
+            let mut t = LinearProbing::with_capacity(N, 0.85, 1, &mut sim).unwrap();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_find(c: &mut Criterion) {
+    let kvs = keyset(2);
+    let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::with_capacity(static_cfg(), N, 0.85, &mut sim).unwrap();
+    table.insert_batch(&mut sim, &kvs).unwrap();
+
+    let mut g = c.benchmark_group("find_50k");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("dycuckoo_hits", |b| {
+        b.iter(|| table.find_batch(&mut sim, &keys))
+    });
+    let misses: Vec<u32> = keys.iter().map(|&k| k | 1 << 31).collect();
+    g.bench_function("dycuckoo_misses", |b| {
+        b.iter(|| table.find_batch(&mut sim, &misses))
+    });
+    g.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let kvs = keyset(3);
+    let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+    let mut g = c.benchmark_group("delete_50k");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("dycuckoo", |b| {
+        b.iter(|| {
+            let mut sim = SimContext::new();
+            let mut t = DyCuckoo::with_capacity(static_cfg(), N, 0.85, &mut sim).unwrap();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            t.delete_batch(&mut sim, &keys).unwrap().deleted
+        })
+    });
+    g.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let kvs = keyset(4);
+    let mut g = c.benchmark_group("resize_one_subtable");
+    for (name, grow, fill) in [("upsize_at_0.85", true, 0.85), ("downsize_at_0.30", false, 0.30)] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut sim = SimContext::new();
+                let mut t = DyCuckoo::with_capacity(static_cfg(), N, fill, &mut sim).unwrap();
+                t.insert_batch(&mut sim, &kvs).unwrap();
+                let op = if grow {
+                    ResizeOp::Upsize(0)
+                } else {
+                    ResizeOp::Downsize(0)
+                };
+                t.force_resize(&mut sim, op).unwrap().moved
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    use workloads::{dataset_by_name, DynamicWorkload};
+    let mut g = c.benchmark_group("workload_generation");
+    g.bench_function("dataset_tw_scaled", |b| {
+        let spec = dataset_by_name("TW").unwrap().scaled(0.002);
+        b.iter(|| spec.generate(1).len())
+    });
+    g.bench_function("dynamic_workload_build", |b| {
+        let ds = dataset_by_name("TW").unwrap().scaled(0.002).generate(1);
+        b.iter(|| DynamicWorkload::build(&ds, 5_000, 0.2, 1).total_ops())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Small sample count: each iteration simulates tens of thousands of
+    // operations, so 15 samples already give tight confidence intervals,
+    // and the suite must stay runnable on one core.
+    config = Criterion::default().sample_size(15);
+    targets = bench_insert,
+    bench_find,
+    bench_delete,
+    bench_resize,
+    bench_workload_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Ablation: Theorem-1 balanced distribution vs. uniform routing**
+//! (Section "KV distribution").
+//!
+//! The balanced rule sends a KV to subtable `i` with probability
+//! proportional to `n_i / C(m_i, 2)`. Its value shows right after an
+//! upsize: the doubled subtable should absorb roughly double the inserts,
+//! pulling per-subtable fills back together. We grow a table through many
+//! resizes and compare insert cost, evictions, and the spread of subtable
+//! fills under both policies.
+
+use bench::measure;
+use bench::report::{fmt_mops, Table};
+use bench::seed;
+use dycuckoo::{Config, Distribution, DupPolicy, DyCuckoo};
+use gpu_sim::SimContext;
+use workloads::keygen::unique_keys;
+
+const ITEMS: usize = 400_000;
+
+fn main() {
+    let seed = seed();
+    println!("Ablation: KV distribution, growing to {ITEMS} keys through resizes");
+    let mut t = Table::new(&[
+        "distribution",
+        "insert Mops",
+        "evictions",
+        "resizes",
+        "fill spread (max-min)",
+    ]);
+    for (name, distribution) in [
+        ("Balanced (Thm 1)", Distribution::Balanced),
+        ("Uniform", Distribution::Uniform),
+    ] {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            distribution,
+            dup_policy: DupPolicy::PaperInsert,
+            seed,
+            ..Config::default()
+        };
+        let mut table = DyCuckoo::new(cfg, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = unique_keys(seed, ITEMS).map(|k| (k, k)).collect();
+        let mut resizes = 0;
+        let (_, m) = measure(&mut sim, |sim| {
+            for chunk in kvs.chunks(20_000) {
+                resizes += table.insert_batch(sim, chunk).unwrap().resizes.len();
+            }
+        });
+        let stats = table.stats();
+        let max_fill = stats.per_table.iter().map(|s| s.fill).fold(0.0, f64::max);
+        let min_fill = stats.per_table.iter().map(|s| s.fill).fold(1.0, f64::min);
+        t.row(vec![
+            name.to_string(),
+            fmt_mops(m.mops),
+            m.metrics.evictions.to_string(),
+            resizes.to_string(),
+            format!("{:.1}pp", (max_fill - min_fill) * 100.0),
+        ]);
+    }
+    t.print("Distribution ablation");
+}

@@ -1,0 +1,114 @@
+//! **Ablation: two-layer pairing vs. its alternatives** (Section "The
+//! Two-layer Approach").
+//!
+//! Three layerings at d = 4:
+//! * `TwoLayer`  — the paper's C(d,2)-pair scheme (≤ 2 lookups, skew heals);
+//! * `DisjointPairs` — partition into d/2 fixed pairs (≤ 2 lookups, but a
+//!   partition's load cannot spill over — the skew-prone strawman);
+//! * `PlainD`   — plain d-ary cuckoo (up to d lookups).
+//!
+//! Part 1 measures static insert/find/miss cost. Part 2 reproduces the
+//! paper's skew argument: delete most keys belonging to one partition,
+//! then insert fresh keys — the disjoint layering is stuck cramming them
+//! into their own pair while two-layer spreads the load.
+
+use bench::measure;
+use bench::report::{fmt_mops, Table};
+use bench::seed;
+use dycuckoo::{Config, DupPolicy, DyCuckoo, Layering};
+use gpu_sim::SimContext;
+use workloads::keygen::unique_keys;
+
+const ITEMS: usize = 200_000;
+
+fn cfg_for(layering: Layering, seed: u64) -> Config {
+    Config {
+        layering,
+        dup_policy: DupPolicy::PaperInsert,
+        seed,
+        ..Config::default()
+    }
+}
+
+fn main() {
+    let seed = seed();
+    let layerings = [
+        ("TwoLayer", Layering::TwoLayer),
+        ("DisjointPairs", Layering::DisjointPairs),
+        ("PlainD", Layering::PlainD),
+    ];
+
+    // Part 1: static costs at θ = 0.85.
+    println!("Ablation: layering schemes, {ITEMS} keys at θ=85%");
+    let mut t = Table::new(&[
+        "layering",
+        "insert Mops",
+        "find Mops",
+        "miss lookups/key",
+        "hit lookups/key",
+    ]);
+    let keys: Vec<u32> = unique_keys(seed, ITEMS).collect();
+    let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 5)).collect();
+    for (name, layering) in layerings {
+        let mut sim = SimContext::new();
+        let mut table =
+            DyCuckoo::with_capacity(cfg_for(layering, seed), ITEMS, 0.85, &mut sim).unwrap();
+        let (_, ins) = measure(&mut sim, |sim| table.insert_batch(sim, &kvs).unwrap());
+        let (_, hit) = measure(&mut sim, |sim| {
+            table.find_batch(sim, &keys[..50_000]);
+        });
+        let misses: Vec<u32> = unique_keys(seed ^ 0xDEAD, 50_000).map(|k| k | 1 << 31).collect();
+        let (_, miss) = measure(&mut sim, |sim| {
+            table.find_batch(sim, &misses);
+        });
+        t.row(vec![
+            name.to_string(),
+            fmt_mops(ins.mops),
+            fmt_mops(hit.mops),
+            format!("{:.2}", miss.metrics.lookups as f64 / 50_000.0),
+            format!("{:.2}", hit.metrics.lookups as f64 / 50_000.0),
+        ]);
+    }
+    t.print("Part 1: static cost per layering");
+
+    // Part 2: skew recovery. Delete every key homed in partition 0 (for
+    // DisjointPairs, subtables {0,1}), then insert the same volume of new
+    // keys and compare insert cost and the worst subtable fill.
+    let mut t = Table::new(&[
+        "layering",
+        "re-insert Mops",
+        "evictions",
+        "max subtable fill",
+        "min subtable fill",
+    ]);
+    for (name, layering) in layerings {
+        let mut sim = SimContext::new();
+        let cfg = cfg_for(layering, seed);
+        let mut table = DyCuckoo::with_capacity(cfg, ITEMS, 0.80, &mut sim).unwrap();
+        table.insert_batch(&mut sim, &kvs).unwrap();
+        // Skewed deletion: drop 80% of the keys, biased by key parity so a
+        // fixed partition empties under DisjointPairs-style hashing.
+        let dels: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|&k| workloads::mix64(k as u64) % 10 < 8)
+            .collect();
+        // Bounds are wide open so no resize masks the imbalance.
+        table.delete_batch(&mut sim, &dels).unwrap();
+        let fresh: Vec<(u32, u32)> = unique_keys(seed ^ 0xF00D, dels.len())
+            .map(|k| (k, k))
+            .collect();
+        let (_, reins) = measure(&mut sim, |sim| table.insert_batch(sim, &fresh).unwrap());
+        let stats = table.stats();
+        let max_fill = stats.per_table.iter().map(|s| s.fill).fold(0.0, f64::max);
+        let min_fill = stats.per_table.iter().map(|s| s.fill).fold(1.0, f64::min);
+        t.row(vec![
+            name.to_string(),
+            fmt_mops(reins.mops),
+            reins.metrics.evictions.to_string(),
+            format!("{:.1}%", max_fill * 100.0),
+            format!("{:.1}%", min_fill * 100.0),
+        ]);
+    }
+    t.print("Part 2: skewed churn (delete 80%, re-insert fresh keys)");
+}

@@ -1,0 +1,59 @@
+//! **Ablation: voter coordination vs. spinning** (Section "Parallel Hash
+//! Table Operations").
+//!
+//! The paper motivates the voter scheme with the Twitter-celebrity
+//! scenario: a few keys receive a large share of the updates, so many
+//! warps contend for the same buckets. A warp that spins on a failed lock
+//! wastes its round; a warp that re-votes completes another lane's
+//! operation instead. We sweep the fraction of operations hitting hot keys
+//! and report insert throughput for both coordination policies.
+
+use bench::measure;
+use bench::report::{fmt_mops, Table};
+use bench::seed;
+use dycuckoo::{Config, Coordination, DupPolicy, DyCuckoo};
+use gpu_sim::SimContext;
+use workloads::mix64;
+
+const OPS: usize = 200_000;
+const HOT_KEYS: u32 = 16;
+
+fn run(coordination: Coordination, hot_pct: u32, seed: u64) -> f64 {
+    let mut sim = SimContext::new();
+    let cfg = Config {
+        coordination,
+        dup_policy: DupPolicy::PaperInsert,
+        seed,
+        ..Config::default()
+    };
+    let mut table = DyCuckoo::with_capacity(cfg, OPS, 0.7, &mut sim).unwrap();
+    let kvs: Vec<(u32, u32)> = (0..OPS as u32)
+        .map(|i| {
+            let r = mix64(seed ^ i as u64);
+            if (r % 100) < hot_pct as u64 {
+                ((r >> 32) as u32 % HOT_KEYS + 1, i)
+            } else {
+                (i + HOT_KEYS + 1, i)
+            }
+        })
+        .collect();
+    let (_, m) = measure(&mut sim, |sim| table.insert_batch(sim, &kvs).unwrap());
+    m.mops
+}
+
+fn main() {
+    let seed = seed();
+    println!("Ablation: voter vs spin under contention ({OPS} inserts, {HOT_KEYS} hot keys)");
+    let mut t = Table::new(&["hot ops %", "Spin Mops", "Voter Mops", "voter speedup"]);
+    for hot_pct in [0u32, 5, 10, 20, 40] {
+        let spin = run(Coordination::Spin, hot_pct, seed);
+        let voter = run(Coordination::Voter, hot_pct, seed);
+        t.row(vec![
+            format!("{hot_pct}%"),
+            fmt_mops(spin),
+            fmt_mops(voter),
+            format!("{:.2}x", voter / spin),
+        ]);
+    }
+    t.print("Voter coordination ablation");
+}

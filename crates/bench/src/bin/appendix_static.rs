@@ -1,0 +1,49 @@
+//! **Appendix figure** — static θ sweep including the `Linear` baseline:
+//! insert and find Mops at θ ∈ {70% … 95%} on RAND.
+//!
+//! Paper shape to reproduce: insert throughput drops for every scheme at
+//! high θ; find is flat for the cuckoo schemes (fixed probe count) but
+//! *degrades* for Linear, whose probe sequences lengthen with θ; DyCuckoo
+//! is second-best behind MegaKV overall.
+
+use bench::driver::{build_static, run_static, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::dataset_by_name;
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
+    let n_queries = (1_000_000.0 * scale).round() as usize;
+    println!(
+        "Appendix: static θ sweep incl. Linear (RAND, {} pairs, scale={scale})",
+        ds.len()
+    );
+
+    let schemes = [
+        Scheme::Cudpp,
+        Scheme::Linear,
+        Scheme::MegaKv,
+        Scheme::Slab,
+        Scheme::DyCuckoo,
+    ];
+    let mut insert_tbl = Table::new(&["theta", "CUDPP", "Linear", "MegaKV", "Slab", "DyCuckoo"]);
+    let mut find_tbl = Table::new(&["theta", "CUDPP", "Linear", "MegaKV", "Slab", "DyCuckoo"]);
+    for theta in [0.70, 0.75, 0.80, 0.85, 0.90] {
+        let mut ins = vec![format!("{:.0}%", theta * 100.0)];
+        let mut fnd = vec![format!("{:.0}%", theta * 100.0)];
+        for scheme in schemes {
+            let mut sim = SimContext::new();
+            let mut table = build_static(scheme, ds.unique_keys, theta, seed, &mut sim);
+            let r = run_static(table.as_mut(), &mut sim, &ds, n_queries, seed ^ 0xAA);
+            ins.push(fmt_mops(r.insert.mops));
+            fnd.push(fmt_mops(r.find.mops));
+        }
+        insert_tbl.row(ins);
+        find_tbl.row(fnd);
+    }
+    insert_tbl.print("Appendix (left): INSERT Mops vs θ");
+    find_tbl.print("Appendix (right): FIND Mops vs θ");
+}

@@ -1,0 +1,30 @@
+//! Diagnostic: cost-term breakdown for one dynamic run per scheme.
+use bench::driver::{build_dynamic, run_batch, Scheme};
+use gpu_sim::{CostModel, SimContext};
+use workloads::{dataset_by_name, DynamicWorkload};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "TW".into());
+    let scale = bench::scale();
+    let ds = dataset_by_name(&name).unwrap().scaled(scale).generate(1);
+    let batch = ((1_000_000.0 * scale).round() as usize).max(1000);
+    let w = DynamicWorkload::build(&ds, batch, 0.2, 7);
+    println!("{} dynamic: {} batches of {}", name, w.batches.len(), batch);
+    for scheme in Scheme::dynamic_set() {
+        let mut sim = SimContext::new();
+        let mut t = build_dynamic(scheme, 0.30, 0.85, batch, 1, &mut sim);
+        for b in &w.batches {
+            run_batch(t.as_mut(), &mut sim, b);
+        }
+        let m = sim.take_metrics();
+        let model = CostModel::new(sim.device.config());
+        println!(
+            "{:<9} {:6.1} Mops | mem {:9.0} atomic {:9.0} issue {:8.0} ns | coal {} rand {} dep {} atomics {} serial {} rounds {} evict {} lockfail {} ops {}",
+            scheme.label(),
+            model.mops(m.ops, &m),
+            model.memory_time_ns(&m), model.atomic_time_ns(&m), model.issue_time_ns(&m),
+            m.transactions(), m.random_transactions(), m.dependent_read_transactions,
+            m.atomic_ops, m.atomic_serial_units, m.rounds, m.evictions, m.lock_failures, m.ops
+        );
+    }
+}

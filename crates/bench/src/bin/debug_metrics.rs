@@ -1,0 +1,25 @@
+//! Diagnostic: cost-term breakdown per scheme on one dataset.
+use bench::driver::{build_static, run_static, Scheme};
+use gpu_sim::{CostModel, SimContext};
+use workloads::dataset_by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "COM".into());
+    let scale = bench::scale();
+    let ds = dataset_by_name(&name).unwrap().scaled(scale).generate(1);
+    println!("{} scaled: {} pairs, {} unique", name, ds.len(), ds.unique_keys);
+    for scheme in Scheme::static_set() {
+        let mut sim = SimContext::new();
+        let mut t = build_static(scheme, ds.unique_keys, 0.85, 1, &mut sim);
+        let r = run_static(t.as_mut(), &mut sim, &ds, 1000, 7);
+        let m = &r.insert.metrics;
+        let model = CostModel::new(sim.device.config());
+        println!(
+            "{:<9} ins {:7.1} Mops | mem {:9.0} atomic {:9.0} issue {:9.0} ns | coal {} rand {} atomics {} serial {} rounds {} evict {} lockfail {}",
+            scheme.label(), r.insert.mops,
+            model.memory_time_ns(m), model.atomic_time_ns(m), model.issue_time_ns(m),
+            m.transactions(), m.random_transactions(), m.atomic_ops, m.atomic_serial_units,
+            m.rounds, m.evictions, m.lock_failures
+        );
+    }
+}

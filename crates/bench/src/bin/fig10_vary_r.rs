@@ -1,0 +1,40 @@
+//! **Figure 10** — "Throughput for varying the ratio r": the dynamic
+//! two-phase workload with r ∈ {0.1 … 0.5} deletions per insertion, per
+//! dataset, for MegaKV / Slab / DyCuckoo.
+//!
+//! Paper shape to reproduce: DyCuckoo best overall; DyCuckoo and MegaKV
+//! degrade as r grows (more resizes) while Slab *improves* (tombstones are
+//! recycled for free); the DyCuckoo–MegaKV margin widens with r because
+//! MegaKV's resizes are full rehashes.
+
+use bench::driver::{build_dynamic, run_dynamic, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::{paper_datasets, DynamicWorkload};
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let batch = ((1_000_000.0 * scale).round() as usize).max(1000);
+    println!(
+        "Figure 10: dynamic throughput vs delete ratio r (batch={batch}, α=0.3, β=0.85, scale={scale})"
+    );
+
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        let mut t = Table::new(&["r", "MegaKV", "Slab", "DyCuckoo"]);
+        for r in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let w = DynamicWorkload::build(&ds, batch, r, seed ^ (r * 100.0) as u64);
+            let mut row = vec![format!("{r:.1}")];
+            for scheme in Scheme::dynamic_set() {
+                let mut sim = SimContext::new();
+                let mut table = build_dynamic(scheme, 0.30, 0.85, batch, seed, &mut sim);
+                let res = run_dynamic(table.as_mut(), &mut sim, &w);
+                row.push(fmt_mops(res.mops));
+            }
+            t.row(row);
+        }
+        t.print(&format!("Figure 10 [{}]: overall Mops vs r", spec.name));
+    }
+}

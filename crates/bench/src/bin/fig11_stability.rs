@@ -1,0 +1,68 @@
+//! **Figure 11** — "Tracking the filled factor": θ after every batch of the
+//! default dynamic workload (r = 0.2), per dataset and scheme, plus the
+//! memory-saving headline.
+//!
+//! Paper shape to reproduce: DyCuckoo stays inside [α, β] with small steps
+//! (one subtable resized at a time); MegaKV sawtooths (whole-structure
+//! double/half); Slab starts fine but its filled factor decays once
+//! deletions accumulate (symbolic deletion never returns memory) — by the
+//! end DyCuckoo holds up to ~4× less memory (COM).
+
+use bench::driver::{build_dynamic, run_dynamic, Scheme};
+use bench::report::{fmt_mib, fmt_pct, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::{paper_datasets, DynamicWorkload};
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let batch = ((1_000_000.0 * scale).round() as usize).max(1000);
+    println!("Figure 11: filled factor per batch (r=0.2, batch={batch}, scale={scale})");
+
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        let w = DynamicWorkload::build(&ds, batch, 0.2, seed);
+        let mut traces = Vec::new();
+        let mut peaks = Vec::new();
+        for scheme in Scheme::dynamic_set() {
+            let mut sim = SimContext::new();
+            let mut table = build_dynamic(scheme, 0.30, 0.85, batch, seed, &mut sim);
+            let res = run_dynamic(table.as_mut(), &mut sim, &w);
+            peaks.push((scheme.label(), res.device_peak_bytes));
+            traces.push((scheme.label(), res.traces));
+        }
+
+        // θ series, downsampled to at most ~20 rows.
+        let n_batches = w.batches.len();
+        let step = (n_batches / 20).max(1);
+        let mut t = Table::new(&["batch", "MegaKV θ", "Slab θ", "DyCuckoo θ", "MegaKV MiB", "Slab MiB", "DyCuckoo MiB"]);
+        for b in (0..n_batches).step_by(step) {
+            t.row(vec![
+                b.to_string(),
+                fmt_pct(traces[0].1[b].fill),
+                fmt_pct(traces[1].1[b].fill),
+                fmt_pct(traces[2].1[b].fill),
+                fmt_mib(traces[0].1[b].device_bytes),
+                fmt_mib(traces[1].1[b].device_bytes),
+                fmt_mib(traces[2].1[b].device_bytes),
+            ]);
+        }
+        t.print(&format!(
+            "Figure 11 [{}]: filled factor and memory per batch (phase 2 starts at batch {})",
+            spec.name,
+            w.phase1_len
+        ));
+
+        // Memory-saving headline: true device high-water mark (including
+        // transient old+new coexistence during rehashes) vs DyCuckoo.
+        let dy_peak = peaks.iter().find(|(l, _)| *l == "DyCuckoo").unwrap().1;
+        for (label, peak) in &peaks {
+            println!(
+                "  device peak {label}: {} MiB ({:.2}x DyCuckoo)",
+                fmt_mib(*peak),
+                *peak as f64 / dy_peak as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! **Figure 12** — "Throughput for varying batch size": the dynamic
+//! workload with batch sizes 2e5 … 10e5 (scaled), r = 0.2.
+//!
+//! Paper shape to reproduce: Slab stays below MegaKV and DyCuckoo (chains
+//! lengthen as inserts stream in); DyCuckoo beats MegaKV with a margin that
+//! grows with batch size.
+
+use bench::driver::{build_dynamic, run_dynamic, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::{paper_datasets, DynamicWorkload};
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    println!("Figure 12: dynamic throughput vs batch size (r=0.2, scale={scale})");
+
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        let mut t = Table::new(&["batch size", "MegaKV", "Slab", "DyCuckoo"]);
+        for frac in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let batch = ((1_000_000.0 * scale * frac).round() as usize).max(500);
+            let w = DynamicWorkload::build(&ds, batch, 0.2, seed ^ batch as u64);
+            let mut row = vec![format!("{:.0}e5 (scaled {batch})", frac * 10.0)];
+            for scheme in Scheme::dynamic_set() {
+                let mut sim = SimContext::new();
+                let mut table = build_dynamic(scheme, 0.30, 0.85, batch, seed, &mut sim);
+                let res = run_dynamic(table.as_mut(), &mut sim, &w);
+                row.push(fmt_mops(res.mops));
+            }
+            t.row(row);
+        }
+        t.print(&format!("Figure 12 [{}]: overall Mops vs batch size", spec.name));
+    }
+}

@@ -1,0 +1,37 @@
+//! **Figure 13** — "Throughput for varying α": the dynamic workload with
+//! the filled-factor lower bound α ∈ {20% … 40%} (β = 85%, r = 0.2),
+//! comparing MegaKV and DyCuckoo (Slab cannot bound its filled factor).
+//!
+//! Paper shape to reproduce: MegaKV's overhead grows with α (higher lower
+//! bound ⇒ more downsizings, each a full rehash); DyCuckoo is barely
+//! affected (incremental one-subtable resizes).
+
+use bench::driver::{build_dynamic, run_dynamic, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::{paper_datasets, DynamicWorkload};
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let batch = ((1_000_000.0 * scale).round() as usize).max(1000);
+    println!("Figure 13: dynamic throughput vs α (β=0.85, r=0.2, batch={batch}, scale={scale})");
+
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        let w = DynamicWorkload::build(&ds, batch, 0.2, seed);
+        let mut t = Table::new(&["alpha", "MegaKV", "DyCuckoo"]);
+        for alpha in [0.20, 0.25, 0.30, 0.35, 0.40] {
+            let mut row = vec![format!("{:.0}%", alpha * 100.0)];
+            for scheme in [Scheme::MegaKv, Scheme::DyCuckoo] {
+                let mut sim = SimContext::new();
+                let mut table = build_dynamic(scheme, alpha, 0.85, batch, seed, &mut sim);
+                let res = run_dynamic(table.as_mut(), &mut sim, &w);
+                row.push(fmt_mops(res.mops));
+            }
+            t.row(row);
+        }
+        t.print(&format!("Figure 13 [{}]: overall Mops vs α", spec.name));
+    }
+}

@@ -1,0 +1,43 @@
+//! **Figure 14** — "Throughput for varying β": the dynamic workload with
+//! the filled-factor upper bound β ∈ {70% … 90%} (α = 20%, r = 0.2),
+//! comparing MegaKV and DyCuckoo.
+//!
+//! Paper shape to reproduce: β barely moves either scheme — a higher bound
+//! slows inserts (fuller tables) but triggers fewer resizes, and the two
+//! effects cancel.
+//!
+//! (α is set to 20% rather than the usual 30% so that the smallest β of the
+//! sweep still satisfies the convergence condition α < β·d/(d+1).)
+
+use bench::driver::{build_dynamic, run_dynamic, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::{paper_datasets, DynamicWorkload};
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let batch = ((1_000_000.0 * scale).round() as usize).max(1000);
+    let alpha = 0.20;
+    println!(
+        "Figure 14: dynamic throughput vs β (α={alpha}, r=0.2, batch={batch}, scale={scale})"
+    );
+
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        let w = DynamicWorkload::build(&ds, batch, 0.2, seed);
+        let mut t = Table::new(&["beta", "MegaKV", "DyCuckoo"]);
+        for beta in [0.70, 0.75, 0.80, 0.85, 0.90] {
+            let mut row = vec![format!("{:.0}%", beta * 100.0)];
+            for scheme in [Scheme::MegaKv, Scheme::DyCuckoo] {
+                let mut sim = SimContext::new();
+                let mut table = build_dynamic(scheme, alpha, beta, batch, seed, &mut sim);
+                let res = run_dynamic(table.as_mut(), &mut sim, &w);
+                row.push(fmt_mops(res.mops));
+            }
+            t.row(row);
+        }
+        t.print(&format!("Figure 14 [{}]: overall Mops vs β", spec.name));
+    }
+}

@@ -1,0 +1,63 @@
+//! **Figure 5** — "The performance of atomic operations for increasing
+//! conflicts": throughput of `atomicCAS` and `atomicExch` versus an
+//! equivalent amount of coalesced sequential device-memory IO, as the
+//! number of atomics conflicting on one address grows.
+//!
+//! Paper shape to reproduce: at conflict count 1 atomics are roughly on par
+//! with sequential IO; as conflicts grow, atomic throughput collapses while
+//! the IO baseline stays flat — the motivation for the voter scheme.
+
+use bench::report::{fmt_mops, Table};
+use gpu_sim::{CostModel, Locks, Metrics, RoundCtx, SimContext};
+
+/// One experiment: issue `total` atomics grouped into conflict sets of
+/// `conflicts`, one round, and return the Mops.
+fn atomic_mops(total: u64, conflicts: u64, cas: bool) -> f64 {
+    let mut sim = SimContext::new();
+    let groups = total / conflicts;
+    let mut locks = Locks::new(groups as usize);
+    let mut ctx = RoundCtx::new(&mut sim.metrics);
+    for g in 0..groups {
+        for _ in 0..conflicts {
+            if cas {
+                // Contending CAS on the group's lock word (first wins).
+                ctx.atomic_cas_lock(&mut locks, 0, g as usize);
+            } else {
+                // atomicExch always succeeds but still serializes.
+                ctx.raw_atomic(1, g as usize);
+            }
+        }
+    }
+    ctx.finish();
+    sim.metrics.rounds = 1;
+    CostModel::new(sim.device.config()).mops(total, &sim.metrics)
+}
+
+/// Baseline: the same volume as coalesced sequential reads.
+fn sequential_io_mops(total: u64) -> f64 {
+    let sim = SimContext::new();
+    let metrics = Metrics {
+        read_transactions: total,
+        rounds: 1,
+        ops: total,
+        ..Metrics::default()
+    };
+    CostModel::new(sim.device.config()).mops(total, &metrics)
+}
+
+fn main() {
+    let total: u64 = 1 << 15;
+    println!("Figure 5: atomic operations vs conflicts ({total} ops per point)");
+
+    let mut t = Table::new(&["conflicts", "atomicCAS", "atomicExch", "sequential IO"]);
+    for exp in 0..=15 {
+        let conflicts = 1u64 << exp;
+        t.row(vec![
+            conflicts.to_string(),
+            fmt_mops(atomic_mops(total, conflicts, true)),
+            fmt_mops(atomic_mops(total, conflicts, false)),
+            fmt_mops(sequential_io_mops(total)),
+        ]);
+    }
+    t.print("Figure 5: throughput (Mops) vs conflicting atomics per address");
+}

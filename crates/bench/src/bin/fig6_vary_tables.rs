@@ -1,0 +1,70 @@
+//! **Figure 6** — "Throughput of DyCuckoo for varying the number of hash
+//! tables": insert and find Mops for d = 2…8 with the total memory fixed to
+//! the default filled factor θ = 85%.
+//!
+//! Paper shape to reproduce: insert throughput increases with more
+//! subtables (more alternative locations ⇒ fewer evictions), with
+//! diminishing returns; find throughput stays flat because the two-layer
+//! scheme always probes at most two buckets.
+
+use bench::driver::{run_static, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use baselines::DyCuckooTable;
+use dycuckoo::{Config, DupPolicy};
+use gpu_sim::SimContext;
+use workloads::dataset_by_name;
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let theta = 0.85;
+    let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
+    let n_queries = (1_000_000.0 * scale).round() as usize;
+    println!(
+        "Figure 6: DyCuckoo throughput vs number of subtables (RAND, {} pairs, θ={theta})",
+        ds.len()
+    );
+
+    // Two insert variants: the library default (a fresh key may try all
+    // its candidate buckets before evicting) and Algorithm 1 verbatim
+    // (immediate evict), where eviction chains are common enough for the
+    // paper's more-tables-help effect to appear.
+    let mut t = Table::new(&[
+        "d",
+        "insert Mops",
+        "insert (Alg.1) Mops",
+        "find Mops",
+        "evictions (Alg.1)",
+    ]);
+    for d in 2..=8 {
+        let mut row = vec![d.to_string()];
+        let mut find_mops = String::new();
+        let mut alg1_evictions = String::new();
+        for reroute in [true, false] {
+            let mut sim = SimContext::new();
+            let cfg = Config {
+                num_tables: d,
+                alpha: 0.0,
+                beta: 1.0,
+                seed,
+                dup_policy: DupPolicy::PaperInsert,
+                reroute_before_evict: reroute,
+                ..Config::default()
+            };
+            let mut table =
+                DyCuckooTable::with_capacity(cfg, ds.unique_keys, theta, &mut sim).unwrap();
+            let r = run_static(&mut table, &mut sim, &ds, n_queries, seed ^ 0xF6);
+            let _ = Scheme::DyCuckoo;
+            row.push(fmt_mops(r.insert.mops));
+            find_mops = fmt_mops(r.find.mops);
+            if !reroute {
+                alg1_evictions = r.insert.metrics.evictions.to_string();
+            }
+        }
+        row.push(find_mops);
+        row.push(alg1_evictions);
+        t.row(row);
+    }
+    t.print("Figure 6: vary number of hash tables");
+}

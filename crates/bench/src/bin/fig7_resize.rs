@@ -1,0 +1,72 @@
+//! **Figure 7** — "Throughput of subtable resize": one subtable upsize
+//! (from θ = β = 85%) and one downsize (from θ = α = 30%), comparing
+//! DyCuckoo's resize kernels against the naive strategy of rehashing the
+//! subtable's entries through the insert kernel (Algorithm 1).
+//!
+//! Paper shape to reproduce: the conflict-free resize wins both directions;
+//! naive rehashing is *severely* limited for upsizing (the remaining
+//! subtables are nearly full, so reinserts evict constantly) and less so
+//! for downsizing (tables nearly empty).
+
+use bench::measure;
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use dycuckoo::{Config, DupPolicy, DyCuckoo, ResizeOp};
+use gpu_sim::SimContext;
+use workloads::{paper_datasets, Dataset};
+
+fn build_at_fill(ds: &Dataset, fill: f64, seed: u64, sim: &mut SimContext) -> DyCuckoo {
+    let cfg = Config {
+        alpha: 0.0,
+        beta: 1.0,
+        seed,
+        dup_policy: DupPolicy::PaperInsert,
+        ..Config::default()
+    };
+    let mut t = DyCuckoo::with_capacity(cfg, ds.unique_keys, fill, sim).unwrap();
+    t.insert_batch(sim, &ds.pairs).unwrap();
+    t
+}
+
+/// Measure Mops of moving KVs for one resize of subtable 0.
+fn run_one(ds: &Dataset, fill: f64, grow: bool, naive: bool, seed: u64) -> f64 {
+    let mut sim = SimContext::new();
+    let mut table = build_at_fill(ds, fill, seed, &mut sim);
+    let (moved, m) = measure(&mut sim, |sim| {
+        if naive {
+            table.rehash_subtable_naive(sim, 0, grow).unwrap()
+        } else {
+            let op = if grow {
+                ResizeOp::Upsize(0)
+            } else {
+                ResizeOp::Downsize(0)
+            };
+            table.force_resize(sim, op).unwrap().moved
+        }
+    });
+    gpu_sim::CostModel::new(sim.device.config()).mops(moved, &m.metrics)
+}
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    println!("Figure 7: subtable resize throughput (Mops of KVs moved), scale={scale}");
+
+    let mut up = Table::new(&["dataset", "DyCuckoo resize", "rehash (naive)"]);
+    let mut down = Table::new(&["dataset", "DyCuckoo resize", "rehash (naive)"]);
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        up.row(vec![
+            spec.name.to_string(),
+            fmt_mops(run_one(&ds, 0.85, true, false, seed)),
+            fmt_mops(run_one(&ds, 0.85, true, true, seed)),
+        ]);
+        down.row(vec![
+            spec.name.to_string(),
+            fmt_mops(run_one(&ds, 0.30, false, false, seed)),
+            fmt_mops(run_one(&ds, 0.30, false, true, seed)),
+        ]);
+    }
+    up.print("Figure 7 (left): UPSIZE one subtable at θ=85%");
+    down.print("Figure 7 (right): DOWNSIZE one subtable at θ=30%");
+}

@@ -1,0 +1,44 @@
+//! **Figure 8** — "Throughput of all compared approaches under the static
+//! setting": insert the whole dataset, then 1 M random finds, for every
+//! dataset × {CUDPP, MegaKV, Slab, DyCuckoo} at the default filled factor
+//! (θ = 85%).
+//!
+//! Paper shape to reproduce: DyCuckoo best at insert (more alternative
+//! buckets → fewer evictions); MegaKV best at find (exactly two direct
+//! bucket probes, no pair-hash layer); Slab trails both once chains grow;
+//! CUDPP slowest overall (uncoalesced per-slot probes).
+
+use bench::driver::{build_static, run_static, Scheme};
+use bench::report::{fmt_mops, Table};
+use bench::{scale, seed};
+use gpu_sim::SimContext;
+use workloads::paper_datasets;
+
+fn main() {
+    let scale = scale();
+    let seed = seed();
+    let theta = 0.85;
+    let n_queries = (1_000_000.0 * scale).round() as usize;
+    println!("Figure 8: static insert/find throughput (Mops), scale={scale}, θ={theta}");
+
+    let mut insert_tbl = Table::new(&["dataset", "CUDPP", "MegaKV", "Slab", "DyCuckoo"]);
+    let mut find_tbl = Table::new(&["dataset", "CUDPP", "MegaKV", "Slab", "DyCuckoo"]);
+
+    for spec in paper_datasets() {
+        let ds = spec.scaled(scale).generate(seed);
+        let mut insert_row = vec![spec.name.to_string()];
+        let mut find_row = vec![spec.name.to_string()];
+        for scheme in Scheme::static_set() {
+            let mut sim = SimContext::new();
+            let mut table = build_static(scheme, ds.unique_keys, theta, seed, &mut sim);
+            let r = run_static(table.as_mut(), &mut sim, &ds, n_queries, seed ^ 0xF1);
+            insert_row.push(fmt_mops(r.insert.mops));
+            find_row.push(fmt_mops(r.find.mops));
+        }
+        insert_tbl.row(insert_row);
+        find_tbl.row(find_row);
+    }
+
+    insert_tbl.print("Figure 8 (left): INSERT throughput, Mops");
+    find_tbl.print("Figure 8 (right): FIND throughput, Mops");
+}

@@ -1,0 +1,109 @@
+//! # bench — shared experiment-harness utilities
+//!
+//! Each paper table/figure has a binary in `src/bin/` that prints the same
+//! rows/series the paper reports. This library holds what they share:
+//! workload scaling, measurement windows, scheme construction, the dynamic
+//! workload driver, and aligned table printing.
+//!
+//! ## Scaling
+//!
+//! The paper's datasets are 10–100 M pairs on a real GTX 1080. The
+//! simulator is deterministic but runs on a CPU, so experiments default to
+//! **1/50 scale** (e.g. RAND = 2 M pairs). Set `REPRO_SCALE` to change it:
+//! `REPRO_SCALE=0.05 cargo run --release -p bench --bin fig8_static`.
+//! Shapes are scale-invariant because every scheme is charged by the same
+//! cost model.
+
+pub mod driver;
+pub mod report;
+
+use gpu_sim::{CostModel, Metrics, SimContext};
+
+/// Default dataset scale factor relative to the paper.
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// Dataset scale factor: `REPRO_SCALE` env var or [`DEFAULT_SCALE`].
+pub fn scale() -> f64 {
+    std::env::var("REPRO_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Experiment seed: `REPRO_SEED` env var or a fixed default.
+pub fn seed() -> u64 {
+    std::env::var("REPRO_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xD_1CE)
+}
+
+/// Outcome of one measured kernel window.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Metrics accumulated during the window.
+    pub metrics: Metrics,
+    /// Simulated time in nanoseconds.
+    pub ns: f64,
+    /// Operations performed (from the metrics).
+    pub ops: u64,
+    /// Million operations per second.
+    pub mops: f64,
+}
+
+/// Run `f` inside a fresh measurement window on `sim` and report the
+/// simulated throughput of the operations it performed. Metrics accumulated
+/// before the window are preserved around it.
+pub fn measure<R>(sim: &mut SimContext, f: impl FnOnce(&mut SimContext) -> R) -> (R, Measurement) {
+    let saved = sim.take_metrics();
+    let result = f(sim);
+    let metrics = sim.take_metrics();
+    let model = CostModel::new(sim.device.config());
+    let ns = model.kernel_time_ns(&metrics);
+    let ops = metrics.ops;
+    let mops = model.mops(ops, &metrics);
+    sim.metrics = saved;
+    (
+        result,
+        Measurement {
+            metrics,
+            ns,
+            ops,
+            mops,
+        },
+    )
+}
+
+/// Throughput over an explicit op count (when a window mixes op kinds).
+pub fn mops_of(sim: &SimContext, metrics: &Metrics, ops: u64) -> f64 {
+    CostModel::new(sim.device.config()).mops(ops, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_isolates_and_restores_window() {
+        let mut sim = SimContext::new();
+        sim.metrics.read_transactions = 7;
+        let (val, m) = measure(&mut sim, |sim| {
+            sim.metrics.read_transactions += 100;
+            sim.metrics.ops += 10;
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(m.metrics.read_transactions, 100);
+        assert_eq!(m.ops, 10);
+        assert!(m.mops > 0.0);
+        // Pre-existing metrics restored.
+        assert_eq!(sim.metrics.read_transactions, 7);
+    }
+
+    #[test]
+    fn default_scale_when_env_absent() {
+        // The env var is not set in the test environment.
+        assert!(scale() > 0.0);
+    }
+}

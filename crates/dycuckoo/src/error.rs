@@ -1,0 +1,62 @@
+//! Error types for the DyCuckoo library.
+
+use gpu_sim::device::DeviceError;
+
+/// Errors surfaced by table construction and batched operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The configuration is internally inconsistent (see message).
+    InvalidConfig(String),
+    /// Key 0 is reserved as the empty-slot sentinel, matching the CUDA
+    /// implementations the paper compares against.
+    ZeroKey,
+    /// The simulated device ran out of memory.
+    Device(DeviceError),
+    /// Resizing failed to bring the filled factor into range within the
+    /// iteration bound (indicates bounds so tight they ping-pong, which
+    /// [`crate::Config::validate`] should have rejected).
+    ResizeDiverged {
+        /// Number of resize iterations attempted.
+        iterations: u32,
+    },
+    /// Inserts kept failing even after repeated upsizing (pathological hash
+    /// behaviour or a device too small to grow into).
+    InsertStuck {
+        /// Operations that could not be placed.
+        failed_ops: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::ZeroKey => write!(f, "key 0 is reserved as the empty-slot sentinel"),
+            Error::Device(e) => write!(f, "device error: {e}"),
+            Error::ResizeDiverged { iterations } => {
+                write!(f, "resizing did not converge after {iterations} iterations")
+            }
+            Error::InsertStuck { failed_ops } => {
+                write!(f, "{failed_ops} inserts failed even after repeated upsizing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for Error {
+    fn from(e: DeviceError) -> Self {
+        Error::Device(e)
+    }
+}
+
+/// Result alias for DyCuckoo operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,131 @@
+//! Universal hash functions, as used by the paper:
+//! `h_i(k) = ((a_i·k + b_i) mod p) mod |h^i|`.
+//!
+//! The crucial property exploited by the conflict-free upsize kernel is that
+//! the *raw* hash value `(a·k + b) mod p` is independent of the table size;
+//! only the final reduction `mod n` changes when a subtable is resized.
+//! Because `n` divides `2n`, doubling a table from `n` to `2n` buckets moves
+//! a key from bucket `loc` to either `loc` or `loc + n` — never anywhere
+//! else — for *any* table size, so bucket counts need not be powers of two.
+
+/// The largest prime below 2^32 (2^32 − 5), the paper's "large prime" `p`.
+pub const HASH_PRIME: u64 = 4_294_967_291;
+
+/// SplitMix64: a tiny, high-quality mixer used for seeding hash-function
+/// parameters and for the deterministic per-operation coin flips of the
+/// KV-distribution strategy.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Murmur3's 32-bit finalizer: a fast bijective mixer applied to the key
+/// before the linear universal step. Pure linear hashing correlates badly
+/// across functions on structured key sets (all keys sharing a bucket in
+/// one subtable land together in every other subtable, so eviction chains
+/// avalanche); the paper notes that its approach also applies to other hash
+/// functions, and pre-mixing is the standard hardening.
+#[inline]
+pub fn fmix32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^= x >> 16;
+    x
+}
+
+/// One member of the universal family `h(k) = (a·mix(k) + b) mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+}
+
+impl UniversalHash {
+    /// Derive a hash function deterministically from a seed. `a` is drawn
+    /// from `[1, p)` and `b` from `[0, p)`.
+    pub fn from_seed(seed: u64) -> Self {
+        let a = 1 + splitmix64(seed) % (HASH_PRIME - 1);
+        let b = splitmix64(seed ^ 0xA5A5_A5A5_5A5A_5A5A) % HASH_PRIME;
+        Self { a, b }
+    }
+
+    /// The raw hash value `(a·mix(k) + b) mod p`, before reduction to a
+    /// bucket index. Stable across resizes.
+    #[inline]
+    pub fn raw(&self, key: u32) -> u64 {
+        (self.a.wrapping_mul(fmix32(key) as u64).wrapping_add(self.b)) % HASH_PRIME
+    }
+
+    /// Bucket index within a table of `n_buckets` buckets.
+    #[inline]
+    pub fn bucket(&self, key: u32, n_buckets: usize) -> usize {
+        (self.raw(key) % n_buckets as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_is_below_prime() {
+        let h = UniversalHash::from_seed(7);
+        for k in [0u32, 1, 17, u32::MAX, 123_456_789] {
+            assert!(h.raw(k) < HASH_PRIME);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let h1 = UniversalHash::from_seed(1);
+        let h2 = UniversalHash::from_seed(2);
+        assert_ne!(h1, h2);
+        // Overwhelmingly likely to disagree somewhere in a small range.
+        assert!((0..1000u32).any(|k| h1.raw(k) != h2.raw(k)));
+    }
+
+    #[test]
+    fn doubling_preserves_bucket_or_shifts_by_n() {
+        // The conflict-free upsize property: bucket under 2n is either the
+        // bucket under n, or that plus n.
+        let h = UniversalHash::from_seed(42);
+        for n in [1usize, 2, 3, 8, 24, 64, 100, 1024] {
+            for k in 0..2000u32 {
+                let small = h.bucket(k, n);
+                let large = h.bucket(k, 2 * n);
+                assert!(large == small || large == small + n, "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_reasonably_uniform() {
+        let h = UniversalHash::from_seed(9);
+        let n = 64;
+        let mut counts = vec![0u32; n];
+        let total = 64_000u32;
+        for k in 0..total {
+            counts[h.bucket(k, n)] += 1;
+        }
+        let expect = total / n as u32;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "bucket {i} count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

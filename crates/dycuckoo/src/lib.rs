@@ -1,0 +1,46 @@
+//! # DyCuckoo — dynamic two-layer cuckoo hashing (ICDE 2021), on a SIMT model
+//!
+//! This crate implements the primary contribution of *DyCuckoo: Dynamic Hash
+//! Tables on GPUs* (Li, Zhu, Lyu, Huang, Sun — ICDE 2021) on top of the
+//! [`gpu_sim`] execution model:
+//!
+//! * **`d` cuckoo subtables** with universal hash functions and 32-slot
+//!   buckets matching the 128-byte GPU cache line ([`subtable`], [`hashfn`]).
+//! * **Two-layer hashing**: the first layer maps every key to one of the
+//!   `C(d,2)` subtable *pairs*; the second stores it in one member of the
+//!   pair, so find and delete probe at most two buckets regardless of `d`
+//!   ([`two_layer`]).
+//! * **Voter-coordinated insertion** (Algorithm 1): warps elect a leader
+//!   per round, re-vote instead of spinning on contended bucket locks, and
+//!   cooperatively probe buckets with single coalesced transactions
+//!   ([`ops::insert`]).
+//! * **Single-subtable resizing**: when the filled factor leaves `[α, β]`,
+//!   the smallest subtable doubles (conflict-free rehash) or the largest
+//!   halves (merge + residual re-insertion), keeping every other subtable
+//!   online and the size ratio within 2× ([`resize`], [`rehash`]).
+//! * **Theorem-1 load balancing**: inserts and evictions are steered with
+//!   probability proportional to `n_i / C(m_i,2)` ([`distribute`]).
+//!
+//! See the repository's `DESIGN.md` for how each paper section maps to a
+//! module, and `EXPERIMENTS.md` for the reproduced evaluation.
+
+pub mod config;
+pub mod distribute;
+pub mod error;
+pub mod hashfn;
+pub mod ops;
+pub mod rehash;
+pub mod resize;
+pub mod stash;
+pub mod stats;
+pub mod subtable;
+pub mod table;
+pub mod two_layer;
+pub mod wide;
+
+pub use config::{Config, Coordination, Distribution, DupPolicy, Layering, BUCKET_SLOTS};
+pub use error::{Error, Result};
+pub use resize::ResizeOp;
+pub use stats::{SubTableStats, TableStats};
+pub use table::{buckets_for_load, mixed_bucket_sizes, BatchReport, DyCuckoo, ResizeEvent};
+pub use wide::WideDyCuckoo;

@@ -1,0 +1,86 @@
+//! Warp-centric `delete`: no locking.
+//!
+//! As in the paper, deletion inspects the candidate buckets that could hold
+//! the key (two under the two-layer scheme) and erases the key slot on a
+//! match. Because each lane inspects a distinct slot and erasure only
+//! writes the key line, no lock is required. Under
+//! [`crate::DupPolicy::Upsert`] a key is unique, so the probe stops at the
+//! first hit; under [`crate::DupPolicy::PaperInsert`] every candidate is
+//! scanned so stray duplicates are cleaned up too.
+
+use gpu_sim::{run_rounds, Metrics, RoundCtx, RoundKernel, StepOutcome};
+
+use crate::config::DupPolicy;
+use crate::subtable::SubTable;
+use crate::table::TableShape;
+
+pub(crate) struct DeleteWarp {
+    keys: Vec<u32>,
+    cur: usize,
+    cand_idx: usize,
+}
+
+struct DeleteKernel<'a> {
+    tables: &'a mut [SubTable],
+    shape: &'a TableShape,
+    deleted: u64,
+}
+
+impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
+    fn step(&mut self, warp: &mut DeleteWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(&key) = warp.keys.get(warp.cur) else {
+            return StepOutcome::Done;
+        };
+        let cands = self.shape.candidates(key);
+        let t = cands.get(warp.cand_idx);
+        let table = &mut self.tables[t];
+        let bucket = self.shape.hashes[t].bucket(key, table.n_buckets());
+        ctx.read_bucket();
+        let mut finished = false;
+        if let Some(slot) = table.find_slot(bucket, key) {
+            table.erase(bucket, slot);
+            ctx.write_line();
+            self.deleted += 1;
+            // Keys are unique under Upsert: done with this op. Under
+            // PaperInsert, keep scanning the remaining candidates to clean
+            // up potential duplicates.
+            if self.shape.cfg.dup_policy == DupPolicy::Upsert {
+                finished = true;
+            }
+        }
+        warp.cand_idx += 1;
+        if finished || warp.cand_idx == cands.len() {
+            warp.cur += 1;
+            warp.cand_idx = 0;
+        }
+        if warp.cur == warp.keys.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+}
+
+/// Execute a batched delete. Returns the number of erased slots.
+pub(crate) fn delete_batch(
+    tables: &mut [SubTable],
+    shape: &TableShape,
+    keys: &[u32],
+    metrics: &mut Metrics,
+) -> u64 {
+    let mut warps: Vec<DeleteWarp> = keys
+        .chunks(gpu_sim::WARP_SIZE)
+        .map(|chunk| DeleteWarp {
+            keys: chunk.to_vec(),
+            cur: 0,
+            cand_idx: 0,
+        })
+        .collect();
+    let mut kernel = DeleteKernel {
+        tables,
+        shape,
+        deleted: 0,
+    };
+    run_rounds(&mut kernel, &mut warps, metrics);
+    kernel.deleted
+}

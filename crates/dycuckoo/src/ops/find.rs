@@ -1,0 +1,91 @@
+//! Warp-centric `find`.
+//!
+//! The key's candidate subtables come from the configured
+//! [`crate::Layering`]: at most **two** probes under the two-layer scheme
+//! (the paper's guarantee), up to `d` under plain d-ary cuckoo (the
+//! alternative the ablation compares against). Each probe is one coalesced
+//! read transaction in which every lane of the warp compares one slot,
+//! followed by a ballot. A hit additionally reads one value line (keys and
+//! values are stored separately, so misses never pay for value traffic).
+//! No locks are taken.
+
+use gpu_sim::{run_rounds, Metrics, RoundCtx, RoundKernel, StepOutcome};
+
+use crate::subtable::SubTable;
+use crate::table::TableShape;
+
+/// Per-warp state: a slice of keys processed one at a time (warp-centric).
+pub(crate) struct FindWarp {
+    keys: Vec<u32>,
+    /// Index of this warp's first result in the output vector.
+    out_base: usize,
+    cur: usize,
+    /// Which candidate subtable the current op probes next.
+    cand_idx: usize,
+}
+
+struct FindKernel<'a> {
+    tables: &'a [SubTable],
+    shape: &'a TableShape,
+    results: &'a mut [Option<u32>],
+}
+
+impl RoundKernel<FindWarp> for FindKernel<'_> {
+    fn step(&mut self, warp: &mut FindWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(&key) = warp.keys.get(warp.cur) else {
+            return StepOutcome::Done;
+        };
+        let cands = self.shape.candidates(key);
+        let t = cands.get(warp.cand_idx);
+        let table = &self.tables[t];
+        let bucket = self.shape.hashes[t].bucket(key, table.n_buckets());
+        ctx.read_bucket();
+        if let Some(slot) = table.find_slot(bucket, key) {
+            // Hit: fetch the value line.
+            ctx.read_line();
+            self.results[warp.out_base + warp.cur] = Some(table.bucket_vals(bucket)[slot]);
+            warp.cur += 1;
+            warp.cand_idx = 0;
+        } else {
+            warp.cand_idx += 1;
+            if warp.cand_idx == cands.len() {
+                self.results[warp.out_base + warp.cur] = None;
+                warp.cur += 1;
+                warp.cand_idx = 0;
+            }
+        }
+        if warp.cur == warp.keys.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+}
+
+/// Execute a batched find. Returns one `Option<u32>` per key, in order.
+pub(crate) fn find_batch(
+    tables: &[SubTable],
+    shape: &TableShape,
+    keys: &[u32],
+    metrics: &mut Metrics,
+) -> Vec<Option<u32>> {
+    let mut results = vec![None; keys.len()];
+    let mut warps: Vec<FindWarp> = Vec::with_capacity(keys.len() / 32 + 1);
+    let mut base = 0;
+    for chunk in keys.chunks(gpu_sim::WARP_SIZE) {
+        warps.push(FindWarp {
+            keys: chunk.to_vec(),
+            out_base: base,
+            cur: 0,
+            cand_idx: 0,
+        });
+        base += chunk.len();
+    }
+    let mut kernel = FindKernel {
+        tables,
+        shape,
+        results: &mut results,
+    };
+    run_rounds(&mut kernel, &mut warps, metrics);
+    results
+}

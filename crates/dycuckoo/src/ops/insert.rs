@@ -1,0 +1,393 @@
+//! The voter-coordination insert kernel (Algorithm 1 of the paper).
+//!
+//! One *thread* owns each insert operation; the *warp* cooperates on
+//! whichever operation wins the vote:
+//!
+//! 1. `ballot` over the still-active lanes elects a leader `l'`.
+//! 2. The leader broadcasts its KV and target subtable, then tries to lock
+//!    the destination bucket with `atomicCAS`.
+//! 3. On failure the warp **re-votes another leader** instead of spinning —
+//!    the core idea of the voter scheme (`nth_active_lane`). The
+//!    [`crate::Coordination::Spin`] ablation disables the re-vote.
+//! 4. On success the warp inspects the bucket with one coalesced read and a
+//!    ballot: a matching key is updated, an empty slot is filled, a full
+//!    bucket first re-routes a fresh KV to its remaining candidate
+//!    subtables, and only then evicts a victim whose KV the leader
+//!    re-targets at the victim's own destination (two-layer invariant),
+//!    steered by Theorem 1.
+//!
+//! Operations whose eviction chain exceeds the configured limit are reported
+//! as failed; the table layer responds by upsizing and retrying them, which
+//! is exactly the paper's "insertion failure triggers resizing" rule.
+
+use gpu_sim::{ballot, run_rounds, Metrics, RoundCtx, RoundKernel, StepOutcome, WARP_SIZE};
+
+use crate::config::{Coordination, Distribution, DupPolicy, Layering};
+use crate::distribute::{choose_among, choose_victim};
+use crate::subtable::SubTable;
+use crate::table::TableShape;
+
+/// Where an insert operation is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Fresh operation: not yet routed to a subtable.
+    Init,
+    /// The key was observed in subtable `t`; update it under lock.
+    Update { t: usize },
+    /// Insert (or continue an eviction chain) into subtable `target`.
+    /// `reroutes_left` counts how many *other* candidate buckets a fresh op
+    /// may still try on a full bucket before resorting to eviction
+    /// (try-all-before-evicting, standard for bucketized cuckoo). Keys in
+    /// an eviction chain have a fixed destination, so they evict
+    /// immediately.
+    Probe { target: usize, reroutes_left: u8 },
+}
+
+/// One insert operation, owned by one lane.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InsertOp {
+    pub key: u32,
+    pub val: u32,
+    /// Deterministic per-op randomness source (global op index).
+    pub salt: u64,
+    evictions: u32,
+    phase: Phase,
+    /// Internal re-inserts (resize residuals, failure retries) are known
+    /// unique: skip the Upsert duplicate pre-probe.
+    skip_dup_check: bool,
+}
+
+impl InsertOp {
+    /// A fresh insert of `(key, val)`.
+    pub fn fresh(key: u32, val: u32, salt: u64) -> Self {
+        Self {
+            key,
+            val,
+            salt,
+            evictions: 0,
+            phase: Phase::Init,
+            skip_dup_check: false,
+        }
+    }
+
+    /// A re-insert of a key known not to reside in the table (resize
+    /// residuals, failed-op retries): routed normally but without the
+    /// Upsert duplicate pre-probe.
+    pub fn reinsert(key: u32, val: u32, salt: u64) -> Self {
+        Self {
+            key,
+            val,
+            salt,
+            evictions: 0,
+            phase: Phase::Init,
+            skip_dup_check: true,
+        }
+    }
+}
+
+/// Per-warp state: up to 32 lane-owned operations plus the voter cursor.
+pub(crate) struct InsertWarp {
+    ops: Vec<InsertOp>,
+    active: u32,
+    /// Re-vote rotation: advanced whenever a leader fails its lock, so the
+    /// next vote elects a different lane (Algorithm 1, line "revote").
+    rr: usize,
+}
+
+impl InsertWarp {
+    fn new(ops: Vec<InsertOp>) -> Self {
+        debug_assert!(ops.len() <= WARP_SIZE);
+        let active = if ops.len() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << ops.len()) - 1
+        };
+        Self { ops, active, rr: 0 }
+    }
+}
+
+/// Outputs of one insert kernel execution.
+#[derive(Debug, Default)]
+pub(crate) struct InsertOutcome {
+    /// KVs placed into previously empty slots.
+    pub inserted: u64,
+    /// KVs that updated an existing key in place.
+    pub updated: u64,
+    /// Operations that exceeded the eviction limit (carrying whatever KV
+    /// the chain was holding when it gave up). The caller upsizes and
+    /// retries these.
+    pub failed: Vec<InsertOp>,
+}
+
+struct InsertKernel<'a> {
+    tables: &'a mut [SubTable],
+    shape: &'a TableShape,
+    /// Subtable excluded from targeting and victim selection (set while it
+    /// is being downsized).
+    excluded: Option<usize>,
+    out: InsertOutcome,
+}
+
+impl InsertKernel<'_> {
+    /// Pick the initial second-layer target for a fresh op, honouring the
+    /// exclusion.
+    fn route(&self, op: &InsertOp) -> usize {
+        let cands = self.shape.candidates(op.key);
+        let viable: Vec<usize> = cands.iter().filter(|&c| Some(c) != self.excluded).collect();
+        debug_assert!(!viable.is_empty(), "all candidates excluded");
+        choose_among(
+            self.shape.cfg.distribution,
+            self.tables,
+            &viable,
+            self.shape.cfg.seed,
+            op.key,
+            op.salt,
+        )
+    }
+
+    /// The next candidate bucket for a fresh op re-routing off a full
+    /// bucket: the candidate after `t`, cyclically, skipping the exclusion.
+    fn next_candidate(&self, key: u32, t: usize) -> Option<usize> {
+        let cands = self.shape.candidates(key);
+        let pos = cands.position(t)?;
+        for off in 1..cands.len() {
+            let c = cands.get((pos + off) % cands.len());
+            if Some(c) != self.excluded {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Full bucket, no re-routes left: evict a victim, steered by Theorem 1.
+    fn evict(
+        &mut self,
+        warp: &mut InsertWarp,
+        leader: usize,
+        op: InsertOp,
+        t: usize,
+        b: usize,
+        ctx: &mut RoundCtx,
+    ) {
+        let shape = self.shape;
+        let excluded = self.excluded;
+        let salt = op.salt ^ (op.evictions as u64) << 32;
+        let victim = match shape.cfg.layering {
+            // Pair layerings: a victim's destination is its pair's other
+            // member; prefer victims whose destination has the most room.
+            Layering::TwoLayer | Layering::DisjointPairs => {
+                let tables_ro: &[SubTable] = self.tables;
+                choose_victim(
+                    shape.cfg.distribution,
+                    tables_ro,
+                    |s| {
+                        let (k, _) = tables_ro[t].slot(b, s);
+                        shape.evict_destination(tables_ro, k, t, excluded, salt)
+                    },
+                    crate::config::BUCKET_SLOTS,
+                    shape.cfg.seed,
+                    salt,
+                )
+            }
+            // Plain d-ary cuckoo: any slot works (its destination is chosen
+            // afterwards among the d−1 other subtables).
+            Layering::PlainD => choose_victim(
+                Distribution::Uniform,
+                self.tables,
+                |_| Some(0),
+                crate::config::BUCKET_SLOTS,
+                shape.cfg.seed,
+                salt,
+            ),
+        };
+        match victim {
+            None => {
+                // Every victim would land in the excluded subtable
+                // (vanishingly rare): give up, let the caller retry after
+                // the resize completes.
+                self.out.failed.push(op);
+                warp.active &= !(1 << leader);
+            }
+            Some(slot) => {
+                let victim_key = self.tables[t].slot(b, slot).0;
+                let Some(next) =
+                    self.shape
+                        .evict_destination(self.tables, victim_key, t, excluded, salt)
+                else {
+                    self.out.failed.push(op);
+                    warp.active &= !(1 << leader);
+                    return;
+                };
+                let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
+                ctx.write_line(); // key line
+                ctx.write_line(); // value line
+                ctx.metrics.evictions += 1;
+                let lane_op = &mut warp.ops[leader];
+                lane_op.key = ek;
+                lane_op.val = ev;
+                lane_op.evictions = op.evictions + 1;
+                lane_op.phase = Phase::Probe {
+                    target: next,
+                    reroutes_left: 0,
+                };
+                if lane_op.evictions >= self.shape.cfg.eviction_limit {
+                    self.out.failed.push(*lane_op);
+                    warp.active &= !(1 << leader);
+                }
+            }
+        }
+    }
+}
+
+impl RoundKernel<InsertWarp> for InsertKernel<'_> {
+    fn step(&mut self, warp: &mut InsertWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let mask = ballot(|l| warp.active & (1 << l) != 0);
+        if mask == 0 {
+            return StepOutcome::Done;
+        }
+        let leader = super::nth_active_lane(mask, warp.rr);
+        let op = warp.ops[leader];
+
+        match op.phase {
+            Phase::Init => {
+                let reroutes = if self.shape.cfg.reroute_before_evict {
+                    self.shape.candidates(op.key).len() as u8 - 1
+                } else {
+                    0
+                };
+                if self.shape.cfg.dup_policy == DupPolicy::Upsert && !op.skip_dup_check {
+                    // Optimistic duplicate probe of every candidate bucket.
+                    let mut found = None;
+                    for t in self.shape.candidates(op.key).iter() {
+                        let table = &self.tables[t];
+                        let b = self.shape.hashes[t].bucket(op.key, table.n_buckets());
+                        ctx.read_bucket();
+                        if table.find_slot(b, op.key).is_some() {
+                            found = Some(t);
+                            break;
+                        }
+                    }
+                    warp.ops[leader].phase = match found {
+                        Some(t) => Phase::Update { t },
+                        None => Phase::Probe {
+                            target: self.route(&op),
+                            reroutes_left: reroutes,
+                        },
+                    };
+                } else {
+                    warp.ops[leader].phase = Phase::Probe {
+                        target: self.route(&op),
+                        reroutes_left: reroutes,
+                    };
+                }
+                StepOutcome::Pending
+            }
+
+            Phase::Update { t } => {
+                let b = self.shape.hashes[t].bucket(op.key, self.tables[t].n_buckets());
+                if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+                    if self.shape.cfg.coordination == Coordination::Voter {
+                        warp.rr += 1; // revote
+                    }
+                    return StepOutcome::Pending;
+                }
+                // Re-verify under the lock: the key may have been evicted to
+                // another candidate bucket since the optimistic probe.
+                ctx.read_bucket();
+                if let Some(slot) = self.tables[t].find_slot(b, op.key) {
+                    self.tables[t].update_val(b, slot, op.val);
+                    ctx.write_line();
+                    self.out.updated += 1;
+                    warp.active &= !(1 << leader);
+                } else {
+                    let reroutes = if self.shape.cfg.reroute_before_evict {
+                        self.shape.candidates(op.key).len() as u8 - 1
+                    } else {
+                        0
+                    };
+                    warp.ops[leader].phase = Phase::Probe {
+                        target: self.route(&op),
+                        reroutes_left: reroutes,
+                    };
+                }
+                ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+                StepOutcome::Pending
+            }
+
+            Phase::Probe {
+                target,
+                reroutes_left,
+            } => {
+                let t = target;
+                let b = self.shape.hashes[t].bucket(op.key, self.tables[t].n_buckets());
+                if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+                    if self.shape.cfg.coordination == Coordination::Voter {
+                        warp.rr += 1; // revote
+                    }
+                    return StepOutcome::Pending;
+                }
+                ctx.read_bucket();
+                if let Some(slot) = self.tables[t].find_slot(b, op.key) {
+                    // Same-bucket duplicate: update in place (Algorithm 1's
+                    // "loc[l].key == k'" arm).
+                    self.tables[t].update_val(b, slot, op.val);
+                    ctx.write_line();
+                    self.out.updated += 1;
+                    warp.active &= !(1 << leader);
+                } else if let Some(slot) = self.tables[t].find_empty(b) {
+                    self.tables[t].write_new(b, slot, op.key, op.val);
+                    ctx.write_line(); // key line
+                    ctx.write_line(); // value line
+                    self.out.inserted += 1;
+                    warp.active &= !(1 << leader);
+                } else if reroutes_left > 0 {
+                    // Fresh op, full bucket: try another candidate bucket
+                    // before resorting to eviction.
+                    warp.ops[leader].phase = match self.next_candidate(op.key, t) {
+                        Some(next) => Phase::Probe {
+                            target: next,
+                            reroutes_left: reroutes_left - 1,
+                        },
+                        None => Phase::Probe {
+                            target: t,
+                            reroutes_left: 0,
+                        },
+                    };
+                } else {
+                    self.evict(warp, leader, op, t, b, ctx);
+                }
+                ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+                StepOutcome::Pending
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        for t in self.tables.iter_mut() {
+            t.locks.end_round();
+        }
+    }
+}
+
+/// Execute a batched insert of pre-built operations. Does *not* bump
+/// `metrics.ops` — the public API counts each user operation exactly once,
+/// so internal reuse (resize residuals, failure retries) stays out of the
+/// throughput denominator.
+pub(crate) fn insert_batch(
+    tables: &mut [SubTable],
+    shape: &TableShape,
+    ops: Vec<InsertOp>,
+    excluded: Option<usize>,
+    metrics: &mut Metrics,
+) -> InsertOutcome {
+    let mut warps: Vec<InsertWarp> =
+        super::pack_warps(ops).into_iter().map(InsertWarp::new).collect();
+    let mut kernel = InsertKernel {
+        tables,
+        shape,
+        excluded,
+        out: InsertOutcome::default(),
+    };
+    run_rounds(&mut kernel, &mut warps, metrics);
+    kernel.out
+}

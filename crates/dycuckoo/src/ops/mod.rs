@@ -1,0 +1,78 @@
+//! Warp kernels for the three batched hash-table operations.
+//!
+//! Following the paper (and every GPU hash table it compares against),
+//! operations arrive in batches of a single type. Each batch is packed into
+//! warps of 32 operations; the warps are driven round-by-round by
+//! [`gpu_sim::run_rounds`], which is where cross-warp lock contention and
+//! its cost are modelled.
+
+pub mod delete;
+pub mod find;
+pub mod insert;
+
+use gpu_sim::WARP_SIZE;
+
+/// Pack a batch of per-lane operations into warps of 32.
+pub(crate) fn pack_warps<T>(ops: impl IntoIterator<Item = T>) -> Vec<Vec<T>> {
+    let mut warps: Vec<Vec<T>> = Vec::new();
+    let mut cur: Vec<T> = Vec::with_capacity(WARP_SIZE);
+    for op in ops {
+        cur.push(op);
+        if cur.len() == WARP_SIZE {
+            warps.push(std::mem::replace(&mut cur, Vec::with_capacity(WARP_SIZE)));
+        }
+    }
+    if !cur.is_empty() {
+        warps.push(cur);
+    }
+    warps
+}
+
+/// Index of the `n`-th set lane (mod the number of set lanes) — the voter
+/// rotation used after a failed lock acquisition, so a warp never spins on
+/// the same contended bucket.
+pub(crate) fn nth_active_lane(mask: u32, n: usize) -> usize {
+    let count = mask.count_ones() as usize;
+    debug_assert!(count > 0);
+    let target = n % count;
+    let mut seen = 0;
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) != 0 {
+            if seen == target {
+                return lane;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("mask had set bits");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_warps_chunks_by_32() {
+        let warps = pack_warps(0..70);
+        assert_eq!(warps.len(), 3);
+        assert_eq!(warps[0].len(), 32);
+        assert_eq!(warps[1].len(), 32);
+        assert_eq!(warps[2].len(), 6);
+        assert_eq!(warps[2], vec![64, 65, 66, 67, 68, 69]);
+    }
+
+    #[test]
+    fn pack_warps_empty() {
+        let warps: Vec<Vec<u32>> = pack_warps(std::iter::empty());
+        assert!(warps.is_empty());
+    }
+
+    #[test]
+    fn nth_active_rotates_through_set_lanes() {
+        let mask = 0b1010_0100u32; // lanes 2, 5, 7
+        assert_eq!(nth_active_lane(mask, 0), 2);
+        assert_eq!(nth_active_lane(mask, 1), 5);
+        assert_eq!(nth_active_lane(mask, 2), 7);
+        assert_eq!(nth_active_lane(mask, 3), 2); // wraps
+    }
+}

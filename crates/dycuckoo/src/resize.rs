@@ -1,0 +1,188 @@
+//! Resize policy (Section "Structure Resizing").
+//!
+//! When the overall filled factor θ leaves `[α, β]`, exactly **one**
+//! subtable is resized: the smallest is doubled for upsizing, the largest is
+//! halved for downsizing. Only that subtable is locked; the others keep
+//! serving operations. The policy maintains the invariant that no subtable
+//! is more than twice the size of any other.
+
+use crate::subtable::SubTable;
+
+/// A single resize decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeOp {
+    /// Double the subtable at this index.
+    Upsize(usize),
+    /// Halve the subtable at this index.
+    Downsize(usize),
+}
+
+/// Overall filled factor `θ = Σm_i / Σn_i`.
+pub fn overall_fill(tables: &[SubTable]) -> f64 {
+    let m: u64 = tables.iter().map(|t| t.occupied()).sum();
+    let n: u64 = tables.iter().map(|t| t.capacity_slots()).sum();
+    if n == 0 {
+        0.0
+    } else {
+        m as f64 / n as f64
+    }
+}
+
+/// Index of the subtable to upsize: the smallest, breaking ties toward the
+/// fullest (it benefits most) and then the lowest index (determinism).
+pub fn upsize_candidate(tables: &[SubTable]) -> usize {
+    (0..tables.len())
+        .min_by_key(|&i| {
+            (
+                tables[i].n_buckets(),
+                u64::MAX - tables[i].occupied(),
+                i,
+            )
+        })
+        .expect("at least one subtable")
+}
+
+/// Index of the subtable to downsize: the largest whose bucket count can be
+/// halved cleanly (even, > 1), breaking ties toward the emptiest (cheapest
+/// merge, fewest residuals) and then the lowest index. `None` when no
+/// subtable can shrink further.
+pub fn downsize_candidate(tables: &[SubTable]) -> Option<usize> {
+    (0..tables.len())
+        .filter(|&i| tables[i].n_buckets() > 1 && tables[i].n_buckets().is_multiple_of(2))
+        .max_by_key(|&i| {
+            (
+                tables[i].n_buckets(),
+                u64::MAX - tables[i].occupied(),
+                usize::MAX - i,
+            )
+        })
+}
+
+/// Which resize directions a rebalancing pass may take. Insert batches
+/// only grow (θ is rising; shrinking mid-load would churn), delete batches
+/// may do both (residual re-insertion during downsizing can push θ up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Only upsizes (the insert path).
+    GrowOnly,
+    /// Upsizes and downsizes (the delete path).
+    Both,
+}
+
+/// Decide whether a resize is needed to bring θ back inside `[alpha, beta]`.
+///
+/// Downsizing stops at single-bucket subtables; an empty table simply stays
+/// at its minimum footprint.
+pub fn decide(tables: &[SubTable], alpha: f64, beta: f64, dir: Direction) -> Option<ResizeOp> {
+    let theta = overall_fill(tables);
+    if theta > beta {
+        return Some(ResizeOp::Upsize(upsize_candidate(tables)));
+    }
+    if dir == Direction::Both && theta < alpha {
+        if let Some(cand) = downsize_candidate(tables) {
+            return Some(ResizeOp::Downsize(cand));
+        }
+    }
+    None
+}
+
+/// The structural invariant of the policy: max subtable size ≤ 2 × min.
+pub fn size_ratio_invariant(tables: &[SubTable]) -> bool {
+    let min = tables.iter().map(|t| t.n_buckets()).min().unwrap_or(1);
+    let max = tables.iter().map(|t| t.n_buckets()).max().unwrap_or(1);
+    max <= 2 * min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BUCKET_SLOTS;
+
+    fn table(n_buckets: usize, filled: u64) -> SubTable {
+        let mut t = SubTable::new(n_buckets);
+        let mut written = 0;
+        'outer: for b in 0..n_buckets {
+            for _ in 0..BUCKET_SLOTS {
+                if written == filled {
+                    break 'outer;
+                }
+                let s = t.find_empty(b).unwrap();
+                t.write_new(b, s, written as u32 + 1, 0);
+                written += 1;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn overall_fill_weights_by_capacity() {
+        let tables = vec![table(2, 32), table(2, 0)];
+        assert!((overall_fill(&tables) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decide_upsizes_smallest_when_over_beta() {
+        let tables = vec![table(4, 120), table(2, 60), table(4, 120)];
+        // θ = 300/320 ≈ 0.94 > 0.85.
+        assert_eq!(
+            decide(&tables, 0.3, 0.85, Direction::Both),
+            Some(ResizeOp::Upsize(1))
+        );
+        // Growing is allowed in both directions' modes.
+        assert_eq!(
+            decide(&tables, 0.3, 0.85, Direction::GrowOnly),
+            Some(ResizeOp::Upsize(1))
+        );
+    }
+
+    #[test]
+    fn decide_downsizes_largest_when_under_alpha() {
+        let tables = vec![table(4, 10), table(2, 10), table(2, 10)];
+        // θ = 30/256 ≈ 0.12 < 0.3.
+        assert_eq!(
+            decide(&tables, 0.3, 0.85, Direction::Both),
+            Some(ResizeOp::Downsize(0))
+        );
+        // The insert path never shrinks mid-batch.
+        assert_eq!(decide(&tables, 0.3, 0.85, Direction::GrowOnly), None);
+    }
+
+    #[test]
+    fn decide_none_in_range() {
+        let tables = vec![table(2, 40), table(2, 40)];
+        // θ = 80/128 = 0.625.
+        assert_eq!(decide(&tables, 0.3, 0.85, Direction::Both), None);
+    }
+
+    #[test]
+    fn no_downsize_below_one_bucket() {
+        let tables = vec![table(1, 0), table(1, 0)];
+        assert_eq!(decide(&tables, 0.3, 0.85, Direction::Both), None);
+    }
+
+    #[test]
+    fn upsize_tie_break_prefers_fullest() {
+        let tables = vec![table(2, 10), table(2, 60), table(2, 30)];
+        assert_eq!(upsize_candidate(&tables), 1);
+    }
+
+    #[test]
+    fn downsize_tie_break_prefers_emptiest() {
+        let tables = vec![table(4, 100), table(4, 5), table(2, 0)];
+        assert_eq!(downsize_candidate(&tables), Some(1));
+    }
+
+    #[test]
+    fn downsize_skips_odd_sized_tables() {
+        let tables = vec![table(5, 0), table(4, 0)];
+        assert_eq!(downsize_candidate(&tables), Some(1));
+        let tables = vec![table(1, 0), table(1, 0)];
+        assert_eq!(downsize_candidate(&tables), None);
+    }
+
+    #[test]
+    fn size_ratio_invariant_detects_violations() {
+        assert!(size_ratio_invariant(&[table(2, 0), table(4, 0)]));
+        assert!(!size_ratio_invariant(&[table(2, 0), table(8, 0)]));
+    }
+}

@@ -1,0 +1,1152 @@
+//! The public DyCuckoo table: batched operations, resize triggering, and
+//! accounting.
+
+use gpu_sim::{Metrics, SimContext};
+
+use crate::config::{Config, BUCKET_SLOTS};
+use crate::error::{Error, Result};
+use crate::hashfn::UniversalHash;
+use crate::ops::insert::{insert_batch as run_insert, InsertOp, InsertOutcome};
+use crate::ops::{delete::delete_batch as run_delete, find::find_batch as run_find};
+use crate::rehash;
+use crate::resize::{self, ResizeOp};
+use crate::stash::Stash;
+use crate::stats::{SubTableStats, TableStats};
+use crate::subtable::SubTable;
+use crate::two_layer::PairHash;
+
+/// Operations processed between filled-factor checks within one batch.
+/// Keeps θ from badly overshooting β in huge batches while preserving the
+/// paper's batch-granular resize semantics at typical batch sizes.
+const RESIZE_CHECK_INTERVAL: usize = 1 << 16;
+
+/// Cap on consecutive resize operations while rebalancing; validated
+/// configurations converge in a handful.
+const MAX_RESIZE_ITERS: u32 = 64;
+
+/// Cap on upsize-and-retry cycles for failed inserts.
+const MAX_INSERT_RETRIES: u32 = 40;
+
+/// Immutable shape shared by all kernels: configuration and hash functions.
+/// Hash functions are fixed at construction and survive every resize — the
+/// bucket index is just the raw hash reduced to the current table size.
+pub(crate) struct TableShape {
+    pub cfg: Config,
+    pub pair: PairHash,
+    pub hashes: Vec<UniversalHash>,
+}
+
+/// The candidate subtables a key may reside in (a tiny fixed-capacity set:
+/// 2 for the pair-based layerings, `d` for plain d-ary cuckoo).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidates {
+    tables: [u8; MAX_TABLES],
+    len: u8,
+}
+
+/// Upper bound on `d` (keeps the candidate set a small copyable array).
+pub const MAX_TABLES: usize = 16;
+
+impl Candidates {
+    fn pair(i: usize, j: usize) -> Self {
+        let mut tables = [0u8; MAX_TABLES];
+        tables[0] = i as u8;
+        tables[1] = j as u8;
+        Self { tables, len: 2 }
+    }
+
+    fn all(d: usize) -> Self {
+        let mut tables = [0u8; MAX_TABLES];
+        for (t, slot) in tables.iter_mut().enumerate().take(d) {
+            *slot = t as u8;
+        }
+        Self {
+            tables,
+            len: d as u8,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn get(&self, i: usize) -> usize {
+        debug_assert!(i < self.len());
+        self.tables[i] as usize
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.tables[..self.len()].iter().map(|&t| t as usize)
+    }
+
+    pub fn contains(&self, t: usize) -> bool {
+        self.iter().any(|c| c == t)
+    }
+
+    /// Position of table `t` within the candidate list.
+    pub fn position(&self, t: usize) -> Option<usize> {
+        self.iter().position(|c| c == t)
+    }
+
+    pub fn as_slice_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl TableShape {
+    /// The subtables that may hold `key`, per the configured layering.
+    pub fn candidates(&self, key: u32) -> Candidates {
+        match self.cfg.layering {
+            crate::config::Layering::TwoLayer => {
+                let (i, j) = self.pair.pair_of(key);
+                Candidates::pair(i, j)
+            }
+            crate::config::Layering::DisjointPairs => {
+                let half = self.cfg.num_tables / 2;
+                let p = (self.pair.raw(key) % half as u64) as usize;
+                Candidates::pair(2 * p, 2 * p + 1)
+            }
+            crate::config::Layering::PlainD => Candidates::all(self.cfg.num_tables),
+        }
+    }
+
+    /// Where a key evicted from subtable `t` goes next. For the pair-based
+    /// layerings this is the pair's other member; for plain d-ary cuckoo it
+    /// is a steered choice among the other subtables. `excluded` (a
+    /// subtable mid-downsize) is avoided where legal; `None` means the key
+    /// has no admissible destination.
+    pub fn evict_destination(
+        &self,
+        tables: &[SubTable],
+        key: u32,
+        t: usize,
+        excluded: Option<usize>,
+        salt: u64,
+    ) -> Option<usize> {
+        let cands = self.candidates(key);
+        debug_assert!(cands.contains(t), "key {key} not homed in table {t}");
+        let viable: Vec<usize> = cands
+            .iter()
+            .filter(|&c| c != t && Some(c) != excluded)
+            .collect();
+        match viable.len() {
+            0 => None,
+            1 => Some(viable[0]),
+            _ => Some(crate::distribute::choose_among(
+                self.cfg.distribution,
+                tables,
+                &viable,
+                self.cfg.seed,
+                key,
+                salt,
+            )),
+        }
+    }
+}
+
+/// One structural resize performed while processing a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResizeEvent {
+    /// What was resized.
+    pub op: ResizeOp,
+    /// Bucket count before.
+    pub old_buckets: usize,
+    /// Bucket count after.
+    pub new_buckets: usize,
+    /// KVs rehashed within the resized subtable.
+    pub moved: u64,
+    /// KVs pushed out to partner subtables (downsizing only).
+    pub residuals: u64,
+}
+
+/// Outcome of one batched operation, including any resizes it triggered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReport {
+    /// Operations submitted.
+    pub attempted: usize,
+    /// KVs newly inserted.
+    pub inserted: u64,
+    /// KVs that updated an existing key.
+    pub updated: u64,
+    /// Keys erased (delete batches).
+    pub deleted: u64,
+    /// Upsize-and-retry cycles needed for failed inserts.
+    pub retries: u32,
+    /// Resizes performed during/after the batch.
+    pub resizes: Vec<ResizeEvent>,
+}
+
+/// The dynamic two-layer cuckoo hash table of the paper.
+///
+/// All operations are batched and charged to a [`SimContext`], whose metrics
+/// and cost model yield the simulated throughput. Keys and values are `u32`;
+/// key `0` is reserved as the empty sentinel.
+///
+/// ```
+/// use gpu_sim::SimContext;
+/// use dycuckoo::{Config, DyCuckoo};
+///
+/// let mut sim = SimContext::new();
+/// let mut table = DyCuckoo::new(Config::default(), &mut sim).unwrap();
+/// table.insert_batch(&mut sim, &[(1, 10), (2, 20)]).unwrap();
+/// let found = table.find_batch(&mut sim, &[1, 2, 3]);
+/// assert_eq!(found, vec![Some(10), Some(20), None]);
+/// ```
+pub struct DyCuckoo {
+    shape: TableShape,
+    tables: Vec<SubTable>,
+    /// Optional overflow stash (the paper's future-work mitigation for
+    /// upsize cascades); `None` when `stash_capacity == 0`.
+    stash: Option<Stash>,
+    op_counter: u64,
+}
+
+impl DyCuckoo {
+    /// Create a table with `cfg.initial_buckets` buckets per subtable.
+    pub fn new(cfg: Config, sim: &mut SimContext) -> Result<Self> {
+        cfg.validate()?;
+        let pair = PairHash::new(cfg.seed ^ 0x9E37_79B9, cfg.num_tables);
+        let hashes = (0..cfg.num_tables)
+            .map(|i| UniversalHash::from_seed(cfg.seed.wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(i as u64 + 1))))
+            .collect();
+        let tables: Vec<SubTable> = (0..cfg.num_tables)
+            .map(|_| SubTable::new(cfg.initial_buckets))
+            .collect();
+        for t in &tables {
+            sim.device.alloc(t.device_bytes())?;
+        }
+        let stash = if cfg.stash_capacity > 0 {
+            let s = Stash::new(cfg.stash_capacity);
+            sim.device.alloc(s.device_bytes())?;
+            Some(s)
+        } else {
+            None
+        };
+        Ok(Self {
+            shape: TableShape { cfg, pair, hashes },
+            tables,
+            stash,
+            op_counter: 0,
+        })
+    }
+
+    /// Create a table pre-sized so that `items` keys load it to roughly
+    /// `target_fill` (used by the static experiments, which fix the memory
+    /// budget up front).
+    ///
+    /// Because the hash reduces modulo the bucket count, sizes are not
+    /// restricted to powers of two: an equal even split tracks the budget
+    /// almost exactly, making filled-factor sweeps comparable across `d`.
+    pub fn with_capacity(
+        mut cfg: Config,
+        items: usize,
+        target_fill: f64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        let sizes = mixed_bucket_sizes(items, cfg.num_tables, target_fill);
+        cfg.initial_buckets = sizes[0];
+        cfg.validate()?;
+        let mut table = Self::new(cfg, sim)?;
+        for (i, &sz) in sizes.iter().enumerate() {
+            if sz != table.tables[i].n_buckets() {
+                sim.device.free(table.tables[i].device_bytes())?;
+                sim.device.alloc(SubTable::device_bytes_for(sz))?;
+                table.tables[i] = SubTable::new(sz);
+            }
+        }
+        Ok(table)
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &Config {
+        &self.shape.cfg
+    }
+
+    /// Number of live KV pairs (including any stashed overflow).
+    pub fn len(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupied()).sum::<u64>()
+            + self.stash.as_ref().map_or(0, |s| s.len() as u64)
+    }
+
+    /// KV pairs currently parked in the overflow stash (0 without a stash).
+    pub fn stashed(&self) -> usize {
+        self.stash.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Whether the table holds no KV pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Overall filled factor `θ`.
+    pub fn fill_factor(&self) -> f64 {
+        resize::overall_fill(&self.tables)
+    }
+
+    /// Device bytes currently held.
+    pub fn device_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.device_bytes()).sum::<u64>()
+            + self.stash.as_ref().map_or(0, |s| s.device_bytes())
+    }
+
+    /// Snapshot of per-subtable statistics.
+    pub fn stats(&self) -> TableStats {
+        let per_table: Vec<SubTableStats> = self
+            .tables
+            .iter()
+            .map(|t| SubTableStats {
+                n_buckets: t.n_buckets(),
+                occupied: t.occupied(),
+                capacity_slots: t.capacity_slots(),
+                fill: t.fill_factor(),
+            })
+            .collect();
+        TableStats {
+            num_tables: self.tables.len(),
+            occupied: self.len(),
+            capacity_slots: self.tables.iter().map(|t| t.capacity_slots()).sum(),
+            fill: self.fill_factor(),
+            device_bytes: self.device_bytes(),
+            per_table,
+        }
+    }
+
+    /// Release the table's device memory. (The simulator cannot hook `Drop`
+    /// because freeing needs the [`SimContext`].)
+    pub fn release(self, sim: &mut SimContext) -> Result<()> {
+        for t in &self.tables {
+            sim.device.free(t.device_bytes())?;
+        }
+        if let Some(s) = &self.stash {
+            sim.device.free(s.device_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Insert a batch of KV pairs. Duplicate handling follows
+    /// [`crate::DupPolicy`]; resizes triggered by the batch are reported.
+    pub fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<BatchReport> {
+        if kvs.iter().any(|&(k, _)| k == 0) {
+            return Err(Error::ZeroKey);
+        }
+        let mut report = BatchReport {
+            attempted: kvs.len(),
+            ..BatchReport::default()
+        };
+        sim.metrics.ops += kvs.len() as u64;
+        // Stashed keys are updated in place so a key never lives in both
+        // the stash and a subtable.
+        let filtered: Vec<(u32, u32)>;
+        let mut rest: &[(u32, u32)] = kvs;
+        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
+            let stash = self.stash.as_mut().expect("checked above");
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            filtered = kvs
+                .iter()
+                .copied()
+                .filter(|&(k, v)| {
+                    let in_stash = stash.update(k, v, &mut ctx);
+                    if in_stash {
+                        report.updated += 1;
+                    }
+                    !in_stash
+                })
+                .collect();
+            ctx.finish();
+            rest = &filtered;
+        }
+        while !rest.is_empty() {
+            // Adaptive chunking: insert only up to the headroom below β
+            // before re-checking the filled factor, so a huge batch cannot
+            // drive the table far past its bound (where every bucket is
+            // full and eviction chains explode) between checks.
+            let cap = self.tables.iter().map(|t| t.capacity_slots()).sum::<u64>();
+            let headroom = (self.shape.cfg.beta * cap as f64) as i64 - self.len() as i64;
+            let step = (headroom.max(512) as usize)
+                .min(RESIZE_CHECK_INTERVAL)
+                .min(rest.len());
+            let (chunk, tail) = rest.split_at(step);
+            rest = tail;
+            let ops: Vec<InsertOp> = chunk
+                .iter()
+                .map(|&(k, v)| {
+                    self.op_counter += 1;
+                    InsertOp::fresh(k, v, self.op_counter)
+                })
+                .collect();
+            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
+            report.inserted += out.inserted;
+            report.updated += out.updated;
+            self.retry_failed(sim, out, &mut report)?;
+            self.rebalance(sim, resize::Direction::GrowOnly, &mut report.resizes)?;
+        }
+        Ok(report)
+    }
+
+    /// Look up a batch of keys; returns one `Option<value>` per key.
+    pub fn find_batch(&self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
+        sim.metrics.ops += keys.len() as u64;
+        let mut results = run_find(&self.tables, &self.shape, keys, &mut sim.metrics);
+        if let Some(stash) = self.stash.as_ref().filter(|s| !s.is_empty()) {
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            for (key, r) in keys.iter().zip(results.iter_mut()) {
+                if r.is_none() {
+                    *r = stash.find(*key, &mut ctx);
+                }
+            }
+            ctx.finish();
+        }
+        results
+    }
+
+    /// Delete a batch of keys, reporting erased count and any downsizes.
+    pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<BatchReport> {
+        let mut report = BatchReport {
+            attempted: keys.len(),
+            ..BatchReport::default()
+        };
+        sim.metrics.ops += keys.len() as u64;
+        report.deleted = run_delete(&mut self.tables, &self.shape, keys, &mut sim.metrics);
+        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
+            let stash = self.stash.as_mut().expect("checked above");
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            for &key in keys {
+                if stash.erase(key, &mut ctx) {
+                    report.deleted += 1;
+                }
+                if stash.is_empty() {
+                    break;
+                }
+            }
+            ctx.finish();
+        }
+        self.rebalance(sim, resize::Direction::Both, &mut report.resizes)?;
+        Ok(report)
+    }
+
+    /// Convenience single-key lookup (one-op batch).
+    pub fn get(&self, sim: &mut SimContext, key: u32) -> Option<u32> {
+        self.find_batch(sim, &[key])[0]
+    }
+
+    /// Upsize-and-retry loop for operations that exceeded the eviction
+    /// limit — the paper's "insertion failure triggers resizing".
+    fn retry_failed(
+        &mut self,
+        sim: &mut SimContext,
+        mut out: InsertOutcome,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        while !out.failed.is_empty() {
+            // Stash first: a handful of unplaceable keys should not force a
+            // structural resize (the future-work mitigation).
+            if let Some(stash) = self.stash.as_mut() {
+                let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+                out.failed.retain(|op| {
+                    let stashed = stash.push(op.key, op.val, &mut ctx);
+                    if stashed {
+                        report.inserted += 1;
+                    }
+                    !stashed
+                });
+                ctx.finish();
+                if out.failed.is_empty() {
+                    return Ok(());
+                }
+            }
+            report.retries += 1;
+            if report.retries > MAX_INSERT_RETRIES {
+                return Err(Error::InsertStuck {
+                    failed_ops: out.failed.len(),
+                });
+            }
+            let event = self.apply_resize(ResizeOp::Upsize(resize::upsize_candidate(&self.tables)), sim)?;
+            report.resizes.push(event);
+            // Restart each failed op fresh: it carries whatever KV its
+            // eviction chain held, which re-routes through the two-layer
+            // pair of that key.
+            let retry_ops: Vec<InsertOp> = out
+                .failed
+                .iter()
+                .map(|op| {
+                    self.op_counter += 1;
+                    InsertOp::reinsert(op.key, op.val, self.op_counter)
+                })
+                .collect();
+            out = run_insert(&mut self.tables, &self.shape, retry_ops, None, &mut sim.metrics);
+            report.inserted += out.inserted;
+            report.updated += out.updated;
+        }
+        Ok(())
+    }
+
+    /// Resize until θ returns to `[α, β]` (insert batches grow only; see
+    /// [`resize::Direction`]).
+    fn rebalance(
+        &mut self,
+        sim: &mut SimContext,
+        dir: resize::Direction,
+        events: &mut Vec<ResizeEvent>,
+    ) -> Result<()> {
+        for _ in 0..MAX_RESIZE_ITERS {
+            match resize::decide(&self.tables, self.shape.cfg.alpha, self.shape.cfg.beta, dir) {
+                None => return Ok(()),
+                Some(op) => events.push(self.apply_resize(op, sim)?),
+            }
+        }
+        Err(Error::ResizeDiverged {
+            iterations: MAX_RESIZE_ITERS,
+        })
+    }
+
+    /// Perform one resize operation, including residual placement for
+    /// downsizing, then drain the overflow stash back into the subtables
+    /// (a resize has just changed where keys belong or made room).
+    fn apply_resize(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
+        let event = self.apply_resize_inner(op, sim)?;
+        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
+            let stash = self.stash.as_mut().expect("checked above");
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            let drained = stash.drain(&mut ctx);
+            ctx.finish();
+            let ops: Vec<InsertOp> = drained
+                .into_iter()
+                .map(|(k, v)| {
+                    self.op_counter += 1;
+                    InsertOp::reinsert(k, v, self.op_counter)
+                })
+                .collect();
+            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
+            // Whatever still fails goes straight back to the stash (room is
+            // guaranteed: we just drained it).
+            if !out.failed.is_empty() {
+                let stash = self.stash.as_mut().expect("still present");
+                let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+                for op in &out.failed {
+                    let ok = stash.push(op.key, op.val, &mut ctx);
+                    debug_assert!(ok, "stash was just drained");
+                }
+                ctx.finish();
+            }
+        }
+        Ok(event)
+    }
+
+    fn apply_resize_inner(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
+        match op {
+            ResizeOp::Upsize(i) => {
+                let old = self.tables[i].n_buckets();
+                let rep = rehash::upsize(&mut self.tables, i, &self.shape, sim)?;
+                Ok(ResizeEvent {
+                    op,
+                    old_buckets: old,
+                    new_buckets: old * 2,
+                    moved: rep.moved,
+                    residuals: 0,
+                })
+            }
+            ResizeOp::Downsize(i) => {
+                let old = self.tables[i].n_buckets();
+                let (rep, residuals) =
+                    rehash::downsize_collect(&mut self.tables, i, sim)?;
+                let n_res = residuals.len() as u64;
+                if !residuals.is_empty() {
+                    // Residuals go to their partner subtables; the
+                    // downsizing table is excluded within this "kernel".
+                    let out = run_insert(
+                        &mut self.tables,
+                        &self.shape,
+                        residuals,
+                        Some(i),
+                        &mut sim.metrics,
+                    );
+                    // Leftovers (pathological) are retried without the
+                    // exclusion — the downsize itself has completed.
+                    let mut leftovers = out.failed;
+                    let mut guard = 0;
+                    while !leftovers.is_empty() {
+                        guard += 1;
+                        if guard > MAX_INSERT_RETRIES {
+                            return Err(Error::InsertStuck {
+                                failed_ops: leftovers.len(),
+                            });
+                        }
+                        let target = resize::upsize_candidate(&self.tables);
+                        rehash::upsize(&mut self.tables, target, &self.shape, sim)?;
+                        let retry: Vec<InsertOp> = leftovers
+                            .iter()
+                            .map(|f| {
+                                self.op_counter += 1;
+                                InsertOp::reinsert(f.key, f.val, self.op_counter)
+                            })
+                            .collect();
+                        leftovers =
+                            run_insert(&mut self.tables, &self.shape, retry, None, &mut sim.metrics)
+                                .failed;
+                    }
+                }
+                Ok(ResizeEvent {
+                    op,
+                    old_buckets: old,
+                    new_buckets: old / 2,
+                    moved: rep.moved,
+                    residuals: n_res,
+                })
+            }
+        }
+    }
+
+    /// Force one resize operation regardless of θ (used by the F7 resize
+    /// experiment, which measures a single upsize/downsize in isolation).
+    pub fn force_resize(&mut self, sim: &mut SimContext, op: ResizeOp) -> Result<ResizeEvent> {
+        self.apply_resize(op, sim)
+    }
+
+    /// The *naive* alternative the paper's resize experiment compares
+    /// against: resize subtable `idx` by draining all its entries and
+    /// re-inserting them one by one through the normal insert kernel
+    /// (Algorithm 1), instead of the conflict-free rehash. Returns the
+    /// number of KVs moved.
+    pub fn rehash_subtable_naive(
+        &mut self,
+        sim: &mut SimContext,
+        idx: usize,
+        grow: bool,
+    ) -> Result<u64> {
+        let old = &self.tables[idx];
+        let old_buckets = old.n_buckets();
+        let new_buckets = if grow {
+            old_buckets * 2
+        } else {
+            (old_buckets / 2).max(1)
+        };
+        // Drain: read every key and value line of the subtable.
+        sim.metrics.read_transactions += 2 * old_buckets as u64;
+        let drained: Vec<(u32, u32)> = old.iter_live().collect();
+        let old_bytes = old.device_bytes();
+        sim.device.alloc(SubTable::device_bytes_for(new_buckets))?;
+        self.tables[idx] = SubTable::new(new_buckets);
+        sim.device.free(old_bytes)?;
+        // Re-insert through the ordinary voter kernel: each key routes
+        // through its two-layer pair (which contains `idx`), competing with
+        // whatever is already in the partner subtables. The naive strategy
+        // has no Theorem-1 steering (that is part of what it lacks), so
+        // half the reinserts land in the other, possibly nearly full,
+        // subtable — which is exactly why the paper finds naive upsizing
+        // "severely limited".
+        let naive_shape = TableShape {
+            cfg: Config {
+                distribution: crate::config::Distribution::Uniform,
+                ..self.shape.cfg
+            },
+            pair: self.shape.pair,
+            hashes: self.shape.hashes.clone(),
+        };
+        let moved = drained.len() as u64;
+        let ops: Vec<InsertOp> = drained
+            .into_iter()
+            .map(|(k, v)| {
+                self.op_counter += 1;
+                InsertOp::fresh(k, v, self.op_counter)
+            })
+            .collect();
+        let out = run_insert(&mut self.tables, &naive_shape, ops, None, &mut sim.metrics);
+        let mut report = BatchReport::default();
+        self.retry_failed(sim, out, &mut report)?;
+        Ok(moved)
+    }
+
+    /// The policy invariant: no subtable more than twice any other.
+    pub fn size_ratio_ok(&self) -> bool {
+        resize::size_ratio_invariant(&self.tables)
+    }
+
+    /// Verify internal accounting (occupancy counters vs. actual slots and
+    /// the two-layer residency invariant). Test/debug helper; O(capacity).
+    pub fn verify_integrity(&self) -> std::result::Result<(), String> {
+        if let Some(stash) = &self.stash {
+            // No key may live in both the stash and a subtable.
+            let mut probe = gpu_sim::Metrics::default();
+            let mut ctx = gpu_sim::RoundCtx::new(&mut probe);
+            for t in &self.tables {
+                for (k, _) in t.iter_live() {
+                    if stash.find(k, &mut ctx).is_some() {
+                        return Err(format!("key {k} resides in a subtable AND the stash"));
+                    }
+                }
+            }
+            ctx.finish();
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            if t.occupied() != t.recount() {
+                return Err(format!(
+                    "subtable {i}: occupancy counter {} but {} live slots",
+                    t.occupied(),
+                    t.recount()
+                ));
+            }
+            for b in 0..t.n_buckets() {
+                for (s, &k) in t.bucket_keys(b).iter().enumerate() {
+                    if k == crate::subtable::EMPTY_KEY {
+                        continue;
+                    }
+                    if !self.shape.candidates(k).contains(i) {
+                        return Err(format!(
+                            "key {k} in subtable {i} bucket {b} slot {s}, outside its candidate set {:?}",
+                            self.shape.candidates(k).as_slice_vec()
+                        ));
+                    }
+                    let expect = self.shape.hashes[i].bucket(k, t.n_buckets());
+                    if expect != b {
+                        return Err(format!(
+                            "key {k} in subtable {i} bucket {b}, expected bucket {expect}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw subtables, for experiments that need structural detail (e.g. the
+    /// resize-throughput comparison reads exact per-subtable sizes).
+    pub fn subtables(&self) -> &[SubTable] {
+        &self.tables
+    }
+}
+
+/// Smallest power-of-two bucket count per subtable such that `items` keys
+/// fill `d` such subtables to at most `target_fill` (uniform sizing; see
+/// [`mixed_bucket_sizes`] for the finer-grained allocation
+/// [`DyCuckoo::with_capacity`] uses).
+pub fn buckets_for_load(items: usize, d: usize, target_fill: f64) -> usize {
+    assert!(target_fill > 0.0 && target_fill <= 1.0);
+    let slots_needed = (items as f64 / target_fill).ceil() as usize;
+    let per_table = slots_needed.div_ceil(d * BUCKET_SLOTS);
+    per_table.next_power_of_two().max(1)
+}
+
+/// Per-subtable bucket counts whose total capacity covers
+/// `items / target_fill` slots as tightly as possible: an equal split,
+/// rounded up to even counts so every subtable can later halve cleanly.
+pub fn mixed_bucket_sizes(items: usize, d: usize, target_fill: f64) -> Vec<usize> {
+    assert!(target_fill > 0.0 && target_fill <= 1.0 && d >= 1);
+    let slots_needed = (items as f64 / target_fill).ceil() as usize;
+    let buckets_needed = slots_needed.div_ceil(BUCKET_SLOTS).max(1);
+    let per_table = buckets_needed.div_ceil(d).next_multiple_of(2);
+    vec![per_table; d]
+}
+
+/// Simulated elapsed time and throughput of a window of metrics — a small
+/// convenience the harness uses around batched calls.
+pub fn window_mops(sim: &SimContext, window: &Metrics, ops: u64) -> f64 {
+    gpu_sim::CostModel::new(sim.device.config()).mops(ops, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> Config {
+        Config {
+            initial_buckets: 4,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=500u32).map(|k| (k, k * 3)).collect();
+        let rep = t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(rep.inserted, 500);
+        assert_eq!(t.len(), 500);
+        let keys: Vec<u32> = (1..=500).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, v) in keys.iter().zip(found) {
+            assert_eq!(v, Some(k * 3));
+        }
+        t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(7, 70)]).unwrap();
+        assert_eq!(t.find_batch(&mut sim, &[8, 9]), vec![None, None]);
+    }
+
+    #[test]
+    fn zero_key_rejected() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        assert_eq!(t.insert_batch(&mut sim, &[(0, 1)]), Err(Error::ZeroKey));
+    }
+
+    #[test]
+    fn upsert_updates_in_place() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        t.insert_batch(&mut sim, &[(5, 1)]).unwrap();
+        let rep = t.insert_batch(&mut sim, &[(5, 2)]).unwrap();
+        assert_eq!(rep.updated, 1);
+        assert_eq!(rep.inserted, 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&mut sim, 5), Some(2));
+    }
+
+    #[test]
+    fn delete_removes_keys_and_reports_count() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=100u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let rep = t.delete_batch(&mut sim, &[1, 2, 3, 999]).unwrap();
+        assert_eq!(rep.deleted, 3);
+        assert_eq!(t.len(), 97);
+        assert_eq!(t.get(&mut sim, 1), None);
+        assert_eq!(t.get(&mut sim, 4), Some(4));
+        t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn growth_keeps_fill_in_bounds_and_ratio_invariant() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        for round in 0..20u32 {
+            let kvs: Vec<(u32, u32)> =
+                (0..200u32).map(|i| (round * 200 + i + 1, i)).collect();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            assert!(t.size_ratio_ok(), "size ratio violated at round {round}");
+            assert!(
+                t.fill_factor() <= t.config().beta + 1e-9,
+                "θ = {} exceeds β after rebalance",
+                t.fill_factor()
+            );
+        }
+        assert_eq!(t.len(), 4000);
+        t.verify_integrity().unwrap();
+        // Everything findable after many resizes.
+        let keys: Vec<u32> = (1..=4000).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        assert!(found.iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn shrink_after_mass_delete() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=2000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let bytes_before = t.device_bytes();
+        let dels: Vec<u32> = (1..=1900).collect();
+        let rep = t.delete_batch(&mut sim, &dels).unwrap();
+        assert_eq!(rep.deleted, 1900);
+        assert!(
+            !rep.resizes.is_empty(),
+            "mass deletion should trigger downsizing"
+        );
+        assert!(t.device_bytes() < bytes_before);
+        assert!(t.fill_factor() >= t.config().alpha - 1e-9);
+        // Survivors still present.
+        let keys: Vec<u32> = (1901..=2000).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+        t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn with_capacity_hits_target_fill() {
+        for d in [2usize, 3, 4, 5, 6] {
+            let mut sim = SimContext::new();
+            let cfg = Config {
+                num_tables: d,
+                ..Config::default()
+            };
+            let t = DyCuckoo::with_capacity(cfg, 100_000, 0.85, &mut sim).unwrap();
+            let slots: u64 = t.stats().capacity_slots;
+            let fill = 100_000.0 / slots as f64;
+            assert!(fill <= 0.85 + 1e-9, "d={d}: fill {fill}");
+            // Equal even-count sizing tracks the budget within a whisker.
+            assert!(fill > 0.85 * 0.98, "d={d}: fill only {fill}");
+            assert!(t.size_ratio_ok(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn buckets_for_load_is_minimal_power_of_two() {
+        assert_eq!(buckets_for_load(1, 4, 1.0), 1);
+        // 10_000 items at θ=0.85 over 4 tables: 11765 slots → 92 buckets/table → 128.
+        assert_eq!(buckets_for_load(10_000, 4, 0.85), 128);
+    }
+
+    #[test]
+    fn mixed_bucket_sizes_cover_budget_tightly() {
+        for d in [2usize, 3, 4, 5, 7] {
+            for items in [100usize, 5_000, 77_777, 1_000_000] {
+                let sizes = mixed_bucket_sizes(items, d, 0.85);
+                assert_eq!(sizes.len(), d);
+                assert!(sizes.iter().all(|&s| s % 2 == 0), "{sizes:?}");
+                let total_slots: usize = sizes.iter().sum::<usize>() * BUCKET_SLOTS;
+                let needed = (items as f64 / 0.85).ceil() as usize;
+                assert!(total_slots >= needed, "d={d} items={items}: {sizes:?}");
+                // Within one even bucket per table of the requirement.
+                assert!(
+                    total_slots <= needed + 3 * d * BUCKET_SLOTS,
+                    "d={d} items={items}: over-provisioned {sizes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_is_at_most_two_lookups_per_key() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=1000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        sim.take_metrics();
+        let keys: Vec<u32> = (1..=1000).collect();
+        t.find_batch(&mut sim, &keys);
+        let m = sim.take_metrics();
+        assert!(
+            m.lookups <= 2 * 1000,
+            "find used {} lookups for 1000 keys",
+            m.lookups
+        );
+    }
+
+    #[test]
+    fn force_upsize_then_downsize_roundtrip() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=300u32).map(|k| (k, k + 1)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let ev = t.force_resize(&mut sim, ResizeOp::Upsize(0)).unwrap();
+        assert_eq!(ev.new_buckets, ev.old_buckets * 2);
+        t.verify_integrity().unwrap();
+        let ev = t.force_resize(&mut sim, ResizeOp::Downsize(0)).unwrap();
+        assert_eq!(ev.new_buckets, ev.old_buckets / 2);
+        t.verify_integrity().unwrap();
+        let keys: Vec<u32> = (1..=300).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (i, f) in found.iter().enumerate() {
+            assert_eq!(*f, Some(i as u32 + 2), "key {} lost in resize", i + 1);
+        }
+    }
+
+    #[test]
+    fn paper_insert_policy_still_finds_keys() {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            dup_policy: crate::config::DupPolicy::PaperInsert,
+            initial_buckets: 8,
+            ..Config::default()
+        };
+        let mut t = DyCuckoo::new(cfg, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=800u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let keys: Vec<u32> = (1..=800).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn naive_rehash_preserves_all_keys() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=600u32).map(|k| (k, k + 9)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let moved = t.rehash_subtable_naive(&mut sim, 1, true).unwrap();
+        assert!(moved > 0, "subtable 1 should have held entries");
+        t.verify_integrity().unwrap();
+        let keys: Vec<u32> = (1..=600).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (i, f) in found.iter().enumerate() {
+            assert_eq!(*f, Some(i as u32 + 10), "key {} lost", i + 1);
+        }
+        // Shrink direction too.
+        let moved = t.rehash_subtable_naive(&mut sim, 1, false).unwrap();
+        assert!(moved > 0);
+        t.verify_integrity().unwrap();
+        let found = t.find_batch(&mut sim, &keys);
+        assert!(found.iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn plain_d_layering_roundtrip() {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            layering: crate::config::Layering::PlainD,
+            initial_buckets: 4,
+            ..Config::default()
+        };
+        let mut t = DyCuckoo::new(cfg, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=800u32).map(|k| (k, k + 3)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        t.verify_integrity().unwrap();
+        let keys: Vec<u32> = (1..=800).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (i, f) in found.iter().enumerate() {
+            assert_eq!(*f, Some(i as u32 + 4));
+        }
+        t.delete_batch(&mut sim, &keys).unwrap();
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn disjoint_pairs_layering_roundtrip() {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            layering: crate::config::Layering::DisjointPairs,
+            initial_buckets: 4,
+            ..Config::default()
+        };
+        let mut t = DyCuckoo::new(cfg, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=800u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        t.verify_integrity().unwrap();
+        let keys: Vec<u32> = (1..=800).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn plain_d_find_probes_up_to_d_buckets() {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            layering: crate::config::Layering::PlainD,
+            initial_buckets: 4,
+            ..Config::default()
+        };
+        let mut t = DyCuckoo::new(cfg, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=500u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        // Misses must probe all d=4 candidate buckets, vs 2 for two-layer.
+        sim.take_metrics();
+        let misses: Vec<u32> = (1_000_001..1_001_001).collect();
+        t.find_batch(&mut sim, &misses);
+        let m = sim.take_metrics();
+        assert_eq!(m.lookups, 4 * 1000, "plain-d misses probe d buckets");
+    }
+
+    #[test]
+    fn voter_finishes_contended_batches_in_fewer_rounds() {
+        // The voter's value is not fewer failed CAS attempts but not
+        // *wasting* warp time while blocked: a spinning warp burns a whole
+        // round per failure, a voting warp completes another lane's op.
+        let run = |coordination| {
+            let mut sim = SimContext::new();
+            let cfg = Config {
+                coordination,
+                initial_buckets: 2,
+                ..Config::default()
+            };
+            let mut t = DyCuckoo::new(cfg, &mut sim).unwrap();
+            // The paper's celebrity scenario: each warp carries one op on a
+            // hot key plus 31 ordinary ops. A spinning warp blocks its
+            // ordinary ops behind the contended one.
+            let kvs: Vec<(u32, u32)> = (0..4096u32)
+                .map(|i| if i % 32 == 0 { (7, i) } else { (i + 100, i) })
+                .collect();
+            t.insert_batch(&mut sim, &kvs).unwrap();
+            sim.take_metrics().rounds
+        };
+        let spin = run(crate::config::Coordination::Spin);
+        let voter = run(crate::config::Coordination::Voter);
+        assert!(
+            spin > voter,
+            "spinning should waste rounds (spin {spin} vs voter {voter})"
+        );
+    }
+
+    fn stash_cfg() -> Config {
+        Config {
+            initial_buckets: 2,
+            stash_capacity: 64,
+            // A tiny eviction limit makes chains fail early so the stash
+            // actually gets exercised.
+            eviction_limit: 2,
+            alpha: 0.0,
+            beta: 1.0,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn stash_absorbs_failed_chains_without_resizing() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(stash_cfg(), &mut sim).unwrap();
+        // 2 buckets × 4 tables × 32 slots = 256 slots; pushing well past
+        // capacity with resizing disabled (β = 1.0 means θ can reach 1.0)
+        // must park the overflow in the stash instead of erroring.
+        let kvs: Vec<(u32, u32)> = (1..=280u32).map(|k| (k, k)).collect();
+        let rep = t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(rep.inserted + rep.updated, 280);
+        assert!(t.stashed() > 0, "overflow should be stashed");
+        assert!(rep.resizes.is_empty(), "no resizes while β = 1.0");
+        let keys: Vec<u32> = (1..=280).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, f) in keys.iter().zip(found) {
+            assert_eq!(f, Some(*k), "key {k} lost");
+        }
+        t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn stash_supports_update_and_delete() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(stash_cfg(), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=280u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert!(t.stashed() > 0);
+        // Update every key; stashed ones must update in place.
+        let kvs2: Vec<(u32, u32)> = (1..=280u32).map(|k| (k, k + 1)).collect();
+        let rep = t.insert_batch(&mut sim, &kvs2).unwrap();
+        assert_eq!(rep.updated, 280);
+        assert_eq!(t.len(), 280);
+        let keys: Vec<u32> = (1..=280).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for (k, f) in keys.iter().zip(found) {
+            assert_eq!(f, Some(k + 1));
+        }
+        // Delete everything, stash included.
+        let rep = t.delete_batch(&mut sim, &keys).unwrap();
+        assert_eq!(rep.deleted, 280);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.stashed(), 0);
+    }
+
+    #[test]
+    fn stash_drains_after_resize() {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            stash_capacity: 64,
+            eviction_limit: 2,
+            initial_buckets: 2,
+            ..Config::default() // real bounds: resizing enabled
+        };
+        let mut t = DyCuckoo::new(cfg, &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=2000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        // With resizing enabled, the table grows and the stash drains back;
+        // at most a handful of keys may be parked transiently.
+        assert!(
+            t.stashed() < 32,
+            "stash should drain after resizes, {} still parked",
+            t.stashed()
+        );
+        let keys: Vec<u32> = (1..=2000).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+        t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn release_returns_device_memory() {
+        let mut sim = SimContext::new();
+        let t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let held = sim.device.allocated_bytes();
+        assert!(held > 0);
+        t.release(&mut sim).unwrap();
+        assert_eq!(sim.device.allocated_bytes(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The two-layer hashing scheme (Section "The Two-layer Approach").
+//!
+//! The first layer hashes every key to one of the `C(d,2)` *unordered pairs*
+//! of subtables; the second layer stores the key in exactly one subtable of
+//! its pair. Find and delete therefore probe **at most two** buckets no
+//! matter how large `d` grows, while evictions can still ripple through all
+//! `d` subtables (an evicted key moves to the *other* member of *its own*
+//! pair, which generally differs from the evictor's pair) — this is what
+//! lets the scheme re-balance skew that a static partition-into-pairs
+//! approach cannot.
+
+use crate::hashfn::UniversalHash;
+
+/// First-layer hash: maps keys to subtable pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct PairHash {
+    hash: UniversalHash,
+    num_tables: usize,
+}
+
+impl PairHash {
+    /// Build a pair hash over `d` subtables from a seed.
+    pub fn new(seed: u64, num_tables: usize) -> Self {
+        assert!(num_tables >= 2);
+        Self {
+            hash: UniversalHash::from_seed(seed),
+            num_tables,
+        }
+    }
+
+    /// The raw first-layer hash value (used by alternative layerings that
+    /// partition keys differently, e.g. disjoint pairs).
+    #[inline]
+    pub fn raw(&self, key: u32) -> u64 {
+        self.hash.raw(key)
+    }
+
+    /// Number of pairs, `C(d, 2)`.
+    pub fn num_pairs(&self) -> usize {
+        self.num_tables * (self.num_tables - 1) / 2
+    }
+
+    /// The subtable pair `(i, j)`, `i < j`, assigned to `key`.
+    #[inline]
+    pub fn pair_of(&self, key: u32) -> (usize, usize) {
+        let idx = (self.hash.raw(key) % self.num_pairs() as u64) as usize;
+        unrank_pair(idx, self.num_tables)
+    }
+
+    /// Given a key stored in subtable `t`, the other member of its pair.
+    /// Every stored key satisfies `t ∈ pair_of(key)`; this is the invariant
+    /// the eviction and downsizing paths rely on.
+    #[inline]
+    pub fn partner(&self, key: u32, t: usize) -> usize {
+        let (i, j) = self.pair_of(key);
+        debug_assert!(t == i || t == j, "key {key} not homed in table {t}");
+        if t == i {
+            j
+        } else {
+            i
+        }
+    }
+}
+
+/// Unrank a pair index in `0..C(d,2)` to `(i, j)` with `i < j`, in
+/// lexicographic order: (0,1), (0,2), …, (0,d−1), (1,2), ….
+#[inline]
+pub fn unrank_pair(mut idx: usize, d: usize) -> (usize, usize) {
+    for i in 0..d - 1 {
+        let row = d - 1 - i;
+        if idx < row {
+            return (i, i + 1 + idx);
+        }
+        idx -= row;
+    }
+    panic!("pair index out of range for d = {d}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn unrank_enumerates_all_pairs_exactly_once() {
+        for d in 2..9 {
+            let n = d * (d - 1) / 2;
+            let mut seen = HashSet::new();
+            for idx in 0..n {
+                let (i, j) = unrank_pair(idx, d);
+                assert!(i < j && j < d, "bad pair ({i},{j}) for d={d}");
+                assert!(seen.insert((i, j)), "duplicate pair ({i},{j})");
+            }
+            assert_eq!(seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn unrank_lexicographic_for_d4() {
+        let pairs: Vec<_> = (0..6).map(|i| unrank_pair(i, 4)).collect();
+        assert_eq!(
+            pairs,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn unrank_out_of_range_panics() {
+        unrank_pair(6, 4);
+    }
+
+    #[test]
+    fn pair_of_is_deterministic_and_valid() {
+        let ph = PairHash::new(3, 5);
+        for k in 1..500u32 {
+            let (i, j) = ph.pair_of(k);
+            assert!(i < j && j < 5);
+            assert_eq!(ph.pair_of(k), (i, j));
+        }
+    }
+
+    #[test]
+    fn partner_flips_within_pair() {
+        let ph = PairHash::new(11, 4);
+        for k in 1..200u32 {
+            let (i, j) = ph.pair_of(k);
+            assert_eq!(ph.partner(k, i), j);
+            assert_eq!(ph.partner(k, j), i);
+        }
+    }
+
+    #[test]
+    fn pairs_cover_all_tables() {
+        // Every subtable should be reachable: with d=4 and many keys, each
+        // table index appears in some key's pair.
+        let ph = PairHash::new(7, 4);
+        let mut seen = [false; 4];
+        for k in 1..1000u32 {
+            let (i, j) = ph.pair_of(k);
+            seen[i] = true;
+            seen[j] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pair_distribution_roughly_uniform() {
+        let ph = PairHash::new(13, 4);
+        let mut counts = [0u32; 6];
+        let total = 60_000u32;
+        for k in 1..=total {
+            let (i, j) = ph.pair_of(k);
+            // Rank back to an index for counting.
+            let idx = (0..6).find(|&x| unrank_pair(x, 4) == (i, j)).unwrap();
+            counts[idx] += 1;
+        }
+        let expect = total / 6;
+        for &c in &counts {
+            assert!(c > expect / 2 && c < expect * 2);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Wide-key tables — the paper's "KV sizes beyond 64 bits" design point.
+//!
+//! Prior GPU cuckoo tables (CUDPP, MegaKV) move a KV pair with a single
+//! 64-bit `atomicExch`, which caps keys+values at 8 bytes total. DyCuckoo
+//! locks the *bucket* instead, so a KV entry can be arbitrarily wide: "we
+//! lock the entire bucket exclusively for a warp… thus, we do not limit
+//! ourselves to supporting KV pairs with only 64 bits. Suppose the keys are
+//! 8 bytes, a bucket can then accommodate 16 KV pairs."
+//!
+//! [`WideDyCuckoo`] demonstrates exactly that trade: 8-byte keys and
+//! values, 16 key slots per 128-byte bucket line, the same two-layer
+//! pairing and locked-bucket insertion, and conflict-free doubling on
+//! overflow. It shares the [`gpu_sim`] cost accounting, so experiments can
+//! quantify the halved bucket arity directly against the 4-byte table.
+
+use gpu_sim::{run_rounds, Locks, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+
+use crate::error::{Error, Result};
+use crate::hashfn::{splitmix64, UniversalHash};
+use crate::two_layer::PairHash;
+
+/// Key slots per bucket: 16 eight-byte keys fill one 128-byte line.
+pub const WIDE_BUCKET_SLOTS: usize = 16;
+
+const EMPTY: u64 = 0;
+
+/// A subtable of wide KV pairs.
+#[derive(Debug, Clone)]
+struct WideSubTable {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    locks: Locks,
+    n_buckets: usize,
+    occupied: u64,
+}
+
+impl WideSubTable {
+    fn new(n_buckets: usize) -> Self {
+        Self {
+            keys: vec![EMPTY; n_buckets * WIDE_BUCKET_SLOTS],
+            vals: vec![0; n_buckets * WIDE_BUCKET_SLOTS],
+            locks: Locks::new(n_buckets),
+            n_buckets,
+            occupied: 0,
+        }
+    }
+
+    fn bucket_keys(&self, b: usize) -> &[u64] {
+        &self.keys[b * WIDE_BUCKET_SLOTS..(b + 1) * WIDE_BUCKET_SLOTS]
+    }
+
+    fn find_slot(&self, b: usize, key: u64) -> Option<usize> {
+        self.bucket_keys(b).iter().position(|&k| k == key)
+    }
+
+    fn device_bytes(&self) -> u64 {
+        // Key line + value line per bucket + lock word.
+        (self.n_buckets * (WIDE_BUCKET_SLOTS * 16 + 4)) as u64
+    }
+}
+
+/// Hash a 64-bit key down to the 32-bit domain of the universal family
+/// (a full-avalanche fold, so both halves contribute).
+#[inline]
+fn fold_key(key: u64) -> u32 {
+    (splitmix64(key) >> 16) as u32
+}
+
+/// A dynamic two-layer cuckoo table over 64-bit keys and values.
+///
+/// Key 0 is reserved as the empty sentinel (as in the 32-bit table).
+/// The table grows by doubling one subtable at a time when insertions
+/// fail; the two-lookup guarantee and two-layer invariant are identical to
+/// [`crate::DyCuckoo`].
+pub struct WideDyCuckoo {
+    tables: Vec<WideSubTable>,
+    hashes: Vec<UniversalHash>,
+    pair: PairHash,
+    seed: u64,
+    eviction_limit: u32,
+    op_counter: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WideOp {
+    key: u64,
+    val: u64,
+    target: usize,
+    /// Optimistic duplicate pre-probe of both pair buckets done?
+    checked_dup: bool,
+    tried_both: bool,
+    evictions: u32,
+}
+
+struct WideInsertKernel<'a> {
+    tables: &'a mut [WideSubTable],
+    hashes: &'a [UniversalHash],
+    pair: &'a PairHash,
+    seed: u64,
+    eviction_limit: u32,
+    inserted: u64,
+    updated: u64,
+    failed: Vec<(u64, u64)>,
+}
+
+struct WideWarp {
+    ops: Vec<WideOp>,
+    cur: usize,
+}
+
+impl WideInsertKernel<'_> {
+    fn bucket_of(&self, key: u64, t: usize) -> usize {
+        self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets)
+    }
+}
+
+impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
+    fn step(&mut self, warp: &mut WideWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(op) = warp.ops.get(warp.cur).copied() else {
+            return StepOutcome::Done;
+        };
+        if !op.checked_dup {
+            // Upsert semantics: probe both pair buckets for the key first,
+            // so an update never creates a second copy in the partner.
+            let fk = fold_key(op.key);
+            let (i, j) = self.pair.pair_of(fk);
+            let cur = &mut warp.ops[warp.cur];
+            for t in [i, j] {
+                let b = self.hashes[t].bucket(fk, self.tables[t].n_buckets);
+                ctx.read_bucket();
+                if self.tables[t].find_slot(b, op.key).is_some() {
+                    cur.target = t;
+                    cur.tried_both = true;
+                    break;
+                }
+            }
+            cur.checked_dup = true;
+            return StepOutcome::Pending;
+        }
+        let t = op.target;
+        let b = self.bucket_of(op.key, t);
+        if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+            return StepOutcome::Pending; // warp-serial table: simple spin
+        }
+        ctx.read_bucket();
+        if let Some(slot) = self.tables[t].find_slot(b, op.key) {
+            self.tables[t].vals[b * WIDE_BUCKET_SLOTS + slot] = op.val;
+            ctx.write_line();
+            self.updated += 1;
+            warp.cur += 1;
+        } else if let Some(slot) = self.tables[t].find_slot(b, EMPTY) {
+            let idx = b * WIDE_BUCKET_SLOTS + slot;
+            self.tables[t].keys[idx] = op.key;
+            self.tables[t].vals[idx] = op.val;
+            self.tables[t].occupied += 1;
+            ctx.write_line(); // key line
+            ctx.write_line(); // value line
+            self.inserted += 1;
+            warp.cur += 1;
+        } else if !op.tried_both {
+            let partner = self.pair.partner(fold_key(op.key), t);
+            let cur = &mut warp.ops[warp.cur];
+            cur.target = partner;
+            cur.tried_both = true;
+        } else {
+            // Evict a pseudo-random victim to its own partner subtable.
+            let slot = (splitmix64(self.seed ^ op.key ^ (op.evictions as u64) << 24) as usize)
+                % WIDE_BUCKET_SLOTS;
+            let idx = b * WIDE_BUCKET_SLOTS + slot;
+            let (ek, ev) = (self.tables[t].keys[idx], self.tables[t].vals[idx]);
+            self.tables[t].keys[idx] = op.key;
+            self.tables[t].vals[idx] = op.val;
+            ctx.write_line();
+            ctx.write_line();
+            ctx.metrics.evictions += 1;
+            let next = self.pair.partner(fold_key(ek), t);
+            let cur = &mut warp.ops[warp.cur];
+            cur.key = ek;
+            cur.val = ev;
+            cur.target = next;
+            cur.checked_dup = true; // evicted keys are unique by construction
+            cur.tried_both = true;
+            cur.evictions = op.evictions + 1;
+            if cur.evictions >= self.eviction_limit {
+                self.failed.push((cur.key, cur.val));
+                warp.cur += 1;
+            }
+        }
+        ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+        if warp.cur == warp.ops.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+
+    fn end_round(&mut self) {
+        for t in self.tables.iter_mut() {
+            t.locks.end_round();
+        }
+    }
+}
+
+impl WideDyCuckoo {
+    /// Create a wide table with `d` subtables of `initial_buckets` buckets.
+    pub fn new(d: usize, initial_buckets: usize, seed: u64, sim: &mut SimContext) -> Result<Self> {
+        if !(2..=16).contains(&d) {
+            return Err(Error::InvalidConfig(format!(
+                "wide table needs 2..=16 subtables, got {d}"
+            )));
+        }
+        let tables: Vec<WideSubTable> = (0..d)
+            .map(|_| WideSubTable::new(initial_buckets.max(1)))
+            .collect();
+        for t in &tables {
+            sim.device.alloc(t.device_bytes())?;
+        }
+        Ok(Self {
+            tables,
+            hashes: (0..d)
+                .map(|i| UniversalHash::from_seed(seed ^ ((i as u64 + 1) << 40)))
+                .collect(),
+            pair: PairHash::new(seed ^ 0x77_1D_E0, d),
+            seed,
+            eviction_limit: 64,
+            op_counter: 0,
+        })
+    }
+
+    /// Live KV pairs.
+    pub fn len(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupied).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Overall filled factor.
+    pub fn fill_factor(&self) -> f64 {
+        let slots: u64 = self
+            .tables
+            .iter()
+            .map(|t| (t.n_buckets * WIDE_BUCKET_SLOTS) as u64)
+            .sum();
+        self.len() as f64 / slots as f64
+    }
+
+    /// Device bytes held.
+    pub fn device_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.device_bytes()).sum()
+    }
+
+    fn pair_of(&self, key: u64) -> (usize, usize) {
+        self.pair.pair_of(fold_key(key))
+    }
+
+    /// Conflict-free doubling of the smallest subtable (same argument as
+    /// the 32-bit table: a key in bucket `loc` moves to `loc` or `loc+n`).
+    fn upsize_smallest(&mut self, sim: &mut SimContext) -> Result<()> {
+        let idx = (0..self.tables.len())
+            .min_by_key(|&i| (self.tables[i].n_buckets, i))
+            .expect("non-empty");
+        let old_n = self.tables[idx].n_buckets;
+        let new_n = old_n * 2;
+        let mut fresh = WideSubTable::new(new_n);
+        sim.device.alloc(fresh.device_bytes())?;
+        sim.metrics.rounds += 1;
+        for b in 0..old_n {
+            sim.metrics.read_transactions += 2;
+            for s in 0..WIDE_BUCKET_SLOTS {
+                let idx_old = b * WIDE_BUCKET_SLOTS + s;
+                let k = self.tables[idx].keys[idx_old];
+                if k == EMPTY {
+                    continue;
+                }
+                let nb = self.hashes[idx].bucket(fold_key(k), new_n);
+                debug_assert!(nb == b || nb == b + old_n);
+                let slot = fresh.find_slot(nb, EMPTY).expect("doubled bucket");
+                let idx_new = nb * WIDE_BUCKET_SLOTS + slot;
+                fresh.keys[idx_new] = k;
+                fresh.vals[idx_new] = self.tables[idx].vals[idx_old];
+                fresh.occupied += 1;
+            }
+            sim.metrics.write_transactions += 2;
+        }
+        let old_bytes = self.tables[idx].device_bytes();
+        self.tables[idx] = fresh;
+        sim.device.free(old_bytes)?;
+        Ok(())
+    }
+
+    /// Insert a batch of wide KV pairs, growing on insertion failure.
+    pub fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u64, u64)]) -> Result<()> {
+        if kvs.iter().any(|&(k, _)| k == EMPTY) {
+            return Err(Error::ZeroKey);
+        }
+        sim.metrics.ops += kvs.len() as u64;
+        let mut pending: Vec<(u64, u64)> = kvs.to_vec();
+        let mut attempts = 0;
+        while !pending.is_empty() {
+            let ops: Vec<WideOp> = pending
+                .iter()
+                .map(|&(key, val)| {
+                    self.op_counter += 1;
+                    let (i, j) = self.pair_of(key);
+                    let target = if splitmix64(self.seed ^ self.op_counter) & 1 == 0 {
+                        i
+                    } else {
+                        j
+                    };
+                    WideOp {
+                        key,
+                        val,
+                        target,
+                        checked_dup: false,
+                        tried_both: false,
+                        evictions: 0,
+                    }
+                })
+                .collect();
+            let mut warps: Vec<WideWarp> = ops
+                .chunks(WARP_SIZE)
+                .map(|c| WideWarp {
+                    ops: c.to_vec(),
+                    cur: 0,
+                })
+                .collect();
+            let mut kernel = WideInsertKernel {
+                tables: &mut self.tables,
+                hashes: &self.hashes,
+                pair: &self.pair,
+                seed: self.seed,
+                eviction_limit: self.eviction_limit,
+                inserted: 0,
+                updated: 0,
+                failed: Vec::new(),
+            };
+            run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+            pending = kernel.failed;
+            if !pending.is_empty() {
+                attempts += 1;
+                if attempts > 40 {
+                    return Err(Error::InsertStuck {
+                        failed_ops: pending.len(),
+                    });
+                }
+                self.upsize_smallest(sim)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up a batch of wide keys: at most two bucket probes each.
+    pub fn find_batch(&self, sim: &mut SimContext, keys: &[u64]) -> Vec<Option<u64>> {
+        sim.metrics.ops += keys.len() as u64;
+        let metrics = &mut sim.metrics;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut rounds = 0u64;
+        for chunk in keys.chunks(WARP_SIZE) {
+            let mut warp_rounds = 0u64;
+            for &key in chunk {
+                let (i, j) = self.pair_of(key);
+                let mut found = None;
+                for t in [i, j] {
+                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets);
+                    metrics.read_transactions += 1;
+                    metrics.lookups += 1;
+                    warp_rounds += 1;
+                    if let Some(slot) = self.tables[t].find_slot(b, key) {
+                        metrics.read_transactions += 1; // value line
+                        found = Some(self.tables[t].vals[b * WIDE_BUCKET_SLOTS + slot]);
+                        break;
+                    }
+                }
+                out.push(found);
+            }
+            rounds = rounds.max(warp_rounds);
+        }
+        metrics.rounds += rounds;
+        out
+    }
+
+    /// Delete a batch of wide keys; returns the number erased.
+    pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u64]) -> u64 {
+        sim.metrics.ops += keys.len() as u64;
+        let metrics = &mut sim.metrics;
+        let mut deleted = 0;
+        let mut rounds = 0u64;
+        for chunk in keys.chunks(WARP_SIZE) {
+            let mut warp_rounds = 0u64;
+            for &key in chunk {
+                let (i, j) = self.pair_of(key);
+                for t in [i, j] {
+                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets);
+                    metrics.read_transactions += 1;
+                    metrics.lookups += 1;
+                    warp_rounds += 1;
+                    if let Some(slot) = self.tables[t].find_slot(b, key) {
+                        self.tables[t].keys[b * WIDE_BUCKET_SLOTS + slot] = EMPTY;
+                        self.tables[t].occupied -= 1;
+                        metrics.write_transactions += 1;
+                        deleted += 1;
+                        break;
+                    }
+                }
+            }
+            rounds = rounds.max(warp_rounds);
+        }
+        metrics.rounds += rounds;
+        deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_keys(n: usize) -> Vec<(u64, u64)> {
+        // 64-bit keys well above the 32-bit range, so folding matters.
+        (0..n as u64)
+            .map(|i| ((i + 1) << 33 | 0x5, i.wrapping_mul(0x1234_5678_9ABC)))
+            .collect()
+    }
+
+    #[test]
+    fn bucket_geometry_matches_paper() {
+        // 8-byte keys halve the bucket arity: 16 keys per 128-byte line.
+        assert_eq!(WIDE_BUCKET_SLOTS, crate::BUCKET_SLOTS / 2);
+        assert_eq!(WIDE_BUCKET_SLOTS * 8, 128);
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut sim = SimContext::new();
+        let mut t = WideDyCuckoo::new(4, 2, 7, &mut sim).unwrap();
+        let kvs = wide_keys(500);
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 500);
+        let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+        let found = t.find_batch(&mut sim, &keys);
+        for ((k, v), f) in kvs.iter().zip(found) {
+            assert_eq!(f, Some(*v), "key {k:#x}");
+        }
+        assert_eq!(t.find_batch(&mut sim, &[0xDEAD_BEEF_0000]), vec![None]);
+    }
+
+    #[test]
+    fn grows_on_overflow() {
+        let mut sim = SimContext::new();
+        let mut t = WideDyCuckoo::new(2, 1, 7, &mut sim).unwrap();
+        // 2 tables × 1 bucket × 16 slots = 32 slots; 300 keys force growth.
+        let kvs = wide_keys(300);
+        let before = t.device_bytes();
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        assert_eq!(t.len(), 300);
+        assert!(t.device_bytes() > before);
+        let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut sim = SimContext::new();
+        let mut t = WideDyCuckoo::new(4, 2, 7, &mut sim).unwrap();
+        let kvs = wide_keys(100);
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        // Update in place.
+        let updates: Vec<(u64, u64)> = kvs.iter().map(|&(k, _)| (k, 42)).collect();
+        t.insert_batch(&mut sim, &updates).unwrap();
+        assert_eq!(t.len(), 100);
+        let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+        assert!(t
+            .find_batch(&mut sim, &keys)
+            .iter()
+            .all(|f| *f == Some(42)));
+        assert_eq!(t.delete_batch(&mut sim, &keys), 100);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn find_probes_at_most_two_buckets() {
+        let mut sim = SimContext::new();
+        let mut t = WideDyCuckoo::new(6, 4, 7, &mut sim).unwrap();
+        let kvs = wide_keys(800);
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        sim.take_metrics();
+        let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+        t.find_batch(&mut sim, &keys);
+        let m = sim.take_metrics();
+        assert!(m.lookups <= 2 * 800, "two-layer guarantee for wide keys");
+    }
+
+    #[test]
+    fn rejects_zero_key() {
+        let mut sim = SimContext::new();
+        let mut t = WideDyCuckoo::new(2, 2, 7, &mut sim).unwrap();
+        assert!(matches!(
+            t.insert_batch(&mut sim, &[(0, 1)]),
+            Err(Error::ZeroKey)
+        ));
+    }
+}

@@ -1,0 +1,227 @@
+//! Simulated device: hardware constants and memory-footprint accounting.
+//!
+//! The constants default to the NVIDIA GTX 1080 used in the paper's
+//! evaluation (Pascal, 20 SMs, 8 GB GDDR5 at 320 GB/s, 128-byte cache
+//! lines). They are plain data — experiments may construct devices with
+//! different parameters to study sensitivity.
+
+/// Hardware parameters of the simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Device-memory bandwidth in bytes per second (GTX 1080: 320 GB/s).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Size of one coalesced memory transaction in bytes (L1 line: 128 B).
+    pub line_bytes: u64,
+    /// Effective-bandwidth penalty for pointer-chasing (dependent) line
+    /// reads, e.g. chain traversal in SlabHash: the next address is only
+    /// known after the previous load returns, defeating memory-level
+    /// parallelism.
+    pub dependent_access_derate: f64,
+    /// Effective-bandwidth penalty for uncoalesced single-slot accesses:
+    /// each occupies a full line but uses a few bytes, and scattered DRAM
+    /// rows activate poorly. GDDR5 random access runs at roughly a quarter
+    /// of sequential bandwidth.
+    pub random_access_derate: f64,
+    /// Number of streaming multiprocessors (GTX 1080: 20).
+    pub sm_count: u32,
+    /// Throughput cost of one atomic operation, in nanoseconds. Calibrated
+    /// so a stream of uncontended atomics costs about as much as the same
+    /// number of memory transactions, matching the paper's profiling figure
+    /// at conflict count 1.
+    pub atomic_unit_ns: f64,
+    /// Latency of one step in a same-address atomic serialization chain
+    /// (an L2 read-modify-write round trip). Conflicting atomics pay this
+    /// serially — the collapse in the paper's profiling figure.
+    pub atomic_serial_ns: f64,
+    /// Issue cost of one scheduler round, in nanoseconds. Models kernel
+    /// loop overhead (vote + branch) which is hidden unless a kernel is
+    /// latency-bound.
+    pub round_issue_ns: f64,
+    /// Total device memory in bytes (GTX 1080: 8 GB). Allocations beyond
+    /// this fail, as `cudaMalloc` would.
+    pub memory_bytes: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 320.0e9,
+            line_bytes: 128,
+            random_access_derate: 4.0,
+            dependent_access_derate: 2.0,
+            sm_count: 20,
+            atomic_unit_ns: 0.4,
+            atomic_serial_ns: 16.0,
+            round_issue_ns: 2.0,
+            memory_bytes: 8 * (1 << 30),
+        }
+    }
+}
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation would exceed the device memory capacity.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes available before the allocation.
+        available: u64,
+    },
+    /// A free reported more bytes than are currently allocated (a bug in the
+    /// caller's accounting).
+    DoubleFree {
+        /// Bytes the caller attempted to free.
+        freed: u64,
+        /// Bytes actually allocated.
+        allocated: u64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+            DeviceError::DoubleFree { freed, allocated } => write!(
+                f,
+                "freed {freed} bytes but only {allocated} are allocated"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// The simulated device: configuration plus allocation accounting.
+///
+/// Hash tables report their allocations here so experiments can track the
+/// memory footprint over time — the quantity behind the paper's "saves up
+/// to 4× memory" headline.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    allocated_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config,
+            allocated_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// The device's hardware parameters.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Record an allocation of `bytes`, like `cudaMalloc`.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), DeviceError> {
+        let available = self.config.memory_bytes - self.allocated_bytes;
+        if bytes > available {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocated_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.allocated_bytes);
+        Ok(())
+    }
+
+    /// Record a free of `bytes`, like `cudaFree`.
+    pub fn free(&mut self, bytes: u64) -> Result<(), DeviceError> {
+        if bytes > self.allocated_bytes {
+            return Err(DeviceError::DoubleFree {
+                freed: bytes,
+                allocated: self.allocated_bytes,
+            });
+        }
+        self.allocated_bytes -= bytes;
+        Ok(())
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// High-water mark of allocated bytes. Full-rehash resizing (MegaKV's
+    /// strategy) shows up here: old + new table coexist during the rehash.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Reset the high-water mark to the current allocation level.
+    pub fn reset_peak(&mut self) {
+        self.peak_bytes = self.allocated_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_tracks_totals_and_peak() {
+        let mut d = Device::new(DeviceConfig::default());
+        d.alloc(1000).unwrap();
+        d.alloc(500).unwrap();
+        assert_eq!(d.allocated_bytes(), 1500);
+        d.free(1000).unwrap();
+        assert_eq!(d.allocated_bytes(), 500);
+        assert_eq!(d.peak_bytes(), 1500);
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails() {
+        let cfg = DeviceConfig {
+            memory_bytes: 100,
+            ..DeviceConfig::default()
+        };
+        let mut d = Device::new(cfg);
+        d.alloc(60).unwrap();
+        let err = d.alloc(50).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                requested: 50,
+                available: 40
+            }
+        );
+    }
+
+    #[test]
+    fn overfree_is_reported() {
+        let mut d = Device::new(DeviceConfig::default());
+        d.alloc(10).unwrap();
+        assert!(matches!(d.free(11), Err(DeviceError::DoubleFree { .. })));
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_current() {
+        let mut d = Device::new(DeviceConfig::default());
+        d.alloc(1000).unwrap();
+        d.free(800).unwrap();
+        d.reset_peak();
+        assert_eq!(d.peak_bytes(), 200);
+    }
+
+    #[test]
+    fn default_config_is_gtx_1080() {
+        let cfg = DeviceConfig::default();
+        assert_eq!(cfg.sm_count, 20);
+        assert_eq!(cfg.line_bytes, 128);
+        assert_eq!(cfg.memory_bytes, 8 * (1 << 30));
+    }
+}

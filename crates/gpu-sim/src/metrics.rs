@@ -1,0 +1,139 @@
+//! Kernel metrics: the quantities the paper's evaluation is sensitive to.
+//!
+//! Every performance claim in the paper reduces to how many coalesced memory
+//! transactions a kernel issues, how many random bucket lookups it performs,
+//! how many evictions an insert chain causes, and how badly atomics to the
+//! same bucket serialize. [`Metrics`] counts exactly these; [`crate::cost`]
+//! converts the counts into simulated time.
+
+/// Counters accumulated while simulated kernels execute.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    /// Coalesced 128-byte read transactions issued to device memory.
+    pub read_transactions: u64,
+    /// Coalesced 128-byte write transactions issued to device memory.
+    pub write_transactions: u64,
+    /// Uncoalesced (random single-slot) read transactions. Each still
+    /// occupies a full line but wastes most of it, so the cost model
+    /// charges a bandwidth derate (per-slot schemes like CUDPP pay this).
+    pub random_read_transactions: u64,
+    /// Uncoalesced (random single-slot) write transactions.
+    pub random_write_transactions: u64,
+    /// Pointer-chasing reads: coalesced lines whose address depends on the
+    /// previous read (chain traversal). They defeat memory-level
+    /// parallelism and row locality, so the cost model charges a derate.
+    pub dependent_read_transactions: u64,
+    /// Atomic operations issued (`atomicCAS` + `atomicExch`).
+    pub atomic_ops: u64,
+    /// Serial-chain atomic units: per round, the size of the *largest*
+    /// conflict group (atomics to one address serialize; distinct addresses
+    /// proceed in parallel). This is the latency tail that makes contended
+    /// kernels degrade ∝ conflict degree, as in the paper's profiling
+    /// figure.
+    pub atomic_serial_units: u64,
+    /// Scheduler rounds executed (one round = one lockstep pass over all
+    /// in-flight warps).
+    pub rounds: u64,
+    /// Bucket probes (each is one read transaction plus a warp-wide compare).
+    pub lookups: u64,
+    /// Cuckoo evictions performed by insert kernels.
+    pub evictions: u64,
+    /// Failed `atomicCAS` lock acquisitions (a voter re-vote in Algorithm 1).
+    pub lock_failures: u64,
+    /// Operations completed in this measurement window.
+    pub ops: u64,
+}
+
+impl Metrics {
+    /// Total coalesced memory transactions (reads + writes).
+    #[inline]
+    pub fn transactions(&self) -> u64 {
+        self.read_transactions + self.write_transactions
+    }
+
+    /// Total uncoalesced memory transactions.
+    #[inline]
+    pub fn random_transactions(&self) -> u64 {
+        self.random_read_transactions + self.random_write_transactions
+    }
+
+    /// Fold another metrics window into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.read_transactions += other.read_transactions;
+        self.write_transactions += other.write_transactions;
+        self.random_read_transactions += other.random_read_transactions;
+        self.random_write_transactions += other.random_write_transactions;
+        self.dependent_read_transactions += other.dependent_read_transactions;
+        self.atomic_ops += other.atomic_ops;
+        self.atomic_serial_units += other.atomic_serial_units;
+        self.rounds += other.rounds;
+        self.lookups += other.lookups;
+        self.evictions += other.evictions;
+        self.lock_failures += other.lock_failures;
+        self.ops += other.ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_sums_reads_and_writes() {
+        let m = Metrics {
+            read_transactions: 3,
+            write_transactions: 4,
+            ..Metrics::default()
+        };
+        assert_eq!(m.transactions(), 7);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = Metrics {
+            read_transactions: 1,
+            write_transactions: 2,
+            random_read_transactions: 3,
+            random_write_transactions: 4,
+            dependent_read_transactions: 12,
+            atomic_ops: 5,
+            atomic_serial_units: 6,
+            rounds: 7,
+            lookups: 8,
+            evictions: 9,
+            lock_failures: 10,
+            ops: 11,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.read_transactions, 2);
+        assert_eq!(a.write_transactions, 4);
+        assert_eq!(a.random_read_transactions, 6);
+        assert_eq!(a.random_write_transactions, 8);
+        assert_eq!(a.dependent_read_transactions, 24);
+        assert_eq!(a.atomic_ops, 10);
+        assert_eq!(a.atomic_serial_units, 12);
+        assert_eq!(a.rounds, 14);
+        assert_eq!(a.lookups, 16);
+        assert_eq!(a.evictions, 18);
+        assert_eq!(a.lock_failures, 20);
+        assert_eq!(a.ops, 22);
+    }
+
+    #[test]
+    fn random_transactions_sums_both_directions() {
+        let m = Metrics {
+            random_read_transactions: 5,
+            random_write_transactions: 2,
+            ..Metrics::default()
+        };
+        assert_eq!(m.random_transactions(), 7);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.transactions(), 0);
+        assert_eq!(m.ops, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Warp-level primitives: lane masks, ballot, and broadcast.
+//!
+//! A warp is 32 lanes executing in lockstep. The paper's kernels coordinate
+//! lanes with two CUDA primitives, both of which we reproduce faithfully:
+//!
+//! * `__ballot(pred)` — every lane evaluates a predicate; the result is a
+//!   32-bit mask with bit `l` set iff lane `l`'s predicate held.
+//! * `__shfl(v, src)` — every lane receives lane `src`'s value (broadcast).
+//!
+//! In the simulator a warp's lanes are simply indices `0..32`; per-lane
+//! state lives in arrays owned by the kernel's warp-state struct.
+
+/// Number of lanes in a warp — fixed at 32 on all NVIDIA architectures the
+/// paper targets, and the reason the paper's buckets hold 32 keys.
+pub const WARP_SIZE: usize = 32;
+
+/// A 32-bit mask with one bit per lane, as returned by [`ballot`].
+pub type LaneMask = u32;
+
+/// CUDA `__ballot`: evaluate `pred` on every lane and collect the results
+/// into a lane mask.
+#[inline]
+pub fn ballot(mut pred: impl FnMut(usize) -> bool) -> LaneMask {
+    let mut mask = 0u32;
+    for lane in 0..WARP_SIZE {
+        if pred(lane) {
+            mask |= 1 << lane;
+        }
+    }
+    mask
+}
+
+/// Index of the first set lane in a ballot result, if any. This is how the
+/// paper's Algorithm 1 elects the leader (`l'`) of a vote.
+#[inline]
+pub fn first_set_lane(mask: LaneMask) -> Option<usize> {
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// CUDA `__shfl`: broadcast lane `src`'s value to the whole warp. In the
+/// simulator per-lane values live in a slice indexed by lane.
+#[inline]
+pub fn broadcast<T: Copy>(values: &[T], src: usize) -> T {
+    values[src]
+}
+
+/// Iterate over the lanes set in a mask, in ascending lane order.
+#[inline]
+pub fn lanes(mask: LaneMask) -> impl Iterator<Item = usize> {
+    (0..WARP_SIZE).filter(move |l| mask & (1 << l) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_collects_predicates() {
+        let m = ballot(|l| l % 2 == 0);
+        assert_eq!(m, 0x5555_5555);
+    }
+
+    #[test]
+    fn ballot_empty_and_full() {
+        assert_eq!(ballot(|_| false), 0);
+        assert_eq!(ballot(|_| true), u32::MAX);
+    }
+
+    #[test]
+    fn first_set_lane_picks_lowest() {
+        assert_eq!(first_set_lane(0), None);
+        assert_eq!(first_set_lane(0b1000), Some(3));
+        assert_eq!(first_set_lane(u32::MAX), Some(0));
+        assert_eq!(first_set_lane(1 << 31), Some(31));
+    }
+
+    #[test]
+    fn broadcast_returns_source_lane_value() {
+        let vals: Vec<u32> = (0..32).map(|l| l * 10).collect();
+        assert_eq!(broadcast(&vals, 7), 70);
+    }
+
+    #[test]
+    fn lanes_iterates_set_bits() {
+        let collected: Vec<usize> = lanes(0b1010_0001).collect();
+        assert_eq!(collected, vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn ballot_roundtrips_through_lanes() {
+        let m = ballot(|l| l == 3 || l == 31);
+        let collected: Vec<usize> = lanes(m).collect();
+        assert_eq!(collected, vec![3, 31]);
+    }
+}

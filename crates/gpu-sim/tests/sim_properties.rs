@@ -1,0 +1,148 @@
+//! Property tests for the SIMT execution model: the scheduler and lock
+//! semantics must be deterministic, deadlock-free for single-lock-per-step
+//! kernels, and cost-monotone.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gpu_sim::{
+    run_rounds, CostModel, DeviceConfig, Locks, Metrics, RoundCtx, RoundKernel, StepOutcome,
+};
+
+/// A warp that must acquire (and immediately release) a sequence of locks,
+/// one attempt per round.
+struct LockSeqKernel {
+    locks: Locks,
+}
+
+#[derive(Clone, Debug)]
+struct LockSeqWarp {
+    targets: Vec<usize>,
+    cur: usize,
+}
+
+impl RoundKernel<LockSeqWarp> for LockSeqKernel {
+    fn step(&mut self, warp: &mut LockSeqWarp, ctx: &mut RoundCtx) -> StepOutcome {
+        let Some(&t) = warp.targets.get(warp.cur) else {
+            return StepOutcome::Done;
+        };
+        if ctx.atomic_cas_lock(&mut self.locks, 0, t) {
+            ctx.atomic_exch_unlock(&mut self.locks, 0, t);
+            warp.cur += 1;
+        }
+        if warp.cur == warp.targets.len() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Pending
+        }
+    }
+
+    fn end_round(&mut self) {
+        self.locks.end_round();
+    }
+}
+
+proptest! {
+    /// Lock-per-step kernels always terminate (each round at least one
+    /// contender for every contended lock wins), all warps complete, and
+    /// every lock is released at the end.
+    #[test]
+    fn lock_kernels_terminate_and_release(
+        seqs in vec(vec(0usize..8, 0..12), 1..40)
+    ) {
+        let mut kernel = LockSeqKernel { locks: Locks::new(8) };
+        let mut warps: Vec<LockSeqWarp> = seqs
+            .iter()
+            .map(|s| LockSeqWarp { targets: s.clone(), cur: 0 })
+            .collect();
+        let mut metrics = Metrics::default();
+        let total_steps: usize = seqs.iter().map(Vec::len).sum();
+        let rounds = run_rounds(&mut kernel, &mut warps, &mut metrics);
+        prop_assert!(warps.iter().all(|w| w.cur == w.targets.len()));
+        prop_assert!(kernel.locks.all_free());
+        // Progress bound: with 8 locks and one attempt per warp-round, the
+        // kernel cannot need more rounds than total lock acquisitions.
+        prop_assert!(rounds <= total_steps as u64 + 1, "rounds {} steps {}", rounds, total_steps);
+        // Each acquisition = CAS + unlock = 2 atomics, failures add more.
+        prop_assert!(metrics.atomic_ops >= 2 * total_steps as u64);
+    }
+
+    /// Determinism: the same warp inputs produce identical metrics.
+    #[test]
+    fn scheduler_is_deterministic(seqs in vec(vec(0usize..4, 0..8), 1..20)) {
+        let run = || {
+            let mut kernel = LockSeqKernel { locks: Locks::new(4) };
+            let mut warps: Vec<LockSeqWarp> = seqs
+                .iter()
+                .map(|s| LockSeqWarp { targets: s.clone(), cur: 0 })
+                .collect();
+            let mut metrics = Metrics::default();
+            run_rounds(&mut kernel, &mut warps, &mut metrics);
+            metrics
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The cost model is monotone: adding traffic of any kind never makes
+    /// a kernel faster.
+    #[test]
+    fn cost_model_is_monotone(
+        base_reads in 0u64..100_000,
+        extra_reads in 0u64..10_000,
+        extra_random in 0u64..10_000,
+        extra_dependent in 0u64..10_000,
+        extra_serial in 0u64..10_000,
+    ) {
+        let cfg = DeviceConfig::default();
+        let model = CostModel::new(&cfg);
+        let base = Metrics {
+            read_transactions: base_reads,
+            rounds: 1,
+            ..Metrics::default()
+        };
+        let more = Metrics {
+            read_transactions: base_reads + extra_reads,
+            random_read_transactions: extra_random,
+            dependent_read_transactions: extra_dependent,
+            atomic_serial_units: extra_serial,
+            rounds: 1,
+            ..Metrics::default()
+        };
+        prop_assert!(model.kernel_time_ns(&more) >= model.kernel_time_ns(&base));
+    }
+
+    /// Uncoalesced and dependent traffic are strictly more expensive than
+    /// the same volume of coalesced traffic.
+    #[test]
+    fn derates_are_strict(n in 1u64..100_000) {
+        let cfg = DeviceConfig::default();
+        let model = CostModel::new(&cfg);
+        let coalesced = Metrics { read_transactions: n, ..Metrics::default() };
+        let random = Metrics { random_read_transactions: n, ..Metrics::default() };
+        let dependent = Metrics { dependent_read_transactions: n, ..Metrics::default() };
+        prop_assert!(model.memory_time_ns(&random) > model.memory_time_ns(&coalesced));
+        prop_assert!(model.memory_time_ns(&dependent) > model.memory_time_ns(&coalesced));
+        prop_assert!(model.memory_time_ns(&random) > model.memory_time_ns(&dependent));
+    }
+
+    /// Device alloc/free round-trips leave the device empty, and the peak
+    /// equals the running maximum.
+    #[test]
+    fn device_accounting_roundtrip(sizes in vec(1u64..1_000_000, 1..50)) {
+        let mut dev = gpu_sim::Device::new(DeviceConfig::default());
+        let mut running = 0u64;
+        let mut peak = 0u64;
+        for &s in &sizes {
+            dev.alloc(s).unwrap();
+            running += s;
+            peak = peak.max(running);
+            prop_assert_eq!(dev.allocated_bytes(), running);
+        }
+        prop_assert_eq!(dev.peak_bytes(), peak);
+        for &s in &sizes {
+            dev.free(s).unwrap();
+        }
+        prop_assert_eq!(dev.allocated_bytes(), 0);
+        prop_assert_eq!(dev.peak_bytes(), peak);
+    }
+}

@@ -1,0 +1,283 @@
+//! Synthetic equivalents of the paper's five datasets (Table 2).
+//!
+//! The real Twitter/Reddit crawls and the Alibaba Databank sample are not
+//! redistributable, and TPC-H dbgen output is only needed for its key
+//! multiplicity. What the evaluation actually exercises is each dataset's
+//! **volume** (KV pairs) and **duplication profile** (unique keys / pairs),
+//! so the generators reproduce exactly those statistics, scaled by a
+//! configurable factor (experiments default to 1/50 of the paper's sizes).
+//!
+//! | name | KV pairs    | unique keys | max dup | character                    |
+//! |------|-------------|-------------|---------|------------------------------|
+//! | TW   | 50,876,784  | 44,523,684  | 4       | retweet actions              |
+//! | RE   | 48,104,875  | 41,466,682  | 2       | comment actions              |
+//! | LINE | 50,000,000  | 45,159,880  | 4       | composite TPC-H lineitem key |
+//! | COM  | 10,000,000  |  4,583,941  | 14      | customer IDs                 |
+//! | RAND | 100,000,000 | 100,000,000 | 1       | fully unique                 |
+//!
+//! The max-duplicate column comes from the authors' extended dataset table;
+//! it bounds how often any key repeats, which matters for lock-contention
+//! behaviour.
+
+use crate::keygen::unique_keys;
+use crate::mix64;
+use crate::zipf::Zipf;
+
+/// Static description of a dataset (name + target statistics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset label as printed by the paper.
+    pub name: &'static str,
+    /// Total KV pairs to generate.
+    pub total_pairs: usize,
+    /// Distinct keys among them.
+    pub unique_keys: usize,
+    /// Zipf exponent of the duplicate-occurrence distribution.
+    pub zipf_s: f64,
+    /// Maximum occurrences of any single key (from the authors' extended
+    /// dataset table). 1 means fully unique.
+    pub max_dup: u32,
+}
+
+impl DatasetSpec {
+    /// Scale the dataset down (or up), preserving the unique/total ratio.
+    pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        assert!(factor > 0.0);
+        let total = ((self.total_pairs as f64 * factor).round() as usize).max(1);
+        let unique = ((self.unique_keys as f64 * factor).round() as usize)
+            .max(1)
+            .min(total);
+        DatasetSpec {
+            total_pairs: total,
+            unique_keys: unique,
+            ..*self
+        }
+    }
+
+    /// Generate the dataset deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let uniques: Vec<u32> = unique_keys(seed ^ mix64(self.name.len() as u64), self.unique_keys)
+            .collect();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(self.total_pairs);
+        // Every unique key appears at least once…
+        for (i, &k) in uniques.iter().enumerate() {
+            pairs.push((k, value_of(k, i as u32)));
+        }
+        // …and the surplus occurrences hit Zipf-ranked keys, capped at
+        // `max_dup` occurrences per key (rejection sampling with a linear
+        // fallback so generation always terminates).
+        let surplus = self.total_pairs - self.unique_keys;
+        if surplus > 0 {
+            assert!(
+                self.max_dup >= 2,
+                "{}: surplus pairs but max_dup = {}",
+                self.name,
+                self.max_dup
+            );
+            let mut occurrences = vec![1u32; self.unique_keys];
+            let zipf = Zipf::new(self.unique_keys as u64, self.zipf_s);
+            let mut cursor = 0usize; // fallback scan position
+            for i in 0..surplus {
+                let mut rank = None;
+                for attempt in 0..8 {
+                    let r = zipf.sample(mix64(seed ^ (i as u64) << 3 ^ attempt)) as usize - 1;
+                    if occurrences[r] < self.max_dup {
+                        rank = Some(r);
+                        break;
+                    }
+                }
+                let r = rank.unwrap_or_else(|| {
+                    while occurrences[cursor] >= self.max_dup {
+                        cursor += 1;
+                    }
+                    cursor
+                });
+                occurrences[r] += 1;
+                let k = uniques[r];
+                pairs.push((k, value_of(k, (self.unique_keys + i) as u32)));
+            }
+        }
+        // Deterministic Fisher–Yates shuffle so duplicates interleave with
+        // first occurrences, as they do in a real stream.
+        for i in (1..pairs.len()).rev() {
+            let j = (mix64(seed ^ 0xF15E ^ i as u64) % (i as u64 + 1)) as usize;
+            pairs.swap(i, j);
+        }
+        Dataset {
+            name: self.name,
+            pairs,
+            unique_keys: self.unique_keys,
+        }
+    }
+}
+
+#[inline]
+fn value_of(key: u32, occurrence: u32) -> u32 {
+    key.wrapping_mul(0x9E37_79B9) ^ occurrence
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset label.
+    pub name: &'static str,
+    /// The KV stream, duplicates interleaved.
+    pub pairs: Vec<(u32, u32)>,
+    /// Number of distinct keys in `pairs`.
+    pub unique_keys: usize,
+}
+
+impl Dataset {
+    /// Total KV pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The distinct keys of the dataset (first-occurrence order).
+    pub fn distinct_keys(&self) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::with_capacity(self.unique_keys);
+        let mut keys = Vec::with_capacity(self.unique_keys);
+        for &(k, _) in &self.pairs {
+            if seen.insert(k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+}
+
+/// The paper's five datasets at full size (Table 2).
+pub fn paper_datasets() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "TW",
+            total_pairs: 50_876_784,
+            unique_keys: 44_523_684,
+            zipf_s: 1.1,
+            max_dup: 4,
+        },
+        DatasetSpec {
+            name: "RE",
+            total_pairs: 48_104_875,
+            unique_keys: 41_466_682,
+            zipf_s: 1.0,
+            max_dup: 2,
+        },
+        DatasetSpec {
+            name: "LINE",
+            total_pairs: 50_000_000,
+            unique_keys: 45_159_880,
+            zipf_s: 0.8,
+            max_dup: 4,
+        },
+        DatasetSpec {
+            name: "COM",
+            total_pairs: 10_000_000,
+            unique_keys: 4_583_941,
+            zipf_s: 1.2,
+            max_dup: 14,
+        },
+        DatasetSpec {
+            name: "RAND",
+            total_pairs: 100_000_000,
+            unique_keys: 100_000_000,
+            zipf_s: 1.0,
+            max_dup: 1,
+        },
+    ]
+}
+
+/// Look up a paper dataset by name.
+pub fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
+    paper_datasets().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_table_2_statistics() {
+        let specs = paper_datasets();
+        assert_eq!(specs.len(), 5);
+        let tw = dataset_by_name("TW").unwrap();
+        assert_eq!(tw.total_pairs, 50_876_784);
+        assert_eq!(tw.unique_keys, 44_523_684);
+        let com = dataset_by_name("COM").unwrap();
+        assert_eq!(com.total_pairs, 10_000_000);
+        assert_eq!(com.unique_keys, 4_583_941);
+        let rand = dataset_by_name("RAND").unwrap();
+        assert_eq!(rand.total_pairs, rand.unique_keys);
+    }
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        let com = dataset_by_name("COM").unwrap().scaled(0.01);
+        assert_eq!(com.total_pairs, 100_000);
+        let ratio = com.total_pairs as f64 / com.unique_keys as f64;
+        let full_ratio = 10_000_000.0 / 4_583_941.0;
+        assert!((ratio - full_ratio).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn generate_matches_spec_exactly() {
+        let spec = dataset_by_name("COM").unwrap().scaled(0.002);
+        let ds = spec.generate(1);
+        assert_eq!(ds.len(), spec.total_pairs);
+        let distinct: HashSet<u32> = ds.pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(distinct.len(), spec.unique_keys);
+        assert!(!distinct.contains(&0));
+        assert!(!distinct.contains(&u32::MAX));
+    }
+
+    #[test]
+    fn rand_dataset_has_no_duplicates() {
+        let spec = dataset_by_name("RAND").unwrap().scaled(0.0005);
+        let ds = spec.generate(2);
+        let distinct: HashSet<u32> = ds.pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(distinct.len(), ds.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = dataset_by_name("TW").unwrap().scaled(0.001);
+        assert_eq!(spec.generate(3).pairs, spec.generate(3).pairs);
+    }
+
+    #[test]
+    fn duplicates_are_skewed_for_com() {
+        let spec = dataset_by_name("COM").unwrap().scaled(0.01);
+        let ds = spec.generate(4);
+        let mut counts = std::collections::HashMap::new();
+        for &(k, _) in &ds.pairs {
+            *counts.entry(k).or_insert(0u32) += 1;
+        }
+        let max_dup = counts.values().copied().max().unwrap();
+        assert!(
+            (3..=14).contains(&max_dup),
+            "COM duplicates should be skewed but capped at 14, max dup = {max_dup}"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_first_occurrence_order() {
+        let spec = DatasetSpec {
+            name: "T",
+            total_pairs: 100,
+            unique_keys: 50,
+            zipf_s: 1.0,
+            max_dup: 8,
+        };
+        let ds = spec.generate(5);
+        let keys = ds.distinct_keys();
+        assert_eq!(keys.len(), 50);
+        let set: HashSet<u32> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+    }
+}

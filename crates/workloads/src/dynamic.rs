@@ -1,0 +1,231 @@
+//! Dynamic workload construction (Section "Dynamic Hashing Comparison").
+//!
+//! The paper's protocol: partition a dataset into batches of `batch_size`
+//! insertions; augment each batch with `batch_size` find operations and
+//! `r · batch_size` delete operations (targeting previously inserted keys).
+//! After the dataset is exhausted, **rerun the batches with insert and
+//! delete swapped**, so the table grows through phase 1 and shrinks through
+//! phase 2 — the sawtooth that drives every resize strategy.
+
+use crate::datasets::Dataset;
+use crate::mix64;
+
+/// One batch of single-type operation groups, executed in order:
+/// inserts, then finds, then deletes.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// KV pairs to insert.
+    pub inserts: Vec<(u32, u32)>,
+    /// Keys to look up.
+    pub finds: Vec<u32>,
+    /// Keys to delete.
+    pub deletes: Vec<u32>,
+}
+
+impl Batch {
+    /// Total operations in the batch.
+    pub fn ops(&self) -> usize {
+        self.inserts.len() + self.finds.len() + self.deletes.len()
+    }
+}
+
+/// A full two-phase dynamic workload.
+#[derive(Debug, Clone)]
+pub struct DynamicWorkload {
+    /// The batches, phase 1 (growing) followed by phase 2 (shrinking).
+    pub batches: Vec<Batch>,
+    /// Number of phase-1 batches (the growth phase prefix).
+    pub phase1_len: usize,
+}
+
+impl DynamicWorkload {
+    /// Total operations across all batches.
+    pub fn total_ops(&self) -> usize {
+        self.batches.iter().map(Batch::ops).sum()
+    }
+
+    /// Build the paper's workload from a dataset.
+    ///
+    /// * `batch_size` — insertions per batch (the paper's default is 1e6 on
+    ///   the full-size datasets; scale accordingly).
+    /// * `r` — deletions per insertion (the paper sweeps 0.1–0.5).
+    /// * `seed` — determinism source for sampling finds and deletes.
+    pub fn build(dataset: &Dataset, batch_size: usize, r: f64, seed: u64) -> Self {
+        assert!(batch_size > 0);
+        assert!((0.0..=1.0).contains(&r));
+        let deletes_per_batch = ((batch_size as f64 * r).round() as usize).min(batch_size);
+
+        let mut batches: Vec<Batch> = Vec::new();
+        // Keys inserted so far and not yet deleted (phase-1 bookkeeping).
+        // The set mirrors the pool so duplicate occurrences in the stream
+        // (updates) do not enter the pool twice.
+        let mut live_pool: Vec<u32> = Vec::new();
+        let mut live_set: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut rng = seed;
+        let mut next_rand = |bound: usize| -> usize {
+            rng = mix64(rng);
+            (rng % bound.max(1) as u64) as usize
+        };
+
+        for chunk in dataset.pairs.chunks(batch_size) {
+            let inserts = chunk.to_vec();
+            for &(k, _) in chunk {
+                if live_set.insert(k) {
+                    live_pool.push(k);
+                }
+            }
+            // Finds target the live population (hit-heavy, like the paper's
+            // random search queries over inserted data).
+            let finds: Vec<u32> = (0..chunk.len())
+                .map(|_| live_pool[next_rand(live_pool.len())])
+                .collect();
+            // Deletes sample *without replacement* from the live pool, so
+            // they hit keys that are actually present.
+            let n_del = deletes_per_batch.min(live_pool.len());
+            let mut deletes = Vec::with_capacity(n_del);
+            for _ in 0..n_del {
+                let idx = next_rand(live_pool.len());
+                let k = live_pool.swap_remove(idx);
+                live_set.remove(&k);
+                deletes.push(k);
+            }
+            batches.push(Batch {
+                inserts,
+                finds,
+                deletes,
+            });
+        }
+
+        let phase1_len = batches.len();
+        // Phase 2: rerun with insert and delete swapped. Batch j deletes
+        // what phase-1 batch j inserted and re-inserts what it deleted.
+        let mut phase2: Vec<Batch> = Vec::with_capacity(phase1_len);
+        for b in &batches {
+            let inserts: Vec<(u32, u32)> = b
+                .deletes
+                .iter()
+                .map(|&k| (k, k.wrapping_mul(0x85EB_CA6B)))
+                .collect();
+            let deletes: Vec<u32> = b.inserts.iter().map(|&(k, _)| k).collect();
+            let finds = b.finds.clone();
+            phase2.push(Batch {
+                inserts,
+                finds,
+                deletes,
+            });
+        }
+        batches.extend(phase2);
+        DynamicWorkload {
+            batches,
+            phase1_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn small_dataset() -> Dataset {
+        DatasetSpec {
+            name: "T",
+            total_pairs: 1000,
+            unique_keys: 900,
+            zipf_s: 1.0,
+            max_dup: 4,
+        }
+        .generate(11)
+    }
+
+    #[test]
+    fn batches_partition_the_dataset() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build(&ds, 100, 0.2, 1);
+        assert_eq!(w.phase1_len, 10);
+        assert_eq!(w.batches.len(), 20);
+        let total_inserted: usize = w.batches[..10].iter().map(|b| b.inserts.len()).sum();
+        assert_eq!(total_inserted, 1000);
+    }
+
+    #[test]
+    fn batch_composition_follows_r() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build(&ds, 100, 0.3, 1);
+        for b in &w.batches[..w.phase1_len] {
+            assert_eq!(b.inserts.len(), 100);
+            assert_eq!(b.finds.len(), 100);
+            assert!(b.deletes.len() <= 30);
+        }
+        // Steady-state batches delete exactly r·batch_size.
+        assert_eq!(w.batches[5].deletes.len(), 30);
+    }
+
+    #[test]
+    fn deletes_target_previously_inserted_keys() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build(&ds, 100, 0.5, 2);
+        let mut inserted = std::collections::HashSet::new();
+        for b in &w.batches[..w.phase1_len] {
+            for &(k, _) in &b.inserts {
+                inserted.insert(k);
+            }
+            for &k in &b.deletes {
+                assert!(inserted.contains(&k), "delete of never-inserted key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase1_deletes_always_hit_live_keys() {
+        // Replaying the workload against a reference map: every delete must
+        // find its key present (deletes sample the live pool).
+        let ds = small_dataset();
+        let w = DynamicWorkload::build(&ds, 100, 0.5, 3);
+        let mut live = std::collections::HashSet::new();
+        for b in &w.batches[..w.phase1_len] {
+            for &(k, _) in &b.inserts {
+                live.insert(k);
+            }
+            for &k in &b.deletes {
+                assert!(live.remove(&k), "delete of non-live key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_swaps_inserts_and_deletes() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build(&ds, 100, 0.2, 4);
+        for j in 0..w.phase1_len {
+            let p1 = &w.batches[j];
+            let p2 = &w.batches[w.phase1_len + j];
+            assert_eq!(p2.deletes.len(), p1.inserts.len());
+            assert_eq!(p2.inserts.len(), p1.deletes.len());
+            let p1_insert_keys: Vec<u32> = p1.inserts.iter().map(|&(k, _)| k).collect();
+            assert_eq!(p2.deletes, p1_insert_keys);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let ds = small_dataset();
+        let a = DynamicWorkload::build(&ds, 64, 0.2, 5);
+        let b = DynamicWorkload::build(&ds, 64, 0.2, 5);
+        assert_eq!(a.batches.len(), b.batches.len());
+        for (x, y) in a.batches.iter().zip(&b.batches) {
+            assert_eq!(x.inserts, y.inserts);
+            assert_eq!(x.finds, y.finds);
+            assert_eq!(x.deletes, y.deletes);
+        }
+    }
+
+    #[test]
+    fn total_ops_counts_everything() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build(&ds, 100, 0.2, 6);
+        let manual: usize = w.batches.iter().map(Batch::ops).sum();
+        assert_eq!(w.total_ops(), manual);
+        assert!(w.total_ops() > 2 * ds.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! # workloads — datasets and dynamic batch workloads from the paper
+//!
+//! * [`datasets`] — seeded synthetic equivalents of the paper's five
+//!   datasets (Table 2), matching their KV-pair counts and unique-key
+//!   ratios, with configurable scaling.
+//! * [`dynamic`] — the two-phase batched workload of the dynamic
+//!   experiments (inserts + finds + r·deletes per batch, then the mirror
+//!   phase with inserts and deletes swapped).
+//! * [`keygen`] / [`zipf`] — deterministic unique-key generation (Feistel
+//!   bijection) and skewed duplicate sampling.
+
+pub mod datasets;
+pub mod dynamic;
+pub mod keygen;
+pub mod zipf;
+
+pub use datasets::{dataset_by_name, paper_datasets, Dataset, DatasetSpec};
+pub use dynamic::{Batch, DynamicWorkload};
+
+/// SplitMix64 mixer used for all deterministic sampling in this crate.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

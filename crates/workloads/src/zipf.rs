@@ -1,0 +1,95 @@
+//! Approximate Zipf sampling for duplicate-key profiles.
+//!
+//! The real datasets' duplicate keys are heavily skewed (a few Twitter
+//! celebrities receive thousands of retweets). We reproduce that shape with
+//! a standard bounded Zipf(s) sampler over rank `1..=n`, implemented by
+//! inverting the continuous CDF — accurate enough for workload generation
+//! and allocation-free.
+
+/// Bounded Zipf(s) sampler over ranks `1..=n`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Normalizer: ∫₁ⁿ x^(−s) dx (continuous approximation of H_{n,s}).
+    norm: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over `1..=n` with exponent `s > 0`, `s ≠ 1` handled
+    /// via the closed-form integral, `s = 1` via the logarithm.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1 && s > 0.0);
+        let nf = n as f64;
+        let norm = if (s - 1.0).abs() < 1e-9 {
+            nf.ln()
+        } else {
+            (nf.powf(1.0 - s) - 1.0) / (1.0 - s)
+        };
+        Self { n, s, norm }
+    }
+
+    /// Map a uniform `u ∈ [0,1)` to a rank in `1..=n` (inverse CDF).
+    pub fn rank(&self, u: f64) -> u64 {
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            (u * self.norm).exp()
+        } else {
+            (u * self.norm * (1.0 - self.s) + 1.0).powf(1.0 / (1.0 - self.s))
+        };
+        (x.floor() as u64).clamp(1, self.n)
+    }
+
+    /// Sample from a 64-bit random word.
+    pub fn sample(&self, word: u64) -> u64 {
+        let u = (word >> 11) as f64 / (1u64 << 53) as f64;
+        self.rank(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix64;
+
+    #[test]
+    fn ranks_stay_in_bounds() {
+        let z = Zipf::new(1000, 1.0);
+        for i in 0..10_000u64 {
+            let r = z.sample(mix64(i));
+            assert!((1..=1000).contains(&r));
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut top10 = 0;
+        let total = 100_000;
+        for i in 0..total {
+            if z.sample(mix64(i)) <= 10 {
+                top10 += 1;
+            }
+        }
+        // Under Zipf(1) over 10k ranks, the top-10 share is
+        // ln(10)/ln(10000) ≈ 25%; uniform would give 0.1%.
+        assert!(
+            top10 > total / 10,
+            "top-10 ranks got only {top10}/{total} draws"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let count_top1 = |s: f64| {
+            let z = Zipf::new(1000, s);
+            (0..50_000u64).filter(|&i| z.sample(mix64(i ^ 0xABCD)) == 1).count()
+        };
+        assert!(count_top1(1.5) > count_top1(0.5));
+    }
+
+    #[test]
+    fn single_rank_degenerate_case() {
+        let z = Zipf::new(1, 1.0);
+        assert_eq!(z.sample(12345), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for dataset generation and dynamic workload construction.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+use workloads::{DatasetSpec, DynamicWorkload};
+
+fn spec(total: usize, unique: usize, max_dup: u32) -> DatasetSpec {
+    DatasetSpec {
+        name: "prop",
+        total_pairs: total,
+        unique_keys: unique,
+        zipf_s: 1.0,
+        max_dup,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated datasets match their spec exactly: total pairs, unique
+    /// keys, per-key duplication cap, and no sentinel keys.
+    #[test]
+    fn dataset_matches_spec(
+        unique in 10usize..3000,
+        dup_factor in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let max_dup = dup_factor.max(1) + 1;
+        let total = unique + (unique / 2) * dup_factor as usize / 4;
+        let spec = spec(total, unique, max_dup);
+        let ds = spec.generate(seed);
+        prop_assert_eq!(ds.len(), total);
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &(k, _) in &ds.pairs {
+            prop_assert_ne!(k, 0);
+            prop_assert_ne!(k, u32::MAX);
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        prop_assert_eq!(counts.len(), unique);
+        prop_assert!(counts.values().all(|&c| c <= max_dup));
+    }
+
+    /// The dynamic workload's phase-1 deletes always target live keys, and
+    /// the full two-phase replay against a reference set is consistent.
+    #[test]
+    fn workload_replays_consistently(
+        unique in 50usize..1500,
+        batch in 20usize..200,
+        r_tenths in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let total = unique + unique / 5;
+        let ds = spec(total, unique, 4).generate(seed);
+        let r = r_tenths as f64 / 10.0;
+        let w = DynamicWorkload::build(&ds, batch, r, seed);
+
+        prop_assert_eq!(w.batches.len(), 2 * w.phase1_len);
+        let mut live: HashSet<u32> = HashSet::new();
+        for (i, b) in w.batches.iter().enumerate() {
+            for &(k, _) in &b.inserts {
+                live.insert(k);
+            }
+            for &k in &b.deletes {
+                if i < w.phase1_len {
+                    prop_assert!(live.remove(&k), "phase-1 delete of dead key {}", k);
+                } else {
+                    live.remove(&k);
+                }
+            }
+            // Finds only reference keys that were live at build time.
+            prop_assert!(!b.finds.is_empty() || b.inserts.is_empty());
+        }
+
+        // Phase 2 mirrors phase 1's inserts as deletes.
+        for j in 0..w.phase1_len {
+            let p1_keys: Vec<u32> = w.batches[j].inserts.iter().map(|&(k, _)| k).collect();
+            prop_assert_eq!(&w.batches[w.phase1_len + j].deletes, &p1_keys);
+        }
+    }
+
+    /// Scaling preserves the unique/total ratio within rounding.
+    #[test]
+    fn scaling_preserves_ratio(factor_pct in 1u32..100) {
+        let base = spec(100_000, 40_000, 6);
+        let scaled = base.scaled(factor_pct as f64 / 100.0);
+        let base_ratio = base.total_pairs as f64 / base.unique_keys as f64;
+        let new_ratio = scaled.total_pairs as f64 / scaled.unique_keys as f64;
+        prop_assert!((base_ratio - new_ratio).abs() < 0.05,
+            "ratio drifted: {} vs {}", base_ratio, new_ratio);
+    }
+}

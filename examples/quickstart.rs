@@ -1,0 +1,66 @@
+//! Quickstart: create a DyCuckoo table, insert, find, delete, and watch it
+//! resize itself — all on the simulated GPU.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dycuckoo::{Config, DyCuckoo};
+use gpu_sim::SimContext;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The simulation context stands in for the GPU: it tracks device
+    // memory and charges every kernel's memory/atomic traffic to a cost
+    // model calibrated to a GTX 1080.
+    let mut sim = SimContext::new();
+
+    // A dynamic table with the paper's defaults: d = 4 subtables, filled
+    // factor kept within [30%, 85%], two-layer hashing, voter inserts.
+    let mut table = DyCuckoo::new(Config::default(), &mut sim)?;
+    println!(
+        "fresh table: {} subtables, {} slots, {} KiB on device",
+        table.stats().num_tables,
+        table.stats().capacity_slots,
+        table.device_bytes() / 1024
+    );
+
+    // Insert a batch of 100k key-value pairs. The table upsizes itself
+    // (one subtable at a time) as the filled factor crosses β.
+    let kvs: Vec<(u32, u32)> = (1..=100_000u32).map(|k| (k, k * 7)).collect();
+    let report = table.insert_batch(&mut sim, &kvs)?;
+    println!(
+        "inserted {} (updated {}), triggering {} resizes; θ = {:.1}%",
+        report.inserted,
+        report.updated,
+        report.resizes.len(),
+        table.fill_factor() * 100.0
+    );
+
+    // Batched find: at most two bucket probes per key, guaranteed.
+    let hits = table.find_batch(&mut sim, &[1, 50_000, 999_999]);
+    println!("find [1, 50000, 999999] -> {hits:?}");
+    assert_eq!(hits, vec![Some(7), Some(350_000), None]);
+
+    // Delete most of the table; it downsizes to stay above α.
+    let doomed: Vec<u32> = (1..=90_000).collect();
+    let before = table.device_bytes();
+    let report = table.delete_batch(&mut sim, &doomed)?;
+    println!(
+        "deleted {}; {} downsizes shrank the table from {} KiB to {} KiB (θ = {:.1}%)",
+        report.deleted,
+        report.resizes.len(),
+        before / 1024,
+        table.device_bytes() / 1024,
+        table.fill_factor() * 100.0
+    );
+
+    // The simulator has been charging everything we did; ask it for the
+    // simulated throughput of the whole session.
+    let metrics = sim.take_metrics();
+    println!(
+        "session totals: {} ops, {} memory transactions, {} evictions -> {:.0} Mops simulated",
+        metrics.ops,
+        metrics.transactions(),
+        metrics.evictions,
+        gpu_sim::CostModel::new(sim.device.config()).mops(metrics.ops, &metrics)
+    );
+    Ok(())
+}

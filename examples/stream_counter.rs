@@ -1,0 +1,94 @@
+//! Stream counting — the paper's motivating scenario: tracking retweet
+//! counts for active Twitter accounts over a sliding window. Accounts
+//! appear and expire continuously, so the active set grows and shrinks and
+//! a static table would either overflow or waste memory.
+//!
+//! This example replays a synthetic skewed action stream in batches:
+//! each batch increments counters for the accounts it mentions (read +
+//! upsert), then expires accounts idle for too long (batch delete). The
+//! DyCuckoo table tracks the active population, resizing itself both ways.
+//!
+//! Run with: `cargo run --release --example stream_counter`
+
+use std::collections::HashMap;
+
+use dycuckoo::{Config, DyCuckoo};
+use gpu_sim::SimContext;
+use workloads::zipf::Zipf;
+
+const BATCHES: usize = 40;
+const ACTIONS_PER_BATCH: usize = 20_000;
+const ACCOUNT_UNIVERSE: u64 = 400_000;
+/// Batches of inactivity before an account expires from the window.
+const EXPIRE_AFTER: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(Config::default(), &mut sim)?;
+
+    // Host-side bookkeeping for expiry (the table stores the counters).
+    let mut last_seen: HashMap<u32, usize> = HashMap::new();
+    let zipf = Zipf::new(ACCOUNT_UNIVERSE, 1.05);
+
+    for batch in 0..BATCHES {
+        // The stream drifts: later batches mention a shifted slice of the
+        // account universe, so old accounts go idle.
+        let drift = (batch as u64) * 12_000;
+        let mentions: Vec<u32> = (0..ACTIONS_PER_BATCH)
+            .map(|i| {
+                let rank = zipf.sample(workloads::mix64((batch * ACTIONS_PER_BATCH + i) as u64));
+                ((rank + drift) % ACCOUNT_UNIVERSE) as u32 + 1
+            })
+            .collect();
+
+        // Aggregate increments host-side (one upsert per distinct account,
+        // as a real pipeline would), then apply as one batch.
+        let mut increments: HashMap<u32, u32> = HashMap::new();
+        for &account in &mentions {
+            *increments.entry(account).or_insert(0) += 1;
+            last_seen.insert(account, batch);
+        }
+        let current = table.find_batch(&mut sim, &increments.keys().copied().collect::<Vec<_>>());
+        let updates: Vec<(u32, u32)> = increments
+            .iter()
+            .zip(current)
+            .map(|((&account, &delta), old)| (account, old.unwrap_or(0) + delta))
+            .collect();
+        table.insert_batch(&mut sim, &updates)?;
+
+        // Expire idle accounts.
+        let expired: Vec<u32> = last_seen
+            .iter()
+            .filter(|(_, &seen)| batch >= EXPIRE_AFTER && seen + EXPIRE_AFTER <= batch)
+            .map(|(&account, _)| account)
+            .collect();
+        for account in &expired {
+            last_seen.remove(account);
+        }
+        table.delete_batch(&mut sim, &expired)?;
+
+        if batch % 5 == 4 {
+            println!(
+                "batch {batch:2}: {:>7} active accounts, θ = {:>5.1}%, {:>6} KiB on device",
+                table.len(),
+                table.fill_factor() * 100.0,
+                table.device_bytes() / 1024
+            );
+        }
+    }
+
+    let metrics = sim.take_metrics();
+    println!(
+        "\nprocessed {} table ops in {:.2} simulated ms ({:.0} Mops)",
+        metrics.ops,
+        gpu_sim::CostModel::new(sim.device.config()).kernel_time_ns(&metrics) / 1e6,
+        gpu_sim::CostModel::new(sim.device.config()).mops(metrics.ops, &metrics)
+    );
+    println!(
+        "filled factor stayed in [{:.0}%, {:.0}%] by design; final table: {} KiB",
+        table.config().alpha * 100.0,
+        table.config().beta * 100.0,
+        table.device_bytes() / 1024
+    );
+    Ok(())
+}

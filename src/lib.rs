@@ -1,0 +1,20 @@
+//! # dycuckoo-repro — workspace root
+//!
+//! Re-exports the workspace crates so the examples under `examples/` and
+//! the integration tests under `tests/` can use everything through one
+//! dependency. See the individual crates for the real APIs:
+//!
+//! * [`gpu_sim`] — the deterministic SIMT execution model and cost model.
+//! * [`dycuckoo`] — the paper's dynamic two-layer cuckoo hash table.
+//! * [`baselines`] — CUDPP, MegaKV, SlabHash and linear probing behind the
+//!   common [`baselines::GpuHashTable`] trait.
+//! * [`workloads`] — the paper's datasets and dynamic batch workloads.
+//! * [`bench`] — experiment drivers shared by the figure binaries.
+
+pub use baselines;
+// `bench` is re-exported via its crate path: a bare `bench` identifier
+// collides with rustc's unstable custom-test-framework attribute.
+pub use ::bench as bench_harness;
+pub use dycuckoo;
+pub use gpu_sim;
+pub use workloads;

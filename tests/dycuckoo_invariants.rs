@@ -1,0 +1,258 @@
+//! Property-based invariant tests for the DyCuckoo core (DESIGN.md §7).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use dycuckoo::{Config, Distribution, DyCuckoo, Layering, WideDyCuckoo};
+use gpu_sim::SimContext;
+
+/// An operation in a random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u32),
+    Delete(u32),
+    Find(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Keys from a smallish domain so deletes/finds hit live keys often.
+    let key = 1u32..5000;
+    prop_oneof![
+        4 => (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Delete),
+        2 => key.prop_map(Op::Find),
+    ]
+}
+
+fn small_config(layering: Layering, distribution: Distribution) -> Config {
+    Config {
+        initial_buckets: 2,
+        layering,
+        distribution,
+        ..Config::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The table agrees with a reference `HashMap` after any op sequence,
+    /// and every structural invariant holds throughout.
+    #[test]
+    fn matches_reference_map(ops in vec(op_strategy(), 1..400)) {
+        let mut sim = SimContext::new();
+        let mut table =
+            DyCuckoo::new(small_config(Layering::TwoLayer, Distribution::Balanced), &mut sim)
+                .unwrap();
+        let mut reference: HashMap<u32, u32> = HashMap::new();
+
+        for chunk in ops.chunks(16) {
+            // Group into small single-type batches (the batched API).
+            let inserts: Vec<(u32, u32)> = chunk
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Insert(k, v) => Some((*k, *v)),
+                    _ => None,
+                })
+                .collect();
+            let deletes: Vec<u32> = chunk
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Delete(k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+            let finds: Vec<u32> = chunk
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Find(k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+
+            if !inserts.is_empty() {
+                // Within-batch duplicate updates are order-dependent in a
+                // real concurrent batch; keep the reference deterministic
+                // by deduplicating to the last write.
+                let mut dedup: HashMap<u32, u32> = HashMap::new();
+                for &(k, v) in &inserts {
+                    dedup.insert(k, v);
+                }
+                let batch: Vec<(u32, u32)> = dedup.into_iter().collect();
+                table.insert_batch(&mut sim, &batch).unwrap();
+                for (k, v) in batch {
+                    reference.insert(k, v);
+                }
+            }
+            if !deletes.is_empty() {
+                let report = table.delete_batch(&mut sim, &deletes).unwrap();
+                let mut expect = 0;
+                let mut seen = std::collections::HashSet::new();
+                for &k in &deletes {
+                    if reference.remove(&k).is_some() && seen.insert(k) {
+                        expect += 1;
+                    }
+                }
+                prop_assert_eq!(report.deleted, expect as u64);
+            }
+            if !finds.is_empty() {
+                let got = table.find_batch(&mut sim, &finds);
+                for (k, g) in finds.iter().zip(got) {
+                    prop_assert_eq!(g, reference.get(k).copied(), "key {}", k);
+                }
+            }
+
+            // Structural invariants after every batch.
+            prop_assert_eq!(table.len(), reference.len() as u64);
+            prop_assert!(table.size_ratio_ok());
+            table.verify_integrity().map_err(|e| {
+                TestCaseError::fail(format!("integrity: {e}"))
+            })?;
+            let theta = table.fill_factor();
+            prop_assert!(
+                theta <= table.config().beta + 1e-9,
+                "θ = {} above β after rebalance", theta
+            );
+        }
+    }
+
+    /// The two-lookup guarantee: any find batch touches at most 2 buckets
+    /// per key under the two-layer scheme.
+    #[test]
+    fn finds_probe_at_most_two_buckets(keys in vec(1u32..100_000, 1..300)) {
+        let mut sim = SimContext::new();
+        let mut table =
+            DyCuckoo::new(small_config(Layering::TwoLayer, Distribution::Balanced), &mut sim)
+                .unwrap();
+        let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k)).collect();
+        table.insert_batch(&mut sim, &kvs).unwrap();
+        sim.take_metrics();
+        table.find_batch(&mut sim, &keys);
+        let m = sim.take_metrics();
+        prop_assert!(m.lookups <= 2 * keys.len() as u64);
+    }
+
+    /// Determinism: identical inputs produce identical metrics and state.
+    #[test]
+    fn batches_replay_identically(keys in vec(1u32..10_000, 1..200)) {
+        let run = || {
+            let mut sim = SimContext::new();
+            let mut table = DyCuckoo::new(
+                small_config(Layering::TwoLayer, Distribution::Balanced),
+                &mut sim,
+            )
+            .unwrap();
+            let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 7)).collect();
+            table.insert_batch(&mut sim, &kvs).unwrap();
+            (table.len(), table.fill_factor().to_bits(), sim.take_metrics())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// All layerings and distributions keep find-after-insert correct.
+    #[test]
+    fn all_modes_roundtrip(
+        keys in vec(1u32..50_000, 1..200),
+        layering_idx in 0usize..3,
+        dist_idx in 0usize..2,
+    ) {
+        let layering = [Layering::TwoLayer, Layering::DisjointPairs, Layering::PlainD]
+            [layering_idx];
+        let distribution = [Distribution::Balanced, Distribution::Uniform][dist_idx];
+        let mut sim = SimContext::new();
+        let mut table = DyCuckoo::new(small_config(layering, distribution), &mut sim).unwrap();
+        let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k.wrapping_mul(3))).collect();
+        table.insert_batch(&mut sim, &kvs).unwrap();
+        table.verify_integrity().map_err(|e| {
+            TestCaseError::fail(format!("integrity: {e}"))
+        })?;
+        let found = table.find_batch(&mut sim, &keys);
+        for (k, f) in keys.iter().zip(found) {
+            prop_assert_eq!(f, Some(k.wrapping_mul(3)), "key {}", k);
+        }
+    }
+
+    /// Upsizing is conflict-free and lossless: forcing resizes at any point
+    /// never loses a key.
+    #[test]
+    fn forced_resizes_preserve_content(
+        raw_keys in vec(1u32..50_000, 10..300),
+        grow_first in any::<bool>(),
+    ) {
+        // Deduplicate: concurrent same-key inserts in one batch may land
+        // two copies (the documented intra-batch race), and a later resize
+        // can legitimately merge them — which would look like a "lost" key
+        // to this count-based assertion.
+        let mut seen = std::collections::HashSet::new();
+        let keys: Vec<u32> = raw_keys.into_iter().filter(|&k| seen.insert(k)).collect();
+        let mut sim = SimContext::new();
+        let mut table =
+            DyCuckoo::new(small_config(Layering::TwoLayer, Distribution::Balanced), &mut sim)
+                .unwrap();
+        let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k)).collect();
+        table.insert_batch(&mut sim, &kvs).unwrap();
+        let before = table.len();
+        prop_assert_eq!(before, keys.len() as u64);
+        for i in 0..table.config().num_tables {
+            let op = if grow_first {
+                dycuckoo::ResizeOp::Upsize(i)
+            } else {
+                dycuckoo::ResizeOp::Downsize(i)
+            };
+            // Downsizing a 1-bucket (or odd) table is not possible; skip.
+            let n = table.stats().per_table[i].n_buckets;
+            if matches!(op, dycuckoo::ResizeOp::Downsize(_)) && (n < 2 || !n.is_multiple_of(2)) {
+                continue;
+            }
+            table.force_resize(&mut sim, op).unwrap();
+            table.verify_integrity().map_err(|e| {
+                TestCaseError::fail(format!("integrity: {e}"))
+            })?;
+        }
+        prop_assert_eq!(table.len(), before);
+        let found = table.find_batch(&mut sim, &keys);
+        prop_assert!(found.iter().all(|f| f.is_some()));
+    }
+
+    /// The wide-key table agrees with a reference map across inserts,
+    /// updates and deletes, while honouring the two-lookup guarantee.
+    #[test]
+    fn wide_table_matches_reference(
+        raw_keys in vec(1u64..u64::MAX, 1..250),
+        delete_mask in vec(any::<bool>(), 250),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let keys: Vec<u64> = raw_keys.into_iter().filter(|&k| seen.insert(k)).collect();
+        let mut sim = SimContext::new();
+        let mut table = WideDyCuckoo::new(4, 2, 3, &mut sim).unwrap();
+        let kvs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+        table.insert_batch(&mut sim, &kvs).unwrap();
+        prop_assert_eq!(table.len(), keys.len() as u64);
+
+        // Update all values in place.
+        let updates: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k.wrapping_add(1))).collect();
+        table.insert_batch(&mut sim, &updates).unwrap();
+        prop_assert_eq!(table.len(), keys.len() as u64);
+
+        // Delete a subset.
+        let deletes: Vec<u64> = keys
+            .iter()
+            .zip(delete_mask.iter().cycle())
+            .filter(|(_, &d)| d)
+            .map(|(&k, _)| k)
+            .collect();
+        let deleted = table.delete_batch(&mut sim, &deletes);
+        prop_assert_eq!(deleted, deletes.len() as u64);
+
+        let dead: std::collections::HashSet<u64> = deletes.into_iter().collect();
+        sim.take_metrics();
+        let found = table.find_batch(&mut sim, &keys);
+        let m = sim.take_metrics();
+        prop_assert!(m.lookups <= 2 * keys.len() as u64, "two-lookup guarantee");
+        for (k, f) in keys.iter().zip(found) {
+            let expect = if dead.contains(k) { None } else { Some(k.wrapping_add(1)) };
+            prop_assert_eq!(f, expect, "key {:#x}", k);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Failure injection: behaviour at device-memory exhaustion and on invalid
+//! inputs. A production library must fail cleanly, not corrupt state.
+
+use baselines::{GpuHashTable, MegaKv, ResizeBounds, SlabHash, TableError};
+use dycuckoo::{Config, DyCuckoo, Error};
+use gpu_sim::{DeviceConfig, SimContext};
+
+/// A device too small to grow into: DyCuckoo's upsize must fail with a
+/// device error and leave the table fully consistent.
+#[test]
+fn dycuckoo_oom_on_growth_is_clean() {
+    let mut sim = SimContext::with_config(DeviceConfig {
+        memory_bytes: 200 * 1024, // 200 KiB
+        ..DeviceConfig::default()
+    });
+    let cfg = Config {
+        initial_buckets: 2,
+        ..Config::default()
+    };
+    let mut table = DyCuckoo::new(cfg, &mut sim).unwrap();
+    let mut inserted_before_oom = 0u64;
+    let mut oom = false;
+    for wave in 0..100u32 {
+        let kvs: Vec<(u32, u32)> = (0..1000).map(|i| (wave * 1000 + i + 1, i)).collect();
+        match table.insert_batch(&mut sim, &kvs) {
+            Ok(_) => inserted_before_oom = table.len(),
+            Err(Error::Device(_)) => {
+                oom = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(oom, "a 200 KiB device must eventually refuse to grow");
+    assert!(inserted_before_oom > 0, "some batches must have succeeded");
+    // The table survived: accounting consistent, earlier keys retrievable.
+    table.verify_integrity().unwrap();
+    let probe: Vec<u32> = (1..=100).collect();
+    let found = table.find_batch(&mut sim, &probe);
+    assert!(found.iter().all(|f| f.is_some()), "pre-OOM keys must survive");
+    // Device accounting still balances with what the table reports.
+    assert_eq!(sim.device.allocated_bytes(), table.device_bytes());
+}
+
+/// MegaKV's full rehash needs old + new simultaneously, so it OOMs earlier
+/// than an incremental scheme on the same device.
+#[test]
+fn megakv_oom_during_rehash_is_clean() {
+    let mut sim = SimContext::with_config(DeviceConfig {
+        memory_bytes: 200 * 1024,
+        ..DeviceConfig::default()
+    });
+    let mut table = MegaKv::new(
+        2,
+        Some(ResizeBounds {
+            alpha: 0.3,
+            beta: 0.85,
+        }),
+        1,
+        &mut sim,
+    )
+    .unwrap();
+    let mut oom_at = None;
+    for wave in 0..100u32 {
+        let kvs: Vec<(u32, u32)> = (0..1000).map(|i| (wave * 1000 + i + 1, i)).collect();
+        match table.insert_batch(&mut sim, &kvs) {
+            Ok(_) => {}
+            Err(TableError::Device(_)) => {
+                oom_at = Some(table.len());
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let survivors = oom_at.expect("MegaKV must OOM on a 200 KiB device");
+    assert!(survivors > 0);
+    // Earlier keys remain findable.
+    let probe: Vec<u32> = (1..=100).collect();
+    assert!(table.find_batch(&mut sim, &probe).iter().all(|f| f.is_some()));
+}
+
+/// With identical tiny devices, the incremental resizer fits more keys
+/// than the full-rehash resizer before hitting the wall — the paper's
+/// coexistence argument, stated as a failure-point comparison.
+#[test]
+fn incremental_resizing_fits_more_before_oom() {
+    let fill_until_oom = |use_dycuckoo: bool| -> u64 {
+        let mut sim = SimContext::with_config(DeviceConfig {
+            memory_bytes: 150 * 1024,
+            ..DeviceConfig::default()
+        });
+        let mut table: Box<dyn GpuHashTable> = if use_dycuckoo {
+            Box::new(
+                baselines::DyCuckooTable::new(
+                    Config {
+                        initial_buckets: 2,
+                        ..Config::default()
+                    },
+                    &mut sim,
+                )
+                .unwrap(),
+            )
+        } else {
+            Box::new(
+                MegaKv::new(
+                    2,
+                    Some(ResizeBounds {
+                        alpha: 0.3,
+                        beta: 0.85,
+                    }),
+                    1,
+                    &mut sim,
+                )
+                .unwrap(),
+            )
+        };
+        for wave in 0..200u32 {
+            let kvs: Vec<(u32, u32)> = (0..500).map(|i| (wave * 500 + i + 1, i)).collect();
+            if table.insert_batch(&mut sim, &kvs).is_err() {
+                break;
+            }
+        }
+        table.len()
+    };
+    let dy = fill_until_oom(true);
+    let mk = fill_until_oom(false);
+    assert!(
+        dy > mk,
+        "incremental resizing should fit more keys before OOM (DyCuckoo {dy} vs MegaKV {mk})"
+    );
+}
+
+/// SlabHash pool growth also respects the device limit.
+#[test]
+fn slab_oom_on_pool_growth_is_clean() {
+    let mut sim = SimContext::with_config(DeviceConfig {
+        memory_bytes: 100 * 1024,
+        ..DeviceConfig::default()
+    });
+    let mut table = SlabHash::new(16, 1, &mut sim).unwrap();
+    let mut oom = false;
+    for wave in 0..100u32 {
+        let kvs: Vec<(u32, u32)> = (0..1000).map(|i| (wave * 1000 + i + 1, i)).collect();
+        match table.insert_batch(&mut sim, &kvs) {
+            Ok(_) => {}
+            Err(TableError::Device(_)) => {
+                oom = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(oom);
+    let probe: Vec<u32> = (1..=100).collect();
+    assert!(table.find_batch(&mut sim, &probe).iter().all(|f| f.is_some()));
+}
+
+/// Invalid configurations are rejected up front with descriptive errors.
+#[test]
+fn config_validation_matrix() {
+    let mut sim = SimContext::new();
+    let bad = [
+        Config {
+            num_tables: 1,
+            ..Config::default()
+        },
+        Config {
+            num_tables: 17,
+            ..Config::default()
+        },
+        Config {
+            initial_buckets: 0,
+            ..Config::default()
+        },
+        Config {
+            alpha: 0.8,
+            beta: 0.85,
+            num_tables: 2,
+            ..Config::default()
+        },
+        Config {
+            eviction_limit: 0,
+            ..Config::default()
+        },
+        Config {
+            stash_capacity: 1 << 20,
+            ..Config::default()
+        },
+        Config {
+            num_tables: 5,
+            layering: dycuckoo::Layering::DisjointPairs,
+            ..Config::default()
+        },
+    ];
+    for cfg in bad {
+        match DyCuckoo::new(cfg, &mut sim) {
+            Err(err) => assert!(matches!(err, Error::InvalidConfig(_)), "got {err}"),
+            Ok(_) => panic!("config must be rejected"),
+        }
+    }
+}
+
+/// Zero keys are rejected by every scheme without mutating anything.
+#[test]
+fn sentinel_keys_rejected_everywhere() {
+    let mut sim = SimContext::new();
+    let mut dy = DyCuckoo::new(
+        Config {
+            initial_buckets: 2,
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .unwrap();
+    assert_eq!(dy.insert_batch(&mut sim, &[(1, 1), (0, 2)]), Err(Error::ZeroKey));
+    assert_eq!(dy.len(), 0, "rejected batch must not partially apply");
+
+    let mut mk = MegaKv::new(2, None, 1, &mut sim).unwrap();
+    assert!(matches!(
+        mk.insert_batch(&mut sim, &[(0, 1)]),
+        Err(TableError::ZeroKey)
+    ));
+    assert_eq!(mk.len(), 0);
+}

@@ -1,0 +1,204 @@
+//! Regression tests that lock in the *shapes* of the paper's headline
+//! results at a small scale. If a model or algorithm change breaks one of
+//! these, the corresponding figure no longer reproduces.
+
+
+use bench::driver::{build_dynamic, build_static, run_dynamic, run_static, Scheme};
+use bench::measure;
+use dycuckoo::{Config, DupPolicy, DyCuckoo, ResizeOp};
+use gpu_sim::{CostModel, Locks, Metrics, RoundCtx, SimContext};
+use workloads::{dataset_by_name, DynamicWorkload};
+
+const SCALE: f64 = 0.002;
+
+/// Fig. 5 shape: atomics match sequential IO when uncontended and degrade
+/// monotonically as same-address conflicts grow.
+#[test]
+fn atomics_degrade_with_conflicts() {
+    let mops = |conflicts: u64| {
+        let mut sim = SimContext::new();
+        let total = 1u64 << 15;
+        let mut locks = Locks::new((total / conflicts) as usize);
+        let mut ctx = RoundCtx::new(&mut sim.metrics);
+        for g in 0..(total / conflicts) {
+            for _ in 0..conflicts {
+                ctx.atomic_cas_lock(&mut locks, 0, g as usize);
+            }
+        }
+        ctx.finish();
+        sim.metrics.rounds = 1;
+        CostModel::new(sim.device.config()).mops(total, &sim.metrics)
+    };
+    let io = {
+        let sim = SimContext::new();
+        let m = Metrics {
+            read_transactions: 1 << 15,
+            rounds: 1,
+            ..Metrics::default()
+        };
+        CostModel::new(sim.device.config()).mops(1 << 15, &m)
+    };
+    let uncontended = mops(1);
+    assert!((uncontended / io - 1.0).abs() < 0.01, "uncontended ≈ IO");
+    assert!(mops(1 << 12) < uncontended / 2.0, "heavy conflicts collapse");
+    assert!(mops(1 << 14) < mops(1 << 12), "monotone degradation");
+}
+
+/// Fig. 7 shape: the conflict-free single-subtable resize beats naive
+/// reinsertion by a wide margin in both directions.
+#[test]
+fn resize_kernels_beat_naive_rehash() {
+    let ds = dataset_by_name("RAND").unwrap().scaled(SCALE).generate(9);
+    let run = |grow: bool, naive: bool| {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            alpha: 0.0,
+            beta: 1.0,
+            dup_policy: DupPolicy::PaperInsert,
+            ..Config::default()
+        };
+        let fill = if grow { 0.85 } else { 0.30 };
+        let mut t = DyCuckoo::with_capacity(cfg, ds.unique_keys, fill, &mut sim).unwrap();
+        t.insert_batch(&mut sim, &ds.pairs).unwrap();
+        let (moved, m) = measure(&mut sim, |sim| {
+            if naive {
+                t.rehash_subtable_naive(sim, 0, grow).unwrap()
+            } else {
+                let op = if grow {
+                    ResizeOp::Upsize(0)
+                } else {
+                    ResizeOp::Downsize(0)
+                };
+                t.force_resize(sim, op).unwrap().moved
+            }
+        });
+        CostModel::new(sim.device.config()).mops(moved, &m.metrics)
+    };
+    assert!(
+        run(true, false) > 3.0 * run(true, true),
+        "upsize should dominate naive rehash"
+    );
+    assert!(
+        run(false, false) > 3.0 * run(false, true),
+        "downsize should dominate naive rehash"
+    );
+}
+
+/// Fig. 8 shape: CUDPP trails the bucketized schemes on both ops; MegaKV
+/// has the best find; DyCuckoo's find is within 15% of MegaKV's.
+#[test]
+fn static_ordering_matches_paper() {
+    let ds = dataset_by_name("RAND").unwrap().scaled(SCALE).generate(3);
+    let mut results = std::collections::HashMap::new();
+    for scheme in Scheme::static_set() {
+        let mut sim = SimContext::new();
+        let mut t = build_static(scheme, ds.unique_keys, 0.85, 3, &mut sim);
+        let r = run_static(t.as_mut(), &mut sim, &ds, 2000, 3);
+        results.insert(scheme.label(), (r.insert.mops, r.find.mops));
+    }
+    let (cud_i, cud_f) = results["CUDPP"];
+    let (mk_i, mk_f) = results["MegaKV"];
+    let (slab_i, slab_f) = results["Slab"];
+    let (dy_i, dy_f) = results["DyCuckoo"];
+    assert!(cud_i < mk_i && cud_i < dy_i && cud_i < slab_i, "CUDPP slowest insert");
+    assert!(cud_f < mk_f && cud_f < dy_f && cud_f < slab_f, "CUDPP slowest find");
+    assert!(mk_f >= dy_f, "MegaKV wins find");
+    assert!(dy_f > 0.85 * mk_f, "DyCuckoo find only slightly behind");
+    assert!(slab_f < mk_f && slab_f < dy_f, "Slab find trails the cuckoo schemes");
+}
+
+/// Fig. 9 shape: SlabHash degrades with the filled factor while the
+/// two-layer scheme stays stable, and CUDPP's find drops as its function
+/// count grows.
+#[test]
+fn filled_factor_sensitivity_matches_paper() {
+    let ds = dataset_by_name("RAND").unwrap().scaled(SCALE).generate(4);
+    let run = |scheme, theta| {
+        let mut sim = SimContext::new();
+        let mut t = build_static(scheme, ds.unique_keys, theta, 4, &mut sim);
+        let r = run_static(t.as_mut(), &mut sim, &ds, 2000, 4);
+        (r.insert.mops, r.find.mops)
+    };
+    let (slab_low_i, slab_low_f) = run(Scheme::Slab, 0.70);
+    let (slab_high_i, slab_high_f) = run(Scheme::Slab, 0.90);
+    assert!(slab_high_i < slab_low_i, "slab insert degrades with θ");
+    assert!(slab_high_f < slab_low_f, "slab find degrades with θ");
+
+    let (_, dy_low_f) = run(Scheme::DyCuckoo, 0.70);
+    let (_, dy_high_f) = run(Scheme::DyCuckoo, 0.90);
+    assert!(
+        dy_high_f > 0.9 * dy_low_f,
+        "two-layer find is θ-insensitive ({dy_low_f} -> {dy_high_f})"
+    );
+    let (_, dy_f) = run(Scheme::DyCuckoo, 0.90);
+    let (_, slab_f) = run(Scheme::Slab, 0.90);
+    assert!(dy_f > 1.5 * slab_f, "DyCuckoo well ahead of slab at θ=90%");
+
+    let (_, cud_low_f) = run(Scheme::Cudpp, 0.40); // 2 hash functions
+    let (_, cud_high_f) = run(Scheme::Cudpp, 0.90); // 5 hash functions
+    assert!(cud_high_f < cud_low_f, "CUDPP find drops with more functions");
+}
+
+/// Figs. 10/11 shape: over the dynamic two-phase workload DyCuckoo beats
+/// MegaKV and Slab on throughput; MegaKV's peak memory (full rehash) is
+/// well above DyCuckoo's; Slab's filled factor decays while DyCuckoo ends
+/// inside its bounds.
+#[test]
+fn dynamic_workload_matches_paper() {
+    let ds = dataset_by_name("TW").unwrap().scaled(SCALE).generate(6);
+    let batch = 2000;
+    let w = DynamicWorkload::build(&ds, batch, 0.2, 6);
+    let mut peak = std::collections::HashMap::new();
+    let mut mops = std::collections::HashMap::new();
+    let mut final_fill = std::collections::HashMap::new();
+    for scheme in Scheme::dynamic_set() {
+        let mut sim = SimContext::new();
+        let mut t = build_dynamic(scheme, 0.30, 0.85, batch, 6, &mut sim);
+        let r = run_dynamic(t.as_mut(), &mut sim, &w);
+        peak.insert(scheme.label(), r.peak_bytes);
+        mops.insert(scheme.label(), r.mops);
+        final_fill.insert(scheme.label(), t.fill_factor());
+        if scheme == Scheme::DyCuckoo {
+            // θ stayed within bounds at the end of every batch.
+            for tr in &r.traces {
+                assert!(
+                    tr.fill <= 0.85 + 1e-9,
+                    "DyCuckoo θ {} above β at batch {}",
+                    tr.fill,
+                    tr.batch
+                );
+            }
+        }
+    }
+    assert!(mops["DyCuckoo"] > mops["MegaKV"], "DyCuckoo beats MegaKV");
+    assert!(mops["DyCuckoo"] > mops["Slab"], "DyCuckoo beats Slab");
+    assert!(
+        final_fill["Slab"] < 0.30,
+        "slab's symbolic deletion decays its filled factor (got {})",
+        final_fill["Slab"]
+    );
+}
+
+/// Memory headline: across the dynamic run, DyCuckoo's peak footprint is
+/// well below MegaKV's (whose full rehash holds two generations at once).
+/// Slab can pack chains densely at small scales, but its memory never
+/// shrinks and its fill decays (asserted in `dynamic_workload_matches_paper`).
+#[test]
+fn dycuckoo_peak_memory_beats_megakv() {
+    let ds = dataset_by_name("COM").unwrap().scaled(SCALE).generate(8);
+    let batch = 2000;
+    let w = DynamicWorkload::build(&ds, batch, 0.2, 8);
+    let mut peaks = Vec::new();
+    for scheme in Scheme::dynamic_set() {
+        let mut sim = SimContext::new();
+        let mut t = build_dynamic(scheme, 0.30, 0.85, batch, 8, &mut sim);
+        run_dynamic(t.as_mut(), &mut sim, &w);
+        peaks.push((scheme.label(), sim.device.peak_bytes()));
+    }
+    let dy = peaks.iter().find(|(l, _)| *l == "DyCuckoo").unwrap().1;
+    let mk = peaks.iter().find(|(l, _)| *l == "MegaKV").unwrap().1;
+    assert!(
+        mk as f64 > 1.3 * dy as f64,
+        "MegaKV peak ({mk}) should clearly exceed DyCuckoo's ({dy})"
+    );
+}
