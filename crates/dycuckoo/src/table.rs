@@ -176,6 +176,22 @@ pub struct BatchReport {
     pub resizes: Vec<ResizeEvent>,
 }
 
+impl BatchReport {
+    /// Whether this batch stalled on structural work (a resize ran or an
+    /// insert needed upsize-and-retry cycles). Service layers use this to
+    /// count resize stalls per shard.
+    pub fn resize_stall(&self) -> bool {
+        !self.resizes.is_empty() || self.retries > 0
+    }
+
+    /// Total KVs moved by resizes during the batch (rehashed plus pushed
+    /// to partner subtables) — the structural-work volume the batch paid
+    /// for beyond its own operations.
+    pub fn total_moved(&self) -> u64 {
+        self.resizes.iter().map(|e| e.moved + e.residuals).sum()
+    }
+}
+
 /// The dynamic two-layer cuckoo hash table of the paper.
 ///
 /// All operations are batched and charged to a [`SimContext`], whose metrics
@@ -283,6 +299,18 @@ impl DyCuckoo {
         resize::overall_fill(&self.tables)
     }
 
+    /// Total key slots across all subtables.
+    pub fn capacity_slots(&self) -> u64 {
+        self.tables.iter().map(|t| t.capacity_slots()).sum()
+    }
+
+    /// Slots that can still be filled before θ crosses β (negative when
+    /// already above it). A batching front-end can cap insert batches to
+    /// this headroom so one flush does not force multiple resizes.
+    pub fn headroom_slots(&self) -> i64 {
+        (self.shape.cfg.beta * self.capacity_slots() as f64) as i64 - self.len() as i64
+    }
+
     /// Device bytes currently held.
     pub fn device_bytes(&self) -> u64 {
         self.tables.iter().map(|t| t.device_bytes()).sum::<u64>()
@@ -360,9 +388,7 @@ impl DyCuckoo {
             // before re-checking the filled factor, so a huge batch cannot
             // drive the table far past its bound (where every bucket is
             // full and eviction chains explode) between checks.
-            let cap = self.tables.iter().map(|t| t.capacity_slots()).sum::<u64>();
-            let headroom = (self.shape.cfg.beta * cap as f64) as i64 - self.len() as i64;
-            let step = (headroom.max(512) as usize)
+            let step = (self.headroom_slots().max(512) as usize)
                 .min(RESIZE_CHECK_INTERVAL)
                 .min(rest.len());
             let (chunk, tail) = rest.split_at(step);
@@ -1138,6 +1164,29 @@ mod tests {
         let keys: Vec<u32> = (1..=2000).collect();
         assert!(t.find_batch(&mut sim, &keys).iter().all(|f| f.is_some()));
         t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn headroom_and_stall_hooks_track_batches() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        let beta = t.config().beta;
+        let before = t.headroom_slots();
+        assert_eq!(before, (beta * t.capacity_slots() as f64) as i64);
+        let kvs: Vec<(u32, u32)> = (1..=2000u32).map(|k| (k, k)).collect();
+        let rep = t.insert_batch(&mut sim, &kvs).unwrap();
+        // Growth to 2000 keys from 4-bucket subtables must have resized.
+        assert!(rep.resize_stall());
+        assert!(rep.total_moved() > 0);
+        assert!(t.headroom_slots() >= 0, "rebalance restores headroom");
+        assert_eq!(
+            t.headroom_slots(),
+            (beta * t.capacity_slots() as f64) as i64 - 2000
+        );
+        // A pure-read window causes no stall.
+        let rep = t.delete_batch(&mut sim, &[]).unwrap();
+        assert!(!rep.resize_stall());
+        assert_eq!(rep.total_moved(), 0);
     }
 
     #[test]

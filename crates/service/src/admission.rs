@@ -1,0 +1,193 @@
+//! Admission control: bounded queues, backpressure, and load shedding.
+//!
+//! Every shard queue is hard-bounded, so offered load beyond capacity
+//! produces typed rejections instead of unbounded queue growth:
+//!
+//! * above the **hard cap** every request is rejected with
+//!   [`AdmitError::Overloaded`];
+//! * above the **shed watermark** (graceful-degradation band) reads are
+//!   rejected with [`AdmitError::Shed`] while writes are still admitted —
+//!   a read can be retried against a cache or replica, whereas a dropped
+//!   write is lost data.
+//!
+//! Both errors carry the shard and its depth so clients can back off
+//! proportionally (the backpressure signal is [`AdmissionPolicy::pressure`]).
+
+use crate::request::Op;
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Key 0 is reserved by the underlying tables as the empty sentinel.
+    ZeroKey,
+    /// The shard's queue is at its hard capacity; nothing is admitted.
+    Overloaded {
+        /// The refusing shard.
+        shard: usize,
+        /// Queue depth at refusal time.
+        depth: usize,
+        /// The hard bound.
+        capacity: usize,
+    },
+    /// The shard is above its shed watermark; reads are dropped to keep
+    /// headroom for writes (graceful degradation).
+    Shed {
+        /// The refusing shard.
+        shard: usize,
+        /// Queue depth at refusal time.
+        depth: usize,
+        /// The soft bound that was crossed.
+        watermark: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::ZeroKey => write!(f, "key 0 is reserved"),
+            AdmitError::Overloaded {
+                shard,
+                depth,
+                capacity,
+            } => write!(f, "shard {shard} overloaded: queue {depth}/{capacity}"),
+            AdmitError::Shed {
+                shard,
+                depth,
+                watermark,
+            } => write!(f, "shard {shard} shedding reads: queue {depth} above watermark {watermark}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Per-shard admission bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Hard bound on queued requests per shard.
+    pub queue_capacity: usize,
+    /// Soft bound above which reads are shed.
+    pub shed_watermark: usize,
+}
+
+impl AdmissionPolicy {
+    /// Check the bounds are coherent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be positive".to_string());
+        }
+        if self.shed_watermark == 0 || self.shed_watermark > self.queue_capacity {
+            return Err(format!(
+                "shed_watermark must lie in 1..={}, got {}",
+                self.queue_capacity, self.shed_watermark
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decide admission for `op` given the shard's current queue `depth`.
+    pub fn admit(&self, shard: usize, depth: usize, op: &Op) -> Result<(), AdmitError> {
+        if op.key() == 0 {
+            return Err(AdmitError::ZeroKey);
+        }
+        if depth >= self.queue_capacity {
+            return Err(AdmitError::Overloaded {
+                shard,
+                depth,
+                capacity: self.queue_capacity,
+            });
+        }
+        if depth >= self.shed_watermark && op.is_read() {
+            return Err(AdmitError::Shed {
+                shard,
+                depth,
+                watermark: self.shed_watermark,
+            });
+        }
+        Ok(())
+    }
+
+    /// Backpressure signal in `[0, 1]`: how full the shard's queue is.
+    pub fn pressure(&self, depth: usize) -> f64 {
+        depth as f64 / self.queue_capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_capacity: 8,
+            shed_watermark: 6,
+        }
+    }
+
+    #[test]
+    fn validates_bounds() {
+        policy().validate().unwrap();
+        assert!(AdmissionPolicy {
+            queue_capacity: 0,
+            shed_watermark: 1
+        }
+        .validate()
+        .is_err());
+        assert!(AdmissionPolicy {
+            queue_capacity: 4,
+            shed_watermark: 5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn admits_below_watermark() {
+        let p = policy();
+        for depth in 0..6 {
+            assert!(p.admit(0, depth, &Op::Get(1)).is_ok());
+            assert!(p.admit(0, depth, &Op::Put(1, 2)).is_ok());
+        }
+    }
+
+    #[test]
+    fn sheds_reads_between_watermark_and_cap() {
+        let p = policy();
+        for depth in 6..8 {
+            assert!(matches!(
+                p.admit(3, depth, &Op::Get(1)),
+                Err(AdmitError::Shed { shard: 3, .. })
+            ));
+            assert!(p.admit(3, depth, &Op::Put(1, 2)).is_ok(), "writes still admitted");
+            assert!(p.admit(3, depth, &Op::Delete(1)).is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_everything_at_capacity() {
+        let p = policy();
+        for op in [Op::Get(1), Op::Put(1, 2), Op::Delete(1)] {
+            assert!(matches!(
+                p.admit(1, 8, &op),
+                Err(AdmitError::Overloaded {
+                    shard: 1,
+                    depth: 8,
+                    capacity: 8
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_key_rejected_before_anything_else() {
+        assert_eq!(policy().admit(0, 0, &Op::Get(0)), Err(AdmitError::ZeroKey));
+    }
+
+    #[test]
+    fn pressure_is_fill_fraction() {
+        let p = policy();
+        assert_eq!(p.pressure(0), 0.0);
+        assert_eq!(p.pressure(4), 0.5);
+        assert_eq!(p.pressure(8), 1.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Request coalescing: turning a FIFO window of single-key requests into
+//! the minimal set of batched table kernels.
+//!
+//! DyCuckoo's kernels are batched per operation type (the paper's
+//! protocol), so a flush window is compiled into at most three kernels —
+//! one find, one insert, one delete — while preserving **per-key arrival
+//! order** semantics:
+//!
+//! * a Get *before* any write to its key in the window reads the table
+//!   (the find kernel runs before the write kernels);
+//! * a Get *after* a write in the window is answered locally from the
+//!   pending write — read-your-writes without a table probe;
+//! * several Gets of the same (unwritten) key share one probe;
+//! * several writes to the same key collapse to the key's **last** write —
+//!   only the final state touches the table.
+//!
+//! Everything is first-touch ordered, so plans are deterministic.
+
+use std::collections::HashMap;
+
+use crate::request::{Op, Pending};
+
+/// What a pending write window holds for one key.
+#[derive(Debug, Clone, Copy)]
+enum WriteState {
+    Put(u32),
+    Delete,
+}
+
+/// Where one request's reply comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlannedReply {
+    /// Get answered by the find kernel: index into [`FlushPlan::probes`].
+    FromTable(usize),
+    /// Get answered locally from a preceding write in the window.
+    Local(Option<u32>),
+    /// Put acknowledgement.
+    Stored,
+    /// Delete acknowledgement.
+    Deleted,
+}
+
+/// The compiled form of one flush window.
+#[derive(Debug, Default)]
+pub(crate) struct FlushPlan {
+    /// Unique keys the find kernel must probe (first-touch order).
+    pub probes: Vec<u32>,
+    /// Final puts (first-write-touch order).
+    pub puts: Vec<(u32, u32)>,
+    /// Final deletes (first-write-touch order).
+    pub deletes: Vec<u32>,
+    /// Reply source per request, parallel to the input window.
+    pub replies: Vec<PlannedReply>,
+    /// Gets answered locally from the window (no probe issued).
+    pub coalesced_local: u64,
+    /// Duplicate Gets that shared an already-planned probe.
+    pub dedup_saved: u64,
+    /// Writes superseded by a later write to the same key in the window.
+    pub writes_coalesced: u64,
+}
+
+/// Compile a flush window into kernel batches plus per-request reply
+/// routing.
+pub(crate) fn plan_flush(window: &[Pending]) -> FlushPlan {
+    let mut plan = FlushPlan {
+        replies: Vec::with_capacity(window.len()),
+        ..FlushPlan::default()
+    };
+    // Key → index into plan.probes.
+    let mut probe_of: HashMap<u32, usize> = HashMap::new();
+    // Key → latest pending write in the window.
+    let mut write_state: HashMap<u32, WriteState> = HashMap::new();
+    // First-write-touch order of keys in write_state (determinism).
+    let mut write_order: Vec<u32> = Vec::new();
+    let mut raw_writes: u64 = 0;
+
+    for req in window {
+        match req.op {
+            Op::Get(k) => match write_state.get(&k) {
+                Some(WriteState::Put(v)) => {
+                    plan.coalesced_local += 1;
+                    plan.replies.push(PlannedReply::Local(Some(*v)));
+                }
+                Some(WriteState::Delete) => {
+                    plan.coalesced_local += 1;
+                    plan.replies.push(PlannedReply::Local(None));
+                }
+                None => {
+                    let next = plan.probes.len();
+                    let idx = *probe_of.entry(k).or_insert(next);
+                    if idx == next {
+                        plan.probes.push(k);
+                    } else {
+                        plan.dedup_saved += 1;
+                    }
+                    plan.replies.push(PlannedReply::FromTable(idx));
+                }
+            },
+            Op::Put(k, v) => {
+                raw_writes += 1;
+                if write_state.insert(k, WriteState::Put(v)).is_none() {
+                    write_order.push(k);
+                }
+                plan.replies.push(PlannedReply::Stored);
+            }
+            Op::Delete(k) => {
+                raw_writes += 1;
+                if write_state.insert(k, WriteState::Delete).is_none() {
+                    write_order.push(k);
+                }
+                plan.replies.push(PlannedReply::Deleted);
+            }
+        }
+    }
+
+    for k in write_order {
+        match write_state[&k] {
+            WriteState::Put(v) => plan.puts.push((k, v)),
+            WriteState::Delete => plan.deletes.push(k),
+        }
+    }
+    plan.writes_coalesced = raw_writes - (plan.puts.len() + plan.deletes.len()) as u64;
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pend(ops: &[Op]) -> Vec<Pending> {
+        ops.iter()
+            .enumerate()
+            .map(|(i, &op)| Pending {
+                id: i as u64,
+                client: 0,
+                op,
+                submitted_tick: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn get_before_write_probes_table_get_after_is_local() {
+        let w = pend(&[Op::Get(5), Op::Put(5, 9), Op::Get(5)]);
+        let plan = plan_flush(&w);
+        assert_eq!(plan.probes, vec![5]);
+        assert_eq!(plan.puts, vec![(5, 9)]);
+        assert_eq!(
+            plan.replies,
+            vec![
+                PlannedReply::FromTable(0),
+                PlannedReply::Stored,
+                PlannedReply::Local(Some(9)),
+            ]
+        );
+        assert_eq!(plan.coalesced_local, 1);
+    }
+
+    #[test]
+    fn duplicate_gets_share_one_probe() {
+        let w = pend(&[Op::Get(1), Op::Get(2), Op::Get(1), Op::Get(1)]);
+        let plan = plan_flush(&w);
+        assert_eq!(plan.probes, vec![1, 2]);
+        assert_eq!(plan.dedup_saved, 2);
+        assert_eq!(
+            plan.replies,
+            vec![
+                PlannedReply::FromTable(0),
+                PlannedReply::FromTable(1),
+                PlannedReply::FromTable(0),
+                PlannedReply::FromTable(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn last_write_wins_and_coalesces() {
+        let w = pend(&[
+            Op::Put(7, 1),
+            Op::Put(7, 2),
+            Op::Delete(8),
+            Op::Put(8, 5),
+            Op::Put(9, 3),
+            Op::Delete(9),
+        ]);
+        let plan = plan_flush(&w);
+        // Final states: 7 → put 2, 8 → put 5, 9 → delete.
+        assert_eq!(plan.puts, vec![(7, 2), (8, 5)]);
+        assert_eq!(plan.deletes, vec![9]);
+        assert_eq!(plan.writes_coalesced, 3);
+        assert!(plan.probes.is_empty());
+    }
+
+    #[test]
+    fn get_after_delete_answers_miss_locally() {
+        let w = pend(&[Op::Put(3, 1), Op::Delete(3), Op::Get(3)]);
+        let plan = plan_flush(&w);
+        assert_eq!(plan.replies[2], PlannedReply::Local(None));
+        assert_eq!(plan.puts, vec![]);
+        assert_eq!(plan.deletes, vec![3]);
+    }
+
+    #[test]
+    fn plans_are_first_touch_ordered() {
+        let w = pend(&[
+            Op::Put(30, 1),
+            Op::Put(10, 1),
+            Op::Put(20, 1),
+            Op::Put(10, 2),
+            Op::Get(99),
+            Op::Get(50),
+        ]);
+        let plan = plan_flush(&w);
+        assert_eq!(plan.puts, vec![(30, 1), (10, 2), (20, 1)]);
+        assert_eq!(plan.probes, vec![99, 50]);
+    }
+
+    #[test]
+    fn empty_window_is_empty_plan() {
+        let plan = plan_flush(&[]);
+        assert!(plan.probes.is_empty() && plan.puts.is_empty() && plan.deletes.is_empty());
+        assert!(plan.replies.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # kv-service — a sharded, batching KV service layer over DyCuckoo
+//!
+//! The paper evaluates DyCuckoo as a raw batched hash table; this crate
+//! wraps it in the serving architecture a real deployment would put in
+//! front of it:
+//!
+//! ```text
+//!                         ┌──────────────┐
+//!   clients ── submit ──▶ │  ShardRouter │  top hash bits, router seed
+//!                         └──────┬───────┘
+//!              ┌─────────────────┼─────────────────┐
+//!              ▼                 ▼                 ▼
+//!        ┌──────────┐      ┌──────────┐      ┌──────────┐
+//!        │ queue 0  │      │ queue 1  │  …   │ queue N-1│   bounded FIFOs,
+//!        │ (batcher)│      │ (batcher)│      │ (batcher)│   admission ctl
+//!        └────┬─────┘      └────┬─────┘      └────┬─────┘
+//!             ▼ flush           ▼ flush           ▼ flush
+//!        ┌──────────┐      ┌──────────┐      ┌──────────┐
+//!        │ DyCuckoo │      │ DyCuckoo │  …   │ DyCuckoo │   independent
+//!        │ shard 0  │      │ shard 1  │      │ shard N-1│   tables/resizes
+//!        └──────────┘      └──────────┘      └──────────┘
+//! ```
+//!
+//! * [`ShardRouter`] partitions the key space with a hash family disjoint
+//!   from the tables' bucket hashes, so one shard's resize never involves
+//!   (or stalls) another shard.
+//! * Each shard queue batches requests — flush on size or deadline against
+//!   the **simulated** clock (ticks), keeping everything deterministic —
+//!   and coalesces duplicate keys within a window ([`crate::batcher`]).
+//! * [`AdmissionPolicy`] bounds every queue: offered load beyond capacity
+//!   gets typed [`AdmitError::Overloaded`]/[`AdmitError::Shed`] refusals
+//!   instead of unbounded queue growth.
+//! * [`ServiceMetrics`] tracks queue depths, batch occupancy, p50/p99
+//!   simulated latency, shed counts, and resize stalls; [`Snapshot`]
+//!   renders them as aligned text or CSV, bit-identically across runs.
+//!
+//! The closed-loop load generator lives in
+//! `crates/bench/src/bin/service_load.rs`.
+
+mod admission;
+mod batcher;
+mod metrics;
+mod request;
+mod router;
+mod service;
+
+pub use admission::{AdmissionPolicy, AdmitError};
+pub use metrics::{LatencyHistogram, ServiceMetrics, ShardMetrics, Snapshot, SnapshotRow};
+pub use request::{Completion, Op, Reply};
+pub use router::ShardRouter;
+pub use service::{KvService, ServiceConfig, ServiceError};

@@ -1,0 +1,460 @@
+//! Service-level observability: per-shard counters, latency histograms,
+//! and deterministic text/CSV snapshots.
+//!
+//! Everything here is integer counters plus sums of deterministic `f64`
+//! kernel times, accumulated in a fixed order — so two identical runs
+//! produce **bit-identical** snapshots, which the load generator uses as
+//! its determinism check.
+
+/// Latency histogram over simulated ticks (linear buckets, clamped tail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[t]` counts completions with latency `t` ticks
+    /// (latencies ≥ the bucket count land in the last bucket).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// Tracked latency resolution: latencies beyond this clamp into the last
+/// bucket (quantiles saturate there; `max` stays exact).
+const TRACKED_TICKS: usize = 1024;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; TRACKED_TICKS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one completion latency.
+    pub fn record(&mut self, ticks: u64) {
+        let idx = (ticks as usize).min(TRACKED_TICKS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += ticks;
+        self.max = self.max.max(ticks);
+    }
+
+    /// Number of recorded completions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in ticks (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (e.g. 0.5, 0.99) in ticks; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (t, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return t as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Counters for one shard (or, merged, for the whole service).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardMetrics {
+    /// Requests offered to this shard (admitted + refused).
+    pub submitted: u64,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused at the hard queue cap.
+    pub shed_overloaded: u64,
+    /// Reads refused above the shed watermark.
+    pub shed_reads: u64,
+    /// Requests completed (replied to).
+    pub completed: u64,
+    /// Flush windows executed.
+    pub batches: u64,
+    /// Flushes triggered by reaching the batch size.
+    pub flush_by_size: u64,
+    /// Flushes triggered by the deadline.
+    pub flush_by_deadline: u64,
+    /// Requests carried by those flushes (occupancy numerator).
+    pub batched_requests: u64,
+    /// Keys actually probed by find kernels.
+    pub table_probes: u64,
+    /// KVs actually written by insert kernels.
+    pub table_puts: u64,
+    /// Keys actually passed to delete kernels.
+    pub table_deletes: u64,
+    /// Gets answered locally from the coalescing window.
+    pub coalesced_local: u64,
+    /// Duplicate Gets that shared an already-planned probe.
+    pub dedup_saved: u64,
+    /// Writes superseded within their window (never reached a kernel).
+    pub writes_coalesced: u64,
+    /// Structural resizes performed under this shard's batches.
+    pub resize_events: u64,
+    /// Batches that stalled on structural work (resize or insert retry).
+    pub resize_stall_batches: u64,
+    /// Upsize-and-retry cycles inside insert kernels.
+    pub insert_retries: u64,
+    /// Deepest queue observed.
+    pub max_queue_depth: usize,
+    /// Simulated nanoseconds spent executing this shard's kernels
+    /// (batches run back-to-back, so these sum).
+    pub service_ns: f64,
+    /// Completion latency distribution (ticks).
+    pub latency: LatencyHistogram,
+}
+
+impl ShardMetrics {
+    /// Fold another shard's counters into this one (for service totals).
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.shed_overloaded += other.shed_overloaded;
+        self.shed_reads += other.shed_reads;
+        self.completed += other.completed;
+        self.batches += other.batches;
+        self.flush_by_size += other.flush_by_size;
+        self.flush_by_deadline += other.flush_by_deadline;
+        self.batched_requests += other.batched_requests;
+        self.table_probes += other.table_probes;
+        self.table_puts += other.table_puts;
+        self.table_deletes += other.table_deletes;
+        self.coalesced_local += other.coalesced_local;
+        self.dedup_saved += other.dedup_saved;
+        self.writes_coalesced += other.writes_coalesced;
+        self.resize_events += other.resize_events;
+        self.resize_stall_batches += other.resize_stall_batches;
+        self.insert_retries += other.insert_retries;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.service_ns += other.service_ns;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Requests refused for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_overloaded + self.shed_reads
+    }
+
+    /// Fraction of offered requests refused (0 when nothing offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed_total() as f64 / self.submitted as f64
+        }
+    }
+
+    /// Mean flush occupancy in requests per batch.
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Completed operations per second of simulated kernel time
+    /// (0 when no kernel time has accrued).
+    pub fn mops(&self) -> f64 {
+        if self.service_ns == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.service_ns * 1e3
+        }
+    }
+}
+
+/// Per-shard counters for a whole service.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// One entry per shard.
+    pub per_shard: Vec<ShardMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Create metrics for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            per_shard: vec![ShardMetrics::default(); shards],
+        }
+    }
+
+    /// All shards merged.
+    pub fn total(&self) -> ShardMetrics {
+        let mut t = ShardMetrics::default();
+        for s in &self.per_shard {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+/// One row of a rendered snapshot (a shard, or the service total).
+#[derive(Debug, Clone)]
+pub struct SnapshotRow {
+    /// Row label (`shard N` or `total`).
+    pub label: String,
+    /// Live keys in the shard's table(s).
+    pub keys: u64,
+    /// Filled factor θ of the shard's table (total: mean).
+    pub fill: f64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// The counters.
+    pub m: ShardMetrics,
+}
+
+/// A point-in-time rendering of service state, in deterministic text/CSV.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Per-shard rows.
+    pub shards: Vec<SnapshotRow>,
+    /// Merged totals row.
+    pub total: SnapshotRow,
+    /// Service clock at snapshot time.
+    pub clock: u64,
+}
+
+impl Snapshot {
+    /// CSV columns shared by [`Snapshot::to_csv`].
+    pub const CSV_HEADER: &'static str = "shard,keys,fill,queue_depth,max_queue_depth,submitted,admitted,completed,\
+         shed_overloaded,shed_reads,batches,flush_by_size,flush_by_deadline,avg_batch_occupancy,\
+         table_probes,table_puts,table_deletes,coalesced_local,dedup_saved,writes_coalesced,\
+         resize_events,resize_stall_batches,insert_retries,latency_p50,latency_p99,latency_max,\
+         latency_mean,service_ns,mops";
+
+    fn csv_row(row: &SnapshotRow) -> String {
+        let m = &row.m;
+        format!(
+            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.4}",
+            row.label.replace(' ', "_"),
+            row.keys,
+            row.fill,
+            row.queue_depth,
+            m.max_queue_depth,
+            m.submitted,
+            m.admitted,
+            m.completed,
+            m.shed_overloaded,
+            m.shed_reads,
+            m.batches,
+            m.flush_by_size,
+            m.flush_by_deadline,
+            m.avg_batch_occupancy(),
+            m.table_probes,
+            m.table_puts,
+            m.table_deletes,
+            m.coalesced_local,
+            m.dedup_saved,
+            m.writes_coalesced,
+            m.resize_events,
+            m.resize_stall_batches,
+            m.insert_retries,
+            m.latency.quantile(0.5),
+            m.latency.quantile(0.99),
+            m.latency.max(),
+            m.latency.mean(),
+            m.service_ns,
+            m.mops(),
+        )
+    }
+
+    /// Render as CSV (header + one row per shard + a total row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for row in &self.shards {
+            out.push_str(&Self::csv_row(row));
+            out.push('\n');
+        }
+        out.push_str(&Self::csv_row(&self.total));
+        out.push('\n');
+        out
+    }
+
+    /// Render as an aligned human-readable table.
+    pub fn to_text(&self) -> String {
+        let header = [
+            "shard", "keys", "fill", "queue", "submitted", "completed", "shed", "batches",
+            "occ", "coalesced", "resizes", "p50", "p99", "mops",
+        ];
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for row in self.shards.iter().chain(std::iter::once(&self.total)) {
+            let m = &row.m;
+            rows.push(vec![
+                row.label.clone(),
+                row.keys.to_string(),
+                format!("{:.3}", row.fill),
+                row.queue_depth.to_string(),
+                m.submitted.to_string(),
+                m.completed.to_string(),
+                m.shed_total().to_string(),
+                m.batches.to_string(),
+                format!("{:.1}", m.avg_batch_occupancy()),
+                (m.coalesced_local + m.dedup_saved + m.writes_coalesced).to_string(),
+                m.resize_events.to_string(),
+                m.latency.quantile(0.5).to_string(),
+                m.latency.quantile(0.99).to_string(),
+                format!("{:.2}", m.mops()),
+            ]);
+        }
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for r in &rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("service snapshot @ tick {}\n", self.clock);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{c:<w$}", w = widths[i])
+                    } else {
+                        format!("{c:>w$}", w = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        out.push_str(&fmt_row(&header_cells));
+        out.push('\n');
+        for r in &rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_and_mean() {
+        let mut h = LatencyHistogram::default();
+        for t in [1u64, 1, 2, 2, 2, 3, 10, 10, 10, 100] {
+            h.record(t);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 14.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_clamps_but_keeps_exact_max() {
+        let mut h = LatencyHistogram::default();
+        h.record(5000);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.quantile(0.5), (TRACKED_TICKS - 1) as u64);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(1);
+        b.record(3);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn shard_metrics_rates() {
+        let m = ShardMetrics {
+            submitted: 100,
+            admitted: 80,
+            shed_overloaded: 15,
+            shed_reads: 5,
+            completed: 80,
+            batches: 4,
+            batched_requests: 80,
+            service_ns: 8_000.0,
+            ..ShardMetrics::default()
+        };
+        assert_eq!(m.shed_total(), 20);
+        assert!((m.shed_rate() - 0.2).abs() < 1e-12);
+        assert!((m.avg_batch_occupancy() - 20.0).abs() < 1e-12);
+        assert!((m.mops() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_rendering_is_deterministic() {
+        let mut metrics = ServiceMetrics::new(2);
+        metrics.per_shard[0].submitted = 10;
+        metrics.per_shard[0].completed = 9;
+        metrics.per_shard[0].latency.record(2);
+        metrics.per_shard[1].submitted = 5;
+        let make = || {
+            let rows: Vec<SnapshotRow> = metrics
+                .per_shard
+                .iter()
+                .enumerate()
+                .map(|(i, m)| SnapshotRow {
+                    label: format!("shard {i}"),
+                    keys: 7,
+                    fill: 0.5,
+                    queue_depth: 1,
+                    m: m.clone(),
+                })
+                .collect();
+            let total = SnapshotRow {
+                label: "total".to_string(),
+                keys: 14,
+                fill: 0.5,
+                queue_depth: 2,
+                m: metrics.total(),
+            };
+            Snapshot {
+                shards: rows,
+                total,
+                clock: 3,
+            }
+        };
+        assert_eq!(make().to_csv(), make().to_csv());
+        assert_eq!(make().to_text(), make().to_text());
+        let csv = make().to_csv();
+        assert_eq!(csv.lines().count(), 4, "header + 2 shards + total");
+        assert!(csv.starts_with("shard,keys"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Request/response types of the service boundary.
+
+/// A single-key operation submitted by a logical client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of a key.
+    Get(u32),
+    /// Insert or update a key.
+    Put(u32, u32),
+    /// Remove a key.
+    Delete(u32),
+}
+
+impl Op {
+    /// The key this operation addresses (what the router shards on).
+    pub fn key(&self) -> u32 {
+        match *self {
+            Op::Get(k) | Op::Put(k, _) | Op::Delete(k) => k,
+        }
+    }
+
+    /// Whether this is a read (reads are shed first under pressure).
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Get(_))
+    }
+}
+
+/// The answer to one completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// Get result: the value, or `None` for a miss.
+    Value(Option<u32>),
+    /// Put acknowledged (inserted or updated).
+    Stored,
+    /// Delete acknowledged (whether or not the key existed).
+    Deleted,
+}
+
+/// A finished request, handed back to the submitting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Service-assigned request id (monotonic per service).
+    pub id: u64,
+    /// The submitting logical client.
+    pub client: u32,
+    /// The key the request addressed.
+    pub key: u32,
+    /// The answer.
+    pub reply: Reply,
+    /// Simulated tick at which the request was admitted.
+    pub submitted_tick: u64,
+    /// Simulated tick at which its batch flushed.
+    pub completed_tick: u64,
+    /// Whether the reply was served from the coalescing window (a write in
+    /// the same flush window answered this read locally — no table probe).
+    pub coalesced: bool,
+}
+
+impl Completion {
+    /// Queueing + batching latency in simulated ticks.
+    pub fn latency_ticks(&self) -> u64 {
+        self.completed_tick - self.submitted_tick
+    }
+}
+
+/// A request sitting in a shard queue, waiting to be batched.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
+    pub id: u64,
+    pub client: u32,
+    pub op: Op,
+    pub submitted_tick: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_key_and_read_classification() {
+        assert_eq!(Op::Get(7).key(), 7);
+        assert_eq!(Op::Put(8, 1).key(), 8);
+        assert_eq!(Op::Delete(9).key(), 9);
+        assert!(Op::Get(1).is_read());
+        assert!(!Op::Put(1, 2).is_read());
+        assert!(!Op::Delete(1).is_read());
+    }
+
+    #[test]
+    fn completion_latency_is_tick_delta() {
+        let c = Completion {
+            id: 1,
+            client: 2,
+            key: 3,
+            reply: Reply::Stored,
+            submitted_tick: 10,
+            completed_tick: 14,
+            coalesced: false,
+        };
+        assert_eq!(c.latency_ticks(), 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Key-space partitioning across shards.
+//!
+//! Each shard owns an independent [`dycuckoo::DyCuckoo`] instance, so a
+//! resize triggered by one shard's load never stalls the others. The router
+//! must therefore spread keys evenly AND stay independent of the bits the
+//! tables hash on: the subtable bucket index is `(a·fmix32(k) + b) mod p
+//! mod n` under table-seeded universal functions, while the shard index is
+//! the **top** `log2(N)` bits of a splitmix64 mix under a separate
+//! router seed. The families share no parameters, so conditioning on a
+//! shard does not constrain any subtable's bucket distribution (verified
+//! empirically by `tests/kv_service.rs`).
+
+use dycuckoo::hashfn::splitmix64;
+
+/// Routes keys to one of `N` shards (`N` a power of two).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    shards: usize,
+    bits: u32,
+    seed: u64,
+}
+
+/// Salt separating the router's hash stream from every table seed
+/// derivation in this workspace.
+const ROUTER_SALT: u64 = 0x5EAF_00D5_0C1A_11E5;
+
+impl ShardRouter {
+    /// Build a router over `shards` shards (must be a power of two ≥ 1).
+    pub fn new(shards: usize, seed: u64) -> Result<Self, String> {
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(format!("shard count must be a power of two ≥ 1, got {shards}"));
+        }
+        if shards > 1 << 16 {
+            return Err(format!("shard count {shards} is unreasonably large (max 65536)"));
+        }
+        Ok(Self {
+            shards,
+            bits: shards.trailing_zeros(),
+            seed: splitmix64(seed ^ ROUTER_SALT),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the top `log2(N)` bits of the router hash.
+    #[inline]
+    pub fn shard_of(&self, key: u32) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (splitmix64(self.seed ^ key as u64) >> (64 - self.bits)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(ShardRouter::new(0, 1).is_err());
+        assert!(ShardRouter::new(3, 1).is_err());
+        assert!(ShardRouter::new(6, 1).is_err());
+        assert!(ShardRouter::new(4, 1).is_ok());
+        assert!(ShardRouter::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = ShardRouter::new(8, 42).unwrap();
+        for k in 1..10_000u32 {
+            let s = r.shard_of(k);
+            assert!(s < 8);
+            assert_eq!(s, r.shard_of(k));
+        }
+    }
+
+    #[test]
+    fn shards_receive_balanced_load() {
+        let r = ShardRouter::new(16, 7).unwrap();
+        let mut counts = [0u32; 16];
+        let n = 160_000u32;
+        for k in 1..=n {
+            counts[r.shard_of(k)] += 1;
+        }
+        let expect = n / 16;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 9 / 10 && c < expect * 11 / 10,
+                "shard {i}: {c} keys vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_partitions() {
+        let a = ShardRouter::new(4, 1).unwrap();
+        let b = ShardRouter::new(4, 2).unwrap();
+        assert!((1..1000u32).any(|k| a.shard_of(k) != b.shard_of(k)));
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1, 9).unwrap();
+        assert!((1..100u32).all(|k| r.shard_of(k) == 0));
+    }
+}

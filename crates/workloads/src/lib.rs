@@ -8,14 +8,18 @@
 //!   phase with inserts and deletes swapped).
 //! * [`keygen`] / [`zipf`] — deterministic unique-key generation (Feistel
 //!   bijection) and skewed duplicate sampling.
+//! * [`stream`] — open-loop adapter flattening a dynamic workload into a
+//!   per-client, per-tick arrival sequence for service front-ends.
 
 pub mod datasets;
 pub mod dynamic;
 pub mod keygen;
+pub mod stream;
 pub mod zipf;
 
 pub use datasets::{dataset_by_name, paper_datasets, Dataset, DatasetSpec};
 pub use dynamic::{Batch, DynamicWorkload};
+pub use stream::{RequestStream, StreamOp, StreamRequest};
 
 /// SplitMix64 mixer used for all deterministic sampling in this crate.
 #[inline]

@@ -1,0 +1,207 @@
+//! Open-loop request streams: flattening a [`DynamicWorkload`] into the
+//! per-client, per-tick arrival sequence a service front-end consumes.
+//!
+//! The dynamic workload is batch-granular (the paper drives the raw table
+//! API with it); a *service* sees individual requests arriving over time
+//! from many clients instead. This adapter performs that conversion
+//! deterministically:
+//!
+//! * each batch's operation groups keep their order (inserts, then finds,
+//!   then deletes — preserving the workload's hit-rate semantics);
+//! * requests are attributed to `clients` logical clients round-robin;
+//! * [`RequestStream::paced`] chops the sequence into per-tick arrival
+//!   slices at a configurable offered load (requests per tick), using a
+//!   deterministic fractional accumulator so non-integer rates average
+//!   out exactly.
+
+use crate::dynamic::DynamicWorkload;
+
+/// One service-level operation (the stream-side mirror of a KV op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Insert or update a key.
+    Insert(u32, u32),
+    /// Look up a key.
+    Find(u32),
+    /// Remove a key.
+    Delete(u32),
+}
+
+impl StreamOp {
+    /// The key this operation addresses.
+    pub fn key(&self) -> u32 {
+        match *self {
+            StreamOp::Insert(k, _) | StreamOp::Find(k) | StreamOp::Delete(k) => k,
+        }
+    }
+}
+
+/// One arrival: an operation attributed to a logical client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRequest {
+    /// The submitting logical client (round-robin assigned).
+    pub client: u32,
+    /// The operation.
+    pub op: StreamOp,
+}
+
+/// A flattened, client-attributed request sequence.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    /// The arrivals, in workload order.
+    pub requests: Vec<StreamRequest>,
+    /// Number of requests belonging to the growth phase (phase 1).
+    pub phase1_requests: usize,
+}
+
+impl RequestStream {
+    /// Flatten `workload` into an arrival sequence over `clients` logical
+    /// clients (must be ≥ 1).
+    pub fn from_workload(workload: &DynamicWorkload, clients: u32) -> Self {
+        assert!(clients >= 1, "need at least one client");
+        let mut requests = Vec::with_capacity(workload.total_ops());
+        let mut next_client = 0u32;
+        let mut claim = |requests: &mut Vec<StreamRequest>, op: StreamOp| {
+            requests.push(StreamRequest {
+                client: next_client,
+                op,
+            });
+            next_client = (next_client + 1) % clients;
+        };
+        let mut phase1_requests = 0;
+        for (i, batch) in workload.batches.iter().enumerate() {
+            for &(k, v) in &batch.inserts {
+                claim(&mut requests, StreamOp::Insert(k, v));
+            }
+            for &k in &batch.finds {
+                claim(&mut requests, StreamOp::Find(k));
+            }
+            for &k in &batch.deletes {
+                claim(&mut requests, StreamOp::Delete(k));
+            }
+            if i + 1 == workload.phase1_len {
+                phase1_requests = requests.len();
+            }
+        }
+        RequestStream {
+            requests,
+            phase1_requests,
+        }
+    }
+
+    /// Number of requests in the stream.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Chop the stream into per-tick arrival slices at `rate` requests per
+    /// tick (open-loop pacing). Fractional rates accumulate exactly: at
+    /// rate 2.5 the slices alternate 2, 3, 2, 3, …
+    pub fn paced(&self, rate: f64) -> Paced<'_> {
+        assert!(rate > 0.0, "offered load must be positive");
+        Paced {
+            requests: &self.requests,
+            rate,
+            pos: 0,
+            credit: 0.0,
+        }
+    }
+}
+
+/// Iterator over per-tick arrival slices (see [`RequestStream::paced`]).
+#[derive(Debug)]
+pub struct Paced<'a> {
+    requests: &'a [StreamRequest],
+    rate: f64,
+    pos: usize,
+    credit: f64,
+}
+
+impl<'a> Iterator for Paced<'a> {
+    type Item = &'a [StreamRequest];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.requests.len() {
+            return None;
+        }
+        self.credit += self.rate;
+        let take = (self.credit as usize).min(self.requests.len() - self.pos);
+        self.credit -= take as f64;
+        let slice = &self.requests[self.pos..self.pos + take];
+        self.pos += take;
+        Some(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    fn stream() -> RequestStream {
+        let ds = DatasetSpec {
+            name: "T",
+            total_pairs: 400,
+            unique_keys: 380,
+            zipf_s: 1.0,
+            max_dup: 3,
+        }
+        .generate(7);
+        let w = DynamicWorkload::build(&ds, 100, 0.2, 9);
+        RequestStream::from_workload(&w, 8)
+    }
+
+    #[test]
+    fn flattening_preserves_every_operation() {
+        let ds = DatasetSpec {
+            name: "T",
+            total_pairs: 400,
+            unique_keys: 380,
+            zipf_s: 1.0,
+            max_dup: 3,
+        }
+        .generate(7);
+        let w = DynamicWorkload::build(&ds, 100, 0.2, 9);
+        let s = RequestStream::from_workload(&w, 8);
+        assert_eq!(s.len(), w.total_ops());
+        assert!(s.phase1_requests > 0 && s.phase1_requests < s.len());
+    }
+
+    #[test]
+    fn clients_are_assigned_round_robin() {
+        let s = stream();
+        for (i, r) in s.requests.iter().enumerate() {
+            assert_eq!(r.client, (i % 8) as u32);
+        }
+    }
+
+    #[test]
+    fn integer_pacing_yields_uniform_slices() {
+        let s = stream();
+        let sizes: Vec<usize> = s.paced(50.0).map(|sl| sl.len()).collect();
+        assert!(sizes[..sizes.len() - 1].iter().all(|&n| n == 50));
+        assert_eq!(sizes.iter().sum::<usize>(), s.len());
+    }
+
+    #[test]
+    fn fractional_pacing_accumulates_exactly() {
+        let s = stream();
+        let sizes: Vec<usize> = s.paced(2.5).map(|sl| sl.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), s.len());
+        // Rate 2.5 alternates 2 and 3.
+        assert!(sizes[..20].windows(2).all(|w| w[0] + w[1] == 5));
+    }
+
+    #[test]
+    fn pacing_is_deterministic() {
+        let s = stream();
+        let a: Vec<Vec<StreamRequest>> = s.paced(7.3).map(|sl| sl.to_vec()).collect();
+        let b: Vec<Vec<StreamRequest>> = s.paced(7.3).map(|sl| sl.to_vec()).collect();
+        assert_eq!(a, b);
+    }
+}

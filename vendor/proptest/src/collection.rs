@@ -1,0 +1,82 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Something usable as a vector-length specification: a fixed `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Convert to `(min, max_exclusive)`.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// Build a vector strategy: `vec(1u32..10, 0..40)` or `vec(any::<bool>(), 300)`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    VecStrategy {
+        element,
+        min,
+        max_exclusive,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_exclusive - self.min) as u64;
+        let len = self.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_vecs_generate() {
+        let mut rng = TestRng::for_case("nested", 0);
+        let s = vec(vec(0usize..8, 0..12), 1..40);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 40);
+            for inner in &v {
+                assert!(inner.len() < 12);
+                assert!(inner.iter().all(|&x| x < 8));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let mut rng = TestRng::for_case("fixed", 0);
+        let s = vec(crate::any::<bool>(), 300usize);
+        assert_eq!(s.generate(&mut rng).len(), 300);
+    }
+}
