@@ -67,6 +67,10 @@ impl GpuHashTable for DyCuckooTable {
     fn device_bytes(&self) -> u64 {
         self.inner.device_bytes()
     }
+
+    fn set_schedule(&mut self, policy: gpu_sim::SchedulePolicy) {
+        self.inner.set_schedule(policy);
+    }
 }
 
 #[cfg(test)]

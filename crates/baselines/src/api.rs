@@ -5,7 +5,7 @@
 //! implementation charges its work to the shared [`gpu_sim::SimContext`],
 //! so throughput comparisons are apples-to-apples.
 
-use gpu_sim::SimContext;
+use gpu_sim::{SchedulePolicy, SimContext};
 
 /// Errors surfaced by baseline tables.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,4 +104,10 @@ pub trait GpuHashTable {
     fn supports_delete(&self) -> bool {
         true
     }
+
+    /// Set the within-round warp ordering for this scheme's kernels (the
+    /// exploration harness sweeps these; benchmarks keep the default fixed
+    /// order). Default is a no-op for schemes whose kernels have no
+    /// interleaving freedom.
+    fn set_schedule(&mut self, _policy: SchedulePolicy) {}
 }

@@ -15,7 +15,10 @@
 //! * Exceeding the iteration cap means a **full rebuild with fresh hash
 //!   functions**; deletion is unsupported.
 
-use gpu_sim::{run_rounds, Metrics, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+use gpu_sim::{
+    run_rounds_with, Metrics, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome,
+    WARP_SIZE,
+};
 
 use dycuckoo::hashfn::UniversalHash;
 
@@ -50,6 +53,7 @@ pub struct Cudpp {
     occupied: u64,
     seed: u64,
     rebuilds: u32,
+    schedule: SchedulePolicy,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +164,7 @@ impl Cudpp {
             occupied: 0,
             seed,
             rebuilds: 0,
+            schedule: SchedulePolicy::FixedOrder,
         };
         table.reseed();
         Ok(table)
@@ -218,7 +223,7 @@ impl Cudpp {
             inserted: 0,
             failed: Vec::new(),
         };
-        run_rounds(&mut kernel, &mut warps, metrics);
+        run_rounds_with(&mut kernel, &mut warps, metrics, self.schedule);
         self.occupied = before + kernel.inserted;
         kernel.failed
     }
@@ -256,6 +261,10 @@ impl Cudpp {
 impl GpuHashTable for Cudpp {
     fn name(&self) -> &'static str {
         "CUDPP"
+    }
+
+    fn set_schedule(&mut self, policy: SchedulePolicy) {
+        self.schedule = policy;
     }
 
     fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {

@@ -10,7 +10,9 @@
 //! θ, Linear does not. Deletion tombstones the slot (probes must not stop
 //! at tombstones), so the scheme cannot shrink.
 
-use gpu_sim::{run_rounds, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+use gpu_sim::{
+    run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome, WARP_SIZE,
+};
 
 use dycuckoo::hashfn::UniversalHash;
 
@@ -28,6 +30,7 @@ pub struct LinearProbing {
     live: u64,
     tombstones: u64,
     hash: UniversalHash,
+    schedule: SchedulePolicy,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +175,7 @@ impl LinearProbing {
             live: 0,
             tombstones: 0,
             hash: UniversalHash::from_seed(seed ^ 0x11EA_A311),
+            schedule: SchedulePolicy::FixedOrder,
         })
     }
 
@@ -212,6 +216,7 @@ impl LinearProbing {
                     done: false,
                 })
                 .collect();
+            let schedule = self.schedule;
             let mut kernel = LinKernel {
                 table: self,
                 goal,
@@ -223,7 +228,7 @@ impl LinearProbing {
                 failed: 0,
             };
             let mut warps = vec![std::mem::take(&mut lanes)];
-            run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+            run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, schedule);
             results = kernel.results;
             inserted += kernel.inserted;
             updated += kernel.updated;
@@ -238,6 +243,10 @@ impl LinearProbing {
 impl GpuHashTable for LinearProbing {
     fn name(&self) -> &'static str {
         "Linear"
+    }
+
+    fn set_schedule(&mut self, policy: SchedulePolicy) {
+        self.schedule = policy;
     }
 
     fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {

@@ -19,7 +19,10 @@
 //!   rehash (the memory spike visible in the filled-factor tracking
 //!   figure).
 
-use gpu_sim::{run_rounds, Locks, Metrics, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+use gpu_sim::{
+    run_rounds_with, Locks, Metrics, RoundCtx, RoundKernel, SchedulePolicy, SimContext,
+    StepOutcome, WARP_SIZE,
+};
 
 use dycuckoo::hashfn::{splitmix64, UniversalHash};
 
@@ -122,6 +125,7 @@ pub struct MegaKv {
     bounds: Option<ResizeBounds>,
     eviction_limit: u32,
     seed: u64,
+    schedule: SchedulePolicy,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +134,12 @@ struct MkOp {
     val: u32,
     target: usize,
     evictions: u32,
+    /// Whether this op carries a KV kicked out of the table by an eviction
+    /// (directly, or via the failed-op retry path). An in-flight KV is by
+    /// construction *older* than any resident copy of its key — that copy
+    /// was written after the kick — so re-landing it when the key is
+    /// resident must drop it rather than resurrect a stale duplicate.
+    in_flight: bool,
 }
 
 struct MkWarp {
@@ -164,39 +174,64 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
             return StepOutcome::Pending;
         }
         ctx.read_bucket();
+        let other = 1 - t;
+        let ob = self.hashes[other].bucket(op.key, self.tables[other].n_buckets);
         if let Some(slot) = self.tables[t].find_slot(b, op.key) {
-            self.tables[t].write(b, slot, op.key, op.val);
-            ctx.write_line(); // value line only
-            self.out.updated += 1;
-            warp.cur += 1;
-        } else if let Some(slot) = self.tables[t].find_empty(b) {
-            self.tables[t].write(b, slot, op.key, op.val);
-            ctx.write_line(); // key line
-            ctx.write_line(); // value line
-            self.out.inserted += 1;
-            warp.cur += 1;
-        } else if op.target == 0 && op.evictions == 0 {
-            // First bucket full: try the alternate bucket before evicting.
-            warp.ops[warp.cur].target = 1;
-        } else {
-            // Evict a pseudo-random victim and continue its chain in the
-            // other table.
-            let slot =
-                (splitmix64(self.seed ^ op.key as u64 ^ (op.evictions as u64) << 32) as usize)
-                    % MK_BUCKET_SLOTS;
-            let (ek, ev) = self.tables[t].slot(b, slot);
-            self.tables[t].write(b, slot, op.key, op.val);
-            ctx.write_line(); // key line
-            ctx.write_line(); // value line
-            ctx.metrics.evictions += 1;
-            let cur = &mut warp.ops[warp.cur];
-            cur.key = ek;
-            cur.val = ev;
-            cur.target = 1 - t;
-            cur.evictions = op.evictions + 1;
-            if cur.evictions >= self.eviction_limit {
-                self.out.failed.push(*cur);
+            if op.in_flight {
+                // The resident copy was written after this KV was kicked:
+                // it is newer. Dropping the in-flight copy here (instead of
+                // overwriting) prevents the schedule-dependent stale-value
+                // resurrection the exploration harness found.
                 warp.cur += 1;
+            } else {
+                self.tables[t].write(b, slot, op.key, op.val);
+                ctx.write_line(); // value line only
+                self.out.updated += 1;
+                warp.cur += 1;
+            }
+        } else {
+            // Alternate-bucket duplicate probe: without it, a key resident
+            // in the other table gets a second, shadowing copy here.
+            ctx.read_bucket();
+            if self.tables[other].find_slot(ob, op.key).is_some() {
+                if op.in_flight {
+                    // Same staleness argument as above.
+                    warp.cur += 1;
+                } else {
+                    // The upsert must land on the resident copy — redirect
+                    // and take that bucket's lock on the next step.
+                    warp.ops[warp.cur].target = other;
+                }
+            } else if let Some(slot) = self.tables[t].find_empty(b) {
+                self.tables[t].write(b, slot, op.key, op.val);
+                ctx.write_line(); // key line
+                ctx.write_line(); // value line
+                self.out.inserted += 1;
+                warp.cur += 1;
+            } else if op.target == 0 && op.evictions == 0 {
+                // First bucket full: try the alternate bucket before evicting.
+                warp.ops[warp.cur].target = 1;
+            } else {
+                // Evict a pseudo-random victim and continue its chain in the
+                // other table.
+                let slot =
+                    (splitmix64(self.seed ^ op.key as u64 ^ (op.evictions as u64) << 32) as usize)
+                        % MK_BUCKET_SLOTS;
+                let (ek, ev) = self.tables[t].slot(b, slot);
+                self.tables[t].write(b, slot, op.key, op.val);
+                ctx.write_line(); // key line
+                ctx.write_line(); // value line
+                ctx.metrics.evictions += 1;
+                let cur = &mut warp.ops[warp.cur];
+                cur.key = ek;
+                cur.val = ev;
+                cur.target = 1 - t;
+                cur.evictions = op.evictions + 1;
+                cur.in_flight = true;
+                if cur.evictions >= self.eviction_limit {
+                    self.out.failed.push(*cur);
+                    warp.cur += 1;
+                }
             }
         }
         ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
@@ -237,6 +272,7 @@ impl MegaKv {
             bounds,
             eviction_limit: 64,
             seed,
+            schedule: SchedulePolicy::FixedOrder,
         })
     }
 
@@ -279,7 +315,7 @@ impl MegaKv {
             seed: self.seed,
             out: MkOutcome::default(),
         };
-        run_rounds(&mut kernel, &mut warps, metrics);
+        run_rounds_with(&mut kernel, &mut warps, metrics, self.schedule);
         kernel.out
     }
 
@@ -308,6 +344,7 @@ impl MegaKv {
                 val,
                 target: 0,
                 evictions: 0,
+                in_flight: false,
             })
             .collect();
         while !ops.is_empty() {
@@ -318,6 +355,8 @@ impl MegaKv {
                 .map(|mut o| {
                     o.target = 0;
                     o.evictions = 0;
+                    // o.in_flight is preserved: a failed chain still carries
+                    // a kicked (possibly stale) KV.
                     o
                 })
                 .collect();
@@ -358,6 +397,7 @@ impl MegaKv {
                 val,
                 target: 0,
                 evictions: 0,
+                in_flight: false,
             })
             .collect();
         let out = self.run_insert(&mut sim.metrics, ops);
@@ -393,6 +433,10 @@ impl GpuHashTable for MegaKv {
         "MegaKV"
     }
 
+    fn set_schedule(&mut self, policy: SchedulePolicy) {
+        self.schedule = policy;
+    }
+
     fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {
         if kvs.iter().any(|&(k, _)| k == EMPTY_KEY) {
             return Err(TableError::ZeroKey);
@@ -405,6 +449,7 @@ impl GpuHashTable for MegaKv {
                 val,
                 target: 0,
                 evictions: 0,
+                in_flight: false,
             })
             .collect();
         let mut out = self.run_insert(&mut sim.metrics, ops);
@@ -428,6 +473,10 @@ impl GpuHashTable for MegaKv {
                     val: f.val,
                     target: 0,
                     evictions: 0,
+                    // A failed chain carries a kicked KV: keep its in-flight
+                    // status so a retry cannot resurrect a stale value over
+                    // a newer upsert.
+                    in_flight: f.in_flight,
                 })
                 .collect();
             out = self.run_insert(&mut sim.metrics, retry);

@@ -15,7 +15,9 @@
 //! * **Chained lookups**: a find may traverse several slabs, each a random
 //!   128-byte transaction — the `Ω(log log m)`-tail the paper mentions.
 
-use gpu_sim::{run_rounds, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+use gpu_sim::{
+    run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome, WARP_SIZE,
+};
 
 use dycuckoo::hashfn::UniversalHash;
 
@@ -54,6 +56,7 @@ pub struct SlabHash {
     live: u64,
     tombstones: u64,
     hash: UniversalHash,
+    schedule: SchedulePolicy,
 }
 
 impl SlabHash {
@@ -74,6 +77,7 @@ impl SlabHash {
             live: 0,
             tombstones: 0,
             hash: UniversalHash::from_seed(seed ^ 0x51AB_51AB),
+            schedule: SchedulePolicy::FixedOrder,
         };
         t.reserve_slab_storage(pool_slabs);
         Ok(t)
@@ -411,6 +415,10 @@ impl GpuHashTable for SlabHash {
         "SlabHash"
     }
 
+    fn set_schedule(&mut self, policy: SchedulePolicy) {
+        self.schedule = policy;
+    }
+
     fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<()> {
         if kvs.iter().any(|&(k, _)| k == EMPTY || k == TOMB) {
             return Err(TableError::ZeroKey);
@@ -426,18 +434,19 @@ impl GpuHashTable for SlabHash {
             table: self,
             results: &mut results,
         };
-        run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+        run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, self.schedule);
         sim.metrics.ops += keys.len() as u64;
         results
     }
 
     fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64> {
         let mut warps = probe_warps(keys);
+        let schedule = self.schedule;
         let mut kernel = SlabDeleteKernel {
             table: self,
             deleted: 0,
         };
-        run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+        run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, schedule);
         sim.metrics.ops += keys.len() as u64;
         Ok(kernel.deleted)
     }

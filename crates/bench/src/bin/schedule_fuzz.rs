@@ -1,0 +1,242 @@
+//! **schedule_fuzz** — deterministic schedule-exploration fuzzer.
+//!
+//! Sweeps (workload seed, schedule policy) pairs over every scheme in the
+//! repository, checking each execution against the differential oracle in
+//! [`bench::fuzz`]. A violation is minimized with ddmin and written out as
+//! a `repro-*.ron` artifact that `--replay` re-executes bit-identically.
+//!
+//! The default run is **fully deterministic**: the summary (including the
+//! per-target execution digests) is byte-identical across invocations on
+//! any machine — that is the property CI pins. The only escape hatch is
+//! `--budget-secs`, which reads the wall clock and therefore makes the
+//! *case count* (not any individual verdict) load-dependent; it exists for
+//! long exploratory runs, not for CI.
+//!
+//! ```text
+//! schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]
+//!               [--inject-lock-elision] [--expect-violations]
+//!               [--out DIR] [--budget-secs S] [--replay FILE]
+//! ```
+//!
+//! * `--seeds N` — seeds per target (default 16). Seed `s` fuzzes workload
+//!   `s` under `SchedulePolicy::from_seed(s)` unless `--policies` pins an
+//!   explicit list (then every seed runs under every listed policy).
+//! * `--targets` — comma-separated subset of
+//!   `dycuckoo,wide,megakv,slab,linear,cudpp,service` (default: all).
+//! * `--inject-lock-elision` — plant the known lock-elision bug in the
+//!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
+//!   `--expect-violations` to prove the oracle catches and shrinks it.
+//! * `--expect-violations` — invert the exit code: succeed only if at
+//!   least one violation was found (CI's self-test of the oracle).
+//! * `--replay FILE` — re-run one repro artifact; exits 1 if the violation
+//!   still reproduces, 0 if it no longer does.
+//!
+//! Exit code: 0 on a clean sweep, 1 if any oracle violation was found
+//! (inverted under `--expect-violations`), 2 on usage errors.
+
+use std::process::ExitCode;
+
+use bench::fuzz::{gen_ops, run_case, shrink_case, Case, Repro, Target};
+use gpu_sim::explore::mix64;
+use gpu_sim::SchedulePolicy;
+
+struct Args {
+    seeds: u64,
+    ops: usize,
+    targets: Vec<Target>,
+    policies: Option<Vec<SchedulePolicy>>,
+    inject: bool,
+    expect_violations: bool,
+    out_dir: String,
+    budget_secs: Option<u64>,
+    replay: Option<String>,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("schedule_fuzz: {err}");
+    eprintln!(
+        "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
+         \x20                    [--inject-lock-elision] [--expect-violations]\n\
+         \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 16,
+        ops: 96,
+        targets: Target::ALL.to_vec(),
+        policies: None,
+        inject: false,
+        expect_violations: false,
+        out_dir: ".".to_string(),
+        budget_secs: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--ops" => args.ops = val("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--targets" => {
+                let list = val("--targets")?;
+                args.targets = list
+                    .split(',')
+                    .map(|n| Target::from_name(n.trim()).ok_or_else(|| format!("unknown target {n:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--policies" => {
+                let list = val("--policies")?;
+                args.policies = Some(
+                    list.split(',')
+                        .map(|s| {
+                            SchedulePolicy::from_spec(s.trim())
+                                .ok_or_else(|| format!("unknown policy spec {s:?}"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--inject-lock-elision" => args.inject = true,
+            "--expect-violations" => args.expect_violations = true,
+            "--out" => args.out_dir = val("--out")?,
+            "--budget-secs" => {
+                args.budget_secs =
+                    Some(val("--budget-secs")?.parse().map_err(|e| format!("--budget-secs: {e}"))?)
+            }
+            "--replay" => args.replay = Some(val("--replay")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.ops == 0 || args.seeds == 0 {
+        return Err("--seeds and --ops must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return usage(&format!("cannot read {path}: {e}")),
+    };
+    let repro = match Repro::from_ron(&text) {
+        Ok(r) => r,
+        Err(e) => return usage(&format!("cannot parse {path}: {e}")),
+    };
+    println!(
+        "replaying {} ops against {} under policy {} (recorded violation: {})",
+        repro.case.ops.len(),
+        repro.case.target.name(),
+        repro.case.policy.spec(),
+        repro.violation,
+    );
+    match run_case(&repro.case) {
+        Err(v) => {
+            println!("VIOLATION reproduced: {v}");
+            ExitCode::FAILURE
+        }
+        Ok(digest) => {
+            println!("no violation (digest {digest:#018x}) — the recorded bug no longer reproduces");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let start = std::time::Instant::now();
+    let mut total_cases = 0u64;
+    let mut total_violations = 0u64;
+    let mut total_digest = 0u64;
+    let mut budget_hit = false;
+    let fold = |d: u64, x: u64| mix64(d ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    'sweep: for &target in &args.targets {
+        let mut cases = 0u64;
+        let mut violations = 0u64;
+        let mut digest = 0u64;
+        for seed in 0..args.seeds {
+            let policies: Vec<SchedulePolicy> = match &args.policies {
+                Some(list) => list.clone(),
+                None => vec![SchedulePolicy::from_seed(seed)],
+            };
+            for policy in policies {
+                if let Some(budget) = args.budget_secs {
+                    if start.elapsed().as_secs() >= budget {
+                        budget_hit = true;
+                        break 'sweep;
+                    }
+                }
+                let case = Case {
+                    target,
+                    policy,
+                    workload_seed: seed,
+                    inject_lock_elision: args.inject,
+                    ops: gen_ops(seed, args.ops),
+                };
+                cases += 1;
+                match run_case(&case) {
+                    Ok(d) => digest = fold(digest, d),
+                    Err(v) => {
+                        violations += 1;
+                        digest = fold(digest, 0xBAD);
+                        let (min, min_violation) = shrink_case(&case);
+                        let repro = Repro {
+                            case: min.clone(),
+                            violation: min_violation.detail.clone(),
+                        };
+                        let file = format!(
+                            "{}/repro-{}-{seed}.ron",
+                            args.out_dir.trim_end_matches('/'),
+                            target.name()
+                        );
+                        if let Err(e) = std::fs::write(&file, repro.to_ron()) {
+                            eprintln!("warning: cannot write {file}: {e}");
+                        }
+                        println!(
+                            "REPRO target={} seed={seed} policy={} ops={} file={file}",
+                            target.name(),
+                            policy.spec(),
+                            min.ops.len()
+                        );
+                        println!("  first violation: {v}");
+                        println!("  shrunk violation: {min_violation}");
+                    }
+                }
+            }
+        }
+        println!(
+            "target={} cases={cases} violations={violations} digest={digest:#018x}",
+            target.name()
+        );
+        total_cases += cases;
+        total_violations += violations;
+        total_digest = fold(total_digest, digest);
+    }
+    if budget_hit {
+        println!("BUDGET exhausted after {total_cases} cases (summary is load-dependent)");
+    }
+    println!(
+        "TOTAL cases={total_cases} violations={total_violations} digest={total_digest:#018x}"
+    );
+    let clean = total_violations == 0;
+    if args.expect_violations == clean {
+        if args.expect_violations {
+            eprintln!("expected at least one violation, found none");
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -177,6 +177,7 @@ fn main() {
         queue_capacity: 1024,
         shed_watermark: 768,
         seed: seed ^ 0x5E44_1CE0,
+        ..ServiceConfig::default()
     };
     // Service capacity: one batch per shard per tick.
     let capacity = (shards * svc_cfg.max_batch) as f64;

@@ -1,0 +1,950 @@
+//! Schedule-exploration fuzzing: differential oracle, shrinker and repro
+//! artifacts over every scheme in the repository.
+//!
+//! The exploration stack has three pieces:
+//!
+//! 1. **Workload generator** ([`gen_ops`]) — a deterministic stream of
+//!    single-key operations drawn from a small hot key range (contention)
+//!    plus periodic wide-range insert bursts and delete bursts (upsize /
+//!    downsize pressure, so schedules interleave with resizing).
+//! 2. **Differential oracle** ([`run_case`]) — executes a [`Case`] (target
+//!    scheme, schedule policy, op sequence) and checks every batch against
+//!    a reference `HashMap`: finds must return exactly the reference value,
+//!    deletes must erase exactly the reference count, and after the final
+//!    batch the whole table contents and length must match. Because every
+//!    scheme upserts and the generator never puts two copies of one key in
+//!    a single insert batch, the reference semantics are exact under *any*
+//!    schedule — a mismatch is a real linearizability violation, not an
+//!    artifact of reordering.
+//! 3. **Shrinker + repro** ([`shrink_case`], [`Repro`]) — on a violation,
+//!    ddmin ([`gpu_sim::shrink_ops`]) minimizes the op sequence while the
+//!    oracle keeps failing (policy and seeds held fixed), and the result is
+//!    serialized as a `repro-*.ron` artifact that `schedule_fuzz --replay`
+//!    (and [`Repro::from_ron`]) can re-execute bit-identically.
+//!
+//! Everything here is deterministic: a (workload seed, schedule policy)
+//! pair always produces the same ops, the same interleavings and the same
+//! verdict, so a discovered failure is a committable regression test.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use baselines::{
+    Cudpp, DyCuckooTable, GpuHashTable, LinearProbing, MegaKv, ResizeBounds, SlabHash,
+};
+use dycuckoo::{Config, DupPolicy, WideDyCuckoo};
+use gpu_sim::explore::mix64;
+use gpu_sim::{SchedulePolicy, SimContext};
+use kv_service::{KvService, Op, Reply, ServiceConfig};
+
+/// Which implementation a fuzz case drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The DyCuckoo core behind the baseline adapter.
+    DyCuckoo,
+    /// The 64-bit wide-entry variant.
+    WideDyCuckoo,
+    /// MegaKV bucketized cuckoo baseline.
+    MegaKv,
+    /// SlabHash chaining baseline.
+    SlabHash,
+    /// Linear-probing baseline.
+    LinearProbing,
+    /// CUDPP cuckoo baseline (no deletes — the oracle skips them).
+    Cudpp,
+    /// The sharded batching service layer over DyCuckoo.
+    KvService,
+}
+
+impl Target {
+    /// Every fuzzable target, in the order the driver sweeps them.
+    pub const ALL: [Target; 7] = [
+        Target::DyCuckoo,
+        Target::WideDyCuckoo,
+        Target::MegaKv,
+        Target::SlabHash,
+        Target::LinearProbing,
+        Target::Cudpp,
+        Target::KvService,
+    ];
+
+    /// CLI / artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::DyCuckoo => "dycuckoo",
+            Target::WideDyCuckoo => "wide",
+            Target::MegaKv => "megakv",
+            Target::SlabHash => "slab",
+            Target::LinearProbing => "linear",
+            Target::Cudpp => "cudpp",
+            Target::KvService => "service",
+        }
+    }
+
+    /// Inverse of [`Target::name`].
+    pub fn from_name(name: &str) -> Option<Target> {
+        Target::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+/// One single-key operation of a fuzz workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzOp {
+    /// Upsert `key -> val`.
+    Insert(u32, u32),
+    /// Look `key` up.
+    Find(u32),
+    /// Erase `key`.
+    Delete(u32),
+}
+
+/// A replayable fuzz case: everything needed to re-run one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// The scheme under test.
+    pub target: Target,
+    /// Warp / shard scheduling policy for the whole execution.
+    pub policy: SchedulePolicy,
+    /// Seed the workload (and table hash seeds) derive from.
+    pub workload_seed: u64,
+    /// Enable the planted lock-elision bug (DyCuckoo targets only).
+    pub inject_lock_elision: bool,
+    /// The operation sequence.
+    pub ops: Vec<FuzzOp>,
+}
+
+/// An oracle mismatch: what diverged from the reference model, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+/// Deterministic fingerprint of a passing execution: folds the schedule-
+/// sensitive metrics (rounds, lock failures) with the final table length,
+/// so two runs of one case agree on the digest iff the executions were
+/// bit-identical.
+pub type Digest = u64;
+
+fn fold(digest: Digest, x: u64) -> Digest {
+    mix64(digest ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+/// Keys the hot range draws from (small: forces bucket contention).
+const HOT_KEYS: u64 = 192;
+/// Keys the burst range draws from (wide: forces upsizes).
+const WIDE_KEYS: u64 = 4096;
+
+struct Rng {
+    s: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self {
+            s: mix64(seed ^ 0x5EED_F00D),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.s = self.s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.s)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A deterministic op sequence for `seed`: mostly hot-range single ops with
+/// occasional wide-range insert bursts (resize-overlap pressure) and delete
+/// bursts (downsize pressure).
+pub fn gen_ops(seed: u64, n: usize) -> Vec<FuzzOp> {
+    let mut rng = Rng::new(seed);
+    let mut ops = Vec::with_capacity(n);
+    let any_key = |rng: &mut Rng| -> u32 {
+        let wide = rng.below(4) == 0;
+        let range = if wide { WIDE_KEYS } else { HOT_KEYS };
+        1 + rng.below(range) as u32
+    };
+    while ops.len() < n {
+        let val = |rng: &mut Rng| ((rng.next() as u32) & 0x00FF_FFFF) | 1;
+        match rng.below(100) {
+            // Upsize burst: a run of wide-range inserts in one window.
+            0..=7 => {
+                for _ in 0..(n - ops.len()).min(24) {
+                    let k = 1 + rng.below(WIDE_KEYS) as u32;
+                    let v = val(&mut rng);
+                    ops.push(FuzzOp::Insert(k, v));
+                }
+            }
+            // Downsize burst: a run of deletes.
+            8..=13 => {
+                for _ in 0..(n - ops.len()).min(16) {
+                    let k = any_key(&mut rng);
+                    ops.push(FuzzOp::Delete(k));
+                }
+            }
+            14..=58 => {
+                let k = 1 + rng.below(HOT_KEYS) as u32;
+                let v = val(&mut rng);
+                ops.push(FuzzOp::Insert(k, v));
+            }
+            59..=83 => ops.push(FuzzOp::Find(any_key(&mut rng))),
+            _ => ops.push(FuzzOp::Delete(any_key(&mut rng))),
+        }
+    }
+    ops.truncate(n);
+    ops
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------------
+
+/// Consecutive same-kind ops execute as one kernel batch (capped), which is
+/// how the batched APIs are actually driven. An insert batch is cut before
+/// a duplicate key would enter it: duplicate keys *within* one batch race
+/// for last-write-wins under reordering, which would make the reference
+/// model schedule-dependent and the oracle vacuous.
+enum Batch {
+    Insert(Vec<(u32, u32)>),
+    Find(Vec<u32>),
+    Delete(Vec<u32>),
+}
+
+const MAX_KERNEL_BATCH: usize = 48;
+
+fn batches(ops: &[FuzzOp]) -> Vec<Batch> {
+    let mut out: Vec<Batch> = Vec::new();
+    let mut in_batch: HashSet<u32> = HashSet::new();
+    for &op in ops {
+        let fits = match (&op, out.last_mut()) {
+            (FuzzOp::Insert(k, _), Some(Batch::Insert(kvs))) => {
+                kvs.len() < MAX_KERNEL_BATCH && !in_batch.contains(k)
+            }
+            (FuzzOp::Find(_), Some(Batch::Find(ks))) => ks.len() < MAX_KERNEL_BATCH,
+            (FuzzOp::Delete(_), Some(Batch::Delete(ks))) => ks.len() < MAX_KERNEL_BATCH,
+            _ => false,
+        };
+        match (op, fits) {
+            (FuzzOp::Insert(k, v), true) => {
+                if let Some(Batch::Insert(kvs)) = out.last_mut() {
+                    kvs.push((k, v));
+                    in_batch.insert(k);
+                }
+            }
+            (FuzzOp::Insert(k, v), false) => {
+                in_batch.clear();
+                in_batch.insert(k);
+                out.push(Batch::Insert(vec![(k, v)]));
+            }
+            (FuzzOp::Find(k), true) => {
+                if let Some(Batch::Find(ks)) = out.last_mut() {
+                    ks.push(k);
+                }
+            }
+            (FuzzOp::Find(k), false) => out.push(Batch::Find(vec![k])),
+            (FuzzOp::Delete(k), true) => {
+                if let Some(Batch::Delete(ks)) = out.last_mut() {
+                    ks.push(k);
+                }
+            }
+            (FuzzOp::Delete(k), false) => out.push(Batch::Delete(vec![k])),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The oracle
+// ---------------------------------------------------------------------------
+
+/// Execute one case and check it against the reference model. `Ok` carries
+/// a deterministic execution digest; `Err` is an oracle violation.
+pub fn run_case(case: &Case) -> Result<Digest, Violation> {
+    match case.target {
+        Target::KvService => run_service_case(case),
+        Target::WideDyCuckoo => run_wide_case(case),
+        _ => run_table_case(case),
+    }
+}
+
+fn table_seed(case: &Case) -> u64 {
+    mix64(case.workload_seed ^ 0xC0FF_EE00)
+}
+
+fn setup_err(e: impl fmt::Display) -> Violation {
+    Violation::new(format!("table construction failed: {e}"))
+}
+
+fn build_table(case: &Case, sim: &mut SimContext) -> Result<Box<dyn GpuHashTable>, Violation> {
+    let seed = table_seed(case);
+    let mut table: Box<dyn GpuHashTable> = match case.target {
+        Target::DyCuckoo => Box::new(
+            DyCuckooTable::new(
+                Config {
+                    initial_buckets: 4,
+                    seed,
+                    dup_policy: DupPolicy::Upsert,
+                    schedule: case.policy,
+                    inject_lock_elision: case.inject_lock_elision,
+                    ..Config::default()
+                },
+                sim,
+            )
+            .map_err(setup_err)?,
+        ),
+        Target::MegaKv => Box::new(
+            MegaKv::new(
+                8,
+                Some(ResizeBounds {
+                    alpha: 0.3,
+                    beta: 0.85,
+                }),
+                seed,
+                sim,
+            )
+            .map_err(setup_err)?,
+        ),
+        Target::SlabHash => Box::new(SlabHash::new(16, seed, sim).map_err(setup_err)?),
+        Target::LinearProbing => {
+            Box::new(LinearProbing::new(16 * 1024, seed, sim).map_err(setup_err)?)
+        }
+        Target::Cudpp => Box::new(Cudpp::with_capacity(8 * 1024, 0.4, seed, sim).map_err(setup_err)?),
+        Target::WideDyCuckoo | Target::KvService => unreachable!("handled by dedicated runners"),
+    };
+    table.set_schedule(case.policy);
+    Ok(table)
+}
+
+/// Check a slice of lookups against the reference.
+fn check_finds(
+    when: &str,
+    keys: &[u32],
+    got: &[Option<u32>],
+    model: &HashMap<u32, u32>,
+) -> Result<(), Violation> {
+    for (&k, g) in keys.iter().zip(got) {
+        let want = model.get(&k).copied();
+        if *g != want {
+            return Err(Violation::new(format!(
+                "{when}: find({k}) = {g:?}, reference says {want:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn run_table_case(case: &Case) -> Result<Digest, Violation> {
+    let mut sim = SimContext::new();
+    let mut table = build_table(case, &mut sim)?;
+    let mut model: HashMap<u32, u32> = HashMap::new();
+    for (i, batch) in batches(&case.ops).into_iter().enumerate() {
+        match batch {
+            Batch::Insert(kvs) => {
+                table
+                    .insert_batch(&mut sim, &kvs)
+                    .map_err(|e| Violation::new(format!("insert batch {i} failed: {e}")))?;
+                for &(k, v) in &kvs {
+                    model.insert(k, v);
+                }
+                let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+                let got = table.find_batch(&mut sim, &keys);
+                check_finds(&format!("after insert batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Find(keys) => {
+                let got = table.find_batch(&mut sim, &keys);
+                check_finds(&format!("find batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Delete(keys) => {
+                if !table.supports_delete() {
+                    continue;
+                }
+                let mut want = 0u64;
+                for &k in &keys {
+                    if model.remove(&k).is_some() {
+                        want += 1;
+                    }
+                }
+                let got = table
+                    .delete_batch(&mut sim, &keys)
+                    .map_err(|e| Violation::new(format!("delete batch {i} failed: {e}")))?;
+                if got != want {
+                    return Err(Violation::new(format!(
+                        "delete batch {i}: erased {got} keys, reference says {want}"
+                    )));
+                }
+            }
+        }
+    }
+    // Full final sweep: every reference key must be present with the right
+    // value, a few never-inserted keys must miss, and the length must agree.
+    let mut keys: Vec<u32> = model.keys().copied().collect();
+    keys.sort_unstable();
+    keys.extend((1..=4u32).map(|i| 0xFFF0_0000 + i));
+    let got = table.find_batch(&mut sim, &keys);
+    check_finds("final sweep", &keys, &got, &model)?;
+    if table.len() != model.len() as u64 {
+        return Err(Violation::new(format!(
+            "final sweep: table.len() = {}, reference holds {} keys",
+            table.len(),
+            model.len()
+        )));
+    }
+    let mut d = fold(0, sim.metrics.rounds);
+    d = fold(d, sim.metrics.lock_failures);
+    d = fold(d, table.len());
+    Ok(d)
+}
+
+fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
+    let mut sim = SimContext::new();
+    let mut table = WideDyCuckoo::new(4, 4, table_seed(case), &mut sim).map_err(setup_err)?;
+    table.set_schedule(case.policy);
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    // Exercise the 64-bit key space: spread the 32-bit fuzz keys across the
+    // wide domain deterministically (same key always maps the same way).
+    let widen = |k: u32| (k as u64) | (mix64(k as u64) & 0xFFFF_0000_0000_0000);
+    for (i, batch) in batches(&case.ops).into_iter().enumerate() {
+        match batch {
+            Batch::Insert(kvs) => {
+                let kvs: Vec<(u64, u64)> = kvs
+                    .iter()
+                    .map(|&(k, v)| (widen(k), v as u64 | (k as u64) << 32))
+                    .collect();
+                table
+                    .insert_batch(&mut sim, &kvs)
+                    .map_err(|e| Violation::new(format!("insert batch {i} failed: {e}")))?;
+                for &(k, v) in &kvs {
+                    model.insert(k, v);
+                }
+                let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+                let got = table.find_batch(&mut sim, &keys);
+                for (&k, g) in keys.iter().zip(&got) {
+                    let want = model.get(&k).copied();
+                    if *g != want {
+                        return Err(Violation::new(format!(
+                            "after insert batch {i}: find({k:#x}) = {g:?}, reference says {want:?}"
+                        )));
+                    }
+                }
+            }
+            Batch::Find(keys) => {
+                let keys: Vec<u64> = keys.iter().map(|&k| widen(k)).collect();
+                let got = table.find_batch(&mut sim, &keys);
+                for (&k, g) in keys.iter().zip(&got) {
+                    let want = model.get(&k).copied();
+                    if *g != want {
+                        return Err(Violation::new(format!(
+                            "find batch {i}: find({k:#x}) = {g:?}, reference says {want:?}"
+                        )));
+                    }
+                }
+            }
+            Batch::Delete(keys) => {
+                let keys: Vec<u64> = keys.iter().map(|&k| widen(k)).collect();
+                let mut want = 0u64;
+                for &k in &keys {
+                    if model.remove(&k).is_some() {
+                        want += 1;
+                    }
+                }
+                let got = table.delete_batch(&mut sim, &keys);
+                if got != want {
+                    return Err(Violation::new(format!(
+                        "delete batch {i}: erased {got} keys, reference says {want}"
+                    )));
+                }
+            }
+        }
+    }
+    if table.len() != model.len() as u64 {
+        return Err(Violation::new(format!(
+            "final sweep: table.len() = {}, reference holds {} keys",
+            table.len(),
+            model.len()
+        )));
+    }
+    let mut d = fold(1, sim.metrics.rounds);
+    d = fold(d, sim.metrics.lock_failures);
+    d = fold(d, table.len());
+    Ok(d)
+}
+
+fn run_service_case(case: &Case) -> Result<Digest, Violation> {
+    let mut sim = SimContext::new();
+    let seed = table_seed(case);
+    let cfg = ServiceConfig {
+        shards: 4,
+        table: Config {
+            initial_buckets: 4,
+            seed,
+            dup_policy: DupPolicy::Upsert,
+            schedule: case.policy,
+            inject_lock_elision: case.inject_lock_elision,
+            ..Config::default()
+        },
+        max_batch: 16,
+        max_delay_ticks: 2,
+        queue_capacity: 1 << 14,
+        shed_watermark: 1 << 14,
+        seed: mix64(seed ^ 0x0A11),
+        flush_order: case.policy,
+    };
+    let mut svc = KvService::new(cfg, &mut sim).map_err(setup_err)?;
+    // Reference replies are fixed at submission time: a key always routes
+    // to one shard, shard queues are FIFO, and the flush planner provides
+    // read-your-writes within a window — so per-key submission order IS the
+    // linearization order, whatever the shard visit order.
+    let mut model: HashMap<u32, u32> = HashMap::new();
+    let mut expected: HashMap<u64, Reply> = HashMap::new();
+    for (i, &op) in case.ops.iter().enumerate() {
+        let op = match op {
+            FuzzOp::Insert(k, v) => Op::Put(k, v),
+            FuzzOp::Find(k) => Op::Get(k),
+            FuzzOp::Delete(k) => Op::Delete(k),
+        };
+        let want = match op {
+            Op::Get(k) => Reply::Value(model.get(&k).copied()),
+            Op::Put(k, v) => {
+                model.insert(k, v);
+                Reply::Stored
+            }
+            Op::Delete(k) => {
+                model.remove(&k);
+                Reply::Deleted
+            }
+        };
+        match svc.submit((i % 7) as u32, op) {
+            Ok(id) => {
+                expected.insert(id, want);
+            }
+            Err(e) => {
+                return Err(Violation::new(format!(
+                    "op {i} refused by admission control under a roomy config: {e:?}"
+                )));
+            }
+        }
+        if i % 8 == 7 {
+            svc.tick(&mut sim)
+                .map_err(|e| Violation::new(format!("tick after op {i} failed: {e}")))?;
+        }
+    }
+    svc.flush_all(&mut sim)
+        .map_err(|e| Violation::new(format!("final drain failed: {e}")))?;
+    let mut d = fold(2, sim.metrics.rounds);
+    for c in svc.drain_completions() {
+        let Some(want) = expected.remove(&c.id) else {
+            return Err(Violation::new(format!(
+                "request {} completed twice (or was never submitted)",
+                c.id
+            )));
+        };
+        if c.reply != want {
+            return Err(Violation::new(format!(
+                "request {} (key {}): reply {:?}, reference says {:?}",
+                c.id, c.key, c.reply, want
+            )));
+        }
+        d = fold(d, c.completed_tick);
+    }
+    if !expected.is_empty() {
+        let mut ids: Vec<u64> = expected.keys().copied().collect();
+        ids.sort_unstable();
+        return Err(Violation::new(format!(
+            "{} requests never completed after the final drain (first id {})",
+            ids.len(),
+            ids[0]
+        )));
+    }
+    d = fold(d, svc.total_keys());
+    Ok(d)
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Minimize a failing case with ddmin: the op list shrinks while the oracle
+/// keeps failing; target, policy and seeds are held fixed so the artifact
+/// replays the same interleaving family. Returns the minimized case and the
+/// violation it still produces.
+pub fn shrink_case(case: &Case) -> (Case, Violation) {
+    debug_assert!(run_case(case).is_err(), "shrink_case needs a failing case");
+    let ops = gpu_sim::shrink_ops(&case.ops, |sub| {
+        let candidate = Case {
+            ops: sub.to_vec(),
+            ..case.clone()
+        };
+        run_case(&candidate).is_err()
+    });
+    let min = Case {
+        ops,
+        ..case.clone()
+    };
+    let violation = run_case(&min).expect_err("shrunk case must still fail");
+    (min, violation)
+}
+
+// ---------------------------------------------------------------------------
+// Repro artifacts (hand-rolled RON; the repo takes no serde dependency)
+// ---------------------------------------------------------------------------
+
+/// A serialized failing case: the [`Case`] plus the violation message it
+/// produced when it was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// The minimized failing case.
+    pub case: Case,
+    /// The oracle's message at discovery time (informational).
+    pub violation: String,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl Repro {
+    /// Render as a RON document (fields in fixed order; see
+    /// [`Repro::from_ron`]).
+    pub fn to_ron(&self) -> String {
+        let mut out = String::new();
+        out.push_str("// schedule_fuzz repro artifact. Replay with:\n");
+        out.push_str("//   cargo run --release -p bench --bin schedule_fuzz -- --replay <file>\n");
+        out.push_str("(\n");
+        out.push_str(&format!("    target: \"{}\",\n", self.case.target.name()));
+        out.push_str(&format!("    policy: \"{}\",\n", self.case.policy.spec()));
+        out.push_str(&format!("    workload_seed: {},\n", self.case.workload_seed));
+        out.push_str(&format!(
+            "    inject_lock_elision: {},\n",
+            self.case.inject_lock_elision
+        ));
+        out.push_str(&format!("    violation: \"{}\",\n", escape(&self.violation)));
+        out.push_str("    ops: [\n");
+        for op in &self.case.ops {
+            match *op {
+                FuzzOp::Insert(k, v) => out.push_str(&format!("        Insert({k}, {v}),\n")),
+                FuzzOp::Find(k) => out.push_str(&format!("        Find({k}),\n")),
+                FuzzOp::Delete(k) => out.push_str(&format!("        Delete({k}),\n")),
+            }
+        }
+        out.push_str("    ],\n");
+        out.push_str(")\n");
+        out
+    }
+
+    /// Parse a document produced by [`Repro::to_ron`]. The parser accepts
+    /// exactly the writer's shape (fixed field order, `//` comments,
+    /// arbitrary whitespace) — it is a repro loader, not a general RON
+    /// implementation.
+    pub fn from_ron(text: &str) -> Result<Repro, String> {
+        let mut c = Cursor::new(text);
+        c.expect('(')?;
+        c.field("target")?;
+        let target_name = c.string()?;
+        let target = Target::from_name(&target_name)
+            .ok_or_else(|| format!("unknown target {target_name:?}"))?;
+        c.expect(',')?;
+        c.field("policy")?;
+        let policy_spec = c.string()?;
+        let policy = SchedulePolicy::from_spec(&policy_spec)
+            .ok_or_else(|| format!("unknown policy spec {policy_spec:?}"))?;
+        c.expect(',')?;
+        c.field("workload_seed")?;
+        let workload_seed = c.number()?;
+        c.expect(',')?;
+        c.field("inject_lock_elision")?;
+        let inject_lock_elision = c.boolean()?;
+        c.expect(',')?;
+        c.field("violation")?;
+        let violation = c.string()?;
+        c.expect(',')?;
+        c.field("ops")?;
+        c.expect('[')?;
+        let mut ops = Vec::new();
+        loop {
+            c.skip();
+            if c.peek() == Some(']') {
+                c.expect(']')?;
+                break;
+            }
+            let kind = c.ident()?;
+            c.expect('(')?;
+            let op = match kind.as_str() {
+                "Insert" => {
+                    let k = c.number()? as u32;
+                    c.expect(',')?;
+                    let v = c.number()? as u32;
+                    FuzzOp::Insert(k, v)
+                }
+                "Find" => FuzzOp::Find(c.number()? as u32),
+                "Delete" => FuzzOp::Delete(c.number()? as u32),
+                other => return Err(format!("unknown op {other:?}")),
+            };
+            c.expect(')')?;
+            c.expect(',')?;
+            ops.push(op);
+        }
+        c.expect(',')?;
+        c.expect(')')?;
+        Ok(Repro {
+            case: Case {
+                target,
+                policy,
+                workload_seed,
+                inject_lock_elision,
+                ops,
+            },
+            violation,
+        })
+    }
+}
+
+/// Minimal cursor over the repro text.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip(&mut self) {
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.bytes[self.pos..].starts_with(b"//") {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at byte {} (found {:?})",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected identifier at byte {start}"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn field(&mut self, name: &str) -> Result<(), String> {
+        let got = self.ident()?;
+        if got != name {
+            return Err(format!("expected field {name:?}, found {got:?}"));
+        }
+        self.expect(':')
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        match self.ident()?.as_str() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|e| format!("bad utf-8: {e}"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'"') => out.push(b'"'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_ops_is_deterministic_and_sized() {
+        let a = gen_ops(7, 100);
+        let b = gen_ops(7, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_ne!(a, gen_ops(8, 100));
+        // All three op kinds appear in a non-trivial stream.
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Insert(..))));
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Find(_))));
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Delete(_))));
+    }
+
+    #[test]
+    fn insert_batches_never_contain_duplicate_keys() {
+        for seed in 0..8 {
+            for b in batches(&gen_ops(seed, 200)) {
+                if let Batch::Insert(kvs) = b {
+                    let mut keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    assert_eq!(keys.len(), kvs.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_passes_on_dycuckoo_fixed_order() {
+        let case = Case {
+            target: Target::DyCuckoo,
+            policy: SchedulePolicy::FixedOrder,
+            workload_seed: 1,
+            inject_lock_elision: false,
+            ops: gen_ops(1, 96),
+        };
+        let a = run_case(&case).expect("no violation");
+        let b = run_case(&case).expect("no violation");
+        assert_eq!(a, b, "same case must produce the same digest");
+    }
+
+    #[test]
+    fn different_policies_change_the_digest_but_not_the_verdict() {
+        let base = Case {
+            target: Target::DyCuckoo,
+            policy: SchedulePolicy::FixedOrder,
+            workload_seed: 3,
+            inject_lock_elision: false,
+            ops: gen_ops(3, 96),
+        };
+        let rev = Case {
+            policy: SchedulePolicy::Reversed,
+            ..base.clone()
+        };
+        let a = run_case(&base).expect("fixed order passes");
+        let b = run_case(&rev).expect("reversed passes");
+        // Not asserted unequal in general, but these workloads contend.
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn ron_roundtrips() {
+        let repro = Repro {
+            case: Case {
+                target: Target::WideDyCuckoo,
+                policy: SchedulePolicy::Shuffled { seed: 42 },
+                workload_seed: 9,
+                inject_lock_elision: true,
+                ops: vec![FuzzOp::Insert(1, 2), FuzzOp::Find(1), FuzzOp::Delete(1)],
+            },
+            violation: "find(1) = None, reference says Some(2) — a \"lost\" key\\".to_string(),
+        };
+        let text = repro.to_ron();
+        let back = Repro::from_ron(&text).expect("parse");
+        assert_eq!(back, repro);
+    }
+
+    #[test]
+    fn ron_rejects_garbage() {
+        assert!(Repro::from_ron("(target: 3)").is_err());
+        assert!(Repro::from_ron("").is_err());
+        let good = Repro {
+            case: Case {
+                target: Target::DyCuckoo,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 0,
+                inject_lock_elision: false,
+                ops: vec![],
+            },
+            violation: String::new(),
+        };
+        let bad = good.to_ron().replace("\"dycuckoo\"", "\"nope\"");
+        assert!(Repro::from_ron(&bad).is_err());
+    }
+
+    #[test]
+    fn target_names_roundtrip() {
+        for t in Target::ALL {
+            assert_eq!(Target::from_name(t.name()), Some(t));
+        }
+        assert_eq!(Target::from_name("bogus"), None);
+    }
+}

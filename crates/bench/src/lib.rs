@@ -15,6 +15,7 @@
 //! cost model.
 
 pub mod driver;
+pub mod fuzz;
 pub mod report;
 
 use gpu_sim::{CostModel, Metrics, SimContext};

@@ -1,5 +1,7 @@
 //! Configuration of a [`crate::DyCuckoo`] table.
 
+use gpu_sim::SchedulePolicy;
+
 use crate::error::Error;
 
 /// Number of key slots per bucket. The paper sizes buckets so that 32
@@ -100,6 +102,17 @@ pub struct Config {
     /// implementation of the paper's future-work item. 0 (the default)
     /// disables it, reproducing the paper's exact behaviour.
     pub stash_capacity: usize,
+    /// Within-round warp ordering for every kernel launch this table
+    /// performs. The default fixed order is what the experiment harness
+    /// measures; the exploration harness sweeps the other policies.
+    pub schedule: SchedulePolicy,
+    /// Fault injection for the exploration harness: when set, the insert
+    /// kernel skips bucket locking and operates on stale bucket snapshots
+    /// (held for a whole kernel launch), recreating the classic "two
+    /// threads claim the same empty slot" lost-update race. Exists so the
+    /// oracle + shrinker can be
+    /// demonstrated against a real bug; never enable outside tests.
+    pub inject_lock_elision: bool,
 }
 
 impl Default for Config {
@@ -117,6 +130,8 @@ impl Default for Config {
             coordination: Coordination::Voter,
             reroute_before_evict: true,
             stash_capacity: 0,
+            schedule: SchedulePolicy::FixedOrder,
+            inject_lock_elision: false,
         }
     }
 }

@@ -8,7 +8,7 @@
 //! first hit; under [`crate::DupPolicy::PaperInsert`] every candidate is
 //! scanned so stray duplicates are cleaned up too.
 
-use gpu_sim::{run_rounds, Metrics, RoundCtx, RoundKernel, StepOutcome};
+use gpu_sim::{run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutcome};
 
 use crate::config::DupPolicy;
 use crate::subtable::SubTable;
@@ -81,6 +81,6 @@ pub(crate) fn delete_batch(
         shape,
         deleted: 0,
     };
-    run_rounds(&mut kernel, &mut warps, metrics);
+    run_rounds_with(&mut kernel, &mut warps, metrics, shape.cfg.schedule);
     kernel.deleted
 }

@@ -9,7 +9,7 @@
 //! values are stored separately, so misses never pay for value traffic).
 //! No locks are taken.
 
-use gpu_sim::{run_rounds, Metrics, RoundCtx, RoundKernel, StepOutcome};
+use gpu_sim::{run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutcome};
 
 use crate::subtable::SubTable;
 use crate::table::TableShape;
@@ -86,6 +86,6 @@ pub(crate) fn find_batch(
         shape,
         results: &mut results,
     };
-    run_rounds(&mut kernel, &mut warps, metrics);
+    run_rounds_with(&mut kernel, &mut warps, metrics, shape.cfg.schedule);
     results
 }

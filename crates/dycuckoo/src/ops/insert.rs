@@ -20,11 +20,13 @@
 //! as failed; the table layer responds by upsizing and retrying them, which
 //! is exactly the paper's "insertion failure triggers resizing" rule.
 
-use gpu_sim::{ballot, run_rounds, Metrics, RoundCtx, RoundKernel, StepOutcome, WARP_SIZE};
+use std::collections::HashMap;
+
+use gpu_sim::{ballot, run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutcome, WARP_SIZE};
 
 use crate::config::{Coordination, Distribution, DupPolicy, Layering};
 use crate::distribute::{choose_among, choose_victim};
-use crate::subtable::SubTable;
+use crate::subtable::{SubTable, EMPTY_KEY};
 use crate::table::TableShape;
 
 /// Where an insert operation is in its life cycle.
@@ -126,6 +128,25 @@ struct InsertKernel<'a> {
     /// is being downsized).
     excluded: Option<usize>,
     out: InsertOutcome,
+    /// Fault injection (see [`crate::Config::inject_lock_elision`]): probe
+    /// steps skip bucket locks and read these stale bucket snapshots
+    /// (captured on first touch, held for the whole kernel launch) while
+    /// their writes land in the live table — the lost-update race a missing
+    /// lock produces on real hardware, where a thread keeps acting on the
+    /// bucket image it cached without the lock's acquire to refresh it.
+    stale_buckets: Option<HashMap<(usize, usize), Vec<u32>>>,
+}
+
+impl InsertKernel<'_> {
+    /// The bucket's keys as of the first time any op touched it this kernel
+    /// launch (first touch snapshots the live bucket).
+    fn stale_keys(&mut self, t: usize, b: usize) -> &[u32] {
+        let tables = &*self.tables;
+        let snaps = self.stale_buckets.as_mut().expect("injection enabled");
+        snaps
+            .entry((t, b))
+            .or_insert_with(|| tables[t].bucket_keys(b).to_vec())
+    }
 }
 
 impl InsertKernel<'_> {
@@ -320,6 +341,48 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
             } => {
                 let t = target;
                 let b = self.shape.hashes[t].bucket(op.key, self.tables[t].n_buckets());
+                if self.stale_buckets.is_some() {
+                    // Injected bug: no lock, and the probe reads the bucket
+                    // as it was when the kernel first touched it. Two ops
+                    // racing for one bucket both see the same "empty" slot;
+                    // the later write clobbers the earlier key.
+                    ctx.read_bucket();
+                    let snap = self.stale_keys(t, b);
+                    let dup = snap.iter().position(|&k| k == op.key);
+                    let empty = snap.iter().position(|&k| k == EMPTY_KEY);
+                    if let Some(slot) = dup {
+                        self.tables[t].update_val(b, slot, op.val);
+                        ctx.write_line();
+                        self.out.updated += 1;
+                        warp.active &= !(1 << leader);
+                    } else if let Some(slot) = empty {
+                        if self.tables[t].slot(b, slot).0 == EMPTY_KEY {
+                            self.tables[t].write_new(b, slot, op.key, op.val);
+                        } else {
+                            // The slot was claimed earlier this round: the
+                            // lost update the elided lock would have caused.
+                            self.tables[t].swap(b, slot, op.key, op.val);
+                        }
+                        ctx.write_line();
+                        ctx.write_line();
+                        self.out.inserted += 1;
+                        warp.active &= !(1 << leader);
+                    } else if reroutes_left > 0 {
+                        warp.ops[leader].phase = match self.next_candidate(op.key, t) {
+                            Some(next) => Phase::Probe {
+                                target: next,
+                                reroutes_left: reroutes_left - 1,
+                            },
+                            None => Phase::Probe {
+                                target: t,
+                                reroutes_left: 0,
+                            },
+                        };
+                    } else {
+                        self.evict(warp, leader, op, t, b, ctx);
+                    }
+                    return StepOutcome::Pending;
+                }
                 if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
                     if self.shape.cfg.coordination == Coordination::Voter {
                         warp.rr += 1; // revote
@@ -366,6 +429,10 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
         for t in self.tables.iter_mut() {
             t.locks.end_round();
         }
+        // Note: `stale_buckets` is deliberately NOT cleared here — the
+        // injected bug models a thread that cached the bucket without the
+        // lock acquire that would force a re-read, so the staleness
+        // persists across rounds within one kernel launch.
     }
 }
 
@@ -387,7 +454,8 @@ pub(crate) fn insert_batch(
         shape,
         excluded,
         out: InsertOutcome::default(),
+        stale_buckets: shape.cfg.inject_lock_elision.then(HashMap::new),
     };
-    run_rounds(&mut kernel, &mut warps, metrics);
+    run_rounds_with(&mut kernel, &mut warps, metrics, shape.cfg.schedule);
     kernel.out
 }

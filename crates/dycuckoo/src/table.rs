@@ -278,6 +278,14 @@ impl DyCuckoo {
         &self.shape.cfg
     }
 
+    /// Set the within-round warp ordering for all subsequent kernel
+    /// launches. Purely an interleaving choice: contents and final state
+    /// stay semantically equivalent, only contention patterns (and thus
+    /// metrics) may differ. Used by the schedule-exploration harness.
+    pub fn set_schedule(&mut self, policy: gpu_sim::SchedulePolicy) {
+        self.shape.cfg.schedule = policy;
+    }
+
     /// Number of live KV pairs (including any stashed overflow).
     pub fn len(&self) -> u64 {
         self.tables.iter().map(|t| t.occupied()).sum::<u64>()
@@ -406,6 +414,7 @@ impl DyCuckoo {
             self.retry_failed(sim, out, &mut report)?;
             self.rebalance(sim, resize::Direction::GrowOnly, &mut report.resizes)?;
         }
+        self.debug_verify("insert_batch");
         Ok(report)
     }
 
@@ -447,6 +456,7 @@ impl DyCuckoo {
             ctx.finish();
         }
         self.rebalance(sim, resize::Direction::Both, &mut report.resizes)?;
+        self.debug_verify("delete_batch");
         Ok(report)
     }
 
@@ -625,7 +635,9 @@ impl DyCuckoo {
     /// Force one resize operation regardless of θ (used by the F7 resize
     /// experiment, which measures a single upsize/downsize in isolation).
     pub fn force_resize(&mut self, sim: &mut SimContext, op: ResizeOp) -> Result<ResizeEvent> {
-        self.apply_resize(op, sim)
+        let event = self.apply_resize(op, sim);
+        self.debug_verify("force_resize");
+        event
     }
 
     /// The *naive* alternative the paper's resize experiment compares
@@ -738,6 +750,20 @@ impl DyCuckoo {
     /// resize-throughput comparison reads exact per-subtable sizes).
     pub fn subtables(&self) -> &[SubTable] {
         &self.tables
+    }
+
+    /// Debug-build invariant sweep after every mutating batch operation, so
+    /// every existing test doubles as an integrity check and corruption is
+    /// caught at the batch boundary where it is still attributable. Skipped
+    /// under deliberate fault injection — a lost update is a *semantic*
+    /// defect for the oracle, not a structural one for this sweep.
+    #[inline]
+    fn debug_verify(&self, when: &str) {
+        if cfg!(debug_assertions) && !self.shape.cfg.inject_lock_elision {
+            if let Err(e) = self.verify_integrity() {
+                panic!("integrity violated after {when}: {e}");
+            }
+        }
     }
 }
 

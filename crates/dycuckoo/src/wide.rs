@@ -13,7 +13,10 @@
 //! overflow. It shares the [`gpu_sim`] cost accounting, so experiments can
 //! quantify the halved bucket arity directly against the 4-byte table.
 
-use gpu_sim::{run_rounds, Locks, RoundCtx, RoundKernel, SimContext, StepOutcome, WARP_SIZE};
+use gpu_sim::{
+    run_rounds_with, Locks, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome,
+    WARP_SIZE,
+};
 
 use crate::error::{Error, Result};
 use crate::hashfn::{splitmix64, UniversalHash};
@@ -79,6 +82,7 @@ pub struct WideDyCuckoo {
     seed: u64,
     eviction_limit: u32,
     op_counter: u64,
+    schedule: SchedulePolicy,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -224,7 +228,14 @@ impl WideDyCuckoo {
             seed,
             eviction_limit: 64,
             op_counter: 0,
+            schedule: SchedulePolicy::FixedOrder,
         })
+    }
+
+    /// Set the warp ordering the insert kernel's rounds use (exploration
+    /// harness; the default fixed order is what benchmarks measure).
+    pub fn set_schedule(&mut self, policy: SchedulePolicy) {
+        self.schedule = policy;
     }
 
     /// Live KV pairs.
@@ -337,7 +348,7 @@ impl WideDyCuckoo {
                 updated: 0,
                 failed: Vec::new(),
             };
-            run_rounds(&mut kernel, &mut warps, &mut sim.metrics);
+            run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, self.schedule);
             pending = kernel.failed;
             if !pending.is_empty() {
                 attempts += 1;

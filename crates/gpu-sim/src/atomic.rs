@@ -186,6 +186,14 @@ impl<'a> RoundCtx<'a> {
         self.metrics.lookups += 1;
     }
 
+    /// Lock failures accumulated so far (including previous rounds of the
+    /// same kernel). The scheduler samples this around each warp step to
+    /// feed contention-aware schedule policies.
+    #[inline]
+    pub fn lock_failures(&self) -> u64 {
+        self.metrics.lock_failures
+    }
+
     /// Close the round: atomics to distinct addresses ran in parallel, so
     /// the round's serial tail is the largest conflict group.
     pub fn finish(self) {

@@ -1,0 +1,296 @@
+//! Schedule exploration: pluggable warp orderings for the round scheduler.
+//!
+//! [`crate::scheduler::run_rounds`] executes the pending warps of every
+//! round in one fixed order, so a test that passes under it has only ever
+//! seen a single interleaving — yet the kernels' correctness claims
+//! (voter-coordinated inserts, lock-guarded evictions) are claims about
+//! *all* interleavings. A [`SchedulePolicy`] perturbs the within-round warp
+//! order deterministically: a given (workload, policy) pair always replays
+//! bit-identically, so an interleaving that exposes a bug is a committable
+//! regression test, not a flake.
+//!
+//! Policies:
+//!
+//! * [`SchedulePolicy::FixedOrder`] — the historical order; all paper
+//!   figures are pinned to it.
+//! * [`SchedulePolicy::Reversed`] — warps run back-to-front, flipping every
+//!   lock-acquisition race to its opposite winner.
+//! * [`SchedulePolicy::Rotating`] — the start position rotates by `stride`
+//!   each round, so every warp eventually goes first.
+//! * [`SchedulePolicy::Shuffled`] — a seeded Fisher–Yates permutation per
+//!   round; the workhorse of randomized exploration.
+//! * [`SchedulePolicy::ContendedFirst`] — adversarial heuristic: warps
+//!   whose previous step lost a lock race are scheduled *first* the next
+//!   round (before the holder's deferred release is re-observed), which
+//!   maximizes consecutive conflicts on hot buckets; ties are broken by a
+//!   seeded shuffle.
+//!
+//! The per-round permutation is salted with the kernel's **cumulative**
+//! round counter ([`crate::Metrics::rounds`]), so consecutive kernel
+//! launches within one run explore different permutations without any
+//! mutable scheduler state.
+
+/// SplitMix64 — the statelessly seedable mixer used for schedule
+/// randomness. (Deliberately a local copy: `gpu-sim` sits below the hash
+/// crates in the dependency order.)
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// How the round scheduler orders pending warps within each round.
+///
+/// `Copy` + cheaply serializable (see [`SchedulePolicy::spec`]) so a policy
+/// can ride along in a repro artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Warp-index order, every round (the historical behaviour).
+    #[default]
+    FixedOrder,
+    /// Back-to-front warp order, every round.
+    Reversed,
+    /// Rotate the starting warp by `stride` positions each round.
+    Rotating {
+        /// Positions the start index advances per round.
+        stride: u64,
+    },
+    /// Seeded Fisher–Yates shuffle, re-drawn per round.
+    Shuffled {
+        /// Base seed; the effective per-round seed mixes in the round salt.
+        seed: u64,
+    },
+    /// Warps that failed a lock acquisition on their previous step run
+    /// first (seeded shuffle within the contended / uncontended groups).
+    ContendedFirst {
+        /// Base seed for the within-group tie-break shuffle.
+        seed: u64,
+    },
+}
+
+impl SchedulePolicy {
+    /// Map a fuzzing seed onto a policy, cycling through every non-fixed
+    /// flavor so a seed sweep explores all of them.
+    pub fn from_seed(seed: u64) -> Self {
+        match seed % 4 {
+            0 => SchedulePolicy::Shuffled { seed: mix64(seed) },
+            1 => SchedulePolicy::ContendedFirst { seed: mix64(seed) },
+            2 => SchedulePolicy::Rotating {
+                stride: 1 + mix64(seed) % 7,
+            },
+            _ => SchedulePolicy::Reversed,
+        }
+    }
+
+    /// Compact textual form, e.g. `"shuffled:42"` — what repro artifacts
+    /// and the `schedule_fuzz` CLI speak. Inverse of
+    /// [`SchedulePolicy::from_spec`].
+    pub fn spec(&self) -> String {
+        match *self {
+            SchedulePolicy::FixedOrder => "fixed".to_string(),
+            SchedulePolicy::Reversed => "reversed".to_string(),
+            SchedulePolicy::Rotating { stride } => format!("rotating:{stride}"),
+            SchedulePolicy::Shuffled { seed } => format!("shuffled:{seed}"),
+            SchedulePolicy::ContendedFirst { seed } => format!("contended:{seed}"),
+        }
+    }
+
+    /// Parse a [`SchedulePolicy::spec`] string.
+    pub fn from_spec(spec: &str) -> Option<Self> {
+        let (name, arg) = match spec.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (spec, None),
+        };
+        let num = |a: Option<&str>| a.and_then(|s| s.parse::<u64>().ok());
+        match name {
+            "fixed" => Some(SchedulePolicy::FixedOrder),
+            "reversed" => Some(SchedulePolicy::Reversed),
+            "rotating" => Some(SchedulePolicy::Rotating { stride: num(arg)? }),
+            "shuffled" => Some(SchedulePolicy::Shuffled { seed: num(arg)? }),
+            "contended" => Some(SchedulePolicy::ContendedFirst { seed: num(arg)? }),
+            _ => None,
+        }
+    }
+
+    /// Permute `pending` (warp indices) for the round with salt
+    /// `round_salt`. `contended[w]` reports whether warp `w` failed a lock
+    /// acquisition on its previous step (only [`SchedulePolicy::ContendedFirst`]
+    /// reads it).
+    pub fn order_round(&self, round_salt: u64, pending: &mut [usize], contended: &[bool]) {
+        match *self {
+            SchedulePolicy::FixedOrder => {}
+            SchedulePolicy::Reversed => pending.reverse(),
+            SchedulePolicy::Rotating { stride } => {
+                if !pending.is_empty() {
+                    let k = ((round_salt.wrapping_mul(stride)) % pending.len() as u64) as usize;
+                    pending.rotate_left(k);
+                }
+            }
+            SchedulePolicy::Shuffled { seed } => {
+                shuffle(pending, seed ^ round_salt);
+            }
+            SchedulePolicy::ContendedFirst { seed } => {
+                // Stable partition: contended warps first, then shuffle
+                // within each group so the adversary also varies ties.
+                pending.sort_by_key(|&w| !contended.get(w).copied().unwrap_or(false));
+                let split = pending
+                    .iter()
+                    .position(|&w| !contended.get(w).copied().unwrap_or(false))
+                    .unwrap_or(pending.len());
+                let (hot, cold) = pending.split_at_mut(split);
+                shuffle(hot, seed ^ round_salt ^ 0xA5A5);
+                shuffle(cold, seed ^ round_salt ^ 0x5A5A);
+            }
+        }
+    }
+}
+
+/// Deterministic Fisher–Yates driven by [`mix64`].
+fn shuffle(slice: &mut [usize], seed: u64) {
+    let n = slice.len();
+    for i in (1..n).rev() {
+        let j = (mix64(seed ^ (i as u64) << 17) % (i as u64 + 1)) as usize;
+        slice.swap(i, j);
+    }
+}
+
+/// Delta-debugging shrinker: minimize a failing input list while the
+/// failure predicate keeps holding.
+///
+/// Classic ddmin over `items`: try dropping large chunks first, halving the
+/// chunk size down to single elements, then a final one-by-one sweep until
+/// a fixpoint. `fails` must be deterministic (it is re-run many times);
+/// the returned list is 1-minimal — removing any single remaining element
+/// makes the failure disappear.
+pub fn shrink_ops<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    debug_assert!(fails(items), "shrink_ops needs a failing input to start");
+    let mut cur: Vec<T> = items.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < cur.len() {
+                let end = (start + chunk).min(cur.len());
+                let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+                candidate.extend_from_slice(&cur[..start]);
+                candidate.extend_from_slice(&cur[end..]);
+                if !candidate.is_empty() && fails(&candidate) {
+                    cur = candidate;
+                    progressed = true;
+                    // Re-test from the same offset: the list shrank.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !progressed {
+            return cur;
+        }
+        chunk = (cur.len() / 2).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_every_flavor() {
+        let policies = [
+            SchedulePolicy::FixedOrder,
+            SchedulePolicy::Reversed,
+            SchedulePolicy::Rotating { stride: 3 },
+            SchedulePolicy::Shuffled { seed: 42 },
+            SchedulePolicy::ContendedFirst { seed: 7 },
+        ];
+        for p in policies {
+            assert_eq!(SchedulePolicy::from_spec(&p.spec()), Some(p), "{p:?}");
+        }
+        assert_eq!(SchedulePolicy::from_spec("bogus"), None);
+        assert_eq!(SchedulePolicy::from_spec("shuffled:x"), None);
+    }
+
+    #[test]
+    fn fixed_order_is_identity() {
+        let mut v = vec![0, 1, 2, 3];
+        SchedulePolicy::FixedOrder.order_round(9, &mut v, &[false; 4]);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let mut v = vec![0, 1, 2, 3];
+        SchedulePolicy::Reversed.order_round(1, &mut v, &[false; 4]);
+        assert_eq!(v, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_a_permutation() {
+        let base: Vec<usize> = (0..50).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let p = SchedulePolicy::Shuffled { seed: 99 };
+        p.order_round(5, &mut a, &[]);
+        p.order_round(5, &mut b, &[]);
+        assert_eq!(a, b, "same salt must replay identically");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base, "must remain a permutation");
+        let mut c = base.clone();
+        p.order_round(6, &mut c, &[]);
+        assert_ne!(a, c, "different rounds draw different permutations");
+    }
+
+    #[test]
+    fn contended_first_front_loads_contended_warps() {
+        let mut v = vec![0, 1, 2, 3, 4, 5];
+        let contended = [false, true, false, true, false, false];
+        SchedulePolicy::ContendedFirst { seed: 3 }.order_round(8, &mut v, &contended);
+        let hot: Vec<usize> = v[..2].to_vec();
+        assert!(hot.contains(&1) && hot.contains(&3), "{v:?}");
+    }
+
+    #[test]
+    fn rotating_rotates_by_stride_each_round() {
+        let mut v = vec![0, 1, 2, 3, 4];
+        SchedulePolicy::Rotating { stride: 2 }.order_round(1, &mut v, &[]);
+        assert_eq!(v, vec![2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn from_seed_covers_all_flavors() {
+        let specs: std::collections::HashSet<String> = (0..8)
+            .map(|s| {
+                SchedulePolicy::from_seed(s)
+                    .spec()
+                    .split(':')
+                    .next()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert!(specs.len() >= 4, "seed sweep must cycle the flavors: {specs:?}");
+    }
+
+    #[test]
+    fn shrinker_minimizes_to_the_culprit_pair() {
+        // Failure: the list contains both 7 and 13.
+        let items: Vec<u32> = (0..40).collect();
+        let min = shrink_ops(&items, |c| c.contains(&7) && c.contains(&13));
+        assert_eq!(min, vec![7, 13]);
+    }
+
+    #[test]
+    fn shrinker_handles_single_element_failures() {
+        let items: Vec<u32> = (0..33).collect();
+        let min = shrink_ops(&items, |c| c.contains(&31));
+        assert_eq!(min, vec![31]);
+    }
+}

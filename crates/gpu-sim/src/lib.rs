@@ -35,6 +35,7 @@
 pub mod atomic;
 pub mod cost;
 pub mod device;
+pub mod explore;
 pub mod metrics;
 pub mod scheduler;
 pub mod warp;
@@ -42,8 +43,9 @@ pub mod warp;
 pub use atomic::{Locks, RoundCtx};
 pub use cost::CostModel;
 pub use device::{Device, DeviceConfig};
+pub use explore::{shrink_ops, SchedulePolicy};
 pub use metrics::Metrics;
-pub use scheduler::{run_rounds, RoundKernel, StepOutcome};
+pub use scheduler::{run_rounds, run_rounds_with, RoundKernel, StepOutcome};
 pub use warp::{ballot, broadcast, first_set_lane, lanes, LaneMask, WARP_SIZE};
 
 /// A simulation context bundling the device with the metrics of the kernel

@@ -3,15 +3,18 @@
 //! A real GPU keeps thousands of warps in flight; their loop iterations
 //! interleave, which is when lock conflicts occur. The simulator reproduces
 //! this with **rounds**: each round executes one step (one iteration of the
-//! kernel's while-loop) of every still-pending warp, in warp order. Locks
-//! acquired during a round stay held until the kernel's end-of-round hook
-//! runs, so warps later in the round observe conflicts exactly as truly
-//! concurrent warps would.
+//! kernel's while-loop) of every still-pending warp. Locks acquired during
+//! a round stay held until the kernel's end-of-round hook runs, so warps
+//! later in the round observe conflicts exactly as truly concurrent warps
+//! would.
 //!
-//! Determinism: warp order is fixed, so a given input always produces the
-//! same interleaving, the same conflicts, and the same metrics.
+//! The order warps execute *within* a round is a [`SchedulePolicy`]
+//! (default: fixed warp-index order). Any policy is deterministic: a given
+//! (input, policy) pair always produces the same interleaving, the same
+//! conflicts, and the same metrics — see [`crate::explore`].
 
 use crate::atomic::RoundCtx;
+use crate::explore::SchedulePolicy;
 use crate::metrics::Metrics;
 
 /// What a warp reports after executing one round step.
@@ -38,7 +41,8 @@ pub trait RoundKernel<S> {
     fn end_round(&mut self) {}
 }
 
-/// Drive the warp states to completion under `kernel`.
+/// Drive the warp states to completion under `kernel` in fixed warp-index
+/// order (the historical behaviour; what all benchmarks use).
 ///
 /// Returns the number of rounds executed (also accumulated in
 /// `metrics.rounds`).
@@ -47,13 +51,58 @@ pub fn run_rounds<S, K: RoundKernel<S>>(
     states: &mut [S],
     metrics: &mut Metrics,
 ) -> u64 {
+    run_rounds_with(kernel, states, metrics, SchedulePolicy::FixedOrder)
+}
+
+/// Drive the warp states to completion under `kernel`, ordering each
+/// round's pending warps with `policy`.
+///
+/// Execution is deterministic for a given `(states, policy)` pair. The
+/// per-round permutation is salted with the **cumulative** `metrics.rounds`
+/// counter so that successive kernel launches sharing one `Metrics` (e.g.
+/// the per-chunk launches of a batched insert) explore different
+/// permutations rather than repeating round 1's ordering forever.
+///
+/// Bookkeeping guarantees, regardless of policy:
+///
+/// * `metrics.rounds` advances exactly once per round, *before* any warp
+///   steps, so a warp finishing mid-round can never skew the count.
+/// * Deferred lock releases (`end_round`) run strictly after every warp of
+///   the round has stepped **and** after the round's conflict groups are
+///   folded into the metrics (`ctx.finish()`), so lock-failure accounting
+///   cannot observe a half-finished round.
+pub fn run_rounds_with<S, K: RoundKernel<S>>(
+    kernel: &mut K,
+    states: &mut [S],
+    metrics: &mut Metrics,
+    policy: SchedulePolicy,
+) -> u64 {
     let mut pending: Vec<usize> = (0..states.len()).collect();
+    // Per-warp feedback for adversarial policies: did warp w fail a lock
+    // acquisition on its most recent step?
+    let mut contended: Vec<bool> = vec![false; states.len()];
     let mut rounds = 0u64;
     while !pending.is_empty() {
         rounds += 1;
         metrics.rounds += 1;
+        policy.order_round(metrics.rounds, &mut pending, &contended);
         let mut ctx = RoundCtx::new(metrics);
-        pending.retain(|&i| kernel.step(&mut states[i], &mut ctx) == StepOutcome::Pending);
+        // Explicit compaction instead of `Vec::retain`: the loop below is
+        // the one place warp steps execute, keeping kernel side effects out
+        // of a retain closure and making the step order — which is now
+        // policy-controlled — obvious at a glance.
+        let mut kept = 0usize;
+        for slot in 0..pending.len() {
+            let w = pending[slot];
+            let failures_before = ctx.lock_failures();
+            let outcome = kernel.step(&mut states[w], &mut ctx);
+            contended[w] = ctx.lock_failures() > failures_before;
+            if outcome == StepOutcome::Pending {
+                pending[kept] = w;
+                kept += 1;
+            }
+        }
+        pending.truncate(kept);
         ctx.finish();
         kernel.end_round();
     }
@@ -156,5 +205,141 @@ mod tests {
             m
         };
         assert_eq!(run(), run());
+    }
+
+    /// A warp that finishes in round 1 while others keep contending: the
+    /// exact rounds / lock_failures counts must not drift no matter when a
+    /// warp drops out mid-round (regression for the `pending` compaction vs
+    /// deferred-unlock ordering).
+    struct MixedFinish {
+        locks: Locks,
+    }
+
+    /// State: `None` → finish immediately without touching locks;
+    /// `Some(acquired)` → behave like [`LockOnce`].
+    impl RoundKernel<Option<bool>> for MixedFinish {
+        fn step(&mut self, s: &mut Option<bool>, ctx: &mut RoundCtx) -> StepOutcome {
+            match s {
+                None => StepOutcome::Done,
+                Some(acquired) => {
+                    if !*acquired && ctx.atomic_cas_lock(&mut self.locks, 0, 0) {
+                        *acquired = true;
+                        ctx.atomic_exch_unlock(&mut self.locks, 0, 0);
+                    }
+                    if *acquired {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Pending
+                    }
+                }
+            }
+        }
+
+        fn end_round(&mut self) {
+            self.locks.end_round();
+        }
+    }
+
+    #[test]
+    fn mid_round_finishers_do_not_skew_round_or_lock_accounting() {
+        // Warps: [no-lock, contender, no-lock, contender, contender].
+        // Round 1: both no-lock warps finish; contender A locks; B and C
+        // fail → 2 lock failures. Rounds 2, 3: remaining contenders go one
+        // per round → 1 then 0 failures. Exactly 3 rounds, 3 failures.
+        let mut m = Metrics::default();
+        let mut kernel = MixedFinish {
+            locks: Locks::new(1),
+        };
+        let mut states = vec![None, Some(false), None, Some(false), Some(false)];
+        let rounds = run_rounds(&mut kernel, &mut states, &mut m);
+        assert_eq!(rounds, 3);
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.lock_failures, 2 + 1);
+        assert!(kernel.locks.all_free());
+    }
+
+    #[test]
+    fn policies_preserve_totals_on_symmetric_contention() {
+        // All warps contend for one lock: any order admits exactly one
+        // winner per round, so rounds and total failures are
+        // policy-invariant even though the winner identity is not.
+        for policy in [
+            SchedulePolicy::FixedOrder,
+            SchedulePolicy::Reversed,
+            SchedulePolicy::Rotating { stride: 3 },
+            SchedulePolicy::Shuffled { seed: 11 },
+            SchedulePolicy::ContendedFirst { seed: 5 },
+        ] {
+            let mut m = Metrics::default();
+            let mut kernel = LockOnce {
+                locks: Locks::new(1),
+            };
+            let mut states = vec![false; 6];
+            let rounds = run_rounds_with(&mut kernel, &mut states, &mut m, policy);
+            assert_eq!(rounds, 6, "{policy:?}");
+            assert_eq!(m.lock_failures, 5 + 4 + 3 + 2 + 1, "{policy:?}");
+            assert!(kernel.locks.all_free(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn reversed_policy_flips_the_race_winner() {
+        // Two warps, two locks, each wants lock 0 first. Under FixedOrder
+        // warp 0 wins round 1; under Reversed warp 1 does. Record who
+        // acquired in round 1 via the state vector.
+        struct FirstGrab {
+            locks: Locks,
+            winner: Option<usize>,
+        }
+        impl RoundKernel<(usize, bool)> for FirstGrab {
+            fn step(&mut self, s: &mut (usize, bool), ctx: &mut RoundCtx) -> StepOutcome {
+                if !s.1 && ctx.atomic_cas_lock(&mut self.locks, 0, 0) {
+                    s.1 = true;
+                    if self.winner.is_none() {
+                        self.winner = Some(s.0);
+                    }
+                    ctx.atomic_exch_unlock(&mut self.locks, 0, 0);
+                }
+                if s.1 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Pending
+                }
+            }
+            fn end_round(&mut self) {
+                self.locks.end_round();
+            }
+        }
+        let run = |policy| {
+            let mut m = Metrics::default();
+            let mut kernel = FirstGrab {
+                locks: Locks::new(1),
+                winner: None,
+            };
+            let mut states = vec![(0usize, false), (1usize, false)];
+            run_rounds_with(&mut kernel, &mut states, &mut m, policy);
+            kernel.winner.unwrap()
+        };
+        assert_eq!(run(SchedulePolicy::FixedOrder), 0);
+        assert_eq!(run(SchedulePolicy::Reversed), 1);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_per_policy() {
+        for policy in [
+            SchedulePolicy::Shuffled { seed: 77 },
+            SchedulePolicy::ContendedFirst { seed: 77 },
+        ] {
+            let run = || {
+                let mut m = Metrics::default();
+                let mut kernel = LockOnce {
+                    locks: Locks::new(1),
+                };
+                let mut states = vec![false; 8];
+                run_rounds_with(&mut kernel, &mut states, &mut m, policy);
+                m
+            };
+            assert_eq!(run(), run(), "{policy:?}");
+        }
     }
 }

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use dycuckoo::hashfn::splitmix64;
 use dycuckoo::{Config, DyCuckoo};
-use gpu_sim::{CostModel, SimContext};
+use gpu_sim::{CostModel, SchedulePolicy, SimContext};
 
 use crate::admission::{AdmissionPolicy, AdmitError};
 use crate::batcher::{plan_flush, PlannedReply};
@@ -51,6 +51,12 @@ pub struct ServiceConfig {
     pub shed_watermark: usize,
     /// Router seed (independent of the table seeds).
     pub seed: u64,
+    /// Order in which shards are visited on each tick / drain pass.
+    /// Shards are fully independent (disjoint tables, disjoint queues), so
+    /// any order must produce identical replies — the exploration harness
+    /// sweeps non-fixed orders to prove exactly that. Benchmarks keep the
+    /// default fixed order.
+    pub flush_order: SchedulePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +69,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             shed_watermark: 768,
             seed: 0x5E1C_E000,
+            flush_order: SchedulePolicy::FixedOrder,
         }
     }
 }
@@ -239,7 +246,7 @@ impl KvService {
     pub fn tick(&mut self, sim: &mut SimContext) -> Result<usize, ServiceError> {
         self.clock += 1;
         let mut completed = 0;
-        for shard in 0..self.shards.len() {
+        for shard in self.shard_visit_order() {
             let queue = &self.shards[shard].queue;
             let by_size = queue.len() >= self.cfg.max_batch;
             let by_deadline = queue
@@ -264,7 +271,7 @@ impl KvService {
     pub fn flush_all(&mut self, sim: &mut SimContext) -> Result<usize, ServiceError> {
         self.clock += 1;
         let mut completed = 0;
-        for shard in 0..self.shards.len() {
+        for shard in self.shard_visit_order() {
             while !self.shards[shard].queue.is_empty() {
                 self.metrics.per_shard[shard].batches += 1;
                 self.metrics.per_shard[shard].flush_by_deadline += 1;
@@ -272,6 +279,15 @@ impl KvService {
             }
         }
         Ok(completed)
+    }
+
+    /// The shard visitation order for this tick, per the configured
+    /// [`ServiceConfig::flush_order`] (salted with the clock so successive
+    /// ticks explore different permutations).
+    fn shard_visit_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        self.cfg.flush_order.order_round(self.clock, &mut order, &[]);
+        order
     }
 
     /// Execute one flush window for `shard`. Charges kernel time on an
@@ -434,6 +450,7 @@ mod tests {
             queue_capacity: 64,
             shed_watermark: 48,
             seed: 11,
+            flush_order: SchedulePolicy::FixedOrder,
         }
     }
 

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use dycuckoo::{Config, Distribution, DyCuckoo, Layering, WideDyCuckoo};
-use gpu_sim::SimContext;
+use gpu_sim::{SchedulePolicy, SimContext};
 
 /// An operation in a random workload.
 #[derive(Debug, Clone)]
@@ -253,6 +253,151 @@ proptest! {
         for (k, f) in keys.iter().zip(found) {
             let expect = if dead.contains(k) { None } else { Some(k.wrapping_add(1)) };
             prop_assert_eq!(f, expect, "key {:#x}", k);
+        }
+    }
+}
+
+/// Run one full stash workload — spill, mutate while spilled, drain via a
+/// forced resize — under `policy`, returning the final find results and
+/// whether the stash was ever occupied.
+fn stash_workload(policy: SchedulePolicy) -> (Vec<Option<u32>>, u64, bool) {
+    // A tiny table with a 1-eviction chain limit, literal Algorithm 1
+    // insertion (no reroute before evicting), and a β high enough that
+    // load-factor resizing does not rescue full bucket pairs: failed chains
+    // must go through the stash.
+    let cfg = Config {
+        initial_buckets: 2,
+        eviction_limit: 1,
+        beta: 0.95,
+        reroute_before_evict: false,
+        stash_capacity: 8,
+        schedule: policy,
+        ..Config::default()
+    };
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(cfg, &mut sim).unwrap();
+    let mut reference = HashMap::new();
+    let mut spilled = false;
+    let keys: Vec<u32> = (1u32..=220).collect();
+    for chunk in keys.chunks(24) {
+        let kvs: Vec<(u32, u32)> = chunk.iter().map(|&k| (k, k.wrapping_mul(5))).collect();
+        table.insert_batch(&mut sim, &kvs).unwrap();
+        for &(k, v) in &kvs {
+            reference.insert(k, v);
+        }
+        spilled |= table.stashed() > 0;
+    }
+    // Mutate while keys may be parked in the stash: update a stripe and
+    // delete another, exercising the stash update/erase paths.
+    let updates: Vec<(u32, u32)> = keys
+        .iter()
+        .filter(|k| *k % 3 == 0)
+        .map(|&k| (k, k.wrapping_mul(9)))
+        .collect();
+    table.insert_batch(&mut sim, &updates).unwrap();
+    for &(k, v) in &updates {
+        reference.insert(k, v);
+    }
+    let deletes: Vec<u32> = keys.iter().filter(|k| *k % 7 == 0).copied().collect();
+    table.delete_batch(&mut sim, &deletes).unwrap();
+    for k in &deletes {
+        reference.remove(k);
+    }
+    spilled |= table.stashed() > 0;
+    // A structural resize drains the stash back into the subtables.
+    table
+        .force_resize(&mut sim, dycuckoo::ResizeOp::Upsize(0))
+        .unwrap();
+    table.verify_integrity().unwrap();
+    assert_eq!(table.len(), reference.len() as u64);
+    let found = table.find_batch(&mut sim, &keys);
+    for (k, f) in keys.iter().zip(&found) {
+        assert_eq!(*f, reference.get(k).copied(), "key {k}");
+    }
+    (found, table.len(), spilled)
+}
+
+/// Stash spill and drain stay correct — and agree with the reference map —
+/// under eight different warp-scheduling policies, and every policy
+/// converges to the same final contents.
+#[test]
+fn stash_spill_drain_agrees_across_schedules() {
+    let baseline = stash_workload(SchedulePolicy::from_seed(0));
+    let mut ever_spilled = baseline.2;
+    for seed in 1..8u64 {
+        let run = stash_workload(SchedulePolicy::from_seed(seed));
+        assert_eq!(
+            (&run.0, run.1),
+            (&baseline.0, baseline.1),
+            "schedule seed {seed} diverged from the fixed-order baseline"
+        );
+        ever_spilled |= run.2;
+    }
+    // The workload is built to overflow 1-eviction chains; if nothing ever
+    // reached the stash, this test is not testing the stash.
+    assert!(ever_spilled, "workload never exercised the stash");
+}
+
+proptest! {
+    // Each case replays the full sequence under 8 schedules; keep the case
+    // count modest so the suite stays fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mixed-width batches (keys below and above `u32::MAX` interleaved in
+    /// the same batch) agree with a reference map under ≥8 schedule seeds,
+    /// and all schedules agree with each other.
+    #[test]
+    fn wide_mixed_width_batches_match_reference(
+        raw in vec((any::<bool>(), 1u64..u32::MAX as u64), 1..120),
+        delete_mask in vec(any::<bool>(), 120),
+    ) {
+        // Narrow keys stay in the 32-bit range; wide keys get high bits so
+        // both halves of the 64-bit path are exercised in every batch.
+        let mut seen = std::collections::HashSet::new();
+        let keys: Vec<u64> = raw
+            .iter()
+            .map(|&(wide, k)| if wide { k | 0xABCD_0000_0000_0000 } else { k })
+            .filter(|&k| seen.insert(k))
+            .collect();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for &k in &keys {
+            reference.insert(k, k ^ 0x5A5A);
+        }
+        let deletes: Vec<u64> = keys
+            .iter()
+            .zip(delete_mask.iter().cycle())
+            .filter(|(_, &d)| d)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &deletes {
+            reference.remove(k);
+        }
+
+        let run = |policy: SchedulePolicy| {
+            let mut sim = SimContext::new();
+            let mut table = WideDyCuckoo::new(4, 2, 3, &mut sim).unwrap();
+            table.set_schedule(policy);
+            for chunk in keys.chunks(16) {
+                let kvs: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k ^ 0x5A5A)).collect();
+                table.insert_batch(&mut sim, &kvs).unwrap();
+            }
+            let deleted = table.delete_batch(&mut sim, &deletes);
+            assert_eq!(deleted, deletes.len() as u64);
+            (table.find_batch(&mut sim, &keys), table.len())
+        };
+
+        let baseline = run(SchedulePolicy::from_seed(0));
+        prop_assert_eq!(baseline.1, reference.len() as u64);
+        for (k, f) in keys.iter().zip(&baseline.0) {
+            prop_assert_eq!(*f, reference.get(k).copied(), "key {:#x}", k);
+        }
+        for seed in 1..8u64 {
+            let other = run(SchedulePolicy::from_seed(seed));
+            prop_assert_eq!(
+                (&other.0, other.1),
+                (&baseline.0, baseline.1),
+                "schedule seed {} diverged", seed
+            );
         }
     }
 }

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use dycuckoo::hashfn::UniversalHash;
 use dycuckoo::Config;
-use gpu_sim::SimContext;
+use gpu_sim::{SchedulePolicy, SimContext};
 use kv_service::{AdmitError, KvService, Op, Reply, ServiceConfig, ShardRouter};
 
 /// A service sized so nothing is ever shed (queues exceed the op count).
@@ -24,6 +24,7 @@ fn roomy_cfg(shards: usize, ops: usize, seed: u64) -> ServiceConfig {
         queue_capacity: (ops + 1).max(32),
         shed_watermark: (ops + 1).max(32),
         seed,
+        ..ServiceConfig::default()
     }
 }
 
@@ -185,6 +186,7 @@ fn overload_is_typed_and_bounded() {
         queue_capacity: 100,
         shed_watermark: 60,
         seed: 3,
+        ..ServiceConfig::default()
     };
     let mut svc = KvService::new(cfg, &mut sim).unwrap();
     let (mut shed, mut overloaded) = (0, 0);
@@ -233,6 +235,7 @@ fn end_to_end_determinism_with_resizes() {
             queue_capacity: 100_000,
             shed_watermark: 100_000,
             seed: 77,
+            ..ServiceConfig::default()
         };
         let mut svc = KvService::new(cfg, &mut sim).unwrap();
         for k in 1..=6_000u32 {
@@ -258,4 +261,78 @@ fn end_to_end_determinism_with_resizes() {
         }),
         "no resize occurred; the determinism check did not exercise resizing"
     );
+}
+
+/// Submit `ops` into a single coalesced flush window (no intermediate
+/// ticks), flush every shard under `flush_order`, and return each
+/// submission's reply in submission order.
+fn run_one_window(ops: &[Op], flush_order: SchedulePolicy) -> Vec<(u32, Reply)> {
+    let mut sim = SimContext::new();
+    let mut cfg = roomy_cfg(4, ops.len(), 0xF1_005);
+    cfg.flush_order = flush_order;
+    let mut svc = KvService::new(cfg, &mut sim).unwrap();
+    let mut id_to_index = HashMap::new();
+    for (i, &op) in ops.iter().enumerate() {
+        let id = svc.submit((i % 5) as u32, op).unwrap();
+        id_to_index.insert(id, i);
+    }
+    svc.flush_all(&mut sim).unwrap();
+    while svc.queue_depths().iter().any(|&d| d > 0) {
+        svc.flush_all(&mut sim).unwrap();
+    }
+    let mut replies = vec![None; ops.len()];
+    for c in svc.drain_completions() {
+        replies[id_to_index[&c.id]] = Some((c.key, c.reply));
+    }
+    replies.into_iter().map(|r| r.expect("every op completes")).collect()
+}
+
+/// A coalesced flush window containing insert → delete → find of the same
+/// key yields identical replies no matter in which order the shards flush:
+/// within-window coalescing is per-key FIFO, and shards are independent, so
+/// the shard visit order must be semantically invisible.
+#[test]
+fn coalesced_window_identical_across_shard_flush_orders() {
+    // Per-key chains that only make sense if submission order is the
+    // linearization order: a Get between Put and Delete sees the value, a
+    // Get after Delete sees nothing, a re-Put resurrects. Keys are spread
+    // across all 4 shards by the router.
+    let mut ops = Vec::new();
+    for k in (1u32..=40).step_by(3) {
+        ops.push(Op::Put(k, k * 100));
+        ops.push(Op::Get(k));
+        ops.push(Op::Delete(k));
+        ops.push(Op::Get(k));
+        ops.push(Op::Put(k, k * 100 + 1));
+        ops.push(Op::Get(k));
+    }
+    // Interleave some cross-key traffic so coalescing windows hold more
+    // than one key per shard.
+    for k in 500u32..540 {
+        ops.push(Op::Put(k, k));
+        ops.push(Op::Get(k));
+    }
+    let expected = reference_replies(&ops);
+
+    let orders = [
+        SchedulePolicy::FixedOrder,
+        SchedulePolicy::Reversed,
+        SchedulePolicy::Rotating { stride: 1 },
+        SchedulePolicy::Rotating { stride: 3 },
+        SchedulePolicy::Shuffled { seed: 1 },
+        SchedulePolicy::Shuffled { seed: 0xDEAD_BEEF },
+        SchedulePolicy::ContendedFirst { seed: 7 },
+    ];
+    let baseline = run_one_window(&ops, orders[0]);
+    // The fixed-order run must match the reference map exactly.
+    for (i, (got, exp)) in baseline.iter().zip(&expected).enumerate() {
+        if let Some(exp) = exp {
+            assert_eq!(got.1, Reply::Value(*exp), "op {i} ({:?})", ops[i]);
+        }
+    }
+    // And every other shard-flush order must be indistinguishable.
+    for order in &orders[1..] {
+        let run = run_one_window(&ops, *order);
+        assert_eq!(run, baseline, "flush order {:?} changed visible replies", order);
+    }
 }
