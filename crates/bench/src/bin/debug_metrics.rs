@@ -1,25 +1,43 @@
 //! Diagnostic: cost-term breakdown per scheme on one dataset.
+//!
+//! The per-scheme counters are written into — and read back out of — the
+//! unified telemetry registry (`bench::telemetry`), so this binary doubles
+//! as a smoke test of the `sim_*` registry namespace. `TELEMETRY_SNAP`
+//! dumps the registry it built.
 use bench::driver::{build_static, run_static, Scheme};
+use bench::telemetry::{metrics_from_registry, Telemetry};
 use gpu_sim::{CostModel, SimContext};
 use workloads::dataset_by_name;
 
 fn main() {
+    let mut tel = Telemetry::from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "COM".into());
     let scale = bench::scale();
     let ds = dataset_by_name(&name).unwrap().scaled(scale).generate(1);
     println!("{} scaled: {} pairs, {} unique", name, ds.len(), ds.unique_keys);
+    let mut runs = Vec::new();
     for scheme in Scheme::static_set() {
         let mut sim = SimContext::new();
         let mut t = build_static(scheme, ds.unique_keys, 0.85, 1, &mut sim);
         let r = run_static(t.as_mut(), &mut sim, &ds, 1000, 7);
-        let m = &r.insert.metrics;
-        let model = CostModel::new(sim.device.config());
+        r.insert.metrics.register_into(
+            tel.registry(),
+            &[("figure", "debug_metrics"), ("kernel", "insert"), ("scheme", scheme.label())],
+        );
+        runs.push((scheme, CostModel::new(sim.device.config()), r.insert.mops));
+    }
+    // Report from the registry, not the raw measurement: what the unified
+    // snapshot holds is what gets printed.
+    for (scheme, model, mops) in runs {
+        let labels = [("figure", "debug_metrics"), ("kernel", "insert"), ("scheme", scheme.label())];
+        let m = metrics_from_registry(tel.registry(), &labels);
         println!(
             "{:<9} ins {:7.1} Mops | mem {:9.0} atomic {:9.0} issue {:9.0} ns | coal {} rand {} atomics {} serial {} rounds {} evict {} lockfail {}",
-            scheme.label(), r.insert.mops,
-            model.memory_time_ns(m), model.atomic_time_ns(m), model.issue_time_ns(m),
+            scheme.label(), mops,
+            model.memory_time_ns(&m), model.atomic_time_ns(&m), model.issue_time_ns(&m),
             m.transactions(), m.random_transactions(), m.atomic_ops, m.atomic_serial_units,
             m.rounds, m.evictions, m.lock_failures
         );
     }
+    tel.finish();
 }

@@ -10,11 +10,13 @@
 
 use bench::driver::{build_static, run_static, Scheme};
 use bench::report::{fmt_mops, Table};
+use bench::telemetry::Telemetry;
 use bench::{scale, seed};
 use gpu_sim::SimContext;
 use workloads::dataset_by_name;
 
 fn main() {
+    let mut tel = Telemetry::from_env();
     let scale = scale();
     let seed = seed();
     let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
@@ -30,10 +32,23 @@ fn main() {
     for &theta in &thetas {
         let mut ins = vec![format!("{:.0}%", theta * 100.0)];
         let mut fnd = vec![format!("{:.0}%", theta * 100.0)];
+        let theta_label = format!("{:.2}", theta);
         for scheme in Scheme::static_set() {
             let mut sim = SimContext::new();
             let mut table = build_static(scheme, ds.unique_keys, theta, seed, &mut sim);
             let r = run_static(table.as_mut(), &mut sim, &ds, n_queries, seed ^ 0xF9);
+            let labels = |kernel| {
+                [
+                    ("figure", "fig9"),
+                    ("kernel", kernel),
+                    ("scheme", scheme.label()),
+                    ("theta", theta_label.as_str()),
+                ]
+            };
+            r.insert
+                .metrics
+                .register_into(tel.registry(), &labels("insert"));
+            r.find.metrics.register_into(tel.registry(), &labels("find"));
             ins.push(fmt_mops(r.insert.mops));
             fnd.push(fmt_mops(r.find.mops));
         }
@@ -42,4 +57,5 @@ fn main() {
     }
     insert_tbl.print("Figure 9 (left): INSERT Mops vs θ");
     find_tbl.print("Figure 9 (right): FIND Mops vs θ");
+    tel.finish();
 }

@@ -10,14 +10,20 @@
 //!   128 bytes.
 //! * the memory mix (coalesced / uncoalesced / pointer-chased) shows each
 //!   scheme's access pattern directly.
+//!
+//! All derived ratios are computed from counters read back out of the
+//! unified telemetry registry (`bench::telemetry`), so `TELEMETRY_SNAP`
+//! captures exactly the inputs of this table.
 
 use bench::driver::{build_static, run_static, Scheme};
 use bench::report::{fmt_pct, Table};
+use bench::telemetry::{metrics_from_registry, Telemetry};
 use bench::{scale, seed};
 use gpu_sim::SimContext;
 use workloads::dataset_by_name;
 
 fn main() {
+    let mut tel = Telemetry::from_env();
     let scale = scale();
     let seed = seed();
     let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
@@ -25,6 +31,16 @@ fn main() {
         "Profiling: INSERT kernel behaviour (RAND, {} pairs, θ=85%)",
         ds.len()
     );
+
+    for scheme in Scheme::static_set() {
+        let mut sim = SimContext::new();
+        let mut table = build_static(scheme, ds.unique_keys, 0.85, seed, &mut sim);
+        let r = run_static(table.as_mut(), &mut sim, &ds, 0, seed);
+        r.insert.metrics.register_into(
+            tel.registry(),
+            &[("figure", "profiling"), ("kernel", "insert"), ("scheme", scheme.label())],
+        );
+    }
 
     let mut t = Table::new(&[
         "scheme",
@@ -37,10 +53,8 @@ fn main() {
         "evictions/op",
     ]);
     for scheme in Scheme::static_set() {
-        let mut sim = SimContext::new();
-        let mut table = build_static(scheme, ds.unique_keys, 0.85, seed, &mut sim);
-        let r = run_static(table.as_mut(), &mut sim, &ds, 0, seed);
-        let m = &r.insert.metrics;
+        let labels = [("figure", "profiling"), ("kernel", "insert"), ("scheme", scheme.label())];
+        let m = metrics_from_registry(tel.registry(), &labels);
         let total_mem = m.transactions() + m.random_transactions() + m.dependent_read_transactions;
         // Productive steps ≈ one per op completion event; lock failures are
         // pure waste.
@@ -63,4 +77,5 @@ fn main() {
         ]);
     }
     t.print("Profiling: INSERT kernels at θ=85% (RAND)");
+    tel.finish();
 }

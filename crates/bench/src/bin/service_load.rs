@@ -25,10 +25,11 @@
 //! * `SERVICE_OVERLOAD` — overload multiplier vs capacity (default 2.0);
 //! * `SERVICE_CSV=1` — dump the full per-shard CSV snapshots.
 
+use bench::telemetry::Telemetry;
 use bench::{scale, seed};
 use dycuckoo::Config;
 use gpu_sim::SimContext;
-use kv_service::{AdmitError, KvService, Op, ServiceConfig};
+use kv_service::{AdmitError, KvService, Op, ServiceConfig, Snapshot};
 use workloads::stream::{RequestStream, StreamOp};
 use workloads::{DatasetSpec, DynamicWorkload};
 
@@ -51,6 +52,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// Outcome of one load run.
 struct RunResult {
     csv: String,
+    snapshot: Snapshot,
     ticks: u64,
     offered: u64,
     completed: u64,
@@ -111,6 +113,7 @@ fn run(
     }
     RunResult {
         csv: snapshot.to_csv(),
+        snapshot,
         ticks: svc.clock(),
         offered,
         completed: total.completed,
@@ -145,7 +148,20 @@ fn report(label: &str, r: &RunResult) {
     println!("  table throughput {:>10.2} Mops (simulated kernel time)", r.mops);
 }
 
+/// Register one run's per-shard and total counters into the unified
+/// registry under `run=<label>` / `shard=<row>` labels.
+fn register_run(reg: &mut obs::Registry, run: &str, snap: &Snapshot) {
+    for row in snap.shards.iter().chain(std::iter::once(&snap.total)) {
+        let shard = row.label.replace(' ', "_");
+        row.m.register_into(
+            reg,
+            &[("figure", "service_load"), ("run", run), ("shard", &shard)],
+        );
+    }
+}
+
 fn main() {
+    let mut tel = Telemetry::from_env();
     let scale = scale();
     let seed = seed();
     let shards = env_usize("SERVICE_SHARDS", 4);
@@ -205,6 +221,9 @@ fn main() {
     // Overload run: typed shedding, bounded queues.
     let o = run(&stream, &svc_cfg, overload_rate, dump_csv);
     report(&format!("overload ({overload_mult:.2}x capacity)"), &o);
+    register_run(tel.registry(), "nominal", &a.snapshot);
+    register_run(tel.registry(), "overload", &o.snapshot);
+    tel.finish();
     let bounded = o.max_depth <= svc_cfg.queue_capacity;
     let shed = o.shed_overloaded + o.shed_reads > 0;
     println!(

@@ -1,0 +1,378 @@
+//! **trace_explain** — replay any workload under the flight recorder and
+//! explain where the time went, op by op.
+//!
+//! Re-executes a fuzz case (either a `repro-*.ron` artifact from
+//! `schedule_fuzz`, or a fresh `(target, seed, policy)` triple) with the
+//! recorder armed, then prints the top-k most expensive retired operations
+//! with their full causal chain: the batch flush that admitted them (for
+//! the service target), the kernel launch that carried them, every cuckoo
+//! eviction step of their chain, and the lock contention they ran into —
+//! all stamped with the simulated clock, the cumulative scheduler round,
+//! and the recorder sequence number.
+//!
+//! ```text
+//! trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]
+//!               [--inject-lock-elision] [--top K] [--chrome PATH] [--jsonl PATH]
+//! ```
+//!
+//! * `--replay FILE` — re-run a `schedule_fuzz` repro artifact. The oracle
+//!   verdict is reported but does not abort the explanation: a trace of a
+//!   violating execution is exactly what the artifact is for.
+//! * `--target` — one of `dycuckoo,wide,megakv,slab,linear,cudpp,service`
+//!   (default `dycuckoo`). Only the DyCuckoo-cored targets emit per-op
+//!   events today; the others still produce launch/lock-level traces.
+//! * `--top K` — how many retired ops to explain (default 5).
+//! * `--chrome PATH` — also write the trace as Chrome `trace_event` JSON
+//!   (open in Perfetto or `chrome://tracing`).
+//! * `--jsonl PATH` — also write the raw event stream as JSON lines.
+//!
+//! An op's cost here is its schedule footprint, not wall time: each bucket
+//! probe costs 1, each eviction step 2 (a read + a relocation write), each
+//! failed lock acquisition 1 (a wasted round of its warp).
+//!
+//! Exit code: 0 on success (regardless of oracle verdict), 2 on usage
+//! errors.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bench::fuzz::{gen_ops, run_case, Case, Repro, Target};
+use gpu_sim::SchedulePolicy;
+use obs::{Event, TraceEvent};
+
+struct Args {
+    replay: Option<String>,
+    target: Target,
+    seed: u64,
+    ops: usize,
+    policy: Option<SchedulePolicy>,
+    inject: bool,
+    top: usize,
+    chrome: Option<String>,
+    jsonl: Option<String>,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("trace_explain: {err}");
+    eprintln!(
+        "usage: trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]\n\
+         \x20                    [--inject-lock-elision] [--top K] [--chrome PATH] [--jsonl PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        replay: None,
+        target: Target::DyCuckoo,
+        seed: 1,
+        ops: 96,
+        policy: None,
+        inject: false,
+        top: 5,
+        chrome: None,
+        jsonl: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--replay" => args.replay = Some(val("--replay")?),
+            "--target" => {
+                let name = val("--target")?;
+                args.target =
+                    Target::from_name(&name).ok_or_else(|| format!("unknown target {name:?}"))?;
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ops" => args.ops = val("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--policy" => {
+                let spec = val("--policy")?;
+                args.policy = Some(
+                    SchedulePolicy::from_spec(&spec)
+                        .ok_or_else(|| format!("unknown policy spec {spec:?}"))?,
+                );
+            }
+            "--inject-lock-elision" => args.inject = true,
+            "--top" => args.top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--chrome" => args.chrome = Some(val("--chrome")?),
+            "--jsonl" => args.jsonl = Some(val("--jsonl")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.ops == 0 || args.top == 0 {
+        return Err("--ops and --top must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn load_case(args: &Args) -> Result<Case, String> {
+    if let Some(path) = &args.replay {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let repro = Repro::from_ron(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        if !repro.violation.is_empty() {
+            println!("repro artifact (recorded violation: {})", repro.violation);
+        }
+        return Ok(repro.case);
+    }
+    Ok(Case {
+        target: args.target,
+        policy: args.policy.unwrap_or(SchedulePolicy::from_seed(args.seed)),
+        workload_seed: args.seed,
+        inject_lock_elision: args.inject,
+        ops: gen_ops(args.seed, args.ops),
+    })
+}
+
+/// What the recorder knows about one span: where it opened/closed and who
+/// encloses it.
+struct Span {
+    open: usize,
+    close: Option<usize>,
+    parent: u32,
+}
+
+/// Index the event stream: span id -> open/close/parent, plus per-span
+/// lock-conflict counts.
+fn index_spans(events: &[TraceEvent]) -> (HashMap<u32, Span>, HashMap<u32, u64>) {
+    let mut spans: HashMap<u32, Span> = HashMap::new();
+    let mut locks: HashMap<u32, u64> = HashMap::new();
+    for (i, te) in events.iter().enumerate() {
+        if te.event.opens_span() {
+            spans.insert(
+                te.span,
+                Span {
+                    open: i,
+                    close: None,
+                    parent: te.parent,
+                },
+            );
+        } else if te.event.closes_span() {
+            if let Some(s) = spans.get_mut(&te.span) {
+                s.close = Some(i);
+            }
+        } else if matches!(te.event, Event::LockConflict { .. }) {
+            *locks.entry(te.span).or_insert(0) += 1;
+        }
+    }
+    (spans, locks)
+}
+
+/// The schedule footprint of a retired op (see the module docs).
+fn cost(probes: u32, evict_depth: u32, lock_waits: u32) -> u64 {
+    probes as u64 + 2 * evict_depth as u64 + lock_waits as u64
+}
+
+fn stamp(te: &TraceEvent) -> String {
+    format!("clock={} rounds={} seq={}", te.clock, te.rounds, te.seq)
+}
+
+fn describe_opener(te: &TraceEvent) -> String {
+    match te.event {
+        Event::LaunchBegin { kind, warps } => {
+            format!("launch {} kernel, {warps} warps", kind.name())
+        }
+        Event::BatchFlush {
+            shard,
+            window,
+            probes,
+            puts,
+            deletes,
+            coalesced,
+        } => format!(
+            "flush shard {shard}: window {window} -> {probes} probes, {puts} puts, {deletes} deletes ({coalesced} coalesced away)"
+        ),
+        Event::ResizeBegin {
+            grow,
+            table,
+            old_buckets,
+        } => format!(
+            "{} subtable {table} from {old_buckets} buckets",
+            if grow { "upsize" } else { "downsize" }
+        ),
+        _ => te.event.name().to_string(),
+    }
+}
+
+fn describe_closer(te: &TraceEvent) -> String {
+    match te.event {
+        Event::LaunchEnd { rounds } => format!("retired after {rounds} scheduler rounds"),
+        Event::BatchEnd { completed } => format!("completed {completed} requests"),
+        Event::ResizeEnd {
+            new_buckets,
+            moved,
+            residuals,
+        } => format!("now {new_buckets} buckets ({moved} moved, {residuals} residuals)"),
+        _ => te.event.name().to_string(),
+    }
+}
+
+/// Print the causal chain of one retired op: enclosing spans outermost
+/// first, then the op's own eviction steps and contention, then the retire.
+fn explain(
+    rank: usize,
+    events: &[TraceEvent],
+    spans: &HashMap<u32, Span>,
+    locks: &HashMap<u32, u64>,
+    idx: usize,
+) {
+    let te = &events[idx];
+    let Event::OpRetired {
+        kind,
+        op,
+        key,
+        outcome,
+        probes,
+        evict_depth,
+        lock_waits,
+    } = te.event
+    else {
+        return;
+    };
+    println!(
+        "#{rank} {} key={key} -> {}  cost={} (probes={probes} evictions={evict_depth} lock_waits={lock_waits})  [{}]",
+        kind.name(),
+        outcome.name(),
+        cost(probes, evict_depth, lock_waits),
+        stamp(te)
+    );
+    // Walk the span chain outward, then print outermost first.
+    let mut chain: Vec<u32> = Vec::new();
+    let mut cur = te.span;
+    while cur != 0 && chain.len() < 8 {
+        chain.push(cur);
+        cur = match spans.get(&cur) {
+            Some(s) => s.parent,
+            None => 0,
+        };
+    }
+    for (depth, span_id) in chain.iter().rev().enumerate() {
+        let pad = "  ".repeat(depth + 1);
+        let Some(span) = spans.get(span_id) else {
+            continue;
+        };
+        let open = &events[span.open];
+        println!("{pad}\u{2514} {}  [{}]", describe_opener(open), stamp(open));
+        if let Some(close) = span.close {
+            let close = &events[close];
+            println!("{pad}  ... {}  [{}]", describe_closer(close), stamp(close));
+        }
+    }
+    let pad = "  ".repeat(chain.len() + 1);
+    if evict_depth > 0 {
+        println!("{pad}eviction chain ({evict_depth} steps):");
+        for ev in events {
+            if ev.span != te.span || ev.seq >= te.seq {
+                continue;
+            }
+            if let Event::EvictStep {
+                op: step_op,
+                placed_key,
+                carried_key,
+                from_table,
+                to_table,
+                depth,
+            } = ev.event
+            {
+                if step_op == op {
+                    println!(
+                        "{pad}  depth {depth}: key {placed_key} displaced {carried_key} (t{from_table} -> t{to_table})  [{}]",
+                        stamp(ev)
+                    );
+                }
+            }
+        }
+    }
+    if let Some(&n) = locks.get(&te.span) {
+        println!("{pad}lock conflicts in this launch: {n}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let case = match load_case(&args) {
+        Ok(c) => c,
+        Err(e) => return usage(&e),
+    };
+    println!(
+        "tracing {} ops against {} under policy {}{}",
+        case.ops.len(),
+        case.target.name(),
+        case.policy.spec(),
+        if case.inject_lock_elision {
+            " (lock elision injected)"
+        } else {
+            ""
+        }
+    );
+
+    obs::start(1 << 20);
+    let verdict = run_case(&case);
+    let trace = obs::stop();
+    match &verdict {
+        Ok(digest) => println!("oracle: PASS (digest {digest:#018x})"),
+        Err(v) => println!("oracle: VIOLATION — {v} (explaining the trace anyway)"),
+    }
+    println!(
+        "captured {} events ({} dropped by the ring)",
+        trace.events.len(),
+        trace.dropped
+    );
+    if trace.events.is_empty() {
+        println!("nothing recorded — was the `trace` feature disabled?");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.chrome {
+        let json = obs::export::chrome_trace(&trace.events);
+        if let Err(e) = std::fs::write(path, json) {
+            return usage(&format!("cannot write {path}: {e}"));
+        }
+        println!("chrome trace written to {path} (open in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = &args.jsonl {
+        if let Err(e) = std::fs::write(path, obs::export::jsonl(&trace.events)) {
+            return usage(&format!("cannot write {path}: {e}"));
+        }
+        println!("jsonl written to {path}");
+    }
+
+    let (spans, locks) = index_spans(&trace.events);
+    // Rank retired ops by schedule footprint; ties break toward the
+    // earliest retire so the listing is deterministic.
+    let mut retired: Vec<(u64, usize)> = trace
+        .events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, te)| match te.event {
+            Event::OpRetired {
+                probes,
+                evict_depth,
+                lock_waits,
+                ..
+            } => Some((cost(probes, evict_depth, lock_waits), i)),
+            _ => None,
+        })
+        .collect();
+    retired.sort_by_key(|&(c, i)| (std::cmp::Reverse(c), i));
+    if retired.is_empty() {
+        println!(
+            "no per-op retire events (target {} does not emit them); \
+             try --chrome for the launch-level view",
+            case.target.name()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "\ntop {} of {} retired ops by schedule footprint:",
+        args.top.min(retired.len()),
+        retired.len()
+    );
+    for (rank, &(_, idx)) in retired.iter().take(args.top).enumerate() {
+        explain(rank + 1, &trace.events, &spans, &locks, idx);
+    }
+    ExitCode::SUCCESS
+}

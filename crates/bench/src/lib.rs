@@ -17,6 +17,7 @@
 pub mod driver;
 pub mod fuzz;
 pub mod report;
+pub mod telemetry;
 
 use gpu_sim::{CostModel, Metrics, SimContext};
 

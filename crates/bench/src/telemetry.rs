@@ -1,0 +1,147 @@
+//! Opt-in telemetry plumbing for the figure binaries.
+//!
+//! Every experiment binary that participates in the unified-telemetry CI
+//! job creates one [`Telemetry`] at the top of `main` and calls
+//! [`Telemetry::finish`] at the end. Between the two, it registers its
+//! per-run counters into [`Telemetry::registry`] — the same
+//! [`obs::Registry`] namespace the library crates feed
+//! (`gpu_sim::Metrics::register_into`, `ShardMetrics::register_into`).
+//!
+//! Control is entirely environmental, so the default run of every binary
+//! is byte-identical to a build without the recorder:
+//!
+//! * `TELEMETRY_SNAP=<path>` — write the registry as deterministic text
+//!   (`Registry::to_text`) at exit. CI diffs this against a pinned
+//!   baseline.
+//! * `TELEMETRY_TRACE=<path>` — write the flight-recorder ring as a
+//!   Chrome `trace_event` JSON document (loads in Perfetto /
+//!   `chrome://tracing`).
+//!
+//! Setting either variable arms the flight recorder for the whole process
+//! so the snapshot proves the recording-on path, not just the registry.
+
+use std::path::PathBuf;
+
+/// Ring capacity used by the figure binaries: large enough that scaled CI
+/// runs never wrap (wrapping is counted, not fatal — see `trace_dropped`
+/// in the snapshot).
+pub const RING_CAPACITY: usize = 1 << 20;
+
+/// Environment-driven telemetry session for one experiment binary.
+pub struct Telemetry {
+    snap: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    registry: obs::Registry,
+}
+
+impl Telemetry {
+    /// Read `TELEMETRY_SNAP` / `TELEMETRY_TRACE` and, if either is set,
+    /// arm the flight recorder. With neither set this is free: the
+    /// recorder stays disarmed and [`Telemetry::finish`] writes nothing.
+    pub fn from_env() -> Self {
+        let path = |name: &str| std::env::var_os(name).map(PathBuf::from);
+        let tel = Self {
+            snap: path("TELEMETRY_SNAP"),
+            trace: path("TELEMETRY_TRACE"),
+            registry: obs::Registry::new(),
+        };
+        if tel.active() {
+            obs::start(RING_CAPACITY);
+        }
+        tel
+    }
+
+    /// Whether any telemetry output was requested.
+    pub fn active(&self) -> bool {
+        self.snap.is_some() || self.trace.is_some()
+    }
+
+    /// The unified registry this session accumulates into.
+    pub fn registry(&mut self) -> &mut obs::Registry {
+        &mut self.registry
+    }
+
+    /// Disarm the recorder and write the requested artifacts. Exits with
+    /// code 1 on I/O failure so CI cannot silently pass on a missing
+    /// snapshot.
+    pub fn finish(mut self) {
+        if !self.active() {
+            return;
+        }
+        let trace = obs::stop();
+        // Fold the recorder's own accounting into the snapshot: proof the
+        // recording-on path ran, and a tripwire for ring wrap-around.
+        self.registry
+            .counter("trace_events", &[], trace.events.len() as u64);
+        self.registry.counter("trace_dropped", &[], trace.dropped);
+        let write = |path: &PathBuf, contents: &str| {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("telemetry: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        if let Some(path) = &self.snap {
+            write(path, &self.registry.to_text());
+        }
+        if let Some(path) = &self.trace {
+            write(path, &obs::export::chrome_trace(&trace.events));
+        }
+    }
+}
+
+/// Read a [`gpu_sim::Metrics`] back out of a unified registry under the
+/// `sim_` namespace — the inverse of `Metrics::register_into`. Missing
+/// entries read as zero, so a label set that was never registered yields
+/// `Metrics::default()`.
+pub fn metrics_from_registry(reg: &obs::Registry, labels: &[(&str, &str)]) -> gpu_sim::Metrics {
+    let g = |name: &str| reg.get_counter(name, labels).unwrap_or(0);
+    gpu_sim::Metrics {
+        read_transactions: g("sim_read_transactions"),
+        write_transactions: g("sim_write_transactions"),
+        random_read_transactions: g("sim_random_read_transactions"),
+        random_write_transactions: g("sim_random_write_transactions"),
+        dependent_read_transactions: g("sim_dependent_read_transactions"),
+        atomic_ops: g("sim_atomic_ops"),
+        atomic_serial_units: g("sim_atomic_serial_units"),
+        rounds: g("sim_rounds"),
+        lookups: g("sim_lookups"),
+        evictions: g("sim_evictions"),
+        lock_failures: g("sim_lock_failures"),
+        ops: g("sim_ops"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_roundtrip_through_registry() {
+        let m = gpu_sim::Metrics {
+            read_transactions: 1,
+            write_transactions: 2,
+            random_read_transactions: 3,
+            random_write_transactions: 4,
+            dependent_read_transactions: 5,
+            atomic_ops: 6,
+            atomic_serial_units: 7,
+            rounds: 8,
+            lookups: 9,
+            evictions: 10,
+            lock_failures: 11,
+            ops: 12,
+        };
+        let mut reg = obs::Registry::new();
+        let labels = [("scheme", "dycuckoo"), ("kernel", "insert")];
+        m.register_into(&mut reg, &labels);
+        assert_eq!(metrics_from_registry(&reg, &labels), m);
+        // An unknown label set reads back as all-zero, not a panic.
+        assert_eq!(
+            metrics_from_registry(&reg, &[("scheme", "nope")]),
+            gpu_sim::Metrics::default()
+        );
+    }
+}

@@ -18,6 +18,9 @@ pub(crate) struct DeleteWarp {
     keys: Vec<u32>,
     cur: usize,
     cand_idx: usize,
+    /// Whether the current key has erased at least one slot so far
+    /// (flight-recorder outcome accounting only).
+    erased_cur: bool,
 }
 
 struct DeleteKernel<'a> {
@@ -41,6 +44,7 @@ impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
             table.erase(bucket, slot);
             ctx.write_line();
             self.deleted += 1;
+            warp.erased_cur = true;
             // Keys are unique under Upsert: done with this op. Under
             // PaperInsert, keep scanning the remaining candidates to clean
             // up potential duplicates.
@@ -50,6 +54,22 @@ impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
         }
         warp.cand_idx += 1;
         if finished || warp.cand_idx == cands.len() {
+            if obs::is_enabled() {
+                obs::emit(obs::Event::OpRetired {
+                    kind: obs::OpKind::Delete,
+                    op: 0,
+                    key: key as u64,
+                    outcome: if warp.erased_cur {
+                        obs::OpOutcome::Deleted
+                    } else {
+                        obs::OpOutcome::Miss
+                    },
+                    probes: warp.cand_idx as u32,
+                    evict_depth: 0,
+                    lock_waits: 0,
+                });
+            }
+            warp.erased_cur = false;
             warp.cur += 1;
             warp.cand_idx = 0;
         }
@@ -74,6 +94,7 @@ pub(crate) fn delete_batch(
             keys: chunk.to_vec(),
             cur: 0,
             cand_idx: 0,
+            erased_cur: false,
         })
         .collect();
     let mut kernel = DeleteKernel {
@@ -81,6 +102,19 @@ pub(crate) fn delete_batch(
         shape,
         deleted: 0,
     };
+    let recording = obs::is_enabled();
+    let rounds_before = metrics.rounds;
+    if recording {
+        obs::span_begin(obs::Event::LaunchBegin {
+            kind: obs::OpKind::Delete,
+            warps: warps.len() as u32,
+        });
+    }
     run_rounds_with(&mut kernel, &mut warps, metrics, shape.cfg.schedule);
+    if recording {
+        obs::span_end(obs::Event::LaunchEnd {
+            rounds: metrics.rounds - rounds_before,
+        });
+    }
     kernel.deleted
 }

@@ -44,12 +44,34 @@ impl RoundKernel<FindWarp> for FindKernel<'_> {
             // Hit: fetch the value line.
             ctx.read_line();
             self.results[warp.out_base + warp.cur] = Some(table.bucket_vals(bucket)[slot]);
+            if obs::is_enabled() {
+                obs::emit(obs::Event::OpRetired {
+                    kind: obs::OpKind::Find,
+                    op: 0,
+                    key: key as u64,
+                    outcome: obs::OpOutcome::Hit,
+                    probes: warp.cand_idx as u32 + 1,
+                    evict_depth: 0,
+                    lock_waits: 0,
+                });
+            }
             warp.cur += 1;
             warp.cand_idx = 0;
         } else {
             warp.cand_idx += 1;
             if warp.cand_idx == cands.len() {
                 self.results[warp.out_base + warp.cur] = None;
+                if obs::is_enabled() {
+                    obs::emit(obs::Event::OpRetired {
+                        kind: obs::OpKind::Find,
+                        op: 0,
+                        key: key as u64,
+                        outcome: obs::OpOutcome::Miss,
+                        probes: warp.cand_idx as u32,
+                        evict_depth: 0,
+                        lock_waits: 0,
+                    });
+                }
                 warp.cur += 1;
                 warp.cand_idx = 0;
             }
@@ -86,6 +108,19 @@ pub(crate) fn find_batch(
         shape,
         results: &mut results,
     };
+    let recording = obs::is_enabled();
+    let rounds_before = metrics.rounds;
+    if recording {
+        obs::span_begin(obs::Event::LaunchBegin {
+            kind: obs::OpKind::Find,
+            warps: warps.len() as u32,
+        });
+    }
     run_rounds_with(&mut kernel, &mut warps, metrics, shape.cfg.schedule);
+    if recording {
+        obs::span_end(obs::Event::LaunchEnd {
+            rounds: metrics.rounds - rounds_before,
+        });
+    }
     results
 }

@@ -50,13 +50,37 @@ enum Phase {
 pub(crate) struct InsertOp {
     pub key: u32,
     pub val: u32,
-    /// Deterministic per-op randomness source (global op index).
+    /// Deterministic per-op randomness source (global op index). Constant
+    /// across the op's whole eviction chain, so it doubles as the chain id
+    /// in flight-recorder events.
     pub salt: u64,
     evictions: u32,
     phase: Phase,
     /// Internal re-inserts (resize residuals, failure retries) are known
     /// unique: skip the Upsert duplicate pre-probe.
     skip_dup_check: bool,
+    /// Buckets this op has probed (flight-recorder accounting only; never
+    /// feeds [`Metrics`], so recording cannot drift the cost model).
+    probes: u32,
+    /// Failed bucket-lock acquisitions this op has suffered.
+    lock_waits: u32,
+}
+
+/// Emit the op's flight-recorder retirement event. Call at every point
+/// that clears the op's active bit (or pushes it to `failed`).
+#[inline]
+fn retire(op: &InsertOp, outcome: obs::OpOutcome) {
+    if obs::is_enabled() {
+        obs::emit(obs::Event::OpRetired {
+            kind: obs::OpKind::Insert,
+            op: op.salt,
+            key: op.key as u64,
+            outcome,
+            probes: op.probes,
+            evict_depth: op.evictions,
+            lock_waits: op.lock_waits,
+        });
+    }
 }
 
 impl InsertOp {
@@ -69,6 +93,8 @@ impl InsertOp {
             evictions: 0,
             phase: Phase::Init,
             skip_dup_check: false,
+            probes: 0,
+            lock_waits: 0,
         }
     }
 
@@ -83,6 +109,8 @@ impl InsertOp {
             evictions: 0,
             phase: Phase::Init,
             skip_dup_check: true,
+            probes: 0,
+            lock_waits: 0,
         }
     }
 }
@@ -226,6 +254,7 @@ impl InsertKernel<'_> {
                 // Every victim would land in the excluded subtable
                 // (vanishingly rare): give up, let the caller retry after
                 // the resize completes.
+                retire(&op, obs::OpOutcome::Failed);
                 self.out.failed.push(op);
                 warp.active &= !(1 << leader);
             }
@@ -235,6 +264,7 @@ impl InsertKernel<'_> {
                     self.shape
                         .evict_destination(self.tables, victim_key, t, excluded, salt)
                 else {
+                    retire(&op, obs::OpOutcome::Failed);
                     self.out.failed.push(op);
                     warp.active &= !(1 << leader);
                     return;
@@ -243,6 +273,16 @@ impl InsertKernel<'_> {
                 ctx.write_line(); // key line
                 ctx.write_line(); // value line
                 ctx.metrics.evictions += 1;
+                if obs::is_enabled() {
+                    obs::emit(obs::Event::EvictStep {
+                        op: op.salt,
+                        placed_key: op.key as u64,
+                        carried_key: ek as u64,
+                        from_table: t as u8,
+                        to_table: next as u8,
+                        depth: op.evictions + 1,
+                    });
+                }
                 let lane_op = &mut warp.ops[leader];
                 lane_op.key = ek;
                 lane_op.val = ev;
@@ -252,6 +292,7 @@ impl InsertKernel<'_> {
                     reroutes_left: 0,
                 };
                 if lane_op.evictions >= self.shape.cfg.eviction_limit {
+                    retire(lane_op, obs::OpOutcome::Failed);
                     self.out.failed.push(*lane_op);
                     warp.active &= !(1 << leader);
                 }
@@ -283,6 +324,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                         let table = &self.tables[t];
                         let b = self.shape.hashes[t].bucket(op.key, table.n_buckets());
                         ctx.read_bucket();
+                        warp.ops[leader].probes += 1;
                         if table.find_slot(b, op.key).is_some() {
                             found = Some(t);
                             break;
@@ -307,6 +349,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
             Phase::Update { t } => {
                 let b = self.shape.hashes[t].bucket(op.key, self.tables[t].n_buckets());
                 if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+                    warp.ops[leader].lock_waits += 1;
                     if self.shape.cfg.coordination == Coordination::Voter {
                         warp.rr += 1; // revote
                     }
@@ -315,10 +358,12 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 // Re-verify under the lock: the key may have been evicted to
                 // another candidate bucket since the optimistic probe.
                 ctx.read_bucket();
+                warp.ops[leader].probes += 1;
                 if let Some(slot) = self.tables[t].find_slot(b, op.key) {
                     self.tables[t].update_val(b, slot, op.val);
                     ctx.write_line();
                     self.out.updated += 1;
+                    retire(&warp.ops[leader], obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
                 } else {
                     let reroutes = if self.shape.cfg.reroute_before_evict {
@@ -347,6 +392,8 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     // racing for one bucket both see the same "empty" slot;
                     // the later write clobbers the earlier key.
                     ctx.read_bucket();
+                    warp.ops[leader].probes += 1;
+                    let op = warp.ops[leader];
                     let snap = self.stale_keys(t, b);
                     let dup = snap.iter().position(|&k| k == op.key);
                     let empty = snap.iter().position(|&k| k == EMPTY_KEY);
@@ -354,6 +401,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                         self.tables[t].update_val(b, slot, op.val);
                         ctx.write_line();
                         self.out.updated += 1;
+                        retire(&op, obs::OpOutcome::Updated);
                         warp.active &= !(1 << leader);
                     } else if let Some(slot) = empty {
                         if self.tables[t].slot(b, slot).0 == EMPTY_KEY {
@@ -366,6 +414,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                         ctx.write_line();
                         ctx.write_line();
                         self.out.inserted += 1;
+                        retire(&op, obs::OpOutcome::Inserted);
                         warp.active &= !(1 << leader);
                     } else if reroutes_left > 0 {
                         warp.ops[leader].phase = match self.next_candidate(op.key, t) {
@@ -384,24 +433,29 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     return StepOutcome::Pending;
                 }
                 if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+                    warp.ops[leader].lock_waits += 1;
                     if self.shape.cfg.coordination == Coordination::Voter {
                         warp.rr += 1; // revote
                     }
                     return StepOutcome::Pending;
                 }
                 ctx.read_bucket();
+                warp.ops[leader].probes += 1;
+                let op = warp.ops[leader];
                 if let Some(slot) = self.tables[t].find_slot(b, op.key) {
                     // Same-bucket duplicate: update in place (Algorithm 1's
                     // "loc[l].key == k'" arm).
                     self.tables[t].update_val(b, slot, op.val);
                     ctx.write_line();
                     self.out.updated += 1;
+                    retire(&op, obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
                 } else if let Some(slot) = self.tables[t].find_empty(b) {
                     self.tables[t].write_new(b, slot, op.key, op.val);
                     ctx.write_line(); // key line
                     ctx.write_line(); // value line
                     self.out.inserted += 1;
+                    retire(&op, obs::OpOutcome::Inserted);
                     warp.active &= !(1 << leader);
                 } else if reroutes_left > 0 {
                     // Fresh op, full bucket: try another candidate bucket
@@ -456,6 +510,19 @@ pub(crate) fn insert_batch(
         out: InsertOutcome::default(),
         stale_buckets: shape.cfg.inject_lock_elision.then(HashMap::new),
     };
+    let recording = obs::is_enabled();
+    let rounds_before = metrics.rounds;
+    if recording {
+        obs::span_begin(obs::Event::LaunchBegin {
+            kind: obs::OpKind::Insert,
+            warps: warps.len() as u32,
+        });
+    }
     run_rounds_with(&mut kernel, &mut warps, metrics, shape.cfg.schedule);
+    if recording {
+        obs::span_end(obs::Event::LaunchEnd {
+            rounds: metrics.rounds - rounds_before,
+        });
+    }
     kernel.out
 }

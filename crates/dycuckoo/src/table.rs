@@ -539,6 +539,37 @@ impl DyCuckoo {
     /// downsizing, then drain the overflow stash back into the subtables
     /// (a resize has just changed where keys belong or made room).
     fn apply_resize(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
+        let recording = obs::is_enabled();
+        if recording {
+            let (grow, i) = match op {
+                ResizeOp::Upsize(i) => (true, i),
+                ResizeOp::Downsize(i) => (false, i),
+            };
+            obs::span_begin(obs::Event::ResizeBegin {
+                grow,
+                table: i as u8,
+                old_buckets: self.tables[i].n_buckets() as u64,
+            });
+        }
+        let result = self.apply_resize_and_drain(op, sim);
+        if recording {
+            // Close the span even on error so the span stack stays balanced.
+            let (new_buckets, moved, residuals) = match &result {
+                Ok(e) => (e.new_buckets as u64, e.moved, e.residuals),
+                Err(_) => (0, 0, 0),
+            };
+            obs::span_end(obs::Event::ResizeEnd {
+                new_buckets,
+                moved,
+                residuals,
+            });
+        }
+        result
+    }
+
+    /// The resize itself plus the post-resize stash drain (the span-free
+    /// body of [`Self::apply_resize`]).
+    fn apply_resize_and_drain(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
         let event = self.apply_resize_inner(op, sim)?;
         if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
             let stash = self.stash.as_mut().expect("checked above");

@@ -126,6 +126,12 @@ impl<'a> RoundCtx<'a> {
         let ok = locks.try_acquire(index);
         if !ok {
             self.metrics.lock_failures += 1;
+            if obs::is_enabled() {
+                obs::emit(obs::Event::LockConflict {
+                    space,
+                    index: index as u64,
+                });
+            }
         }
         ok
     }

@@ -57,6 +57,36 @@ impl Metrics {
         self.random_read_transactions + self.random_write_transactions
     }
 
+    /// Copy every counter into a unified [`obs::Registry`] under the
+    /// `sim_` namespace with the given labels. Counters add, so
+    /// registering several windows under one label set accumulates them.
+    pub fn register_into(&self, reg: &mut obs::Registry, labels: &[(&str, &str)]) {
+        reg.counter("sim_read_transactions", labels, self.read_transactions);
+        reg.counter("sim_write_transactions", labels, self.write_transactions);
+        reg.counter(
+            "sim_random_read_transactions",
+            labels,
+            self.random_read_transactions,
+        );
+        reg.counter(
+            "sim_random_write_transactions",
+            labels,
+            self.random_write_transactions,
+        );
+        reg.counter(
+            "sim_dependent_read_transactions",
+            labels,
+            self.dependent_read_transactions,
+        );
+        reg.counter("sim_atomic_ops", labels, self.atomic_ops);
+        reg.counter("sim_atomic_serial_units", labels, self.atomic_serial_units);
+        reg.counter("sim_rounds", labels, self.rounds);
+        reg.counter("sim_lookups", labels, self.lookups);
+        reg.counter("sim_evictions", labels, self.evictions);
+        reg.counter("sim_lock_failures", labels, self.lock_failures);
+        reg.counter("sim_ops", labels, self.ops);
+    }
+
     /// Fold another metrics window into this one.
     pub fn merge(&mut self, other: &Metrics) {
         self.read_transactions += other.read_transactions;
@@ -128,6 +158,34 @@ mod tests {
             ..Metrics::default()
         };
         assert_eq!(m.random_transactions(), 7);
+    }
+
+    #[test]
+    fn register_into_covers_every_counter() {
+        let m = Metrics {
+            read_transactions: 1,
+            write_transactions: 2,
+            random_read_transactions: 3,
+            random_write_transactions: 4,
+            dependent_read_transactions: 5,
+            atomic_ops: 6,
+            atomic_serial_units: 7,
+            rounds: 8,
+            lookups: 9,
+            evictions: 10,
+            lock_failures: 11,
+            ops: 12,
+        };
+        let mut reg = obs::Registry::new();
+        let labels = [("kernel", "insert")];
+        m.register_into(&mut reg, &labels);
+        // One registry entry per Metrics field.
+        assert_eq!(reg.len(), 12);
+        assert_eq!(reg.get_counter("sim_evictions", &labels), Some(10));
+        assert_eq!(reg.get_counter("sim_ops", &labels), Some(12));
+        // Registering again accumulates.
+        m.register_into(&mut reg, &labels);
+        assert_eq!(reg.get_counter("sim_rounds", &labels), Some(16));
     }
 
     #[test]

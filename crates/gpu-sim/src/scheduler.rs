@@ -85,6 +85,11 @@ pub fn run_rounds_with<S, K: RoundKernel<S>>(
     while !pending.is_empty() {
         rounds += 1;
         metrics.rounds += 1;
+        if obs::is_enabled() {
+            // Stamp flight-recorder events from this round with the
+            // cumulative round counter.
+            obs::set_rounds(metrics.rounds);
+        }
         policy.order_round(metrics.rounds, &mut pending, &contended);
         let mut ctx = RoundCtx::new(metrics);
         // Explicit compaction instead of `Vec::retain`: the loop below is

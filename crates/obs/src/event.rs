@@ -1,0 +1,290 @@
+//! The flight-recorder event schema.
+//!
+//! Events are small `Copy` structs (one enum) so that recording is a plain
+//! ring-buffer push with no allocation. Everything is integers: the stack
+//! is deterministic, so two runs of the same workload produce bit-identical
+//! event streams, which makes traces diffable CI artifacts.
+
+/// Which kernel/operation family an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Cuckoo insert (voter-coordination kernel).
+    Insert,
+    /// Lookup kernel.
+    Find,
+    /// Delete kernel.
+    Delete,
+}
+
+impl OpKind {
+    /// Stable lowercase name for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Find => "find",
+            OpKind::Delete => "delete",
+        }
+    }
+}
+
+/// How an operation retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpOutcome {
+    /// A fresh key was placed.
+    Inserted,
+    /// An existing key's value was overwritten.
+    Updated,
+    /// A lookup found its key.
+    Hit,
+    /// A lookup or delete did not find its key.
+    Miss,
+    /// A delete erased its key.
+    Deleted,
+    /// An insert gave up (eviction limit / no victim); the driver retries
+    /// after a resize.
+    Failed,
+}
+
+impl OpOutcome {
+    /// Stable lowercase name for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpOutcome::Inserted => "inserted",
+            OpOutcome::Updated => "updated",
+            OpOutcome::Hit => "hit",
+            OpOutcome::Miss => "miss",
+            OpOutcome::Deleted => "deleted",
+            OpOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One structured flight-recorder event.
+///
+/// Span-opening events (`LaunchBegin`, `ResizeBegin`, `BatchFlush`) push a
+/// fresh span id; their matching closers (`LaunchEnd`, `ResizeEnd`,
+/// `BatchEnd`) pop it. All other events are instants attributed to the
+/// innermost open span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A kernel launch started (opens a span).
+    LaunchBegin {
+        /// Kernel family.
+        kind: OpKind,
+        /// Number of warps in the launch.
+        warps: u32,
+    },
+    /// A kernel launch finished (closes the `LaunchBegin` span).
+    LaunchEnd {
+        /// Scheduler rounds the launch consumed.
+        rounds: u64,
+    },
+    /// An operation finished, with its accumulated per-op costs.
+    OpRetired {
+        /// Kernel family of the op.
+        kind: OpKind,
+        /// Chain id: the insert op's salt (constant across its whole
+        /// eviction chain), 0 for finds/deletes.
+        op: u64,
+        /// The key the op retired on (for inserts, the last carried key).
+        key: u64,
+        /// How it retired.
+        outcome: OpOutcome,
+        /// Buckets probed by this op.
+        probes: u32,
+        /// Length of the eviction chain this op drove (inserts only).
+        evict_depth: u32,
+        /// Bucket-lock acquisitions that failed and forced a re-vote.
+        lock_waits: u32,
+    },
+    /// One cuckoo displacement inside an insert's eviction chain.
+    EvictStep {
+        /// Chain id (the driving insert op's salt).
+        op: u64,
+        /// Key that was just placed into the victim's slot.
+        placed_key: u64,
+        /// Victim key now carried to another subtable.
+        carried_key: u64,
+        /// Subtable the displacement happened in.
+        from_table: u8,
+        /// Subtable the carried key will try next.
+        to_table: u8,
+        /// Chain depth after this step (1 = first displacement).
+        depth: u32,
+    },
+    /// A bucket-lock CAS failed (contention on the atomic path).
+    LockConflict {
+        /// Memory space of the lock word (table index).
+        space: u32,
+        /// Bucket index of the lock word.
+        index: u64,
+    },
+    /// A subtable resize started (opens a span).
+    ResizeBegin {
+        /// `true` for upsize (doubling), `false` for downsize (halving).
+        grow: bool,
+        /// Index of the resized subtable.
+        table: u8,
+        /// Bucket count before the resize.
+        old_buckets: u64,
+    },
+    /// A subtable resize finished (closes the `ResizeBegin` span).
+    ResizeEnd {
+        /// Bucket count after the resize (0 if the resize failed).
+        new_buckets: u64,
+        /// Entries moved by the rehash kernels.
+        moved: u64,
+        /// Entries that could not stay in the halved subtable and were
+        /// re-inserted elsewhere (downsize only).
+        residuals: u64,
+    },
+    /// A service shard flushed its batch window (opens a span).
+    BatchFlush {
+        /// Shard index.
+        shard: u32,
+        /// Requests in the flushed window.
+        window: u32,
+        /// Planned probe (read) keys after coalescing.
+        probes: u32,
+        /// Planned puts after coalescing.
+        puts: u32,
+        /// Planned deletes after coalescing.
+        deletes: u32,
+        /// Requests answered locally by the coalescer (no kernel work).
+        coalesced: u32,
+    },
+    /// A shard flush completed (closes the `BatchFlush` span).
+    BatchEnd {
+        /// Completions produced by the flush.
+        completed: u32,
+    },
+    /// Admission control rejected a request.
+    Shed {
+        /// Shard index.
+        shard: u32,
+        /// Queue depth at rejection time.
+        depth: u32,
+        /// `true` for a hard `Overloaded` rejection (queue full), `false`
+        /// for a soft `Shed` (read dropped above the watermark).
+        hard: bool,
+    },
+}
+
+impl Event {
+    /// Stable lowercase name for exporters and summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::LaunchBegin { .. } => "launch_begin",
+            Event::LaunchEnd { .. } => "launch_end",
+            Event::OpRetired { .. } => "op_retired",
+            Event::EvictStep { .. } => "evict_step",
+            Event::LockConflict { .. } => "lock_conflict",
+            Event::ResizeBegin { .. } => "resize_begin",
+            Event::ResizeEnd { .. } => "resize_end",
+            Event::BatchFlush { .. } => "batch_flush",
+            Event::BatchEnd { .. } => "batch_end",
+            Event::Shed { .. } => "shed",
+        }
+    }
+
+    /// Whether this event opens a causal span.
+    pub fn opens_span(&self) -> bool {
+        matches!(
+            self,
+            Event::LaunchBegin { .. } | Event::ResizeBegin { .. } | Event::BatchFlush { .. }
+        )
+    }
+
+    /// Whether this event closes the innermost open span.
+    pub fn closes_span(&self) -> bool {
+        matches!(
+            self,
+            Event::LaunchEnd { .. } | Event::ResizeEnd { .. } | Event::BatchEnd { .. }
+        )
+    }
+}
+
+/// A recorded event with its stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (1-based, total order within a recording).
+    pub seq: u64,
+    /// Simulated service clock (tick) when the event fired; 0 below the
+    /// service layer.
+    pub clock: u64,
+    /// Cumulative scheduler rounds of the executing simulation context.
+    pub rounds: u64,
+    /// Span the event belongs to: its own id for span-opening/closing
+    /// events, the innermost open span for instants (0 = no open span).
+    pub span: u32,
+    /// The enclosing span (0 = top level).
+    pub parent: u32,
+    /// The event payload.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_classification_is_disjoint() {
+        let events = [
+            Event::LaunchBegin {
+                kind: OpKind::Insert,
+                warps: 1,
+            },
+            Event::LaunchEnd { rounds: 0 },
+            Event::OpRetired {
+                kind: OpKind::Find,
+                op: 0,
+                key: 1,
+                outcome: OpOutcome::Hit,
+                probes: 1,
+                evict_depth: 0,
+                lock_waits: 0,
+            },
+            Event::EvictStep {
+                op: 1,
+                placed_key: 2,
+                carried_key: 3,
+                from_table: 0,
+                to_table: 1,
+                depth: 1,
+            },
+            Event::LockConflict { space: 0, index: 0 },
+            Event::ResizeBegin {
+                grow: true,
+                table: 0,
+                old_buckets: 2,
+            },
+            Event::ResizeEnd {
+                new_buckets: 4,
+                moved: 10,
+                residuals: 0,
+            },
+            Event::BatchFlush {
+                shard: 0,
+                window: 4,
+                probes: 2,
+                puts: 2,
+                deletes: 0,
+                coalesced: 0,
+            },
+            Event::BatchEnd { completed: 4 },
+            Event::Shed {
+                shard: 0,
+                depth: 9,
+                hard: true,
+            },
+        ];
+        let opens = events.iter().filter(|e| e.opens_span()).count();
+        let closes = events.iter().filter(|e| e.closes_span()).count();
+        assert_eq!(opens, 3);
+        assert_eq!(closes, 3);
+        for e in &events {
+            assert!(!(e.opens_span() && e.closes_span()));
+            assert!(!e.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Trace exporters: Chrome `trace_event` JSON (loads in `chrome://tracing`
+//! and Perfetto) and JSONL.
+//!
+//! Both are hand-rolled — the workspace is offline, so no serde — and both
+//! are deterministic functions of the event stream. The simulator has no
+//! wall clock, so the Chrome `ts` field is the event sequence number
+//! (1 event = 1 µs of trace time); `clock`/`rounds` stamps ride along in
+//! `args` for real time-alignment.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, TraceEvent};
+
+/// Append the event's payload fields as `"k":v` JSON pairs (leading comma
+/// before each pair).
+fn write_args(out: &mut String, e: &Event) {
+    match *e {
+        Event::LaunchBegin { kind, warps } => {
+            let _ = write!(out, ",\"kind\":\"{}\",\"warps\":{}", kind.name(), warps);
+        }
+        Event::LaunchEnd { rounds } => {
+            let _ = write!(out, ",\"rounds\":{rounds}");
+        }
+        Event::OpRetired {
+            kind,
+            op,
+            key,
+            outcome,
+            probes,
+            evict_depth,
+            lock_waits,
+        } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"{}\",\"op\":{op},\"key\":{key},\"outcome\":\"{}\",\"probes\":{probes},\"evict_depth\":{evict_depth},\"lock_waits\":{lock_waits}",
+                kind.name(),
+                outcome.name(),
+            );
+        }
+        Event::EvictStep {
+            op,
+            placed_key,
+            carried_key,
+            from_table,
+            to_table,
+            depth,
+        } => {
+            let _ = write!(
+                out,
+                ",\"op\":{op},\"placed_key\":{placed_key},\"carried_key\":{carried_key},\"from_table\":{from_table},\"to_table\":{to_table},\"depth\":{depth}",
+            );
+        }
+        Event::LockConflict { space, index } => {
+            let _ = write!(out, ",\"space\":{space},\"index\":{index}");
+        }
+        Event::ResizeBegin {
+            grow,
+            table,
+            old_buckets,
+        } => {
+            let _ = write!(
+                out,
+                ",\"grow\":{grow},\"table\":{table},\"old_buckets\":{old_buckets}"
+            );
+        }
+        Event::ResizeEnd {
+            new_buckets,
+            moved,
+            residuals,
+        } => {
+            let _ = write!(
+                out,
+                ",\"new_buckets\":{new_buckets},\"moved\":{moved},\"residuals\":{residuals}"
+            );
+        }
+        Event::BatchFlush {
+            shard,
+            window,
+            probes,
+            puts,
+            deletes,
+            coalesced,
+        } => {
+            let _ = write!(
+                out,
+                ",\"shard\":{shard},\"window\":{window},\"probes\":{probes},\"puts\":{puts},\"deletes\":{deletes},\"coalesced\":{coalesced}",
+            );
+        }
+        Event::BatchEnd { completed } => {
+            let _ = write!(out, ",\"completed\":{completed}");
+        }
+        Event::Shed { shard, depth, hard } => {
+            let _ = write!(out, ",\"shard\":{shard},\"depth\":{depth},\"hard\":{hard}");
+        }
+    }
+}
+
+/// Human-readable span name for a span-opening event.
+fn span_name(e: &Event) -> String {
+    match e {
+        Event::LaunchBegin { kind, .. } => format!("launch:{}", kind.name()),
+        Event::ResizeBegin { grow, table, .. } => format!(
+            "resize:{}:t{}",
+            if *grow { "upsize" } else { "downsize" },
+            table
+        ),
+        Event::BatchFlush { shard, .. } => format!("flush:shard{shard}"),
+        other => other.name().to_string(),
+    }
+}
+
+/// Render a Chrome `trace_event` JSON object for the whole event stream.
+///
+/// Span events become `"B"`/`"E"` duration pairs; everything else becomes
+/// a thread-scoped instant (`"i"`). The exporter keeps the `B`/`E` stack
+/// balanced even for truncated recordings: a closer with no matching
+/// opener is demoted to an instant, and spans still open at the end of the
+/// stream are closed synthetically, so the JSON always loads in Perfetto.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut open: Vec<String> = Vec::new();
+    let mut last_ts = 0u64;
+    for te in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        last_ts = te.seq;
+        let common_args = format!(
+            "\"clock\":{},\"rounds\":{},\"span\":{},\"parent\":{}",
+            te.clock, te.rounds, te.span, te.parent
+        );
+        if te.event.opens_span() {
+            let name = span_name(&te.event);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{{common_args}",
+                te.seq
+            );
+            write_args(&mut out, &te.event);
+            out.push_str("}}");
+            open.push(name);
+        } else if te.event.closes_span() {
+            match open.pop() {
+                Some(name) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{{common_args}",
+                        te.seq
+                    );
+                    write_args(&mut out, &te.event);
+                    out.push_str("}}");
+                }
+                None => {
+                    // Opener fell off the ring: demote to an instant so the
+                    // B/E stack stays balanced.
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{{common_args}",
+                        te.event.name(),
+                        te.seq
+                    );
+                    write_args(&mut out, &te.event);
+                    out.push_str("}}");
+                }
+            }
+        } else {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{{common_args}",
+                te.event.name(),
+                te.seq
+            );
+            write_args(&mut out, &te.event);
+            out.push_str("}}");
+        }
+    }
+    // Close spans the recording ended inside of.
+    while let Some(name) = open.pop() {
+        last_ts += 1;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{last_ts},\"pid\":0,\"tid\":0,\"args\":{{\"synthetic_close\":true}}}}"
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// One JSON object per line per event: the stamps plus the payload fields.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for te in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"clock\":{},\"rounds\":{},\"span\":{},\"parent\":{},\"event\":\"{}\"",
+            te.seq,
+            te.clock,
+            te.rounds,
+            te.span,
+            te.parent,
+            te.event.name()
+        );
+        write_args(&mut out, &te.event);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{OpKind, OpOutcome};
+
+    fn te(seq: u64, span: u32, parent: u32, event: Event) -> TraceEvent {
+        TraceEvent {
+            seq,
+            clock: 0,
+            rounds: 0,
+            span,
+            parent,
+            event,
+        }
+    }
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// string literals, no trailing garbage.
+    fn assert_balanced_json(s: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced JSON nesting in {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON in {s}");
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn chrome_trace_pairs_b_and_e() {
+        let events = [
+            te(
+                1,
+                1,
+                0,
+                Event::LaunchBegin {
+                    kind: OpKind::Insert,
+                    warps: 2,
+                },
+            ),
+            te(2, 1, 0, Event::LockConflict { space: 1, index: 4 }),
+            te(3, 1, 0, Event::LaunchEnd { rounds: 9 }),
+        ];
+        let json = chrome_trace(&events);
+        assert_balanced_json(&json);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"name\":\"launch:insert\""));
+    }
+
+    #[test]
+    fn chrome_trace_closes_truncated_spans_and_demotes_orphans() {
+        // Orphan closer (opener dropped) + span left open at the end.
+        let events = [
+            te(5, 3, 0, Event::LaunchEnd { rounds: 1 }),
+            te(
+                6,
+                4,
+                0,
+                Event::ResizeBegin {
+                    grow: true,
+                    table: 2,
+                    old_buckets: 8,
+                },
+            ),
+        ];
+        let json = chrome_trace(&events);
+        assert_balanced_json(&json);
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+        assert!(json.contains("synthetic_close"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let events = [
+            te(
+                1,
+                0,
+                0,
+                Event::OpRetired {
+                    kind: OpKind::Find,
+                    op: 0,
+                    key: 7,
+                    outcome: OpOutcome::Miss,
+                    probes: 2,
+                    evict_depth: 0,
+                    lock_waits: 0,
+                },
+            ),
+            te(2, 0, 0, Event::Shed {
+                shard: 1,
+                depth: 12,
+                hard: false,
+            }),
+        ];
+        let out = jsonl(&events);
+        assert_eq!(out.lines().count(), 2);
+        for line in out.lines() {
+            assert_balanced_json(line);
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(out.contains("\"outcome\":\"miss\""));
+        assert!(out.contains("\"hard\":false"));
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let json = chrome_trace(&[]);
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert_eq!(jsonl(&[]), "");
+    }
+}

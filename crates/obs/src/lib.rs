@@ -1,0 +1,94 @@
+//! # obs — flight recorder + unified telemetry registry
+//!
+//! Observability layer for the DyCuckoo reproduction stack, built on one
+//! property: the whole stack is deterministic, so traces and metric
+//! snapshots are exact-match artifacts rather than statistical ones.
+//!
+//! Three pieces:
+//!
+//! * **Flight recorder** ([`start`]/[`stop`]/[`emit`]/[`span_begin`]/
+//!   [`span_end`]): a thread-local bounded ring of structured [`Event`]s
+//!   stamped with the simulated clock, cumulative scheduler rounds, and a
+//!   causal span id. Off by default; instrumentation sites guard on
+//!   [`is_enabled`], and disabling the `recorder` cargo feature compiles
+//!   every entry point to a no-op.
+//! * **Registry** ([`Registry`]): named, labeled counters/gauges with one
+//!   deterministic snapshot format (`to_text`/`to_csv`). The hot-path
+//!   metric structs (`gpu_sim::Metrics`, `kv_service::ShardMetrics`)
+//!   bridge into it via their `register_into` methods.
+//! * **Exporters** ([`export::chrome_trace`], [`export::jsonl`]): render a
+//!   recorded event stream for `chrome://tracing`/Perfetto or line-oriented
+//!   tooling.
+
+pub mod event;
+pub mod export;
+pub mod registry;
+
+pub use event::{Event, OpKind, OpOutcome, TraceEvent};
+pub use registry::{HistStats, Registry, Value};
+
+/// Default flight-recorder ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A drained recording: the surviving events plus how many older events
+/// the ring dropped to stay bounded.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in record order (oldest surviving first).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the full ring before [`stop`] was called.
+    pub dropped: u64,
+}
+
+#[cfg(feature = "recorder")]
+mod recorder;
+#[cfg(feature = "recorder")]
+pub use recorder::{emit, is_enabled, set_clock, set_rounds, span_begin, span_end, start, stop};
+
+/// No-op recorder entry points, compiled when the `recorder` feature is
+/// off. `is_enabled` is `const false`, so guarded instrumentation sites
+/// fold away entirely.
+#[cfg(not(feature = "recorder"))]
+mod noop {
+    use crate::{Event, Trace};
+
+    /// Always `false`: the recorder is compiled out.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op: the recorder is compiled out.
+    #[inline(always)]
+    pub fn start(_capacity: usize) {}
+
+    /// No-op: always returns an empty [`Trace`].
+    #[inline(always)]
+    pub fn stop() -> Trace {
+        Trace::default()
+    }
+
+    /// No-op: the recorder is compiled out.
+    #[inline(always)]
+    pub fn set_clock(_clock: u64) {}
+
+    /// No-op: the recorder is compiled out.
+    #[inline(always)]
+    pub fn set_rounds(_rounds: u64) {}
+
+    /// No-op: the recorder is compiled out.
+    #[inline(always)]
+    pub fn emit(_event: Event) {}
+
+    /// No-op: always returns span id 0.
+    #[inline(always)]
+    pub fn span_begin(_event: Event) -> u32 {
+        0
+    }
+
+    /// No-op: the recorder is compiled out.
+    #[inline(always)]
+    pub fn span_end(_event: Event) {}
+}
+#[cfg(not(feature = "recorder"))]
+pub use noop::{emit, is_enabled, set_clock, set_rounds, span_begin, span_end, start, stop};

@@ -1,0 +1,272 @@
+//! The flight recorder: a thread-local bounded ring of [`TraceEvent`]s.
+//!
+//! The stack is single-threaded per simulation context, so a thread-local
+//! recorder needs no locking and adds one branch (`is_enabled`) plus a
+//! `VecDeque` push per event when on. Recording is **off by default**;
+//! [`start`] arms it and [`stop`] drains the ring. When the ring is full
+//! the oldest events are dropped (and counted) — a flight recorder keeps
+//! the most recent history, which is what post-mortem debugging needs.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+use crate::event::{Event, TraceEvent};
+use crate::Trace;
+
+struct Recorder {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    seq: u64,
+    clock: u64,
+    rounds: u64,
+    span_stack: Vec<u32>,
+    next_span: u32,
+}
+
+impl Recorder {
+    fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity.min(1 << 12)),
+            capacity,
+            dropped: 0,
+            seq: 0,
+            clock: 0,
+            rounds: 0,
+            span_stack: Vec::new(),
+            next_span: 0,
+        }
+    }
+
+    fn push(&mut self, span: u32, parent: u32, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.seq += 1;
+        self.ring.push_back(TraceEvent {
+            seq: self.seq,
+            clock: self.clock,
+            rounds: self.rounds,
+            span,
+            parent,
+            event,
+        });
+    }
+}
+
+thread_local! {
+    // Split flag so the hot-path guard is a plain `Cell` read with no
+    // `RefCell` borrow bookkeeping.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Whether the flight recorder is currently armed on this thread.
+///
+/// Instrumentation sites guard on this before building event payloads, so
+/// a disarmed recorder costs one predictable branch.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Arm the recorder with a ring of `capacity` events (min 16), resetting
+/// any previous recording, sequence numbers, clocks, and span state.
+pub fn start(capacity: usize) {
+    RECORDER.with(|r| *r.borrow_mut() = Some(Recorder::new(capacity.max(16))));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Disarm the recorder and drain the ring.
+pub fn stop() -> Trace {
+    ENABLED.with(|e| e.set(false));
+    RECORDER.with(|r| match r.borrow_mut().take() {
+        Some(mut rec) => Trace {
+            events: rec.ring.drain(..).collect(),
+            dropped: rec.dropped,
+        },
+        None => Trace::default(),
+    })
+}
+
+fn with_rec(f: impl FnOnce(&mut Recorder)) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Stamp subsequent events with the simulated service clock (tick).
+pub fn set_clock(clock: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_rec(|r| r.clock = clock);
+}
+
+/// Stamp subsequent events with the cumulative scheduler round count.
+pub fn set_rounds(rounds: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_rec(|r| r.rounds = rounds);
+}
+
+/// Record an instant event, attributed to the innermost open span.
+pub fn emit(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    with_rec(|r| {
+        let span = r.span_stack.last().copied().unwrap_or(0);
+        let parent = if r.span_stack.len() >= 2 {
+            r.span_stack[r.span_stack.len() - 2]
+        } else {
+            0
+        };
+        r.push(span, parent, event);
+    });
+}
+
+/// Record a span-opening event, push the new span, and return its id
+/// (0 when recording is off).
+pub fn span_begin(event: Event) -> u32 {
+    if !is_enabled() {
+        return 0;
+    }
+    let mut id = 0;
+    with_rec(|r| {
+        let parent = r.span_stack.last().copied().unwrap_or(0);
+        r.next_span += 1;
+        id = r.next_span;
+        r.push(id, parent, event);
+        r.span_stack.push(id);
+    });
+    id
+}
+
+/// Record a span-closing event and pop the innermost span. Tolerant of an
+/// empty stack (e.g. recording armed mid-span): records with span 0.
+pub fn span_end(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    with_rec(|r| {
+        let span = r.span_stack.pop().unwrap_or(0);
+        let parent = r.span_stack.last().copied().unwrap_or(0);
+        r.push(span, parent, event);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+
+    fn lock(i: u64) -> Event {
+        Event::LockConflict { space: 0, index: i }
+    }
+
+    #[test]
+    fn off_by_default_and_emit_is_noop_when_off() {
+        assert!(!is_enabled());
+        emit(lock(1));
+        let t = stop();
+        assert!(t.events.is_empty());
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn records_in_order_with_stamps() {
+        start(64);
+        assert!(is_enabled());
+        set_clock(3);
+        set_rounds(7);
+        emit(lock(1));
+        emit(lock(2));
+        let t = stop();
+        assert!(!is_enabled());
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[0].seq, 1);
+        assert_eq!(t.events[1].seq, 2);
+        assert_eq!(t.events[0].clock, 3);
+        assert_eq!(t.events[0].rounds, 7);
+        assert_eq!(t.events[0].span, 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        start(16);
+        for i in 0..20 {
+            emit(lock(i));
+        }
+        let t = stop();
+        assert_eq!(t.events.len(), 16);
+        assert_eq!(t.dropped, 4);
+        // The *latest* events survive.
+        assert_eq!(t.events.last().unwrap().seq, 20);
+        assert_eq!(t.events[0].seq, 5);
+    }
+
+    #[test]
+    fn spans_nest_and_attribute_instants() {
+        start(64);
+        let outer = span_begin(Event::BatchFlush {
+            shard: 0,
+            window: 2,
+            probes: 1,
+            puts: 1,
+            deletes: 0,
+            coalesced: 0,
+        });
+        let inner = span_begin(Event::LaunchBegin {
+            kind: OpKind::Insert,
+            warps: 1,
+        });
+        emit(lock(9));
+        span_end(Event::LaunchEnd { rounds: 4 });
+        span_end(Event::BatchEnd { completed: 2 });
+        let t = stop();
+        assert_eq!(t.events.len(), 5);
+        assert_ne!(outer, 0);
+        assert_ne!(inner, outer);
+        // Opening events carry their own span id and their parent.
+        assert_eq!(t.events[0].span, outer);
+        assert_eq!(t.events[0].parent, 0);
+        assert_eq!(t.events[1].span, inner);
+        assert_eq!(t.events[1].parent, outer);
+        // The instant is attributed to the innermost span.
+        assert_eq!(t.events[2].span, inner);
+        assert_eq!(t.events[2].parent, outer);
+        // Closers pop in LIFO order.
+        assert_eq!(t.events[3].span, inner);
+        assert_eq!(t.events[4].span, outer);
+        assert_eq!(t.events[4].parent, 0);
+    }
+
+    #[test]
+    fn restart_resets_sequence_and_spans() {
+        start(16);
+        span_begin(Event::LaunchBegin {
+            kind: OpKind::Find,
+            warps: 1,
+        });
+        start(16); // re-arm without closing the span
+        emit(lock(1));
+        let t = stop();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].seq, 1);
+        assert_eq!(t.events[0].span, 0);
+    }
+
+    #[test]
+    fn unbalanced_span_end_is_tolerated() {
+        start(16);
+        span_end(Event::LaunchEnd { rounds: 0 });
+        let t = stop();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].span, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The unified telemetry registry: named, labeled counters and gauges with
+//! one deterministic snapshot format.
+//!
+//! `gpu_sim::Metrics` and `kv_service::ShardMetrics` keep their plain-struct
+//! counters on the hot path (field increments, no lookups); their
+//! `register_into` bridges copy those counters here under stable names and
+//! labels so one snapshot covers the whole stack. Iteration order is the
+//! `BTreeMap` order of `(name, labels)` — fully deterministic, so snapshots
+//! are exact-match CI artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A registered metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Monotonic count; repeated registration adds.
+    Counter(u64),
+    /// Point-in-time value; repeated registration overwrites.
+    Gauge(f64),
+}
+
+/// Summary statistics of a histogram, registered as five derived metrics
+/// (`<name>_count`, `_mean`, `_p50`, `_p99`, `_max`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// 50th-percentile sample value.
+    pub p50: u64,
+    /// 99th-percentile sample value.
+    pub p99: u64,
+    /// Maximum sample value.
+    pub max: u64,
+}
+
+/// A deterministic registry of labeled metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<(String, String), Value>,
+}
+
+/// Render labels canonically: sorted by label name, `{a=b,c=d}`; empty
+/// label sets render as the empty string.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut ls: Vec<(&str, &str)> = labels.to_vec();
+    ls.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in ls.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}={v}");
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the counter `name{labels}` (created at 0 if absent). If
+    /// the key was previously registered as a gauge it becomes a counter.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let key = (name.to_string(), label_key(labels));
+        let entry = self.metrics.entry(key).or_insert(Value::Counter(0));
+        match entry {
+            Value::Counter(c) => *c += v,
+            Value::Gauge(_) => *entry = Value::Counter(v),
+        }
+    }
+
+    /// Set the gauge `name{labels}` to `v` (overwrites).
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.metrics
+            .insert((name.to_string(), label_key(labels)), Value::Gauge(v));
+    }
+
+    /// Register a histogram's summary statistics as five derived metrics:
+    /// `<name>_count` (counter) and `_mean`/`_p50`/`_p99`/`_max` (gauges).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: HistStats) {
+        self.counter(&format!("{name}_count"), labels, h.count);
+        self.gauge(&format!("{name}_mean"), labels, h.mean);
+        self.gauge(&format!("{name}_p50"), labels, h.p50 as f64);
+        self.gauge(&format!("{name}_p99"), labels, h.p99 as f64);
+        self.gauge(&format!("{name}_max"), labels, h.max as f64);
+    }
+
+    /// Look up a counter's current value.
+    pub fn get_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self
+            .metrics
+            .get(&(name.to_string(), label_key(labels)))?
+        {
+            Value::Counter(c) => Some(*c),
+            Value::Gauge(_) => None,
+        }
+    }
+
+    /// Look up a gauge's current value.
+    pub fn get_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self
+            .metrics
+            .get(&(name.to_string(), label_key(labels)))?
+        {
+            Value::Gauge(g) => Some(*g),
+            Value::Counter(_) => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Merge `other` into `self`: counters add, gauges overwrite.
+    pub fn merge(&mut self, other: &Registry) {
+        for ((name, labels), value) in &other.metrics {
+            let entry = self
+                .metrics
+                .entry((name.clone(), labels.clone()))
+                .or_insert(Value::Counter(0));
+            match (entry, value) {
+                (Value::Counter(a), Value::Counter(b)) => *a += b,
+                (entry, v) => *entry = *v,
+            }
+        }
+    }
+
+    /// The snapshot format: one `name{labels} value` line per metric,
+    /// sorted by `(name, labels)`. Counters print as integers, gauges with
+    /// six decimals — both deterministic.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for ((name, labels), value) in &self.metrics {
+            match value {
+                Value::Counter(c) => {
+                    let _ = writeln!(out, "{name}{labels} {c}");
+                }
+                Value::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{labels} {g:.6}");
+                }
+            }
+        }
+        out
+    }
+
+    /// CSV form of the snapshot: `name,labels,type,value` rows in the same
+    /// deterministic order as [`Registry::to_text`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,labels,type,value\n");
+        for ((name, labels), value) in &self.metrics {
+            match value {
+                Value::Counter(c) => {
+                    let _ = writeln!(out, "{name},{labels},counter,{c}");
+                }
+                Value::Gauge(g) => {
+                    let _ = writeln!(out, "{name},{labels},gauge,{g:.6}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_gauges_overwrite() {
+        let mut r = Registry::new();
+        r.counter("ops", &[("shard", "0")], 3);
+        r.counter("ops", &[("shard", "0")], 4);
+        r.gauge("depth", &[], 2.0);
+        r.gauge("depth", &[], 5.0);
+        assert_eq!(r.get_counter("ops", &[("shard", "0")]), Some(7));
+        assert_eq!(r.get_gauge("depth", &[]), Some(5.0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_canonicalized_by_sorting() {
+        let mut r = Registry::new();
+        r.counter("x", &[("b", "2"), ("a", "1")], 1);
+        r.counter("x", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get_counter("x", &[("b", "2"), ("a", "1")]), Some(2));
+        assert!(r.to_text().contains("x{a=1,b=2} 2"));
+    }
+
+    #[test]
+    fn text_snapshot_is_sorted_and_deterministic() {
+        let mut r = Registry::new();
+        r.gauge("zeta", &[], 1.5);
+        r.counter("alpha", &[("k", "v")], 9);
+        r.counter("alpha", &[], 1);
+        let text = r.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["alpha 1", "alpha{k=v} 9", "zeta 1.500000"]);
+        assert_eq!(text, r.clone().to_text());
+        assert!(r.to_csv().starts_with("name,labels,type,value\n"));
+        assert_eq!(r.to_csv().lines().count(), 1 + r.len());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_overwrites_gauges() {
+        let mut a = Registry::new();
+        a.counter("n", &[], 2);
+        a.gauge("g", &[], 1.0);
+        let mut b = Registry::new();
+        b.counter("n", &[], 3);
+        b.gauge("g", &[], 9.0);
+        b.counter("only_b", &[], 1);
+        a.merge(&b);
+        assert_eq!(a.get_counter("n", &[]), Some(5));
+        assert_eq!(a.get_gauge("g", &[]), Some(9.0));
+        assert_eq!(a.get_counter("only_b", &[]), Some(1));
+    }
+
+    #[test]
+    fn histogram_expands_to_five_metrics() {
+        let mut r = Registry::new();
+        r.histogram(
+            "lat",
+            &[("shard", "1")],
+            HistStats {
+                count: 10,
+                mean: 2.5,
+                p50: 2,
+                p99: 9,
+                max: 11,
+            },
+        );
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.get_counter("lat_count", &[("shard", "1")]), Some(10));
+        assert_eq!(r.get_gauge("lat_max", &[("shard", "1")]), Some(11.0));
+    }
+}

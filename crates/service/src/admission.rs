@@ -108,8 +108,16 @@ impl AdmissionPolicy {
     }
 
     /// Backpressure signal in `[0, 1]`: how full the shard's queue is.
+    ///
+    /// Always a finite value in `[0, 1]`: a zero-capacity policy (invalid
+    /// per [`AdmissionPolicy::validate`], but constructible) reports full
+    /// pressure rather than dividing by zero into NaN, and depths beyond
+    /// capacity clamp to 1.
     pub fn pressure(&self, depth: usize) -> f64 {
-        depth as f64 / self.queue_capacity as f64
+        if self.queue_capacity == 0 {
+            return 1.0;
+        }
+        (depth as f64 / self.queue_capacity as f64).min(1.0)
     }
 }
 
@@ -189,5 +197,24 @@ mod tests {
         assert_eq!(p.pressure(0), 0.0);
         assert_eq!(p.pressure(4), 0.5);
         assert_eq!(p.pressure(8), 1.0);
+    }
+
+    #[test]
+    fn pressure_is_always_finite_and_bounded() {
+        // Zero capacity is rejected by validate()...
+        let degenerate = AdmissionPolicy {
+            queue_capacity: 0,
+            shed_watermark: 1,
+        };
+        assert!(degenerate.validate().is_err());
+        // ...but if constructed anyway, pressure must not be NaN: a
+        // zero-capacity queue is saturated by definition.
+        for depth in [0, 1, 100] {
+            let p = degenerate.pressure(depth);
+            assert!(p.is_finite());
+            assert_eq!(p, 1.0);
+        }
+        // Depths beyond capacity clamp into [0, 1].
+        assert_eq!(policy().pressure(1000), 1.0);
     }
 }

@@ -61,17 +61,35 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// The `q`-quantile (e.g. 0.5, 0.99) in ticks; 0 when empty.
+    /// The `q`-quantile (e.g. 0.5, 0.99) in ticks.
+    ///
+    /// Edge cases are pinned down explicitly:
+    /// * empty histogram → 0 for every `q`;
+    /// * `q >= 1.0` → the exact maximum (tracked even beyond the bucket
+    ///   range);
+    /// * `q <= 0.0` (and NaN) → the smallest recorded latency (rank 1);
+    /// * a rank landing in the clamped tail bucket reports the exact
+    ///   maximum — the only honest statistic available there — rather
+    ///   than the bucket's lower bound.
+    ///
+    /// Every case depends only on `(buckets, count, max)`, all of which
+    /// [`LatencyHistogram::merge`] combines losslessly, so quantiles of a
+    /// merged histogram equal quantiles of recording into one histogram
+    /// (the property test below pins this).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let q = if q.is_finite() && q > 0.0 { q } else { 0.0 };
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (t, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return t as u64;
+                return if t == TRACKED_TICKS - 1 { self.max } else { t as u64 };
             }
         }
         self.max
@@ -193,6 +211,48 @@ impl ShardMetrics {
         } else {
             self.completed as f64 / self.service_ns * 1e3
         }
+    }
+
+    /// Copy every counter (plus the latency histogram's summary stats)
+    /// into a unified [`obs::Registry`] under the `service_` namespace
+    /// with the given labels. Counters add; the gauges (`max_queue_depth`,
+    /// `service_ns`, latency stats) overwrite.
+    pub fn register_into(&self, reg: &mut obs::Registry, labels: &[(&str, &str)]) {
+        reg.counter("service_submitted", labels, self.submitted);
+        reg.counter("service_admitted", labels, self.admitted);
+        reg.counter("service_shed_overloaded", labels, self.shed_overloaded);
+        reg.counter("service_shed_reads", labels, self.shed_reads);
+        reg.counter("service_completed", labels, self.completed);
+        reg.counter("service_batches", labels, self.batches);
+        reg.counter("service_flush_by_size", labels, self.flush_by_size);
+        reg.counter("service_flush_by_deadline", labels, self.flush_by_deadline);
+        reg.counter("service_batched_requests", labels, self.batched_requests);
+        reg.counter("service_table_probes", labels, self.table_probes);
+        reg.counter("service_table_puts", labels, self.table_puts);
+        reg.counter("service_table_deletes", labels, self.table_deletes);
+        reg.counter("service_coalesced_local", labels, self.coalesced_local);
+        reg.counter("service_dedup_saved", labels, self.dedup_saved);
+        reg.counter("service_writes_coalesced", labels, self.writes_coalesced);
+        reg.counter("service_resize_events", labels, self.resize_events);
+        reg.counter(
+            "service_resize_stall_batches",
+            labels,
+            self.resize_stall_batches,
+        );
+        reg.counter("service_insert_retries", labels, self.insert_retries);
+        reg.gauge("service_max_queue_depth", labels, self.max_queue_depth as f64);
+        reg.gauge("service_ns", labels, self.service_ns);
+        reg.histogram(
+            "service_latency_ticks",
+            labels,
+            obs::HistStats {
+                count: self.latency.count(),
+                mean: self.latency.mean(),
+                p50: self.latency.quantile(0.5),
+                p99: self.latency.quantile(0.99),
+                max: self.latency.max(),
+            },
+        );
     }
 }
 
@@ -384,7 +444,38 @@ mod tests {
         let mut h = LatencyHistogram::default();
         h.record(5000);
         assert_eq!(h.max(), 5000);
-        assert_eq!(h.quantile(0.5), (TRACKED_TICKS - 1) as u64);
+        // Single clamped sample: the tail bucket reports the exact max
+        // for any quantile, not the bucket's lower bound.
+        assert_eq!(h.quantile(0.5), 5000);
+        assert_eq!(h.quantile(1.0), 5000);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = LatencyHistogram::default();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        let mut h = LatencyHistogram::default();
+        for t in [3u64, 5, 9] {
+            h.record(t);
+        }
+        // q <= 0 (and NaN) degenerate to the minimum recorded latency.
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(-0.5), 3);
+        assert_eq!(h.quantile(f64::NAN), 3);
+        // q >= 1 is the exact maximum.
+        assert_eq!(h.quantile(1.0), 9);
+        assert_eq!(h.quantile(1.5), 9);
+        // Single-bucket histogram: every quantile is that bucket.
+        let mut single = LatencyHistogram::default();
+        for _ in 0..4 {
+            single.record(7);
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 7);
+        }
     }
 
     #[test]
@@ -397,6 +488,78 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn register_into_unifies_counters_and_latency() {
+        let mut m = ShardMetrics {
+            submitted: 10,
+            admitted: 8,
+            completed: 8,
+            max_queue_depth: 5,
+            service_ns: 123.5,
+            ..ShardMetrics::default()
+        };
+        m.latency.record(2);
+        m.latency.record(4);
+        let mut reg = obs::Registry::new();
+        let labels = [("shard", "0")];
+        m.register_into(&mut reg, &labels);
+        // 18 counters + 2 gauges + 5 histogram stats.
+        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.get_counter("service_submitted", &labels), Some(10));
+        assert_eq!(reg.get_gauge("service_max_queue_depth", &labels), Some(5.0));
+        assert_eq!(
+            reg.get_counter("service_latency_ticks_count", &labels),
+            Some(2)
+        );
+        assert_eq!(
+            reg.get_gauge("service_latency_ticks_max", &labels),
+            Some(4.0)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// `merge` commutes, and quantiles of a merged histogram equal
+            /// quantiles of recording every sample into one histogram —
+            /// including samples beyond the tracked range (clamped tail).
+            #[test]
+            fn merge_and_quantile_commute(
+                xs in vec(0u64..2048, 0..64),
+                ys in vec(0u64..2048, 0..64),
+            ) {
+                let mut a = LatencyHistogram::default();
+                let mut b = LatencyHistogram::default();
+                let mut all = LatencyHistogram::default();
+                for &x in &xs {
+                    a.record(x);
+                    all.record(x);
+                }
+                for &y in &ys {
+                    b.record(y);
+                    all.record(y);
+                }
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b.clone();
+                ba.merge(&a);
+                prop_assert_eq!(&ab, &ba);
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(ab.quantile(q), all.quantile(q));
+                    prop_assert_eq!(ba.quantile(q), all.quantile(q));
+                }
+                prop_assert_eq!(ab.count(), all.count());
+                prop_assert_eq!(ab.max(), all.max());
+                prop_assert_eq!(ab.mean().to_bits(), all.mean().to_bits());
+            }
+        }
     }
 
     #[test]

@@ -209,6 +209,13 @@ impl KvService {
                     AdmitError::Shed { .. } => m.shed_reads += 1,
                     AdmitError::ZeroKey => {}
                 }
+                if obs::is_enabled() && !matches!(e, AdmitError::ZeroKey) {
+                    obs::emit(obs::Event::Shed {
+                        shard: shard as u32,
+                        depth: depth as u32,
+                        hard: matches!(e, AdmitError::Overloaded { .. }),
+                    });
+                }
                 return Err(e);
             }
         }
@@ -245,6 +252,7 @@ impl KvService {
     /// Returns the number of requests completed this tick.
     pub fn tick(&mut self, sim: &mut SimContext) -> Result<usize, ServiceError> {
         self.clock += 1;
+        obs::set_clock(self.clock);
         let mut completed = 0;
         for shard in self.shard_visit_order() {
             let queue = &self.shards[shard].queue;
@@ -270,6 +278,7 @@ impl KvService {
     /// (end-of-run drain). Advances the clock one tick.
     pub fn flush_all(&mut self, sim: &mut SimContext) -> Result<usize, ServiceError> {
         self.clock += 1;
+        obs::set_clock(self.clock);
         let mut completed = 0;
         for shard in self.shard_visit_order() {
             while !self.shards[shard].queue.is_empty() {
@@ -296,6 +305,18 @@ impl KvService {
         let window_len = self.shards[shard].queue.len().min(self.cfg.max_batch);
         let window: Vec<Pending> = self.shards[shard].queue.drain(..window_len).collect();
         let plan = plan_flush(&window);
+        let recording = obs::is_enabled();
+        if recording {
+            obs::span_begin(obs::Event::BatchFlush {
+                shard: shard as u32,
+                window: window.len() as u32,
+                probes: plan.probes.len() as u32,
+                puts: plan.puts.len() as u32,
+                deletes: plan.deletes.len() as u32,
+                coalesced: (plan.coalesced_local + plan.dedup_saved + plan.writes_coalesced)
+                    as u32,
+            });
+        }
 
         // Isolated measurement window: the roofline is non-linear, so this
         // flush's ns must be computed on its own counters.
@@ -328,6 +349,16 @@ impl KvService {
         let flush_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
         sim.metrics = saved;
         sim.metrics.merge(&window_metrics);
+        if recording {
+            // Close before the `?` so the span balances on kernel errors.
+            obs::span_end(obs::Event::BatchEnd {
+                completed: if outcome.is_ok() {
+                    window.len() as u32
+                } else {
+                    0
+                },
+            });
+        }
         let (found, ins, del) = outcome?;
 
         let m = &mut self.metrics.per_shard[shard];
