@@ -87,7 +87,10 @@ mod tests {
         let mut t = DyCuckooTable::new(cfg, &mut sim).unwrap();
         t.insert_batch(&mut sim, &[(1, 2), (3, 4)]).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.find_batch(&mut sim, &[1, 3, 5]), vec![Some(2), Some(4), None]);
+        assert_eq!(
+            t.find_batch(&mut sim, &[1, 3, 5]),
+            vec![Some(2), Some(4), None]
+        );
         assert_eq!(t.delete_batch(&mut sim, &[1]).unwrap(), 1);
         assert_eq!(t.len(), 1);
         assert_eq!(t.name(), "DyCuckoo");

@@ -16,8 +16,8 @@
 //!   functions**; deletion is unsupported.
 
 use gpu_sim::{
-    run_rounds_with, Metrics, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome,
-    WARP_SIZE,
+    run_rounds_with, Metrics, RoundCtx, RoundKernel, SchedulePolicy, SimContext, SlotStore,
+    StepOutcome, WARP_SIZE,
 };
 
 use dycuckoo::hashfn::UniversalHash;
@@ -42,10 +42,10 @@ pub fn functions_for_load(load: f64) -> usize {
     }
 }
 
-/// The CUDPP baseline table.
+/// The CUDPP baseline table. Storage is a flat engine [`SlotStore`]: one
+/// packed KV per hash value, every access its own uncoalesced transaction.
 pub struct Cudpp {
-    keys: Vec<u32>,
-    vals: Vec<u32>,
+    store: SlotStore<u32, u32>,
     n_slots: usize,
     d: usize,
     hashes: Vec<UniversalHash>,
@@ -68,8 +68,7 @@ struct CuOp {
 }
 
 struct CuInsertKernel<'a> {
-    keys: &'a mut [u32],
-    vals: &'a mut [u32],
+    store: &'a mut SlotStore<u32, u32>,
     n_slots: usize,
     hashes: &'a [UniversalHash],
     max_iter: u32,
@@ -109,10 +108,7 @@ impl RoundKernel<Vec<CuOp>> for CuInsertKernel<'_> {
             // atomicExch of the packed 64-bit KV.
             ctx.raw_atomic(SLOT_SPACE, slot);
             ctx.write_slot();
-            let old_key = self.keys[slot];
-            let old_val = self.vals[slot];
-            self.keys[slot] = op.key;
-            self.vals[slot] = op.val;
+            let (old_key, old_val) = self.store.exchange(slot, op.key, op.val);
             if old_key == EMPTY {
                 op.done = true;
                 self.inserted += 1;
@@ -152,10 +148,10 @@ impl Cudpp {
     pub fn with_capacity(items: usize, load: f64, seed: u64, sim: &mut SimContext) -> Result<Self> {
         let n_slots = ((items as f64 / load).ceil() as usize).max(1);
         let d = functions_for_load(load);
-        sim.device.alloc((n_slots * 8) as u64)?;
+        let store = SlotStore::new(n_slots);
+        sim.device.alloc(store.device_bytes())?;
         let mut table = Self {
-            keys: vec![EMPTY; n_slots],
-            vals: vec![0; n_slots],
+            store,
             n_slots,
             d,
             hashes: Vec::new(),
@@ -215,8 +211,7 @@ impl Cudpp {
             .collect();
         let before = self.occupied;
         let mut kernel = CuInsertKernel {
-            keys: &mut self.keys,
-            vals: &mut self.vals,
+            store: &mut self.store,
             n_slots: self.n_slots,
             hashes: &self.hashes,
             max_iter: self.max_iter,
@@ -237,16 +232,10 @@ impl Cudpp {
                 failed_ops: extra.len(),
             });
         }
-        let mut live: Vec<(u32, u32)> = self
-            .keys
-            .iter()
-            .zip(self.vals.iter())
-            .filter(|(&k, _)| k != EMPTY)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let mut live: Vec<(u32, u32)> = self.store.iter_live_except(EMPTY).collect();
         sim.metrics.read_transactions += self.n_slots as u64 / 16; // drain scan (coalesced)
         live.extend(extra);
-        self.keys.iter_mut().for_each(|k| *k = EMPTY);
+        self.store.clear();
         self.occupied = 0;
         self.reseed();
         let failed = self.run_insert(&mut sim.metrics, &live);
@@ -296,11 +285,11 @@ impl GpuHashTable for Cudpp {
                     probes += 1;
                     metrics.random_read_transactions += 1;
                     metrics.lookups += 1;
-                    if self.keys[slot] == key {
-                        found = Some(self.vals[slot]);
+                    if self.store.key(slot) == key {
+                        found = Some(self.store.val(slot));
                         break;
                     }
-                    if self.keys[slot] == EMPTY {
+                    if self.store.key(slot) == EMPTY {
                         // Classic CUDPP probes all d functions; an empty slot
                         // cannot rule the key out (evictions move keys), so
                         // keep probing.
@@ -330,7 +319,7 @@ impl GpuHashTable for Cudpp {
     }
 
     fn device_bytes(&self) -> u64 {
-        (self.n_slots * 8) as u64
+        self.store.device_bytes()
     }
 
     fn supports_delete(&self) -> bool {
@@ -409,6 +398,9 @@ mod tests {
             t.insert_batch(&mut sim, &kvs).unwrap();
             sim.metrics.evictions
         };
-        assert!(run(0.85) > run(0.4), "higher load must cause more evictions");
+        assert!(
+            run(0.85) > run(0.4),
+            "higher load must cause more evictions"
+        );
     }
 }

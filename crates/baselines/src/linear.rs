@@ -11,7 +11,8 @@
 //! at tombstones), so the scheme cannot shrink.
 
 use gpu_sim::{
-    run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome, WARP_SIZE,
+    run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, SlotStore, StepOutcome,
+    WARP_SIZE,
 };
 
 use dycuckoo::hashfn::UniversalHash;
@@ -22,10 +23,11 @@ const EMPTY: u32 = 0;
 const TOMB: u32 = u32::MAX;
 const SLOT_SPACE: u32 = 300;
 
-/// The linear-probing baseline.
+/// The linear-probing baseline. Storage is a flat engine [`SlotStore`]:
+/// every probe is an uncoalesced single-slot access, so the accounting is
+/// layout-free by construction.
 pub struct LinearProbing {
-    keys: Vec<u32>,
-    vals: Vec<u32>,
+    store: SlotStore<u32, u32>,
     n_slots: usize,
     live: u64,
     tombstones: u64,
@@ -77,7 +79,7 @@ impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
             }
             let slot = op.cursor % n;
             ctx.read_slot();
-            let k = self.table.keys[slot];
+            let k = self.table.store.key(slot);
             let result_idx = self.out_base + lane;
             match self.goal {
                 ProbeGoal::Find => {
@@ -85,7 +87,7 @@ impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
                         // Value shares no line with the key array: one more
                         // slot read.
                         ctx.read_slot();
-                        self.results[result_idx] = Some(self.table.vals[slot]);
+                        self.results[result_idx] = Some(self.table.store.val(slot));
                         op.done = true;
                     } else if k == EMPTY {
                         op.done = true; // miss
@@ -93,7 +95,7 @@ impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
                 }
                 ProbeGoal::Delete => {
                     if k == op.key {
-                        self.table.keys[slot] = TOMB;
+                        self.table.store.set_key(slot, TOMB);
                         ctx.write_slot();
                         self.table.live -= 1;
                         self.table.tombstones += 1;
@@ -106,7 +108,7 @@ impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
                 ProbeGoal::Insert => {
                     if k == op.key {
                         ctx.raw_atomic(SLOT_SPACE, slot);
-                        self.table.vals[slot] = op.val;
+                        self.table.store.set_val(slot, op.val);
                         ctx.write_slot();
                         self.updated += 1;
                         op.done = true;
@@ -114,11 +116,10 @@ impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
                         // Claim the first tombstone seen, else this slot.
                         let claim = op.first_free.unwrap_or(slot);
                         ctx.raw_atomic(SLOT_SPACE, claim);
-                        if self.table.keys[claim] == TOMB {
+                        let (old_k, _) = self.table.store.exchange(claim, op.key, op.val);
+                        if old_k == TOMB {
                             self.table.tombstones -= 1;
                         }
-                        self.table.keys[claim] = op.key;
-                        self.table.vals[claim] = op.val;
                         ctx.write_slot();
                         self.table.live += 1;
                         self.inserted += 1;
@@ -137,11 +138,10 @@ impl RoundKernel<Vec<LinOp>> for LinKernel<'_> {
                         ProbeGoal::Insert => match op.first_free {
                             Some(claim) => {
                                 ctx.raw_atomic(SLOT_SPACE, claim);
-                                if self.table.keys[claim] == TOMB {
+                                let (old_k, _) = self.table.store.exchange(claim, op.key, op.val);
+                                if old_k == TOMB {
                                     self.table.tombstones -= 1;
                                 }
-                                self.table.keys[claim] = op.key;
-                                self.table.vals[claim] = op.val;
                                 ctx.write_slot();
                                 self.table.live += 1;
                                 self.inserted += 1;
@@ -167,10 +167,10 @@ impl LinearProbing {
     /// Create a table with `n_slots` slots.
     pub fn new(n_slots: usize, seed: u64, sim: &mut SimContext) -> Result<Self> {
         let n_slots = n_slots.max(1);
-        sim.device.alloc((n_slots * 8) as u64)?;
+        let store = SlotStore::new(n_slots);
+        sim.device.alloc(store.device_bytes())?;
         Ok(Self {
-            keys: vec![EMPTY; n_slots],
-            vals: vec![0; n_slots],
+            store,
             n_slots,
             live: 0,
             tombstones: 0,
@@ -280,7 +280,7 @@ impl GpuHashTable for LinearProbing {
     }
 
     fn device_bytes(&self) -> u64 {
-        (self.n_slots * 8) as u64
+        self.store.device_bytes()
     }
 }
 

@@ -3,12 +3,14 @@
 //! per hash value.
 //!
 //! Layout: like the paper's port of MegaKV, buckets hold 32 keys in one
-//! 128-byte line with values in a separate array. MegaKV's find is the
-//! fastest of all schemes for an emergent reason: insertion tries table 0
-//! first and only spills to table 1 on a full bucket, so most keys are
-//! found on the *first* probe — whereas DyCuckoo's balanced two-layer
-//! distribution spreads keys 50/50 over the pair and averages closer to
-//! 1.5 probes.
+//! 128-byte line with values in a separate array — the shared engine's
+//! default [`LayoutConfig`], and the subtables are plain
+//! [`gpu_sim::BucketStore`]s, so the scheme can also be charged under any
+//! swept layout. MegaKV's find is the fastest of all schemes for an
+//! emergent reason: insertion tries table 0 first and only spills to
+//! table 1 on a full bucket, so most keys are found on the *first* probe —
+//! whereas DyCuckoo's balanced two-layer distribution spreads keys 50/50
+//! over the pair and averages closer to 1.5 probes.
 //!
 //! Behavioural differences from DyCuckoo that the experiments exercise:
 //!
@@ -20,8 +22,8 @@
 //!   figure).
 
 use gpu_sim::{
-    run_rounds_with, Locks, Metrics, RoundCtx, RoundKernel, SchedulePolicy, SimContext,
-    StepOutcome, WARP_SIZE,
+    run_rounds_with, BucketStore, LayoutConfig, Metrics, RoundCtx, RoundKernel, SchedulePolicy,
+    SimContext, StepOutcome, WARP_SIZE,
 };
 
 use dycuckoo::hashfn::{splitmix64, UniversalHash};
@@ -46,82 +48,14 @@ pub struct ResizeBounds {
     pub beta: f64,
 }
 
-/// One of MegaKV's two subtables: key buckets, a value array and locks.
-#[derive(Debug, Clone)]
-struct MkTable {
-    keys: Vec<u32>,
-    vals: Vec<u32>,
-    locks: Locks,
-    n_buckets: usize,
-    occupied: u64,
-}
-
-impl MkTable {
-    fn new(n_buckets: usize) -> Self {
-        Self {
-            keys: vec![EMPTY_KEY; n_buckets * MK_BUCKET_SLOTS],
-            vals: vec![0; n_buckets * MK_BUCKET_SLOTS],
-            locks: Locks::new(n_buckets),
-            n_buckets,
-            occupied: 0,
-        }
-    }
-
-    fn bucket_keys(&self, b: usize) -> &[u32] {
-        &self.keys[b * MK_BUCKET_SLOTS..(b + 1) * MK_BUCKET_SLOTS]
-    }
-
-    fn find_slot(&self, b: usize, key: u32) -> Option<usize> {
-        self.bucket_keys(b).iter().position(|&k| k == key)
-    }
-
-    fn find_empty(&self, b: usize) -> Option<usize> {
-        self.find_slot(b, EMPTY_KEY)
-    }
-
-    fn slot(&self, b: usize, s: usize) -> (u32, u32) {
-        let i = b * MK_BUCKET_SLOTS + s;
-        (self.keys[i], self.vals[i])
-    }
-
-    fn write(&mut self, b: usize, s: usize, key: u32, val: u32) {
-        let i = b * MK_BUCKET_SLOTS + s;
-        if self.keys[i] == EMPTY_KEY && key != EMPTY_KEY {
-            self.occupied += 1;
-        }
-        self.keys[i] = key;
-        self.vals[i] = val;
-    }
-
-    fn erase(&mut self, b: usize, s: usize) {
-        let i = b * MK_BUCKET_SLOTS + s;
-        debug_assert_ne!(self.keys[i], EMPTY_KEY);
-        self.keys[i] = EMPTY_KEY;
-        self.occupied -= 1;
-    }
-
-    fn capacity_slots(&self) -> u64 {
-        (self.n_buckets * MK_BUCKET_SLOTS) as u64
-    }
-
-    /// Key line + value line per bucket plus a lock word.
-    fn device_bytes(&self) -> u64 {
-        (self.n_buckets * (MK_BUCKET_SLOTS * 8 + 4)) as u64
-    }
-
-    fn iter_live(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.keys
-            .iter()
-            .zip(self.vals.iter())
-            .filter(|(&k, _)| k != EMPTY_KEY)
-            .map(|(&k, &v)| (k, v))
-    }
-}
+/// One of MegaKV's two subtables: an engine bucket store over 32-bit words.
+type MkTable = BucketStore<u32, u32>;
 
 /// The MegaKV baseline.
 pub struct MegaKv {
     tables: Vec<MkTable>,
     hashes: Vec<UniversalHash>,
+    layout: LayoutConfig,
     bounds: Option<ResizeBounds>,
     eviction_limit: u32,
     seed: u64,
@@ -157,6 +91,7 @@ struct MkOutcome {
 struct MkInsertKernel<'a> {
     tables: &'a mut [MkTable],
     hashes: &'a [UniversalHash],
+    layout: LayoutConfig,
     eviction_limit: u32,
     seed: u64,
     out: MkOutcome,
@@ -168,14 +103,14 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
             return StepOutcome::Done;
         };
         let t = op.target;
-        let b = self.hashes[t].bucket(op.key, self.tables[t].n_buckets);
+        let b = self.hashes[t].bucket(op.key, self.tables[t].n_buckets());
         // No voter: spin on the same bucket until the lock is acquired.
         if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
             return StepOutcome::Pending;
         }
-        ctx.read_bucket();
+        self.layout.charge_probe(ctx);
         let other = 1 - t;
-        let ob = self.hashes[other].bucket(op.key, self.tables[other].n_buckets);
+        let ob = self.hashes[other].bucket(op.key, self.tables[other].n_buckets());
         if let Some(slot) = self.tables[t].find_slot(b, op.key) {
             if op.in_flight {
                 // The resident copy was written after this KV was kicked:
@@ -184,15 +119,15 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
                 // resurrection the exploration harness found.
                 warp.cur += 1;
             } else {
-                self.tables[t].write(b, slot, op.key, op.val);
-                ctx.write_line(); // value line only
+                self.tables[t].update_val(b, slot, op.val);
+                self.layout.charge_value_write(ctx);
                 self.out.updated += 1;
                 warp.cur += 1;
             }
         } else {
             // Alternate-bucket duplicate probe: without it, a key resident
             // in the other table gets a second, shadowing copy here.
-            ctx.read_bucket();
+            self.layout.charge_probe(ctx);
             if self.tables[other].find_slot(ob, op.key).is_some() {
                 if op.in_flight {
                     // Same staleness argument as above.
@@ -203,9 +138,8 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
                     warp.ops[warp.cur].target = other;
                 }
             } else if let Some(slot) = self.tables[t].find_empty(b) {
-                self.tables[t].write(b, slot, op.key, op.val);
-                ctx.write_line(); // key line
-                ctx.write_line(); // value line
+                self.tables[t].write_new(b, slot, op.key, op.val);
+                self.layout.charge_kv_write(ctx);
                 self.out.inserted += 1;
                 warp.cur += 1;
             } else if op.target == 0 && op.evictions == 0 {
@@ -214,13 +148,11 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
             } else {
                 // Evict a pseudo-random victim and continue its chain in the
                 // other table.
-                let slot =
-                    (splitmix64(self.seed ^ op.key as u64 ^ (op.evictions as u64) << 32) as usize)
-                        % MK_BUCKET_SLOTS;
-                let (ek, ev) = self.tables[t].slot(b, slot);
-                self.tables[t].write(b, slot, op.key, op.val);
-                ctx.write_line(); // key line
-                ctx.write_line(); // value line
+                let slot = (splitmix64(self.seed ^ op.key as u64 ^ (op.evictions as u64) << 32)
+                    as usize)
+                    % self.layout.slots;
+                let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
+                self.layout.charge_kv_write(ctx);
                 ctx.metrics.evictions += 1;
                 let cur = &mut warp.ops[warp.cur];
                 cur.key = ek;
@@ -251,14 +183,35 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
 
 impl MegaKv {
     /// Create a MegaKV table with `buckets_per_table` buckets in each of its
-    /// two subtables.
+    /// two subtables, under the paper's default layout.
     pub fn new(
         buckets_per_table: usize,
         bounds: Option<ResizeBounds>,
         seed: u64,
         sim: &mut SimContext,
     ) -> Result<Self> {
-        let tables = vec![MkTable::new(buckets_per_table), MkTable::new(buckets_per_table)];
+        Self::with_layout(
+            buckets_per_table,
+            bounds,
+            seed,
+            LayoutConfig::default(),
+            sim,
+        )
+    }
+
+    /// Create a MegaKV table under an explicit bucket layout.
+    pub fn with_layout(
+        buckets_per_table: usize,
+        bounds: Option<ResizeBounds>,
+        seed: u64,
+        layout: LayoutConfig,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        layout.validate().map_err(TableError::Core)?;
+        let tables = vec![
+            MkTable::new(buckets_per_table, layout),
+            MkTable::new(buckets_per_table, layout),
+        ];
         for t in &tables {
             sim.device.alloc(t.device_bytes())?;
         }
@@ -269,6 +222,7 @@ impl MegaKv {
         Ok(Self {
             tables,
             hashes,
+            layout,
             bounds,
             eviction_limit: 64,
             seed,
@@ -284,14 +238,15 @@ impl MegaKv {
         seed: u64,
         sim: &mut SimContext,
     ) -> Result<Self> {
-        // Mixed n/2n sizing (like DyCuckoo's) so the realized capacity
-        // tracks the requested budget tightly; MK_BUCKET_SLOTS equals
-        // dycuckoo's bucket width, so the helper applies directly.
-        let sizes = dycuckoo::mixed_bucket_sizes(items, 2, target_fill);
-        let mut t = Self::new(sizes[0], bounds, seed, sim)?;
+        // Mixed n/2n sizing via the engine's shared helper (the same one
+        // DyCuckoo's `with_capacity` uses), parameterized by the layout's
+        // bucket width.
+        let layout = LayoutConfig::default();
+        let sizes = gpu_sim::engine::mixed_bucket_sizes(items, 2, target_fill, layout.slots);
+        let mut t = Self::with_layout(sizes[0], bounds, seed, layout, sim)?;
         if sizes[1] != sizes[0] {
             sim.device.free(t.tables[1].device_bytes())?;
-            let fresh = MkTable::new(sizes[1]);
+            let fresh = MkTable::new(sizes[1], layout);
             sim.device.alloc(fresh.device_bytes())?;
             t.tables[1] = fresh;
         }
@@ -311,6 +266,7 @@ impl MegaKv {
         let mut kernel = MkInsertKernel {
             tables: &mut self.tables,
             hashes: &self.hashes,
+            layout: self.layout,
             eviction_limit: self.eviction_limit,
             seed: self.seed,
             out: MkOutcome::default(),
@@ -323,14 +279,18 @@ impl MegaKv {
     /// only resizing strategy. Old and new tables coexist while the rehash
     /// runs, which is visible in the device's peak-memory accounting.
     fn rehash_to(&mut self, sim: &mut SimContext, new_buckets: usize) -> Result<()> {
-        // Drain all live KVs (one line read per bucket).
+        let drain = self.layout.drain_lines();
+        // Drain all live KVs (the layout's drain lines per bucket).
         let mut live: Vec<(u32, u32)> = Vec::with_capacity(self.len() as usize);
         for t in &self.tables {
-            sim.metrics.read_transactions += 2 * t.n_buckets as u64;
+            sim.metrics.read_transactions += drain * t.n_buckets() as u64;
             live.extend(t.iter_live());
         }
         let old_bytes: u64 = self.tables.iter().map(|t| t.device_bytes()).sum();
-        let fresh = vec![MkTable::new(new_buckets), MkTable::new(new_buckets)];
+        let fresh = vec![
+            MkTable::new(new_buckets, self.layout),
+            MkTable::new(new_buckets, self.layout),
+        ];
         for t in &fresh {
             sim.device.alloc(t.device_bytes())?;
         }
@@ -378,14 +338,18 @@ impl MegaKv {
     /// Failure recovery inside `rehash_to`: move the current (partially
     /// filled) tables into doubled ones.
     fn grow_in_place(&mut self, sim: &mut SimContext) -> Result<()> {
-        let new_buckets = self.tables[0].n_buckets * 2;
+        let new_buckets = self.tables[0].n_buckets() * 2;
+        let drain = self.layout.drain_lines();
         let mut live: Vec<(u32, u32)> = Vec::new();
         for t in &self.tables {
-            sim.metrics.read_transactions += 2 * t.n_buckets as u64;
+            sim.metrics.read_transactions += drain * t.n_buckets() as u64;
             live.extend(t.iter_live());
         }
         let old_bytes: u64 = self.tables.iter().map(|t| t.device_bytes()).sum();
-        let fresh = vec![MkTable::new(new_buckets), MkTable::new(new_buckets)];
+        let fresh = vec![
+            MkTable::new(new_buckets, self.layout),
+            MkTable::new(new_buckets, self.layout),
+        ];
         for t in &fresh {
             sim.device.alloc(t.device_bytes())?;
         }
@@ -416,7 +380,7 @@ impl MegaKv {
         };
         loop {
             let fill = self.fill_factor();
-            let n = self.tables[0].n_buckets;
+            let n = self.tables[0].n_buckets();
             if fill > bounds.beta {
                 self.rehash_to(sim, n * 2)?;
             } else if fill < bounds.alpha && n > 1 {
@@ -463,7 +427,7 @@ impl GpuHashTable for MegaKv {
             }
             // Insertion failure triggers the resize strategy: double + full
             // rehash, then retry the failed ops.
-            let n = self.tables[0].n_buckets;
+            let n = self.tables[0].n_buckets();
             self.rehash_to(sim, n * 2)?;
             let retry: Vec<MkOp> = out
                 .failed
@@ -486,6 +450,8 @@ impl GpuHashTable for MegaKv {
 
     fn find_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
         let metrics = &mut sim.metrics;
+        let probe = self.layout.probe_lines();
+        let value_read = self.layout.value_read_lines();
         let mut results = Vec::with_capacity(keys.len());
         let mut rounds: u64 = 0;
         for chunk in keys.chunks(WARP_SIZE) {
@@ -493,13 +459,13 @@ impl GpuHashTable for MegaKv {
             for &key in chunk {
                 let mut found = None;
                 for t in 0..2 {
-                    let b = self.hashes[t].bucket(key, self.tables[t].n_buckets);
-                    metrics.read_transactions += 1;
+                    let b = self.hashes[t].bucket(key, self.tables[t].n_buckets());
+                    metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
                     if let Some(slot) = self.tables[t].find_slot(b, key) {
-                        metrics.read_transactions += 1; // value line
-                        found = Some(self.tables[t].slot(b, slot).1);
+                        metrics.read_transactions += value_read;
+                        found = Some(self.tables[t].bucket_vals(b)[slot]);
                         break;
                     }
                 }
@@ -515,18 +481,20 @@ impl GpuHashTable for MegaKv {
     fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64> {
         let mut deleted = 0u64;
         let metrics = &mut sim.metrics;
+        let probe = self.layout.probe_lines();
+        let key_write = self.layout.key_write_lines();
         let mut rounds: u64 = 0;
         for chunk in keys.chunks(WARP_SIZE) {
             let mut warp_rounds = 0u64;
             for &key in chunk {
                 for t in 0..2 {
-                    let b = self.hashes[t].bucket(key, self.tables[t].n_buckets);
-                    metrics.read_transactions += 1;
+                    let b = self.hashes[t].bucket(key, self.tables[t].n_buckets());
+                    metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
                     if let Some(slot) = self.tables[t].find_slot(b, key) {
                         self.tables[t].erase(b, slot);
-                        metrics.write_transactions += 1;
+                        metrics.write_transactions += key_write;
                         deleted += 1;
                         break;
                     }
@@ -541,7 +509,7 @@ impl GpuHashTable for MegaKv {
     }
 
     fn len(&self) -> u64 {
-        self.tables.iter().map(|t| t.occupied).sum()
+        self.tables.iter().map(|t| t.occupied()).sum()
     }
 
     fn capacity_slots(&self) -> u64 {
@@ -656,5 +624,29 @@ mod tests {
         // The paper's port of MegaKV shares DyCuckoo's key-only bucket
         // layout: 32 keys per 128-byte line.
         assert_eq!(MK_BUCKET_SLOTS, dycuckoo::BUCKET_SLOTS);
+    }
+
+    #[test]
+    fn aos_layout_agrees_with_soa() {
+        let mut sim_a = sim();
+        let mut sim_b = sim();
+        let mut soa = MegaKv::new(16, None, 1, &mut sim_a).unwrap();
+        let mut aos = MegaKv::with_layout(
+            16,
+            None,
+            1,
+            LayoutConfig::aos(MK_BUCKET_SLOTS, 4, 4),
+            &mut sim_b,
+        )
+        .unwrap();
+        let kvs: Vec<(u32, u32)> = (1..=400u32).map(|k| (k, k * 3)).collect();
+        soa.insert_batch(&mut sim_a, &kvs).unwrap();
+        aos.insert_batch(&mut sim_b, &kvs).unwrap();
+        assert_eq!(soa.len(), aos.len());
+        let keys: Vec<u32> = (1..=400).collect();
+        assert_eq!(
+            soa.find_batch(&mut sim_a, &keys),
+            aos.find_batch(&mut sim_b, &keys)
+        );
     }
 }

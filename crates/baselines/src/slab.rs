@@ -16,7 +16,8 @@
 //!   128-byte transaction — the `Ω(log log m)`-tail the paper mentions.
 
 use gpu_sim::{
-    run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome, WARP_SIZE,
+    run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, SlotStore, StepOutcome,
+    WARP_SIZE,
 };
 
 use dycuckoo::hashfn::UniversalHash;
@@ -42,12 +43,12 @@ const ALLOC_SPACE: u32 = 200;
 /// Conflict address space of slot-claim atomics.
 const SLOT_SPACE: u32 = 201;
 
-/// The SlabHash baseline.
+/// The SlabHash baseline. The slab pool is a flat engine [`SlotStore`]
+/// (`SLAB_SLOTS` consecutive slots per slab) plus a next-pointer array.
 pub struct SlabHash {
     n_buckets: usize,
     heads: Vec<u32>,
-    slab_keys: Vec<u32>,
-    slab_vals: Vec<u32>,
+    slabs: SlotStore<u32, u32>,
     slab_next: Vec<u32>,
     /// Slabs handed out by the allocator.
     allocated_slabs: usize,
@@ -69,8 +70,7 @@ impl SlabHash {
         let mut t = Self {
             n_buckets,
             heads: (0..n_buckets as u32).collect(),
-            slab_keys: Vec::new(),
-            slab_vals: Vec::new(),
+            slabs: SlotStore::new(0),
             slab_next: Vec::new(),
             allocated_slabs: n_buckets,
             pool_slabs,
@@ -105,8 +105,7 @@ impl SlabHash {
     }
 
     fn reserve_slab_storage(&mut self, slabs: usize) {
-        self.slab_keys.resize(slabs * SLAB_SLOTS, EMPTY);
-        self.slab_vals.resize(slabs * SLAB_SLOTS, 0);
+        self.slabs.grow(slabs * SLAB_SLOTS);
         self.slab_next.resize(slabs, NIL);
     }
 
@@ -116,7 +115,7 @@ impl SlabHash {
 
     fn slab_keys_of(&self, slab: u32) -> &[u32] {
         let s = slab as usize * SLAB_SLOTS;
-        &self.slab_keys[s..s + SLAB_SLOTS]
+        self.slabs.keys_in(s..s + SLAB_SLOTS)
     }
 
     /// Allocate a slab from the pool, growing the pool by a chunk (device
@@ -231,7 +230,9 @@ fn run_slab_insert(
                 // Update in place.
                 ctx.raw_atomic(SLOT_SPACE, slab as usize * SLAB_SLOTS + slot);
                 ctx.write_line();
-                table.slab_vals[slab as usize * SLAB_SLOTS + slot] = op.val;
+                table
+                    .slabs
+                    .set_val(slab as usize * SLAB_SLOTS + slot, op.val);
                 updated += 1;
                 warp.cur += 1;
                 warp.slab = NIL;
@@ -268,14 +269,13 @@ fn run_slab_insert(
                     // taken by another warp since we scanned it — on a
                     // failed claim, restart the op's traversal.
                     ctx.raw_atomic(SLOT_SPACE, idx);
-                    let current = table.slab_keys[idx];
+                    let current = table.slabs.key(idx);
                     if current != EMPTY && current != TOMB {
                         warp.free = None;
                         warp.slab = NIL;
                     } else {
                         ctx.write_line(); // KV shares the slab line
-                        table.slab_keys[idx] = op.key;
-                        table.slab_vals[idx] = op.val;
+                        table.slabs.exchange(idx, op.key, op.val);
                         if was_tomb && current == TOMB {
                             table.tombstones -= 1;
                         }
@@ -329,7 +329,7 @@ impl RoundKernel<SlabProbeWarp> for SlabFindKernel<'_> {
         if let Some(slot) = keys.iter().position(|&k| k == key) {
             // Values share the slab line: no extra transaction.
             self.results[warp.out_base + warp.cur] =
-                Some(self.table.slab_vals[slab as usize * SLAB_SLOTS + slot]);
+                Some(self.table.slabs.val(slab as usize * SLAB_SLOTS + slot));
             warp.cur += 1;
             warp.slab = NIL;
         } else {
@@ -371,7 +371,7 @@ impl RoundKernel<SlabProbeWarp> for SlabDeleteKernel<'_> {
         if let Some(slot) = keys.iter().position(|&k| k == key) {
             // Symbolic deletion: tombstone the slot; memory is not freed.
             let idx = slab as usize * SLAB_SLOTS + slot;
-            self.table.slab_keys[idx] = TOMB;
+            self.table.slabs.set_key(idx, TOMB);
             ctx.write_line();
             self.table.live -= 1;
             self.table.tombstones += 1;
@@ -573,7 +573,9 @@ mod tests {
         let mut t = SlabHash::new(1, 5, &mut sim).unwrap();
         let initial_pool = t.pool_slabs;
         // Push enough keys into one bucket-space to exceed the pool.
-        let kvs: Vec<(u32, u32)> = (1..=(initial_pool as u32 + 10) * 32).map(|k| (k, k)).collect();
+        let kvs: Vec<(u32, u32)> = (1..=(initial_pool as u32 + 10) * 32)
+            .map(|k| (k, k))
+            .collect();
         t.insert_batch(&mut sim, &kvs).unwrap();
         assert!(t.pool_slabs > initial_pool);
         assert_eq!(t.pool_slabs % POOL_CHUNK, 0);

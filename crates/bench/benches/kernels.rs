@@ -112,7 +112,10 @@ fn bench_delete(c: &mut Criterion) {
 fn bench_resize(c: &mut Criterion) {
     let kvs = keyset(4);
     let mut g = c.benchmark_group("resize_one_subtable");
-    for (name, grow, fill) in [("upsize_at_0.85", true, 0.85), ("downsize_at_0.30", false, 0.30)] {
+    for (name, grow, fill) in [
+        ("upsize_at_0.85", true, 0.85),
+        ("downsize_at_0.30", false, 0.30),
+    ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let mut sim = SimContext::new();

@@ -57,7 +57,9 @@ fn main() {
         let (_, hit) = measure(&mut sim, |sim| {
             table.find_batch(sim, &keys[..50_000]);
         });
-        let misses: Vec<u32> = unique_keys(seed ^ 0xDEAD, 50_000).map(|k| k | 1 << 31).collect();
+        let misses: Vec<u32> = unique_keys(seed ^ 0xDEAD, 50_000)
+            .map(|k| k | 1 << 31)
+            .collect();
         let (_, miss) = measure(&mut sim, |sim| {
             table.find_batch(sim, &misses);
         });

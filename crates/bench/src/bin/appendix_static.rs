@@ -15,7 +15,10 @@ use workloads::dataset_by_name;
 fn main() {
     let scale = scale();
     let seed = seed();
-    let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
+    let ds = dataset_by_name("RAND")
+        .unwrap()
+        .scaled(scale)
+        .generate(seed);
     let n_queries = (1_000_000.0 * scale).round() as usize;
     println!(
         "Appendix: static θ sweep incl. Linear (RAND, {} pairs, scale={scale})",

@@ -10,7 +10,13 @@ fn main() {
     let batch = 5000;
     let w = DynamicWorkload::build(&ds, batch, 0.2, 7);
     let mut sim = SimContext::new();
-    let cfg = Config { alpha: 0.3, beta: 0.85, initial_buckets: 64, dup_policy: DupPolicy::PaperInsert, ..Config::default() };
+    let cfg = Config {
+        alpha: 0.3,
+        beta: 0.85,
+        initial_buckets: 64,
+        dup_policy: DupPolicy::PaperInsert,
+        ..Config::default()
+    };
     let mut t = DyCuckooTable::new(cfg, &mut sim).unwrap();
     let mut last_ev = 0u64;
     let mut last_fail = 0u64;
@@ -20,9 +26,12 @@ fn main() {
         t.delete_batch(&mut sim, &b.deletes).unwrap();
         let m = &sim.metrics;
         if i % 5 == 0 || i < 12 {
-            println!("batch {i:3} fill {:5.3} evict/ins {:6.3} lockfail delta {:8}", t.fill_factor(),
+            println!(
+                "batch {i:3} fill {:5.3} evict/ins {:6.3} lockfail delta {:8}",
+                t.fill_factor(),
                 (m.evictions - last_ev) as f64 / b.inserts.len().max(1) as f64,
-                m.lock_failures - last_fail);
+                m.lock_failures - last_fail
+            );
         }
         last_ev = m.evictions;
         last_fail = m.lock_failures;

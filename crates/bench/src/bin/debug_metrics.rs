@@ -14,7 +14,12 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "COM".into());
     let scale = bench::scale();
     let ds = dataset_by_name(&name).unwrap().scaled(scale).generate(1);
-    println!("{} scaled: {} pairs, {} unique", name, ds.len(), ds.unique_keys);
+    println!(
+        "{} scaled: {} pairs, {} unique",
+        name,
+        ds.len(),
+        ds.unique_keys
+    );
     let mut runs = Vec::new();
     for scheme in Scheme::static_set() {
         let mut sim = SimContext::new();
@@ -22,14 +27,22 @@ fn main() {
         let r = run_static(t.as_mut(), &mut sim, &ds, 1000, 7);
         r.insert.metrics.register_into(
             tel.registry(),
-            &[("figure", "debug_metrics"), ("kernel", "insert"), ("scheme", scheme.label())],
+            &[
+                ("figure", "debug_metrics"),
+                ("kernel", "insert"),
+                ("scheme", scheme.label()),
+            ],
         );
         runs.push((scheme, CostModel::new(sim.device.config()), r.insert.mops));
     }
     // Report from the registry, not the raw measurement: what the unified
     // snapshot holds is what gets printed.
     for (scheme, model, mops) in runs {
-        let labels = [("figure", "debug_metrics"), ("kernel", "insert"), ("scheme", scheme.label())];
+        let labels = [
+            ("figure", "debug_metrics"),
+            ("kernel", "insert"),
+            ("scheme", scheme.label()),
+        ];
         let m = metrics_from_registry(tel.registry(), &labels);
         println!(
             "{:<9} ins {:7.1} Mops | mem {:9.0} atomic {:9.0} issue {:9.0} ns | coal {} rand {} atomics {} serial {} rounds {} evict {} lockfail {}",

@@ -36,7 +36,15 @@ fn main() {
         // θ series, downsampled to at most ~20 rows.
         let n_batches = w.batches.len();
         let step = (n_batches / 20).max(1);
-        let mut t = Table::new(&["batch", "MegaKV θ", "Slab θ", "DyCuckoo θ", "MegaKV MiB", "Slab MiB", "DyCuckoo MiB"]);
+        let mut t = Table::new(&[
+            "batch",
+            "MegaKV θ",
+            "Slab θ",
+            "DyCuckoo θ",
+            "MegaKV MiB",
+            "Slab MiB",
+            "DyCuckoo MiB",
+        ]);
         for b in (0..n_batches).step_by(step) {
             t.row(vec![
                 b.to_string(),
@@ -50,8 +58,7 @@ fn main() {
         }
         t.print(&format!(
             "Figure 11 [{}]: filled factor and memory per batch (phase 2 starts at batch {})",
-            spec.name,
-            w.phase1_len
+            spec.name, w.phase1_len
         ));
 
         // Memory-saving headline: true device high-water mark (including

@@ -31,6 +31,9 @@ fn main() {
             }
             t.row(row);
         }
-        t.print(&format!("Figure 12 [{}]: overall Mops vs batch size", spec.name));
+        t.print(&format!(
+            "Figure 12 [{}]: overall Mops vs batch size",
+            spec.name
+        ));
     }
 }

@@ -20,9 +20,7 @@ fn main() {
     let seed = seed();
     let batch = ((1_000_000.0 * scale).round() as usize).max(1000);
     let alpha = 0.20;
-    println!(
-        "Figure 14: dynamic throughput vs β (α={alpha}, r=0.2, batch={batch}, scale={scale})"
-    );
+    println!("Figure 14: dynamic throughput vs β (α={alpha}, r=0.2, batch={batch}, scale={scale})");
 
     for spec in paper_datasets() {
         let ds = spec.scaled(scale).generate(seed);

@@ -7,10 +7,10 @@
 //! diminishing returns; find throughput stays flat because the two-layer
 //! scheme always probes at most two buckets.
 
+use baselines::DyCuckooTable;
 use bench::driver::{run_static, Scheme};
 use bench::report::{fmt_mops, Table};
 use bench::{scale, seed};
-use baselines::DyCuckooTable;
 use dycuckoo::{Config, DupPolicy};
 use gpu_sim::SimContext;
 use workloads::dataset_by_name;
@@ -19,7 +19,10 @@ fn main() {
     let scale = scale();
     let seed = seed();
     let theta = 0.85;
-    let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
+    let ds = dataset_by_name("RAND")
+        .unwrap()
+        .scaled(scale)
+        .generate(seed);
     let n_queries = (1_000_000.0 * scale).round() as usize;
     println!(
         "Figure 6: DyCuckoo throughput vs number of subtables (RAND, {} pairs, θ={theta})",

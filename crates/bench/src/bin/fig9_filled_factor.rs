@@ -19,7 +19,10 @@ fn main() {
     let mut tel = Telemetry::from_env();
     let scale = scale();
     let seed = seed();
-    let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
+    let ds = dataset_by_name("RAND")
+        .unwrap()
+        .scaled(scale)
+        .generate(seed);
     let n_queries = (1_000_000.0 * scale).round() as usize;
     println!(
         "Figure 9: static throughput vs filled factor θ (RAND, {} pairs)",
@@ -48,7 +51,9 @@ fn main() {
             r.insert
                 .metrics
                 .register_into(tel.registry(), &labels("insert"));
-            r.find.metrics.register_into(tel.registry(), &labels("find"));
+            r.find
+                .metrics
+                .register_into(tel.registry(), &labels("find"));
             ins.push(fmt_mops(r.insert.mops));
             fnd.push(fmt_mops(r.find.mops));
         }

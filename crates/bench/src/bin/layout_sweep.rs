@@ -1,0 +1,125 @@
+//! **Layout sweep** — throughput × filled factor × memory transactions for
+//! every bucket layout the engine supports (scheme × width), on the
+//! fig9/fig11-style dynamic workload (RAND, r = 0.2).
+//!
+//! The paper fixes one layout: split arrays with 32 four-byte slots per
+//! bucket, so one bucket probe is exactly one coalesced transaction. The
+//! engine (`gpu_sim::engine::layout`) makes that a parameter; this sweep
+//! re-runs the *same logical execution* under each layout and reports what
+//! the memory system sees. Expected shape:
+//!
+//! * `soa32` (default) — the paper's numbers, bit-for-bit.
+//! * `soa16` / `soa8` — narrower buckets still probe in one line, but hold
+//!   fewer keys, so θ pressure triggers earlier resizes.
+//! * `aos16` / `aos8` — an interleaved bucket ≤ one cache line makes the
+//!   value arrive with the probe (no second read) and a KV write touch one
+//!   line instead of two: **fewer total transactions than the default**.
+//! * `aos32` — 256-byte interleaved buckets straddle two lines; every probe
+//!   pays double. The sweep shows why the paper did not pick this.
+
+use baselines::{DyCuckooTable, GpuHashTable};
+use bench::driver::run_batch;
+use bench::report::{fmt_mops, fmt_pct, Table};
+use bench::telemetry::Telemetry;
+use bench::{measure, scale, seed};
+use dycuckoo::{Config, DupPolicy};
+use gpu_sim::{LayoutConfig, Metrics, SimContext};
+use workloads::{dataset_by_name, DynamicWorkload};
+
+/// The swept layouts: both schemes at every supported bucket width.
+fn sweep_set() -> Vec<LayoutConfig> {
+    ["soa32", "soa16", "soa8", "aos32", "aos16", "aos8"]
+        .iter()
+        .map(|s| LayoutConfig::parse(s, 4, 4).expect("valid layout spec"))
+        .collect()
+}
+
+fn main() {
+    let mut tel = Telemetry::from_env();
+    let scale = scale();
+    let seed = seed();
+    let batch = ((100_000.0 * scale).round() as usize).max(1000);
+    let ds = dataset_by_name("RAND")
+        .unwrap()
+        .scaled(scale)
+        .generate(seed);
+    let w = DynamicWorkload::build(&ds, batch, 0.2, seed);
+    let n_ops: u64 = w
+        .batches
+        .iter()
+        .map(|b| (b.inserts.len() + b.finds.len() + b.deletes.len()) as u64)
+        .sum();
+    println!(
+        "Layout sweep: DyCuckoo on the dynamic workload (RAND, r=0.2, {} batches, {} ops)",
+        w.batches.len(),
+        n_ops
+    );
+
+    let mut t = Table::new(&[
+        "layout", "Mops", "final θ", "reads", "writes", "total tx", "vs soa32",
+    ]);
+    let mut default_tx: Option<u64> = None;
+    let mut best: Option<(String, u64)> = None;
+    for layout in sweep_set() {
+        let spec = layout.spec();
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            seed,
+            initial_buckets: 64,
+            dup_policy: DupPolicy::PaperInsert,
+            layout,
+            ..Config::default()
+        };
+        let mut table = DyCuckooTable::new(cfg, &mut sim).expect("DyCuckoo construction");
+        let mut total = Metrics::default();
+        let mut total_ns = 0.0;
+        for b in &w.batches {
+            let (_, m) = measure(&mut sim, |sim| run_batch(&mut table, sim, b));
+            total.merge(&m.metrics);
+            total_ns += m.ns;
+        }
+        let tx = total.transactions();
+        total.register_into(
+            tel.registry(),
+            &[("figure", "layout_sweep"), ("layout", spec.as_str())],
+        );
+        if spec == "soa32" {
+            default_tx = Some(tx);
+        } else if best.as_ref().is_none_or(|(_, b)| tx < *b) {
+            best = Some((spec.clone(), tx));
+        }
+        let vs = match default_tx {
+            Some(d) if d > 0 => format!("{:+.1}%", (tx as f64 / d as f64 - 1.0) * 100.0),
+            _ => "—".to_string(),
+        };
+        t.row(vec![
+            spec,
+            fmt_mops(if total_ns > 0.0 {
+                total.ops as f64 / total_ns * 1e3
+            } else {
+                0.0
+            }),
+            fmt_pct(table.fill_factor()),
+            total.read_transactions.to_string(),
+            total.write_transactions.to_string(),
+            tx.to_string(),
+            vs,
+        ]);
+    }
+    t.print("Layout sweep: Mops × filled factor × memory transactions per layout");
+
+    // Headline for the abstraction's payoff: at least one non-default layout
+    // must beat the paper's on total simulated memory traffic.
+    let d = default_tx.expect("default layout ran");
+    let (best_spec, best_tx) = best.expect("non-default layouts ran");
+    println!(
+        "\nBest non-default layout: {best_spec} with {best_tx} transactions \
+         ({:+.1}% vs the paper's soa32 at {d})",
+        (best_tx as f64 / d as f64 - 1.0) * 100.0
+    );
+    assert!(
+        best_tx < d,
+        "expected a non-default layout to issue fewer transactions than soa32"
+    );
+    tel.finish();
+}

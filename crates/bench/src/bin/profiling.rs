@@ -26,7 +26,10 @@ fn main() {
     let mut tel = Telemetry::from_env();
     let scale = scale();
     let seed = seed();
-    let ds = dataset_by_name("RAND").unwrap().scaled(scale).generate(seed);
+    let ds = dataset_by_name("RAND")
+        .unwrap()
+        .scaled(scale)
+        .generate(seed);
     println!(
         "Profiling: INSERT kernel behaviour (RAND, {} pairs, θ=85%)",
         ds.len()
@@ -38,7 +41,11 @@ fn main() {
         let r = run_static(table.as_mut(), &mut sim, &ds, 0, seed);
         r.insert.metrics.register_into(
             tel.registry(),
-            &[("figure", "profiling"), ("kernel", "insert"), ("scheme", scheme.label())],
+            &[
+                ("figure", "profiling"),
+                ("kernel", "insert"),
+                ("scheme", scheme.label()),
+            ],
         );
     }
 
@@ -53,7 +60,11 @@ fn main() {
         "evictions/op",
     ]);
     for scheme in Scheme::static_set() {
-        let labels = [("figure", "profiling"), ("kernel", "insert"), ("scheme", scheme.label())];
+        let labels = [
+            ("figure", "profiling"),
+            ("kernel", "insert"),
+            ("scheme", scheme.label()),
+        ];
         let m = metrics_from_registry(tel.registry(), &labels);
         let total_mem = m.transactions() + m.random_transactions() + m.dependent_read_transactions;
         // Productive steps ≈ one per op completion event; lock failures are

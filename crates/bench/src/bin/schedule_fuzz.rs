@@ -14,7 +14,7 @@
 //!
 //! ```text
 //! schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]
-//!               [--inject-lock-elision] [--expect-violations]
+//!               [--layout SPEC] [--inject-lock-elision] [--expect-violations]
 //!               [--out DIR] [--budget-secs S] [--replay FILE]
 //! ```
 //!
@@ -23,6 +23,9 @@
 //!   explicit list (then every seed runs under every listed policy).
 //! * `--targets` — comma-separated subset of
 //!   `dycuckoo,wide,megakv,slab,linear,cudpp,service` (default: all).
+//! * `--layout SPEC` — bucket layout (`soa32`, `aos16`, ...) for the
+//!   targets that sweep it (default `soa32`, the paper's). The oracle is
+//!   layout-blind: any layout must produce reference-identical results.
 //! * `--inject-lock-elision` — plant the known lock-elision bug in the
 //!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
 //!   `--expect-violations` to prove the oracle catches and shrinks it.
@@ -38,7 +41,7 @@ use std::process::ExitCode;
 
 use bench::fuzz::{gen_ops, run_case, shrink_case, Case, Repro, Target};
 use gpu_sim::explore::mix64;
-use gpu_sim::SchedulePolicy;
+use gpu_sim::{LayoutConfig, SchedulePolicy};
 
 struct Args {
     seeds: u64,
@@ -46,6 +49,7 @@ struct Args {
     targets: Vec<Target>,
     policies: Option<Vec<SchedulePolicy>>,
     inject: bool,
+    layout: LayoutConfig,
     expect_violations: bool,
     out_dir: String,
     budget_secs: Option<u64>,
@@ -56,7 +60,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("schedule_fuzz: {err}");
     eprintln!(
         "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
-         \x20                    [--inject-lock-elision] [--expect-violations]\n\
+         \x20                    [--layout SPEC] [--inject-lock-elision] [--expect-violations]\n\
          \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
     );
     ExitCode::from(2)
@@ -69,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         targets: Target::ALL.to_vec(),
         policies: None,
         inject: false,
+        layout: LayoutConfig::default(),
         expect_violations: false,
         out_dir: ".".to_string(),
         budget_secs: None,
@@ -76,18 +81,21 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--seeds" => args.seeds = val("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--seeds" => {
+                args.seeds = val("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
             "--ops" => args.ops = val("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
             "--targets" => {
                 let list = val("--targets")?;
                 args.targets = list
                     .split(',')
-                    .map(|n| Target::from_name(n.trim()).ok_or_else(|| format!("unknown target {n:?}")))
+                    .map(|n| {
+                        Target::from_name(n.trim()).ok_or_else(|| format!("unknown target {n:?}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--policies" => {
@@ -102,11 +110,19 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--inject-lock-elision" => args.inject = true,
+            "--layout" => {
+                let spec = val("--layout")?;
+                args.layout = LayoutConfig::parse(&spec, 4, 4)
+                    .ok_or_else(|| format!("unknown layout spec {spec:?}"))?;
+            }
             "--expect-violations" => args.expect_violations = true,
             "--out" => args.out_dir = val("--out")?,
             "--budget-secs" => {
-                args.budget_secs =
-                    Some(val("--budget-secs")?.parse().map_err(|e| format!("--budget-secs: {e}"))?)
+                args.budget_secs = Some(
+                    val("--budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                )
             }
             "--replay" => args.replay = Some(val("--replay")?),
             other => return Err(format!("unknown flag {other:?}")),
@@ -140,7 +156,9 @@ fn replay(path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
         Ok(digest) => {
-            println!("no violation (digest {digest:#018x}) — the recorded bug no longer reproduces");
+            println!(
+                "no violation (digest {digest:#018x}) — the recorded bug no longer reproduces"
+            );
             ExitCode::SUCCESS
         }
     }
@@ -183,6 +201,7 @@ fn main() -> ExitCode {
                     policy,
                     workload_seed: seed,
                     inject_lock_elision: args.inject,
+                    layout: args.layout,
                     ops: gen_ops(seed, args.ops),
                 };
                 cases += 1;
@@ -227,9 +246,7 @@ fn main() -> ExitCode {
     if budget_hit {
         println!("BUDGET exhausted after {total_cases} cases (summary is load-dependent)");
     }
-    println!(
-        "TOTAL cases={total_cases} violations={total_violations} digest={total_digest:#018x}"
-    );
+    println!("TOTAL cases={total_cases} violations={total_violations} digest={total_digest:#018x}");
     let clean = total_violations == 0;
     if args.expect_violations == clean {
         if args.expect_violations {

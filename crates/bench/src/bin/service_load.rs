@@ -65,12 +65,7 @@ struct RunResult {
     mops: f64,
 }
 
-fn run(
-    stream: &RequestStream,
-    svc_cfg: &ServiceConfig,
-    rate: f64,
-    dump_csv: bool,
-) -> RunResult {
+fn run(stream: &RequestStream, svc_cfg: &ServiceConfig, rate: f64, dump_csv: bool) -> RunResult {
     let mut sim = SimContext::new();
     let mut svc = match KvService::new(svc_cfg.clone(), &mut sim) {
         Ok(svc) => svc,
@@ -131,7 +126,10 @@ fn report(label: &str, r: &RunResult) {
     let shed_total = r.shed_overloaded + r.shed_reads;
     let shed_rate = shed_total as f64 / r.offered.max(1) as f64;
     println!("--- {label} ---");
-    println!("  offered        {:>10} requests over {} ticks", r.offered, r.ticks);
+    println!(
+        "  offered        {:>10} requests over {} ticks",
+        r.offered, r.ticks
+    );
     println!("  completed      {:>10}", r.completed);
     println!(
         "  shed           {:>10}  ({:.2}% of offered: {} overloaded, {} reads shed)",
@@ -145,7 +143,10 @@ fn report(label: &str, r: &RunResult) {
     }
     println!("  max queue      {:>10}", r.max_depth);
     println!("  latency ticks        p50 {:>5}   p99 {:>5}", r.p50, r.p99);
-    println!("  table throughput {:>10.2} Mops (simulated kernel time)", r.mops);
+    println!(
+        "  table throughput {:>10.2} Mops (simulated kernel time)",
+        r.mops
+    );
 }
 
 /// Register one run's per-shard and total counters into the unified

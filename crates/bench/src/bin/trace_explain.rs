@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use bench::fuzz::{gen_ops, run_case, Case, Repro, Target};
-use gpu_sim::SchedulePolicy;
+use gpu_sim::{LayoutConfig, SchedulePolicy};
 use obs::{Event, TraceEvent};
 
 struct Args {
@@ -107,8 +107,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn load_case(args: &Args) -> Result<Case, String> {
     if let Some(path) = &args.replay {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let repro = Repro::from_ron(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
         if !repro.violation.is_empty() {
             println!("repro artifact (recorded violation: {})", repro.violation);
@@ -120,6 +119,7 @@ fn load_case(args: &Args) -> Result<Case, String> {
         policy: args.policy.unwrap_or(SchedulePolicy::from_seed(args.seed)),
         workload_seed: args.seed,
         inject_lock_elision: args.inject,
+        layout: LayoutConfig::default(),
         ops: gen_ops(args.seed, args.ops),
     })
 }

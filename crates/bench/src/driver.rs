@@ -40,7 +40,12 @@ impl Scheme {
 
     /// The schemes used in the static comparison (Fig. 8).
     pub fn static_set() -> Vec<Scheme> {
-        vec![Scheme::Cudpp, Scheme::MegaKv, Scheme::Slab, Scheme::DyCuckoo]
+        vec![
+            Scheme::Cudpp,
+            Scheme::MegaKv,
+            Scheme::Slab,
+            Scheme::DyCuckoo,
+        ]
     }
 
     /// The schemes used in the dynamic comparison (CUDPP excluded: no
@@ -76,18 +81,18 @@ pub fn build_static(
                     .expect("DyCuckoo construction"),
             )
         }
-        Scheme::MegaKv => Box::new(
-            MegaKv::with_capacity(items, target_fill, None, seed, sim).expect("MegaKV"),
-        ),
+        Scheme::MegaKv => {
+            Box::new(MegaKv::with_capacity(items, target_fill, None, seed, sim).expect("MegaKV"))
+        }
         Scheme::Slab => {
             Box::new(SlabHash::with_capacity(items, target_fill, seed, sim).expect("SlabHash"))
         }
         Scheme::Cudpp => {
             Box::new(Cudpp::with_capacity(items, target_fill, seed, sim).expect("CUDPP"))
         }
-        Scheme::Linear => Box::new(
-            LinearProbing::with_capacity(items, target_fill, seed, sim).expect("Linear"),
-        ),
+        Scheme::Linear => {
+            Box::new(LinearProbing::with_capacity(items, target_fill, seed, sim).expect("Linear"))
+        }
     }
 }
 

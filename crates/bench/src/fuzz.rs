@@ -34,7 +34,7 @@ use baselines::{
 };
 use dycuckoo::{Config, DupPolicy, WideDyCuckoo};
 use gpu_sim::explore::mix64;
-use gpu_sim::{SchedulePolicy, SimContext};
+use gpu_sim::{LayoutConfig, SchedulePolicy, SimContext};
 use kv_service::{KvService, Op, Reply, ServiceConfig};
 
 /// Which implementation a fuzz case drives.
@@ -109,6 +109,11 @@ pub struct Case {
     pub workload_seed: u64,
     /// Enable the planted lock-elision bug (DyCuckoo targets only).
     pub inject_lock_elision: bool,
+    /// Bucket layout for the targets that support sweeping it (DyCuckoo,
+    /// MegaKV, the service's shard tables; the wide table maps the same
+    /// scheme × width onto its 8-byte words). The word sizes in this field
+    /// are 4/4 — per-target runners substitute their own.
+    pub layout: LayoutConfig,
     /// The operation sequence.
     pub ops: Vec<FuzzOp>,
 }
@@ -307,6 +312,7 @@ fn build_table(case: &Case, sim: &mut SimContext) -> Result<Box<dyn GpuHashTable
                     dup_policy: DupPolicy::Upsert,
                     schedule: case.policy,
                     inject_lock_elision: case.inject_lock_elision,
+                    layout: case.layout,
                     ..Config::default()
                 },
                 sim,
@@ -314,13 +320,14 @@ fn build_table(case: &Case, sim: &mut SimContext) -> Result<Box<dyn GpuHashTable
             .map_err(setup_err)?,
         ),
         Target::MegaKv => Box::new(
-            MegaKv::new(
+            MegaKv::with_layout(
                 8,
                 Some(ResizeBounds {
                     alpha: 0.3,
                     beta: 0.85,
                 }),
                 seed,
+                case.layout,
                 sim,
             )
             .map_err(setup_err)?,
@@ -329,7 +336,9 @@ fn build_table(case: &Case, sim: &mut SimContext) -> Result<Box<dyn GpuHashTable
         Target::LinearProbing => {
             Box::new(LinearProbing::new(16 * 1024, seed, sim).map_err(setup_err)?)
         }
-        Target::Cudpp => Box::new(Cudpp::with_capacity(8 * 1024, 0.4, seed, sim).map_err(setup_err)?),
+        Target::Cudpp => {
+            Box::new(Cudpp::with_capacity(8 * 1024, 0.4, seed, sim).map_err(setup_err)?)
+        }
         Target::WideDyCuckoo | Target::KvService => unreachable!("handled by dedicated runners"),
     };
     table.set_schedule(case.policy);
@@ -418,7 +427,13 @@ fn run_table_case(case: &Case) -> Result<Digest, Violation> {
 
 fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
     let mut sim = SimContext::new();
-    let mut table = WideDyCuckoo::new(4, 4, table_seed(case), &mut sim).map_err(setup_err)?;
+    let wide_layout = LayoutConfig {
+        key_bytes: 8,
+        val_bytes: 8,
+        ..case.layout
+    };
+    let mut table = WideDyCuckoo::with_layout(4, 4, table_seed(case), wide_layout, &mut sim)
+        .map_err(setup_err)?;
     table.set_schedule(case.policy);
     let mut model: HashMap<u64, u64> = HashMap::new();
     // Exercise the 64-bit key space: spread the 32-bit fuzz keys across the
@@ -501,6 +516,7 @@ fn run_service_case(case: &Case) -> Result<Digest, Violation> {
             dup_policy: DupPolicy::Upsert,
             schedule: case.policy,
             inject_lock_elision: case.inject_lock_elision,
+            layout: case.layout,
             ..Config::default()
         },
         max_batch: 16,
@@ -633,12 +649,19 @@ impl Repro {
         out.push_str("(\n");
         out.push_str(&format!("    target: \"{}\",\n", self.case.target.name()));
         out.push_str(&format!("    policy: \"{}\",\n", self.case.policy.spec()));
-        out.push_str(&format!("    workload_seed: {},\n", self.case.workload_seed));
+        out.push_str(&format!(
+            "    workload_seed: {},\n",
+            self.case.workload_seed
+        ));
         out.push_str(&format!(
             "    inject_lock_elision: {},\n",
             self.case.inject_lock_elision
         ));
-        out.push_str(&format!("    violation: \"{}\",\n", escape(&self.violation)));
+        out.push_str(&format!("    layout: \"{}\",\n", self.case.layout.spec()));
+        out.push_str(&format!(
+            "    violation: \"{}\",\n",
+            escape(&self.violation)
+        ));
         out.push_str("    ops: [\n");
         for op in &self.case.ops {
             match *op {
@@ -674,6 +697,11 @@ impl Repro {
         c.expect(',')?;
         c.field("inject_lock_elision")?;
         let inject_lock_elision = c.boolean()?;
+        c.expect(',')?;
+        c.field("layout")?;
+        let layout_spec = c.string()?;
+        let layout = LayoutConfig::parse(&layout_spec, 4, 4)
+            .ok_or_else(|| format!("unknown layout spec {layout_spec:?}"))?;
         c.expect(',')?;
         c.field("violation")?;
         let violation = c.string()?;
@@ -712,6 +740,7 @@ impl Repro {
                 policy,
                 workload_seed,
                 inject_lock_elision,
+                layout,
                 ops,
             },
             violation,
@@ -879,6 +908,7 @@ mod tests {
             policy: SchedulePolicy::FixedOrder,
             workload_seed: 1,
             inject_lock_elision: false,
+            layout: LayoutConfig::default(),
             ops: gen_ops(1, 96),
         };
         let a = run_case(&case).expect("no violation");
@@ -893,6 +923,7 @@ mod tests {
             policy: SchedulePolicy::FixedOrder,
             workload_seed: 3,
             inject_lock_elision: false,
+            layout: LayoutConfig::default(),
             ops: gen_ops(3, 96),
         };
         let rev = Case {
@@ -913,6 +944,7 @@ mod tests {
                 policy: SchedulePolicy::Shuffled { seed: 42 },
                 workload_seed: 9,
                 inject_lock_elision: true,
+                layout: LayoutConfig::default(),
                 ops: vec![FuzzOp::Insert(1, 2), FuzzOp::Find(1), FuzzOp::Delete(1)],
             },
             violation: "find(1) = None, reference says Some(2) — a \"lost\" key\\".to_string(),
@@ -932,6 +964,7 @@ mod tests {
                 policy: SchedulePolicy::FixedOrder,
                 workload_seed: 0,
                 inject_lock_elision: false,
+                layout: LayoutConfig::default(),
                 ops: vec![],
             },
             violation: String::new(),

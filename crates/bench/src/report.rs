@@ -74,7 +74,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -91,7 +98,13 @@ impl Table {
         if let Ok(dir) = std::env::var("REPRO_CSV_DIR") {
             let slug: String = title
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
             if std::fs::create_dir_all(&dir)

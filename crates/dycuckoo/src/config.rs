@@ -1,12 +1,13 @@
 //! Configuration of a [`crate::DyCuckoo`] table.
 
-use gpu_sim::SchedulePolicy;
+use gpu_sim::{LayoutConfig, SchedulePolicy};
 
 use crate::error::Error;
 
-/// Number of key slots per bucket. The paper sizes buckets so that 32
-/// four-byte keys fill one 128-byte cache line, letting one warp probe a
-/// whole bucket with a single coalesced transaction.
+/// Number of key slots per bucket under the default layout. The paper
+/// sizes buckets so that 32 four-byte keys fill one 128-byte cache line,
+/// letting one warp probe a whole bucket with a single coalesced
+/// transaction. Non-default [`Config::layout`] values sweep other widths.
 pub const BUCKET_SLOTS: usize = 32;
 
 /// How duplicate keys are handled by `insert`.
@@ -106,6 +107,12 @@ pub struct Config {
     /// performs. The default fixed order is what the experiment harness
     /// measures; the exploration harness sweeps the other policies.
     pub schedule: SchedulePolicy,
+    /// Bucket memory layout (scheme × width) for every subtable. The
+    /// default — split arrays, 32 four-byte slots — is the paper's layout
+    /// and charges exactly the transaction sequence the original kernels
+    /// did; other layouts re-cost the same logical execution (see
+    /// `gpu_sim::engine::layout`).
+    pub layout: LayoutConfig,
     /// Fault injection for the exploration harness: when set, the insert
     /// kernel skips bucket locking and operates on stale bucket snapshots
     /// (held for a whole kernel launch), recreating the classic "two
@@ -131,6 +138,7 @@ impl Default for Config {
             reroute_before_evict: true,
             stash_capacity: 0,
             schedule: SchedulePolicy::FixedOrder,
+            layout: LayoutConfig::soa(BUCKET_SLOTS, 4, 4),
             inject_lock_elision: false,
         }
     }
@@ -179,6 +187,15 @@ impl Config {
             return Err(Error::InvalidConfig(
                 "eviction_limit must be positive".to_string(),
             ));
+        }
+        if let Err(e) = self.layout.validate() {
+            return Err(Error::InvalidConfig(e));
+        }
+        if self.layout.key_bytes != 4 || self.layout.val_bytes != 4 {
+            return Err(Error::InvalidConfig(format!(
+                "DyCuckoo stores 4-byte keys and values; layout declares {}/{}",
+                self.layout.key_bytes, self.layout.val_bytes
+            )));
         }
         if self.stash_capacity > 4096 {
             return Err(Error::InvalidConfig(format!(
@@ -265,6 +282,25 @@ mod tests {
         let cfg = Config {
             num_tables: 6,
             layering: Layering::DisjointPairs,
+            ..Config::default()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_layouts() {
+        let cfg = Config {
+            layout: LayoutConfig::soa(12, 4, 4),
+            ..Config::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = Config {
+            layout: LayoutConfig::aos(16, 8, 8),
+            ..Config::default()
+        };
+        assert!(cfg.validate().is_err(), "8-byte words are the wide table's");
+        let cfg = Config {
+            layout: LayoutConfig::aos(16, 4, 4),
             ..Config::default()
         };
         cfg.validate().unwrap();

@@ -8,6 +8,8 @@
 //! same rule automatically doubles table `i`'s share of subsequent inserts,
 //! pulling the system back toward balance.
 
+use gpu_sim::engine::{rotated_index, weighted_index};
+
 use crate::config::Distribution;
 use crate::hashfn::splitmix64;
 use crate::subtable::SubTable;
@@ -36,16 +38,9 @@ pub fn choose_among(
     match dist {
         Distribution::Uniform => candidates[(coin % candidates.len() as u64) as usize],
         Distribution::Balanced => {
-            let total: f64 = candidates.iter().map(|&c| weight(&tables[c])).sum();
-            let u = (coin >> 11) as f64 / (1u64 << 53) as f64 * total;
-            let mut acc = 0.0;
-            for &c in candidates {
-                acc += weight(&tables[c]);
-                if u < acc {
-                    return c;
-                }
-            }
-            *candidates.last().unwrap()
+            let weights: Vec<f64> = candidates.iter().map(|&c| weight(&tables[c])).collect();
+            let i = weighted_index(&weights, coin).expect("Theorem-1 weights are positive");
+            candidates[i]
         }
     }
 }
@@ -84,40 +79,18 @@ pub fn choose_victim(
     let coin = splitmix64(seed ^ salt.rotate_left(17) ^ 0xB10C_B10C);
     match dist {
         Distribution::Balanced => {
-            // Weight-proportional sampling over admissible slots. Per-table
-            // weights are cached (at most a handful of distinct tables
-            // appear among a bucket's partners).
+            // Weight the admissible slots by their destination's Theorem-1
+            // weight, then sample via the engine's shared selector
+            // (inadmissible slots carry zero weight).
             let mut weights = [0.0f64; 64];
-            let mut total = 0.0;
             for (s, slot_weight) in weights.iter_mut().enumerate().take(n_slots.min(64)) {
                 if let Some(p) = partner_of(s) {
-                    let w = weight(&tables[p]);
-                    *slot_weight = w;
-                    total += w;
+                    *slot_weight = weight(&tables[p]);
                 }
             }
-            if total == 0.0 {
-                return None;
-            }
-            let u = (coin >> 11) as f64 / (1u64 << 53) as f64 * total;
-            let mut acc = 0.0;
-            for (s, &w) in weights.iter().enumerate().take(n_slots.min(64)) {
-                acc += w;
-                if w > 0.0 && u < acc {
-                    return Some(s);
-                }
-            }
-            // Floating-point tail: last admissible slot.
-            weights[..n_slots.min(64)]
-                .iter()
-                .rposition(|&w| w > 0.0)
+            weighted_index(&weights[..n_slots.min(64)], coin)
         }
-        Distribution::Uniform => {
-            let start = (coin as usize) % n_slots;
-            (0..n_slots)
-                .map(|off| (start + off) % n_slots)
-                .find(|&s| partner_of(s).is_some())
-        }
+        Distribution::Uniform => rotated_index(n_slots, |s| partner_of(s).is_some(), coin),
     }
 }
 
@@ -127,7 +100,7 @@ mod tests {
     use crate::config::BUCKET_SLOTS;
 
     fn table_with(n_buckets: usize, filled: u64) -> SubTable {
-        let mut t = SubTable::new(n_buckets);
+        let mut t = SubTable::new(n_buckets, gpu_sim::LayoutConfig::default());
         let mut written = 0;
         'outer: for b in 0..n_buckets {
             for _ in 0..BUCKET_SLOTS {

@@ -37,7 +37,10 @@ impl std::fmt::Display for Error {
                 write!(f, "resizing did not converge after {iterations} iterations")
             }
             Error::InsertStuck { failed_ops } => {
-                write!(f, "{failed_ops} inserts failed even after repeated upsizing")
+                write!(
+                    f,
+                    "{failed_ops} inserts failed even after repeated upsizing"
+                )
             }
         }
     }

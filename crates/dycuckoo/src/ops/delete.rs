@@ -38,11 +38,11 @@ impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
         let t = cands.get(warp.cand_idx);
         let table = &mut self.tables[t];
         let bucket = self.shape.hashes[t].bucket(key, table.n_buckets());
-        ctx.read_bucket();
+        self.shape.cfg.layout.charge_probe(ctx);
         let mut finished = false;
         if let Some(slot) = table.find_slot(bucket, key) {
             table.erase(bucket, slot);
-            ctx.write_line();
+            self.shape.cfg.layout.charge_key_write(ctx);
             self.deleted += 1;
             warp.erased_cur = true;
             // Keys are unique under Upsert: done with this op. Under

@@ -39,10 +39,10 @@ impl RoundKernel<FindWarp> for FindKernel<'_> {
         let t = cands.get(warp.cand_idx);
         let table = &self.tables[t];
         let bucket = self.shape.hashes[t].bucket(key, table.n_buckets());
-        ctx.read_bucket();
+        self.shape.cfg.layout.charge_probe(ctx);
         if let Some(slot) = table.find_slot(bucket, key) {
-            // Hit: fetch the value line.
-            ctx.read_line();
+            // Hit: fetch the value (free under AoS — it came with the probe).
+            self.shape.cfg.layout.charge_value_read(ctx);
             self.results[warp.out_base + warp.cur] = Some(table.bucket_vals(bucket)[slot]);
             if obs::is_enabled() {
                 obs::emit(obs::Event::OpRetired {

@@ -233,7 +233,7 @@ impl InsertKernel<'_> {
                         let (k, _) = tables_ro[t].slot(b, s);
                         shape.evict_destination(tables_ro, k, t, excluded, salt)
                     },
-                    crate::config::BUCKET_SLOTS,
+                    shape.cfg.layout.slots,
                     shape.cfg.seed,
                     salt,
                 )
@@ -244,7 +244,7 @@ impl InsertKernel<'_> {
                 Distribution::Uniform,
                 self.tables,
                 |_| Some(0),
-                crate::config::BUCKET_SLOTS,
+                shape.cfg.layout.slots,
                 shape.cfg.seed,
                 salt,
             ),
@@ -270,8 +270,7 @@ impl InsertKernel<'_> {
                     return;
                 };
                 let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
-                ctx.write_line(); // key line
-                ctx.write_line(); // value line
+                self.shape.cfg.layout.charge_kv_write(ctx);
                 ctx.metrics.evictions += 1;
                 if obs::is_enabled() {
                     obs::emit(obs::Event::EvictStep {
@@ -323,7 +322,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     for t in self.shape.candidates(op.key).iter() {
                         let table = &self.tables[t];
                         let b = self.shape.hashes[t].bucket(op.key, table.n_buckets());
-                        ctx.read_bucket();
+                        self.shape.cfg.layout.charge_probe(ctx);
                         warp.ops[leader].probes += 1;
                         if table.find_slot(b, op.key).is_some() {
                             found = Some(t);
@@ -357,11 +356,11 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 }
                 // Re-verify under the lock: the key may have been evicted to
                 // another candidate bucket since the optimistic probe.
-                ctx.read_bucket();
+                self.shape.cfg.layout.charge_probe(ctx);
                 warp.ops[leader].probes += 1;
                 if let Some(slot) = self.tables[t].find_slot(b, op.key) {
                     self.tables[t].update_val(b, slot, op.val);
-                    ctx.write_line();
+                    self.shape.cfg.layout.charge_value_write(ctx);
                     self.out.updated += 1;
                     retire(&warp.ops[leader], obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
@@ -391,7 +390,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     // as it was when the kernel first touched it. Two ops
                     // racing for one bucket both see the same "empty" slot;
                     // the later write clobbers the earlier key.
-                    ctx.read_bucket();
+                    self.shape.cfg.layout.charge_probe(ctx);
                     warp.ops[leader].probes += 1;
                     let op = warp.ops[leader];
                     let snap = self.stale_keys(t, b);
@@ -399,7 +398,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     let empty = snap.iter().position(|&k| k == EMPTY_KEY);
                     if let Some(slot) = dup {
                         self.tables[t].update_val(b, slot, op.val);
-                        ctx.write_line();
+                        self.shape.cfg.layout.charge_value_write(ctx);
                         self.out.updated += 1;
                         retire(&op, obs::OpOutcome::Updated);
                         warp.active &= !(1 << leader);
@@ -411,8 +410,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                             // lost update the elided lock would have caused.
                             self.tables[t].swap(b, slot, op.key, op.val);
                         }
-                        ctx.write_line();
-                        ctx.write_line();
+                        self.shape.cfg.layout.charge_kv_write(ctx);
                         self.out.inserted += 1;
                         retire(&op, obs::OpOutcome::Inserted);
                         warp.active &= !(1 << leader);
@@ -439,21 +437,20 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     }
                     return StepOutcome::Pending;
                 }
-                ctx.read_bucket();
+                self.shape.cfg.layout.charge_probe(ctx);
                 warp.ops[leader].probes += 1;
                 let op = warp.ops[leader];
                 if let Some(slot) = self.tables[t].find_slot(b, op.key) {
                     // Same-bucket duplicate: update in place (Algorithm 1's
                     // "loc[l].key == k'" arm).
                     self.tables[t].update_val(b, slot, op.val);
-                    ctx.write_line();
+                    self.shape.cfg.layout.charge_value_write(ctx);
                     self.out.updated += 1;
                     retire(&op, obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
                 } else if let Some(slot) = self.tables[t].find_empty(b) {
                     self.tables[t].write_new(b, slot, op.key, op.val);
-                    ctx.write_line(); // key line
-                    ctx.write_line(); // value line
+                    self.shape.cfg.layout.charge_kv_write(ctx);
                     self.out.inserted += 1;
                     retire(&op, obs::OpOutcome::Inserted);
                     warp.active &= !(1 << leader);
@@ -501,8 +498,10 @@ pub(crate) fn insert_batch(
     excluded: Option<usize>,
     metrics: &mut Metrics,
 ) -> InsertOutcome {
-    let mut warps: Vec<InsertWarp> =
-        super::pack_warps(ops).into_iter().map(InsertWarp::new).collect();
+    let mut warps: Vec<InsertWarp> = super::pack_warps(ops)
+        .into_iter()
+        .map(InsertWarp::new)
+        .collect();
     let mut kernel = InsertKernel {
         tables,
         shape,

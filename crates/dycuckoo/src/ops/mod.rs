@@ -5,47 +5,17 @@
 //! warps of 32 operations; the warps are driven round-by-round by
 //! [`gpu_sim::run_rounds`], which is where cross-warp lock contention and
 //! its cost are modelled.
+//!
+//! Warp packing and the voter rotation live in the shared probe engine
+//! ([`gpu_sim::engine::probe`]); the kernels here re-export them, and all
+//! per-bucket transaction charging flows through the configured
+//! [`gpu_sim::LayoutConfig`].
 
 pub mod delete;
 pub mod find;
 pub mod insert;
 
-use gpu_sim::WARP_SIZE;
-
-/// Pack a batch of per-lane operations into warps of 32.
-pub(crate) fn pack_warps<T>(ops: impl IntoIterator<Item = T>) -> Vec<Vec<T>> {
-    let mut warps: Vec<Vec<T>> = Vec::new();
-    let mut cur: Vec<T> = Vec::with_capacity(WARP_SIZE);
-    for op in ops {
-        cur.push(op);
-        if cur.len() == WARP_SIZE {
-            warps.push(std::mem::replace(&mut cur, Vec::with_capacity(WARP_SIZE)));
-        }
-    }
-    if !cur.is_empty() {
-        warps.push(cur);
-    }
-    warps
-}
-
-/// Index of the `n`-th set lane (mod the number of set lanes) — the voter
-/// rotation used after a failed lock acquisition, so a warp never spins on
-/// the same contended bucket.
-pub(crate) fn nth_active_lane(mask: u32, n: usize) -> usize {
-    let count = mask.count_ones() as usize;
-    debug_assert!(count > 0);
-    let target = n % count;
-    let mut seen = 0;
-    for lane in 0..WARP_SIZE {
-        if mask & (1 << lane) != 0 {
-            if seen == target {
-                return lane;
-            }
-            seen += 1;
-        }
-    }
-    unreachable!("mask had set bits");
-}
+pub(crate) use gpu_sim::engine::{nth_active_lane, pack_warps};
 
 #[cfg(test)]
 mod tests {
@@ -59,12 +29,6 @@ mod tests {
         assert_eq!(warps[1].len(), 32);
         assert_eq!(warps[2].len(), 6);
         assert_eq!(warps[2], vec![64, 65, 66, 67, 68, 69]);
-    }
-
-    #[test]
-    fn pack_warps_empty() {
-        let warps: Vec<Vec<u32>> = pack_warps(std::iter::empty());
-        assert!(warps.is_empty());
     }
 
     #[test]

@@ -8,14 +8,19 @@
 //!
 //! **Downsize** halves one subtable: old buckets `loc` and `loc + n/2`
 //! merge into new bucket `loc`. The merge itself is equally conflict-free,
-//! but the merged population can exceed one bucket's 32 slots; the excess
+//! but the merged population can exceed one bucket's slots; the excess
 //! (*residuals*) is re-inserted into the **other** subtables via the voter
 //! insert kernel with the downsizing subtable excluded — by the two-layer
 //! invariant every residual's only legal destination is its partner table.
+//!
+//! Per-bucket drain traffic is layout-dependent: the configured
+//! [`gpu_sim::LayoutConfig`] says how many lines one whole bucket spans
+//! (key + value lines under SoA, interleaved bucket lines under AoS).
+//! Every alloc/free here also updates the caller's device-byte ledger so
+//! [`crate::DyCuckoo::verify_integrity`] can cross-check the footprint.
 
 use gpu_sim::{Metrics, SimContext};
 
-use crate::config::BUCKET_SLOTS;
 use crate::error::Result;
 use crate::ops::insert::InsertOp;
 use crate::subtable::SubTable;
@@ -37,30 +42,40 @@ pub(crate) fn upsize(
     idx: usize,
     shape: &TableShape,
     sim: &mut SimContext,
+    ledger: &mut u64,
 ) -> Result<RehashReport> {
+    let layout = shape.cfg.layout;
+    let drain = layout.drain_lines();
     let old_n = tables[idx].n_buckets();
     let new_n = old_n * 2;
-    sim.device.alloc(SubTable::device_bytes_for(new_n))?;
+    let new_bytes = layout.device_bytes_for(new_n);
+    sim.device.alloc(new_bytes)?;
+    *ledger += new_bytes;
 
     let hash = &shape.hashes[idx];
-    let mut fresh = SubTable::new(new_n);
+    let mut fresh = SubTable::new(new_n, layout);
     let m = &mut sim.metrics;
     m.rounds += 1; // every old bucket is handled by an independent warp
     let old = &tables[idx];
     let mut moved = 0u64;
     for b in 0..old_n {
-        // One warp: read the old bucket's key and value lines.
-        m.read_transactions += 2;
+        // One warp: read the old bucket's lines (keys + values).
+        m.read_transactions += drain;
         let mut wrote_lo = false;
         let mut wrote_hi = false;
-        for s in 0..BUCKET_SLOTS {
+        for s in 0..old.slots_per_bucket() {
             let (k, v) = old.slot(b, s);
             if k == crate::subtable::EMPTY_KEY {
                 continue;
             }
             let nb = hash.bucket(k, new_n);
-            debug_assert!(nb == b || nb == b + old_n, "upsize moved key across buckets");
-            let slot = fresh.find_empty(nb).expect("doubled bucket cannot overflow");
+            debug_assert!(
+                nb == b || nb == b + old_n,
+                "upsize moved key across buckets"
+            );
+            let slot = fresh
+                .find_empty(nb)
+                .expect("doubled bucket cannot overflow");
             fresh.write_new(nb, slot, k, v);
             moved += 1;
             if nb == b {
@@ -69,12 +84,13 @@ pub(crate) fn upsize(
                 wrote_hi = true;
             }
         }
-        // Key + value line per destination bucket actually written.
-        m.write_transactions += 2 * (wrote_lo as u64 + wrote_hi as u64);
+        // The full bucket lines per destination bucket actually written.
+        m.write_transactions += drain * (wrote_lo as u64 + wrote_hi as u64);
     }
     let old_bytes = tables[idx].device_bytes();
     tables[idx] = fresh;
     sim.device.free(old_bytes)?;
+    *ledger -= old_bytes;
     Ok(RehashReport {
         moved,
         residuals: 0,
@@ -88,27 +104,32 @@ pub(crate) fn downsize_collect(
     tables: &mut [SubTable],
     idx: usize,
     sim: &mut SimContext,
+    ledger: &mut u64,
 ) -> Result<(RehashReport, Vec<InsertOp>)> {
+    let layout = *tables[idx].layout();
+    let drain = layout.drain_lines();
     let old_n = tables[idx].n_buckets();
     assert!(
         old_n >= 2 && old_n.is_multiple_of(2),
         "downsizing requires an even bucket count (subtable {idx} has {old_n});          the resize policy only selects even-sized tables"
     );
     let new_n = old_n / 2;
-    sim.device.alloc(SubTable::device_bytes_for(new_n))?;
+    let new_bytes = layout.device_bytes_for(new_n);
+    sim.device.alloc(new_bytes)?;
+    *ledger += new_bytes;
 
-    let mut fresh = SubTable::new(new_n);
+    let mut fresh = SubTable::new(new_n, layout);
     let mut residuals: Vec<InsertOp> = Vec::new();
     let m = &mut sim.metrics;
     m.rounds += 1;
     let old = &tables[idx];
     let mut moved = 0u64;
     for nb in 0..new_n {
-        // One warp reads both source buckets (keys + values).
-        m.read_transactions += 4;
+        // One warp reads both source buckets in full.
+        m.read_transactions += 2 * drain;
         let mut wrote = false;
         for ob in [nb, nb + new_n] {
-            for s in 0..BUCKET_SLOTS {
+            for s in 0..old.slots_per_bucket() {
                 let (k, v) = old.slot(ob, s);
                 if k == crate::subtable::EMPTY_KEY {
                     continue;
@@ -124,12 +145,13 @@ pub(crate) fn downsize_collect(
             }
         }
         if wrote {
-            m.write_transactions += 2;
+            m.write_transactions += drain;
         }
     }
     let old_bytes = tables[idx].device_bytes();
     tables[idx] = fresh;
     sim.device.free(old_bytes)?;
+    *ledger -= old_bytes;
     let report = RehashReport {
         moved,
         residuals: residuals.len() as u64,
@@ -145,8 +167,9 @@ pub fn full_rehash_cost_reference(tables: &[SubTable]) -> Metrics {
     // only for documentation-level sanity checks in tests.
     let mut m = Metrics::default();
     for t in tables {
-        m.read_transactions += 2 * t.n_buckets() as u64;
-        m.write_transactions += 2 * t.n_buckets() as u64;
+        let drain = t.layout().drain_lines();
+        m.read_transactions += drain * t.n_buckets() as u64;
+        m.write_transactions += drain * t.n_buckets() as u64;
     }
     m
 }

@@ -32,13 +32,7 @@ pub fn overall_fill(tables: &[SubTable]) -> f64 {
 /// fullest (it benefits most) and then the lowest index (determinism).
 pub fn upsize_candidate(tables: &[SubTable]) -> usize {
     (0..tables.len())
-        .min_by_key(|&i| {
-            (
-                tables[i].n_buckets(),
-                u64::MAX - tables[i].occupied(),
-                i,
-            )
-        })
+        .min_by_key(|&i| (tables[i].n_buckets(), u64::MAX - tables[i].occupied(), i))
         .expect("at least one subtable")
 }
 
@@ -99,7 +93,7 @@ mod tests {
     use crate::config::BUCKET_SLOTS;
 
     fn table(n_buckets: usize, filled: u64) -> SubTable {
-        let mut t = SubTable::new(n_buckets);
+        let mut t = SubTable::new(n_buckets, gpu_sim::LayoutConfig::default());
         let mut written = 0;
         'outer: for b in 0..n_buckets {
             for _ in 0..BUCKET_SLOTS {

@@ -26,15 +26,22 @@ pub struct Stash {
     keys: Vec<u32>,
     vals: Vec<u32>,
     live: usize,
+    /// Keys scanned per coalesced line — comes from the table's
+    /// [`gpu_sim::LayoutConfig`], so stash probes are costed under the same
+    /// layout as bucket probes.
+    keys_per_line: usize,
 }
 
 impl Stash {
-    /// Create a stash with room for `capacity` KV pairs.
-    pub fn new(capacity: usize) -> Self {
+    /// Create a stash with room for `capacity` KV pairs, probed
+    /// `keys_per_line` keys per read transaction.
+    pub fn new(capacity: usize, keys_per_line: usize) -> Self {
+        debug_assert!(keys_per_line > 0);
         Self {
             keys: vec![EMPTY_KEY; capacity],
             vals: vec![0; capacity],
             live: 0,
+            keys_per_line,
         }
     }
 
@@ -53,9 +60,11 @@ impl Stash {
         self.live == 0
     }
 
-    /// Number of 32-slot lines the stash spans (cost of one stash probe).
+    /// Number of key lines the stash spans (cost of one stash probe).
     fn lines(&self) -> u64 {
-        (self.keys.len() as u64).div_ceil(32).max(1)
+        (self.keys.len() as u64)
+            .div_ceil(self.keys_per_line as u64)
+            .max(1)
     }
 
     /// Charge a stash probe: the whole stash is a few consecutive lines.
@@ -171,7 +180,7 @@ mod tests {
 
     #[test]
     fn push_find_erase_roundtrip() {
-        let mut s = Stash::new(8);
+        let mut s = Stash::new(8, 32);
         let ((), _) = with_ctx(|ctx| {
             assert!(s.push(5, 50, ctx));
             assert_eq!(s.find(5, ctx), Some(50));
@@ -184,7 +193,7 @@ mod tests {
 
     #[test]
     fn push_updates_in_place() {
-        let mut s = Stash::new(4);
+        let mut s = Stash::new(4, 32);
         with_ctx(|ctx| {
             assert!(s.push(9, 1, ctx));
             assert!(s.push(9, 2, ctx));
@@ -195,7 +204,7 @@ mod tests {
 
     #[test]
     fn full_stash_rejects() {
-        let mut s = Stash::new(2);
+        let mut s = Stash::new(2, 32);
         with_ctx(|ctx| {
             assert!(s.push(1, 1, ctx));
             assert!(s.push(2, 2, ctx));
@@ -206,7 +215,7 @@ mod tests {
 
     #[test]
     fn drain_empties_and_returns_all() {
-        let mut s = Stash::new(8);
+        let mut s = Stash::new(8, 32);
         with_ctx(|ctx| {
             for k in 1..=5u32 {
                 s.push(k, k * 10, ctx);
@@ -221,14 +230,14 @@ mod tests {
 
     #[test]
     fn empty_stash_probes_are_free() {
-        let s = Stash::new(64);
+        let s = Stash::new(64, 32);
         let (_, m) = with_ctx(|ctx| s.find(1, ctx));
         assert_eq!(m.read_transactions, 0, "empty stash must cost nothing");
     }
 
     #[test]
     fn probe_cost_scales_with_capacity() {
-        let mut s = Stash::new(64); // 2 lines
+        let mut s = Stash::new(64, 32); // 2 lines
         let (_, m) = with_ctx(|ctx| {
             s.push(1, 1, ctx);
             s.find(1, ctx)

@@ -1,7 +1,10 @@
 //! One cuckoo subtable `h^i`: bucketed key and value arrays plus per-bucket
 //! locks.
 //!
-//! Following the paper's layout (Figure "hash table structure"):
+//! Storage and transaction accounting live in the shared probe/storage
+//! engine ([`gpu_sim::engine`]); a subtable is the engine's
+//! [`BucketStore`] instantiated for this crate's 4-byte keys and values.
+//! Under the default layout (the paper's Figure "hash table structure"):
 //!
 //! * keys of one bucket are stored consecutively — 32 four-byte keys fill
 //!   exactly one 128-byte line, so one warp probes a bucket with a single
@@ -10,175 +13,31 @@
 //!   them (missed finds, deletes) touch no value lines;
 //! * each bucket has a lock flag driven by `atomicCAS`/`atomicExch`.
 //!
-//! Key 0 is the empty-slot sentinel.
+//! Key 0 is the empty-slot sentinel. Non-default layouts (AoS,
+//! 8/16-slot buckets) change the geometry and the per-operation line
+//! counts, not the placement logic.
 
-use gpu_sim::Locks;
-
-use crate::config::BUCKET_SLOTS;
+use gpu_sim::BucketStore;
 
 /// The reserved key marking an empty slot.
 pub const EMPTY_KEY: u32 = 0;
 
-/// A single subtable.
-#[derive(Debug, Clone)]
-pub struct SubTable {
-    keys: Vec<u32>,
-    vals: Vec<u32>,
-    /// Per-bucket lock flags (public so kernels can pass them to
-    /// [`gpu_sim::RoundCtx`] atomics).
-    pub locks: Locks,
-    n_buckets: usize,
-    occupied: u64,
-}
-
-impl SubTable {
-    /// Create an empty subtable with `n_buckets` buckets (any positive
-    /// count; even counts can later be halved cleanly).
-    pub fn new(n_buckets: usize) -> Self {
-        assert!(n_buckets >= 1, "bucket count must be positive");
-        Self {
-            keys: vec![EMPTY_KEY; n_buckets * BUCKET_SLOTS],
-            vals: vec![0; n_buckets * BUCKET_SLOTS],
-            locks: Locks::new(n_buckets),
-            n_buckets,
-            occupied: 0,
-        }
-    }
-
-    /// Number of buckets.
-    #[inline]
-    pub fn n_buckets(&self) -> usize {
-        self.n_buckets
-    }
-
-    /// Total key slots (`n_i` in the paper, measured in slots).
-    #[inline]
-    pub fn capacity_slots(&self) -> u64 {
-        (self.n_buckets * BUCKET_SLOTS) as u64
-    }
-
-    /// Occupied slots (`m_i` in the paper).
-    #[inline]
-    pub fn occupied(&self) -> u64 {
-        self.occupied
-    }
-
-    /// This subtable's filled factor `θ_i = m_i / n_i`.
-    #[inline]
-    pub fn fill_factor(&self) -> f64 {
-        self.occupied as f64 / self.capacity_slots() as f64
-    }
-
-    /// Device bytes this subtable occupies: key array + value array +
-    /// one lock word per bucket.
-    pub fn device_bytes(&self) -> u64 {
-        (self.n_buckets * BUCKET_SLOTS * 8 + self.n_buckets * 4) as u64
-    }
-
-    /// Device bytes for a hypothetical subtable of `n_buckets` buckets.
-    pub fn device_bytes_for(n_buckets: usize) -> u64 {
-        (n_buckets * BUCKET_SLOTS * 8 + n_buckets * 4) as u64
-    }
-
-    /// The keys of bucket `b`.
-    #[inline]
-    pub fn bucket_keys(&self, b: usize) -> &[u32] {
-        &self.keys[b * BUCKET_SLOTS..(b + 1) * BUCKET_SLOTS]
-    }
-
-    /// The values of bucket `b`.
-    #[inline]
-    pub fn bucket_vals(&self, b: usize) -> &[u32] {
-        &self.vals[b * BUCKET_SLOTS..(b + 1) * BUCKET_SLOTS]
-    }
-
-    /// Warp-wide probe: the slot in bucket `b` holding `key`, if any.
-    /// (In CUDA this is one ballot over the 32 lanes.)
-    #[inline]
-    pub fn find_slot(&self, b: usize, key: u32) -> Option<usize> {
-        self.bucket_keys(b).iter().position(|&k| k == key)
-    }
-
-    /// Warp-wide probe for an empty slot in bucket `b`.
-    #[inline]
-    pub fn find_empty(&self, b: usize) -> Option<usize> {
-        self.find_slot(b, EMPTY_KEY)
-    }
-
-    /// Read the KV pair at `(bucket, slot)`.
-    #[inline]
-    pub fn slot(&self, b: usize, s: usize) -> (u32, u32) {
-        (
-            self.keys[b * BUCKET_SLOTS + s],
-            self.vals[b * BUCKET_SLOTS + s],
-        )
-    }
-
-    /// Write a KV pair into an **empty** slot, growing the occupancy count.
-    #[inline]
-    pub fn write_new(&mut self, b: usize, s: usize, key: u32, val: u32) {
-        let idx = b * BUCKET_SLOTS + s;
-        debug_assert_eq!(self.keys[idx], EMPTY_KEY, "write_new over a live slot");
-        debug_assert_ne!(key, EMPTY_KEY);
-        self.keys[idx] = key;
-        self.vals[idx] = val;
-        self.occupied += 1;
-    }
-
-    /// Overwrite the value of a live slot (an in-place update).
-    #[inline]
-    pub fn update_val(&mut self, b: usize, s: usize, val: u32) {
-        debug_assert_ne!(self.keys[b * BUCKET_SLOTS + s], EMPTY_KEY);
-        self.vals[b * BUCKET_SLOTS + s] = val;
-    }
-
-    /// Swap the KV at `(b, s)` with the given pair, returning the evicted
-    /// occupant. Occupancy is unchanged.
-    #[inline]
-    pub fn swap(&mut self, b: usize, s: usize, key: u32, val: u32) -> (u32, u32) {
-        let idx = b * BUCKET_SLOTS + s;
-        debug_assert_ne!(self.keys[idx], EMPTY_KEY, "swap with an empty slot");
-        let old = (self.keys[idx], self.vals[idx]);
-        self.keys[idx] = key;
-        self.vals[idx] = val;
-        old
-    }
-
-    /// Erase the key at `(b, s)`, shrinking the occupancy count. The value
-    /// line is deliberately untouched — the paper stores keys and values
-    /// separately precisely so deletion never pays for value traffic.
-    #[inline]
-    pub fn erase(&mut self, b: usize, s: usize) {
-        let idx = b * BUCKET_SLOTS + s;
-        debug_assert_ne!(self.keys[idx], EMPTY_KEY, "erasing an empty slot");
-        self.keys[idx] = EMPTY_KEY;
-        self.occupied -= 1;
-    }
-
-    /// Iterate over all live `(key, value)` pairs (host-side; used by
-    /// rehashing, verification and tests — not charged to the cost model).
-    pub fn iter_live(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.keys
-            .iter()
-            .zip(self.vals.iter())
-            .filter(|(&k, _)| k != EMPTY_KEY)
-            .map(|(&k, &v)| (k, v))
-    }
-
-    /// Recount occupancy from the key array. Used by debug assertions and
-    /// the accounting-drift property test.
-    pub fn recount(&self) -> u64 {
-        self.keys.iter().filter(|&&k| k != EMPTY_KEY).count() as u64
-    }
-}
+/// A single subtable: the engine's bucket store over 4-byte words.
+pub type SubTable = BucketStore<u32, u32>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::BUCKET_SLOTS;
+    use gpu_sim::LayoutConfig;
+
+    fn sub(n_buckets: usize) -> SubTable {
+        SubTable::new(n_buckets, LayoutConfig::default())
+    }
 
     #[test]
     fn new_table_is_empty() {
-        let t = SubTable::new(8);
+        let t = sub(8);
         assert_eq!(t.n_buckets(), 8);
         assert_eq!(t.capacity_slots(), 8 * 32);
         assert_eq!(t.occupied(), 0);
@@ -189,7 +48,7 @@ mod tests {
 
     #[test]
     fn write_find_erase_roundtrip() {
-        let mut t = SubTable::new(4);
+        let mut t = sub(4);
         let s = t.find_empty(2).unwrap();
         t.write_new(2, s, 99, 7);
         assert_eq!(t.occupied(), 1);
@@ -202,7 +61,7 @@ mod tests {
 
     #[test]
     fn swap_returns_old_pair_and_keeps_occupancy() {
-        let mut t = SubTable::new(2);
+        let mut t = sub(2);
         t.write_new(1, 0, 5, 50);
         let old = t.swap(1, 0, 6, 60);
         assert_eq!(old, (5, 50));
@@ -212,7 +71,7 @@ mod tests {
 
     #[test]
     fn update_val_changes_value_only() {
-        let mut t = SubTable::new(2);
+        let mut t = sub(2);
         t.write_new(0, 3, 11, 1);
         t.update_val(0, 3, 2);
         assert_eq!(t.slot(0, 3), (11, 2));
@@ -221,7 +80,7 @@ mod tests {
 
     #[test]
     fn fill_factor_and_recount_agree() {
-        let mut t = SubTable::new(2);
+        let mut t = sub(2);
         for i in 0..10u32 {
             let b = (i % 2) as usize;
             let s = t.find_empty(b).unwrap();
@@ -234,7 +93,7 @@ mod tests {
 
     #[test]
     fn full_bucket_has_no_empty_slot() {
-        let mut t = SubTable::new(1);
+        let mut t = sub(1);
         for i in 0..BUCKET_SLOTS as u32 {
             let s = t.find_empty(0).unwrap();
             t.write_new(0, s, i + 1, 0);
@@ -244,7 +103,7 @@ mod tests {
 
     #[test]
     fn iter_live_yields_all_pairs() {
-        let mut t = SubTable::new(2);
+        let mut t = sub(2);
         t.write_new(0, 0, 1, 10);
         t.write_new(1, 5, 2, 20);
         let mut live: Vec<_> = t.iter_live().collect();
@@ -254,8 +113,19 @@ mod tests {
 
     #[test]
     fn device_bytes_counts_keys_values_locks() {
-        let t = SubTable::new(4);
+        let t = sub(4);
         assert_eq!(t.device_bytes(), (4 * 32 * 8 + 4 * 4) as u64);
-        assert_eq!(SubTable::device_bytes_for(4), t.device_bytes());
+        assert_eq!(
+            LayoutConfig::default().device_bytes_for(4),
+            t.device_bytes()
+        );
+    }
+
+    #[test]
+    fn narrow_layouts_shrink_the_footprint() {
+        let aos16 = SubTable::new(8, LayoutConfig::aos(16, 4, 4));
+        let soa32 = sub(8);
+        assert_eq!(aos16.capacity_slots(), 8 * 16);
+        assert!(aos16.device_bytes() < soa32.device_bytes());
     }
 }

@@ -1,0 +1,315 @@
+//! Maintenance side of the table: resize triggering, failed-insert retry
+//! and the structural rehash paths (including the naive strategy the
+//! paper's resize experiment compares against).
+
+use gpu_sim::SimContext;
+
+use crate::config::Config;
+use crate::error::{Error, Result};
+use crate::ops::insert::{insert_batch as run_insert, InsertOp, InsertOutcome};
+use crate::rehash;
+use crate::resize::{self, ResizeOp};
+use crate::subtable::SubTable;
+
+use super::{BatchReport, DyCuckoo, ResizeEvent, TableShape, MAX_INSERT_RETRIES, MAX_RESIZE_ITERS};
+
+impl DyCuckoo {
+    /// Upsize-and-retry loop for operations that exceeded the eviction
+    /// limit — the paper's "insertion failure triggers resizing".
+    pub(super) fn retry_failed(
+        &mut self,
+        sim: &mut SimContext,
+        mut out: InsertOutcome,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        while !out.failed.is_empty() {
+            // Stash first: a handful of unplaceable keys should not force a
+            // structural resize (the future-work mitigation).
+            if let Some(stash) = self.stash.as_mut() {
+                let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+                out.failed.retain(|op| {
+                    let stashed = stash.push(op.key, op.val, &mut ctx);
+                    if stashed {
+                        report.inserted += 1;
+                    }
+                    !stashed
+                });
+                ctx.finish();
+                if out.failed.is_empty() {
+                    return Ok(());
+                }
+            }
+            report.retries += 1;
+            if report.retries > MAX_INSERT_RETRIES {
+                return Err(Error::InsertStuck {
+                    failed_ops: out.failed.len(),
+                });
+            }
+            let event = self.apply_resize(
+                ResizeOp::Upsize(resize::upsize_candidate(&self.tables)),
+                sim,
+            )?;
+            report.resizes.push(event);
+            // Restart each failed op fresh: it carries whatever KV its
+            // eviction chain held, which re-routes through the two-layer
+            // pair of that key.
+            let retry_ops: Vec<InsertOp> = out
+                .failed
+                .iter()
+                .map(|op| {
+                    self.op_counter += 1;
+                    InsertOp::reinsert(op.key, op.val, self.op_counter)
+                })
+                .collect();
+            out = run_insert(
+                &mut self.tables,
+                &self.shape,
+                retry_ops,
+                None,
+                &mut sim.metrics,
+            );
+            report.inserted += out.inserted;
+            report.updated += out.updated;
+        }
+        Ok(())
+    }
+
+    /// Resize until θ returns to `[α, β]` (insert batches grow only; see
+    /// [`resize::Direction`]).
+    pub(super) fn rebalance(
+        &mut self,
+        sim: &mut SimContext,
+        dir: resize::Direction,
+        events: &mut Vec<ResizeEvent>,
+    ) -> Result<()> {
+        for _ in 0..MAX_RESIZE_ITERS {
+            match resize::decide(&self.tables, self.shape.cfg.alpha, self.shape.cfg.beta, dir) {
+                None => return Ok(()),
+                Some(op) => events.push(self.apply_resize(op, sim)?),
+            }
+        }
+        Err(Error::ResizeDiverged {
+            iterations: MAX_RESIZE_ITERS,
+        })
+    }
+
+    /// Perform one resize operation, including residual placement for
+    /// downsizing, then drain the overflow stash back into the subtables
+    /// (a resize has just changed where keys belong or made room).
+    fn apply_resize(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
+        let recording = obs::is_enabled();
+        if recording {
+            let (grow, i) = match op {
+                ResizeOp::Upsize(i) => (true, i),
+                ResizeOp::Downsize(i) => (false, i),
+            };
+            obs::span_begin(obs::Event::ResizeBegin {
+                grow,
+                table: i as u8,
+                old_buckets: self.tables[i].n_buckets() as u64,
+            });
+        }
+        let result = self.apply_resize_and_drain(op, sim);
+        if recording {
+            // Close the span even on error so the span stack stays balanced.
+            let (new_buckets, moved, residuals) = match &result {
+                Ok(e) => (e.new_buckets as u64, e.moved, e.residuals),
+                Err(_) => (0, 0, 0),
+            };
+            obs::span_end(obs::Event::ResizeEnd {
+                new_buckets,
+                moved,
+                residuals,
+            });
+        }
+        result
+    }
+
+    /// The resize itself plus the post-resize stash drain (the span-free
+    /// body of [`Self::apply_resize`]).
+    fn apply_resize_and_drain(
+        &mut self,
+        op: ResizeOp,
+        sim: &mut SimContext,
+    ) -> Result<ResizeEvent> {
+        let event = self.apply_resize_inner(op, sim)?;
+        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
+            let stash = self.stash.as_mut().expect("checked above");
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            let drained = stash.drain(&mut ctx);
+            ctx.finish();
+            let ops: Vec<InsertOp> = drained
+                .into_iter()
+                .map(|(k, v)| {
+                    self.op_counter += 1;
+                    InsertOp::reinsert(k, v, self.op_counter)
+                })
+                .collect();
+            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
+            // Whatever still fails goes straight back to the stash (room is
+            // guaranteed: we just drained it).
+            if !out.failed.is_empty() {
+                let stash = self.stash.as_mut().expect("still present");
+                let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+                for op in &out.failed {
+                    let ok = stash.push(op.key, op.val, &mut ctx);
+                    debug_assert!(ok, "stash was just drained");
+                }
+                ctx.finish();
+            }
+        }
+        Ok(event)
+    }
+
+    fn apply_resize_inner(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
+        match op {
+            ResizeOp::Upsize(i) => {
+                let old = self.tables[i].n_buckets();
+                let rep = rehash::upsize(
+                    &mut self.tables,
+                    i,
+                    &self.shape,
+                    sim,
+                    &mut self.ledger_bytes,
+                )?;
+                Ok(ResizeEvent {
+                    op,
+                    old_buckets: old,
+                    new_buckets: old * 2,
+                    moved: rep.moved,
+                    residuals: 0,
+                })
+            }
+            ResizeOp::Downsize(i) => {
+                let old = self.tables[i].n_buckets();
+                let (rep, residuals) =
+                    rehash::downsize_collect(&mut self.tables, i, sim, &mut self.ledger_bytes)?;
+                let n_res = residuals.len() as u64;
+                if !residuals.is_empty() {
+                    // Residuals go to their partner subtables; the
+                    // downsizing table is excluded within this "kernel".
+                    let out = run_insert(
+                        &mut self.tables,
+                        &self.shape,
+                        residuals,
+                        Some(i),
+                        &mut sim.metrics,
+                    );
+                    // Leftovers (pathological) are retried without the
+                    // exclusion — the downsize itself has completed.
+                    let mut leftovers = out.failed;
+                    let mut guard = 0;
+                    while !leftovers.is_empty() {
+                        guard += 1;
+                        if guard > MAX_INSERT_RETRIES {
+                            return Err(Error::InsertStuck {
+                                failed_ops: leftovers.len(),
+                            });
+                        }
+                        let target = resize::upsize_candidate(&self.tables);
+                        rehash::upsize(
+                            &mut self.tables,
+                            target,
+                            &self.shape,
+                            sim,
+                            &mut self.ledger_bytes,
+                        )?;
+                        let retry: Vec<InsertOp> = leftovers
+                            .iter()
+                            .map(|f| {
+                                self.op_counter += 1;
+                                InsertOp::reinsert(f.key, f.val, self.op_counter)
+                            })
+                            .collect();
+                        leftovers = run_insert(
+                            &mut self.tables,
+                            &self.shape,
+                            retry,
+                            None,
+                            &mut sim.metrics,
+                        )
+                        .failed;
+                    }
+                }
+                Ok(ResizeEvent {
+                    op,
+                    old_buckets: old,
+                    new_buckets: old / 2,
+                    moved: rep.moved,
+                    residuals: n_res,
+                })
+            }
+        }
+    }
+
+    /// Force one resize operation regardless of θ (used by the F7 resize
+    /// experiment, which measures a single upsize/downsize in isolation).
+    pub fn force_resize(&mut self, sim: &mut SimContext, op: ResizeOp) -> Result<ResizeEvent> {
+        let event = self.apply_resize(op, sim);
+        self.debug_verify("force_resize");
+        event
+    }
+
+    /// The *naive* alternative the paper's resize experiment compares
+    /// against: resize subtable `idx` by draining all its entries and
+    /// re-inserting them one by one through the normal insert kernel
+    /// (Algorithm 1), instead of the conflict-free rehash. Returns the
+    /// number of KVs moved.
+    pub fn rehash_subtable_naive(
+        &mut self,
+        sim: &mut SimContext,
+        idx: usize,
+        grow: bool,
+    ) -> Result<u64> {
+        let layout = self.shape.cfg.layout;
+        let old = &self.tables[idx];
+        let old_buckets = old.n_buckets();
+        let new_buckets = if grow {
+            old_buckets * 2
+        } else {
+            (old_buckets / 2).max(1)
+        };
+        // Drain: read every key and value line of the subtable.
+        sim.metrics.read_transactions += layout.drain_lines() * old_buckets as u64;
+        let drained: Vec<(u32, u32)> = old.iter_live().collect();
+        let old_bytes = old.device_bytes();
+        let new_bytes = layout.device_bytes_for(new_buckets);
+        sim.device.alloc(new_bytes)?;
+        self.ledger_bytes += new_bytes;
+        self.tables[idx] = SubTable::new(new_buckets, layout);
+        sim.device.free(old_bytes)?;
+        self.ledger_bytes -= old_bytes;
+        // Re-insert through the ordinary voter kernel: each key routes
+        // through its two-layer pair (which contains `idx`), competing with
+        // whatever is already in the partner subtables. The naive strategy
+        // has no Theorem-1 steering (that is part of what it lacks), so
+        // half the reinserts land in the other, possibly nearly full,
+        // subtable — which is exactly why the paper finds naive upsizing
+        // "severely limited".
+        let naive_shape = TableShape {
+            cfg: Config {
+                distribution: crate::config::Distribution::Uniform,
+                ..self.shape.cfg
+            },
+            pair: self.shape.pair,
+            hashes: self.shape.hashes.clone(),
+        };
+        let moved = drained.len() as u64;
+        let ops: Vec<InsertOp> = drained
+            .into_iter()
+            .map(|(k, v)| {
+                self.op_counter += 1;
+                InsertOp::fresh(k, v, self.op_counter)
+            })
+            .collect();
+        let out = run_insert(&mut self.tables, &naive_shape, ops, None, &mut sim.metrics);
+        let mut report = BatchReport::default();
+        self.retry_failed(sim, out, &mut report)?;
+        Ok(moved)
+    }
+
+    /// The policy invariant: no subtable more than twice any other.
+    pub fn size_ratio_ok(&self) -> bool {
+        resize::size_ratio_invariant(&self.tables)
+    }
+}

@@ -1,17 +1,29 @@
 //! The public DyCuckoo table: batched operations, resize triggering, and
 //! accounting.
+//!
+//! The implementation is split by concern, mirroring the engine layering:
+//!
+//! * `storage` — construction, capacity/device-byte accounting (with a
+//!   ledger mirroring every gpu-sim allocation) and integrity checks;
+//! * `probe` — the batched insert/find/delete entry points that drive the
+//!   warp kernels in [`crate::ops`];
+//! * `maintenance` — resize triggering, failed-insert retry and the
+//!   structural rehash paths.
+//!
+//! This file holds what all three share: the immutable [`TableShape`], the
+//! candidate-set machinery, batch reports and the [`DyCuckoo`] struct
+//! itself.
+
+mod maintenance;
+mod probe;
+mod storage;
 
 use gpu_sim::{Metrics, SimContext};
 
 use crate::config::{Config, BUCKET_SLOTS};
-use crate::error::{Error, Result};
 use crate::hashfn::UniversalHash;
-use crate::ops::insert::{insert_batch as run_insert, InsertOp, InsertOutcome};
-use crate::ops::{delete::delete_batch as run_delete, find::find_batch as run_find};
-use crate::rehash;
-use crate::resize::{self, ResizeOp};
+use crate::resize::ResizeOp;
 use crate::stash::Stash;
-use crate::stats::{SubTableStats, TableStats};
 use crate::subtable::SubTable;
 use crate::two_layer::PairHash;
 
@@ -215,609 +227,28 @@ pub struct DyCuckoo {
     /// upsize cascades); `None` when `stash_capacity == 0`.
     stash: Option<Stash>,
     op_counter: u64,
-}
-
-impl DyCuckoo {
-    /// Create a table with `cfg.initial_buckets` buckets per subtable.
-    pub fn new(cfg: Config, sim: &mut SimContext) -> Result<Self> {
-        cfg.validate()?;
-        let pair = PairHash::new(cfg.seed ^ 0x9E37_79B9, cfg.num_tables);
-        let hashes = (0..cfg.num_tables)
-            .map(|i| UniversalHash::from_seed(cfg.seed.wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(i as u64 + 1))))
-            .collect();
-        let tables: Vec<SubTable> = (0..cfg.num_tables)
-            .map(|_| SubTable::new(cfg.initial_buckets))
-            .collect();
-        for t in &tables {
-            sim.device.alloc(t.device_bytes())?;
-        }
-        let stash = if cfg.stash_capacity > 0 {
-            let s = Stash::new(cfg.stash_capacity);
-            sim.device.alloc(s.device_bytes())?;
-            Some(s)
-        } else {
-            None
-        };
-        Ok(Self {
-            shape: TableShape { cfg, pair, hashes },
-            tables,
-            stash,
-            op_counter: 0,
-        })
-    }
-
-    /// Create a table pre-sized so that `items` keys load it to roughly
-    /// `target_fill` (used by the static experiments, which fix the memory
-    /// budget up front).
-    ///
-    /// Because the hash reduces modulo the bucket count, sizes are not
-    /// restricted to powers of two: an equal even split tracks the budget
-    /// almost exactly, making filled-factor sweeps comparable across `d`.
-    pub fn with_capacity(
-        mut cfg: Config,
-        items: usize,
-        target_fill: f64,
-        sim: &mut SimContext,
-    ) -> Result<Self> {
-        let sizes = mixed_bucket_sizes(items, cfg.num_tables, target_fill);
-        cfg.initial_buckets = sizes[0];
-        cfg.validate()?;
-        let mut table = Self::new(cfg, sim)?;
-        for (i, &sz) in sizes.iter().enumerate() {
-            if sz != table.tables[i].n_buckets() {
-                sim.device.free(table.tables[i].device_bytes())?;
-                sim.device.alloc(SubTable::device_bytes_for(sz))?;
-                table.tables[i] = SubTable::new(sz);
-            }
-        }
-        Ok(table)
-    }
-
-    /// The table's configuration.
-    pub fn config(&self) -> &Config {
-        &self.shape.cfg
-    }
-
-    /// Set the within-round warp ordering for all subsequent kernel
-    /// launches. Purely an interleaving choice: contents and final state
-    /// stay semantically equivalent, only contention patterns (and thus
-    /// metrics) may differ. Used by the schedule-exploration harness.
-    pub fn set_schedule(&mut self, policy: gpu_sim::SchedulePolicy) {
-        self.shape.cfg.schedule = policy;
-    }
-
-    /// Number of live KV pairs (including any stashed overflow).
-    pub fn len(&self) -> u64 {
-        self.tables.iter().map(|t| t.occupied()).sum::<u64>()
-            + self.stash.as_ref().map_or(0, |s| s.len() as u64)
-    }
-
-    /// KV pairs currently parked in the overflow stash (0 without a stash).
-    pub fn stashed(&self) -> usize {
-        self.stash.as_ref().map_or(0, |s| s.len())
-    }
-
-    /// Whether the table holds no KV pairs.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Overall filled factor `θ`.
-    pub fn fill_factor(&self) -> f64 {
-        resize::overall_fill(&self.tables)
-    }
-
-    /// Total key slots across all subtables.
-    pub fn capacity_slots(&self) -> u64 {
-        self.tables.iter().map(|t| t.capacity_slots()).sum()
-    }
-
-    /// Slots that can still be filled before θ crosses β (negative when
-    /// already above it). A batching front-end can cap insert batches to
-    /// this headroom so one flush does not force multiple resizes.
-    pub fn headroom_slots(&self) -> i64 {
-        (self.shape.cfg.beta * self.capacity_slots() as f64) as i64 - self.len() as i64
-    }
-
-    /// Device bytes currently held.
-    pub fn device_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| t.device_bytes()).sum::<u64>()
-            + self.stash.as_ref().map_or(0, |s| s.device_bytes())
-    }
-
-    /// Snapshot of per-subtable statistics.
-    pub fn stats(&self) -> TableStats {
-        let per_table: Vec<SubTableStats> = self
-            .tables
-            .iter()
-            .map(|t| SubTableStats {
-                n_buckets: t.n_buckets(),
-                occupied: t.occupied(),
-                capacity_slots: t.capacity_slots(),
-                fill: t.fill_factor(),
-            })
-            .collect();
-        TableStats {
-            num_tables: self.tables.len(),
-            occupied: self.len(),
-            capacity_slots: self.tables.iter().map(|t| t.capacity_slots()).sum(),
-            fill: self.fill_factor(),
-            device_bytes: self.device_bytes(),
-            per_table,
-        }
-    }
-
-    /// Release the table's device memory. (The simulator cannot hook `Drop`
-    /// because freeing needs the [`SimContext`].)
-    pub fn release(self, sim: &mut SimContext) -> Result<()> {
-        for t in &self.tables {
-            sim.device.free(t.device_bytes())?;
-        }
-        if let Some(s) = &self.stash {
-            sim.device.free(s.device_bytes())?;
-        }
-        Ok(())
-    }
-
-    /// Insert a batch of KV pairs. Duplicate handling follows
-    /// [`crate::DupPolicy`]; resizes triggered by the batch are reported.
-    pub fn insert_batch(&mut self, sim: &mut SimContext, kvs: &[(u32, u32)]) -> Result<BatchReport> {
-        if kvs.iter().any(|&(k, _)| k == 0) {
-            return Err(Error::ZeroKey);
-        }
-        let mut report = BatchReport {
-            attempted: kvs.len(),
-            ..BatchReport::default()
-        };
-        sim.metrics.ops += kvs.len() as u64;
-        // Stashed keys are updated in place so a key never lives in both
-        // the stash and a subtable.
-        let filtered: Vec<(u32, u32)>;
-        let mut rest: &[(u32, u32)] = kvs;
-        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
-            let stash = self.stash.as_mut().expect("checked above");
-            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
-            filtered = kvs
-                .iter()
-                .copied()
-                .filter(|&(k, v)| {
-                    let in_stash = stash.update(k, v, &mut ctx);
-                    if in_stash {
-                        report.updated += 1;
-                    }
-                    !in_stash
-                })
-                .collect();
-            ctx.finish();
-            rest = &filtered;
-        }
-        while !rest.is_empty() {
-            // Adaptive chunking: insert only up to the headroom below β
-            // before re-checking the filled factor, so a huge batch cannot
-            // drive the table far past its bound (where every bucket is
-            // full and eviction chains explode) between checks.
-            let step = (self.headroom_slots().max(512) as usize)
-                .min(RESIZE_CHECK_INTERVAL)
-                .min(rest.len());
-            let (chunk, tail) = rest.split_at(step);
-            rest = tail;
-            let ops: Vec<InsertOp> = chunk
-                .iter()
-                .map(|&(k, v)| {
-                    self.op_counter += 1;
-                    InsertOp::fresh(k, v, self.op_counter)
-                })
-                .collect();
-            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
-            report.inserted += out.inserted;
-            report.updated += out.updated;
-            self.retry_failed(sim, out, &mut report)?;
-            self.rebalance(sim, resize::Direction::GrowOnly, &mut report.resizes)?;
-        }
-        self.debug_verify("insert_batch");
-        Ok(report)
-    }
-
-    /// Look up a batch of keys; returns one `Option<value>` per key.
-    pub fn find_batch(&self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
-        sim.metrics.ops += keys.len() as u64;
-        let mut results = run_find(&self.tables, &self.shape, keys, &mut sim.metrics);
-        if let Some(stash) = self.stash.as_ref().filter(|s| !s.is_empty()) {
-            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
-            for (key, r) in keys.iter().zip(results.iter_mut()) {
-                if r.is_none() {
-                    *r = stash.find(*key, &mut ctx);
-                }
-            }
-            ctx.finish();
-        }
-        results
-    }
-
-    /// Delete a batch of keys, reporting erased count and any downsizes.
-    pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<BatchReport> {
-        let mut report = BatchReport {
-            attempted: keys.len(),
-            ..BatchReport::default()
-        };
-        sim.metrics.ops += keys.len() as u64;
-        report.deleted = run_delete(&mut self.tables, &self.shape, keys, &mut sim.metrics);
-        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
-            let stash = self.stash.as_mut().expect("checked above");
-            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
-            for &key in keys {
-                if stash.erase(key, &mut ctx) {
-                    report.deleted += 1;
-                }
-                if stash.is_empty() {
-                    break;
-                }
-            }
-            ctx.finish();
-        }
-        self.rebalance(sim, resize::Direction::Both, &mut report.resizes)?;
-        self.debug_verify("delete_batch");
-        Ok(report)
-    }
-
-    /// Convenience single-key lookup (one-op batch).
-    pub fn get(&self, sim: &mut SimContext, key: u32) -> Option<u32> {
-        self.find_batch(sim, &[key])[0]
-    }
-
-    /// Upsize-and-retry loop for operations that exceeded the eviction
-    /// limit — the paper's "insertion failure triggers resizing".
-    fn retry_failed(
-        &mut self,
-        sim: &mut SimContext,
-        mut out: InsertOutcome,
-        report: &mut BatchReport,
-    ) -> Result<()> {
-        while !out.failed.is_empty() {
-            // Stash first: a handful of unplaceable keys should not force a
-            // structural resize (the future-work mitigation).
-            if let Some(stash) = self.stash.as_mut() {
-                let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
-                out.failed.retain(|op| {
-                    let stashed = stash.push(op.key, op.val, &mut ctx);
-                    if stashed {
-                        report.inserted += 1;
-                    }
-                    !stashed
-                });
-                ctx.finish();
-                if out.failed.is_empty() {
-                    return Ok(());
-                }
-            }
-            report.retries += 1;
-            if report.retries > MAX_INSERT_RETRIES {
-                return Err(Error::InsertStuck {
-                    failed_ops: out.failed.len(),
-                });
-            }
-            let event = self.apply_resize(ResizeOp::Upsize(resize::upsize_candidate(&self.tables)), sim)?;
-            report.resizes.push(event);
-            // Restart each failed op fresh: it carries whatever KV its
-            // eviction chain held, which re-routes through the two-layer
-            // pair of that key.
-            let retry_ops: Vec<InsertOp> = out
-                .failed
-                .iter()
-                .map(|op| {
-                    self.op_counter += 1;
-                    InsertOp::reinsert(op.key, op.val, self.op_counter)
-                })
-                .collect();
-            out = run_insert(&mut self.tables, &self.shape, retry_ops, None, &mut sim.metrics);
-            report.inserted += out.inserted;
-            report.updated += out.updated;
-        }
-        Ok(())
-    }
-
-    /// Resize until θ returns to `[α, β]` (insert batches grow only; see
-    /// [`resize::Direction`]).
-    fn rebalance(
-        &mut self,
-        sim: &mut SimContext,
-        dir: resize::Direction,
-        events: &mut Vec<ResizeEvent>,
-    ) -> Result<()> {
-        for _ in 0..MAX_RESIZE_ITERS {
-            match resize::decide(&self.tables, self.shape.cfg.alpha, self.shape.cfg.beta, dir) {
-                None => return Ok(()),
-                Some(op) => events.push(self.apply_resize(op, sim)?),
-            }
-        }
-        Err(Error::ResizeDiverged {
-            iterations: MAX_RESIZE_ITERS,
-        })
-    }
-
-    /// Perform one resize operation, including residual placement for
-    /// downsizing, then drain the overflow stash back into the subtables
-    /// (a resize has just changed where keys belong or made room).
-    fn apply_resize(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
-        let recording = obs::is_enabled();
-        if recording {
-            let (grow, i) = match op {
-                ResizeOp::Upsize(i) => (true, i),
-                ResizeOp::Downsize(i) => (false, i),
-            };
-            obs::span_begin(obs::Event::ResizeBegin {
-                grow,
-                table: i as u8,
-                old_buckets: self.tables[i].n_buckets() as u64,
-            });
-        }
-        let result = self.apply_resize_and_drain(op, sim);
-        if recording {
-            // Close the span even on error so the span stack stays balanced.
-            let (new_buckets, moved, residuals) = match &result {
-                Ok(e) => (e.new_buckets as u64, e.moved, e.residuals),
-                Err(_) => (0, 0, 0),
-            };
-            obs::span_end(obs::Event::ResizeEnd {
-                new_buckets,
-                moved,
-                residuals,
-            });
-        }
-        result
-    }
-
-    /// The resize itself plus the post-resize stash drain (the span-free
-    /// body of [`Self::apply_resize`]).
-    fn apply_resize_and_drain(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
-        let event = self.apply_resize_inner(op, sim)?;
-        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
-            let stash = self.stash.as_mut().expect("checked above");
-            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
-            let drained = stash.drain(&mut ctx);
-            ctx.finish();
-            let ops: Vec<InsertOp> = drained
-                .into_iter()
-                .map(|(k, v)| {
-                    self.op_counter += 1;
-                    InsertOp::reinsert(k, v, self.op_counter)
-                })
-                .collect();
-            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
-            // Whatever still fails goes straight back to the stash (room is
-            // guaranteed: we just drained it).
-            if !out.failed.is_empty() {
-                let stash = self.stash.as_mut().expect("still present");
-                let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
-                for op in &out.failed {
-                    let ok = stash.push(op.key, op.val, &mut ctx);
-                    debug_assert!(ok, "stash was just drained");
-                }
-                ctx.finish();
-            }
-        }
-        Ok(event)
-    }
-
-    fn apply_resize_inner(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
-        match op {
-            ResizeOp::Upsize(i) => {
-                let old = self.tables[i].n_buckets();
-                let rep = rehash::upsize(&mut self.tables, i, &self.shape, sim)?;
-                Ok(ResizeEvent {
-                    op,
-                    old_buckets: old,
-                    new_buckets: old * 2,
-                    moved: rep.moved,
-                    residuals: 0,
-                })
-            }
-            ResizeOp::Downsize(i) => {
-                let old = self.tables[i].n_buckets();
-                let (rep, residuals) =
-                    rehash::downsize_collect(&mut self.tables, i, sim)?;
-                let n_res = residuals.len() as u64;
-                if !residuals.is_empty() {
-                    // Residuals go to their partner subtables; the
-                    // downsizing table is excluded within this "kernel".
-                    let out = run_insert(
-                        &mut self.tables,
-                        &self.shape,
-                        residuals,
-                        Some(i),
-                        &mut sim.metrics,
-                    );
-                    // Leftovers (pathological) are retried without the
-                    // exclusion — the downsize itself has completed.
-                    let mut leftovers = out.failed;
-                    let mut guard = 0;
-                    while !leftovers.is_empty() {
-                        guard += 1;
-                        if guard > MAX_INSERT_RETRIES {
-                            return Err(Error::InsertStuck {
-                                failed_ops: leftovers.len(),
-                            });
-                        }
-                        let target = resize::upsize_candidate(&self.tables);
-                        rehash::upsize(&mut self.tables, target, &self.shape, sim)?;
-                        let retry: Vec<InsertOp> = leftovers
-                            .iter()
-                            .map(|f| {
-                                self.op_counter += 1;
-                                InsertOp::reinsert(f.key, f.val, self.op_counter)
-                            })
-                            .collect();
-                        leftovers =
-                            run_insert(&mut self.tables, &self.shape, retry, None, &mut sim.metrics)
-                                .failed;
-                    }
-                }
-                Ok(ResizeEvent {
-                    op,
-                    old_buckets: old,
-                    new_buckets: old / 2,
-                    moved: rep.moved,
-                    residuals: n_res,
-                })
-            }
-        }
-    }
-
-    /// Force one resize operation regardless of θ (used by the F7 resize
-    /// experiment, which measures a single upsize/downsize in isolation).
-    pub fn force_resize(&mut self, sim: &mut SimContext, op: ResizeOp) -> Result<ResizeEvent> {
-        let event = self.apply_resize(op, sim);
-        self.debug_verify("force_resize");
-        event
-    }
-
-    /// The *naive* alternative the paper's resize experiment compares
-    /// against: resize subtable `idx` by draining all its entries and
-    /// re-inserting them one by one through the normal insert kernel
-    /// (Algorithm 1), instead of the conflict-free rehash. Returns the
-    /// number of KVs moved.
-    pub fn rehash_subtable_naive(
-        &mut self,
-        sim: &mut SimContext,
-        idx: usize,
-        grow: bool,
-    ) -> Result<u64> {
-        let old = &self.tables[idx];
-        let old_buckets = old.n_buckets();
-        let new_buckets = if grow {
-            old_buckets * 2
-        } else {
-            (old_buckets / 2).max(1)
-        };
-        // Drain: read every key and value line of the subtable.
-        sim.metrics.read_transactions += 2 * old_buckets as u64;
-        let drained: Vec<(u32, u32)> = old.iter_live().collect();
-        let old_bytes = old.device_bytes();
-        sim.device.alloc(SubTable::device_bytes_for(new_buckets))?;
-        self.tables[idx] = SubTable::new(new_buckets);
-        sim.device.free(old_bytes)?;
-        // Re-insert through the ordinary voter kernel: each key routes
-        // through its two-layer pair (which contains `idx`), competing with
-        // whatever is already in the partner subtables. The naive strategy
-        // has no Theorem-1 steering (that is part of what it lacks), so
-        // half the reinserts land in the other, possibly nearly full,
-        // subtable — which is exactly why the paper finds naive upsizing
-        // "severely limited".
-        let naive_shape = TableShape {
-            cfg: Config {
-                distribution: crate::config::Distribution::Uniform,
-                ..self.shape.cfg
-            },
-            pair: self.shape.pair,
-            hashes: self.shape.hashes.clone(),
-        };
-        let moved = drained.len() as u64;
-        let ops: Vec<InsertOp> = drained
-            .into_iter()
-            .map(|(k, v)| {
-                self.op_counter += 1;
-                InsertOp::fresh(k, v, self.op_counter)
-            })
-            .collect();
-        let out = run_insert(&mut self.tables, &naive_shape, ops, None, &mut sim.metrics);
-        let mut report = BatchReport::default();
-        self.retry_failed(sim, out, &mut report)?;
-        Ok(moved)
-    }
-
-    /// The policy invariant: no subtable more than twice any other.
-    pub fn size_ratio_ok(&self) -> bool {
-        resize::size_ratio_invariant(&self.tables)
-    }
-
-    /// Verify internal accounting (occupancy counters vs. actual slots and
-    /// the two-layer residency invariant). Test/debug helper; O(capacity).
-    pub fn verify_integrity(&self) -> std::result::Result<(), String> {
-        if let Some(stash) = &self.stash {
-            // No key may live in both the stash and a subtable.
-            let mut probe = gpu_sim::Metrics::default();
-            let mut ctx = gpu_sim::RoundCtx::new(&mut probe);
-            for t in &self.tables {
-                for (k, _) in t.iter_live() {
-                    if stash.find(k, &mut ctx).is_some() {
-                        return Err(format!("key {k} resides in a subtable AND the stash"));
-                    }
-                }
-            }
-            ctx.finish();
-        }
-        for (i, t) in self.tables.iter().enumerate() {
-            if t.occupied() != t.recount() {
-                return Err(format!(
-                    "subtable {i}: occupancy counter {} but {} live slots",
-                    t.occupied(),
-                    t.recount()
-                ));
-            }
-            for b in 0..t.n_buckets() {
-                for (s, &k) in t.bucket_keys(b).iter().enumerate() {
-                    if k == crate::subtable::EMPTY_KEY {
-                        continue;
-                    }
-                    if !self.shape.candidates(k).contains(i) {
-                        return Err(format!(
-                            "key {k} in subtable {i} bucket {b} slot {s}, outside its candidate set {:?}",
-                            self.shape.candidates(k).as_slice_vec()
-                        ));
-                    }
-                    let expect = self.shape.hashes[i].bucket(k, t.n_buckets());
-                    if expect != b {
-                        return Err(format!(
-                            "key {k} in subtable {i} bucket {b}, expected bucket {expect}"
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Raw subtables, for experiments that need structural detail (e.g. the
-    /// resize-throughput comparison reads exact per-subtable sizes).
-    pub fn subtables(&self) -> &[SubTable] {
-        &self.tables
-    }
-
-    /// Debug-build invariant sweep after every mutating batch operation, so
-    /// every existing test doubles as an integrity check and corruption is
-    /// caught at the batch boundary where it is still attributable. Skipped
-    /// under deliberate fault injection — a lost update is a *semantic*
-    /// defect for the oracle, not a structural one for this sweep.
-    #[inline]
-    fn debug_verify(&self, when: &str) {
-        if cfg!(debug_assertions) && !self.shape.cfg.inject_lock_elision {
-            if let Err(e) = self.verify_integrity() {
-                panic!("integrity violated after {when}: {e}");
-            }
-        }
-    }
+    /// Mirror of every device byte this table has allocated minus freed on
+    /// the gpu-sim ledger, updated at each alloc/free site. Layout-derived
+    /// [`DyCuckoo::device_bytes`] must agree with it at every batch
+    /// boundary — [`DyCuckoo::verify_integrity`] asserts the two stay in
+    /// lock step, so a resize path that forgets either side is caught.
+    ledger_bytes: u64,
 }
 
 /// Smallest power-of-two bucket count per subtable such that `items` keys
 /// fill `d` such subtables to at most `target_fill` (uniform sizing; see
 /// [`mixed_bucket_sizes`] for the finer-grained allocation
-/// [`DyCuckoo::with_capacity`] uses).
+/// [`DyCuckoo::with_capacity`] uses). Delegates to the engine's shared
+/// sizing with this crate's default bucket width.
 pub fn buckets_for_load(items: usize, d: usize, target_fill: f64) -> usize {
-    assert!(target_fill > 0.0 && target_fill <= 1.0);
-    let slots_needed = (items as f64 / target_fill).ceil() as usize;
-    let per_table = slots_needed.div_ceil(d * BUCKET_SLOTS);
-    per_table.next_power_of_two().max(1)
+    gpu_sim::engine::buckets_for_load(items, d, target_fill, BUCKET_SLOTS)
 }
 
 /// Per-subtable bucket counts whose total capacity covers
 /// `items / target_fill` slots as tightly as possible: an equal split,
 /// rounded up to even counts so every subtable can later halve cleanly.
 pub fn mixed_bucket_sizes(items: usize, d: usize, target_fill: f64) -> Vec<usize> {
-    assert!(target_fill > 0.0 && target_fill <= 1.0 && d >= 1);
-    let slots_needed = (items as f64 / target_fill).ceil() as usize;
-    let buckets_needed = slots_needed.div_ceil(BUCKET_SLOTS).max(1);
-    let per_table = buckets_needed.div_ceil(d).next_multiple_of(2);
-    vec![per_table; d]
+    gpu_sim::engine::mixed_bucket_sizes(items, d, target_fill, BUCKET_SLOTS)
 }
 
 /// Simulated elapsed time and throughput of a window of metrics — a small
@@ -829,6 +260,7 @@ pub fn window_mops(sim: &SimContext, window: &Metrics, ops: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
 
     fn small_cfg() -> Config {
         Config {
@@ -899,8 +331,7 @@ mod tests {
         let mut sim = SimContext::new();
         let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
         for round in 0..20u32 {
-            let kvs: Vec<(u32, u32)> =
-                (0..200u32).map(|i| (round * 200 + i + 1, i)).collect();
+            let kvs: Vec<(u32, u32)> = (0..200u32).map(|i| (round * 200 + i + 1, i)).collect();
             t.insert_batch(&mut sim, &kvs).unwrap();
             assert!(t.size_ratio_ok(), "size ratio violated at round {round}");
             assert!(
@@ -955,6 +386,20 @@ mod tests {
             assert!(fill > 0.85 * 0.98, "d={d}: fill only {fill}");
             assert!(t.size_ratio_ok(), "d={d}");
         }
+    }
+
+    #[test]
+    fn with_capacity_sizes_by_layout_width() {
+        // A 16-slot layout needs twice the buckets for the same capacity.
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            layout: gpu_sim::LayoutConfig::aos(16, 4, 4),
+            ..Config::default()
+        };
+        let t = DyCuckoo::with_capacity(cfg, 50_000, 0.85, &mut sim).unwrap();
+        let fill = 50_000.0 / t.capacity_slots() as f64;
+        assert!(fill <= 0.85 + 1e-9 && fill > 0.85 * 0.98, "fill {fill}");
+        t.verify_integrity().unwrap();
     }
 
     #[test]
@@ -1254,5 +699,19 @@ mod tests {
         assert!(held > 0);
         t.release(&mut sim).unwrap();
         assert_eq!(sim.device.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn ledger_mirrors_device_allocations_through_resizes() {
+        let mut sim = SimContext::new();
+        let mut t = DyCuckoo::new(small_cfg(), &mut sim).unwrap();
+        assert_eq!(t.device_bytes(), sim.device.allocated_bytes());
+        let kvs: Vec<(u32, u32)> = (1..=3000u32).map(|k| (k, k)).collect();
+        t.insert_batch(&mut sim, &kvs).unwrap(); // many upsizes
+        assert_eq!(t.device_bytes(), sim.device.allocated_bytes());
+        let dels: Vec<u32> = (1..=2800).collect();
+        t.delete_batch(&mut sim, &dels).unwrap(); // downsizes
+        assert_eq!(t.device_bytes(), sim.device.allocated_bytes());
+        t.verify_integrity().unwrap();
     }
 }

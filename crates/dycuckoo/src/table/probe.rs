@@ -1,0 +1,124 @@
+//! Probe side of the table: the batched insert/find/delete entry points
+//! that pack user operations into warps and drive the kernels in
+//! [`crate::ops`], plus the stash fast paths wrapped around them.
+
+use gpu_sim::SimContext;
+
+use crate::error::{Error, Result};
+use crate::ops::insert::{insert_batch as run_insert, InsertOp};
+use crate::ops::{delete::delete_batch as run_delete, find::find_batch as run_find};
+use crate::resize;
+
+use super::{BatchReport, DyCuckoo, RESIZE_CHECK_INTERVAL};
+
+impl DyCuckoo {
+    /// Insert a batch of KV pairs. Duplicate handling follows
+    /// [`crate::DupPolicy`]; resizes triggered by the batch are reported.
+    pub fn insert_batch(
+        &mut self,
+        sim: &mut SimContext,
+        kvs: &[(u32, u32)],
+    ) -> Result<BatchReport> {
+        if kvs.iter().any(|&(k, _)| k == 0) {
+            return Err(Error::ZeroKey);
+        }
+        let mut report = BatchReport {
+            attempted: kvs.len(),
+            ..BatchReport::default()
+        };
+        sim.metrics.ops += kvs.len() as u64;
+        // Stashed keys are updated in place so a key never lives in both
+        // the stash and a subtable.
+        let filtered: Vec<(u32, u32)>;
+        let mut rest: &[(u32, u32)] = kvs;
+        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
+            let stash = self.stash.as_mut().expect("checked above");
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            filtered = kvs
+                .iter()
+                .copied()
+                .filter(|&(k, v)| {
+                    let in_stash = stash.update(k, v, &mut ctx);
+                    if in_stash {
+                        report.updated += 1;
+                    }
+                    !in_stash
+                })
+                .collect();
+            ctx.finish();
+            rest = &filtered;
+        }
+        while !rest.is_empty() {
+            // Adaptive chunking: insert only up to the headroom below β
+            // before re-checking the filled factor, so a huge batch cannot
+            // drive the table far past its bound (where every bucket is
+            // full and eviction chains explode) between checks.
+            let step = (self.headroom_slots().max(512) as usize)
+                .min(RESIZE_CHECK_INTERVAL)
+                .min(rest.len());
+            let (chunk, tail) = rest.split_at(step);
+            rest = tail;
+            let ops: Vec<InsertOp> = chunk
+                .iter()
+                .map(|&(k, v)| {
+                    self.op_counter += 1;
+                    InsertOp::fresh(k, v, self.op_counter)
+                })
+                .collect();
+            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
+            report.inserted += out.inserted;
+            report.updated += out.updated;
+            self.retry_failed(sim, out, &mut report)?;
+            self.rebalance(sim, resize::Direction::GrowOnly, &mut report.resizes)?;
+        }
+        self.debug_verify("insert_batch");
+        Ok(report)
+    }
+
+    /// Look up a batch of keys; returns one `Option<value>` per key.
+    pub fn find_batch(&self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
+        sim.metrics.ops += keys.len() as u64;
+        let mut results = run_find(&self.tables, &self.shape, keys, &mut sim.metrics);
+        if let Some(stash) = self.stash.as_ref().filter(|s| !s.is_empty()) {
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            for (key, r) in keys.iter().zip(results.iter_mut()) {
+                if r.is_none() {
+                    *r = stash.find(*key, &mut ctx);
+                }
+            }
+            ctx.finish();
+        }
+        results
+    }
+
+    /// Delete a batch of keys, reporting erased count and any downsizes.
+    pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<BatchReport> {
+        let mut report = BatchReport {
+            attempted: keys.len(),
+            ..BatchReport::default()
+        };
+        sim.metrics.ops += keys.len() as u64;
+        report.deleted = run_delete(&mut self.tables, &self.shape, keys, &mut sim.metrics);
+        if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
+            let stash = self.stash.as_mut().expect("checked above");
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            for &key in keys {
+                if stash.erase(key, &mut ctx) {
+                    report.deleted += 1;
+                }
+                if stash.is_empty() {
+                    break;
+                }
+            }
+            ctx.finish();
+        }
+        self.rebalance(sim, resize::Direction::Both, &mut report.resizes)?;
+        self.debug_verify("delete_batch");
+        Ok(report)
+    }
+
+    /// Convenience single-key lookup (one-op batch).
+    pub fn get(&self, sim: &mut SimContext, key: u32) -> Option<u32> {
+        self.find_batch(sim, &[key])[0]
+    }
+}

@@ -1,0 +1,261 @@
+//! Storage side of the table: construction, capacity accounting, the
+//! device-byte ledger and the integrity sweep.
+//!
+//! Every `sim.device.alloc`/`free` the table performs is mirrored into
+//! [`DyCuckoo`]'s `ledger_bytes`, and [`DyCuckoo::verify_integrity`]
+//! asserts the mirror equals the layout-derived [`DyCuckoo::device_bytes`]
+//! — so layout geometry, the gpu-sim allocation ledger and the resize
+//! paths can never silently drift apart.
+
+use gpu_sim::SimContext;
+
+use crate::config::Config;
+use crate::error::Result;
+use crate::hashfn::UniversalHash;
+use crate::resize;
+use crate::stash::Stash;
+use crate::stats::{SubTableStats, TableStats};
+use crate::subtable::SubTable;
+use crate::two_layer::PairHash;
+
+use super::{DyCuckoo, TableShape};
+
+impl DyCuckoo {
+    /// Create a table with `cfg.initial_buckets` buckets per subtable.
+    pub fn new(cfg: Config, sim: &mut SimContext) -> Result<Self> {
+        cfg.validate()?;
+        let pair = PairHash::new(cfg.seed ^ 0x9E37_79B9, cfg.num_tables);
+        let hashes = (0..cfg.num_tables)
+            .map(|i| {
+                UniversalHash::from_seed(
+                    cfg.seed
+                        .wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
+            .collect();
+        let tables: Vec<SubTable> = (0..cfg.num_tables)
+            .map(|_| SubTable::new(cfg.initial_buckets, cfg.layout))
+            .collect();
+        let mut ledger_bytes = 0u64;
+        for t in &tables {
+            sim.device.alloc(t.device_bytes())?;
+            ledger_bytes += t.device_bytes();
+        }
+        let stash = if cfg.stash_capacity > 0 {
+            let s = Stash::new(cfg.stash_capacity, cfg.layout.keys_per_line());
+            sim.device.alloc(s.device_bytes())?;
+            ledger_bytes += s.device_bytes();
+            Some(s)
+        } else {
+            None
+        };
+        Ok(Self {
+            shape: TableShape { cfg, pair, hashes },
+            tables,
+            stash,
+            op_counter: 0,
+            ledger_bytes,
+        })
+    }
+
+    /// Create a table pre-sized so that `items` keys load it to roughly
+    /// `target_fill` (used by the static experiments, which fix the memory
+    /// budget up front).
+    ///
+    /// Because the hash reduces modulo the bucket count, sizes are not
+    /// restricted to powers of two: an equal even split tracks the budget
+    /// almost exactly, making filled-factor sweeps comparable across `d`.
+    /// Sizing accounts for the configured layout's bucket width, so a
+    /// narrower layout gets proportionally more buckets.
+    pub fn with_capacity(
+        mut cfg: Config,
+        items: usize,
+        target_fill: f64,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
+        let sizes = gpu_sim::engine::mixed_bucket_sizes(
+            items,
+            cfg.num_tables,
+            target_fill,
+            cfg.layout.slots,
+        );
+        cfg.initial_buckets = sizes[0];
+        cfg.validate()?;
+        let mut table = Self::new(cfg, sim)?;
+        for (i, &sz) in sizes.iter().enumerate() {
+            if sz != table.tables[i].n_buckets() {
+                let old_bytes = table.tables[i].device_bytes();
+                sim.device.free(old_bytes)?;
+                table.ledger_bytes -= old_bytes;
+                let new_bytes = cfg.layout.device_bytes_for(sz);
+                sim.device.alloc(new_bytes)?;
+                table.ledger_bytes += new_bytes;
+                table.tables[i] = SubTable::new(sz, cfg.layout);
+            }
+        }
+        Ok(table)
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &Config {
+        &self.shape.cfg
+    }
+
+    /// Set the within-round warp ordering for all subsequent kernel
+    /// launches. Purely an interleaving choice: contents and final state
+    /// stay semantically equivalent, only contention patterns (and thus
+    /// metrics) may differ. Used by the schedule-exploration harness.
+    pub fn set_schedule(&mut self, policy: gpu_sim::SchedulePolicy) {
+        self.shape.cfg.schedule = policy;
+    }
+
+    /// Number of live KV pairs (including any stashed overflow).
+    pub fn len(&self) -> u64 {
+        self.tables.iter().map(|t| t.occupied()).sum::<u64>()
+            + self.stash.as_ref().map_or(0, |s| s.len() as u64)
+    }
+
+    /// KV pairs currently parked in the overflow stash (0 without a stash).
+    pub fn stashed(&self) -> usize {
+        self.stash.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Whether the table holds no KV pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Overall filled factor `θ`.
+    pub fn fill_factor(&self) -> f64 {
+        resize::overall_fill(&self.tables)
+    }
+
+    /// Total key slots across all subtables.
+    pub fn capacity_slots(&self) -> u64 {
+        self.tables.iter().map(|t| t.capacity_slots()).sum()
+    }
+
+    /// Slots that can still be filled before θ crosses β (negative when
+    /// already above it). A batching front-end can cap insert batches to
+    /// this headroom so one flush does not force multiple resizes.
+    pub fn headroom_slots(&self) -> i64 {
+        (self.shape.cfg.beta * self.capacity_slots() as f64) as i64 - self.len() as i64
+    }
+
+    /// Device bytes currently held, derived from each subtable's layout
+    /// (padded bucket strides plus lock words; see
+    /// [`gpu_sim::engine::layout`]).
+    pub fn device_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.device_bytes()).sum::<u64>()
+            + self.stash.as_ref().map_or(0, |s| s.device_bytes())
+    }
+
+    /// Snapshot of per-subtable statistics.
+    pub fn stats(&self) -> TableStats {
+        let per_table: Vec<SubTableStats> = self
+            .tables
+            .iter()
+            .map(|t| SubTableStats {
+                n_buckets: t.n_buckets(),
+                occupied: t.occupied(),
+                capacity_slots: t.capacity_slots(),
+                fill: t.fill_factor(),
+            })
+            .collect();
+        TableStats {
+            num_tables: self.tables.len(),
+            occupied: self.len(),
+            capacity_slots: self.tables.iter().map(|t| t.capacity_slots()).sum(),
+            fill: self.fill_factor(),
+            device_bytes: self.device_bytes(),
+            per_table,
+        }
+    }
+
+    /// Release the table's device memory. (The simulator cannot hook `Drop`
+    /// because freeing needs the [`SimContext`].)
+    pub fn release(self, sim: &mut SimContext) -> Result<()> {
+        for t in &self.tables {
+            sim.device.free(t.device_bytes())?;
+        }
+        if let Some(s) = &self.stash {
+            sim.device.free(s.device_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Raw subtables, for experiments that need structural detail (e.g. the
+    /// resize-throughput comparison reads exact per-subtable sizes).
+    pub fn subtables(&self) -> &[SubTable] {
+        &self.tables
+    }
+
+    /// Verify internal accounting (occupancy counters vs. actual slots, the
+    /// device-byte ledger vs. layout-derived footprint, and the two-layer
+    /// residency invariant). Test/debug helper; O(capacity).
+    pub fn verify_integrity(&self) -> std::result::Result<(), String> {
+        if self.ledger_bytes != self.device_bytes() {
+            return Err(format!(
+                "allocation ledger holds {} bytes but layout accounting says {}",
+                self.ledger_bytes,
+                self.device_bytes()
+            ));
+        }
+        if let Some(stash) = &self.stash {
+            // No key may live in both the stash and a subtable.
+            let mut probe = gpu_sim::Metrics::default();
+            let mut ctx = gpu_sim::RoundCtx::new(&mut probe);
+            for t in &self.tables {
+                for (k, _) in t.iter_live() {
+                    if stash.find(k, &mut ctx).is_some() {
+                        return Err(format!("key {k} resides in a subtable AND the stash"));
+                    }
+                }
+            }
+            ctx.finish();
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            if t.occupied() != t.recount() {
+                return Err(format!(
+                    "subtable {i}: occupancy counter {} but {} live slots",
+                    t.occupied(),
+                    t.recount()
+                ));
+            }
+            for b in 0..t.n_buckets() {
+                for (s, &k) in t.bucket_keys(b).iter().enumerate() {
+                    if k == crate::subtable::EMPTY_KEY {
+                        continue;
+                    }
+                    if !self.shape.candidates(k).contains(i) {
+                        return Err(format!(
+                            "key {k} in subtable {i} bucket {b} slot {s}, outside its candidate set {:?}",
+                            self.shape.candidates(k).as_slice_vec()
+                        ));
+                    }
+                    let expect = self.shape.hashes[i].bucket(k, t.n_buckets());
+                    if expect != b {
+                        return Err(format!(
+                            "key {k} in subtable {i} bucket {b}, expected bucket {expect}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant sweep after every mutating batch operation, so
+    /// every existing test doubles as an integrity check and corruption is
+    /// caught at the batch boundary where it is still attributable. Skipped
+    /// under deliberate fault injection — a lost update is a *semantic*
+    /// defect for the oracle, not a structural one for this sweep.
+    #[inline]
+    pub(super) fn debug_verify(&self, when: &str) {
+        if cfg!(debug_assertions) && !self.shape.cfg.inject_lock_elision {
+            if let Err(e) = self.verify_integrity() {
+                panic!("integrity violated after {when}: {e}");
+            }
+        }
+    }
+}

@@ -98,10 +98,7 @@ mod tests {
     #[test]
     fn unrank_lexicographic_for_d4() {
         let pairs: Vec<_> = (0..6).map(|i| unrank_pair(i, 4)).collect();
-        assert_eq!(
-            pairs,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
-        );
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! [`WideDyCuckoo`] demonstrates exactly that trade: 8-byte keys and
 //! values, 16 key slots per 128-byte bucket line, the same two-layer
 //! pairing and locked-bucket insertion, and conflict-free doubling on
-//! overflow. It shares the [`gpu_sim`] cost accounting, so experiments can
-//! quantify the halved bucket arity directly against the 4-byte table.
+//! overflow. Storage and transaction accounting come from the shared probe
+//! engine — the subtables are [`gpu_sim::BucketStore`]s over 64-bit words
+//! and every charge flows through the table's [`LayoutConfig`] — so
+//! experiments can quantify the halved bucket arity directly against the
+//! 4-byte table, under either layout scheme.
 
 use gpu_sim::{
-    run_rounds_with, Locks, RoundCtx, RoundKernel, SchedulePolicy, SimContext, StepOutcome,
-    WARP_SIZE,
+    run_rounds_with, BucketStore, LayoutConfig, RoundCtx, RoundKernel, SchedulePolicy, SimContext,
+    StepOutcome, WARP_SIZE,
 };
 
 use crate::error::{Error, Result};
@@ -27,40 +30,9 @@ pub const WIDE_BUCKET_SLOTS: usize = 16;
 
 const EMPTY: u64 = 0;
 
-/// A subtable of wide KV pairs.
-#[derive(Debug, Clone)]
-struct WideSubTable {
-    keys: Vec<u64>,
-    vals: Vec<u64>,
-    locks: Locks,
-    n_buckets: usize,
-    occupied: u64,
-}
-
-impl WideSubTable {
-    fn new(n_buckets: usize) -> Self {
-        Self {
-            keys: vec![EMPTY; n_buckets * WIDE_BUCKET_SLOTS],
-            vals: vec![0; n_buckets * WIDE_BUCKET_SLOTS],
-            locks: Locks::new(n_buckets),
-            n_buckets,
-            occupied: 0,
-        }
-    }
-
-    fn bucket_keys(&self, b: usize) -> &[u64] {
-        &self.keys[b * WIDE_BUCKET_SLOTS..(b + 1) * WIDE_BUCKET_SLOTS]
-    }
-
-    fn find_slot(&self, b: usize, key: u64) -> Option<usize> {
-        self.bucket_keys(b).iter().position(|&k| k == key)
-    }
-
-    fn device_bytes(&self) -> u64 {
-        // Key line + value line per bucket + lock word.
-        (self.n_buckets * (WIDE_BUCKET_SLOTS * 16 + 4)) as u64
-    }
-}
+/// A subtable of wide KV pairs: a bucketized engine store over 64-bit
+/// words.
+type WideSubTable = BucketStore<u64, u64>;
 
 /// Hash a 64-bit key down to the 32-bit domain of the universal family
 /// (a full-avalanche fold, so both halves contribute).
@@ -79,6 +51,7 @@ pub struct WideDyCuckoo {
     tables: Vec<WideSubTable>,
     hashes: Vec<UniversalHash>,
     pair: PairHash,
+    layout: LayoutConfig,
     seed: u64,
     eviction_limit: u32,
     op_counter: u64,
@@ -100,6 +73,7 @@ struct WideInsertKernel<'a> {
     tables: &'a mut [WideSubTable],
     hashes: &'a [UniversalHash],
     pair: &'a PairHash,
+    layout: LayoutConfig,
     seed: u64,
     eviction_limit: u32,
     inserted: u64,
@@ -114,7 +88,7 @@ struct WideWarp {
 
 impl WideInsertKernel<'_> {
     fn bucket_of(&self, key: u64, t: usize) -> usize {
-        self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets)
+        self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets())
     }
 }
 
@@ -130,8 +104,8 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
             let (i, j) = self.pair.pair_of(fk);
             let cur = &mut warp.ops[warp.cur];
             for t in [i, j] {
-                let b = self.hashes[t].bucket(fk, self.tables[t].n_buckets);
-                ctx.read_bucket();
+                let b = self.hashes[t].bucket(fk, self.tables[t].n_buckets());
+                self.layout.charge_probe(ctx);
                 if self.tables[t].find_slot(b, op.key).is_some() {
                     cur.target = t;
                     cur.tried_both = true;
@@ -146,19 +120,15 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
         if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
             return StepOutcome::Pending; // warp-serial table: simple spin
         }
-        ctx.read_bucket();
+        self.layout.charge_probe(ctx);
         if let Some(slot) = self.tables[t].find_slot(b, op.key) {
-            self.tables[t].vals[b * WIDE_BUCKET_SLOTS + slot] = op.val;
-            ctx.write_line();
+            self.tables[t].update_val(b, slot, op.val);
+            self.layout.charge_value_write(ctx);
             self.updated += 1;
             warp.cur += 1;
-        } else if let Some(slot) = self.tables[t].find_slot(b, EMPTY) {
-            let idx = b * WIDE_BUCKET_SLOTS + slot;
-            self.tables[t].keys[idx] = op.key;
-            self.tables[t].vals[idx] = op.val;
-            self.tables[t].occupied += 1;
-            ctx.write_line(); // key line
-            ctx.write_line(); // value line
+        } else if let Some(slot) = self.tables[t].find_empty(b) {
+            self.tables[t].write_new(b, slot, op.key, op.val);
+            self.layout.charge_kv_write(ctx);
             self.inserted += 1;
             warp.cur += 1;
         } else if !op.tried_both {
@@ -169,13 +139,9 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
         } else {
             // Evict a pseudo-random victim to its own partner subtable.
             let slot = (splitmix64(self.seed ^ op.key ^ (op.evictions as u64) << 24) as usize)
-                % WIDE_BUCKET_SLOTS;
-            let idx = b * WIDE_BUCKET_SLOTS + slot;
-            let (ek, ev) = (self.tables[t].keys[idx], self.tables[t].vals[idx]);
-            self.tables[t].keys[idx] = op.key;
-            self.tables[t].vals[idx] = op.val;
-            ctx.write_line();
-            ctx.write_line();
+                % self.layout.slots;
+            let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
+            self.layout.charge_kv_write(ctx);
             ctx.metrics.evictions += 1;
             let next = self.pair.partner(fold_key(ek), t);
             let cur = &mut warp.ops[warp.cur];
@@ -206,15 +172,41 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
 }
 
 impl WideDyCuckoo {
-    /// Create a wide table with `d` subtables of `initial_buckets` buckets.
+    /// Create a wide table with `d` subtables of `initial_buckets` buckets
+    /// under the paper's wide layout (SoA, 16 eight-byte slots).
     pub fn new(d: usize, initial_buckets: usize, seed: u64, sim: &mut SimContext) -> Result<Self> {
+        Self::with_layout(
+            d,
+            initial_buckets,
+            seed,
+            LayoutConfig::soa(WIDE_BUCKET_SLOTS, 8, 8),
+            sim,
+        )
+    }
+
+    /// Create a wide table under an explicit bucket layout (the sweep and
+    /// the layout-equivalence property test drive this).
+    pub fn with_layout(
+        d: usize,
+        initial_buckets: usize,
+        seed: u64,
+        layout: LayoutConfig,
+        sim: &mut SimContext,
+    ) -> Result<Self> {
         if !(2..=16).contains(&d) {
             return Err(Error::InvalidConfig(format!(
                 "wide table needs 2..=16 subtables, got {d}"
             )));
         }
+        layout.validate().map_err(Error::InvalidConfig)?;
+        if layout.key_bytes != 8 || layout.val_bytes != 8 {
+            return Err(Error::InvalidConfig(format!(
+                "wide table holds 8-byte words, layout says {}/{}",
+                layout.key_bytes, layout.val_bytes
+            )));
+        }
         let tables: Vec<WideSubTable> = (0..d)
-            .map(|_| WideSubTable::new(initial_buckets.max(1)))
+            .map(|_| WideSubTable::new(initial_buckets.max(1), layout))
             .collect();
         for t in &tables {
             sim.device.alloc(t.device_bytes())?;
@@ -225,6 +217,7 @@ impl WideDyCuckoo {
                 .map(|i| UniversalHash::from_seed(seed ^ ((i as u64 + 1) << 40)))
                 .collect(),
             pair: PairHash::new(seed ^ 0x77_1D_E0, d),
+            layout,
             seed,
             eviction_limit: 64,
             op_counter: 0,
@@ -238,9 +231,14 @@ impl WideDyCuckoo {
         self.schedule = policy;
     }
 
+    /// The bucket layout this table charges under.
+    pub fn layout(&self) -> &LayoutConfig {
+        &self.layout
+    }
+
     /// Live KV pairs.
     pub fn len(&self) -> u64 {
-        self.tables.iter().map(|t| t.occupied).sum()
+        self.tables.iter().map(|t| t.occupied()).sum()
     }
 
     /// Whether the table is empty.
@@ -250,11 +248,7 @@ impl WideDyCuckoo {
 
     /// Overall filled factor.
     pub fn fill_factor(&self) -> f64 {
-        let slots: u64 = self
-            .tables
-            .iter()
-            .map(|t| (t.n_buckets * WIDE_BUCKET_SLOTS) as u64)
-            .sum();
+        let slots: u64 = self.tables.iter().map(|t| t.capacity_slots()).sum();
         self.len() as f64 / slots as f64
     }
 
@@ -271,30 +265,27 @@ impl WideDyCuckoo {
     /// the 32-bit table: a key in bucket `loc` moves to `loc` or `loc+n`).
     fn upsize_smallest(&mut self, sim: &mut SimContext) -> Result<()> {
         let idx = (0..self.tables.len())
-            .min_by_key(|&i| (self.tables[i].n_buckets, i))
+            .min_by_key(|&i| (self.tables[i].n_buckets(), i))
             .expect("non-empty");
-        let old_n = self.tables[idx].n_buckets;
+        let old_n = self.tables[idx].n_buckets();
         let new_n = old_n * 2;
-        let mut fresh = WideSubTable::new(new_n);
+        let drain = self.layout.drain_lines();
+        let mut fresh = WideSubTable::new(new_n, self.layout);
         sim.device.alloc(fresh.device_bytes())?;
         sim.metrics.rounds += 1;
         for b in 0..old_n {
-            sim.metrics.read_transactions += 2;
-            for s in 0..WIDE_BUCKET_SLOTS {
-                let idx_old = b * WIDE_BUCKET_SLOTS + s;
-                let k = self.tables[idx].keys[idx_old];
+            sim.metrics.read_transactions += drain;
+            for s in 0..self.layout.slots {
+                let (k, v) = self.tables[idx].slot(b, s);
                 if k == EMPTY {
                     continue;
                 }
                 let nb = self.hashes[idx].bucket(fold_key(k), new_n);
                 debug_assert!(nb == b || nb == b + old_n);
-                let slot = fresh.find_slot(nb, EMPTY).expect("doubled bucket");
-                let idx_new = nb * WIDE_BUCKET_SLOTS + slot;
-                fresh.keys[idx_new] = k;
-                fresh.vals[idx_new] = self.tables[idx].vals[idx_old];
-                fresh.occupied += 1;
+                let slot = fresh.find_empty(nb).expect("doubled bucket");
+                fresh.write_new(nb, slot, k, v);
             }
-            sim.metrics.write_transactions += 2;
+            sim.metrics.write_transactions += drain;
         }
         let old_bytes = self.tables[idx].device_bytes();
         self.tables[idx] = fresh;
@@ -342,6 +333,7 @@ impl WideDyCuckoo {
                 tables: &mut self.tables,
                 hashes: &self.hashes,
                 pair: &self.pair,
+                layout: self.layout,
                 seed: self.seed,
                 eviction_limit: self.eviction_limit,
                 inserted: 0,
@@ -367,6 +359,8 @@ impl WideDyCuckoo {
     pub fn find_batch(&self, sim: &mut SimContext, keys: &[u64]) -> Vec<Option<u64>> {
         sim.metrics.ops += keys.len() as u64;
         let metrics = &mut sim.metrics;
+        let probe = self.layout.probe_lines();
+        let value_read = self.layout.value_read_lines();
         let mut out = Vec::with_capacity(keys.len());
         let mut rounds = 0u64;
         for chunk in keys.chunks(WARP_SIZE) {
@@ -375,13 +369,13 @@ impl WideDyCuckoo {
                 let (i, j) = self.pair_of(key);
                 let mut found = None;
                 for t in [i, j] {
-                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets);
-                    metrics.read_transactions += 1;
+                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets());
+                    metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
                     if let Some(slot) = self.tables[t].find_slot(b, key) {
-                        metrics.read_transactions += 1; // value line
-                        found = Some(self.tables[t].vals[b * WIDE_BUCKET_SLOTS + slot]);
+                        metrics.read_transactions += value_read;
+                        found = Some(self.tables[t].bucket_vals(b)[slot]);
                         break;
                     }
                 }
@@ -397,6 +391,8 @@ impl WideDyCuckoo {
     pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u64]) -> u64 {
         sim.metrics.ops += keys.len() as u64;
         let metrics = &mut sim.metrics;
+        let probe = self.layout.probe_lines();
+        let key_write = self.layout.key_write_lines();
         let mut deleted = 0;
         let mut rounds = 0u64;
         for chunk in keys.chunks(WARP_SIZE) {
@@ -404,14 +400,13 @@ impl WideDyCuckoo {
             for &key in chunk {
                 let (i, j) = self.pair_of(key);
                 for t in [i, j] {
-                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets);
-                    metrics.read_transactions += 1;
+                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets());
+                    metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
                     if let Some(slot) = self.tables[t].find_slot(b, key) {
-                        self.tables[t].keys[b * WIDE_BUCKET_SLOTS + slot] = EMPTY;
-                        self.tables[t].occupied -= 1;
-                        metrics.write_transactions += 1;
+                        self.tables[t].erase(b, slot);
+                        metrics.write_transactions += key_write;
                         deleted += 1;
                         break;
                     }
@@ -482,10 +477,7 @@ mod tests {
         t.insert_batch(&mut sim, &updates).unwrap();
         assert_eq!(t.len(), 100);
         let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
-        assert!(t
-            .find_batch(&mut sim, &keys)
-            .iter()
-            .all(|f| *f == Some(42)));
+        assert!(t.find_batch(&mut sim, &keys).iter().all(|f| *f == Some(42)));
         assert_eq!(t.delete_batch(&mut sim, &keys), 100);
         assert!(t.is_empty());
     }
@@ -510,6 +502,45 @@ mod tests {
         assert!(matches!(
             t.insert_batch(&mut sim, &[(0, 1)]),
             Err(Error::ZeroKey)
+        ));
+    }
+
+    #[test]
+    fn aos_layout_places_keys_identically_to_soa() {
+        let mut sim_a = SimContext::new();
+        let mut sim_b = SimContext::new();
+        let mut soa = WideDyCuckoo::new(4, 2, 7, &mut sim_a).unwrap();
+        let mut aos = WideDyCuckoo::with_layout(
+            4,
+            2,
+            7,
+            LayoutConfig::aos(WIDE_BUCKET_SLOTS, 8, 8),
+            &mut sim_b,
+        )
+        .unwrap();
+        let kvs = wide_keys(400);
+        soa.insert_batch(&mut sim_a, &kvs).unwrap();
+        aos.insert_batch(&mut sim_b, &kvs).unwrap();
+        assert_eq!(soa.len(), aos.len());
+        let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(
+            soa.find_batch(&mut sim_a, &keys),
+            aos.find_batch(&mut sim_b, &keys)
+        );
+        // Equal slot counts, different cost model: lookups agree while the
+        // transaction counts diverge (AoS-16 over 8-byte pairs spans two
+        // lines per probe).
+        let (ma, mb) = (sim_a.take_metrics(), sim_b.take_metrics());
+        assert_eq!(ma.lookups, mb.lookups);
+        assert_ne!(ma.read_transactions, mb.read_transactions);
+    }
+
+    #[test]
+    fn rejects_narrow_layout() {
+        let mut sim = SimContext::new();
+        assert!(matches!(
+            WideDyCuckoo::with_layout(4, 2, 7, LayoutConfig::soa(32, 4, 4), &mut sim),
+            Err(Error::InvalidConfig(_))
         ));
     }
 }

@@ -88,10 +88,9 @@ impl std::fmt::Display for DeviceError {
                 f,
                 "device out of memory: requested {requested} bytes, {available} available"
             ),
-            DeviceError::DoubleFree { freed, allocated } => write!(
-                f,
-                "freed {freed} bytes but only {allocated} are allocated"
-            ),
+            DeviceError::DoubleFree { freed, allocated } => {
+                write!(f, "freed {freed} bytes but only {allocated} are allocated")
+            }
         }
     }
 }

@@ -1,0 +1,460 @@
+//! Bucket memory layouts and their transaction-accounting rules.
+//!
+//! Every throughput number in the reproduction reduces to counts of
+//! 128-byte memory transactions, and those counts are a pure function of
+//! how a bucket's keys and values are packed into cache lines. This module
+//! makes that packing a first-class, swappable axis:
+//!
+//! * **SoA** (split arrays): the keys of a bucket are consecutive in a key
+//!   array, the values consecutive in a separate value array — the paper's
+//!   own layout (its Figure "hash table structure"). Probes touch only key
+//!   lines; value traffic is paid only on a hit, and key-only operations
+//!   (missed finds, deletes) never touch a value line.
+//! * **AoS** (interleaved): each bucket stores its KV pairs contiguously,
+//!   so a probe fetches keys *and* values together. Fewer distinct lines
+//!   per operation at small bucket widths, at the price of dragging value
+//!   bytes through the cache on every probe.
+//!
+//! Bucket width is configurable (8/16/32 slots) so the width × scheme
+//! product can be swept by `bench --bin layout_sweep`. The default
+//! configuration — SoA, 32 slots, 4-byte keys and values — charges exactly
+//! the transaction sequence the pre-engine kernels charged, which is what
+//! keeps the schedule-fuzz digests and telemetry snapshots byte-identical.
+//!
+//! Accounting rules (per logical bucket operation):
+//!
+//! | operation                | SoA                      | AoS            |
+//! |--------------------------|--------------------------|----------------|
+//! | probe (scan keys)        | key-area lines           | bucket lines   |
+//! | read value after a hit   | 1 value line             | 0 (same line)  |
+//! | write fresh KV / swap    | 1 key line + 1 value line| 1 bucket line  |
+//! | update value in place    | 1 value line             | 1 bucket line  |
+//! | erase key                | 1 key line               | 1 bucket line  |
+//! | drain bucket (rehash)    | key + value lines        | bucket lines   |
+//!
+//! A probe always counts **one** logical lookup regardless of how many
+//! lines it spans, so lookup counts stay comparable across layouts.
+
+use crate::atomic::RoundCtx;
+
+/// Bytes per coalesced memory transaction (one cache line).
+pub const LINE_BYTES: u64 = 128;
+/// Smallest addressable granule for array padding (one sector).
+pub const SECTOR_BYTES: u64 = 32;
+/// Bytes of the per-bucket lock word.
+pub const LOCK_BYTES: u64 = 4;
+
+/// How a bucket's keys and values are arranged in device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutScheme {
+    /// Split arrays: all keys of a bucket consecutive, values in a
+    /// separate array (the paper's layout).
+    Soa,
+    /// Interleaved: each bucket's KV pairs stored contiguously.
+    Aos,
+}
+
+impl LayoutScheme {
+    fn rules(self) -> &'static dyn BucketLayout {
+        match self {
+            LayoutScheme::Soa => &Soa,
+            LayoutScheme::Aos => &Aos,
+        }
+    }
+
+    /// Lower-case name used in specs and benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutScheme::Soa => "soa",
+            LayoutScheme::Aos => "aos",
+        }
+    }
+}
+
+/// The transaction-accounting rules of one layout scheme, in units of
+/// 128-byte lines. Implementations are stateless; geometry arrives via the
+/// [`LayoutConfig`] being interpreted.
+pub trait BucketLayout {
+    /// Lines read to scan the keys of one bucket.
+    fn probe_lines(&self, cfg: &LayoutConfig) -> u64;
+    /// Extra lines read to fetch a value after a key hit.
+    fn value_read_lines(&self, cfg: &LayoutConfig) -> u64;
+    /// Lines written to place (or swap) a full KV pair.
+    fn kv_write_lines(&self, cfg: &LayoutConfig) -> u64;
+    /// Lines written to update a value in place.
+    fn value_write_lines(&self, cfg: &LayoutConfig) -> u64;
+    /// Lines written to erase a key.
+    fn key_write_lines(&self, cfg: &LayoutConfig) -> u64;
+    /// Lines to read (or write) one whole bucket during a rehash drain.
+    fn drain_lines(&self, cfg: &LayoutConfig) -> u64;
+    /// Device bytes of one bucket, padded to the layout's alignment.
+    fn bucket_stride_bytes(&self, cfg: &LayoutConfig) -> u64;
+}
+
+fn lines(bytes: u64) -> u64 {
+    bytes.div_ceil(LINE_BYTES).max(1)
+}
+
+fn round_up(bytes: u64, to: u64) -> u64 {
+    bytes.div_ceil(to) * to
+}
+
+/// Split-array rules. Keys and values live in separate, densely packed
+/// arrays (padded to sector granularity per bucket).
+pub struct Soa;
+
+impl BucketLayout for Soa {
+    fn probe_lines(&self, cfg: &LayoutConfig) -> u64 {
+        lines(cfg.key_area_bytes())
+    }
+    fn value_read_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        1
+    }
+    fn kv_write_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        2 // the key line and the value line holding the slot
+    }
+    fn value_write_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        1
+    }
+    fn key_write_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        1
+    }
+    fn drain_lines(&self, cfg: &LayoutConfig) -> u64 {
+        lines(cfg.key_area_bytes()) + lines(cfg.val_area_bytes())
+    }
+    fn bucket_stride_bytes(&self, cfg: &LayoutConfig) -> u64 {
+        round_up(cfg.key_area_bytes(), SECTOR_BYTES) + round_up(cfg.val_area_bytes(), SECTOR_BYTES)
+    }
+}
+
+/// Interleaved rules. A bucket is one contiguous run of KV pairs, padded
+/// to whole cache lines so buckets never straddle a line boundary.
+pub struct Aos;
+
+impl BucketLayout for Aos {
+    fn probe_lines(&self, cfg: &LayoutConfig) -> u64 {
+        lines(cfg.bucket_payload_bytes())
+    }
+    fn value_read_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        0 // the value came in with the probed line
+    }
+    fn kv_write_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        1
+    }
+    fn value_write_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        1
+    }
+    fn key_write_lines(&self, _cfg: &LayoutConfig) -> u64 {
+        1
+    }
+    fn drain_lines(&self, cfg: &LayoutConfig) -> u64 {
+        lines(cfg.bucket_payload_bytes())
+    }
+    fn bucket_stride_bytes(&self, cfg: &LayoutConfig) -> u64 {
+        round_up(cfg.bucket_payload_bytes(), LINE_BYTES)
+    }
+}
+
+/// A concrete bucket layout: scheme × geometry. Carried by every
+/// [`super::BucketStore`] and threaded through table configurations so the
+/// same kernels can be charged under any layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayoutConfig {
+    /// Key/value arrangement.
+    pub scheme: LayoutScheme,
+    /// Slots per bucket (8, 16 or 32).
+    pub slots: usize,
+    /// Bytes per key (4 or 8).
+    pub key_bytes: u64,
+    /// Bytes per value (4 or 8).
+    pub val_bytes: u64,
+}
+
+impl Default for LayoutConfig {
+    /// The paper's layout: split arrays, 32 four-byte keys per bucket —
+    /// one key line plus one value line per bucket.
+    fn default() -> Self {
+        Self::soa(32, 4, 4)
+    }
+}
+
+impl LayoutConfig {
+    /// Split-array layout with the given geometry.
+    pub const fn soa(slots: usize, key_bytes: u64, val_bytes: u64) -> Self {
+        Self {
+            scheme: LayoutScheme::Soa,
+            slots,
+            key_bytes,
+            val_bytes,
+        }
+    }
+
+    /// Interleaved layout with the given geometry.
+    pub const fn aos(slots: usize, key_bytes: u64, val_bytes: u64) -> Self {
+        Self {
+            scheme: LayoutScheme::Aos,
+            slots,
+            key_bytes,
+            val_bytes,
+        }
+    }
+
+    /// Validate the geometry: bucket widths are swept over 8/16/32 slots
+    /// and key/value words are 4 or 8 bytes.
+    pub fn validate(&self) -> Result<(), String> {
+        if !matches!(self.slots, 8 | 16 | 32) {
+            return Err(format!(
+                "layout slots must be 8, 16 or 32, got {}",
+                self.slots
+            ));
+        }
+        if !matches!(self.key_bytes, 4 | 8) || !matches!(self.val_bytes, 4 | 8) {
+            return Err(format!(
+                "layout key/value bytes must be 4 or 8, got {}/{}",
+                self.key_bytes, self.val_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Short spec string, e.g. `soa32` or `aos16` (geometry of the word
+    /// sizes is implied by the table's key/value types).
+    pub fn spec(&self) -> String {
+        format!("{}{}", self.scheme.name(), self.slots)
+    }
+
+    /// Parse a `soa32` / `aos16`-style spec for a table with the given
+    /// key/value word sizes.
+    pub fn parse(spec: &str, key_bytes: u64, val_bytes: u64) -> Option<Self> {
+        let (scheme, slots) = if let Some(rest) = spec.strip_prefix("soa") {
+            (LayoutScheme::Soa, rest)
+        } else if let Some(rest) = spec.strip_prefix("aos") {
+            (LayoutScheme::Aos, rest)
+        } else {
+            return None;
+        };
+        let slots: usize = slots.parse().ok()?;
+        let cfg = Self {
+            scheme,
+            slots,
+            key_bytes,
+            val_bytes,
+        };
+        cfg.validate().ok().map(|()| cfg)
+    }
+
+    fn rules(&self) -> &'static dyn BucketLayout {
+        self.scheme.rules()
+    }
+
+    /// Bytes of one bucket's key area (unpadded).
+    pub fn key_area_bytes(&self) -> u64 {
+        self.slots as u64 * self.key_bytes
+    }
+
+    /// Bytes of one bucket's value area (unpadded).
+    pub fn val_area_bytes(&self) -> u64 {
+        self.slots as u64 * self.val_bytes
+    }
+
+    /// Bytes of one bucket's full KV payload (unpadded).
+    pub fn bucket_payload_bytes(&self) -> u64 {
+        self.key_area_bytes() + self.val_area_bytes()
+    }
+
+    /// Keys that fit in one cache line (stash/overflow sizing).
+    pub fn keys_per_line(&self) -> usize {
+        (LINE_BYTES / self.key_bytes) as usize
+    }
+
+    /// Device bytes of one bucket including layout padding, excluding the
+    /// lock word.
+    pub fn bucket_stride_bytes(&self) -> u64 {
+        self.rules().bucket_stride_bytes(self)
+    }
+
+    /// Device bytes of a table of `n_buckets` buckets: padded bucket
+    /// strides plus one lock word per bucket.
+    pub fn device_bytes_for(&self, n_buckets: usize) -> u64 {
+        n_buckets as u64 * (self.bucket_stride_bytes() + LOCK_BYTES)
+    }
+
+    /// Read transactions one bucket probe costs.
+    pub fn probe_lines(&self) -> u64 {
+        self.rules().probe_lines(self)
+    }
+
+    /// Lines to read (or write) one whole bucket during a rehash drain.
+    pub fn drain_lines(&self) -> u64 {
+        self.rules().drain_lines(self)
+    }
+
+    /// Extra read transactions fetching a value after a key hit costs.
+    pub fn value_read_lines(&self) -> u64 {
+        self.rules().value_read_lines(self)
+    }
+
+    /// Write transactions placing (or swapping) a full KV pair costs.
+    pub fn kv_write_lines(&self) -> u64 {
+        self.rules().kv_write_lines(self)
+    }
+
+    /// Write transactions an in-place value update costs.
+    pub fn value_write_lines(&self) -> u64 {
+        self.rules().value_write_lines(self)
+    }
+
+    /// Write transactions erasing a key costs.
+    pub fn key_write_lines(&self) -> u64 {
+        self.rules().key_write_lines(self)
+    }
+
+    /// Charge a bucket probe: one logical lookup, spanning however many
+    /// line reads the layout needs to scan the bucket's keys.
+    pub fn charge_probe(&self, ctx: &mut RoundCtx) {
+        ctx.read_bucket();
+        for _ in 1..self.probe_lines() {
+            ctx.read_line();
+        }
+    }
+
+    /// Charge fetching a value after a key hit (free under AoS: the value
+    /// arrived with the probed line).
+    pub fn charge_value_read(&self, ctx: &mut RoundCtx) {
+        for _ in 0..self.rules().value_read_lines(self) {
+            ctx.read_line();
+        }
+    }
+
+    /// Charge writing a fresh KV pair (or swapping one during an
+    /// eviction).
+    pub fn charge_kv_write(&self, ctx: &mut RoundCtx) {
+        for _ in 0..self.rules().kv_write_lines(self) {
+            ctx.write_line();
+        }
+    }
+
+    /// Charge an in-place value update.
+    pub fn charge_value_write(&self, ctx: &mut RoundCtx) {
+        for _ in 0..self.rules().value_write_lines(self) {
+            ctx.write_line();
+        }
+    }
+
+    /// Charge erasing a key (SoA deliberately touches no value line — the
+    /// reason the paper splits the arrays).
+    pub fn charge_key_write(&self, ctx: &mut RoundCtx) {
+        for _ in 0..self.rules().key_write_lines(self) {
+            ctx.write_line();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn charges(f: impl FnOnce(&mut RoundCtx)) -> Metrics {
+        let mut m = Metrics::default();
+        let mut ctx = RoundCtx::new(&mut m);
+        f(&mut ctx);
+        ctx.finish();
+        m
+    }
+
+    #[test]
+    fn default_layout_matches_the_papers_charging() {
+        // SoA-32 with 4-byte words: one key line + one value line per
+        // bucket — the exact sequence the pre-engine kernels charged.
+        let l = LayoutConfig::default();
+        assert_eq!(l.probe_lines(), 1);
+        assert_eq!(l.drain_lines(), 2);
+        assert_eq!(l.bucket_stride_bytes(), 256);
+        assert_eq!(l.device_bytes_for(4), 4 * (32 * 8 + 4));
+        let m = charges(|ctx| l.charge_probe(ctx));
+        assert_eq!((m.read_transactions, m.lookups), (1, 1));
+        let m = charges(|ctx| l.charge_value_read(ctx));
+        assert_eq!(m.read_transactions, 1);
+        let m = charges(|ctx| l.charge_kv_write(ctx));
+        assert_eq!(m.write_transactions, 2);
+        let m = charges(|ctx| l.charge_value_write(ctx));
+        assert_eq!(m.write_transactions, 1);
+        let m = charges(|ctx| l.charge_key_write(ctx));
+        assert_eq!(m.write_transactions, 1);
+    }
+
+    #[test]
+    fn wide_layout_matches_the_wide_tables_charging() {
+        // SoA-16 with 8-byte words: 16 × 8 B = one full key line.
+        let l = LayoutConfig::soa(16, 8, 8);
+        assert_eq!(l.probe_lines(), 1);
+        assert_eq!(l.drain_lines(), 2);
+        assert_eq!(l.device_bytes_for(3), 3 * (16 * 16 + 4));
+    }
+
+    #[test]
+    fn aos16_buckets_fit_one_line() {
+        let l = LayoutConfig::aos(16, 4, 4);
+        assert_eq!(l.probe_lines(), 1);
+        assert_eq!(l.drain_lines(), 1);
+        assert_eq!(l.bucket_stride_bytes(), 128);
+        let m = charges(|ctx| {
+            l.charge_probe(ctx);
+            l.charge_value_read(ctx);
+        });
+        // The hit is free: value came in with the probe.
+        assert_eq!((m.read_transactions, m.lookups), (1, 1));
+        let m = charges(|ctx| l.charge_kv_write(ctx));
+        assert_eq!(m.write_transactions, 1);
+    }
+
+    #[test]
+    fn aos32_buckets_span_two_lines() {
+        let l = LayoutConfig::aos(32, 4, 4);
+        assert_eq!(l.probe_lines(), 2);
+        assert_eq!(l.bucket_stride_bytes(), 256);
+        let m = charges(|ctx| l.charge_probe(ctx));
+        // Two line reads but still ONE logical lookup.
+        assert_eq!((m.read_transactions, m.lookups), (2, 1));
+    }
+
+    #[test]
+    fn aos8_pads_buckets_to_a_full_line() {
+        let l = LayoutConfig::aos(8, 4, 4);
+        assert_eq!(l.bucket_stride_bytes(), 128, "64 B payload pads to a line");
+        assert_eq!(l.probe_lines(), 1);
+    }
+
+    #[test]
+    fn soa_narrow_buckets_pack_densely() {
+        let l = LayoutConfig::soa(8, 4, 4);
+        assert_eq!(l.bucket_stride_bytes(), 64);
+        assert_eq!(l.probe_lines(), 1);
+        assert_eq!(l.drain_lines(), 2);
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        for spec in ["soa8", "soa16", "soa32", "aos8", "aos16", "aos32"] {
+            let l = LayoutConfig::parse(spec, 4, 4).unwrap();
+            assert_eq!(l.spec(), spec);
+            assert!(l.validate().is_ok());
+        }
+        assert!(LayoutConfig::parse("soa64", 4, 4).is_none());
+        assert!(LayoutConfig::parse("zip32", 4, 4).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        assert!(LayoutConfig::soa(12, 4, 4).validate().is_err());
+        assert!(LayoutConfig::soa(32, 3, 4).validate().is_err());
+        assert!(LayoutConfig::aos(16, 4, 16).validate().is_err());
+    }
+
+    #[test]
+    fn keys_per_line_tracks_key_width() {
+        assert_eq!(LayoutConfig::soa(32, 4, 4).keys_per_line(), 32);
+        assert_eq!(LayoutConfig::soa(16, 8, 8).keys_per_line(), 16);
+    }
+}

@@ -1,0 +1,137 @@
+//! Warp-cooperative probe helpers shared by every bucketized kernel.
+//!
+//! The pieces below used to be copy-pasted (or subtly re-derived) in each
+//! table implementation: packing a batch into warps, rotating the voter
+//! after a failed lock acquisition, and the randomized slot selection that
+//! steers evictions. They are deterministic given their inputs, which is
+//! what keeps every kernel replayable under schedule exploration.
+
+use crate::warp::WARP_SIZE;
+
+/// Pack a batch of per-lane operations into warps of 32.
+pub fn pack_warps<T>(ops: impl IntoIterator<Item = T>) -> Vec<Vec<T>> {
+    let mut warps: Vec<Vec<T>> = Vec::new();
+    let mut cur: Vec<T> = Vec::with_capacity(WARP_SIZE);
+    for op in ops {
+        cur.push(op);
+        if cur.len() == WARP_SIZE {
+            warps.push(std::mem::replace(&mut cur, Vec::with_capacity(WARP_SIZE)));
+        }
+    }
+    if !cur.is_empty() {
+        warps.push(cur);
+    }
+    warps
+}
+
+/// Index of the `n`-th set lane (mod the number of set lanes) — the voter
+/// rotation used after a failed lock acquisition, so a warp never spins on
+/// the same contended bucket.
+pub fn nth_active_lane(mask: u32, n: usize) -> usize {
+    let count = mask.count_ones() as usize;
+    debug_assert!(count > 0);
+    let target = n % count;
+    let mut seen = 0;
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) != 0 {
+            if seen == target {
+                return lane;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("mask had set bits");
+}
+
+/// Sample an index with probability proportional to its weight, driven by
+/// a pre-mixed 64-bit coin. Zero-weight entries are inadmissible; returns
+/// `None` when every weight is zero. The floating-point tail falls back to
+/// the last admissible entry, so a caller always gets an admissible index
+/// when one exists.
+///
+/// This is the eviction-destination selector of the engine: DyCuckoo's
+/// Theorem-1 steering computes the weights (`n_i / C(m_i, 2)` of each
+/// slot's destination subtable) and this picks the victim slot.
+pub fn weighted_index(weights: &[f64], coin: u64) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        return None;
+    }
+    let u = (coin >> 11) as f64 / (1u64 << 53) as f64 * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if w > 0.0 && u < acc {
+            return Some(i);
+        }
+    }
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Pick a pseudo-random admissible index by scanning from a coin-derived
+/// start offset (the uniform-steering counterpart of [`weighted_index`]).
+pub fn rotated_index(n: usize, admissible: impl Fn(usize) -> bool, coin: u64) -> Option<usize> {
+    debug_assert!(n > 0);
+    let start = (coin as usize) % n;
+    (0..n).map(|off| (start + off) % n).find(|&s| admissible(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_warps_chunks_by_32() {
+        let warps = pack_warps(0..70);
+        assert_eq!(warps.len(), 3);
+        assert_eq!(warps[0].len(), 32);
+        assert_eq!(warps[1].len(), 32);
+        assert_eq!(warps[2].len(), 6);
+        assert_eq!(warps[2], vec![64, 65, 66, 67, 68, 69]);
+    }
+
+    #[test]
+    fn pack_warps_empty() {
+        let warps: Vec<Vec<u32>> = pack_warps(std::iter::empty());
+        assert!(warps.is_empty());
+    }
+
+    #[test]
+    fn nth_active_rotates_through_set_lanes() {
+        let mask = 0b1010_0100u32; // lanes 2, 5, 7
+        assert_eq!(nth_active_lane(mask, 0), 2);
+        assert_eq!(nth_active_lane(mask, 1), 5);
+        assert_eq!(nth_active_lane(mask, 2), 7);
+        assert_eq!(nth_active_lane(mask, 3), 2); // wraps
+    }
+
+    #[test]
+    fn weighted_index_skips_zero_weights() {
+        let w = [0.0, 0.0, 3.0, 0.0];
+        for coin in 0..64u64 {
+            assert_eq!(weighted_index(&w, coin.wrapping_mul(0x9E37)), Some(2));
+        }
+        assert_eq!(weighted_index(&[0.0; 4], 7), None);
+        assert_eq!(weighted_index(&[], 7), None);
+    }
+
+    #[test]
+    fn weighted_index_is_proportional() {
+        let w = [1.0, 9.0];
+        let heavy = (0..10_000u64)
+            .filter(|&c| weighted_index(&w, c.wrapping_mul(0x9E37_79B9_7F4A_7C15)) == Some(1))
+            .count();
+        assert!(heavy > 8_500, "heavy index picked only {heavy}/10000");
+    }
+
+    #[test]
+    fn rotated_index_finds_admissible() {
+        assert_eq!(rotated_index(8, |s| s == 5, 3), Some(5));
+        assert_eq!(rotated_index(8, |_| false, 3), None);
+        // Different coins start at different offsets.
+        let picks: std::collections::HashSet<usize> = (0..32u64)
+            .filter_map(|c| rotated_index(8, |_| true, c))
+            .collect();
+        assert_eq!(picks.len(), 8);
+    }
+}

@@ -1,0 +1,62 @@
+//! Capacity sizing shared by every bucketized table.
+//!
+//! One place answers "how many buckets do `items` keys need at filled
+//! factor θ" for all schemes and all bucket widths — DyCuckoo's
+//! constructors, the baseline adapters and the benchmark harness all
+//! delegate here, so a layout with narrower buckets automatically gets
+//! proportionally more of them.
+
+/// Smallest power-of-two bucket count per subtable such that `items` keys
+/// fill `d` such subtables to at most `target_fill` (uniform sizing; see
+/// [`mixed_bucket_sizes`] for the finer-grained allocation used by
+/// capacity-targeted construction).
+pub fn buckets_for_load(items: usize, d: usize, target_fill: f64, slots: usize) -> usize {
+    assert!(target_fill > 0.0 && target_fill <= 1.0);
+    let slots_needed = (items as f64 / target_fill).ceil() as usize;
+    let per_table = slots_needed.div_ceil(d * slots);
+    per_table.next_power_of_two().max(1)
+}
+
+/// Per-subtable bucket counts whose total capacity covers
+/// `items / target_fill` slots as tightly as possible: an equal split,
+/// rounded up to even counts so every subtable can later halve cleanly.
+pub fn mixed_bucket_sizes(items: usize, d: usize, target_fill: f64, slots: usize) -> Vec<usize> {
+    assert!(target_fill > 0.0 && target_fill <= 1.0 && d >= 1);
+    let slots_needed = (items as f64 / target_fill).ceil() as usize;
+    let buckets_needed = slots_needed.div_ceil(slots).max(1);
+    let per_table = buckets_needed.div_ceil(d).next_multiple_of(2);
+    vec![per_table; d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_for_load_rounds_to_power_of_two() {
+        assert_eq!(buckets_for_load(10_000, 4, 0.85, 32), 128);
+        assert_eq!(buckets_for_load(1, 2, 1.0, 32), 1);
+    }
+
+    #[test]
+    fn narrower_buckets_mean_more_of_them() {
+        let wide = buckets_for_load(10_000, 4, 0.85, 32);
+        let narrow = buckets_for_load(10_000, 4, 0.85, 16);
+        assert_eq!(narrow, wide * 2);
+    }
+
+    #[test]
+    fn mixed_sizes_cover_tightly_and_stay_even() {
+        for items in [100, 1000, 9999, 123_456] {
+            for d in [2, 3, 4] {
+                for slots in [8, 16, 32] {
+                    let sizes = mixed_bucket_sizes(items, d, 0.85, slots);
+                    assert_eq!(sizes.len(), d);
+                    let cap: usize = sizes.iter().map(|b| b * slots).sum();
+                    assert!(cap as f64 * 0.85 >= items as f64, "capacity too tight");
+                    assert!(sizes.iter().all(|b| b % 2 == 0), "must halve cleanly");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Typed device buffers: bucketized and flat slot stores.
+//!
+//! [`BucketStore`] is the storage half of the probe engine — the bucketed
+//! key/value arrays plus per-bucket locks that every bucketized cuckoo
+//! scheme in the workspace (DyCuckoo's subtables, the wide-KV variant,
+//! MegaKV) is built on. Its geometry and its device-byte footprint come
+//! from the [`LayoutConfig`] it is created with, so a table can be
+//! instantiated under any scheme × bucket-width combination without
+//! touching kernel code.
+//!
+//! [`SlotStore`] is the degenerate, bucketless case: a flat key array and
+//! a flat value array addressed slot by slot, as the per-slot baselines
+//! (CUDPP, linear probing) and SlabHash's slab pool use. Accounting for
+//! slot stores is inherently layout-free — every access is an uncoalesced
+//! single-slot transaction charged at the call site.
+
+use crate::atomic::Locks;
+
+use super::layout::LayoutConfig;
+
+/// A key or value word a store can hold: fixed width, with a reserved
+/// all-zeroes sentinel for empty slots.
+pub trait SlotWord: Copy + Eq + std::fmt::Debug {
+    /// The empty-slot sentinel.
+    const EMPTY: Self;
+    /// Device bytes per word.
+    const BYTES: u64;
+
+    /// Whether this word is the empty sentinel.
+    #[inline]
+    fn is_empty_word(self) -> bool {
+        self == Self::EMPTY
+    }
+}
+
+impl SlotWord for u32 {
+    const EMPTY: Self = 0;
+    const BYTES: u64 = 4;
+}
+
+impl SlotWord for u64 {
+    const EMPTY: Self = 0;
+    const BYTES: u64 = 8;
+}
+
+/// A bucketized key/value store with per-bucket locks.
+///
+/// The logical structure (which bucket holds which pair) is independent of
+/// the layout; the layout governs geometry (slots per bucket) and cost
+/// (transactions per operation, device bytes). Two stores with equal slot
+/// counts therefore place keys identically even under different schemes —
+/// the invariant the layout-equivalence property test pins.
+#[derive(Debug, Clone)]
+pub struct BucketStore<K: SlotWord, V: SlotWord> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    /// Per-bucket lock flags (public so kernels can pass them to
+    /// [`crate::RoundCtx`] atomics).
+    pub locks: Locks,
+    layout: LayoutConfig,
+    n_buckets: usize,
+    occupied: u64,
+}
+
+impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
+    /// Create an empty store of `n_buckets` buckets under `layout` (any
+    /// positive count; even counts can later be halved cleanly).
+    pub fn new(n_buckets: usize, layout: LayoutConfig) -> Self {
+        assert!(n_buckets >= 1, "bucket count must be positive");
+        debug_assert_eq!(layout.key_bytes, K::BYTES, "layout key width vs key type");
+        debug_assert_eq!(
+            layout.val_bytes,
+            V::BYTES,
+            "layout value width vs value type"
+        );
+        Self {
+            keys: vec![K::EMPTY; n_buckets * layout.slots],
+            vals: vec![V::EMPTY; n_buckets * layout.slots],
+            locks: Locks::new(n_buckets),
+            layout,
+            n_buckets,
+            occupied: 0,
+        }
+    }
+
+    /// The layout this store was created under.
+    #[inline]
+    pub fn layout(&self) -> &LayoutConfig {
+        &self.layout
+    }
+
+    /// Slots per bucket.
+    #[inline]
+    pub fn slots_per_bucket(&self) -> usize {
+        self.layout.slots
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    /// Total key slots (`n_i` in the paper, measured in slots).
+    #[inline]
+    pub fn capacity_slots(&self) -> u64 {
+        (self.n_buckets * self.layout.slots) as u64
+    }
+
+    /// Occupied slots (`m_i` in the paper).
+    #[inline]
+    pub fn occupied(&self) -> u64 {
+        self.occupied
+    }
+
+    /// This store's filled factor `θ_i = m_i / n_i`.
+    #[inline]
+    pub fn fill_factor(&self) -> f64 {
+        self.occupied as f64 / self.capacity_slots() as f64
+    }
+
+    /// Device bytes this store occupies under its layout: padded bucket
+    /// strides plus one lock word per bucket.
+    pub fn device_bytes(&self) -> u64 {
+        self.layout.device_bytes_for(self.n_buckets)
+    }
+
+    /// The keys of bucket `b`.
+    #[inline]
+    pub fn bucket_keys(&self, b: usize) -> &[K] {
+        let s = self.layout.slots;
+        &self.keys[b * s..(b + 1) * s]
+    }
+
+    /// The values of bucket `b`.
+    #[inline]
+    pub fn bucket_vals(&self, b: usize) -> &[V] {
+        let s = self.layout.slots;
+        &self.vals[b * s..(b + 1) * s]
+    }
+
+    /// Warp-wide probe: the slot in bucket `b` holding `key`, if any.
+    /// (In CUDA this is one ballot over the lanes.)
+    #[inline]
+    pub fn find_slot(&self, b: usize, key: K) -> Option<usize> {
+        self.bucket_keys(b).iter().position(|&k| k == key)
+    }
+
+    /// Warp-wide probe for an empty slot in bucket `b`.
+    #[inline]
+    pub fn find_empty(&self, b: usize) -> Option<usize> {
+        self.find_slot(b, K::EMPTY)
+    }
+
+    /// Read the KV pair at `(bucket, slot)`.
+    #[inline]
+    pub fn slot(&self, b: usize, s: usize) -> (K, V) {
+        let idx = b * self.layout.slots + s;
+        (self.keys[idx], self.vals[idx])
+    }
+
+    /// Write a KV pair into an **empty** slot, growing the occupancy count.
+    #[inline]
+    pub fn write_new(&mut self, b: usize, s: usize, key: K, val: V) {
+        let idx = b * self.layout.slots + s;
+        debug_assert!(self.keys[idx].is_empty_word(), "write_new over a live slot");
+        debug_assert!(!key.is_empty_word());
+        self.keys[idx] = key;
+        self.vals[idx] = val;
+        self.occupied += 1;
+    }
+
+    /// Overwrite the value of a live slot (an in-place update).
+    #[inline]
+    pub fn update_val(&mut self, b: usize, s: usize, val: V) {
+        let idx = b * self.layout.slots + s;
+        debug_assert!(!self.keys[idx].is_empty_word());
+        self.vals[idx] = val;
+    }
+
+    /// Swap the KV at `(b, s)` with the given pair, returning the evicted
+    /// occupant. Occupancy is unchanged.
+    #[inline]
+    pub fn swap(&mut self, b: usize, s: usize, key: K, val: V) -> (K, V) {
+        let idx = b * self.layout.slots + s;
+        debug_assert!(!self.keys[idx].is_empty_word(), "swap with an empty slot");
+        let old = (self.keys[idx], self.vals[idx]);
+        self.keys[idx] = key;
+        self.vals[idx] = val;
+        old
+    }
+
+    /// Erase the key at `(b, s)`, shrinking the occupancy count. The value
+    /// is deliberately untouched — under SoA, deletion never pays for
+    /// value traffic.
+    #[inline]
+    pub fn erase(&mut self, b: usize, s: usize) {
+        let idx = b * self.layout.slots + s;
+        debug_assert!(!self.keys[idx].is_empty_word(), "erasing an empty slot");
+        self.keys[idx] = K::EMPTY;
+        self.occupied -= 1;
+    }
+
+    /// Iterate over all live `(key, value)` pairs (host-side; used by
+    /// rehashing, verification and tests — not charged to the cost model).
+    pub fn iter_live(&self) -> impl Iterator<Item = (K, V)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| !k.is_empty_word())
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Recount occupancy from the key array. Used by debug assertions and
+    /// the accounting-drift property test.
+    pub fn recount(&self) -> u64 {
+        self.keys.iter().filter(|k| !k.is_empty_word()).count() as u64
+    }
+}
+
+/// A flat, bucketless key/value store addressed slot by slot.
+#[derive(Debug, Clone)]
+pub struct SlotStore<K: SlotWord, V: SlotWord> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+}
+
+impl<K: SlotWord, V: SlotWord> SlotStore<K, V> {
+    /// Create a store of `n_slots` empty slots.
+    pub fn new(n_slots: usize) -> Self {
+        Self {
+            keys: vec![K::EMPTY; n_slots],
+            vals: vec![V::EMPTY; n_slots],
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Grow the store to `n_slots` slots, filling with empties (slab-pool
+    /// growth). Shrinking is not supported.
+    pub fn grow(&mut self, n_slots: usize) {
+        debug_assert!(n_slots >= self.keys.len());
+        self.keys.resize(n_slots, K::EMPTY);
+        self.vals.resize(n_slots, V::EMPTY);
+    }
+
+    /// Device bytes occupied (keys + values, densely packed).
+    pub fn device_bytes(&self) -> u64 {
+        self.keys.len() as u64 * (K::BYTES + V::BYTES)
+    }
+
+    /// The key at `slot`.
+    #[inline]
+    pub fn key(&self, slot: usize) -> K {
+        self.keys[slot]
+    }
+
+    /// The value at `slot`.
+    #[inline]
+    pub fn val(&self, slot: usize) -> V {
+        self.vals[slot]
+    }
+
+    /// Store a KV pair at `slot`, returning the previous occupant.
+    #[inline]
+    pub fn exchange(&mut self, slot: usize, key: K, val: V) -> (K, V) {
+        let old = (self.keys[slot], self.vals[slot]);
+        self.keys[slot] = key;
+        self.vals[slot] = val;
+        old
+    }
+
+    /// Overwrite the key at `slot` (tombstoning, erasure).
+    #[inline]
+    pub fn set_key(&mut self, slot: usize, key: K) {
+        self.keys[slot] = key;
+    }
+
+    /// Overwrite the value at `slot`.
+    #[inline]
+    pub fn set_val(&mut self, slot: usize, val: V) {
+        self.vals[slot] = val;
+    }
+
+    /// A contiguous window of the key array (slab scans).
+    #[inline]
+    pub fn keys_in(&self, range: std::ops::Range<usize>) -> &[K] {
+        &self.keys[range]
+    }
+
+    /// Iterate over all live `(key, value)` pairs, with `dead` treated as
+    /// an additional non-live marker (tombstones).
+    pub fn iter_live_except(&self, dead: K) -> impl Iterator<Item = (K, V)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(move |(&k, _)| !k.is_empty_word() && k != dead)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Reset every slot to empty (rebuilds).
+    pub fn clear(&mut self) {
+        self.keys.iter_mut().for_each(|k| *k = K::EMPTY);
+        self.vals.iter_mut().for_each(|v| *v = V::EMPTY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_store_roundtrip() {
+        let mut t: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::default());
+        assert_eq!(t.n_buckets(), 4);
+        assert_eq!(t.capacity_slots(), 4 * 32);
+        let s = t.find_empty(2).unwrap();
+        t.write_new(2, s, 99, 7);
+        assert_eq!(t.occupied(), 1);
+        let found = t.find_slot(2, 99).unwrap();
+        assert_eq!(t.slot(2, found), (99, 7));
+        t.erase(2, found);
+        assert_eq!(t.occupied(), 0);
+        assert!(t.find_slot(2, 99).is_none());
+    }
+
+    #[test]
+    fn bucket_store_width_follows_layout() {
+        let t: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::aos(16, 4, 4));
+        assert_eq!(t.slots_per_bucket(), 16);
+        assert_eq!(t.capacity_slots(), 64);
+        assert_eq!(t.bucket_keys(0).len(), 16);
+        assert_eq!(t.device_bytes(), 4 * (128 + 4));
+    }
+
+    #[test]
+    fn equal_slot_layouts_place_keys_identically() {
+        let mut soa: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::soa(16, 4, 4));
+        let mut aos: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::aos(16, 4, 4));
+        for k in 1..=40u32 {
+            let b = (k % 4) as usize;
+            let (ss, sa) = (soa.find_empty(b), aos.find_empty(b));
+            assert_eq!(ss, sa);
+            if let Some(s) = ss {
+                soa.write_new(b, s, k, k * 2);
+                aos.write_new(b, s, k, k * 2);
+            }
+        }
+        assert_eq!(soa.occupied(), aos.occupied());
+        for b in 0..4 {
+            assert_eq!(soa.bucket_keys(b), aos.bucket_keys(b));
+        }
+        // Same placement, different footprint: that is the whole point.
+        assert!(aos.device_bytes() < soa.device_bytes() + 1);
+    }
+
+    #[test]
+    fn wide_words_use_eight_byte_accounting() {
+        let t: BucketStore<u64, u64> = BucketStore::new(3, LayoutConfig::soa(16, 8, 8));
+        assert_eq!(t.device_bytes(), 3 * (16 * 16 + 4));
+    }
+
+    #[test]
+    fn slot_store_roundtrip() {
+        let mut s: SlotStore<u32, u32> = SlotStore::new(8);
+        assert_eq!(s.device_bytes(), 64);
+        assert_eq!(s.exchange(3, 7, 70), (0, 0));
+        assert_eq!((s.key(3), s.val(3)), (7, 70));
+        s.set_val(3, 71);
+        assert_eq!(s.val(3), 71);
+        s.set_key(3, u32::MAX); // tombstone
+        assert_eq!(s.iter_live_except(u32::MAX).count(), 0);
+        s.grow(16);
+        assert_eq!(s.n_slots(), 16);
+        s.clear();
+        assert_eq!(s.key(3), 0);
+    }
+}

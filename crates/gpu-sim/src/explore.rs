@@ -276,7 +276,10 @@ mod tests {
                     .to_string()
             })
             .collect();
-        assert!(specs.len() >= 4, "seed sweep must cycle the flavors: {specs:?}");
+        assert!(
+            specs.len() >= 4,
+            "seed sweep must cycle the flavors: {specs:?}"
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   conflicting atomics to the same address within a round so their
 //!   serialization can be charged (the effect profiled in the paper's
 //!   "atomic operations vs. conflicts" figure).
+//! * [`engine`] provides the shared probe/storage machinery every
+//!   bucketized table is built on: typed device buffers with pluggable
+//!   bucket layouts (AoS/SoA, swept widths) and layout-aware transaction
+//!   accounting.
 //! * [`metrics`] counts what the paper's evaluation actually measures:
 //!   coalesced read/write transactions, bucket lookups, evictions, lock
 //!   failures, and rounds.
@@ -35,6 +39,7 @@
 pub mod atomic;
 pub mod cost;
 pub mod device;
+pub mod engine;
 pub mod explore;
 pub mod metrics;
 pub mod scheduler;
@@ -43,6 +48,7 @@ pub mod warp;
 pub use atomic::{Locks, RoundCtx};
 pub use cost::CostModel;
 pub use device::{Device, DeviceConfig};
+pub use engine::{BucketStore, LayoutConfig, LayoutScheme, SlotStore};
 pub use explore::{shrink_ops, SchedulePolicy};
 pub use metrics::Metrics;
 pub use scheduler::{run_rounds, run_rounds_with, RoundKernel, StepOutcome};

@@ -322,11 +322,16 @@ mod tests {
                     lock_waits: 0,
                 },
             ),
-            te(2, 0, 0, Event::Shed {
-                shard: 1,
-                depth: 12,
-                hard: false,
-            }),
+            te(
+                2,
+                0,
+                0,
+                Event::Shed {
+                    shard: 1,
+                    depth: 12,
+                    hard: false,
+                },
+            ),
         ];
         let out = jsonl(&events);
         assert_eq!(out.lines().count(), 2);

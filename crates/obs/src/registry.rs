@@ -96,10 +96,7 @@ impl Registry {
 
     /// Look up a counter's current value.
     pub fn get_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
-        match self
-            .metrics
-            .get(&(name.to_string(), label_key(labels)))?
-        {
+        match self.metrics.get(&(name.to_string(), label_key(labels)))? {
             Value::Counter(c) => Some(*c),
             Value::Gauge(_) => None,
         }
@@ -107,10 +104,7 @@ impl Registry {
 
     /// Look up a gauge's current value.
     pub fn get_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        match self
-            .metrics
-            .get(&(name.to_string(), label_key(labels)))?
-        {
+        match self.metrics.get(&(name.to_string(), label_key(labels)))? {
             Value::Gauge(g) => Some(*g),
             Value::Counter(_) => None,
         }

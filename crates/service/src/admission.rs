@@ -54,7 +54,10 @@ impl std::fmt::Display for AdmitError {
                 shard,
                 depth,
                 watermark,
-            } => write!(f, "shard {shard} shedding reads: queue {depth} above watermark {watermark}"),
+            } => write!(
+                f,
+                "shard {shard} shedding reads: queue {depth} above watermark {watermark}"
+            ),
         }
     }
 }
@@ -166,7 +169,10 @@ mod tests {
                 p.admit(3, depth, &Op::Get(1)),
                 Err(AdmitError::Shed { shard: 3, .. })
             ));
-            assert!(p.admit(3, depth, &Op::Put(1, 2)).is_ok(), "writes still admitted");
+            assert!(
+                p.admit(3, depth, &Op::Put(1, 2)).is_ok(),
+                "writes still admitted"
+            );
             assert!(p.admit(3, depth, &Op::Delete(1)).is_ok());
         }
     }

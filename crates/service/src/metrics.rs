@@ -89,7 +89,11 @@ impl LatencyHistogram {
         for (t, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if t == TRACKED_TICKS - 1 { self.max } else { t as u64 };
+                return if t == TRACKED_TICKS - 1 {
+                    self.max
+                } else {
+                    t as u64
+                };
             }
         }
         self.max
@@ -240,7 +244,11 @@ impl ShardMetrics {
             self.resize_stall_batches,
         );
         reg.counter("service_insert_retries", labels, self.insert_retries);
-        reg.gauge("service_max_queue_depth", labels, self.max_queue_depth as f64);
+        reg.gauge(
+            "service_max_queue_depth",
+            labels,
+            self.max_queue_depth as f64,
+        );
         reg.gauge("service_ns", labels, self.service_ns);
         reg.histogram(
             "service_latency_ticks",
@@ -309,7 +317,8 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// CSV columns shared by [`Snapshot::to_csv`].
-    pub const CSV_HEADER: &'static str = "shard,keys,fill,queue_depth,max_queue_depth,submitted,admitted,completed,\
+    pub const CSV_HEADER: &'static str =
+        "shard,keys,fill,queue_depth,max_queue_depth,submitted,admitted,completed,\
          shed_overloaded,shed_reads,batches,flush_by_size,flush_by_deadline,avg_batch_occupancy,\
          table_probes,table_puts,table_deletes,coalesced_local,dedup_saved,writes_coalesced,\
          resize_events,resize_stall_batches,insert_retries,latency_p50,latency_p99,latency_max,\
@@ -367,8 +376,20 @@ impl Snapshot {
     /// Render as an aligned human-readable table.
     pub fn to_text(&self) -> String {
         let header = [
-            "shard", "keys", "fill", "queue", "submitted", "completed", "shed", "batches",
-            "occ", "coalesced", "resizes", "p50", "p99", "mops",
+            "shard",
+            "keys",
+            "fill",
+            "queue",
+            "submitted",
+            "completed",
+            "shed",
+            "batches",
+            "occ",
+            "coalesced",
+            "resizes",
+            "p50",
+            "p99",
+            "mops",
         ];
         let mut rows: Vec<Vec<String>> = Vec::new();
         for row in self.shards.iter().chain(std::iter::once(&self.total)) {

@@ -28,10 +28,14 @@ impl ShardRouter {
     /// Build a router over `shards` shards (must be a power of two ≥ 1).
     pub fn new(shards: usize, seed: u64) -> Result<Self, String> {
         if shards == 0 || !shards.is_power_of_two() {
-            return Err(format!("shard count must be a power of two ≥ 1, got {shards}"));
+            return Err(format!(
+                "shard count must be a power of two ≥ 1, got {shards}"
+            ));
         }
         if shards > 1 << 16 {
-            return Err(format!("shard count {shards} is unreasonably large (max 65536)"));
+            return Err(format!(
+                "shard count {shards} is unreasonably large (max 65536)"
+            ));
         }
         Ok(Self {
             shards,

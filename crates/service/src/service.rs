@@ -89,7 +89,9 @@ impl ServiceConfig {
                 self.max_batch, self.queue_capacity
             )));
         }
-        self.admission().validate().map_err(ServiceError::InvalidConfig)?;
+        self.admission()
+            .validate()
+            .map_err(ServiceError::InvalidConfig)?;
         // Shard-count validation happens in ShardRouter::new.
         ShardRouter::new(self.shards, self.seed).map_err(ServiceError::InvalidConfig)?;
         Ok(())
@@ -295,7 +297,9 @@ impl KvService {
     /// ticks explore different permutations).
     fn shard_visit_order(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.shards.len()).collect();
-        self.cfg.flush_order.order_round(self.clock, &mut order, &[]);
+        self.cfg
+            .flush_order
+            .order_round(self.clock, &mut order, &[]);
         order
     }
 
@@ -313,8 +317,7 @@ impl KvService {
                 probes: plan.probes.len() as u32,
                 puts: plan.puts.len() as u32,
                 deletes: plan.deletes.len() as u32,
-                coalesced: (plan.coalesced_local + plan.dedup_saved + plan.writes_coalesced)
-                    as u32,
+                coalesced: (plan.coalesced_local + plan.dedup_saved + plan.writes_coalesced) as u32,
             });
         }
 
@@ -515,7 +518,11 @@ mod tests {
         let mut sim = SimContext::new();
         let mut svc = KvService::new(small_cfg(1), &mut sim).unwrap();
         svc.submit(0, Op::Put(1, 1)).unwrap();
-        assert_eq!(svc.tick(&mut sim).unwrap(), 0, "one tick: still inside delay");
+        assert_eq!(
+            svc.tick(&mut sim).unwrap(),
+            0,
+            "one tick: still inside delay"
+        );
         assert_eq!(svc.tick(&mut sim).unwrap(), 1, "deadline reached");
         let m = svc.metrics().total();
         assert_eq!(m.flush_by_deadline, 1);
@@ -655,5 +662,53 @@ mod tests {
         for row in &snapshot.shards {
             assert!(row.m.resize_events == 0 || row.keys > 0);
         }
+    }
+
+    #[test]
+    fn non_default_layout_serves_identically() {
+        // The bucket layout threads through ServiceConfig via the embedded
+        // table Config. An interleaved layout must change only what the
+        // memory system sees — every reply stays identical.
+        let run = |layout: gpu_sim::LayoutConfig| {
+            let mut cfg = small_cfg(4);
+            cfg.table.layout = layout;
+            let mut sim = SimContext::new();
+            let mut svc = KvService::new(cfg, &mut sim).unwrap();
+            for k in 1..=300u32 {
+                let _ = svc.submit(0, Op::Put(k, k ^ 0xABCD));
+                if k % 7 == 0 {
+                    let _ = svc.submit(0, Op::Get(k / 2));
+                }
+                if k % 13 == 0 {
+                    let _ = svc.submit(0, Op::Delete(k / 3));
+                }
+                svc.tick(&mut sim).unwrap();
+            }
+            svc.flush_all(&mut sim).unwrap();
+            let replies: Vec<(u32, Reply)> = svc
+                .drain_completions()
+                .into_iter()
+                .map(|c| (c.key, c.reply))
+                .collect();
+            (replies, sim.metrics.read_transactions)
+        };
+        let (soa_replies, soa_reads) = run(gpu_sim::LayoutConfig::default());
+        let (aos_replies, aos_reads) = run(gpu_sim::LayoutConfig::aos(16, 4, 4));
+        assert_eq!(soa_replies, aos_replies);
+        // The layout did take effect: interleaved 16-slot buckets cost a
+        // different number of coalesced reads for the same execution.
+        assert_ne!(soa_reads, aos_reads);
+    }
+
+    #[test]
+    fn invalid_layout_is_rejected_at_service_construction() {
+        let mut cfg = small_cfg(2);
+        cfg.table.layout = gpu_sim::LayoutConfig::soa(12, 4, 4); // unsupported width
+        let mut sim = SimContext::new();
+        let err = match KvService::new(cfg, &mut sim) {
+            Ok(_) => panic!("expected layout rejection"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ServiceError::Table(_)), "unexpected: {err}");
     }
 }

@@ -56,8 +56,8 @@ impl DatasetSpec {
 
     /// Generate the dataset deterministically from a seed.
     pub fn generate(&self, seed: u64) -> Dataset {
-        let uniques: Vec<u32> = unique_keys(seed ^ mix64(self.name.len() as u64), self.unique_keys)
-            .collect();
+        let uniques: Vec<u32> =
+            unique_keys(seed ^ mix64(self.name.len() as u64), self.unique_keys).collect();
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(self.total_pairs);
         // Every unique key appears at least once…
         for (i, &k) in uniques.iter().enumerate() {

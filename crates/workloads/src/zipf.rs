@@ -82,7 +82,9 @@ mod tests {
     fn higher_exponent_is_more_skewed() {
         let count_top1 = |s: f64| {
             let z = Zipf::new(1000, s);
-            (0..50_000u64).filter(|&i| z.sample(mix64(i ^ 0xABCD)) == 1).count()
+            (0..50_000u64)
+                .filter(|&i| z.sample(mix64(i ^ 0xABCD)) == 1)
+                .count()
         };
         assert!(count_top1(1.5) > count_top1(0.5));
     }

@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut table = DyCuckoo::new(cfg, &mut sim)?;
         let mut resizes = 0;
         for wave in 0..20u32 {
-            let kvs: Vec<(u32, u32)> =
-                (0..5_000u32).map(|i| (wave * 5_000 + i + 1, i)).collect();
+            let kvs: Vec<(u32, u32)> = (0..5_000u32).map(|i| (wave * 5_000 + i + 1, i)).collect();
             resizes += table.insert_batch(&mut sim, &kvs)?.resizes.len();
         }
         println!(

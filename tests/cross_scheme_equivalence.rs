@@ -106,7 +106,11 @@ fn device_accounting_survives_growth_and_shrink() {
     let kvs: Vec<(u32, u32)> = (1..=30_000u32).map(|k| (k, k)).collect();
     table.insert_batch(&mut sim, &kvs).unwrap();
     let grown = sim.device.allocated_bytes();
-    assert_eq!(grown, table.device_bytes(), "device tracks exactly the table");
+    assert_eq!(
+        grown,
+        table.device_bytes(),
+        "device tracks exactly the table"
+    );
     let dels: Vec<u32> = (1..=29_000).collect();
     table.delete_batch(&mut sim, &dels).unwrap();
     assert_eq!(sim.device.allocated_bytes(), table.device_bytes());
@@ -143,7 +147,18 @@ fn paper_protocol_smoke_all_dynamic_schemes() {
             )
             .unwrap(),
         ),
-        Box::new(MegaKv::new(2, Some(baselines::ResizeBounds { alpha: 0.3, beta: 0.85 }), 1, &mut sim).unwrap()),
+        Box::new(
+            MegaKv::new(
+                2,
+                Some(baselines::ResizeBounds {
+                    alpha: 0.3,
+                    beta: 0.85,
+                }),
+                1,
+                &mut sim,
+            )
+            .unwrap(),
+        ),
         Box::new(SlabHash::with_capacity(1000, 0.6, 1, &mut sim).unwrap()),
     ];
     for table in schemes.iter_mut() {

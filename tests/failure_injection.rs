@@ -37,7 +37,10 @@ fn dycuckoo_oom_on_growth_is_clean() {
     table.verify_integrity().unwrap();
     let probe: Vec<u32> = (1..=100).collect();
     let found = table.find_batch(&mut sim, &probe);
-    assert!(found.iter().all(|f| f.is_some()), "pre-OOM keys must survive");
+    assert!(
+        found.iter().all(|f| f.is_some()),
+        "pre-OOM keys must survive"
+    );
     // Device accounting still balances with what the table reports.
     assert_eq!(sim.device.allocated_bytes(), table.device_bytes());
 }
@@ -76,7 +79,10 @@ fn megakv_oom_during_rehash_is_clean() {
     assert!(survivors > 0);
     // Earlier keys remain findable.
     let probe: Vec<u32> = (1..=100).collect();
-    assert!(table.find_batch(&mut sim, &probe).iter().all(|f| f.is_some()));
+    assert!(table
+        .find_batch(&mut sim, &probe)
+        .iter()
+        .all(|f| f.is_some()));
 }
 
 /// With identical tiny devices, the incremental resizer fits more keys
@@ -152,7 +158,10 @@ fn slab_oom_on_pool_growth_is_clean() {
     }
     assert!(oom);
     let probe: Vec<u32> = (1..=100).collect();
-    assert!(table.find_batch(&mut sim, &probe).iter().all(|f| f.is_some()));
+    assert!(table
+        .find_batch(&mut sim, &probe)
+        .iter()
+        .all(|f| f.is_some()));
 }
 
 /// Invalid configurations are rejected up front with descriptive errors.
@@ -212,7 +221,10 @@ fn sentinel_keys_rejected_everywhere() {
         &mut sim,
     )
     .unwrap();
-    assert_eq!(dy.insert_batch(&mut sim, &[(1, 1), (0, 2)]), Err(Error::ZeroKey));
+    assert_eq!(
+        dy.insert_batch(&mut sim, &[(1, 1), (0, 2)]),
+        Err(Error::ZeroKey)
+    );
     assert_eq!(dy.len(), 0, "rejected batch must not partially apply");
 
     let mut mk = MegaKv::new(2, None, 1, &mut sim).unwrap();

@@ -30,12 +30,7 @@ fn roomy_cfg(shards: usize, ops: usize, seed: u64) -> ServiceConfig {
 
 /// Drive `ops` through a service, ticking every `tick_every` submissions,
 /// and return the reply observed for each submission index.
-fn run_service(
-    ops: &[Op],
-    shards: usize,
-    seed: u64,
-    tick_every: usize,
-) -> Vec<(u32, Reply)> {
+fn run_service(ops: &[Op], shards: usize, seed: u64, tick_every: usize) -> Vec<(u32, Reply)> {
     let mut sim = SimContext::new();
     let mut svc = KvService::new(roomy_cfg(shards, ops.len(), seed), &mut sim).unwrap();
     let mut id_to_index = HashMap::new();
@@ -53,7 +48,10 @@ fn run_service(
     for c in svc.drain_completions() {
         replies[id_to_index[&c.id]] = Some((c.key, c.reply));
     }
-    replies.into_iter().map(|r| r.expect("every op completes")).collect()
+    replies
+        .into_iter()
+        .map(|r| r.expect("every op completes"))
+        .collect()
 }
 
 /// Replay the same sequence into a reference `HashMap`, recording the value
@@ -193,7 +191,11 @@ fn overload_is_typed_and_bounded() {
     for k in 1..=2_000u32 {
         match svc.submit(0, Op::Put(k, k)) {
             Ok(_) => {}
-            Err(AdmitError::Overloaded { shard, depth, capacity }) => {
+            Err(AdmitError::Overloaded {
+                shard,
+                depth,
+                capacity,
+            }) => {
                 overloaded += 1;
                 assert!(shard < 2 && depth >= capacity && capacity == 100);
             }
@@ -201,7 +203,9 @@ fn overload_is_typed_and_bounded() {
         }
         match svc.submit(0, Op::Get(k)) {
             Ok(_) => {}
-            Err(AdmitError::Shed { depth, watermark, .. }) => {
+            Err(AdmitError::Shed {
+                depth, watermark, ..
+            }) => {
                 shed += 1;
                 assert!(depth >= watermark && watermark == 60);
             }
@@ -257,7 +261,9 @@ fn end_to_end_determinism_with_resizes() {
     // determinism claim covers the resize path too.
     assert!(
         csv_a.lines().skip(1).any(|l| {
-            l.split(',').nth(20).is_some_and(|v| v.parse::<u64>().unwrap_or(0) > 0)
+            l.split(',')
+                .nth(20)
+                .is_some_and(|v| v.parse::<u64>().unwrap_or(0) > 0)
         }),
         "no resize occurred; the determinism check did not exercise resizing"
     );
@@ -284,7 +290,10 @@ fn run_one_window(ops: &[Op], flush_order: SchedulePolicy) -> Vec<(u32, Reply)> 
     for c in svc.drain_completions() {
         replies[id_to_index[&c.id]] = Some((c.key, c.reply));
     }
-    replies.into_iter().map(|r| r.expect("every op completes")).collect()
+    replies
+        .into_iter()
+        .map(|r| r.expect("every op completes"))
+        .collect()
 }
 
 /// A coalesced flush window containing insert → delete → find of the same
@@ -333,6 +342,10 @@ fn coalesced_window_identical_across_shard_flush_orders() {
     // And every other shard-flush order must be indistinguishable.
     for order in &orders[1..] {
         let run = run_one_window(&ops, *order);
-        assert_eq!(run, baseline, "flush order {:?} changed visible replies", order);
+        assert_eq!(
+            run, baseline,
+            "flush order {:?} changed visible replies",
+            order
+        );
     }
 }

@@ -2,7 +2,6 @@
 //! results at a small scale. If a model or algorithm change breaks one of
 //! these, the corresponding figure no longer reproduces.
 
-
 use bench::driver::{build_dynamic, build_static, run_dynamic, run_static, Scheme};
 use bench::measure;
 use dycuckoo::{Config, DupPolicy, DyCuckoo, ResizeOp};
@@ -40,7 +39,10 @@ fn atomics_degrade_with_conflicts() {
     };
     let uncontended = mops(1);
     assert!((uncontended / io - 1.0).abs() < 0.01, "uncontended ≈ IO");
-    assert!(mops(1 << 12) < uncontended / 2.0, "heavy conflicts collapse");
+    assert!(
+        mops(1 << 12) < uncontended / 2.0,
+        "heavy conflicts collapse"
+    );
     assert!(mops(1 << 14) < mops(1 << 12), "monotone degradation");
 }
 
@@ -100,11 +102,20 @@ fn static_ordering_matches_paper() {
     let (mk_i, mk_f) = results["MegaKV"];
     let (slab_i, slab_f) = results["Slab"];
     let (dy_i, dy_f) = results["DyCuckoo"];
-    assert!(cud_i < mk_i && cud_i < dy_i && cud_i < slab_i, "CUDPP slowest insert");
-    assert!(cud_f < mk_f && cud_f < dy_f && cud_f < slab_f, "CUDPP slowest find");
+    assert!(
+        cud_i < mk_i && cud_i < dy_i && cud_i < slab_i,
+        "CUDPP slowest insert"
+    );
+    assert!(
+        cud_f < mk_f && cud_f < dy_f && cud_f < slab_f,
+        "CUDPP slowest find"
+    );
     assert!(mk_f >= dy_f, "MegaKV wins find");
     assert!(dy_f > 0.85 * mk_f, "DyCuckoo find only slightly behind");
-    assert!(slab_f < mk_f && slab_f < dy_f, "Slab find trails the cuckoo schemes");
+    assert!(
+        slab_f < mk_f && slab_f < dy_f,
+        "Slab find trails the cuckoo schemes"
+    );
 }
 
 /// Fig. 9 shape: SlabHash degrades with the filled factor while the
@@ -136,7 +147,10 @@ fn filled_factor_sensitivity_matches_paper() {
 
     let (_, cud_low_f) = run(Scheme::Cudpp, 0.40); // 2 hash functions
     let (_, cud_high_f) = run(Scheme::Cudpp, 0.90); // 5 hash functions
-    assert!(cud_high_f < cud_low_f, "CUDPP find drops with more functions");
+    assert!(
+        cud_high_f < cud_low_f,
+        "CUDPP find drops with more functions"
+    );
 }
 
 /// Figs. 10/11 shape: over the dynamic two-phase workload DyCuckoo beats

@@ -5,7 +5,7 @@
 //! round-trip through their RON form bit-identically.
 
 use bench::fuzz::{gen_ops, run_case, shrink_case, Case, Repro, Target};
-use gpu_sim::SchedulePolicy;
+use gpu_sim::{LayoutConfig, SchedulePolicy};
 
 /// Every scheme in the repository passes the differential oracle under
 /// every schedule-policy flavor. This is the integration-level version of
@@ -20,6 +20,7 @@ fn oracle_clean_on_all_targets_under_varied_schedules() {
                 policy: SchedulePolicy::from_seed(seed),
                 workload_seed: seed,
                 inject_lock_elision: false,
+                layout: LayoutConfig::default(),
                 ops: gen_ops(seed, 64),
             };
             if let Err(v) = run_case(&case) {
@@ -44,6 +45,7 @@ fn identical_case_yields_identical_digest() {
             policy: SchedulePolicy::Shuffled { seed: 0xFEED },
             workload_seed: 7,
             inject_lock_elision: false,
+            layout: LayoutConfig::default(),
             ops: gen_ops(7, 64),
         };
         let first = run_case(&case).expect("clean case");
@@ -69,6 +71,7 @@ fn injected_lock_elision_is_caught_and_shrunk() {
             policy: SchedulePolicy::from_seed(seed),
             workload_seed: seed,
             inject_lock_elision: true,
+            layout: LayoutConfig::default(),
             ops: gen_ops(seed, 96),
         };
         if run_case(&case).is_ok() {
@@ -106,6 +109,7 @@ fn repro_round_trips_and_replays() {
         policy: SchedulePolicy::from_seed(3),
         workload_seed: 3,
         inject_lock_elision: true,
+        layout: LayoutConfig::default(),
         ops: gen_ops(3, 96),
     };
     let violation = run_case(&case).expect_err("injected bug must fire");
@@ -126,6 +130,108 @@ fn repro_round_trips_and_replays() {
     assert!(!violation.detail.is_empty());
 }
 
+/// Layout-equivalence property: an equal-slot interleaved (AoS) layout and
+/// the paper's split-array (SoA) layout must be *the same logical
+/// execution* — identical find/insert/delete results against the oracle,
+/// and an identical schedule-sensitive digest (rounds, lock failures,
+/// final length) — under every schedule-policy flavor. Only what the
+/// memory system is charged may differ, and it must actually differ
+/// (otherwise the sweep in `layout_sweep` measures nothing).
+#[test]
+fn aos_and_soa_layouts_agree_under_every_schedule() {
+    for target in [Target::DyCuckoo, Target::MegaKv, Target::KvService] {
+        for seed in 0..8u64 {
+            let case_with = |layout| Case {
+                target,
+                policy: SchedulePolicy::from_seed(seed),
+                workload_seed: seed,
+                inject_lock_elision: false,
+                layout,
+                ops: gen_ops(seed, 96),
+            };
+            let soa = run_case(&case_with(LayoutConfig::default()))
+                .unwrap_or_else(|v| panic!("{} soa32 seed {seed}: {v}", target.name()));
+            let aos = run_case(&case_with(LayoutConfig::aos(32, 4, 4)))
+                .unwrap_or_else(|v| panic!("{} aos32 seed {seed}: {v}", target.name()));
+            assert_eq!(
+                soa,
+                aos,
+                "{} seed {seed}: layouts diverged beyond charging",
+                target.name()
+            );
+        }
+    }
+}
+
+/// The layout-equivalence property at the metrics level: driving the same
+/// batches under SoA and equal-slot AoS leaves every *logical* counter
+/// (probes, evictions, scheduler rounds, lock failures) identical per
+/// batch, while the *transaction* counters diverge — charging is the only
+/// degree of freedom a layout has.
+#[test]
+fn layouts_differ_only_in_transaction_counters() {
+    use baselines::{DyCuckooTable, GpuHashTable};
+    use dycuckoo::{Config, DupPolicy};
+    use gpu_sim::SimContext;
+
+    for seed in 0..8u64 {
+        let policy = SchedulePolicy::from_seed(seed);
+        let run = |layout: LayoutConfig| {
+            let mut sim = SimContext::new();
+            let mut table = DyCuckooTable::new(
+                Config {
+                    initial_buckets: 4,
+                    seed: seed ^ 0xC0FF_EE00,
+                    dup_policy: DupPolicy::Upsert,
+                    schedule: policy,
+                    layout,
+                    ..Config::default()
+                },
+                &mut sim,
+            )
+            .expect("table");
+            let mut results: Vec<Option<u32>> = Vec::new();
+            let mut probe_evict_digest: Vec<(u64, u64, u64, u64)> = Vec::new();
+            let mut tx = 0u64;
+            for (i, op) in gen_ops(seed, 96).iter().enumerate() {
+                let before = sim.metrics.clone();
+                match *op {
+                    bench::fuzz::FuzzOp::Insert(k, v) => {
+                        table.insert_batch(&mut sim, &[(k, v)]).expect("insert");
+                    }
+                    bench::fuzz::FuzzOp::Find(k) => {
+                        results.extend(table.find_batch(&mut sim, &[k]));
+                    }
+                    bench::fuzz::FuzzOp::Delete(k) => {
+                        table.delete_batch(&mut sim, &[k]).expect("delete");
+                    }
+                }
+                let _ = i;
+                probe_evict_digest.push((
+                    sim.metrics.lookups - before.lookups,
+                    sim.metrics.evictions - before.evictions,
+                    sim.metrics.rounds - before.rounds,
+                    sim.metrics.lock_failures - before.lock_failures,
+                ));
+                tx += (sim.metrics.read_transactions - before.read_transactions)
+                    + (sim.metrics.write_transactions - before.write_transactions);
+            }
+            (results, probe_evict_digest, tx)
+        };
+        let (soa_res, soa_digest, soa_tx) = run(LayoutConfig::default());
+        let (aos_res, aos_digest, aos_tx) = run(LayoutConfig::aos(32, 4, 4));
+        assert_eq!(soa_res, aos_res, "seed {seed}: results diverged");
+        assert_eq!(
+            soa_digest, aos_digest,
+            "seed {seed}: per-op probe/eviction trace diverged"
+        );
+        assert_ne!(
+            soa_tx, aos_tx,
+            "seed {seed}: layouts were charged identically — the sweep is vacuous"
+        );
+    }
+}
+
 /// Regression pin for a real schedule-dependent bug this harness found in
 /// the MegaKV baseline: an in-flight (kicked) KV pair could re-land after a
 /// newer upsert of the same key was applied, resurrecting a stale value
@@ -141,6 +247,7 @@ fn megakv_stale_eviction_regression() {
         },
         workload_seed: 20,
         inject_lock_elision: false,
+        layout: LayoutConfig::default(),
         ops: gen_ops(20, 96),
     };
     if let Err(v) = run_case(&case) {

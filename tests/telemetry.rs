@@ -7,7 +7,7 @@
 
 use bench::fuzz::{gen_ops, run_case, Case, Target};
 use dycuckoo::{Config, DyCuckoo};
-use gpu_sim::{SchedulePolicy, SimContext};
+use gpu_sim::{LayoutConfig, SchedulePolicy, SimContext};
 use kv_service::{KvService, Op, ServiceConfig};
 use obs::{Event, OpKind};
 
@@ -17,6 +17,7 @@ fn fuzz_case(target: Target, seed: u64) -> Case {
         policy: SchedulePolicy::from_seed(seed),
         workload_seed: seed,
         inject_lock_elision: false,
+        layout: LayoutConfig::default(),
         ops: gen_ops(seed, 96),
     }
 }
@@ -97,12 +98,14 @@ fn evict_chain_depth_matches_metrics_across_schedules() {
                 })
                 .sum();
             assert_eq!(
-                steps, delta,
+                steps,
+                delta,
                 "policy {}: EvictStep events disagree with Metrics::evictions",
                 schedule.spec()
             );
             assert_eq!(
-                retired_depth, delta,
+                retired_depth,
+                delta,
                 "policy {}: retired chain depths disagree with Metrics::evictions",
                 schedule.spec()
             );
