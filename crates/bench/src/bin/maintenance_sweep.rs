@@ -1,0 +1,237 @@
+//! **Maintenance sweep** — per-batch resize stall × tail latency versus the
+//! migration quantum (DESIGN.md §4f).
+//!
+//! Stop-the-world resizing (`migration_quantum = ∞`, the paper's behaviour)
+//! charges a whole subtable rehash to whichever unlucky batch crossed the
+//! fill bound: the maximum per-batch structural work grows with the table.
+//! A finite quantum turns each resize into a resumable migration that
+//! drains at most `quantum` source buckets per batch, so the worst batch
+//! pays a *bounded* structural toll while the aggregate work is unchanged.
+//!
+//! This sweep drives one grow-then-shrink-then-regrow workload through a
+//! DyCuckoo table at each quantum and reports, per quantum:
+//!
+//! * **max stall** — the largest structural work (source buckets rehashed)
+//!   any single batch paid. The headline: bounded by the quantum on the
+//!   incremental path, unbounded on the stop-the-world path.
+//! * **p50/p99 batch ns** — simulated kernel time per batch under the cost
+//!   model; the stall bound is what flattens the tail.
+//! * **resizes / backlog peak** — how many structural events ran and the
+//!   deepest migration backlog observed between batches.
+//!
+//! Self-checks (nonzero exit on failure): every finite quantum's max stall
+//! is `≤ quantum`, and max stall is monotone — a smaller quantum never
+//! stalls a batch *more* than a larger one.
+//!
+//! `TELEMETRY_SNAP=<path>` writes the registry as deterministic text; CI
+//! pins `results/maintenance-sweep.snap` against it.
+
+use bench::report::Table;
+use bench::telemetry::Telemetry;
+use bench::{measure, scale, seed};
+use dycuckoo::{BatchReport, Config, DyCuckoo};
+use gpu_sim::SimContext;
+
+/// The swept quanta, widest first. `None` is stop-the-world.
+const QUANTA: [Option<usize>; 6] = [None, Some(4096), Some(1024), Some(256), Some(64), Some(16)];
+
+fn quantum_spec(q: Option<usize>) -> String {
+    match q {
+        None => "inf".to_string(),
+        Some(n) => n.to_string(),
+    }
+}
+
+/// What one quantum's run of the workload looked like.
+struct Outcome {
+    /// Largest structural work (source buckets) any single batch paid.
+    max_stall: u64,
+    /// Aggregate structural work across the run.
+    total_stall: u64,
+    /// Median simulated batch time.
+    p50_ns: f64,
+    /// 99th-percentile simulated batch time.
+    p99_ns: f64,
+    /// Resize events retired (finalized migrations or stop-the-world).
+    resizes: u64,
+    /// Deepest migration backlog observed between batches.
+    backlog_peak: u64,
+    /// Keys resident at the end (identical across quanta by construction).
+    final_len: u64,
+}
+
+/// Structural buckets a batch paid: the incremental path reports drained
+/// chunks directly; the stop-the-world path pays every source bucket of
+/// every resize inside the triggering batch.
+fn batch_stall(report: &BatchReport, incremental: bool) -> u64 {
+    if incremental {
+        report.migrated_buckets
+    } else {
+        report.resizes.iter().map(|e| e.old_buckets as u64).sum()
+    }
+}
+
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 * p).ceil() as usize).max(1) - 1;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn run_quantum(quantum: Option<usize>, n_keys: u32, batch: usize, seed: u64) -> Outcome {
+    let incremental = quantum.is_some();
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(
+        Config {
+            initial_buckets: 16,
+            seed,
+            migration_quantum: quantum.unwrap_or(usize::MAX),
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .expect("table construction");
+
+    let mut max_stall = 0u64;
+    let mut total_stall = 0u64;
+    let mut resizes = 0u64;
+    let mut backlog_peak = 0u64;
+    let mut batch_ns: Vec<f64> = Vec::new();
+    let mut account = |report: &BatchReport, ns: f64, backlog: u64, batch_ns: &mut Vec<f64>| {
+        let stall = batch_stall(report, incremental);
+        max_stall = max_stall.max(stall);
+        total_stall += stall;
+        resizes += report.resizes.len() as u64;
+        backlog_peak = backlog_peak.max(backlog);
+        batch_ns.push(ns);
+    };
+
+    let val = |k: u32| k.wrapping_mul(0x9E37) | 1;
+    // Phase 1: grow through several upsizes.
+    let keys: Vec<u32> = (1..=n_keys).collect();
+    for chunk in keys.chunks(batch) {
+        let kvs: Vec<(u32, u32)> = chunk.iter().map(|&k| (k, val(k))).collect();
+        let (report, m) = measure(&mut sim, |sim| table.insert_batch(sim, &kvs));
+        let report = report.expect("insert batch");
+        account(&report, m.ns, table.migration_backlog(), &mut batch_ns);
+    }
+    // Phase 2: shrink through downsizes (delete 85%).
+    let dels: Vec<u32> = (1..=(n_keys / 100) * 85).collect();
+    for chunk in dels.chunks(batch) {
+        let (report, m) = measure(&mut sim, |sim| table.delete_batch(sim, chunk));
+        let report = report.expect("delete batch");
+        account(&report, m.ns, table.migration_backlog(), &mut batch_ns);
+    }
+    // Phase 3: regrow with fresh keys (forces upsizes from the shrunk state).
+    let fresh: Vec<u32> = (n_keys + 1..=n_keys + n_keys / 2).collect();
+    for chunk in fresh.chunks(batch) {
+        let kvs: Vec<(u32, u32)> = chunk.iter().map(|&k| (k, val(k))).collect();
+        let (report, m) = measure(&mut sim, |sim| table.insert_batch(sim, &kvs));
+        let report = report.expect("insert batch");
+        account(&report, m.ns, table.migration_backlog(), &mut batch_ns);
+    }
+    // Drain any in-flight migration so every quantum ends quiescent; the
+    // tail pumps are batches too and obey the same stall bound.
+    while table.migration_in_flight() {
+        let mut report = BatchReport::default();
+        let (out, m) = measure(&mut sim, |sim| table.migrate_quantum(sim, &mut report));
+        out.expect("tail migration pump");
+        account(&report, m.ns, table.migration_backlog(), &mut batch_ns);
+    }
+
+    batch_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite ns"));
+    Outcome {
+        max_stall,
+        total_stall,
+        p50_ns: percentile(&batch_ns, 0.50),
+        p99_ns: percentile(&batch_ns, 0.99),
+        resizes,
+        backlog_peak,
+        final_len: table.len(),
+    }
+}
+
+fn main() {
+    let mut tel = Telemetry::from_env();
+    let scale = scale();
+    let seed = seed();
+    let n_keys = ((60_000.0 * scale).round() as u32).max(4_000);
+    let batch = 512usize;
+    println!(
+        "Maintenance sweep: DyCuckoo grow/shrink/regrow, {n_keys} keys, batch {batch}, \
+         quanta {{inf, 4096, 1024, 256, 64, 16}}"
+    );
+
+    let mut t = Table::new(&[
+        "quantum",
+        "max stall (buckets)",
+        "total stall",
+        "p50 batch ns",
+        "p99 batch ns",
+        "resizes",
+        "backlog peak",
+    ]);
+    let mut outcomes: Vec<(Option<usize>, Outcome)> = Vec::new();
+    for &quantum in &QUANTA {
+        let o = run_quantum(quantum, n_keys, batch, seed);
+        let spec = quantum_spec(quantum);
+        let labels = [("figure", "maintenance_sweep"), ("quantum", spec.as_str())];
+        let reg = tel.registry();
+        reg.counter("max_stall_buckets", &labels, o.max_stall);
+        reg.counter("total_stall_buckets", &labels, o.total_stall);
+        reg.counter("resizes", &labels, o.resizes);
+        reg.counter("backlog_peak", &labels, o.backlog_peak);
+        reg.counter("final_len", &labels, o.final_len);
+        t.row(vec![
+            spec,
+            o.max_stall.to_string(),
+            o.total_stall.to_string(),
+            format!("{:.0}", o.p50_ns),
+            format!("{:.0}", o.p99_ns),
+            o.resizes.to_string(),
+            o.backlog_peak.to_string(),
+        ]);
+        outcomes.push((quantum, o));
+    }
+    t.print("Maintenance sweep: per-batch stall and latency tail vs migration quantum");
+
+    // Self-checks — a failed assert exits nonzero, which is what CI wants.
+    let stop_the_world = &outcomes[0].1;
+    for (q, o) in &outcomes[1..] {
+        let q = q.expect("finite quantum");
+        assert!(
+            o.max_stall <= q as u64,
+            "quantum {q}: max per-batch stall {} exceeds the quantum",
+            o.max_stall
+        );
+        assert_eq!(
+            o.final_len, stop_the_world.final_len,
+            "quantum {q}: final contents diverged from stop-the-world"
+        );
+    }
+    for pair in outcomes[1..].windows(2) {
+        let (qa, a) = (&pair[0].0.unwrap(), &pair[0].1);
+        let (qb, b) = (&pair[1].0.unwrap(), &pair[1].1);
+        assert!(
+            b.max_stall <= a.max_stall,
+            "max stall must be monotone in the quantum: q={qb} stalls {} > q={qa} stalls {}",
+            b.max_stall,
+            a.max_stall
+        );
+    }
+    let bounded = outcomes
+        .last()
+        .map(|(_, o)| o.max_stall)
+        .expect("swept at least one quantum");
+    println!(
+        "\nWorst single-batch stall: {} source buckets stop-the-world vs {} at quantum 16 \
+         — the incremental machine bounds what any one batch pays.",
+        stop_the_world.max_stall, bounded
+    );
+    assert!(
+        bounded < stop_the_world.max_stall,
+        "expected the smallest quantum to beat stop-the-world on max stall"
+    );
+    tel.finish();
+}

@@ -14,7 +14,8 @@
 //!
 //! ```text
 //! schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]
-//!               [--layout SPEC] [--inject-lock-elision] [--expect-violations]
+//!               [--layout SPEC] [--migration-quanta q1,q2,..]
+//!               [--inject-lock-elision] [--expect-violations]
 //!               [--out DIR] [--budget-secs S] [--replay FILE]
 //! ```
 //!
@@ -26,6 +27,11 @@
 //! * `--layout SPEC` — bucket layout (`soa32`, `aos16`, ...) for the
 //!   targets that sweep it (default `soa32`, the paper's). The oracle is
 //!   layout-blind: any layout must produce reference-identical results.
+//! * `--migration-quanta q1,q2,..` — migration quanta to sweep (`inf` or a
+//!   bucket count, default `inf`). Every (seed, policy) pair runs once per
+//!   quantum; finite quanta engage the incremental migration machine so
+//!   the oracle checks linearizability *mid-migration* (see
+//!   `Config::migration_quantum`).
 //! * `--inject-lock-elision` — plant the known lock-elision bug in the
 //!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
 //!   `--expect-violations` to prove the oracle catches and shrinks it.
@@ -50,6 +56,7 @@ struct Args {
     policies: Option<Vec<SchedulePolicy>>,
     inject: bool,
     layout: LayoutConfig,
+    migration_quanta: Vec<usize>,
     expect_violations: bool,
     out_dir: String,
     budget_secs: Option<u64>,
@@ -60,7 +67,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("schedule_fuzz: {err}");
     eprintln!(
         "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
-         \x20                    [--layout SPEC] [--inject-lock-elision] [--expect-violations]\n\
+         \x20                    [--layout SPEC] [--migration-quanta q1,q2,..]\n\
+         \x20                    [--inject-lock-elision] [--expect-violations]\n\
          \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
     );
     ExitCode::from(2)
@@ -74,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         policies: None,
         inject: false,
         layout: LayoutConfig::default(),
+        migration_quanta: vec![usize::MAX],
         expect_violations: false,
         out_dir: ".".to_string(),
         budget_secs: None,
@@ -114,6 +123,20 @@ fn parse_args() -> Result<Args, String> {
                 let spec = val("--layout")?;
                 args.layout = LayoutConfig::parse(&spec, 4, 4)
                     .ok_or_else(|| format!("unknown layout spec {spec:?}"))?;
+            }
+            "--migration-quanta" => {
+                let list = val("--migration-quanta")?;
+                args.migration_quanta = list
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "inf" | "max" => Ok(usize::MAX),
+                        n => n
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&q| q > 0)
+                            .ok_or_else(|| format!("bad migration quantum {n:?}")),
+                    })
+                    .collect::<Result<_, _>>()?;
             }
             "--expect-violations" => args.expect_violations = true,
             "--out" => args.out_dir = val("--out")?,
@@ -190,47 +213,55 @@ fn main() -> ExitCode {
                 None => vec![SchedulePolicy::from_seed(seed)],
             };
             for policy in policies {
-                if let Some(budget) = args.budget_secs {
-                    if start.elapsed().as_secs() >= budget {
-                        budget_hit = true;
-                        break 'sweep;
-                    }
-                }
-                let case = Case {
-                    target,
-                    policy,
-                    workload_seed: seed,
-                    inject_lock_elision: args.inject,
-                    layout: args.layout,
-                    ops: gen_ops(seed, args.ops),
-                };
-                cases += 1;
-                match run_case(&case) {
-                    Ok(d) => digest = fold(digest, d),
-                    Err(v) => {
-                        violations += 1;
-                        digest = fold(digest, 0xBAD);
-                        let (min, min_violation) = shrink_case(&case);
-                        let repro = Repro {
-                            case: min.clone(),
-                            violation: min_violation.detail.clone(),
-                        };
-                        let file = format!(
-                            "{}/repro-{}-{seed}.ron",
-                            args.out_dir.trim_end_matches('/'),
-                            target.name()
-                        );
-                        if let Err(e) = std::fs::write(&file, repro.to_ron()) {
-                            eprintln!("warning: cannot write {file}: {e}");
+                for &quantum in &args.migration_quanta {
+                    if let Some(budget) = args.budget_secs {
+                        if start.elapsed().as_secs() >= budget {
+                            budget_hit = true;
+                            break 'sweep;
                         }
-                        println!(
-                            "REPRO target={} seed={seed} policy={} ops={} file={file}",
-                            target.name(),
-                            policy.spec(),
-                            min.ops.len()
-                        );
-                        println!("  first violation: {v}");
-                        println!("  shrunk violation: {min_violation}");
+                    }
+                    let case = Case {
+                        target,
+                        policy,
+                        workload_seed: seed,
+                        inject_lock_elision: args.inject,
+                        layout: args.layout,
+                        migration_quantum: quantum,
+                        ops: gen_ops(seed, args.ops),
+                    };
+                    cases += 1;
+                    match run_case(&case) {
+                        Ok(d) => digest = fold(digest, d),
+                        Err(v) => {
+                            violations += 1;
+                            digest = fold(digest, 0xBAD);
+                            let (min, min_violation) = shrink_case(&case);
+                            let repro = Repro {
+                                case: min.clone(),
+                                violation: min_violation.detail.clone(),
+                            };
+                            let qtag = if quantum == usize::MAX {
+                                String::new()
+                            } else {
+                                format!("-q{quantum}")
+                            };
+                            let file = format!(
+                                "{}/repro-{}-{seed}{qtag}.ron",
+                                args.out_dir.trim_end_matches('/'),
+                                target.name()
+                            );
+                            if let Err(e) = std::fs::write(&file, repro.to_ron()) {
+                                eprintln!("warning: cannot write {file}: {e}");
+                            }
+                            println!(
+                                "REPRO target={} seed={seed} policy={} quantum={quantum} ops={} file={file}",
+                                target.name(),
+                                policy.spec(),
+                                min.ops.len()
+                            );
+                            println!("  first violation: {v}");
+                            println!("  shrunk violation: {min_violation}");
+                        }
                     }
                 }
             }

@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]
-//!               [--inject-lock-elision] [--top K] [--chrome PATH] [--jsonl PATH]
+//!               [--migration-quantum Q] [--inject-lock-elision] [--top K]
+//!               [--chrome PATH] [--jsonl PATH]
 //! ```
 //!
 //! * `--replay FILE` — re-run a `schedule_fuzz` repro artifact. The oracle
@@ -21,6 +22,9 @@
 //! * `--target` — one of `dycuckoo,wide,megakv,slab,linear,cudpp,service`
 //!   (default `dycuckoo`). Only the DyCuckoo-cored targets emit per-op
 //!   events today; the others still produce launch/lock-level traces.
+//! * `--migration-quantum Q` — `inf` (default) or a bucket count; finite
+//!   values run resizes as incremental migrations, so the trace shows
+//!   per-chunk `migrate:*` spans instead of one stop-the-world `resize:*`.
 //! * `--top K` — how many retired ops to explain (default 5).
 //! * `--chrome PATH` — also write the trace as Chrome `trace_event` JSON
 //!   (open in Perfetto or `chrome://tracing`).
@@ -47,6 +51,7 @@ struct Args {
     ops: usize,
     policy: Option<SchedulePolicy>,
     inject: bool,
+    migration_quantum: usize,
     top: usize,
     chrome: Option<String>,
     jsonl: Option<String>,
@@ -56,7 +61,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("trace_explain: {err}");
     eprintln!(
         "usage: trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]\n\
-         \x20                    [--inject-lock-elision] [--top K] [--chrome PATH] [--jsonl PATH]"
+         \x20                    [--migration-quantum Q] [--inject-lock-elision] [--top K]\n\
+         \x20                    [--chrome PATH] [--jsonl PATH]"
     );
     ExitCode::from(2)
 }
@@ -69,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         ops: 96,
         policy: None,
         inject: false,
+        migration_quantum: usize::MAX,
         top: 5,
         chrome: None,
         jsonl: None,
@@ -93,6 +100,17 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--inject-lock-elision" => args.inject = true,
+            "--migration-quantum" => {
+                let spec = val("--migration-quantum")?;
+                args.migration_quantum = match spec.trim() {
+                    "inf" | "max" => usize::MAX,
+                    n => n
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&q| q > 0)
+                        .ok_or_else(|| format!("bad migration quantum {n:?}"))?,
+                };
+            }
             "--top" => args.top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
             "--chrome" => args.chrome = Some(val("--chrome")?),
             "--jsonl" => args.jsonl = Some(val("--jsonl")?),
@@ -120,6 +138,7 @@ fn load_case(args: &Args) -> Result<Case, String> {
         workload_seed: args.seed,
         inject_lock_elision: args.inject,
         layout: LayoutConfig::default(),
+        migration_quantum: args.migration_quantum,
         ops: gen_ops(args.seed, args.ops),
     })
 }
@@ -190,6 +209,16 @@ fn describe_opener(te: &TraceEvent) -> String {
             "{} subtable {table} from {old_buckets} buckets",
             if grow { "upsize" } else { "downsize" }
         ),
+        Event::MigrateChunkBegin {
+            grow,
+            table,
+            cursor,
+            chunk,
+        } => format!(
+            "migrate chunk ({} subtable {table}): source buckets [{cursor}, {})",
+            if grow { "upsize" } else { "downsize" },
+            cursor + chunk
+        ),
         _ => te.event.name().to_string(),
     }
 }
@@ -203,6 +232,11 @@ fn describe_closer(te: &TraceEvent) -> String {
             moved,
             residuals,
         } => format!("now {new_buckets} buckets ({moved} moved, {residuals} residuals)"),
+        Event::MigrateChunkEnd {
+            moved,
+            residuals,
+            backlog,
+        } => format!("chunk retired: {moved} moved, {residuals} residuals, backlog {backlog}"),
         _ => te.event.name().to_string(),
     }
 }
@@ -288,6 +322,88 @@ fn explain(
     }
 }
 
+/// A maintenance span's schedule footprint: each rehashed KV costs 1, each
+/// residual pushed to a partner subtable 2 (an extra write elsewhere),
+/// plus any scheduler rounds the span itself consumed.
+fn maintenance_cost(events: &[TraceEvent], span: &Span) -> u64 {
+    let open = &events[span.open];
+    let Some(close) = span.close else { return 0 };
+    let close = &events[close];
+    let rounds = close.rounds.saturating_sub(open.rounds);
+    match close.event {
+        Event::ResizeEnd {
+            moved, residuals, ..
+        }
+        | Event::MigrateChunkEnd {
+            moved, residuals, ..
+        } => moved + 2 * residuals + rounds,
+        _ => rounds,
+    }
+}
+
+/// Rank structural-maintenance spans — stop-the-world resizes and
+/// incremental migration chunks — by footprint, and print the top-k with
+/// their causal chains (the batch flush or kernel that triggered them,
+/// outermost first).
+fn explain_maintenance(events: &[TraceEvent], spans: &HashMap<u32, Span>, top: usize) {
+    let mut maint: Vec<(u64, usize, u32)> = Vec::new();
+    for (&id, span) in spans {
+        let open = &events[span.open];
+        if !matches!(
+            open.event,
+            Event::ResizeBegin { .. } | Event::MigrateChunkBegin { .. }
+        ) {
+            continue;
+        }
+        maint.push((maintenance_cost(events, span), span.open, id));
+    }
+    if maint.is_empty() {
+        return;
+    }
+    // Widest footprint first; ties break toward the earliest open so the
+    // listing is deterministic.
+    maint.sort_by_key(|&(c, open, _)| (std::cmp::Reverse(c), open));
+    println!(
+        "\ntop {} of {} maintenance spans by schedule footprint:",
+        top.min(maint.len()),
+        maint.len()
+    );
+    for (rank, &(footprint, _, id)) in maint.iter().take(top).enumerate() {
+        let span = &spans[&id];
+        let open = &events[span.open];
+        println!(
+            "#{} {}  cost={footprint}  [{}]",
+            rank + 1,
+            describe_opener(open),
+            stamp(open)
+        );
+        if let Some(close) = span.close {
+            let close = &events[close];
+            println!("    ... {}  [{}]", describe_closer(close), stamp(close));
+        }
+        // The chain that caused this span, outermost first.
+        let mut chain: Vec<u32> = Vec::new();
+        let mut cur = span.parent;
+        while cur != 0 && chain.len() < 8 {
+            chain.push(cur);
+            cur = match spans.get(&cur) {
+                Some(s) => s.parent,
+                None => 0,
+            };
+        }
+        for (depth, anc) in chain.iter().rev().enumerate() {
+            let Some(anc) = spans.get(anc) else { continue };
+            let pad = "  ".repeat(depth + 2);
+            let open = &events[anc.open];
+            println!(
+                "{pad}\u{2514} within {}  [{}]",
+                describe_opener(open),
+                stamp(open)
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -341,6 +457,7 @@ fn main() -> ExitCode {
     }
 
     let (spans, locks) = index_spans(&trace.events);
+    explain_maintenance(&trace.events, &spans, args.top);
     // Rank retired ops by schedule footprint; ties break toward the
     // earliest retire so the listing is deterministic.
     let mut retired: Vec<(u64, usize)> = trace

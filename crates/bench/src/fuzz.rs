@@ -114,6 +114,13 @@ pub struct Case {
     /// scheme × width onto its 8-byte words). The word sizes in this field
     /// are 4/4 — per-target runners substitute their own.
     pub layout: LayoutConfig,
+    /// Source buckets a structural resize may drain per migration quantum.
+    /// `usize::MAX` (the default sweep) keeps stop-the-world resizes; a
+    /// finite value engages the incremental migration machine on the
+    /// DyCuckoo and service targets, and makes the wide runner interleave
+    /// manual `begin_upsize`/`migrate_quantum` pumps between batches — so
+    /// the oracle checks every operation *mid-migration*.
+    pub migration_quantum: usize,
     /// The operation sequence.
     pub ops: Vec<FuzzOp>,
 }
@@ -313,6 +320,7 @@ fn build_table(case: &Case, sim: &mut SimContext) -> Result<Box<dyn GpuHashTable
                     schedule: case.policy,
                     inject_lock_elision: case.inject_lock_elision,
                     layout: case.layout,
+                    migration_quantum: case.migration_quantum,
                     ..Config::default()
                 },
                 sim,
@@ -439,7 +447,17 @@ fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
     // Exercise the 64-bit key space: spread the 32-bit fuzz keys across the
     // wide domain deterministically (same key always maps the same way).
     let widen = |k: u32| (k as u64) | (mix64(k as u64) & 0xFFFF_0000_0000_0000);
+    // The wide table migrates only on explicit request; a finite quantum
+    // makes this runner start an upsize every few batches and pump one
+    // bounded chunk after every batch, so finds/inserts/deletes are checked
+    // against the reference while a migration is in flight.
+    let interleave = case.migration_quantum != usize::MAX;
     for (i, batch) in batches(&case.ops).into_iter().enumerate() {
+        if interleave && i % 5 == 4 && !table.migration_in_flight() {
+            table
+                .begin_upsize(&mut sim)
+                .map_err(|e| Violation::new(format!("begin_upsize before batch {i}: {e}")))?;
+        }
         match batch {
             Batch::Insert(kvs) => {
                 let kvs: Vec<(u64, u64)> = kvs
@@ -491,6 +509,17 @@ fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
                 }
             }
         }
+        if interleave && table.migration_in_flight() {
+            table
+                .migrate_quantum(&mut sim, case.migration_quantum)
+                .map_err(|e| Violation::new(format!("migrate_quantum after batch {i}: {e}")))?;
+        }
+    }
+    // Quiesce so the length check compares settled tables.
+    while table.migration_in_flight() {
+        table
+            .migrate_quantum(&mut sim, case.migration_quantum)
+            .map_err(|e| Violation::new(format!("final migration drain: {e}")))?;
     }
     if table.len() != model.len() as u64 {
         return Err(Violation::new(format!(
@@ -524,6 +553,7 @@ fn run_service_case(case: &Case) -> Result<Digest, Violation> {
         queue_capacity: 1 << 14,
         shed_watermark: 1 << 14,
         seed: mix64(seed ^ 0x0A11),
+        migration_quantum: case.migration_quantum,
         flush_order: case.policy,
     };
     let mut svc = KvService::new(cfg, &mut sim).map_err(setup_err)?;
@@ -659,6 +689,10 @@ impl Repro {
         ));
         out.push_str(&format!("    layout: \"{}\",\n", self.case.layout.spec()));
         out.push_str(&format!(
+            "    migration_quantum: {},\n",
+            self.case.migration_quantum
+        ));
+        out.push_str(&format!(
             "    violation: \"{}\",\n",
             escape(&self.violation)
         ));
@@ -703,6 +737,21 @@ impl Repro {
         let layout = LayoutConfig::parse(&layout_spec, 4, 4)
             .ok_or_else(|| format!("unknown layout spec {layout_spec:?}"))?;
         c.expect(',')?;
+        // Optional (absent in artifacts predating incremental migration);
+        // absent means stop-the-world.
+        let mark = c.pos;
+        let migration_quantum = match c.ident() {
+            Ok(name) if name == "migration_quantum" => {
+                c.expect(':')?;
+                let q = c.number()? as usize;
+                c.expect(',')?;
+                q
+            }
+            _ => {
+                c.pos = mark;
+                usize::MAX
+            }
+        };
         c.field("violation")?;
         let violation = c.string()?;
         c.expect(',')?;
@@ -741,6 +790,7 @@ impl Repro {
                 workload_seed,
                 inject_lock_elision,
                 layout,
+                migration_quantum,
                 ops,
             },
             violation,
@@ -909,11 +959,36 @@ mod tests {
             workload_seed: 1,
             inject_lock_elision: false,
             layout: LayoutConfig::default(),
+            migration_quantum: usize::MAX,
             ops: gen_ops(1, 96),
         };
         let a = run_case(&case).expect("no violation");
         let b = run_case(&case).expect("no violation");
         assert_eq!(a, b, "same case must produce the same digest");
+    }
+
+    /// A finite quantum keeps migrations in flight across batches on every
+    /// target that supports them; the oracle must still pass, and the
+    /// digest must stay deterministic.
+    #[test]
+    fn oracle_passes_mid_migration() {
+        for target in [Target::DyCuckoo, Target::WideDyCuckoo, Target::KvService] {
+            for quantum in [2usize, 16] {
+                let case = Case {
+                    target,
+                    policy: SchedulePolicy::FixedOrder,
+                    workload_seed: 5,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::default(),
+                    migration_quantum: quantum,
+                    ops: gen_ops(5, 160),
+                };
+                let a = run_case(&case)
+                    .unwrap_or_else(|v| panic!("{} quantum={quantum}: {v}", target.name()));
+                let b = run_case(&case).expect("second run");
+                assert_eq!(a, b, "{} quantum={quantum}", target.name());
+            }
+        }
     }
 
     #[test]
@@ -924,6 +999,7 @@ mod tests {
             workload_seed: 3,
             inject_lock_elision: false,
             layout: LayoutConfig::default(),
+            migration_quantum: usize::MAX,
             ops: gen_ops(3, 96),
         };
         let rev = Case {
@@ -945,12 +1021,40 @@ mod tests {
                 workload_seed: 9,
                 inject_lock_elision: true,
                 layout: LayoutConfig::default(),
+                migration_quantum: 64,
                 ops: vec![FuzzOp::Insert(1, 2), FuzzOp::Find(1), FuzzOp::Delete(1)],
             },
             violation: "find(1) = None, reference says Some(2) — a \"lost\" key\\".to_string(),
         };
         let text = repro.to_ron();
         let back = Repro::from_ron(&text).expect("parse");
+        assert_eq!(back, repro);
+    }
+
+    /// Artifacts written before the `migration_quantum` field existed still
+    /// parse (the field defaults to stop-the-world).
+    #[test]
+    fn ron_accepts_legacy_artifacts_without_migration_quantum() {
+        let repro = Repro {
+            case: Case {
+                target: Target::DyCuckoo,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 2,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
+                ops: vec![FuzzOp::Insert(3, 4)],
+            },
+            violation: "x".to_string(),
+        };
+        let text: String = repro
+            .to_ron()
+            .lines()
+            .filter(|l| !l.contains("migration_quantum"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(!text.contains("migration_quantum"));
+        let back = Repro::from_ron(&text).expect("legacy artifact must parse");
         assert_eq!(back, repro);
     }
 
@@ -965,6 +1069,7 @@ mod tests {
                 workload_seed: 0,
                 inject_lock_elision: false,
                 layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
                 ops: vec![],
             },
             violation: String::new(),

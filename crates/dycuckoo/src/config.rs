@@ -120,6 +120,21 @@ pub struct Config {
     /// oracle + shrinker can be
     /// demonstrated against a real bug; never enable outside tests.
     pub inject_lock_elision: bool,
+    /// Maximum buckets rehashed per migration quantum. The default,
+    /// `usize::MAX`, performs each structural resize as one stop-the-world
+    /// pass inside the triggering batch — the paper's behaviour, preserved
+    /// bit-for-bit. Any finite value turns resizes into an incremental
+    /// migration: the [`crate::table::MigrationMachine`] drains at most
+    /// this many buckets per quantum while foreground operations keep
+    /// serving from a coherent old/new view (see `table/migration.rs`).
+    pub migration_quantum: usize,
+    /// Resize hysteresis: after a resize in one direction, a resize in the
+    /// *opposite* direction is suppressed until this many batches have
+    /// completed. 0 (the default) disables hysteresis, reproducing the
+    /// historical decide-every-batch behaviour. Same-direction resizes are
+    /// never suppressed — convergence under sustained growth or shrinkage
+    /// is unaffected.
+    pub resize_cooldown: u32,
 }
 
 impl Default for Config {
@@ -140,6 +155,8 @@ impl Default for Config {
             schedule: SchedulePolicy::FixedOrder,
             layout: LayoutConfig::soa(BUCKET_SLOTS, 4, 4),
             inject_lock_elision: false,
+            migration_quantum: usize::MAX,
+            resize_cooldown: 0,
         }
     }
 }
@@ -196,6 +213,11 @@ impl Config {
                 "DyCuckoo stores 4-byte keys and values; layout declares {}/{}",
                 self.layout.key_bytes, self.layout.val_bytes
             )));
+        }
+        if self.migration_quantum == 0 {
+            return Err(Error::InvalidConfig(
+                "migration_quantum must be positive (usize::MAX = stop-the-world)".to_string(),
+            ));
         }
         if self.stash_capacity > 4096 {
             return Err(Error::InvalidConfig(format!(

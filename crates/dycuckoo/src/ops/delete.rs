@@ -12,6 +12,7 @@ use gpu_sim::{run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutcome};
 
 use crate::config::DupPolicy;
 use crate::subtable::SubTable;
+use crate::table::migration::{MigrationView, Route};
 use crate::table::TableShape;
 
 pub(crate) struct DeleteWarp {
@@ -26,6 +27,10 @@ pub(crate) struct DeleteWarp {
 struct DeleteKernel<'a> {
     tables: &'a mut [SubTable],
     shape: &'a TableShape,
+    /// In-flight incremental migration: probes of the draining subtable are
+    /// routed per key to its old or fresh bucket — still exactly one probe
+    /// per candidate subtable, so the two-lookup bound holds mid-migration.
+    migration: Option<(MigrationView, &'a mut SubTable)>,
     deleted: u64,
 }
 
@@ -36,8 +41,17 @@ impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
         };
         let cands = self.shape.candidates(key);
         let t = cands.get(warp.cand_idx);
-        let table = &mut self.tables[t];
-        let bucket = self.shape.hashes[t].bucket(key, table.n_buckets());
+        let hash = &self.shape.hashes[t];
+        let (table, bucket): (&mut SubTable, usize) = match self.migration.as_mut() {
+            Some((view, fresh)) if view.table == t => match view.route(hash, key) {
+                Route::Old(b) => (&mut self.tables[t], b),
+                Route::Fresh(b) => (&mut **fresh, b),
+            },
+            _ => {
+                let n = self.tables[t].n_buckets();
+                (&mut self.tables[t], hash.bucket(key, n))
+            }
+        };
         self.shape.cfg.layout.charge_probe(ctx);
         let mut finished = false;
         if let Some(slot) = table.find_slot(bucket, key) {
@@ -82,10 +96,11 @@ impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
 }
 
 /// Execute a batched delete. Returns the number of erased slots.
-pub(crate) fn delete_batch(
-    tables: &mut [SubTable],
-    shape: &TableShape,
+pub(crate) fn delete_batch<'a>(
+    tables: &'a mut [SubTable],
+    shape: &'a TableShape,
     keys: &[u32],
+    migration: Option<(MigrationView, &'a mut SubTable)>,
     metrics: &mut Metrics,
 ) -> u64 {
     let mut warps: Vec<DeleteWarp> = keys
@@ -100,6 +115,7 @@ pub(crate) fn delete_batch(
     let mut kernel = DeleteKernel {
         tables,
         shape,
+        migration,
         deleted: 0,
     };
     let recording = obs::is_enabled();

@@ -12,6 +12,7 @@
 use gpu_sim::{run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutcome};
 
 use crate::subtable::SubTable;
+use crate::table::migration::{MigrationView, Route};
 use crate::table::TableShape;
 
 /// Per-warp state: a slice of keys processed one at a time (warp-centric).
@@ -27,6 +28,10 @@ pub(crate) struct FindWarp {
 struct FindKernel<'a> {
     tables: &'a [SubTable],
     shape: &'a TableShape,
+    /// In-flight incremental migration: probes of the draining subtable are
+    /// routed per key to its old or fresh bucket — still exactly one probe
+    /// per candidate subtable, so the two-lookup bound holds mid-migration.
+    migration: Option<(MigrationView, &'a SubTable)>,
     results: &'a mut [Option<u32>],
 }
 
@@ -37,8 +42,18 @@ impl RoundKernel<FindWarp> for FindKernel<'_> {
         };
         let cands = self.shape.candidates(key);
         let t = cands.get(warp.cand_idx);
-        let table = &self.tables[t];
-        let bucket = self.shape.hashes[t].bucket(key, table.n_buckets());
+        let (table, bucket) = match self.migration {
+            Some((view, fresh)) if view.table == t => {
+                match view.route(&self.shape.hashes[t], key) {
+                    Route::Old(b) => (&self.tables[t], b),
+                    Route::Fresh(b) => (fresh, b),
+                }
+            }
+            _ => {
+                let table = &self.tables[t];
+                (table, self.shape.hashes[t].bucket(key, table.n_buckets()))
+            }
+        };
         self.shape.cfg.layout.charge_probe(ctx);
         if let Some(slot) = table.find_slot(bucket, key) {
             // Hit: fetch the value (free under AoS — it came with the probe).
@@ -85,10 +100,11 @@ impl RoundKernel<FindWarp> for FindKernel<'_> {
 }
 
 /// Execute a batched find. Returns one `Option<u32>` per key, in order.
-pub(crate) fn find_batch(
-    tables: &[SubTable],
-    shape: &TableShape,
+pub(crate) fn find_batch<'a>(
+    tables: &'a [SubTable],
+    shape: &'a TableShape,
     keys: &[u32],
+    migration: Option<(MigrationView, &'a SubTable)>,
     metrics: &mut Metrics,
 ) -> Vec<Option<u32>> {
     let mut results = vec![None; keys.len()];
@@ -106,6 +122,7 @@ pub(crate) fn find_batch(
     let mut kernel = FindKernel {
         tables,
         shape,
+        migration,
         results: &mut results,
     };
     let recording = obs::is_enabled();

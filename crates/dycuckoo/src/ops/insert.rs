@@ -27,7 +27,8 @@ use gpu_sim::{ballot, run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutco
 use crate::config::{Coordination, Distribution, DupPolicy, Layering};
 use crate::distribute::{choose_among, choose_victim};
 use crate::subtable::{SubTable, EMPTY_KEY};
-use crate::table::TableShape;
+use crate::table::migration::{MigrationView, Route};
+use crate::table::{TableShape, MAX_TABLES};
 
 /// Where an insert operation is in its life cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +156,11 @@ struct InsertKernel<'a> {
     /// Subtable excluded from targeting and victim selection (set while it
     /// is being downsized).
     excluded: Option<usize>,
+    /// In-flight incremental migration: probes of the draining subtable are
+    /// routed per key to its old or fresh bucket (see
+    /// [`crate::table::migration`]). The two-lookup bound is preserved —
+    /// each candidate subtable still costs exactly one bucket probe.
+    migration: Option<(MigrationView, &'a mut SubTable)>,
     out: InsertOutcome,
     /// Fault injection (see [`crate::Config::inject_lock_elision`]): probe
     /// steps skip bucket locks and read these stale bucket snapshots
@@ -167,13 +173,55 @@ struct InsertKernel<'a> {
 
 impl InsertKernel<'_> {
     /// The bucket's keys as of the first time any op touched it this kernel
-    /// launch (first touch snapshots the live bucket).
-    fn stale_keys(&mut self, t: usize, b: usize) -> &[u32] {
+    /// launch (first touch snapshots the live bucket). Fresh-side buckets
+    /// are keyed under `t + MAX_TABLES` so they never alias old-side snaps.
+    fn stale_keys(&mut self, t: usize, b: usize, in_fresh: bool) -> &[u32] {
         let tables = &*self.tables;
+        let migration = &self.migration;
         let snaps = self.stale_buckets.as_mut().expect("injection enabled");
-        snaps
-            .entry((t, b))
-            .or_insert_with(|| tables[t].bucket_keys(b).to_vec())
+        let key = if in_fresh { t + MAX_TABLES } else { t };
+        snaps.entry((key, b)).or_insert_with(|| {
+            if in_fresh {
+                &*migration.as_ref().expect("fresh without migration").1
+            } else {
+                &tables[t]
+            }
+            .bucket_keys(b)
+            .to_vec()
+        })
+    }
+
+    /// Resolve the bucket, lock space and side for `key` in subtable `t`,
+    /// honouring an in-flight migration of that subtable.
+    fn locate(&self, t: usize, key: u32) -> (usize, u32, bool) {
+        if let Some((view, _)) = &self.migration {
+            if view.table == t {
+                return match view.route(&self.shape.hashes[t], key) {
+                    Route::Old(b) => (b, t as u32, false),
+                    Route::Fresh(b) => (b, view.fresh_space(), true),
+                };
+            }
+        }
+        let b = self.shape.hashes[t].bucket(key, self.tables[t].n_buckets());
+        (b, t as u32, false)
+    }
+
+    /// The store a located bucket lives in.
+    fn store(&mut self, t: usize, in_fresh: bool) -> &mut SubTable {
+        if in_fresh {
+            self.migration.as_mut().expect("fresh without migration").1
+        } else {
+            &mut self.tables[t]
+        }
+    }
+
+    /// Read-only view of a located bucket's store.
+    fn store_ro(&self, t: usize, in_fresh: bool) -> &SubTable {
+        if in_fresh {
+            self.migration.as_ref().expect("fresh without migration").1
+        } else {
+            &self.tables[t]
+        }
     }
 }
 
@@ -209,6 +257,7 @@ impl InsertKernel<'_> {
     }
 
     /// Full bucket, no re-routes left: evict a victim, steered by Theorem 1.
+    #[allow(clippy::too_many_arguments)]
     fn evict(
         &mut self,
         warp: &mut InsertWarp,
@@ -216,6 +265,7 @@ impl InsertKernel<'_> {
         op: InsertOp,
         t: usize,
         b: usize,
+        in_fresh: bool,
         ctx: &mut RoundCtx,
     ) {
         let shape = self.shape;
@@ -226,11 +276,16 @@ impl InsertKernel<'_> {
             // member; prefer victims whose destination has the most room.
             Layering::TwoLayer | Layering::DisjointPairs => {
                 let tables_ro: &[SubTable] = self.tables;
+                let store_ro: &SubTable = if in_fresh {
+                    self.migration.as_ref().expect("fresh without migration").1
+                } else {
+                    &tables_ro[t]
+                };
                 choose_victim(
                     shape.cfg.distribution,
                     tables_ro,
                     |s| {
-                        let (k, _) = tables_ro[t].slot(b, s);
+                        let (k, _) = store_ro.slot(b, s);
                         shape.evict_destination(tables_ro, k, t, excluded, salt)
                     },
                     shape.cfg.layout.slots,
@@ -259,7 +314,7 @@ impl InsertKernel<'_> {
                 warp.active &= !(1 << leader);
             }
             Some(slot) => {
-                let victim_key = self.tables[t].slot(b, slot).0;
+                let victim_key = self.store_ro(t, in_fresh).slot(b, slot).0;
                 let Some(next) =
                     self.shape
                         .evict_destination(self.tables, victim_key, t, excluded, salt)
@@ -269,7 +324,7 @@ impl InsertKernel<'_> {
                     warp.active &= !(1 << leader);
                     return;
                 };
-                let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
+                let (ek, ev) = self.store(t, in_fresh).swap(b, slot, op.key, op.val);
                 self.shape.cfg.layout.charge_kv_write(ctx);
                 ctx.metrics.evictions += 1;
                 if obs::is_enabled() {
@@ -320,11 +375,10 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     // Optimistic duplicate probe of every candidate bucket.
                     let mut found = None;
                     for t in self.shape.candidates(op.key).iter() {
-                        let table = &self.tables[t];
-                        let b = self.shape.hashes[t].bucket(op.key, table.n_buckets());
+                        let (b, _, in_fresh) = self.locate(t, op.key);
                         self.shape.cfg.layout.charge_probe(ctx);
                         warp.ops[leader].probes += 1;
-                        if table.find_slot(b, op.key).is_some() {
+                        if self.store_ro(t, in_fresh).find_slot(b, op.key).is_some() {
                             found = Some(t);
                             break;
                         }
@@ -346,8 +400,8 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
             }
 
             Phase::Update { t } => {
-                let b = self.shape.hashes[t].bucket(op.key, self.tables[t].n_buckets());
-                if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+                let (b, space, in_fresh) = self.locate(t, op.key);
+                if !ctx.atomic_cas_lock(&mut self.store(t, in_fresh).locks, space, b) {
                     warp.ops[leader].lock_waits += 1;
                     if self.shape.cfg.coordination == Coordination::Voter {
                         warp.rr += 1; // revote
@@ -358,8 +412,8 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 // another candidate bucket since the optimistic probe.
                 self.shape.cfg.layout.charge_probe(ctx);
                 warp.ops[leader].probes += 1;
-                if let Some(slot) = self.tables[t].find_slot(b, op.key) {
-                    self.tables[t].update_val(b, slot, op.val);
+                if let Some(slot) = self.store_ro(t, in_fresh).find_slot(b, op.key) {
+                    self.store(t, in_fresh).update_val(b, slot, op.val);
                     self.shape.cfg.layout.charge_value_write(ctx);
                     self.out.updated += 1;
                     retire(&warp.ops[leader], obs::OpOutcome::Updated);
@@ -375,7 +429,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                         reroutes_left: reroutes,
                     };
                 }
-                ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+                ctx.atomic_exch_unlock(&mut self.store(t, in_fresh).locks, space, b);
                 StepOutcome::Pending
             }
 
@@ -384,7 +438,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 reroutes_left,
             } => {
                 let t = target;
-                let b = self.shape.hashes[t].bucket(op.key, self.tables[t].n_buckets());
+                let (b, space, in_fresh) = self.locate(t, op.key);
                 if self.stale_buckets.is_some() {
                     // Injected bug: no lock, and the probe reads the bucket
                     // as it was when the kernel first touched it. Two ops
@@ -393,22 +447,22 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     self.shape.cfg.layout.charge_probe(ctx);
                     warp.ops[leader].probes += 1;
                     let op = warp.ops[leader];
-                    let snap = self.stale_keys(t, b);
+                    let snap = self.stale_keys(t, b, in_fresh);
                     let dup = snap.iter().position(|&k| k == op.key);
                     let empty = snap.iter().position(|&k| k == EMPTY_KEY);
                     if let Some(slot) = dup {
-                        self.tables[t].update_val(b, slot, op.val);
+                        self.store(t, in_fresh).update_val(b, slot, op.val);
                         self.shape.cfg.layout.charge_value_write(ctx);
                         self.out.updated += 1;
                         retire(&op, obs::OpOutcome::Updated);
                         warp.active &= !(1 << leader);
                     } else if let Some(slot) = empty {
-                        if self.tables[t].slot(b, slot).0 == EMPTY_KEY {
-                            self.tables[t].write_new(b, slot, op.key, op.val);
+                        if self.store_ro(t, in_fresh).slot(b, slot).0 == EMPTY_KEY {
+                            self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
                         } else {
                             // The slot was claimed earlier this round: the
                             // lost update the elided lock would have caused.
-                            self.tables[t].swap(b, slot, op.key, op.val);
+                            self.store(t, in_fresh).swap(b, slot, op.key, op.val);
                         }
                         self.shape.cfg.layout.charge_kv_write(ctx);
                         self.out.inserted += 1;
@@ -426,11 +480,11 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                             },
                         };
                     } else {
-                        self.evict(warp, leader, op, t, b, ctx);
+                        self.evict(warp, leader, op, t, b, in_fresh, ctx);
                     }
                     return StepOutcome::Pending;
                 }
-                if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+                if !ctx.atomic_cas_lock(&mut self.store(t, in_fresh).locks, space, b) {
                     warp.ops[leader].lock_waits += 1;
                     if self.shape.cfg.coordination == Coordination::Voter {
                         warp.rr += 1; // revote
@@ -440,16 +494,16 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 self.shape.cfg.layout.charge_probe(ctx);
                 warp.ops[leader].probes += 1;
                 let op = warp.ops[leader];
-                if let Some(slot) = self.tables[t].find_slot(b, op.key) {
+                if let Some(slot) = self.store_ro(t, in_fresh).find_slot(b, op.key) {
                     // Same-bucket duplicate: update in place (Algorithm 1's
                     // "loc[l].key == k'" arm).
-                    self.tables[t].update_val(b, slot, op.val);
+                    self.store(t, in_fresh).update_val(b, slot, op.val);
                     self.shape.cfg.layout.charge_value_write(ctx);
                     self.out.updated += 1;
                     retire(&op, obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
-                } else if let Some(slot) = self.tables[t].find_empty(b) {
-                    self.tables[t].write_new(b, slot, op.key, op.val);
+                } else if let Some(slot) = self.store_ro(t, in_fresh).find_empty(b) {
+                    self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
                     self.shape.cfg.layout.charge_kv_write(ctx);
                     self.out.inserted += 1;
                     retire(&op, obs::OpOutcome::Inserted);
@@ -468,9 +522,9 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                         },
                     };
                 } else {
-                    self.evict(warp, leader, op, t, b, ctx);
+                    self.evict(warp, leader, op, t, b, in_fresh, ctx);
                 }
-                ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+                ctx.atomic_exch_unlock(&mut self.store(t, in_fresh).locks, space, b);
                 StepOutcome::Pending
             }
         }
@@ -479,6 +533,9 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
     fn end_round(&mut self) {
         for t in self.tables.iter_mut() {
             t.locks.end_round();
+        }
+        if let Some((_, fresh)) = self.migration.as_mut() {
+            fresh.locks.end_round();
         }
         // Note: `stale_buckets` is deliberately NOT cleared here — the
         // injected bug models a thread that cached the bucket without the
@@ -491,11 +548,12 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
 /// `metrics.ops` — the public API counts each user operation exactly once,
 /// so internal reuse (resize residuals, failure retries) stays out of the
 /// throughput denominator.
-pub(crate) fn insert_batch(
-    tables: &mut [SubTable],
-    shape: &TableShape,
+pub(crate) fn insert_batch<'a>(
+    tables: &'a mut [SubTable],
+    shape: &'a TableShape,
     ops: Vec<InsertOp>,
     excluded: Option<usize>,
+    migration: Option<(MigrationView, &'a mut SubTable)>,
     metrics: &mut Metrics,
 ) -> InsertOutcome {
     let mut warps: Vec<InsertWarp> = super::pack_warps(ops)
@@ -506,6 +564,7 @@ pub(crate) fn insert_batch(
         tables,
         shape,
         excluded,
+        migration,
         out: InsertOutcome::default(),
         stale_buckets: shape.cfg.inject_lock_elision.then(HashMap::new),
     };

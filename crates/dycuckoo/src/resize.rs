@@ -80,6 +80,72 @@ pub fn decide(tables: &[SubTable], alpha: f64, beta: f64, dir: Direction) -> Opt
     None
 }
 
+/// Stateful resize hysteresis: suppresses a resize whose direction is
+/// opposite to the most recent one until `cooldown` batches have passed.
+///
+/// When θ oscillates around α or β (a workload alternating inserts and
+/// deletes right at a bound), the memoryless [`decide`] would upsize and
+/// downsize the same subtable back and forth, paying a full rehash each
+/// time. The cooldown breaks that thrash: after an upsize, downsizes are
+/// ignored for `cooldown` batches (and vice versa), letting θ drift with
+/// the workload instead of chasing it. Same-direction resizes are never
+/// suppressed — a genuinely filling table must still grow immediately.
+///
+/// `cooldown = 0` (the [`crate::Config`] default) reproduces the
+/// memoryless policy exactly.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    cooldown: u32,
+    /// Direction of the last applied resize and the number of batches
+    /// completed since, saturating. `None` until the first resize.
+    last: Option<(bool, u32)>,
+}
+
+impl Decision {
+    /// A hysteresis state with the given cooldown (in batches).
+    pub fn new(cooldown: u32) -> Self {
+        Self {
+            cooldown,
+            last: None,
+        }
+    }
+
+    /// Advance the batch clock; call once per public batch operation.
+    pub fn note_batch(&mut self) {
+        if let Some((_, since)) = &mut self.last {
+            *since = since.saturating_add(1);
+        }
+    }
+
+    /// Record an applied resize (including forced ones) so opposite-direction
+    /// decisions start their cooldown from it.
+    pub fn record(&mut self, grow: bool) {
+        self.last = Some((grow, 0));
+    }
+
+    /// Whether a resize in direction `grow` is currently admissible.
+    pub fn allows(&self, grow: bool) -> bool {
+        match self.last {
+            Some((last_grow, since)) if last_grow != grow => since >= self.cooldown,
+            _ => true,
+        }
+    }
+
+    /// [`decide`] filtered through the hysteresis: a direction flip within
+    /// the cooldown yields `None` (no resize) instead of thrash.
+    pub fn decide(
+        &self,
+        tables: &[SubTable],
+        alpha: f64,
+        beta: f64,
+        dir: Direction,
+    ) -> Option<ResizeOp> {
+        let op = decide(tables, alpha, beta, dir)?;
+        let grow = matches!(op, ResizeOp::Upsize(_));
+        self.allows(grow).then_some(op)
+    }
+}
+
 /// The structural invariant of the policy: max subtable size ≤ 2 × min.
 pub fn size_ratio_invariant(tables: &[SubTable]) -> bool {
     let min = tables.iter().map(|t| t.n_buckets()).min().unwrap_or(1);
@@ -178,5 +244,77 @@ mod tests {
     fn size_ratio_invariant_detects_violations() {
         assert!(size_ratio_invariant(&[table(2, 0), table(4, 0)]));
         assert!(!size_ratio_invariant(&[table(2, 0), table(8, 0)]));
+    }
+
+    #[test]
+    fn zero_cooldown_reproduces_memoryless_policy() {
+        let mut d = Decision::new(0);
+        let over = vec![table(4, 120), table(2, 60), table(4, 120)];
+        let under = vec![table(4, 10), table(2, 10), table(2, 10)];
+        for _ in 0..3 {
+            assert_eq!(
+                d.decide(&over, 0.3, 0.85, Direction::Both),
+                decide(&over, 0.3, 0.85, Direction::Both)
+            );
+            d.record(true);
+            assert_eq!(
+                d.decide(&under, 0.3, 0.85, Direction::Both),
+                decide(&under, 0.3, 0.85, Direction::Both)
+            );
+            d.record(false);
+            d.note_batch();
+        }
+    }
+
+    /// Pins the hysteresis sequence for θ oscillating around the bounds:
+    /// one upsize, then the opposite-direction downsize is suppressed for
+    /// exactly `cooldown` batches, then admitted; same-direction resizes
+    /// are never suppressed.
+    #[test]
+    fn cooldown_suppresses_direction_thrash() {
+        let over = vec![table(4, 120), table(2, 60), table(4, 120)]; // θ > β
+        let under = vec![table(4, 10), table(2, 10), table(2, 10)]; // θ < α
+        let mut d = Decision::new(3);
+
+        // Batch 0: θ > β → upsize fires and is recorded.
+        assert_eq!(
+            d.decide(&over, 0.3, 0.85, Direction::Both),
+            Some(ResizeOp::Upsize(1))
+        );
+        d.record(true);
+
+        // Batches 1..=3: θ < α, but the downsize is inside the cooldown.
+        let mut observed = Vec::new();
+        for _ in 0..4 {
+            d.note_batch();
+            observed.push(d.decide(&under, 0.3, 0.85, Direction::Both));
+        }
+        assert_eq!(
+            observed,
+            vec![
+                None,
+                None,
+                Some(ResizeOp::Downsize(0)),
+                Some(ResizeOp::Downsize(0))
+            ],
+            "downsize admitted only once cooldown batches have passed"
+        );
+
+        // Same-direction pressure is never suppressed, even inside a fresh
+        // cooldown window.
+        d.record(false);
+        assert_eq!(
+            d.decide(&under, 0.3, 0.85, Direction::Both),
+            Some(ResizeOp::Downsize(0))
+        );
+        // And the flip back up is again suppressed until its own cooldown.
+        assert_eq!(d.decide(&over, 0.3, 0.85, Direction::Both), None);
+        for _ in 0..3 {
+            d.note_batch();
+        }
+        assert_eq!(
+            d.decide(&over, 0.3, 0.85, Direction::Both),
+            Some(ResizeOp::Upsize(1))
+        );
     }
 }

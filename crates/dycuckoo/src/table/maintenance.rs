@@ -1,6 +1,18 @@
 //! Maintenance side of the table: resize triggering, failed-insert retry
 //! and the structural rehash paths (including the naive strategy the
 //! paper's resize experiment compares against).
+//!
+//! Structural resizes run in one of two modes, selected by
+//! [`crate::Config::migration_quantum`]:
+//!
+//! * `usize::MAX` (default) — **stop-the-world**: the historical
+//!   conflict-free rehash kernels in [`crate::rehash`] run to completion
+//!   inside the batch that triggered them. This path is byte-for-byte the
+//!   pre-machine behaviour.
+//! * finite — **incremental**: the resize becomes a
+//!   [`super::migration::MigrationMachine`] pass; each batch (or explicit
+//!   [`DyCuckoo::migrate_quantum`] call) drains at most one quantum of
+//!   source buckets, so no single batch pays for a whole-subtable rehash.
 
 use gpu_sim::SimContext;
 
@@ -11,6 +23,7 @@ use crate::rehash;
 use crate::resize::{self, ResizeOp};
 use crate::subtable::SubTable;
 
+use super::migration::{drain_chunk, DrainState, MigrationMachine};
 use super::{BatchReport, DyCuckoo, ResizeEvent, TableShape, MAX_INSERT_RETRIES, MAX_RESIZE_ITERS};
 
 impl DyCuckoo {
@@ -39,17 +52,24 @@ impl DyCuckoo {
                     return Ok(());
                 }
             }
-            report.retries += 1;
-            if report.retries > MAX_INSERT_RETRIES {
-                return Err(Error::InsertStuck {
-                    failed_ops: out.failed.len(),
-                });
+            if self.migration.in_flight() {
+                // A stuck insert needs capacity *now*: completing the
+                // in-flight migration is the correctness escape hatch, and
+                // often frees enough room that no forced upsize is needed.
+                self.finish_migration(sim, report)?;
+            } else {
+                report.retries += 1;
+                if report.retries > MAX_INSERT_RETRIES {
+                    return Err(Error::InsertStuck {
+                        failed_ops: out.failed.len(),
+                    });
+                }
+                let event = self.apply_resize(
+                    ResizeOp::Upsize(resize::upsize_candidate(&self.tables)),
+                    sim,
+                )?;
+                report.resizes.push(event);
             }
-            let event = self.apply_resize(
-                ResizeOp::Upsize(resize::upsize_candidate(&self.tables)),
-                sim,
-            )?;
-            report.resizes.push(event);
             // Restart each failed op fresh: it carries whatever KV its
             // eviction chain held, which re-routes through the two-layer
             // pair of that key.
@@ -66,6 +86,7 @@ impl DyCuckoo {
                 &self.shape,
                 retry_ops,
                 None,
+                None,
                 &mut sim.metrics,
             );
             report.inserted += out.inserted;
@@ -76,16 +97,34 @@ impl DyCuckoo {
 
     /// Resize until θ returns to `[α, β]` (insert batches grow only; see
     /// [`resize::Direction`]).
+    ///
+    /// Stop-the-world mode loops whole resizes; incremental mode pumps at
+    /// most one migration quantum per call (starting a migration first if θ
+    /// is out of bounds), so the structural work any batch pays is bounded.
     pub(super) fn rebalance(
         &mut self,
         sim: &mut SimContext,
         dir: resize::Direction,
-        events: &mut Vec<ResizeEvent>,
+        report: &mut BatchReport,
     ) -> Result<()> {
+        let (alpha, beta) = (self.shape.cfg.alpha, self.shape.cfg.beta);
+        if self.migration.in_flight() {
+            self.migrate_quantum_into(sim, report)?;
+            if self.migration.in_flight() {
+                return Ok(());
+            }
+        }
         for _ in 0..MAX_RESIZE_ITERS {
-            match resize::decide(&self.tables, self.shape.cfg.alpha, self.shape.cfg.beta, dir) {
+            match self.decision.decide(&self.tables, alpha, beta, dir) {
                 None => return Ok(()),
-                Some(op) => events.push(self.apply_resize(op, sim)?),
+                Some(op) if self.shape.cfg.migration_quantum == usize::MAX => {
+                    report.resizes.push(self.apply_resize(op, sim)?)
+                }
+                Some(op) => {
+                    self.start_migration(op, sim)?;
+                    self.migrate_quantum_into(sim, report)?;
+                    return Ok(());
+                }
             }
         }
         Err(Error::ResizeDiverged {
@@ -97,6 +136,11 @@ impl DyCuckoo {
     /// downsizing, then drain the overflow stash back into the subtables
     /// (a resize has just changed where keys belong or made room).
     fn apply_resize(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
+        debug_assert!(
+            !self.migration.in_flight(),
+            "stop-the-world resize with a migration in flight"
+        );
+        self.decision.record(matches!(op, ResizeOp::Upsize(_)));
         let recording = obs::is_enabled();
         if recording {
             let (grow, i) = match op {
@@ -133,6 +177,15 @@ impl DyCuckoo {
         sim: &mut SimContext,
     ) -> Result<ResizeEvent> {
         let event = self.apply_resize_inner(op, sim)?;
+        self.drain_stash_reinsert(sim)?;
+        Ok(event)
+    }
+
+    /// Drain the overflow stash back into the subtables — called after any
+    /// completed resize (a resize has just changed where keys belong or
+    /// made room). Shared by the stop-the-world path and the migration
+    /// finalize step.
+    fn drain_stash_reinsert(&mut self, sim: &mut SimContext) -> Result<()> {
         if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
             let stash = self.stash.as_mut().expect("checked above");
             let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
@@ -145,7 +198,14 @@ impl DyCuckoo {
                     InsertOp::reinsert(k, v, self.op_counter)
                 })
                 .collect();
-            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
+            let out = run_insert(
+                &mut self.tables,
+                &self.shape,
+                ops,
+                None,
+                None,
+                &mut sim.metrics,
+            );
             // Whatever still fails goes straight back to the stash (room is
             // guaranteed: we just drained it).
             if !out.failed.is_empty() {
@@ -158,7 +218,7 @@ impl DyCuckoo {
                 ctx.finish();
             }
         }
-        Ok(event)
+        Ok(())
     }
 
     fn apply_resize_inner(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<ResizeEvent> {
@@ -193,6 +253,7 @@ impl DyCuckoo {
                         &self.shape,
                         residuals,
                         Some(i),
+                        None,
                         &mut sim.metrics,
                     );
                     // Leftovers (pathological) are retried without the
@@ -226,6 +287,7 @@ impl DyCuckoo {
                             &self.shape,
                             retry,
                             None,
+                            None,
                             &mut sim.metrics,
                         )
                         .failed;
@@ -244,7 +306,11 @@ impl DyCuckoo {
 
     /// Force one resize operation regardless of θ (used by the F7 resize
     /// experiment, which measures a single upsize/downsize in isolation).
+    /// Always stop-the-world; any in-flight migration is completed first
+    /// (its finalizing [`ResizeEvent`] is not reported here).
     pub fn force_resize(&mut self, sim: &mut SimContext, op: ResizeOp) -> Result<ResizeEvent> {
+        let mut scratch = BatchReport::default();
+        self.finish_migration(sim, &mut scratch)?;
         let event = self.apply_resize(op, sim);
         self.debug_verify("force_resize");
         event
@@ -261,6 +327,8 @@ impl DyCuckoo {
         idx: usize,
         grow: bool,
     ) -> Result<u64> {
+        let mut scratch = BatchReport::default();
+        self.finish_migration(sim, &mut scratch)?;
         let layout = self.shape.cfg.layout;
         let old = &self.tables[idx];
         let old_buckets = old.n_buckets();
@@ -302,7 +370,14 @@ impl DyCuckoo {
                 InsertOp::fresh(k, v, self.op_counter)
             })
             .collect();
-        let out = run_insert(&mut self.tables, &naive_shape, ops, None, &mut sim.metrics);
+        let out = run_insert(
+            &mut self.tables,
+            &naive_shape,
+            ops,
+            None,
+            None,
+            &mut sim.metrics,
+        );
         let mut report = BatchReport::default();
         self.retry_failed(sim, out, &mut report)?;
         Ok(moved)
@@ -311,5 +386,293 @@ impl DyCuckoo {
     /// The policy invariant: no subtable more than twice any other.
     pub fn size_ratio_ok(&self) -> bool {
         resize::size_ratio_invariant(&self.tables)
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental migration (finite `Config::migration_quantum`).
+    // ------------------------------------------------------------------
+
+    /// Whether a migration is in flight (draining or awaiting finalize).
+    pub fn migration_in_flight(&self) -> bool {
+        self.migration.in_flight()
+    }
+
+    /// Source buckets not yet drained plus the pending finalize step; 0
+    /// when idle. Exported by the service layer as the `migration_backlog`
+    /// gauge.
+    pub fn migration_backlog(&self) -> u64 {
+        self.migration.backlog()
+    }
+
+    /// Pump one migration quantum: drain up to `migration_quantum` source
+    /// buckets, or perform the finalize swap if draining is complete. A
+    /// no-op when no migration is in flight. The service layer calls this
+    /// between flush windows to interleave structural work with traffic.
+    pub fn migrate_quantum(
+        &mut self,
+        sim: &mut SimContext,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        self.migrate_quantum_into(sim, report)?;
+        self.debug_verify("migrate_quantum");
+        Ok(())
+    }
+
+    /// [`Self::migrate_quantum`] without the batch-boundary verify (used
+    /// inside batches, which verify at their own boundary).
+    fn migrate_quantum_into(
+        &mut self,
+        sim: &mut SimContext,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        match &self.migration {
+            MigrationMachine::Idle => Ok(()),
+            MigrationMachine::Draining(_) => {
+                let quantum = self.shape.cfg.migration_quantum;
+                let leftovers = self.migrate_chunk(sim, quantum, report)?;
+                self.park_or_escalate(sim, leftovers, report)
+            }
+            MigrationMachine::Finalizing(_) => {
+                let event = self.finalize_migration(sim)?;
+                report.resizes.push(event);
+                Ok(())
+            }
+        }
+    }
+
+    /// Run an in-flight migration to completion (drain + finalize). The
+    /// correctness escape hatch for paths that need the table quiescent:
+    /// stuck-insert recovery, [`Self::force_resize`] and the naive-rehash
+    /// experiment.
+    pub(super) fn finish_migration(
+        &mut self,
+        sim: &mut SimContext,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        let mut pending = Vec::new();
+        while let MigrationMachine::Draining(state) = &self.migration {
+            let rest = state.span - state.cursor;
+            pending.extend(self.migrate_chunk(sim, rest, report)?);
+        }
+        if matches!(self.migration, MigrationMachine::Finalizing(_)) {
+            let event = self.finalize_migration(sim)?;
+            report.resizes.push(event);
+        }
+        self.park_or_escalate(sim, pending, report)
+    }
+
+    /// Allocate the fresh subtable and enter the Draining state. The old
+    /// subtable stays in place (and keeps serving routed operations) until
+    /// the finalize swap.
+    fn start_migration(&mut self, op: ResizeOp, sim: &mut SimContext) -> Result<()> {
+        debug_assert!(
+            !self.migration.in_flight(),
+            "at most one migration in flight"
+        );
+        let (grow, idx) = match op {
+            ResizeOp::Upsize(i) => (true, i),
+            ResizeOp::Downsize(i) => (false, i),
+        };
+        let layout = self.shape.cfg.layout;
+        let old_n = self.tables[idx].n_buckets();
+        let new_n = if grow {
+            old_n * 2
+        } else {
+            debug_assert!(
+                old_n > 1 && old_n.is_multiple_of(2),
+                "downsize needs an even size"
+            );
+            old_n / 2
+        };
+        let new_bytes = layout.device_bytes_for(new_n);
+        sim.device.alloc(new_bytes)?;
+        self.ledger_bytes += new_bytes;
+        self.decision.record(grow);
+        self.migration = MigrationMachine::Draining(DrainState {
+            table: idx,
+            grow,
+            fresh: SubTable::new(new_n, layout),
+            cursor: 0,
+            // The cursor sweeps old buckets when growing, merged new
+            // buckets when shrinking (each covering two old buckets).
+            span: if grow { old_n } else { new_n },
+            old_buckets: old_n,
+            moved: 0,
+            residuals: 0,
+        });
+        Ok(())
+    }
+
+    /// Drain one chunk of up to `budget` source buckets as a scheduled
+    /// launch, place its residuals into partner subtables, and transition
+    /// to Finalizing when the drain completes. Returns residual ops that
+    /// fit neither the partners nor the stash (pathological; the caller
+    /// escalates).
+    fn migrate_chunk(
+        &mut self,
+        sim: &mut SimContext,
+        budget: usize,
+        report: &mut BatchReport,
+    ) -> Result<Vec<InsertOp>> {
+        let MigrationMachine::Draining(state) = &mut self.migration else {
+            return Ok(Vec::new());
+        };
+        let idx = state.table;
+        let rest = state.span - state.cursor;
+        debug_assert!(rest > 0, "Draining implies undrained source buckets");
+        let budget = budget.max(1).min(rest);
+        let recording = obs::is_enabled();
+        if recording {
+            obs::span_begin(obs::Event::MigrateChunkBegin {
+                grow: state.grow,
+                table: idx as u8,
+                cursor: state.cursor as u64,
+                chunk: budget as u64,
+            });
+        }
+        let outcome = drain_chunk(
+            state,
+            &mut self.tables[idx],
+            &self.shape.hashes[idx],
+            budget,
+            self.shape.cfg.schedule,
+            &mut sim.metrics,
+        );
+        report.migrated_buckets += budget as u64;
+        report.migrated_kvs += outcome.moved;
+        let done = state.cursor == state.span;
+
+        // Residuals (shrinking only) go to their partner subtables — the
+        // draining table is excluded, exactly like the stop-the-world
+        // downsize — while probing coherently through the migration view.
+        let mut leftovers = Vec::new();
+        if !outcome.residuals.is_empty() {
+            let ops: Vec<InsertOp> = outcome
+                .residuals
+                .iter()
+                .map(|&(k, v)| {
+                    self.op_counter += 1;
+                    InsertOp::reinsert(k, v, self.op_counter)
+                })
+                .collect();
+            let MigrationMachine::Draining(state) = &mut self.migration else {
+                unreachable!("checked above");
+            };
+            state.residuals += outcome.residuals.len() as u64;
+            let view = state.view();
+            let out = run_insert(
+                &mut self.tables,
+                &self.shape,
+                ops,
+                Some(idx),
+                Some((view, &mut state.fresh)),
+                &mut sim.metrics,
+            );
+            leftovers = out.failed;
+        }
+        let state = self.migration.state().expect("still in flight");
+        if recording {
+            obs::span_end(obs::Event::MigrateChunkEnd {
+                moved: outcome.moved,
+                residuals: outcome.residuals.len() as u64,
+                backlog: (state.span - state.cursor) as u64 + 1,
+            });
+        }
+        if done {
+            let MigrationMachine::Draining(state) = std::mem::take(&mut self.migration) else {
+                unreachable!("checked above");
+            };
+            self.migration = MigrationMachine::Finalizing(state);
+        }
+        Ok(leftovers)
+    }
+
+    /// Finalize: swap the fresh subtable in, free the old one, update the
+    /// ledger and re-home the overflow stash. Returns the retired event.
+    fn finalize_migration(&mut self, sim: &mut SimContext) -> Result<ResizeEvent> {
+        let MigrationMachine::Finalizing(state) = std::mem::take(&mut self.migration) else {
+            unreachable!("finalize called outside Finalizing");
+        };
+        let idx = state.table;
+        debug_assert_eq!(
+            self.tables[idx].occupied(),
+            0,
+            "old subtable fully drained before finalize"
+        );
+        let old_bytes = self.tables[idx].device_bytes();
+        let new_buckets = state.fresh.n_buckets();
+        self.tables[idx] = state.fresh;
+        sim.device.free(old_bytes)?;
+        self.ledger_bytes -= old_bytes;
+        let event = ResizeEvent {
+            op: if state.grow {
+                ResizeOp::Upsize(idx)
+            } else {
+                ResizeOp::Downsize(idx)
+            },
+            old_buckets: state.old_buckets,
+            new_buckets,
+            moved: state.moved,
+            residuals: state.residuals,
+        };
+        self.drain_stash_reinsert(sim)?;
+        Ok(event)
+    }
+
+    /// Park chunk leftovers in the stash; if any remain, abandon
+    /// incrementality (finish the migration) and run the same
+    /// upsize-elsewhere-and-retry loop the stop-the-world downsize uses.
+    fn park_or_escalate(
+        &mut self,
+        sim: &mut SimContext,
+        mut leftovers: Vec<InsertOp>,
+        report: &mut BatchReport,
+    ) -> Result<()> {
+        if leftovers.is_empty() {
+            return Ok(());
+        }
+        if let Some(stash) = self.stash.as_mut() {
+            let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
+            leftovers.retain(|op| !stash.push(op.key, op.val, &mut ctx));
+            ctx.finish();
+        }
+        if leftovers.is_empty() {
+            return Ok(());
+        }
+        self.finish_migration(sim, report)?;
+        let mut guard = 0;
+        while !leftovers.is_empty() {
+            guard += 1;
+            if guard > MAX_INSERT_RETRIES {
+                return Err(Error::InsertStuck {
+                    failed_ops: leftovers.len(),
+                });
+            }
+            let target = resize::upsize_candidate(&self.tables);
+            rehash::upsize(
+                &mut self.tables,
+                target,
+                &self.shape,
+                sim,
+                &mut self.ledger_bytes,
+            )?;
+            let retry: Vec<InsertOp> = leftovers
+                .iter()
+                .map(|f| {
+                    self.op_counter += 1;
+                    InsertOp::reinsert(f.key, f.val, self.op_counter)
+                })
+                .collect();
+            leftovers = run_insert(
+                &mut self.tables,
+                &self.shape,
+                retry,
+                None,
+                None,
+                &mut sim.metrics,
+            )
+            .failed;
+        }
+        Ok(())
     }
 }

@@ -15,6 +15,7 @@
 //! itself.
 
 mod maintenance;
+pub(crate) mod migration;
 mod probe;
 mod storage;
 
@@ -184,16 +185,27 @@ pub struct BatchReport {
     pub deleted: u64,
     /// Upsize-and-retry cycles needed for failed inserts.
     pub retries: u32,
-    /// Resizes performed during/after the batch.
+    /// Resizes performed during/after the batch. On the incremental path
+    /// (finite [`crate::Config::migration_quantum`]) a resize appears here
+    /// only in the batch whose quantum finalized it, carrying the totals
+    /// across all its chunks.
     pub resizes: Vec<ResizeEvent>,
+    /// Source buckets drained by incremental migration chunks during this
+    /// batch — bounded by `migration_quantum` per batch. Always 0 on the
+    /// stop-the-world path.
+    pub migrated_buckets: u64,
+    /// KVs rehashed by those migration chunks (counted per batch; the
+    /// finalizing [`ResizeEvent`] reports the same work again as a total,
+    /// so sum one or the other, not both).
+    pub migrated_kvs: u64,
 }
 
 impl BatchReport {
-    /// Whether this batch stalled on structural work (a resize ran or an
-    /// insert needed upsize-and-retry cycles). Service layers use this to
-    /// count resize stalls per shard.
+    /// Whether this batch stalled on structural work (a resize ran, an
+    /// insert needed upsize-and-retry cycles, or a migration chunk was
+    /// pumped). Service layers use this to count resize stalls per shard.
     pub fn resize_stall(&self) -> bool {
-        !self.resizes.is_empty() || self.retries > 0
+        !self.resizes.is_empty() || self.retries > 0 || self.migrated_buckets > 0
     }
 
     /// Total KVs moved by resizes during the batch (rehashed plus pushed
@@ -226,6 +238,12 @@ pub struct DyCuckoo {
     /// Optional overflow stash (the paper's future-work mitigation for
     /// upsize cascades); `None` when `stash_capacity == 0`.
     stash: Option<Stash>,
+    /// The incremental-migration state machine (always `Idle` under the
+    /// default stop-the-world `migration_quantum = usize::MAX`).
+    migration: migration::MigrationMachine,
+    /// Resize hysteresis ([`crate::resize::Decision`]): suppresses
+    /// direction flips within `Config::resize_cooldown` batches.
+    decision: crate::resize::Decision,
     op_counter: u64,
     /// Mirror of every device byte this table has allocated minus freed on
     /// the gpu-sim ledger, updated at each alloc/free site. Layout-derived

@@ -27,6 +27,7 @@ impl DyCuckoo {
             ..BatchReport::default()
         };
         sim.metrics.ops += kvs.len() as u64;
+        self.decision.note_batch();
         // Stashed keys are updated in place so a key never lives in both
         // the stash and a subtable.
         let filtered: Vec<(u32, u32)>;
@@ -65,11 +66,18 @@ impl DyCuckoo {
                     InsertOp::fresh(k, v, self.op_counter)
                 })
                 .collect();
-            let out = run_insert(&mut self.tables, &self.shape, ops, None, &mut sim.metrics);
+            let out = run_insert(
+                &mut self.tables,
+                &self.shape,
+                ops,
+                None,
+                self.migration.kernel_ctx(),
+                &mut sim.metrics,
+            );
             report.inserted += out.inserted;
             report.updated += out.updated;
             self.retry_failed(sim, out, &mut report)?;
-            self.rebalance(sim, resize::Direction::GrowOnly, &mut report.resizes)?;
+            self.rebalance(sim, resize::Direction::GrowOnly, &mut report)?;
         }
         self.debug_verify("insert_batch");
         Ok(report)
@@ -78,7 +86,13 @@ impl DyCuckoo {
     /// Look up a batch of keys; returns one `Option<value>` per key.
     pub fn find_batch(&self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
         sim.metrics.ops += keys.len() as u64;
-        let mut results = run_find(&self.tables, &self.shape, keys, &mut sim.metrics);
+        let mut results = run_find(
+            &self.tables,
+            &self.shape,
+            keys,
+            self.migration.kernel_ctx_ro(),
+            &mut sim.metrics,
+        );
         if let Some(stash) = self.stash.as_ref().filter(|s| !s.is_empty()) {
             let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
             for (key, r) in keys.iter().zip(results.iter_mut()) {
@@ -98,7 +112,14 @@ impl DyCuckoo {
             ..BatchReport::default()
         };
         sim.metrics.ops += keys.len() as u64;
-        report.deleted = run_delete(&mut self.tables, &self.shape, keys, &mut sim.metrics);
+        self.decision.note_batch();
+        report.deleted = run_delete(
+            &mut self.tables,
+            &self.shape,
+            keys,
+            self.migration.kernel_ctx(),
+            &mut sim.metrics,
+        );
         if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
             let stash = self.stash.as_mut().expect("checked above");
             let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
@@ -112,7 +133,7 @@ impl DyCuckoo {
             }
             ctx.finish();
         }
-        self.rebalance(sim, resize::Direction::Both, &mut report.resizes)?;
+        self.rebalance(sim, resize::Direction::Both, &mut report)?;
         self.debug_verify("delete_batch");
         Ok(report)
     }

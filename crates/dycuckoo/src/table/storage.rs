@@ -53,6 +53,8 @@ impl DyCuckoo {
             shape: TableShape { cfg, pair, hashes },
             tables,
             stash,
+            migration: super::migration::MigrationMachine::Idle,
+            decision: resize::Decision::new(cfg.resize_cooldown),
             op_counter: 0,
             ledger_bytes,
         })
@@ -109,9 +111,11 @@ impl DyCuckoo {
         self.shape.cfg.schedule = policy;
     }
 
-    /// Number of live KV pairs (including any stashed overflow).
+    /// Number of live KV pairs (including any stashed overflow and, while
+    /// a migration is in flight, keys already moved to the fresh subtable).
     pub fn len(&self) -> u64 {
         self.tables.iter().map(|t| t.occupied()).sum::<u64>()
+            + self.migration.state().map_or(0, |d| d.fresh.occupied())
             + self.stash.as_ref().map_or(0, |s| s.len() as u64)
     }
 
@@ -144,9 +148,12 @@ impl DyCuckoo {
 
     /// Device bytes currently held, derived from each subtable's layout
     /// (padded bucket strides plus lock words; see
-    /// [`gpu_sim::engine::layout`]).
+    /// [`gpu_sim::engine::layout`]). While a migration is in flight, the
+    /// draining subtable's old and fresh allocations both count — exactly
+    /// the transient footprint the paper's single-subtable resize bounds.
     pub fn device_bytes(&self) -> u64 {
         self.tables.iter().map(|t| t.device_bytes()).sum::<u64>()
+            + self.migration.state().map_or(0, |d| d.fresh.device_bytes())
             + self.stash.as_ref().map_or(0, |s| s.device_bytes())
     }
 
@@ -178,6 +185,9 @@ impl DyCuckoo {
         for t in &self.tables {
             sim.device.free(t.device_bytes())?;
         }
+        if let Some(d) = self.migration.state() {
+            sim.device.free(d.fresh.device_bytes())?;
+        }
         if let Some(s) = &self.stash {
             sim.device.free(s.device_bytes())?;
         }
@@ -202,10 +212,15 @@ impl DyCuckoo {
             ));
         }
         if let Some(stash) = &self.stash {
-            // No key may live in both the stash and a subtable.
+            // No key may live in both the stash and a subtable (nor the
+            // fresh side of an in-flight migration).
             let mut probe = gpu_sim::Metrics::default();
             let mut ctx = gpu_sim::RoundCtx::new(&mut probe);
-            for t in &self.tables {
+            let stores = self
+                .tables
+                .iter()
+                .chain(self.migration.state().map(|d| &d.fresh));
+            for t in stores {
                 for (k, _) in t.iter_live() {
                     if stash.find(k, &mut ctx).is_some() {
                         return Err(format!("key {k} resides in a subtable AND the stash"));
@@ -214,6 +229,8 @@ impl DyCuckoo {
             }
             ctx.finish();
         }
+        let drain = self.migration.state();
+        let view = drain.map(|d| d.view());
         for (i, t) in self.tables.iter().enumerate() {
             if t.occupied() != t.recount() {
                 return Err(format!(
@@ -233,11 +250,60 @@ impl DyCuckoo {
                             self.shape.candidates(k).as_slice_vec()
                         ));
                     }
-                    let expect = self.shape.hashes[i].bucket(k, t.n_buckets());
-                    if expect != b {
-                        return Err(format!(
-                            "key {k} in subtable {i} bucket {b}, expected bucket {expect}"
-                        ));
+                    // Mid-migration, a key of the draining subtable must sit
+                    // exactly where the routing view says (old side, in the
+                    // undrained source region); otherwise at its raw bucket.
+                    match view {
+                        Some(v) if v.table == i => {
+                            use super::migration::Route;
+                            match v.route(&self.shape.hashes[i], k) {
+                                Route::Old(expect) if expect == b => {}
+                                route => {
+                                    return Err(format!(
+                                        "key {k} in draining subtable {i} bucket {b}, \
+                                         but the migration view routes it to {route:?}"
+                                    ));
+                                }
+                            }
+                        }
+                        _ => {
+                            let expect = self.shape.hashes[i].bucket(k, t.n_buckets());
+                            if expect != b {
+                                return Err(format!(
+                                    "key {k} in subtable {i} bucket {b}, expected bucket {expect}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(d) = drain {
+            let v = d.view();
+            let t = &d.fresh;
+            if t.occupied() != t.recount() {
+                return Err(format!(
+                    "fresh subtable {}: occupancy counter {} but {} live slots",
+                    d.table,
+                    t.occupied(),
+                    t.recount()
+                ));
+            }
+            for b in 0..t.n_buckets() {
+                for &k in t.bucket_keys(b) {
+                    if k == crate::subtable::EMPTY_KEY {
+                        continue;
+                    }
+                    use super::migration::Route;
+                    match v.route(&self.shape.hashes[d.table], k) {
+                        Route::Fresh(expect) if expect == b => {}
+                        route => {
+                            return Err(format!(
+                                "key {k} in fresh subtable {} bucket {b}, \
+                                 but the migration view routes it to {route:?}",
+                                d.table
+                            ));
+                        }
                     }
                 }
             }

@@ -56,6 +56,44 @@ pub struct WideDyCuckoo {
     eviction_limit: u32,
     op_counter: u64,
     schedule: SchedulePolicy,
+    /// In-flight incremental upsize (see [`WideDyCuckoo::begin_upsize`]);
+    /// `None` between migrations and always `None` in the default
+    /// stop-the-world configuration.
+    migration: Option<WideMigration>,
+}
+
+/// Cursor state of an in-flight wide upsize: the fresh (doubled) subtable
+/// plus how far the old one has been drained. The same conflict-free
+/// argument as the 32-bit machine applies — a key in old bucket `loc` can
+/// only land in fresh bucket `loc` or `loc + old_n` — so a single cursor
+/// partitions every key's location: old bucket `b < cursor` means the key
+/// now lives fresh-side, `b >= cursor` means it is still old-side. Each
+/// candidate subtable therefore still costs exactly one bucket probe and
+/// the two-lookup bound survives mid-migration.
+struct WideMigration {
+    /// Index of the subtable being doubled.
+    idx: usize,
+    /// The doubled replacement, filling as the cursor sweeps.
+    fresh: WideSubTable,
+    /// Old buckets `< cursor` are drained.
+    cursor: usize,
+    /// Bucket count of the old subtable.
+    old_n: usize,
+    /// KV pairs moved so far.
+    moved: u64,
+}
+
+impl WideMigration {
+    /// Locate `key`'s bucket for the migrating subtable: `(bucket, fresh?)`.
+    fn route(&self, hash: &UniversalHash, key: u64) -> (usize, bool) {
+        let fk = fold_key(key);
+        let b_old = hash.bucket(fk, self.old_n);
+        if b_old < self.cursor {
+            (hash.bucket(fk, self.old_n * 2), true)
+        } else {
+            (b_old, false)
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +117,9 @@ struct WideInsertKernel<'a> {
     inserted: u64,
     updated: u64,
     failed: Vec<(u64, u64)>,
+    /// In-flight incremental upsize of one subtable: probes of it route
+    /// per key to its old or fresh bucket. `(idx, cursor, old_n, fresh)`.
+    migration: Option<(usize, usize, usize, &'a mut WideSubTable)>,
 }
 
 struct WideWarp {
@@ -87,8 +128,31 @@ struct WideWarp {
 }
 
 impl WideInsertKernel<'_> {
-    fn bucket_of(&self, key: u64, t: usize) -> usize {
-        self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets())
+    /// Resolve `key`'s bucket in subtable `t`, honouring an in-flight
+    /// migration of that subtable: `(bucket, lock_space, fresh?)`.
+    fn locate(&self, t: usize, key: u64) -> (usize, u32, bool) {
+        if let Some((idx, cursor, old_n, _)) = &self.migration {
+            if *idx == t {
+                let fk = fold_key(key);
+                let b_old = self.hashes[t].bucket(fk, *old_n);
+                return if b_old < *cursor {
+                    let b = self.hashes[t].bucket(fk, old_n * 2);
+                    (b, (t + crate::table::MAX_TABLES) as u32, true)
+                } else {
+                    (b_old, t as u32, false)
+                };
+            }
+        }
+        let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets());
+        (b, t as u32, false)
+    }
+
+    fn store(&mut self, t: usize, in_fresh: bool) -> &mut WideSubTable {
+        if in_fresh {
+            self.migration.as_mut().expect("fresh without migration").3
+        } else {
+            &mut self.tables[t]
+        }
     }
 }
 
@@ -102,32 +166,32 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
             // so an update never creates a second copy in the partner.
             let fk = fold_key(op.key);
             let (i, j) = self.pair.pair_of(fk);
-            let cur = &mut warp.ops[warp.cur];
             for t in [i, j] {
-                let b = self.hashes[t].bucket(fk, self.tables[t].n_buckets());
+                let (b, _, in_fresh) = self.locate(t, op.key);
                 self.layout.charge_probe(ctx);
-                if self.tables[t].find_slot(b, op.key).is_some() {
+                if self.store(t, in_fresh).find_slot(b, op.key).is_some() {
+                    let cur = &mut warp.ops[warp.cur];
                     cur.target = t;
                     cur.tried_both = true;
                     break;
                 }
             }
-            cur.checked_dup = true;
+            warp.ops[warp.cur].checked_dup = true;
             return StepOutcome::Pending;
         }
         let t = op.target;
-        let b = self.bucket_of(op.key, t);
-        if !ctx.atomic_cas_lock(&mut self.tables[t].locks, t as u32, b) {
+        let (b, space, in_fresh) = self.locate(t, op.key);
+        if !ctx.atomic_cas_lock(&mut self.store(t, in_fresh).locks, space, b) {
             return StepOutcome::Pending; // warp-serial table: simple spin
         }
         self.layout.charge_probe(ctx);
-        if let Some(slot) = self.tables[t].find_slot(b, op.key) {
-            self.tables[t].update_val(b, slot, op.val);
+        if let Some(slot) = self.store(t, in_fresh).find_slot(b, op.key) {
+            self.store(t, in_fresh).update_val(b, slot, op.val);
             self.layout.charge_value_write(ctx);
             self.updated += 1;
             warp.cur += 1;
-        } else if let Some(slot) = self.tables[t].find_empty(b) {
-            self.tables[t].write_new(b, slot, op.key, op.val);
+        } else if let Some(slot) = self.store(t, in_fresh).find_empty(b) {
+            self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
             self.layout.charge_kv_write(ctx);
             self.inserted += 1;
             warp.cur += 1;
@@ -140,7 +204,7 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
             // Evict a pseudo-random victim to its own partner subtable.
             let slot = (splitmix64(self.seed ^ op.key ^ (op.evictions as u64) << 24) as usize)
                 % self.layout.slots;
-            let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
+            let (ek, ev) = self.store(t, in_fresh).swap(b, slot, op.key, op.val);
             self.layout.charge_kv_write(ctx);
             ctx.metrics.evictions += 1;
             let next = self.pair.partner(fold_key(ek), t);
@@ -156,7 +220,7 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
                 warp.cur += 1;
             }
         }
-        ctx.atomic_exch_unlock(&mut self.tables[t].locks, t as u32, b);
+        ctx.atomic_exch_unlock(&mut self.store(t, in_fresh).locks, space, b);
         if warp.cur == warp.ops.len() {
             StepOutcome::Done
         } else {
@@ -167,6 +231,9 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
     fn end_round(&mut self) {
         for t in self.tables.iter_mut() {
             t.locks.end_round();
+        }
+        if let Some((_, _, _, fresh)) = self.migration.as_mut() {
+            fresh.locks.end_round();
         }
     }
 }
@@ -222,6 +289,7 @@ impl WideDyCuckoo {
             eviction_limit: 64,
             op_counter: 0,
             schedule: SchedulePolicy::FixedOrder,
+            migration: None,
         })
     }
 
@@ -236,9 +304,11 @@ impl WideDyCuckoo {
         &self.layout
     }
 
-    /// Live KV pairs.
+    /// Live KV pairs (including keys already moved to the fresh side of an
+    /// in-flight upsize).
     pub fn len(&self) -> u64 {
-        self.tables.iter().map(|t| t.occupied()).sum()
+        self.tables.iter().map(|t| t.occupied()).sum::<u64>()
+            + self.migration.as_ref().map_or(0, |m| m.fresh.occupied())
     }
 
     /// Whether the table is empty.
@@ -252,9 +322,14 @@ impl WideDyCuckoo {
         self.len() as f64 / slots as f64
     }
 
-    /// Device bytes held.
+    /// Device bytes held (an in-flight upsize transiently holds both the
+    /// old and the fresh allocation, like the 32-bit machine).
     pub fn device_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| t.device_bytes()).sum()
+        self.tables.iter().map(|t| t.device_bytes()).sum::<u64>()
+            + self
+                .migration
+                .as_ref()
+                .map_or(0, |m| m.fresh.device_bytes())
     }
 
     fn pair_of(&self, key: u64) -> (usize, usize) {
@@ -290,6 +365,107 @@ impl WideDyCuckoo {
         let old_bytes = self.tables[idx].device_bytes();
         self.tables[idx] = fresh;
         sim.device.free(old_bytes)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental upsize: the wide analogue of the 32-bit table's
+    // migration machine, reduced to the grow-only case the wide table
+    // needs (it resizes solely on insertion failure).
+    // ------------------------------------------------------------------
+
+    /// Whether an incremental upsize is in flight.
+    pub fn migration_in_flight(&self) -> bool {
+        self.migration.is_some()
+    }
+
+    /// Old buckets not yet drained plus the pending finalize swap; 0 when
+    /// idle.
+    pub fn migration_backlog(&self) -> u64 {
+        self.migration
+            .as_ref()
+            .map_or(0, |m| (m.old_n - m.cursor) as u64 + 1)
+    }
+
+    /// Start an incremental upsize of the smallest subtable: allocate the
+    /// doubled replacement and leave the drain to [`Self::migrate_quantum`]
+    /// pumps. Errors if a migration is already in flight.
+    pub fn begin_upsize(&mut self, sim: &mut SimContext) -> Result<()> {
+        if self.migration.is_some() {
+            return Err(Error::InvalidConfig(
+                "wide upsize already in flight".to_string(),
+            ));
+        }
+        let idx = (0..self.tables.len())
+            .min_by_key(|&i| (self.tables[i].n_buckets(), i))
+            .expect("non-empty");
+        let old_n = self.tables[idx].n_buckets();
+        let fresh = WideSubTable::new(old_n * 2, self.layout);
+        sim.device.alloc(fresh.device_bytes())?;
+        self.migration = Some(WideMigration {
+            idx,
+            fresh,
+            cursor: 0,
+            old_n,
+            moved: 0,
+        });
+        Ok(())
+    }
+
+    /// Pump one migration quantum: drain up to `budget` old buckets into
+    /// the fresh subtable, or perform the finalize swap once the drain is
+    /// complete. Returns the KV pairs moved by this pump. No-op when idle.
+    pub fn migrate_quantum(&mut self, sim: &mut SimContext, budget: usize) -> Result<u64> {
+        let Some(m) = self.migration.as_mut() else {
+            return Ok(0);
+        };
+        if m.cursor == m.old_n {
+            // Finalize: swap the fresh subtable in and free the old one.
+            let m = self.migration.take().expect("checked above");
+            debug_assert_eq!(self.tables[m.idx].occupied(), 0, "fully drained");
+            let old_bytes = self.tables[m.idx].device_bytes();
+            self.tables[m.idx] = m.fresh;
+            sim.device.free(old_bytes)?;
+            return Ok(0);
+        }
+        let idx = m.idx;
+        let end = (m.cursor + budget.max(1)).min(m.old_n);
+        let drain = self.layout.drain_lines();
+        let old = &mut self.tables[idx];
+        let new_n = m.old_n * 2;
+        sim.metrics.rounds += 1;
+        let mut moved = 0u64;
+        for b in m.cursor..end {
+            sim.metrics.read_transactions += drain;
+            for s in 0..self.layout.slots {
+                let (k, v) = old.slot(b, s);
+                if k == EMPTY {
+                    continue;
+                }
+                let nb = self.hashes[idx].bucket(fold_key(k), new_n);
+                debug_assert!(nb == b || nb == b + m.old_n);
+                let slot = m.fresh.find_empty(nb).expect("doubled bucket");
+                m.fresh.write_new(nb, slot, k, v);
+                old.erase(b, s);
+                moved += 1;
+            }
+            sim.metrics.write_transactions += drain;
+        }
+        m.cursor = end;
+        m.moved += moved;
+        Ok(moved)
+    }
+
+    /// Run an in-flight upsize to completion (drain + finalize); the
+    /// correctness escape hatch for stuck inserts.
+    fn finish_migration(&mut self, sim: &mut SimContext) -> Result<()> {
+        while self.migration.is_some() {
+            let rest = self
+                .migration
+                .as_ref()
+                .map_or(1, |m| (m.old_n - m.cursor).max(1));
+            self.migrate_quantum(sim, rest)?;
+        }
         Ok(())
     }
 
@@ -339,6 +515,10 @@ impl WideDyCuckoo {
                 inserted: 0,
                 updated: 0,
                 failed: Vec::new(),
+                migration: self
+                    .migration
+                    .as_mut()
+                    .map(|m| (m.idx, m.cursor, m.old_n, &mut m.fresh)),
             };
             run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, self.schedule);
             pending = kernel.failed;
@@ -349,7 +529,14 @@ impl WideDyCuckoo {
                         failed_ops: pending.len(),
                     });
                 }
-                self.upsize_smallest(sim)?;
+                // Stuck inserts need capacity now: complete any in-flight
+                // migration first (often freeing enough room), then fall
+                // back to a stop-the-world doubling.
+                if self.migration.is_some() {
+                    self.finish_migration(sim)?;
+                } else {
+                    self.upsize_smallest(sim)?;
+                }
             }
         }
         Ok(())
@@ -369,13 +556,27 @@ impl WideDyCuckoo {
                 let (i, j) = self.pair_of(key);
                 let mut found = None;
                 for t in [i, j] {
-                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets());
+                    // Route through an in-flight migration of subtable `t`:
+                    // still exactly one bucket probe per candidate.
+                    let (store, b) = match &self.migration {
+                        Some(m) if m.idx == t => {
+                            let (b, in_fresh) = m.route(&self.hashes[t], key);
+                            (if in_fresh { &m.fresh } else { &self.tables[t] }, b)
+                        }
+                        _ => {
+                            let table = &self.tables[t];
+                            (
+                                table,
+                                self.hashes[t].bucket(fold_key(key), table.n_buckets()),
+                            )
+                        }
+                    };
                     metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
-                    if let Some(slot) = self.tables[t].find_slot(b, key) {
+                    if let Some(slot) = store.find_slot(b, key) {
                         metrics.read_transactions += value_read;
-                        found = Some(self.tables[t].bucket_vals(b)[slot]);
+                        found = Some(store.bucket_vals(b)[slot]);
                         break;
                     }
                 }
@@ -398,14 +599,30 @@ impl WideDyCuckoo {
         for chunk in keys.chunks(WARP_SIZE) {
             let mut warp_rounds = 0u64;
             for &key in chunk {
-                let (i, j) = self.pair_of(key);
+                let (i, j) = self.pair.pair_of(fold_key(key));
                 for t in [i, j] {
-                    let b = self.hashes[t].bucket(fold_key(key), self.tables[t].n_buckets());
+                    let (store, b): (&mut WideSubTable, usize) = match self.migration.as_mut() {
+                        Some(m) if m.idx == t => {
+                            let (b, in_fresh) = m.route(&self.hashes[t], key);
+                            (
+                                if in_fresh {
+                                    &mut m.fresh
+                                } else {
+                                    &mut self.tables[t]
+                                },
+                                b,
+                            )
+                        }
+                        _ => {
+                            let n = self.tables[t].n_buckets();
+                            (&mut self.tables[t], self.hashes[t].bucket(fold_key(key), n))
+                        }
+                    };
                     metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
-                    if let Some(slot) = self.tables[t].find_slot(b, key) {
-                        self.tables[t].erase(b, slot);
+                    if let Some(slot) = store.find_slot(b, key) {
+                        store.erase(b, slot);
                         metrics.write_transactions += key_write;
                         deleted += 1;
                         break;
@@ -533,6 +750,41 @@ mod tests {
         let (ma, mb) = (sim_a.take_metrics(), sim_b.take_metrics());
         assert_eq!(ma.lookups, mb.lookups);
         assert_ne!(ma.read_transactions, mb.read_transactions);
+    }
+
+    #[test]
+    fn incremental_upsize_stays_coherent_and_matches_legacy() {
+        let mut sim = SimContext::new();
+        let mut t = WideDyCuckoo::new(4, 8, 7, &mut sim).unwrap();
+        let kvs = wide_keys(300);
+        t.insert_batch(&mut sim, &kvs).unwrap();
+        let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+        let before = t.find_batch(&mut sim, &keys);
+        let bytes_idle = t.device_bytes();
+
+        t.begin_upsize(&mut sim).unwrap();
+        assert!(t.migration_in_flight());
+        assert!(t.device_bytes() > bytes_idle, "old + fresh both held");
+        let mut backlog = t.migration_backlog();
+        let mut moved_total = 0u64;
+        let mut pumps = 0;
+        while t.migration_in_flight() {
+            // Mid-migration, every op must behave as if quiescent.
+            assert_eq!(t.find_batch(&mut sim, &keys), before);
+            let extra = 0xF000_0000_0000 + pumps;
+            t.insert_batch(&mut sim, &[(extra, pumps)]).unwrap();
+            assert_eq!(t.find_batch(&mut sim, &[extra]), vec![Some(pumps)]);
+            assert_eq!(t.delete_batch(&mut sim, &[extra]), 1);
+            moved_total += t.migrate_quantum(&mut sim, 2).unwrap();
+            let now = t.migration_backlog();
+            assert!(now < backlog, "backlog strictly decreases per pump");
+            backlog = now;
+            pumps += 1;
+        }
+        assert!(pumps > 2, "quantum 2 must take several pumps");
+        assert!(moved_total > 0);
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.find_batch(&mut sim, &keys), before);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub use device::{Device, DeviceConfig};
 pub use engine::{BucketStore, LayoutConfig, LayoutScheme, SlotStore};
 pub use explore::{shrink_ops, SchedulePolicy};
 pub use metrics::Metrics;
-pub use scheduler::{run_rounds, run_rounds_with, RoundKernel, StepOutcome};
+pub use scheduler::{
+    run_rounds, run_rounds_quantum, run_rounds_with, QuantumOutcome, RoundKernel, StepOutcome,
+};
 pub use warp::{ballot, broadcast, first_set_lane, lanes, LaneMask, WARP_SIZE};
 
 /// A simulation context bundling the device with the metrics of the kernel

@@ -77,12 +77,66 @@ pub fn run_rounds_with<S, K: RoundKernel<S>>(
     metrics: &mut Metrics,
     policy: SchedulePolicy,
 ) -> u64 {
+    let (rounds, pending) = run_rounds_core(kernel, states, metrics, policy, u64::MAX);
+    debug_assert!(pending.is_empty());
+    rounds
+}
+
+/// Result of a bounded (quantum) launch: how many rounds executed and how
+/// many warps were still pending when the round budget expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantumOutcome {
+    /// Rounds executed by this launch (≤ the budget).
+    pub rounds: u64,
+    /// Warps whose operations had not completed when the budget ran out.
+    pub pending: usize,
+}
+
+/// Drive the warp states for **at most** `max_rounds` rounds — the
+/// quantum-scheduling hook used by incremental maintenance.
+///
+/// Identical to [`run_rounds_with`] while the budget lasts (same round
+/// bookkeeping, same lock semantics, same metrics), except that when the
+/// budget expires the still-pending warp states are compacted to the front
+/// of `states` (in warp-index order) and the vector truncated to them, so
+/// the caller can resume the launch later by passing the vector back in.
+/// A budget of `u64::MAX` behaves exactly like [`run_rounds_with`].
+pub fn run_rounds_quantum<S, K: RoundKernel<S>>(
+    kernel: &mut K,
+    states: &mut Vec<S>,
+    metrics: &mut Metrics,
+    policy: SchedulePolicy,
+    max_rounds: u64,
+) -> QuantumOutcome {
+    let (rounds, mut pending) = run_rounds_core(kernel, states, metrics, policy, max_rounds);
+    // Compact surviving warp states to the front, preserving warp-index
+    // order so a resumed launch steps them in the same relative order.
+    pending.sort_unstable();
+    for (dst, &w) in pending.iter().enumerate() {
+        if dst != w {
+            states.swap(dst, w);
+        }
+    }
+    states.truncate(pending.len());
+    QuantumOutcome {
+        rounds,
+        pending: pending.len(),
+    }
+}
+
+fn run_rounds_core<S, K: RoundKernel<S>>(
+    kernel: &mut K,
+    states: &mut [S],
+    metrics: &mut Metrics,
+    policy: SchedulePolicy,
+    max_rounds: u64,
+) -> (u64, Vec<usize>) {
     let mut pending: Vec<usize> = (0..states.len()).collect();
     // Per-warp feedback for adversarial policies: did warp w fail a lock
     // acquisition on its most recent step?
     let mut contended: Vec<bool> = vec![false; states.len()];
     let mut rounds = 0u64;
-    while !pending.is_empty() {
+    while !pending.is_empty() && rounds < max_rounds {
         rounds += 1;
         metrics.rounds += 1;
         if obs::is_enabled() {
@@ -111,7 +165,7 @@ pub fn run_rounds_with<S, K: RoundKernel<S>>(
         ctx.finish();
         kernel.end_round();
     }
-    rounds
+    (rounds, pending)
 }
 
 #[cfg(test)]
@@ -327,6 +381,91 @@ mod tests {
         };
         assert_eq!(run(SchedulePolicy::FixedOrder), 0);
         assert_eq!(run(SchedulePolicy::Reversed), 1);
+    }
+
+    #[test]
+    fn quantum_with_unbounded_budget_matches_run_rounds_with() {
+        let full = || {
+            let mut m = Metrics::default();
+            let mut kernel = LockOnce {
+                locks: Locks::new(1),
+            };
+            let mut states = vec![false; 6];
+            let rounds =
+                run_rounds_with(&mut kernel, &mut states, &mut m, SchedulePolicy::FixedOrder);
+            (rounds, m)
+        };
+        let quantum = || {
+            let mut m = Metrics::default();
+            let mut kernel = LockOnce {
+                locks: Locks::new(1),
+            };
+            let mut states = vec![false; 6];
+            let out = run_rounds_quantum(
+                &mut kernel,
+                &mut states,
+                &mut m,
+                SchedulePolicy::FixedOrder,
+                u64::MAX,
+            );
+            assert_eq!(out.pending, 0);
+            assert!(states.is_empty());
+            (out.rounds, m)
+        };
+        assert_eq!(full(), quantum());
+    }
+
+    #[test]
+    fn quantum_budget_suspends_and_resumes_to_identical_totals() {
+        // Ten warps contending for one lock need ten rounds. Run them one
+        // round per quantum: the per-quantum pending counts step down by
+        // one, and the summed rounds / lock failures match the single
+        // unbounded launch exactly.
+        let mut m = Metrics::default();
+        let mut kernel = LockOnce {
+            locks: Locks::new(1),
+        };
+        let mut states = vec![false; 10];
+        let mut total_rounds = 0u64;
+        let mut launches = 0u32;
+        while !states.is_empty() {
+            let before = states.len();
+            let out = run_rounds_quantum(
+                &mut kernel,
+                &mut states,
+                &mut m,
+                SchedulePolicy::FixedOrder,
+                1,
+            );
+            assert_eq!(out.rounds, 1);
+            assert_eq!(out.pending, before - 1, "one winner per contended round");
+            assert!(kernel.locks.all_free(), "locks quiesce between quanta");
+            total_rounds += out.rounds;
+            launches += 1;
+        }
+        assert_eq!(launches, 10);
+        assert_eq!(total_rounds, 10);
+        assert_eq!(m.rounds, 10);
+        assert_eq!(m.lock_failures, 9 + 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn quantum_compaction_preserves_warp_order() {
+        // Warps finish in round min(state); budget of 2 retires the 1s and
+        // 2s, leaving the larger countdowns in their original order.
+        let mut m = Metrics::default();
+        let mut states = vec![5u32, 1, 4, 2, 3];
+        let out = run_rounds_quantum(
+            &mut Countdown,
+            &mut states,
+            &mut m,
+            SchedulePolicy::FixedOrder,
+            2,
+        );
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.pending, 3);
+        // 5, 4, 3 have each been decremented twice.
+        assert_eq!(states, vec![3, 2, 1]);
     }
 
     #[test]

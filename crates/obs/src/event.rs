@@ -138,6 +138,30 @@ pub enum Event {
         /// re-inserted elsewhere (downsize only).
         residuals: u64,
     },
+    /// One bounded chunk of an incremental migration started (opens a
+    /// span). Unlike `ResizeBegin`, a chunk span never outlives the batch
+    /// that pumped it — the full migration is the sequence of chunk spans
+    /// plus a finalizing `ResizeEvent` in the batch report.
+    MigrateChunkBegin {
+        /// `true` for upsize (doubling), `false` for downsize (halving).
+        grow: bool,
+        /// Index of the draining subtable.
+        table: u8,
+        /// Drain cursor (source-bucket index) at the start of the chunk.
+        cursor: u64,
+        /// Source buckets this chunk will drain.
+        chunk: u64,
+    },
+    /// A migration chunk finished (closes the `MigrateChunkBegin` span).
+    MigrateChunkEnd {
+        /// Entries moved into the fresh subtable by this chunk.
+        moved: u64,
+        /// Downsize residuals re-inserted elsewhere by this chunk.
+        residuals: u64,
+        /// Source buckets still to drain after this chunk, plus the
+        /// pending finalize swap (0 once the migration is complete).
+        backlog: u64,
+    },
     /// A service shard flushed its batch window (opens a span).
     BatchFlush {
         /// Shard index.
@@ -181,6 +205,8 @@ impl Event {
             Event::LockConflict { .. } => "lock_conflict",
             Event::ResizeBegin { .. } => "resize_begin",
             Event::ResizeEnd { .. } => "resize_end",
+            Event::MigrateChunkBegin { .. } => "migrate_chunk_begin",
+            Event::MigrateChunkEnd { .. } => "migrate_chunk_end",
             Event::BatchFlush { .. } => "batch_flush",
             Event::BatchEnd { .. } => "batch_end",
             Event::Shed { .. } => "shed",
@@ -191,7 +217,10 @@ impl Event {
     pub fn opens_span(&self) -> bool {
         matches!(
             self,
-            Event::LaunchBegin { .. } | Event::ResizeBegin { .. } | Event::BatchFlush { .. }
+            Event::LaunchBegin { .. }
+                | Event::ResizeBegin { .. }
+                | Event::MigrateChunkBegin { .. }
+                | Event::BatchFlush { .. }
         )
     }
 
@@ -199,7 +228,10 @@ impl Event {
     pub fn closes_span(&self) -> bool {
         matches!(
             self,
-            Event::LaunchEnd { .. } | Event::ResizeEnd { .. } | Event::BatchEnd { .. }
+            Event::LaunchEnd { .. }
+                | Event::ResizeEnd { .. }
+                | Event::MigrateChunkEnd { .. }
+                | Event::BatchEnd { .. }
         )
     }
 }
@@ -263,6 +295,17 @@ mod tests {
                 moved: 10,
                 residuals: 0,
             },
+            Event::MigrateChunkBegin {
+                grow: false,
+                table: 1,
+                cursor: 0,
+                chunk: 64,
+            },
+            Event::MigrateChunkEnd {
+                moved: 12,
+                residuals: 3,
+                backlog: 5,
+            },
             Event::BatchFlush {
                 shard: 0,
                 window: 4,
@@ -280,8 +323,8 @@ mod tests {
         ];
         let opens = events.iter().filter(|e| e.opens_span()).count();
         let closes = events.iter().filter(|e| e.closes_span()).count();
-        assert_eq!(opens, 3);
-        assert_eq!(closes, 3);
+        assert_eq!(opens, 4);
+        assert_eq!(closes, 4);
         for e in &events {
             assert!(!(e.opens_span() && e.closes_span()));
             assert!(!e.name().is_empty());

@@ -73,6 +73,27 @@ fn write_args(out: &mut String, e: &Event) {
                 ",\"new_buckets\":{new_buckets},\"moved\":{moved},\"residuals\":{residuals}"
             );
         }
+        Event::MigrateChunkBegin {
+            grow,
+            table,
+            cursor,
+            chunk,
+        } => {
+            let _ = write!(
+                out,
+                ",\"grow\":{grow},\"table\":{table},\"cursor\":{cursor},\"chunk\":{chunk}"
+            );
+        }
+        Event::MigrateChunkEnd {
+            moved,
+            residuals,
+            backlog,
+        } => {
+            let _ = write!(
+                out,
+                ",\"moved\":{moved},\"residuals\":{residuals},\"backlog\":{backlog}"
+            );
+        }
         Event::BatchFlush {
             shard,
             window,
@@ -101,6 +122,11 @@ fn span_name(e: &Event) -> String {
         Event::LaunchBegin { kind, .. } => format!("launch:{}", kind.name()),
         Event::ResizeBegin { grow, table, .. } => format!(
             "resize:{}:t{}",
+            if *grow { "upsize" } else { "downsize" },
+            table
+        ),
+        Event::MigrateChunkBegin { grow, table, .. } => format!(
+            "migrate:{}:t{}",
             if *grow { "upsize" } else { "downsize" },
             table
         ),

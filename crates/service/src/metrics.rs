@@ -149,6 +149,15 @@ pub struct ShardMetrics {
     pub resize_stall_batches: u64,
     /// Upsize-and-retry cycles inside insert kernels.
     pub insert_retries: u64,
+    /// Incremental-migration quanta pumped (flush-driven or between flush
+    /// windows). Always 0 in the default stop-the-world configuration.
+    pub migration_chunks: u64,
+    /// KV pairs moved by those quanta.
+    pub migration_moved: u64,
+    /// Source buckets still to drain (plus pending finalize) at the last
+    /// observation — a gauge, not a counter; summed across shards in
+    /// totals (each shard has at most one migration in flight).
+    pub migration_backlog: u64,
     /// Deepest queue observed.
     pub max_queue_depth: usize,
     /// Simulated nanoseconds spent executing this shard's kernels
@@ -179,6 +188,9 @@ impl ShardMetrics {
         self.resize_events += other.resize_events;
         self.resize_stall_batches += other.resize_stall_batches;
         self.insert_retries += other.insert_retries;
+        self.migration_chunks += other.migration_chunks;
+        self.migration_moved += other.migration_moved;
+        self.migration_backlog += other.migration_backlog;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.service_ns += other.service_ns;
         self.latency.merge(&other.latency);
@@ -244,6 +256,18 @@ impl ShardMetrics {
             self.resize_stall_batches,
         );
         reg.counter("service_insert_retries", labels, self.insert_retries);
+        // Migration metrics appear only once incremental migration has
+        // actually run, so registries (and their pinned snapshots) from
+        // the default stop-the-world configuration are untouched.
+        if self.migration_chunks > 0 || self.migration_backlog > 0 {
+            reg.counter("service_migration_chunks", labels, self.migration_chunks);
+            reg.counter("service_migration_moved", labels, self.migration_moved);
+            reg.gauge(
+                "service_migration_backlog",
+                labels,
+                self.migration_backlog as f64,
+            );
+        }
         reg.gauge(
             "service_max_queue_depth",
             labels,
@@ -526,7 +550,8 @@ mod tests {
         let mut reg = obs::Registry::new();
         let labels = [("shard", "0")];
         m.register_into(&mut reg, &labels);
-        // 18 counters + 2 gauges + 5 histogram stats.
+        // 18 counters + 2 gauges + 5 histogram stats. (The migration
+        // metrics only register once incremental migration has run.)
         assert_eq!(reg.len(), 25);
         assert_eq!(reg.get_counter("service_submitted", &labels), Some(10));
         assert_eq!(reg.get_gauge("service_max_queue_depth", &labels), Some(5.0));
@@ -581,6 +606,39 @@ mod tests {
                 prop_assert_eq!(ab.mean().to_bits(), all.mean().to_bits());
             }
         }
+    }
+
+    #[test]
+    fn migration_metrics_register_only_when_active() {
+        let labels = [("shard", "0")];
+        // Idle shard: the registry shape is exactly the pinned 25 entries.
+        let idle = ShardMetrics::default();
+        let mut reg = obs::Registry::new();
+        idle.register_into(&mut reg, &labels);
+        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.get_counter("service_migration_chunks", &labels), None);
+        // A shard that pumped migration quanta grows the registry by 3.
+        let active = ShardMetrics {
+            migration_chunks: 4,
+            migration_moved: 130,
+            migration_backlog: 7,
+            ..ShardMetrics::default()
+        };
+        let mut reg = obs::Registry::new();
+        active.register_into(&mut reg, &labels);
+        assert_eq!(reg.len(), 28);
+        assert_eq!(
+            reg.get_counter("service_migration_chunks", &labels),
+            Some(4)
+        );
+        assert_eq!(
+            reg.get_counter("service_migration_moved", &labels),
+            Some(130)
+        );
+        assert_eq!(
+            reg.get_gauge("service_migration_backlog", &labels),
+            Some(7.0)
+        );
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub struct ServiceConfig {
     pub shed_watermark: usize,
     /// Router seed (independent of the table seeds).
     pub seed: u64,
+    /// Source buckets a structural resize may drain per migration quantum
+    /// (overrides the embedded table config's `migration_quantum` for
+    /// every shard). `usize::MAX` — the default — keeps the historical
+    /// stop-the-world resizes; a finite value turns each resize into an
+    /// incremental migration pumped once per flush and once per tick, so
+    /// no flush window stalls on a whole-subtable rehash.
+    pub migration_quantum: usize,
     /// Order in which shards are visited on each tick / drain pass.
     /// Shards are fully independent (disjoint tables, disjoint queues), so
     /// any order must produce identical replies — the exploration harness
@@ -69,6 +76,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             shed_watermark: 768,
             seed: 0x5E1C_E000,
+            migration_quantum: usize::MAX,
             flush_order: SchedulePolicy::FixedOrder,
         }
     }
@@ -159,6 +167,7 @@ impl KvService {
         for i in 0..cfg.shards {
             let table_cfg = Config {
                 seed: splitmix64(cfg.table.seed.wrapping_add(i as u64)),
+                migration_quantum: cfg.migration_quantum,
                 ..cfg.table
             };
             shards.push(Shard {
@@ -273,7 +282,36 @@ impl KvService {
             }
             completed += self.flush(shard, sim)?;
         }
+        self.pump_migrations(sim)?;
         Ok(completed)
+    }
+
+    /// Pump one migration quantum on every shard with a resize in flight,
+    /// so backlogs drain even on shards whose queues have gone idle. Each
+    /// pump is charged on an isolated metrics window like a flush. A no-op
+    /// in stop-the-world mode (nothing is ever left in flight).
+    fn pump_migrations(&mut self, sim: &mut SimContext) -> Result<(), ServiceError> {
+        for shard in 0..self.shards.len() {
+            if !self.shards[shard].table.migration_in_flight() {
+                continue;
+            }
+            let saved = sim.take_metrics();
+            let mut report = dycuckoo::BatchReport::default();
+            let outcome = self.shards[shard].table.migrate_quantum(sim, &mut report);
+            let window_metrics = sim.take_metrics();
+            let pump_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
+            sim.metrics = saved;
+            sim.metrics.merge(&window_metrics);
+            outcome?;
+            let backlog = self.shards[shard].table.migration_backlog();
+            let m = &mut self.metrics.per_shard[shard];
+            m.service_ns += pump_ns;
+            m.migration_chunks += 1;
+            m.migration_moved += report.migrated_kvs;
+            m.migration_backlog = backlog;
+            m.resize_events += report.resizes.len() as u64;
+        }
+        Ok(())
     }
 
     /// Flush every shard's remaining queue regardless of size or deadline
@@ -379,7 +417,12 @@ impl KvService {
             if report.resize_stall() {
                 m.resize_stall_batches += 1;
             }
+            m.migration_moved += report.migrated_kvs;
+            if report.migrated_buckets > 0 {
+                m.migration_chunks += 1;
+            }
         }
+        m.migration_backlog = self.shards[shard].table.migration_backlog();
 
         let completed_tick = self.clock;
         for (req, planned) in window.iter().zip(&plan.replies) {
@@ -484,6 +527,7 @@ mod tests {
             queue_capacity: 64,
             shed_watermark: 48,
             seed: 11,
+            migration_quantum: usize::MAX,
             flush_order: SchedulePolicy::FixedOrder,
         }
     }
@@ -698,6 +742,113 @@ mod tests {
         // The layout did take effect: interleaved 16-slot buckets cost a
         // different number of coalesced reads for the same execution.
         assert_ne!(soa_reads, aos_reads);
+    }
+
+    /// With a finite quantum, a migration started by a flush keeps
+    /// draining on idle ticks (no queued requests) until the backlog hits
+    /// zero, and the pumps are accounted to the owning shard.
+    #[test]
+    fn tick_pumps_migrations_to_completion_on_idle_shards() {
+        let mut sim = SimContext::new();
+        let mut cfg = small_cfg(1);
+        cfg.migration_quantum = 2;
+        cfg.queue_capacity = 4096;
+        cfg.shed_watermark = 4096;
+        let mut svc = KvService::new(cfg, &mut sim).unwrap();
+        let mut k = 1u32;
+        while !svc.shards[0].table.migration_in_flight() {
+            for _ in 0..8 {
+                svc.submit(0, Op::Put(k, k ^ 5)).unwrap();
+                k += 1;
+            }
+            svc.tick(&mut sim).unwrap();
+            assert!(k < 1 << 20, "no migration ever started");
+        }
+        // Stop submitting: idle ticks alone must finish the drain.
+        let mut idle_ticks = 0u32;
+        while svc.shards[0].table.migration_in_flight() {
+            svc.tick(&mut sim).unwrap();
+            idle_ticks += 1;
+            assert!(idle_ticks < 10_000, "migration never finished");
+        }
+        assert!(idle_ticks >= 1, "drain finished without an idle pump");
+        let m = &svc.metrics().per_shard[0];
+        assert!(m.migration_chunks > 0, "pumps were not accounted");
+        assert!(m.migration_moved > 0);
+        assert_eq!(m.migration_backlog, 0, "gauge must settle at zero");
+        assert!(m.resize_events >= 1, "the finalize never retired an event");
+        // The table stayed coherent through the incremental drain.
+        svc.drain_completions();
+        for key in 1..k {
+            svc.submit(0, Op::Get(key)).unwrap();
+        }
+        svc.flush_all(&mut sim).unwrap();
+        for c in svc.drain_completions() {
+            assert_eq!(c.reply, Reply::Value(Some(c.key ^ 5)), "key {}", c.key);
+        }
+    }
+
+    /// Two shards whose flushes both resize **in the same flush window**
+    /// each account their own `resize_stall_batches` — stalls are charged
+    /// to the shard that paid them, and the totals are the sum.
+    #[test]
+    fn resize_stalls_account_per_shard_within_one_window() {
+        let mut sim = SimContext::new();
+        let mut cfg = small_cfg(2);
+        cfg.max_batch = 64;
+        cfg.queue_capacity = 4096;
+        cfg.shed_watermark = 4096;
+        let router = ShardRouter::new(cfg.shards, cfg.seed).unwrap();
+        let mut svc = KvService::new(cfg, &mut sim).unwrap();
+        // Partition keys by shard so each shard's load is explicit.
+        let mut per_shard: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut k = 1u32;
+        while per_shard.iter().any(|v| v.len() < 70) {
+            let s = router.shard_of(k);
+            if per_shard[s].len() < 70 {
+                per_shard[s].push(k);
+            }
+            k += 1;
+        }
+        for keys in &per_shard {
+            for &key in keys {
+                svc.submit(0, Op::Put(key, 9)).unwrap();
+            }
+        }
+        while svc.queue_depths().iter().any(|&d| d > 0) {
+            svc.tick(&mut sim).unwrap();
+        }
+        let before: Vec<u64> = svc
+            .metrics()
+            .per_shard
+            .iter()
+            .map(|m| m.resize_stall_batches)
+            .collect();
+        // One full delete batch per shard, erasing nearly all of its keys:
+        // both flushes leave their tables far under the downsize bound, so
+        // both resize inside the same tick's flush window.
+        for keys in &per_shard {
+            for &key in keys.iter().take(64) {
+                svc.submit(0, Op::Delete(key)).unwrap();
+            }
+        }
+        svc.tick(&mut sim).unwrap();
+        let m = svc.metrics();
+        for (shard, &prior) in before.iter().enumerate() {
+            assert_eq!(
+                m.per_shard[shard].resize_stall_batches,
+                prior + 1,
+                "shard {shard} must charge exactly its own stalled flush"
+            );
+        }
+        assert_eq!(
+            m.total().resize_stall_batches,
+            m.per_shard
+                .iter()
+                .map(|s| s.resize_stall_batches)
+                .sum::<u64>(),
+            "totals must be the per-shard sum"
+        );
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Incremental-migration integration tests (DESIGN.md §4f).
+//!
+//! A finite [`Config::migration_quantum`] turns each structural resize into
+//! a resumable migration pumped one bounded chunk per batch. These tests
+//! pin the contract: final contents are equivalent to stop-the-world mode,
+//! every operation stays coherent *mid-migration* (the two-lookup bound
+//! survives), the backlog drains monotonically, and no single batch pays
+//! for more than one quantum of structural work.
+
+use std::collections::HashMap;
+
+use dycuckoo::{BatchReport, Config, DyCuckoo};
+use gpu_sim::SimContext;
+
+fn config(quantum: usize) -> Config {
+    Config {
+        initial_buckets: 4,
+        migration_quantum: quantum,
+        ..Config::default()
+    }
+}
+
+fn kvs(range: std::ops::Range<u32>) -> Vec<(u32, u32)> {
+    range.map(|k| (k, k.wrapping_mul(31) | 1)).collect()
+}
+
+/// Drive the same grow-heavy then shrink-heavy workload through a table and
+/// return its final contents via lookups.
+fn run_workload(quantum: usize) -> (HashMap<u32, Option<u32>>, u64) {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(config(quantum), &mut sim).unwrap();
+    let pairs = kvs(1..4000);
+    for chunk in pairs.chunks(256) {
+        table.insert_batch(&mut sim, chunk).unwrap();
+    }
+    // Delete enough to trigger downsizes, in batches.
+    let dels: Vec<u32> = (1..3500).collect();
+    for chunk in dels.chunks(256) {
+        table.delete_batch(&mut sim, chunk).unwrap();
+    }
+    // Let any in-flight migration finish so the comparison is of quiescent
+    // tables (equivalence must hold regardless of when it completes).
+    let mut report = BatchReport::default();
+    while table.migration_in_flight() {
+        table.migrate_quantum(&mut sim, &mut report).unwrap();
+    }
+    let keys: Vec<u32> = (1..4000).collect();
+    let found = table.find_batch(&mut sim, &keys);
+    let map = keys.iter().copied().zip(found).collect();
+    (map, table.len())
+}
+
+/// Stop-the-world and incremental modes must agree on the final contents
+/// for the same workload, for several quantum sizes.
+#[test]
+fn final_contents_match_stop_the_world() {
+    let (reference, ref_len) = run_workload(usize::MAX);
+    // Sanity: the workload leaves exactly the undeleted tail.
+    assert_eq!(ref_len, 500);
+    for quantum in [1, 7, 64, 1024] {
+        let (incremental, len) = run_workload(quantum);
+        assert_eq!(len, ref_len, "quantum={quantum}");
+        assert_eq!(incremental, reference, "quantum={quantum}");
+    }
+}
+
+/// Mid-migration coherence: with a tiny quantum a migration stays in
+/// flight across many batches; every lookup, update, insert and delete in
+/// that window must behave as if the table were quiescent.
+#[test]
+fn operations_stay_coherent_mid_migration() {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(config(2), &mut sim).unwrap();
+    let mut reference: HashMap<u32, u32> = HashMap::new();
+
+    let mut observed_in_flight = false;
+    for round in 0..30u32 {
+        let base = round * 200;
+        let batch: Vec<(u32, u32)> = (1..=200).map(|i| (base + i, base + i + 7)).collect();
+        table.insert_batch(&mut sim, &batch).unwrap();
+        reference.extend(batch.iter().copied());
+
+        if table.migration_in_flight() {
+            observed_in_flight = true;
+            // Reads of every live key while the machine is mid-drain.
+            let keys: Vec<u32> = reference.keys().copied().collect();
+            let results = table.find_batch(&mut sim, &keys);
+            for (k, r) in keys.iter().zip(results) {
+                assert_eq!(r, reference.get(k).copied(), "mid-migration find of {k}");
+            }
+            // Updates route to whichever side currently owns the key.
+            let updates: Vec<(u32, u32)> = keys.iter().take(50).map(|&k| (k, k ^ 0xABCD)).collect();
+            table.insert_batch(&mut sim, &updates).unwrap();
+            reference.extend(updates.iter().copied());
+            // Deletes likewise.
+            let victims: Vec<u32> = keys.iter().skip(50).take(25).copied().collect();
+            let rep = table.delete_batch(&mut sim, &victims).unwrap();
+            assert_eq!(rep.deleted as usize, victims.len());
+            for k in &victims {
+                reference.remove(k);
+            }
+        }
+    }
+    assert!(
+        observed_in_flight,
+        "workload never left a migration in flight; weaken the quantum"
+    );
+    assert_eq!(table.len(), reference.len() as u64);
+    let keys: Vec<u32> = reference.keys().copied().collect();
+    for (k, r) in keys.iter().zip(table.find_batch(&mut sim, &keys)) {
+        assert_eq!(r, reference.get(k).copied());
+    }
+}
+
+/// The backlog gauge decreases by at least one per pump and reaches zero;
+/// each pump drains at most one quantum of source buckets.
+#[test]
+fn backlog_drains_monotonically_and_stall_is_bounded() {
+    let mut sim = SimContext::new();
+    let quantum = 4usize;
+    let mut table = DyCuckoo::new(config(quantum), &mut sim).unwrap();
+    // Fill until a migration starts.
+    let mut next = 1u32;
+    while !table.migration_in_flight() {
+        let batch: Vec<(u32, u32)> = (0..64).map(|i| (next + i, 1)).collect();
+        next += 64;
+        table.insert_batch(&mut sim, &batch).unwrap();
+        assert!(next < 1 << 20, "no migration ever started");
+    }
+    let mut backlog = table.migration_backlog();
+    assert!(backlog > 0);
+    while table.migration_in_flight() {
+        let mut report = BatchReport::default();
+        table.migrate_quantum(&mut sim, &mut report).unwrap();
+        let now = table.migration_backlog();
+        assert!(now < backlog, "backlog must strictly decrease per pump");
+        assert!(
+            report.migrated_buckets <= quantum as u64,
+            "one pump drained {} source buckets, quantum is {quantum}",
+            report.migrated_buckets
+        );
+        // A draining pump moves buckets; the finalize pump moves none.
+        assert!(report.resize_stall() || report.migrated_buckets == 0);
+        backlog = now;
+    }
+    assert_eq!(table.migration_backlog(), 0);
+}
+
+/// A finite quantum bounds the structural work *per batch*: no insert or
+/// delete batch in a grow-then-shrink workload drains more than one quantum
+/// of source buckets (stop-the-world mode pays whole subtables instead).
+#[test]
+fn per_batch_structural_work_is_bounded_by_quantum() {
+    let mut sim = SimContext::new();
+    let quantum = 8usize;
+    let mut table = DyCuckoo::new(config(quantum), &mut sim).unwrap();
+    let pairs = kvs(1..3000);
+    let mut max_batch_buckets = 0u64;
+    for chunk in pairs.chunks(128) {
+        let rep = table.insert_batch(&mut sim, chunk).unwrap();
+        max_batch_buckets = max_batch_buckets.max(rep.migrated_buckets);
+    }
+    let dels: Vec<u32> = (1..2800).collect();
+    for chunk in dels.chunks(128) {
+        let rep = table.delete_batch(&mut sim, chunk).unwrap();
+        max_batch_buckets = max_batch_buckets.max(rep.migrated_buckets);
+    }
+    assert!(
+        max_batch_buckets > 0,
+        "workload exercised no incremental migration"
+    );
+    assert!(
+        max_batch_buckets <= quantum as u64,
+        "a batch drained {max_batch_buckets} source buckets, quantum is {quantum}"
+    );
+}
+
+/// The finalizing `ResizeEvent` reports the whole migration's totals, and
+/// `migrated_kvs` across the pumping batches sums to the event's `moved`.
+#[test]
+fn finalizing_event_reports_migration_totals() {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(config(4), &mut sim).unwrap();
+    // Fill until a migration is left in flight at a batch boundary. The
+    // batch that starts it pumps its first chunk, so that batch's
+    // `migrated_kvs` belongs to the current migration (any `resizes` in it
+    // retire *earlier* migrations and are ignored).
+    let mut next = 1u32;
+    let mut moved_sum;
+    loop {
+        let batch: Vec<(u32, u32)> = (0..64).map(|i| (next + i, 1)).collect();
+        next += 64;
+        let rep = table.insert_batch(&mut sim, &batch).unwrap();
+        if table.migration_in_flight() {
+            moved_sum = rep.migrated_kvs;
+            break;
+        }
+        assert!(next < 1 << 20, "no migration ever started");
+    }
+    let mut events = Vec::new();
+    while table.migration_in_flight() {
+        let mut report = BatchReport::default();
+        table.migrate_quantum(&mut sim, &mut report).unwrap();
+        moved_sum += report.migrated_kvs;
+        events.extend(report.resizes);
+    }
+    assert_eq!(events.len(), 1, "exactly one finalizing event");
+    assert_eq!(events[0].moved, moved_sum);
+    assert_eq!(events[0].new_buckets, events[0].old_buckets * 2);
+}

@@ -21,6 +21,7 @@ fn oracle_clean_on_all_targets_under_varied_schedules() {
                 workload_seed: seed,
                 inject_lock_elision: false,
                 layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
                 ops: gen_ops(seed, 64),
             };
             if let Err(v) = run_case(&case) {
@@ -46,6 +47,7 @@ fn identical_case_yields_identical_digest() {
             workload_seed: 7,
             inject_lock_elision: false,
             layout: LayoutConfig::default(),
+            migration_quantum: usize::MAX,
             ops: gen_ops(7, 64),
         };
         let first = run_case(&case).expect("clean case");
@@ -72,6 +74,7 @@ fn injected_lock_elision_is_caught_and_shrunk() {
             workload_seed: seed,
             inject_lock_elision: true,
             layout: LayoutConfig::default(),
+            migration_quantum: usize::MAX,
             ops: gen_ops(seed, 96),
         };
         if run_case(&case).is_ok() {
@@ -110,6 +113,7 @@ fn repro_round_trips_and_replays() {
         workload_seed: 3,
         inject_lock_elision: true,
         layout: LayoutConfig::default(),
+        migration_quantum: usize::MAX,
         ops: gen_ops(3, 96),
     };
     let violation = run_case(&case).expect_err("injected bug must fire");
@@ -147,6 +151,7 @@ fn aos_and_soa_layouts_agree_under_every_schedule() {
                 workload_seed: seed,
                 inject_lock_elision: false,
                 layout,
+                migration_quantum: usize::MAX,
                 ops: gen_ops(seed, 96),
             };
             let soa = run_case(&case_with(LayoutConfig::default()))
@@ -248,6 +253,7 @@ fn megakv_stale_eviction_regression() {
         workload_seed: 20,
         inject_lock_elision: false,
         layout: LayoutConfig::default(),
+        migration_quantum: usize::MAX,
         ops: gen_ops(20, 96),
     };
     if let Err(v) = run_case(&case) {

@@ -18,6 +18,7 @@ fn fuzz_case(target: Target, seed: u64) -> Case {
         workload_seed: seed,
         inject_lock_elision: false,
         layout: LayoutConfig::default(),
+        migration_quantum: usize::MAX,
         ops: gen_ops(seed, 96),
     }
 }
