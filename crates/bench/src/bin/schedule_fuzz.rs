@@ -15,6 +15,7 @@
 //! ```text
 //! schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]
 //!               [--layout SPEC] [--migration-quanta q1,q2,..]
+//!               [--tier fixed|unsized] [--key-dists d1,d2,..]
 //!               [--inject-lock-elision] [--expect-violations]
 //!               [--out DIR] [--budget-secs S] [--replay FILE]
 //! ```
@@ -32,6 +33,15 @@
 //!   quantum; finite quanta engage the incremental migration machine so
 //!   the oracle checks linearizability *mid-migration* (see
 //!   `Config::migration_quantum`).
+//! * `--tier unsized` — run the byte-KV oracle over `dycuckoo::UnsizedTable`
+//!   instead of the per-target u32 oracles: the same op stream is widened
+//!   into byte-string keys/values and checked byte-exactly against a
+//!   reference map (the target sweep collapses to one runner unless
+//!   `--targets` is given explicitly). Default: `fixed`, the historical
+//!   sweep — digests are untouched.
+//! * `--key-dists d1,d2,..` — key-length distributions to sweep under
+//!   `--tier unsized` (`all_inline`, `mixed`, `all_spill`; default
+//!   `mixed`). Ignored by the fixed tier.
 //! * `--inject-lock-elision` — plant the known lock-elision bug in the
 //!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
 //!   `--expect-violations` to prove the oracle catches and shrinks it.
@@ -48,6 +58,8 @@ use std::process::ExitCode;
 use bench::fuzz::{gen_ops, run_case, shrink_case, Case, Repro, Target};
 use gpu_sim::explore::mix64;
 use gpu_sim::{LayoutConfig, SchedulePolicy};
+use kv_service::Tier;
+use workloads::LengthDist;
 
 struct Args {
     seeds: u64,
@@ -57,6 +69,9 @@ struct Args {
     inject: bool,
     layout: LayoutConfig,
     migration_quanta: Vec<usize>,
+    tier: Tier,
+    key_dists: Vec<LengthDist>,
+    targets_pinned: bool,
     expect_violations: bool,
     out_dir: String,
     budget_secs: Option<u64>,
@@ -68,6 +83,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
          \x20                    [--layout SPEC] [--migration-quanta q1,q2,..]\n\
+         \x20                    [--tier fixed|unsized] [--key-dists d1,d2,..]\n\
          \x20                    [--inject-lock-elision] [--expect-violations]\n\
          \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
     );
@@ -83,6 +99,9 @@ fn parse_args() -> Result<Args, String> {
         inject: false,
         layout: LayoutConfig::default(),
         migration_quanta: vec![usize::MAX],
+        tier: Tier::Fixed,
+        key_dists: vec![LengthDist::Mixed],
+        targets_pinned: false,
         expect_violations: false,
         out_dir: ".".to_string(),
         budget_secs: None,
@@ -106,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
                         Target::from_name(n.trim()).ok_or_else(|| format!("unknown target {n:?}"))
                     })
                     .collect::<Result<_, _>>()?;
+                args.targets_pinned = true;
             }
             "--policies" => {
                 let list = val("--policies")?;
@@ -138,6 +158,21 @@ fn parse_args() -> Result<Args, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--tier" => {
+                let name = val("--tier")?;
+                args.tier =
+                    Tier::from_name(&name).ok_or_else(|| format!("unknown tier {name:?}"))?;
+            }
+            "--key-dists" => {
+                let list = val("--key-dists")?;
+                args.key_dists = list
+                    .split(',')
+                    .map(|s| {
+                        LengthDist::parse(s.trim())
+                            .ok_or_else(|| format!("unknown key distribution {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--expect-violations" => args.expect_violations = true,
             "--out" => args.out_dir = val("--out")?,
             "--budget-secs" => {
@@ -153,6 +188,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.ops == 0 || args.seeds == 0 {
         return Err("--seeds and --ops must be positive".to_string());
+    }
+    // The unsized runner ignores the target, so sweeping all seven would
+    // just repeat identical cases; collapse unless the user pinned a list.
+    if args.tier == Tier::Unsized && !args.targets_pinned {
+        args.targets = vec![Target::DyCuckoo];
     }
     Ok(args)
 }
@@ -214,53 +254,67 @@ fn main() -> ExitCode {
             };
             for policy in policies {
                 for &quantum in &args.migration_quanta {
-                    if let Some(budget) = args.budget_secs {
-                        if start.elapsed().as_secs() >= budget {
-                            budget_hit = true;
-                            break 'sweep;
-                        }
-                    }
-                    let case = Case {
-                        target,
-                        policy,
-                        workload_seed: seed,
-                        inject_lock_elision: args.inject,
-                        layout: args.layout,
-                        migration_quantum: quantum,
-                        ops: gen_ops(seed, args.ops),
+                    let dists: &[LengthDist] = if args.tier == Tier::Unsized {
+                        &args.key_dists
+                    } else {
+                        &[LengthDist::Mixed]
                     };
-                    cases += 1;
-                    match run_case(&case) {
-                        Ok(d) => digest = fold(digest, d),
-                        Err(v) => {
-                            violations += 1;
-                            digest = fold(digest, 0xBAD);
-                            let (min, min_violation) = shrink_case(&case);
-                            let repro = Repro {
-                                case: min.clone(),
-                                violation: min_violation.detail.clone(),
-                            };
-                            let qtag = if quantum == usize::MAX {
-                                String::new()
-                            } else {
-                                format!("-q{quantum}")
-                            };
-                            let file = format!(
-                                "{}/repro-{}-{seed}{qtag}.ron",
-                                args.out_dir.trim_end_matches('/'),
-                                target.name()
-                            );
-                            if let Err(e) = std::fs::write(&file, repro.to_ron()) {
-                                eprintln!("warning: cannot write {file}: {e}");
+                    for &key_dist in dists {
+                        if let Some(budget) = args.budget_secs {
+                            if start.elapsed().as_secs() >= budget {
+                                budget_hit = true;
+                                break 'sweep;
                             }
-                            println!(
-                                "REPRO target={} seed={seed} policy={} quantum={quantum} ops={} file={file}",
-                                target.name(),
-                                policy.spec(),
-                                min.ops.len()
-                            );
-                            println!("  first violation: {v}");
-                            println!("  shrunk violation: {min_violation}");
+                        }
+                        let case = Case {
+                            target,
+                            policy,
+                            workload_seed: seed,
+                            inject_lock_elision: args.inject,
+                            layout: args.layout,
+                            migration_quantum: quantum,
+                            tier: args.tier,
+                            key_dist,
+                            ops: gen_ops(seed, args.ops),
+                        };
+                        cases += 1;
+                        match run_case(&case) {
+                            Ok(d) => digest = fold(digest, d),
+                            Err(v) => {
+                                violations += 1;
+                                digest = fold(digest, 0xBAD);
+                                let (min, min_violation) = shrink_case(&case);
+                                let repro = Repro {
+                                    case: min.clone(),
+                                    violation: min_violation.detail.clone(),
+                                };
+                                let qtag = if quantum == usize::MAX {
+                                    String::new()
+                                } else {
+                                    format!("-q{quantum}")
+                                };
+                                let ttag = if args.tier == Tier::Unsized {
+                                    format!("-{}", key_dist.name())
+                                } else {
+                                    String::new()
+                                };
+                                let file = format!(
+                                    "{}/repro-{}-{seed}{qtag}{ttag}.ron",
+                                    args.out_dir.trim_end_matches('/'),
+                                    target.name()
+                                );
+                                if let Err(e) = std::fs::write(&file, repro.to_ron()) {
+                                    eprintln!("warning: cannot write {file}: {e}");
+                                }
+                                println!(
+                                    "REPRO target={} seed={seed} policy={} quantum={quantum} ops={} file={file}",
+                                    target.name(),
+                                    policy.spec(),
+                                    min.ops.len()
+                                );
+                                println!("  first violation: {v}");
+                                println!("  shrunk violation: {min_violation}");
+                            }
                         }
                     }
                 }

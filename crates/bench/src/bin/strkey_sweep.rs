@@ -1,0 +1,247 @@
+//! **String-key sweep** — unsized-tier throughput and arena footprint
+//! across key-length distributions (DESIGN.md §4g).
+//!
+//! The unsized tier's design bet is that byte-string keys cost *nothing
+//! extra* while they fit the 12-byte inline bound: a slot is one 16-byte
+//! key word, eight of them fill exactly the same 128-byte line as the u32
+//! tier's thirty-two 4-byte keys, and the fingerprint in every spill
+//! handle rejects mismatches before the arena is ever dereferenced. This
+//! sweep drives the same insert→find-all→delete-half workload through an
+//! [`UnsizedTable`] under each stock key-length distribution and reports:
+//!
+//! * **insert / find Mops** — simulated throughput under the cost model.
+//! * **lines per probe** — read transactions per bucket probe in a
+//!   find-all window, net of the one value line per hit. The headline:
+//!   exactly 1.0 all-inline (the u32 tier's figure), rising only as keys
+//!   spill into the arena.
+//! * **arena pages / live / frag bytes** — the slab allocator's footprint
+//!   (zero all-inline).
+//!
+//! Self-checks (nonzero exit on failure): the all-inline window charges
+//! `lookups + hits` read transactions *exactly* — the identity a u32-tier
+//! [`DyCuckoo`] find window also satisfies, verified side by side in the
+//! same process — and touches the arena zero times; the all-spill window
+//! allocates arena pages; every tier's find-all finds every key.
+//!
+//! `TELEMETRY_SNAP=<path>` writes the registry as deterministic text; CI
+//! pins `results/strkey-sweep.snap` against it.
+
+use bench::report::Table;
+use bench::telemetry::Telemetry;
+use bench::{measure, scale, seed};
+use dycuckoo::{Config, DyCuckoo, UnsizedConfig, UnsizedTable};
+use gpu_sim::{Metrics, SimContext};
+use workloads::{LengthDist, StrDatasetSpec};
+
+const BATCH: usize = 512;
+
+struct Outcome {
+    pairs: u64,
+    insert_mops: f64,
+    find_mops: f64,
+    found: u64,
+    find_metrics: Metrics,
+    arena_pages: u64,
+    arena_live_bytes: u64,
+    arena_frag_bytes: u64,
+    device_bytes: u64,
+}
+
+/// Read transactions per bucket probe in a find window, net of the one
+/// value line each hit pays (both tiers' split layouts charge exactly one).
+fn lines_per_probe(m: &Metrics, hits: u64) -> f64 {
+    (m.read_transactions - hits) as f64 / m.lookups as f64
+}
+
+fn run_dist(dist: LengthDist, pairs: usize, seed: u64) -> Outcome {
+    // All-inline pins values inside the 7-byte value-word bound too, so
+    // the whole workload is arena-free; the other distributions let values
+    // spill alongside their keys.
+    let val_len = match dist {
+        LengthDist::AllInline => (0, 6),
+        _ => (0, 24),
+    };
+    let data = StrDatasetSpec {
+        pairs,
+        key_dist: dist,
+        val_len,
+        seed,
+    }
+    .generate();
+    let mut sim = SimContext::new();
+    let mut table = UnsizedTable::new(
+        UnsizedConfig {
+            seed,
+            ..UnsizedConfig::default()
+        },
+        &mut sim,
+    )
+    .expect("table construction");
+
+    let mut insert_ns = 0.0;
+    let mut insert_ops = 0u64;
+    for chunk in data.chunks(BATCH) {
+        let refs: Vec<(&[u8], &[u8])> = chunk
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let (report, m) = measure(&mut sim, |sim| table.insert_batch(sim, &refs));
+        report.expect("insert batch");
+        insert_ns += m.ns;
+        insert_ops += m.ops;
+    }
+    assert_eq!(table.len(), pairs as u64, "{}: inserts lost", dist.name());
+
+    let mut found = 0u64;
+    let (_, find_m) = measure(&mut sim, |sim| {
+        for chunk in data.chunks(BATCH) {
+            let keys: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_slice()).collect();
+            let got = table.find_batch(sim, &keys).expect("find batch");
+            found += got.iter().filter(|g| g.is_some()).count() as u64;
+        }
+    });
+    assert_eq!(found, pairs as u64, "{}: find-all missed keys", dist.name());
+
+    let stats = table.stats();
+    let out = Outcome {
+        pairs: pairs as u64,
+        insert_mops: insert_ops as f64 * 1000.0 / insert_ns,
+        find_mops: find_m.ops as f64 * 1000.0 / find_m.ns,
+        found,
+        find_metrics: find_m.metrics,
+        arena_pages: stats.arena_pages,
+        arena_live_bytes: stats.arena_live_bytes,
+        arena_frag_bytes: stats.arena_frag_bytes,
+        device_bytes: stats.device_bytes,
+    };
+    table.release(&mut sim).expect("release");
+    out
+}
+
+/// The u32 tier's find-all window over the same number of keys: the
+/// reference figure the all-inline unsized window must match exactly.
+fn u32_reference(pairs: usize, seed: u64) -> (Metrics, u64) {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(
+        Config {
+            seed,
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .expect("u32 table construction");
+    let keys: Vec<u32> = (1..=pairs as u32).collect();
+    for chunk in keys.chunks(BATCH) {
+        let kvs: Vec<(u32, u32)> = chunk.iter().map(|&k| (k, k | 1)).collect();
+        table.insert_batch(&mut sim, &kvs).expect("u32 insert");
+    }
+    let mut found = 0u64;
+    let (_, m) = measure(&mut sim, |sim| {
+        for chunk in keys.chunks(BATCH) {
+            found += table
+                .find_batch(sim, chunk)
+                .iter()
+                .filter(|g| g.is_some())
+                .count() as u64;
+        }
+    });
+    assert_eq!(found, pairs as u64, "u32 tier: find-all missed keys");
+    (m.metrics, found)
+}
+
+fn main() {
+    let mut tel = Telemetry::from_env();
+    let scale = scale();
+    let seed = seed();
+    let pairs = ((40_000.0 * scale).round() as usize).max(3_000);
+    println!(
+        "String-key sweep: UnsizedTable insert/find-all, {pairs} pairs, batch {BATCH}, \
+         distributions {{all_inline, mixed, all_spill}}"
+    );
+
+    let mut t = Table::new(&[
+        "key dist",
+        "pairs",
+        "insert Mops",
+        "find Mops",
+        "lines/probe",
+        "arena pages",
+        "arena live B",
+        "arena frag B",
+        "device KiB",
+    ]);
+    let mut outcomes: Vec<(LengthDist, Outcome)> = Vec::new();
+    for dist in LengthDist::STOCK {
+        let o = run_dist(dist, pairs, seed);
+        let labels = [("figure", "strkey_sweep"), ("dist", dist.name())];
+        let reg = tel.registry();
+        reg.counter("pairs", &labels, o.pairs);
+        reg.counter("found", &labels, o.found);
+        reg.counter("find_lookups", &labels, o.find_metrics.lookups);
+        reg.counter("find_read_tx", &labels, o.find_metrics.read_transactions);
+        reg.counter("arena_pages", &labels, o.arena_pages);
+        reg.counter("arena_live_bytes", &labels, o.arena_live_bytes);
+        reg.counter("arena_frag_bytes", &labels, o.arena_frag_bytes);
+        reg.counter("device_bytes", &labels, o.device_bytes);
+        t.row(vec![
+            dist.name().to_string(),
+            o.pairs.to_string(),
+            format!("{:.1}", o.insert_mops),
+            format!("{:.1}", o.find_mops),
+            format!("{:.3}", lines_per_probe(&o.find_metrics, o.found)),
+            o.arena_pages.to_string(),
+            o.arena_live_bytes.to_string(),
+            o.arena_frag_bytes.to_string(),
+            format!("{:.0}", o.device_bytes as f64 / 1024.0),
+        ]);
+        outcomes.push((dist, o));
+    }
+    t.print("String-key sweep: unsized-tier throughput and arena footprint vs key length");
+
+    // Self-checks — a failed assert exits nonzero, which is what CI wants.
+    let inline = &outcomes[0].1;
+    assert_eq!(
+        inline.find_metrics.read_transactions,
+        inline.find_metrics.lookups + inline.found,
+        "all-inline find-all must charge exactly one line per probe plus one per hit"
+    );
+    assert_eq!(
+        inline.find_metrics.random_read_transactions
+            + inline.find_metrics.dependent_read_transactions,
+        0,
+        "all-inline probes must never touch the arena"
+    );
+    assert_eq!(
+        (inline.arena_pages, inline.arena_live_bytes),
+        (0, 0),
+        "all-inline workload must allocate no arena pages"
+    );
+    let (u32_m, u32_found) = u32_reference(pairs, seed);
+    assert_eq!(
+        u32_m.read_transactions,
+        u32_m.lookups + u32_found,
+        "u32-tier find-all must satisfy the same one-line-per-probe identity"
+    );
+    assert_eq!(
+        lines_per_probe(&inline.find_metrics, inline.found),
+        lines_per_probe(&u32_m, u32_found),
+        "all-inline probe cost must equal the u32 tier's"
+    );
+    let spill = &outcomes[2].1;
+    assert!(
+        spill.arena_pages > 0 && spill.arena_live_bytes > 0,
+        "all-spill workload must live in the arena"
+    );
+    assert!(
+        lines_per_probe(&spill.find_metrics, spill.found)
+            >= lines_per_probe(&inline.find_metrics, inline.found),
+        "spilled probes cannot be cheaper than inline ones"
+    );
+    println!(
+        "\nAll-inline find-all: {:.3} lines/probe — identical to the u32 tier's {:.3}; \
+         the byte-key tier is free until a key actually spills.",
+        lines_per_probe(&inline.find_metrics, inline.found),
+        lines_per_probe(&u32_m, u32_found),
+    );
+    tel.finish();
+}

@@ -139,6 +139,8 @@ fn load_case(args: &Args) -> Result<Case, String> {
         inject_lock_elision: args.inject,
         layout: LayoutConfig::default(),
         migration_quantum: args.migration_quantum,
+        tier: kv_service::Tier::Fixed,
+        key_dist: workloads::LengthDist::Mixed,
         ops: gen_ops(args.seed, args.ops),
     })
 }

@@ -32,10 +32,11 @@ use std::fmt;
 use baselines::{
     Cudpp, DyCuckooTable, GpuHashTable, LinearProbing, MegaKv, ResizeBounds, SlabHash,
 };
-use dycuckoo::{Config, DupPolicy, WideDyCuckoo};
+use dycuckoo::{Config, DupPolicy, UnsizedConfig, UnsizedTable, WideDyCuckoo};
 use gpu_sim::explore::mix64;
 use gpu_sim::{LayoutConfig, SchedulePolicy, SimContext};
-use kv_service::{KvService, Op, Reply, ServiceConfig};
+use kv_service::{KvService, Op, Reply, ServiceConfig, Tier};
+use workloads::LengthDist;
 
 /// Which implementation a fuzz case drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,6 +122,17 @@ pub struct Case {
     /// manual `begin_upsize`/`migrate_quantum` pumps between batches — so
     /// the oracle checks every operation *mid-migration*.
     pub migration_quantum: usize,
+    /// Which table tier the case drives. [`Tier::Fixed`] (the default and
+    /// the historical shape) runs the per-target u32 oracles above;
+    /// [`Tier::Unsized`] widens the same op stream into byte-string
+    /// keys/values and drives a [`dycuckoo::UnsizedTable`] against a
+    /// `HashMap<Vec<u8>, Vec<u8>>` reference (the `target` field is
+    /// recorded in the artifact but does not select a runner).
+    pub tier: Tier,
+    /// Key-length distribution used to widen u32 keys into byte strings
+    /// when `tier` is unsized (ignored by the fixed tier). Repro artifacts
+    /// carry the stock distribution names.
+    pub key_dist: LengthDist,
     /// The operation sequence.
     pub ops: Vec<FuzzOp>,
 }
@@ -293,6 +305,9 @@ fn batches(ops: &[FuzzOp]) -> Vec<Batch> {
 /// Execute one case and check it against the reference model. `Ok` carries
 /// a deterministic execution digest; `Err` is an oracle violation.
 pub fn run_case(case: &Case) -> Result<Digest, Violation> {
+    if case.tier == Tier::Unsized {
+        return run_unsized_case(case);
+    }
     match case.target {
         Target::KvService => run_service_case(case),
         Target::WideDyCuckoo => run_wide_case(case),
@@ -534,6 +549,186 @@ fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
     Ok(d)
 }
 
+/// Widen a u32 fuzz key into a byte-string key. Injective: every key embeds
+/// its 8-hex-digit u32 as a prefix, so distinct fuzz keys can never collide
+/// whatever the random tail. The length follows the case's distribution
+/// keyed on the fuzz key itself, so the same key always widens identically.
+fn byte_key(case: &Case, k: u32) -> Vec<u8> {
+    let len = case.key_dist.key_len(case.workload_seed, k as u64);
+    let mut key = Vec::with_capacity(len);
+    for shift in (0..8).rev() {
+        key.push(b"0123456789abcdef"[((k >> (shift * 4)) & 0xF) as usize]);
+    }
+    let mut i = 0u64;
+    while key.len() < len {
+        let r = mix64(case.workload_seed ^ ((k as u64) << 8) ^ 0xF022_B17E ^ i);
+        for b in r.to_le_bytes() {
+            if key.len() == len {
+                break;
+            }
+            key.push(b'!' + (b % 94));
+        }
+        i += 1;
+    }
+    key
+}
+
+/// Widen a u32 fuzz value into a byte payload of 0..=23 bytes — straddling
+/// the 7-byte inline bound, so both value representations stay under test.
+/// A pure function of `(workload_seed, v)`, so the reference map can store
+/// and compare exact bytes.
+fn byte_val(case: &Case, v: u32) -> Vec<u8> {
+    let r = mix64(case.workload_seed ^ 0x5641_4C00 ^ v as u64);
+    let len = (r % 24) as usize;
+    let mut val = Vec::with_capacity(len);
+    let mut i = 0u64;
+    while val.len() < len {
+        let r = mix64(case.workload_seed ^ ((v as u64) << 8) ^ 0xDA7A_B17E ^ i);
+        for b in r.to_le_bytes() {
+            if val.len() == len {
+                break;
+            }
+            val.push(b);
+        }
+        i += 1;
+    }
+    val
+}
+
+/// The byte-KV oracle: widens the u32 op stream into byte-string keys and
+/// values and drives an [`UnsizedTable`] against a byte-exact reference
+/// map. Same batch discipline as the fixed oracles (insert batches never
+/// contain duplicate keys), same mid-migration interleaving (a finite
+/// quantum keeps a drain in flight across batches and the runner pumps it
+/// between batches), plus a structural `verify_integrity` sweep at the end
+/// so arena leaks or dangling spill handles fail the case even when every
+/// lookup agreed.
+fn run_unsized_case(case: &Case) -> Result<Digest, Violation> {
+    let mut sim = SimContext::new();
+    let cfg = UnsizedConfig {
+        n_buckets: 4,
+        seed: table_seed(case),
+        schedule: case.policy,
+        // Scheme and slot count sweep with the case; the word sizes are
+        // the tier's own (16-byte key word, 8-byte value word).
+        layout: LayoutConfig {
+            key_bytes: 16,
+            val_bytes: 8,
+            ..case.layout
+        },
+        max_load: 0.8,
+        migration_quantum: case.migration_quantum,
+        ..UnsizedConfig::default()
+    };
+    let mut table = UnsizedTable::new(cfg, &mut sim).map_err(setup_err)?;
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    let check = |when: &str,
+                 keys: &[Vec<u8>],
+                 got: &[Option<Vec<u8>>],
+                 model: &HashMap<Vec<u8>, Vec<u8>>|
+     -> Result<(), Violation> {
+        for (k, g) in keys.iter().zip(got) {
+            let want = model.get(k);
+            if g.as_ref() != want {
+                return Err(Violation::new(format!(
+                    "{when}: find({:?}) = {g:?}, reference says {want:?}",
+                    String::from_utf8_lossy(k)
+                )));
+            }
+        }
+        Ok(())
+    };
+    for (i, batch) in batches(&case.ops).into_iter().enumerate() {
+        match batch {
+            Batch::Insert(kvs) => {
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = kvs
+                    .iter()
+                    .map(|&(k, v)| (byte_key(case, k), byte_val(case, v)))
+                    .collect();
+                let refs: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                    .collect();
+                table
+                    .insert_batch(&mut sim, &refs)
+                    .map_err(|e| Violation::new(format!("insert batch {i} failed: {e}")))?;
+                for (k, v) in &pairs {
+                    model.insert(k.clone(), v.clone());
+                }
+                let keys: Vec<Vec<u8>> = pairs.into_iter().map(|(k, _)| k).collect();
+                let krefs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                let got = table
+                    .find_batch(&mut sim, &krefs)
+                    .map_err(|e| Violation::new(format!("readback after batch {i}: {e}")))?;
+                check(&format!("after insert batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Find(keys) => {
+                let keys: Vec<Vec<u8>> = keys.iter().map(|&k| byte_key(case, k)).collect();
+                let krefs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                let got = table
+                    .find_batch(&mut sim, &krefs)
+                    .map_err(|e| Violation::new(format!("find batch {i} failed: {e}")))?;
+                check(&format!("find batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Delete(keys) => {
+                let keys: Vec<Vec<u8>> = keys.iter().map(|&k| byte_key(case, k)).collect();
+                let krefs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                let mut want = 0u64;
+                for k in &keys {
+                    if model.remove(k).is_some() {
+                        want += 1;
+                    }
+                }
+                let (removed, _) = table
+                    .delete_batch(&mut sim, &krefs)
+                    .map_err(|e| Violation::new(format!("delete batch {i} failed: {e}")))?;
+                let got = removed.iter().filter(|&&r| r).count() as u64;
+                if got != want {
+                    return Err(Violation::new(format!(
+                        "delete batch {i}: erased {got} keys, reference says {want}"
+                    )));
+                }
+            }
+        }
+        // Find-only stretches would otherwise stall a drain forever under a
+        // finite quantum; pump like the service layer's idle ticks do.
+        if table.migration_in_flight() {
+            table
+                .pump_migration(&mut sim)
+                .map_err(|e| Violation::new(format!("migration pump after batch {i}: {e}")))?;
+        }
+    }
+    while table.migration_in_flight() {
+        table
+            .pump_migration(&mut sim)
+            .map_err(|e| Violation::new(format!("final migration drain: {e}")))?;
+    }
+    // Full final sweep in sorted key order (deterministic), plus a few
+    // never-inserted keys that must miss.
+    let mut keys: Vec<Vec<u8>> = model.keys().cloned().collect();
+    keys.sort_unstable();
+    keys.extend((1..=4u32).map(|i| byte_key(case, 0xFFF0_0000 + i)));
+    let krefs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let got = table
+        .find_batch(&mut sim, &krefs)
+        .map_err(|e| Violation::new(format!("final sweep failed: {e}")))?;
+    check("final sweep", &keys, &got, &model)?;
+    if table.len() != model.len() as u64 {
+        return Err(Violation::new(format!(
+            "final sweep: table.len() = {}, reference holds {} keys",
+            table.len(),
+            model.len()
+        )));
+    }
+    table
+        .verify_integrity()
+        .map_err(|e| Violation::new(format!("structural integrity after final sweep: {e}")))?;
+    let mut d = fold(3, sim.metrics.rounds);
+    d = fold(d, sim.metrics.lock_failures);
+    d = fold(d, table.len());
+    Ok(d)
+}
+
 fn run_service_case(case: &Case) -> Result<Digest, Violation> {
     let mut sim = SimContext::new();
     let seed = table_seed(case);
@@ -555,6 +750,7 @@ fn run_service_case(case: &Case) -> Result<Digest, Violation> {
         seed: mix64(seed ^ 0x0A11),
         migration_quantum: case.migration_quantum,
         flush_order: case.policy,
+        ..ServiceConfig::default()
     };
     let mut svc = KvService::new(cfg, &mut sim).map_err(setup_err)?;
     // Reference replies are fixed at submission time: a key always routes
@@ -692,6 +888,11 @@ impl Repro {
             "    migration_quantum: {},\n",
             self.case.migration_quantum
         ));
+        out.push_str(&format!("    tier: \"{}\",\n", self.case.tier.name()));
+        out.push_str(&format!(
+            "    key_dist: \"{}\",\n",
+            self.case.key_dist.name()
+        ));
         out.push_str(&format!(
             "    violation: \"{}\",\n",
             escape(&self.violation)
@@ -752,6 +953,35 @@ impl Repro {
                 usize::MAX
             }
         };
+        // Optional (absent in artifacts predating the unsized tier);
+        // absent means the fixed tier.
+        let mark = c.pos;
+        let tier = match c.ident() {
+            Ok(name) if name == "tier" => {
+                c.expect(':')?;
+                let tier_name = c.string()?;
+                c.expect(',')?;
+                Tier::from_name(&tier_name).ok_or_else(|| format!("unknown tier {tier_name:?}"))?
+            }
+            _ => {
+                c.pos = mark;
+                Tier::Fixed
+            }
+        };
+        let mark = c.pos;
+        let key_dist = match c.ident() {
+            Ok(name) if name == "key_dist" => {
+                c.expect(':')?;
+                let dist_name = c.string()?;
+                c.expect(',')?;
+                LengthDist::parse(&dist_name)
+                    .ok_or_else(|| format!("unknown key_dist {dist_name:?}"))?
+            }
+            _ => {
+                c.pos = mark;
+                LengthDist::Mixed
+            }
+        };
         c.field("violation")?;
         let violation = c.string()?;
         c.expect(',')?;
@@ -791,6 +1021,8 @@ impl Repro {
                 inject_lock_elision,
                 layout,
                 migration_quantum,
+                tier,
+                key_dist,
                 ops,
             },
             violation,
@@ -960,6 +1192,8 @@ mod tests {
             inject_lock_elision: false,
             layout: LayoutConfig::default(),
             migration_quantum: usize::MAX,
+            tier: Tier::Fixed,
+            key_dist: LengthDist::Mixed,
             ops: gen_ops(1, 96),
         };
         let a = run_case(&case).expect("no violation");
@@ -981,6 +1215,8 @@ mod tests {
                     inject_lock_elision: false,
                     layout: LayoutConfig::default(),
                     migration_quantum: quantum,
+                    tier: Tier::Fixed,
+                    key_dist: LengthDist::Mixed,
                     ops: gen_ops(5, 160),
                 };
                 let a = run_case(&case)
@@ -1000,6 +1236,8 @@ mod tests {
             inject_lock_elision: false,
             layout: LayoutConfig::default(),
             migration_quantum: usize::MAX,
+            tier: Tier::Fixed,
+            key_dist: LengthDist::Mixed,
             ops: gen_ops(3, 96),
         };
         let rev = Case {
@@ -1022,6 +1260,8 @@ mod tests {
                 inject_lock_elision: true,
                 layout: LayoutConfig::default(),
                 migration_quantum: 64,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
                 ops: vec![FuzzOp::Insert(1, 2), FuzzOp::Find(1), FuzzOp::Delete(1)],
             },
             violation: "find(1) = None, reference says Some(2) — a \"lost\" key\\".to_string(),
@@ -1043,6 +1283,8 @@ mod tests {
                 inject_lock_elision: false,
                 layout: LayoutConfig::default(),
                 migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
                 ops: vec![FuzzOp::Insert(3, 4)],
             },
             violation: "x".to_string(),
@@ -1070,6 +1312,8 @@ mod tests {
                 inject_lock_elision: false,
                 layout: LayoutConfig::default(),
                 migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
                 ops: vec![],
             },
             violation: String::new(),
@@ -1084,5 +1328,111 @@ mod tests {
             assert_eq!(Target::from_name(t.name()), Some(t));
         }
         assert_eq!(Target::from_name("bogus"), None);
+    }
+
+    fn unsized_case(dist: LengthDist, quantum: usize, n: usize) -> Case {
+        Case {
+            target: Target::DyCuckoo,
+            policy: SchedulePolicy::FixedOrder,
+            workload_seed: 11,
+            inject_lock_elision: false,
+            layout: LayoutConfig::default(),
+            migration_quantum: quantum,
+            tier: Tier::Unsized,
+            key_dist: dist,
+            ops: gen_ops(11, n),
+        }
+    }
+
+    /// The byte-KV oracle passes under every stock length distribution and
+    /// produces a stable digest.
+    #[test]
+    fn unsized_oracle_passes_on_every_stock_distribution() {
+        for dist in LengthDist::STOCK {
+            let case = unsized_case(dist, usize::MAX, 128);
+            let a = run_case(&case).unwrap_or_else(|v| panic!("{}: {v}", dist.name()));
+            let b = run_case(&case).expect("second run");
+            assert_eq!(a, b, "{}", dist.name());
+        }
+    }
+
+    /// A finite quantum keeps an arena-backed drain in flight across
+    /// batches; every lookup is still byte-exact mid-migration.
+    #[test]
+    fn unsized_oracle_passes_mid_migration() {
+        for quantum in [1usize, 4] {
+            let case = unsized_case(LengthDist::Mixed, quantum, 192);
+            let a = run_case(&case).unwrap_or_else(|v| panic!("quantum={quantum}: {v}"));
+            let b = run_case(&case).expect("second run");
+            assert_eq!(a, b, "quantum={quantum}");
+        }
+    }
+
+    /// Widened keys must stay injective: the oracle's reference map keys on
+    /// exact bytes, so a collision would silently weaken every check.
+    #[test]
+    fn byte_widening_is_injective_and_distribution_shaped() {
+        let case = unsized_case(LengthDist::Mixed, usize::MAX, 0);
+        let mut seen = HashSet::new();
+        for k in 1..=4096u32 {
+            assert!(seen.insert(byte_key(&case, k)), "key {k} collided");
+        }
+        assert!(seen.iter().any(|k| k.len() <= 12), "no inline keys");
+        assert!(seen.iter().any(|k| k.len() > 12), "no spilled keys");
+        let vals: HashSet<usize> = (1..=512u32).map(|v| byte_val(&case, v).len()).collect();
+        assert!(vals.iter().any(|&l| l <= 7), "no inline values");
+        assert!(vals.iter().any(|&l| l > 7), "no spilled values");
+    }
+
+    #[test]
+    fn ron_roundtrips_unsized_tier() {
+        let repro = Repro {
+            case: Case {
+                target: Target::DyCuckoo,
+                policy: SchedulePolicy::Reversed,
+                workload_seed: 17,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: 8,
+                tier: Tier::Unsized,
+                key_dist: LengthDist::AllSpill,
+                ops: vec![FuzzOp::Insert(9, 9), FuzzOp::Delete(9)],
+            },
+            violation: "arena leak".to_string(),
+        };
+        let text = repro.to_ron();
+        assert!(text.contains("tier: \"unsized\""));
+        assert!(text.contains("key_dist: \"all_spill\""));
+        let back = Repro::from_ron(&text).expect("parse");
+        assert_eq!(back, repro);
+    }
+
+    /// Artifacts written before the unsized tier existed still parse (the
+    /// tier defaults to fixed, the distribution to mixed).
+    #[test]
+    fn ron_accepts_legacy_artifacts_without_tier_fields() {
+        let repro = Repro {
+            case: Case {
+                target: Target::KvService,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 6,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: 32,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                ops: vec![FuzzOp::Find(7)],
+            },
+            violation: "y".to_string(),
+        };
+        let text: String = repro
+            .to_ron()
+            .lines()
+            .filter(|l| !l.contains("tier:") && !l.contains("key_dist:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(!text.contains("tier"));
+        let back = Repro::from_ron(&text).expect("legacy artifact must parse");
+        assert_eq!(back, repro);
     }
 }

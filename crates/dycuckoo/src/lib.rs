@@ -36,6 +36,7 @@ pub mod stats;
 pub mod subtable;
 pub mod table;
 pub mod two_layer;
+pub mod unsized_kv;
 pub mod wide;
 
 pub use config::{Config, Coordination, Distribution, DupPolicy, Layering, BUCKET_SLOTS};
@@ -43,4 +44,5 @@ pub use error::{Error, Result};
 pub use resize::ResizeOp;
 pub use stats::{SubTableStats, TableStats};
 pub use table::{buckets_for_load, mixed_bucket_sizes, BatchReport, DyCuckoo, ResizeEvent};
+pub use unsized_kv::{UnsizedConfig, UnsizedReport, UnsizedStats, UnsizedTable};
 pub use wide::WideDyCuckoo;

@@ -1,0 +1,486 @@
+//! The slab byte-arena: page-granular storage for spilled key/value bytes.
+//!
+//! Every byte string too long for its slot word lives here. The arena is a
+//! pool of fixed-size **pages**, each backed by a
+//! [`gpu_sim::engine::SlotStore`]`<u32, u32>` (8 payload bytes per slot,
+//! packed four into the key word and four into the value word), so the
+//! arena's device footprint is layout-derived like every other store in
+//! the workspace. Blobs larger than a page get a dedicated page sized to
+//! the blob.
+//!
+//! * **Allocation** is bump-pointer within the open page; an exact-fit
+//!   free list (one bucket per block length) is consulted first so deleted
+//!   blobs are reused before fresh page space is consumed.
+//! * **Deletion** returns the block to the free list and accounts it as
+//!   fragmentation until reused. A page whose bump space is exhausted and
+//!   whose live bytes drop to zero is released back to the device — this
+//!   is how migration drains arena pages: re-homing each moved entry's
+//!   blob frees its old block, and fully-dead pages evaporate.
+//! * **Accounting**: `live_bytes + frag_bytes + unbumped tail = capacity`
+//!   per page; [`ByteArena::verify`] recomputes all three from a table's
+//!   live handles and the free list, and checks blocks never overlap.
+//!
+//! Arena traffic is charged at the call sites via [`charge_blob_read`] /
+//! [`charge_blob_write`] — `ceil(len / 128)` line transactions, matching
+//! the [`SlotStore`] convention of call-site accounting.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::engine::LINE_BYTES;
+use gpu_sim::{RoundCtx, SlotStore};
+
+use super::encoding::{SpillRef, MAX_BLOB_LEN, MAX_PAGES, MAX_PAGE_OFF};
+
+/// Default payload bytes per arena page.
+pub const PAGE_BYTES: u32 = 4096;
+
+/// Line transactions a blob of `len` bytes costs to stream.
+#[inline]
+pub fn blob_lines(len: u32) -> u64 {
+    (len as u64).div_ceil(LINE_BYTES).max(1)
+}
+
+/// Charge reading a blob of `len` bytes.
+#[inline]
+pub fn charge_blob_read(ctx: &mut RoundCtx, len: u32) {
+    for _ in 0..blob_lines(len) {
+        ctx.read_line();
+    }
+}
+
+/// Charge writing a blob of `len` bytes.
+#[inline]
+pub fn charge_blob_write(ctx: &mut RoundCtx, len: u32) {
+    for _ in 0..blob_lines(len) {
+        ctx.write_line();
+    }
+}
+
+/// One arena page: a slot store plus its bump/occupancy accounting.
+#[derive(Debug)]
+struct Page {
+    store: SlotStore<u32, u32>,
+    /// Payload capacity in bytes (slot count × 8).
+    capacity: u32,
+    /// Next unallocated byte.
+    bump: u32,
+    /// Bytes referenced by live handles.
+    live: u64,
+    /// Freed bytes awaiting reuse.
+    frag: u64,
+}
+
+impl Page {
+    fn new(capacity: u32) -> Self {
+        debug_assert_eq!(capacity % 8, 0);
+        Self {
+            store: SlotStore::new(capacity as usize / 8),
+            capacity,
+            bump: 0,
+            live: 0,
+            frag: 0,
+        }
+    }
+
+    fn device_bytes(&self) -> u64 {
+        self.store.device_bytes()
+    }
+
+    #[inline]
+    fn read_byte(&self, i: u32) -> u8 {
+        let (slot, j) = ((i / 8) as usize, i % 8);
+        if j < 4 {
+            (self.store.key(slot) >> (8 * j)) as u8
+        } else {
+            (self.store.val(slot) >> (8 * (j - 4))) as u8
+        }
+    }
+
+    #[inline]
+    fn write_byte(&mut self, i: u32, b: u8) {
+        let (slot, j) = ((i / 8) as usize, i % 8);
+        if j < 4 {
+            let w = self.store.key(slot) & !(0xFFu32 << (8 * j));
+            self.store.set_key(slot, w | (b as u32) << (8 * j));
+        } else {
+            let w = self.store.val(slot) & !(0xFFu32 << (8 * (j - 4)));
+            self.store.set_val(slot, w | (b as u32) << (8 * (j - 4)));
+        }
+    }
+}
+
+/// The slab byte-arena. One per [`super::UnsizedTable`].
+#[derive(Debug)]
+pub struct ByteArena {
+    /// Page table; released pages leave `None` holes that are reused.
+    pages: Vec<Option<Page>>,
+    /// Indices of released page slots.
+    free_pages: Vec<u32>,
+    /// Exact-fit free list: block length → blocks of that length.
+    free_blocks: BTreeMap<u32, Vec<SpillRef>>,
+    /// The page currently bump-allocated from.
+    open: Option<u32>,
+    /// Payload bytes per regular page.
+    page_bytes: u32,
+    live_bytes: u64,
+    frag_bytes: u64,
+    /// Device bytes of all live pages (mirrors `sim.device` allocations at
+    /// batch boundaries — see [`super::UnsizedTable`]'s ledger sync).
+    ledger_bytes: u64,
+}
+
+impl ByteArena {
+    /// An empty arena with the given page payload size (bytes, multiple of
+    /// 8, at most the handle's in-page offset bound).
+    pub fn new(page_bytes: u32) -> Self {
+        assert!(page_bytes >= 8 && page_bytes.is_multiple_of(8));
+        assert!(page_bytes <= MAX_PAGE_OFF);
+        Self {
+            pages: Vec::new(),
+            free_pages: Vec::new(),
+            free_blocks: BTreeMap::new(),
+            open: None,
+            page_bytes,
+            live_bytes: 0,
+            frag_bytes: 0,
+            ledger_bytes: 0,
+        }
+    }
+
+    /// Live (non-released) pages.
+    pub fn pages(&self) -> u64 {
+        self.pages.iter().filter(|p| p.is_some()).count() as u64
+    }
+
+    /// Bytes referenced by live handles.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Freed bytes awaiting reuse (the fragmentation gauge).
+    pub fn frag_bytes(&self) -> u64 {
+        self.frag_bytes
+    }
+
+    /// Device bytes of all live pages.
+    pub fn device_bytes(&self) -> u64 {
+        self.ledger_bytes
+    }
+
+    fn page(&self, idx: u32) -> &Page {
+        self.pages[idx as usize]
+            .as_ref()
+            .expect("handle into released arena page")
+    }
+
+    fn page_mut(&mut self, idx: u32) -> &mut Page {
+        self.pages[idx as usize]
+            .as_mut()
+            .expect("handle into released arena page")
+    }
+
+    fn add_page(&mut self, capacity: u32) -> u32 {
+        let page = Page::new(capacity);
+        self.ledger_bytes += page.device_bytes();
+        let idx = match self.free_pages.pop() {
+            Some(i) => {
+                self.pages[i as usize] = Some(page);
+                i
+            }
+            None => {
+                self.pages.push(Some(page));
+                (self.pages.len() - 1) as u32
+            }
+        };
+        assert!((idx as u64) < MAX_PAGES as u64, "arena page index overflow");
+        idx
+    }
+
+    fn write_blob(&mut self, r: SpillRef, bytes: &[u8]) {
+        let page = self.page_mut(r.page);
+        for (i, &b) in bytes.iter().enumerate() {
+            page.write_byte(r.off + i as u32, b);
+        }
+    }
+
+    /// Store `bytes` (1..=[`MAX_BLOB_LEN`] long) and return its handle.
+    pub fn alloc(&mut self, bytes: &[u8]) -> SpillRef {
+        let len = bytes.len() as u32;
+        assert!(!bytes.is_empty() && bytes.len() <= MAX_BLOB_LEN);
+        // Exact-fit reuse of a freed block first.
+        if let Some(blocks) = self.free_blocks.get_mut(&len) {
+            let r = blocks.pop().expect("empty free-list bucket");
+            if blocks.is_empty() {
+                self.free_blocks.remove(&len);
+            }
+            self.page_mut(r.page).frag -= len as u64;
+            self.page_mut(r.page).live += len as u64;
+            self.frag_bytes -= len as u64;
+            self.live_bytes += len as u64;
+            self.write_blob(r, bytes);
+            return r;
+        }
+        let idx = if len > self.page_bytes {
+            // Oversized blob: a dedicated page sized to the blob.
+            self.add_page(len.div_ceil(8) * 8)
+        } else {
+            match self.open {
+                Some(i) if self.page(i).bump + len <= self.page(i).capacity => i,
+                _ => {
+                    let i = self.add_page(self.page_bytes);
+                    self.open = Some(i);
+                    i
+                }
+            }
+        };
+        let page = self.page_mut(idx);
+        let r = SpillRef {
+            page: idx,
+            off: page.bump,
+            len,
+        };
+        page.bump += len;
+        page.live += len as u64;
+        self.live_bytes += len as u64;
+        self.write_blob(r, bytes);
+        r
+    }
+
+    /// Release the block behind `r`. The bytes become fragmentation until
+    /// an equal-length allocation reuses them; a fully-consumed page whose
+    /// last live block dies is released entirely.
+    pub fn free(&mut self, r: SpillRef) {
+        let page = self.page_mut(r.page);
+        debug_assert!(r.off + r.len <= page.bump, "freeing an unallocated block");
+        page.live -= r.len as u64;
+        page.frag += r.len as u64;
+        self.live_bytes -= r.len as u64;
+        self.frag_bytes += r.len as u64;
+        let dead = {
+            let page = self.page(r.page);
+            page.live == 0 && page.bump == page.capacity
+        };
+        if dead {
+            self.release_page(r.page);
+        } else {
+            self.free_blocks.entry(r.len).or_default().push(r);
+        }
+    }
+
+    fn release_page(&mut self, idx: u32) {
+        let page = self.pages[idx as usize]
+            .take()
+            .expect("releasing a released page");
+        self.ledger_bytes -= page.device_bytes();
+        self.frag_bytes -= page.frag;
+        debug_assert_eq!(page.live, 0);
+        self.free_blocks.retain(|_, blocks| {
+            blocks.retain(|b| b.page != idx);
+            !blocks.is_empty()
+        });
+        if self.open == Some(idx) {
+            self.open = None;
+        }
+        self.free_pages.push(idx);
+    }
+
+    /// Read the blob behind `r`.
+    pub fn read(&self, r: SpillRef) -> Vec<u8> {
+        let page = self.page(r.page);
+        (r.off..r.off + r.len).map(|i| page.read_byte(i)).collect()
+    }
+
+    /// Whether the blob behind `r` equals `needle` byte for byte.
+    pub fn bytes_eq(&self, r: SpillRef, needle: &[u8]) -> bool {
+        if r.len as usize != needle.len() {
+            return false;
+        }
+        let page = self.page(r.page);
+        needle
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| page.read_byte(r.off + i as u32) == b)
+    }
+
+    /// Check the arena against the set of handles a table holds live:
+    /// per-page byte accounting, block bounds, free-list/fragmentation
+    /// agreement, and that no two blocks (live or free) overlap.
+    pub fn verify(&self, live: &[SpillRef]) -> Result<(), String> {
+        let mut per_page: BTreeMap<u32, Vec<(u32, u32, bool)>> = BTreeMap::new();
+        for r in live {
+            per_page
+                .entry(r.page)
+                .or_default()
+                .push((r.off, r.len, true));
+        }
+        for blocks in self.free_blocks.values() {
+            for r in blocks {
+                per_page
+                    .entry(r.page)
+                    .or_default()
+                    .push((r.off, r.len, false));
+            }
+        }
+        let (mut live_sum, mut frag_sum, mut ledger_sum) = (0u64, 0u64, 0u64);
+        for (idx, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else {
+                if per_page.contains_key(&(idx as u32)) {
+                    return Err(format!("blocks reference released page {idx}"));
+                }
+                continue;
+            };
+            ledger_sum += page.device_bytes();
+            if page.bump > page.capacity {
+                return Err(format!("page {idx} bump past capacity"));
+            }
+            let mut blocks = per_page.remove(&(idx as u32)).unwrap_or_default();
+            blocks.sort_unstable();
+            let (mut end, mut live_here, mut frag_here) = (0u32, 0u64, 0u64);
+            for (off, len, is_live) in blocks {
+                if off < end {
+                    return Err(format!("overlapping blocks in page {idx} at {off}"));
+                }
+                if off + len > page.bump {
+                    return Err(format!("block past bump in page {idx} at {off}"));
+                }
+                end = off + len;
+                if is_live {
+                    live_here += len as u64;
+                } else {
+                    frag_here += len as u64;
+                }
+            }
+            if live_here != page.live || frag_here != page.frag {
+                return Err(format!(
+                    "page {idx} accounting drift: live {live_here} vs {}, frag {frag_here} vs {}",
+                    page.live, page.frag
+                ));
+            }
+            if page.live + page.frag > page.bump as u64 {
+                return Err(format!("page {idx} holds more bytes than it bumped"));
+            }
+            live_sum += live_here;
+            frag_sum += frag_here;
+        }
+        if !per_page.is_empty() {
+            return Err("blocks reference pages beyond the page table".into());
+        }
+        if live_sum != self.live_bytes || frag_sum != self.frag_bytes {
+            return Err(format!(
+                "arena totals drift: live {live_sum} vs {}, frag {frag_sum} vs {}",
+                self.live_bytes, self.frag_bytes
+            ));
+        }
+        if ledger_sum != self.ledger_bytes {
+            return Err(format!(
+                "arena ledger drift: {ledger_sum} vs {}",
+                self.ledger_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(len: usize, tag: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31) ^ tag).collect()
+    }
+
+    #[test]
+    fn alloc_read_round_trips_across_slots_and_pages() {
+        let mut a = ByteArena::new(64);
+        let b1 = blob(13, 1);
+        let b2 = blob(40, 2);
+        let b3 = blob(20, 3); // spills to a second page (13 + 40 + 20 > 64)
+        let (r1, r2, r3) = (a.alloc(&b1), a.alloc(&b2), a.alloc(&b3));
+        assert_eq!(a.read(r1), b1);
+        assert_eq!(a.read(r2), b2);
+        assert_eq!(a.read(r3), b3);
+        assert!(a.bytes_eq(r2, &b2));
+        assert!(!a.bytes_eq(r2, &b1));
+        assert_eq!(a.pages(), 2);
+        assert_eq!(a.live_bytes(), 73);
+        assert_eq!(a.frag_bytes(), 0);
+        a.verify(&[r1, r2, r3]).unwrap();
+    }
+
+    #[test]
+    fn free_list_reuses_exact_fit_blocks() {
+        let mut a = ByteArena::new(64);
+        let r1 = a.alloc(&blob(24, 1));
+        let _r2 = a.alloc(&blob(24, 2));
+        a.free(r1);
+        assert_eq!(a.frag_bytes(), 24);
+        let r3 = a.alloc(&blob(24, 3));
+        assert_eq!((r3.page, r3.off), (r1.page, r1.off), "exact-fit reuse");
+        assert_eq!(a.frag_bytes(), 0);
+        assert_eq!(a.read(r3), blob(24, 3));
+        a.verify(&[_r2, r3]).unwrap();
+    }
+
+    #[test]
+    fn fully_dead_consumed_pages_are_released() {
+        let mut a = ByteArena::new(32);
+        let r1 = a.alloc(&blob(32, 1)); // fills page 0 exactly
+        let r2 = a.alloc(&blob(32, 2)); // fills page 1
+        assert_eq!(a.pages(), 2);
+        let held = a.device_bytes();
+        a.free(r1);
+        assert_eq!(a.pages(), 1, "dead consumed page released");
+        assert!(a.device_bytes() < held);
+        assert_eq!(a.frag_bytes(), 0, "released page carries no frag");
+        // The released page slot is reused by the next page.
+        let r3 = a.alloc(&blob(32, 3));
+        assert_eq!(r3.page, r1.page);
+        a.verify(&[r2, r3]).unwrap();
+    }
+
+    #[test]
+    fn oversized_blobs_get_dedicated_pages() {
+        let mut a = ByteArena::new(64);
+        let big = blob(1000, 9);
+        let r = a.alloc(&big);
+        assert_eq!(r.off, 0);
+        assert_eq!(a.read(r), big);
+        assert_eq!(a.pages(), 1);
+        assert_eq!(a.device_bytes(), 1000u64.div_ceil(8) * 8);
+        a.free(r);
+        assert_eq!(a.pages(), 0);
+        assert_eq!(a.device_bytes(), 0);
+        a.verify(&[]).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_a_forged_handle() {
+        let mut a = ByteArena::new(64);
+        let r = a.alloc(&blob(16, 1));
+        let forged = SpillRef {
+            page: r.page,
+            off: r.off + 8,
+            len: 16,
+        };
+        assert!(a.verify(&[r, forged]).is_err(), "overlap must be caught");
+        assert!(a
+            .verify(&[SpillRef {
+                page: 7,
+                off: 0,
+                len: 4
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn charging_is_line_granular() {
+        let mut m = gpu_sim::Metrics::default();
+        let mut ctx = RoundCtx::new(&mut m);
+        charge_blob_read(&mut ctx, 1);
+        charge_blob_read(&mut ctx, 129);
+        charge_blob_write(&mut ctx, 300);
+        ctx.finish();
+        assert_eq!(m.read_transactions, 1 + 2);
+        assert_eq!(m.write_transactions, 3);
+    }
+}

@@ -1,0 +1,395 @@
+//! Inline-or-spill slot encodings for the unsized tier.
+//!
+//! Each entry of an [`super::UnsizedTable`] occupies one fixed-width bucket
+//! slot: a 16-byte **key word** and an 8-byte **value word**. Short byte
+//! strings are stored *inline* in the word itself; longer ones *spill* into
+//! the byte arena and the word holds a `(len, page, off)` handle plus a
+//! 16-bit fingerprint. The two encodings are distinguished by the low tag
+//! byte, whose ranges are disjoint by construction:
+//!
+//! | tag byte        | meaning                                   |
+//! |-----------------|-------------------------------------------|
+//! | `0`             | empty slot (the store's all-zero sentinel)|
+//! | `len + 1`       | inline payload of `len` bytes             |
+//! | `0xFF`          | spill handle into the arena               |
+//!
+//! Key word (`u128`), inline (`len ≤ 12`):
+//!
+//! ```text
+//! bits   0..8    8..104        104..128
+//!        tag     key bytes     zero
+//! ```
+//!
+//! Key word, spill (`len > 12`):
+//!
+//! ```text
+//! bits   0..8   8..24   24..40   40..64   64..80   80..128
+//!        0xFF   fp      len      page     off      h48
+//! ```
+//!
+//! The spill word carries the low 48 bits of the key's hash (`h48`) so an
+//! eviction chain can re-route a spilled key to its other candidate bucket
+//! **without dereferencing the arena** — bucket choice is a pure function
+//! of `h48`. The fingerprint is the *high* 16 bits of the hash, independent
+//! of `h48`, and rejects non-matching spilled keys from the bucket line
+//! before any arena read (the two-lookup bound).
+//!
+//! Value word (`u64`), inline (`len ≤ 7`): tag then up to 7 payload bytes.
+//! Value word, spill: `0xFF | len:u16 | page:u24 | off:u16`.
+//!
+//! Because inline tags are `1..=13` (keys) / `1..=8` (values) and the spill
+//! tag is `0xFF`, no inline encoding can collide with a spill handle or
+//! with the empty sentinel — the prefix-freedom the property tests pin.
+
+/// Longest key stored inline in the 16-byte key word.
+pub const INLINE_KEY_MAX: usize = 12;
+/// Longest value stored inline in the 8-byte value word.
+pub const INLINE_VAL_MAX: usize = 7;
+/// Tag byte marking a spill handle.
+pub const SPILL_TAG: u8 = 0xFF;
+/// Longest byte string either word can address (the handle's 16-bit len).
+pub const MAX_BLOB_LEN: usize = u16::MAX as usize;
+/// Exclusive bound on the handle's 24-bit page index.
+pub const MAX_PAGES: u32 = 1 << 24;
+/// Exclusive bound on the handle's 16-bit in-page byte offset.
+pub const MAX_PAGE_OFF: u32 = 1 << 16;
+
+/// A block of spilled bytes in the arena: page index, byte offset within
+/// the page, and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpillRef {
+    /// Arena page index.
+    pub page: u32,
+    /// Byte offset within the page.
+    pub off: u32,
+    /// Block length in bytes.
+    pub len: u32,
+}
+
+/// FNV-1a over the key bytes: the 64-bit hash every per-subtable bucket
+/// derivation and the fingerprint are drawn from.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// The low 48 bits of a key hash — what bucket derivation consumes and
+/// what a spill key word stores.
+#[inline]
+pub fn h48(hash: u64) -> u64 {
+    hash & 0xFFFF_FFFF_FFFF
+}
+
+/// The 16-bit fingerprint: the high bits of the hash, independent of
+/// [`h48`].
+#[inline]
+pub fn fingerprint(hash: u64) -> u16 {
+    (hash >> 48) as u16
+}
+
+/// A decoded key word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyRepr {
+    /// The key bytes live in the word itself.
+    Inline {
+        /// Key length (≤ [`INLINE_KEY_MAX`]).
+        len: u8,
+        /// Payload, zero-padded.
+        bytes: [u8; INLINE_KEY_MAX],
+    },
+    /// The key bytes live in the arena.
+    Spill {
+        /// Hash fingerprint (pre-arena reject filter).
+        fp: u16,
+        /// Arena block holding the key bytes.
+        blob: SpillRef,
+        /// Low 48 hash bits (bucket derivation without an arena read).
+        h48: u64,
+    },
+}
+
+impl KeyRepr {
+    /// The inline payload as a slice, if inline.
+    pub fn inline_bytes(&self) -> Option<&[u8]> {
+        match self {
+            KeyRepr::Inline { len, bytes } => Some(&bytes[..*len as usize]),
+            KeyRepr::Spill { .. } => None,
+        }
+    }
+
+    /// The arena block, if spilled.
+    pub fn spill(&self) -> Option<SpillRef> {
+        match self {
+            KeyRepr::Inline { .. } => None,
+            KeyRepr::Spill { blob, .. } => Some(*blob),
+        }
+    }
+}
+
+/// Encode a short key inline. Panics if `bytes` exceeds
+/// [`INLINE_KEY_MAX`].
+pub fn encode_inline_key(bytes: &[u8]) -> u128 {
+    assert!(bytes.len() <= INLINE_KEY_MAX, "inline key too long");
+    let mut w = bytes.len() as u128 + 1;
+    for (i, &b) in bytes.iter().enumerate() {
+        w |= (b as u128) << (8 + 8 * i);
+    }
+    w
+}
+
+/// Encode a spilled key: fingerprint + arena handle + `h48`.
+pub fn encode_spill_key(fp: u16, blob: SpillRef, h48: u64) -> u128 {
+    assert!(blob.len as usize <= MAX_BLOB_LEN, "spill key too long");
+    assert!(blob.page < MAX_PAGES, "arena page index overflow");
+    assert!(blob.off < MAX_PAGE_OFF, "arena page offset overflow");
+    debug_assert_eq!(h48 >> 48, 0, "h48 wider than 48 bits");
+    SPILL_TAG as u128
+        | (fp as u128) << 8
+        | (blob.len as u128) << 24
+        | (blob.page as u128) << 40
+        | (blob.off as u128) << 64
+        | (h48 as u128) << 80
+}
+
+/// Decode a non-empty key word. Panics on the empty sentinel or a
+/// malformed tag (both indicate corruption, which `verify_integrity`
+/// surfaces as an error instead).
+pub fn decode_key(w: u128) -> KeyRepr {
+    let tag = (w & 0xFF) as u8;
+    assert_ne!(tag, 0, "decoding the empty key sentinel");
+    if tag == SPILL_TAG {
+        KeyRepr::Spill {
+            fp: (w >> 8) as u16,
+            blob: SpillRef {
+                len: (w >> 24) as u16 as u32,
+                page: ((w >> 40) & 0xFF_FFFF) as u32,
+                off: (w >> 64) as u16 as u32,
+            },
+            h48: ((w >> 80) & 0xFFFF_FFFF_FFFF) as u64,
+        }
+    } else {
+        let len = tag - 1;
+        assert!(len as usize <= INLINE_KEY_MAX, "malformed inline key tag");
+        let mut bytes = [0u8; INLINE_KEY_MAX];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (w >> (8 + 8 * i)) as u8;
+        }
+        KeyRepr::Inline { len, bytes }
+    }
+}
+
+/// A decoded value word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValRepr {
+    /// The value bytes live in the word itself.
+    Inline {
+        /// Value length (≤ [`INLINE_VAL_MAX`]).
+        len: u8,
+        /// Payload, zero-padded.
+        bytes: [u8; INLINE_VAL_MAX],
+    },
+    /// The value bytes live in the arena.
+    Spill(SpillRef),
+}
+
+impl ValRepr {
+    /// The arena block, if spilled.
+    pub fn spill(&self) -> Option<SpillRef> {
+        match self {
+            ValRepr::Inline { .. } => None,
+            ValRepr::Spill(blob) => Some(*blob),
+        }
+    }
+}
+
+/// Encode a short value inline. Panics if `bytes` exceeds
+/// [`INLINE_VAL_MAX`].
+pub fn encode_inline_val(bytes: &[u8]) -> u64 {
+    assert!(bytes.len() <= INLINE_VAL_MAX, "inline value too long");
+    let mut w = bytes.len() as u64 + 1;
+    for (i, &b) in bytes.iter().enumerate() {
+        w |= (b as u64) << (8 + 8 * i);
+    }
+    w
+}
+
+/// Encode a spilled value handle.
+pub fn encode_spill_val(blob: SpillRef) -> u64 {
+    assert!(blob.len as usize <= MAX_BLOB_LEN, "spill value too long");
+    assert!(blob.page < MAX_PAGES, "arena page index overflow");
+    assert!(blob.off < MAX_PAGE_OFF, "arena page offset overflow");
+    SPILL_TAG as u64 | (blob.len as u64) << 8 | (blob.page as u64) << 24 | (blob.off as u64) << 48
+}
+
+/// Decode a non-empty value word (panics on the empty sentinel or a
+/// malformed tag, as [`decode_key`] does).
+pub fn decode_val(w: u64) -> ValRepr {
+    let tag = (w & 0xFF) as u8;
+    assert_ne!(tag, 0, "decoding the empty value sentinel");
+    if tag == SPILL_TAG {
+        ValRepr::Spill(SpillRef {
+            len: (w >> 8) as u16 as u32,
+            page: ((w >> 24) & 0xFF_FFFF) as u32,
+            off: (w >> 48) as u16 as u32,
+        })
+    } else {
+        let len = tag - 1;
+        assert!(len as usize <= INLINE_VAL_MAX, "malformed inline value tag");
+        let mut bytes = [0u8; INLINE_VAL_MAX];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (w >> (8 + 8 * i)) as u8;
+        }
+        ValRepr::Inline { len, bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inline_key_round_trips_all_lengths() {
+        for len in 0..=INLINE_KEY_MAX {
+            let bytes: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37) ^ 0xA5).collect();
+            let w = encode_inline_key(&bytes);
+            match decode_key(w) {
+                KeyRepr::Inline { len: l, bytes: b } => {
+                    assert_eq!(l as usize, len);
+                    assert_eq!(&b[..len], &bytes[..]);
+                }
+                other => panic!("inline key decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spill_key_round_trips_fields() {
+        let blob = SpillRef {
+            page: 0xAB_CDEF,
+            off: 0xBEEF,
+            len: 4321,
+        };
+        let w = encode_spill_key(0x1234, blob, 0x0DEA_DBEE_F123);
+        match decode_key(w) {
+            KeyRepr::Spill { fp, blob: b, h48 } => {
+                assert_eq!(fp, 0x1234);
+                assert_eq!(b, blob);
+                assert_eq!(h48, 0x0DEA_DBEE_F123);
+            }
+            other => panic!("spill key decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_words_round_trip() {
+        for len in 0..=INLINE_VAL_MAX {
+            let bytes: Vec<u8> = (0..len as u8).map(|i| 0xF0 ^ i).collect();
+            match decode_val(encode_inline_val(&bytes)) {
+                ValRepr::Inline { len: l, bytes: b } => {
+                    assert_eq!(l as usize, len);
+                    assert_eq!(&b[..len], &bytes[..]);
+                }
+                other => panic!("inline value decoded as {other:?}"),
+            }
+        }
+        let blob = SpillRef {
+            page: 7,
+            off: 4088,
+            len: 65535,
+        };
+        assert_eq!(decode_val(encode_spill_val(blob)), ValRepr::Spill(blob));
+    }
+
+    #[test]
+    fn fingerprint_and_h48_partition_the_hash() {
+        let h = hash_bytes(b"the quick brown fox");
+        assert_eq!((fingerprint(h) as u64) << 48 | h48(h), h);
+    }
+
+    proptest! {
+        /// The tentpole property: encoding round-trips for every length
+        /// 0..=64 and is prefix-free — an inline word can never equal a
+        /// spill word (disjoint tags) nor the empty sentinel.
+        #[test]
+        fn keyrepr_round_trips_and_is_prefix_free(
+            len in 0usize..=64,
+            seed in any::<u64>(),
+        ) {
+            let bytes: Vec<u8> = (0..len)
+                .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (8 * (i % 8))) as u8)
+                .collect();
+            let hash = hash_bytes(&bytes);
+            if len <= INLINE_KEY_MAX {
+                let w = encode_inline_key(&bytes);
+                prop_assert_ne!(w, 0u128, "inline word must not be the empty sentinel");
+                prop_assert_ne!((w & 0xFF) as u8, SPILL_TAG);
+                match decode_key(w) {
+                    KeyRepr::Inline { len: l, bytes: b } => {
+                        prop_assert_eq!(l as usize, len);
+                        prop_assert_eq!(&b[..len], &bytes[..]);
+                    }
+                    other => prop_assert!(false, "decoded as {:?}", other),
+                }
+                // Prefix-freedom: no spill word with any handle can equal
+                // this inline word, because their tag bytes differ.
+                let blob = SpillRef { page: (seed % 100) as u32, off: (seed % 4096) as u32, len: len.max(13) as u32 };
+                let s = encode_spill_key(fingerprint(hash), blob, h48(hash));
+                prop_assert_ne!(w, s, "inline/spill bit patterns must be disjoint");
+            } else {
+                let blob = SpillRef { page: (seed % 1000) as u32, off: (seed % 4096) as u32, len: len as u32 };
+                let w = encode_spill_key(fingerprint(hash), blob, h48(hash));
+                prop_assert_eq!((w & 0xFF) as u8, SPILL_TAG);
+                match decode_key(w) {
+                    KeyRepr::Spill { fp, blob: b, h48: h } => {
+                        prop_assert_eq!(fp, fingerprint(hash));
+                        prop_assert_eq!(b, blob);
+                        prop_assert_eq!(h, h48(hash));
+                    }
+                    other => prop_assert!(false, "decoded as {:?}", other),
+                }
+            }
+        }
+
+        /// Value words obey the same tag discipline.
+        #[test]
+        fn valrepr_round_trips_and_is_prefix_free(
+            len in 0usize..=64,
+            seed in any::<u64>(),
+        ) {
+            let bytes: Vec<u8> = (0..len).map(|i| (seed >> (8 * (i % 8))) as u8).collect();
+            if len <= INLINE_VAL_MAX {
+                let w = encode_inline_val(&bytes);
+                prop_assert_ne!(w, 0u64);
+                prop_assert_ne!((w & 0xFF) as u8, SPILL_TAG);
+                match decode_val(w) {
+                    ValRepr::Inline { len: l, bytes: b } => {
+                        prop_assert_eq!(l as usize, len);
+                        prop_assert_eq!(&b[..len], &bytes[..]);
+                    }
+                    other => prop_assert!(false, "decoded as {:?}", other),
+                }
+            } else {
+                let blob = SpillRef { page: (seed % 1000) as u32, off: (seed % 4096) as u32, len: len as u32 };
+                let w = encode_spill_val(blob);
+                prop_assert_eq!(decode_val(w), ValRepr::Spill(blob));
+            }
+        }
+
+        /// Distinct inline keys produce distinct words (the word IS the
+        /// identity for short keys, so bucket scans need no byte compare).
+        #[test]
+        fn inline_encoding_is_injective(a in 0u64..1 << 20, b in 0u64..1 << 20) {
+            let ka = a.to_le_bytes();
+            let kb = b.to_le_bytes();
+            let wa = encode_inline_key(&ka);
+            let wb = encode_inline_key(&kb);
+            prop_assert_eq!(a == b, wa == wb);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The **unsized tier**: byte-string keys and values on the same engine.
+//!
+//! The fixed tier stores `u32 → u32`. This module stores `&[u8] → &[u8]`
+//! without giving up the paper's guarantees, by splitting every entry into
+//! a fixed-width bucket slot plus (when needed) a handle into a slab byte
+//! arena:
+//!
+//! * [`encoding`] — the slot-word formats. A key becomes one 16-byte word:
+//!   keys of ≤ 12 bytes are stored **inline** (probes compare whole words,
+//!   zero arena traffic); longer keys spill their bytes and the word keeps
+//!   a `(fingerprint, len, page, offset)` handle plus 48 routing-hash bits.
+//!   Values get the same treatment in an 8-byte word (inline ≤ 7 bytes).
+//!   The encodings are prefix-free: no inline word can collide with a
+//!   spill handle's bit pattern (property-tested).
+//! * [`arena`] — a slab allocator over [`gpu_sim::SlotStore`] pages that
+//!   owns every spilled byte. Pages are bump-allocated, freed blocks are
+//!   kept on an exact-fit free list, fragmentation is accounted and the
+//!   whole structure is auditable against the live handle set.
+//! * [`table`] — [`UnsizedTable`]: two-subtable cuckoo hashing over the
+//!   slot words, with voter-coordinated insert kernels, warp-centric
+//!   finds, incremental grow migration that drains arena pages alongside
+//!   buckets, and full ledger/integrity verification.
+//!
+//! The bound that matters: a lookup costs one bucket probe per candidate
+//! subtable (two total), and a spilled key's bytes are only dereferenced
+//! after its 16-bit fingerprint and length already matched in the bucket
+//! line — so the two-lookup bound of the fixed tier carries over, and the
+//! all-inline case charges exactly the same lines per probe as the u32
+//! tier (asserted by `bench --bin strkey_sweep`).
+
+pub mod arena;
+pub mod encoding;
+pub mod table;
+
+pub use arena::{ByteArena, PAGE_BYTES};
+pub use encoding::{KeyRepr, SpillRef, ValRepr, INLINE_KEY_MAX, INLINE_VAL_MAX, MAX_BLOB_LEN};
+pub use table::{UnsizedConfig, UnsizedReport, UnsizedStats, UnsizedTable};

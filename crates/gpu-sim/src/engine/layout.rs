@@ -164,7 +164,7 @@ pub struct LayoutConfig {
     pub scheme: LayoutScheme,
     /// Slots per bucket (8, 16 or 32).
     pub slots: usize,
-    /// Bytes per key (4 or 8).
+    /// Bytes per key (4, 8 or 16).
     pub key_bytes: u64,
     /// Bytes per value (4 or 8).
     pub val_bytes: u64,
@@ -199,8 +199,10 @@ impl LayoutConfig {
         }
     }
 
-    /// Validate the geometry: bucket widths are swept over 8/16/32 slots
-    /// and key/value words are 4 or 8 bytes.
+    /// Validate the geometry: bucket widths are swept over 8/16/32 slots,
+    /// key words are 4, 8 or 16 bytes (16 is the unsized tier's packed
+    /// `(tag, fingerprint, inline-or-handle)` slot word) and value words
+    /// are 4 or 8 bytes.
     pub fn validate(&self) -> Result<(), String> {
         if !matches!(self.slots, 8 | 16 | 32) {
             return Err(format!(
@@ -208,9 +210,9 @@ impl LayoutConfig {
                 self.slots
             ));
         }
-        if !matches!(self.key_bytes, 4 | 8) || !matches!(self.val_bytes, 4 | 8) {
+        if !matches!(self.key_bytes, 4 | 8 | 16) || !matches!(self.val_bytes, 4 | 8) {
             return Err(format!(
-                "layout key/value bytes must be 4 or 8, got {}/{}",
+                "layout key bytes must be 4, 8 or 16 and value bytes 4 or 8, got {}/{}",
                 self.key_bytes, self.val_bytes
             ));
         }
@@ -450,6 +452,20 @@ mod tests {
         assert!(LayoutConfig::soa(12, 4, 4).validate().is_err());
         assert!(LayoutConfig::soa(32, 3, 4).validate().is_err());
         assert!(LayoutConfig::aos(16, 4, 16).validate().is_err());
+    }
+
+    #[test]
+    fn unsized_tier_layout_matches_the_u32_tier_charging() {
+        // SoA-8 with 16-byte slot words: 8 × 16 B = one full key line, so
+        // the unsized tier's probe costs exactly what the default u32
+        // tier's does — the invariant the strkey-sweep snapshot pins.
+        let l = LayoutConfig::soa(8, 16, 8);
+        assert!(l.validate().is_ok());
+        assert_eq!(l.probe_lines(), LayoutConfig::default().probe_lines());
+        assert_eq!(l.value_read_lines(), 1);
+        assert_eq!(l.bucket_stride_bytes(), 128 + 64);
+        let m = charges(|ctx| l.charge_probe(ctx));
+        assert_eq!((m.read_transactions, m.lookups), (1, 1));
     }
 
     #[test]

@@ -43,6 +43,11 @@ impl SlotWord for u64 {
     const BYTES: u64 = 8;
 }
 
+impl SlotWord for u128 {
+    const EMPTY: Self = 0;
+    const BYTES: u64 = 16;
+}
+
 /// A bucketized key/value store with per-bucket locks.
 ///
 /// The logical structure (which bucket holds which pair) is independent of

@@ -93,6 +93,13 @@ impl AdmissionPolicy {
         if op.key() == 0 {
             return Err(AdmitError::ZeroKey);
         }
+        self.admit_depth(shard, depth, op.is_read())
+    }
+
+    /// The depth-only half of [`AdmissionPolicy::admit`]: byte-string keys
+    /// have no reserved sentinel, so the unsized tier's admission is just
+    /// the queue bounds.
+    pub fn admit_depth(&self, shard: usize, depth: usize, is_read: bool) -> Result<(), AdmitError> {
         if depth >= self.queue_capacity {
             return Err(AdmitError::Overloaded {
                 shard,
@@ -100,7 +107,7 @@ impl AdmissionPolicy {
                 capacity: self.queue_capacity,
             });
         }
-        if depth >= self.shed_watermark && op.is_read() {
+        if depth >= self.shed_watermark && is_read {
             return Err(AdmitError::Shed {
                 shard,
                 depth,
@@ -195,6 +202,22 @@ mod tests {
     #[test]
     fn zero_key_rejected_before_anything_else() {
         assert_eq!(policy().admit(0, 0, &Op::Get(0)), Err(AdmitError::ZeroKey));
+    }
+
+    #[test]
+    fn depth_only_admission_has_no_key_sentinel() {
+        let p = policy();
+        // Same bounds as the keyed path...
+        assert!(p.admit_depth(0, 0, true).is_ok());
+        assert!(matches!(
+            p.admit_depth(2, 6, true),
+            Err(AdmitError::Shed { shard: 2, .. })
+        ));
+        assert!(p.admit_depth(2, 6, false).is_ok());
+        assert!(matches!(
+            p.admit_depth(2, 8, false),
+            Err(AdmitError::Overloaded { shard: 2, .. })
+        ));
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //!   simulated latency, shed counts, and resize stalls; [`Snapshot`]
 //!   renders them as aligned text or CSV, bit-identically across runs.
 //!
+//! * With `ServiceConfig::tier = Tier::Unsized`, each shard additionally
+//!   owns a [`dycuckoo::UnsizedTable`] serving byte-string keys/values
+//!   through [`KvService::submit_bytes`] — same router independence, same
+//!   bounded queues, same size-or-deadline batching, with arena gauges
+//!   joining the registry only once byte traffic has actually flowed.
+//!
 //! The closed-loop load generator lives in
 //! `crates/bench/src/bin/service_load.rs`.
 
@@ -46,6 +52,6 @@ mod service;
 
 pub use admission::{AdmissionPolicy, AdmitError};
 pub use metrics::{LatencyHistogram, ServiceMetrics, ShardMetrics, Snapshot, SnapshotRow};
-pub use request::{Completion, Op, Reply};
+pub use request::{ByteCompletion, ByteOp, ByteReply, Completion, Op, Reply};
 pub use router::ShardRouter;
-pub use service::{KvService, ServiceConfig, ServiceError};
+pub use service::{KvService, ServiceConfig, ServiceError, Tier};

@@ -158,6 +158,16 @@ pub struct ShardMetrics {
     /// observation — a gauge, not a counter; summed across shards in
     /// totals (each shard has at most one migration in flight).
     pub migration_backlog: u64,
+    /// Byte-tier (unsized) flush windows executed. Always 0 with
+    /// `Tier::Fixed` — this is what gates the arena gauges' registration.
+    pub byte_batches: u64,
+    /// Arena slab pages held by the shard's unsized table at the last
+    /// observation (gauge; totals sum to the service-wide footprint).
+    pub arena_pages: u64,
+    /// Arena bytes referenced by live spill handles (gauge).
+    pub arena_live_bytes: u64,
+    /// Arena bytes freed but not yet reused — fragmentation (gauge).
+    pub arena_frag_bytes: u64,
     /// Deepest queue observed.
     pub max_queue_depth: usize,
     /// Simulated nanoseconds spent executing this shard's kernels
@@ -191,6 +201,10 @@ impl ShardMetrics {
         self.migration_chunks += other.migration_chunks;
         self.migration_moved += other.migration_moved;
         self.migration_backlog += other.migration_backlog;
+        self.byte_batches += other.byte_batches;
+        self.arena_pages += other.arena_pages;
+        self.arena_live_bytes += other.arena_live_bytes;
+        self.arena_frag_bytes += other.arena_frag_bytes;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.service_ns += other.service_ns;
         self.latency.merge(&other.latency);
@@ -266,6 +280,24 @@ impl ShardMetrics {
                 "service_migration_backlog",
                 labels,
                 self.migration_backlog as f64,
+            );
+        }
+        // Likewise, the unsized tier's arena gauges appear only once the
+        // byte-op path has flushed a batch, so fixed-tier registries (and
+        // every pinned telemetry snapshot) keep their exact historical
+        // shape.
+        if self.byte_batches > 0 {
+            reg.counter("service_byte_batches", labels, self.byte_batches);
+            reg.gauge("service_arena_pages", labels, self.arena_pages as f64);
+            reg.gauge(
+                "service_arena_live_bytes",
+                labels,
+                self.arena_live_bytes as f64,
+            );
+            reg.gauge(
+                "service_arena_frag_bytes",
+                labels,
+                self.arena_frag_bytes as f64,
             );
         }
         reg.gauge(
@@ -638,6 +670,39 @@ mod tests {
         assert_eq!(
             reg.get_gauge("service_migration_backlog", &labels),
             Some(7.0)
+        );
+    }
+
+    #[test]
+    fn arena_gauges_register_only_when_byte_tier_active() {
+        let labels = [("shard", "0")];
+        // Fixed tier (no byte batches): exactly the pinned 25 entries.
+        let idle = ShardMetrics::default();
+        let mut reg = obs::Registry::new();
+        idle.register_into(&mut reg, &labels);
+        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.get_counter("service_byte_batches", &labels), None);
+        assert_eq!(reg.get_gauge("service_arena_pages", &labels), None);
+        // A shard that flushed byte batches grows the registry by 4.
+        let active = ShardMetrics {
+            byte_batches: 2,
+            arena_pages: 3,
+            arena_live_bytes: 900,
+            arena_frag_bytes: 60,
+            ..ShardMetrics::default()
+        };
+        let mut reg = obs::Registry::new();
+        active.register_into(&mut reg, &labels);
+        assert_eq!(reg.len(), 29);
+        assert_eq!(reg.get_counter("service_byte_batches", &labels), Some(2));
+        assert_eq!(reg.get_gauge("service_arena_pages", &labels), Some(3.0));
+        assert_eq!(
+            reg.get_gauge("service_arena_live_bytes", &labels),
+            Some(900.0)
+        );
+        assert_eq!(
+            reg.get_gauge("service_arena_frag_bytes", &labels),
+            Some(60.0)
         );
     }
 

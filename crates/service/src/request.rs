@@ -72,6 +72,77 @@ pub(crate) struct Pending {
     pub submitted_tick: u64,
 }
 
+/// A byte-string operation for the unsized tier
+/// (`ServiceConfig::tier = Tier::Unsized`). Keys and values are arbitrary
+/// byte strings — including empty ones — up to the tier's blob bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteOp {
+    /// Read the value of a key.
+    Get(Vec<u8>),
+    /// Insert or update a key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Remove a key.
+    Delete(Vec<u8>),
+}
+
+impl ByteOp {
+    /// The key this operation addresses (what the router shards on).
+    pub fn key(&self) -> &[u8] {
+        match self {
+            ByteOp::Get(k) | ByteOp::Put(k, _) | ByteOp::Delete(k) => k,
+        }
+    }
+
+    /// Whether this is a read (reads are shed first under pressure).
+    pub fn is_read(&self) -> bool {
+        matches!(self, ByteOp::Get(_))
+    }
+}
+
+/// The answer to one completed byte-string operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteReply {
+    /// Get result: the value's bytes, or `None` for a miss.
+    Value(Option<Vec<u8>>),
+    /// Put acknowledged (inserted or updated).
+    Stored,
+    /// Delete acknowledged; `true` if the key existed.
+    Deleted(bool),
+}
+
+/// A finished byte-string request, handed back to the submitting client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteCompletion {
+    /// Service-assigned request id (shared sequence with the fixed tier).
+    pub id: u64,
+    /// The submitting logical client.
+    pub client: u32,
+    /// The key the request addressed.
+    pub key: Vec<u8>,
+    /// The answer.
+    pub reply: ByteReply,
+    /// Simulated tick at which the request was admitted.
+    pub submitted_tick: u64,
+    /// Simulated tick at which its batch flushed.
+    pub completed_tick: u64,
+}
+
+impl ByteCompletion {
+    /// Queueing + batching latency in simulated ticks.
+    pub fn latency_ticks(&self) -> u64 {
+        self.completed_tick - self.submitted_tick
+    }
+}
+
+/// A byte-string request sitting in a shard's byte queue.
+#[derive(Debug, Clone)]
+pub(crate) struct BytePending {
+    pub id: u64,
+    pub client: u32,
+    pub op: ByteOp,
+    pub submitted_tick: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +155,29 @@ mod tests {
         assert!(Op::Get(1).is_read());
         assert!(!Op::Put(1, 2).is_read());
         assert!(!Op::Delete(1).is_read());
+    }
+
+    #[test]
+    fn byte_op_key_and_read_classification() {
+        assert_eq!(ByteOp::Get(b"k".to_vec()).key(), b"k");
+        assert_eq!(ByteOp::Put(b"ab".to_vec(), b"v".to_vec()).key(), b"ab");
+        assert_eq!(ByteOp::Delete(Vec::new()).key(), b"");
+        assert!(ByteOp::Get(Vec::new()).is_read());
+        assert!(!ByteOp::Put(Vec::new(), Vec::new()).is_read());
+        assert!(!ByteOp::Delete(Vec::new()).is_read());
+    }
+
+    #[test]
+    fn byte_completion_latency_is_tick_delta() {
+        let c = ByteCompletion {
+            id: 1,
+            client: 2,
+            key: b"spam".to_vec(),
+            reply: ByteReply::Deleted(true),
+            submitted_tick: 3,
+            completed_tick: 9,
+        };
+        assert_eq!(c.latency_ticks(), 6);
     }
 
     #[test]

@@ -57,6 +57,22 @@ impl ShardRouter {
         }
         (splitmix64(self.seed ^ key as u64) >> (64 - self.bits)) as usize
     }
+
+    /// The shard owning byte-string `key` (unsized tier): FNV-1a over the
+    /// bytes, folded into the same router-seeded splitmix stream as
+    /// [`ShardRouter::shard_of`] — so byte routing inherits the same
+    /// independence from every table's hash parameters.
+    pub fn shard_of_bytes(&self, key: &[u8]) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (splitmix64(self.seed ^ h) >> (64 - self.bits)) as usize
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +126,27 @@ mod tests {
     fn single_shard_routes_everything_to_zero() {
         let r = ShardRouter::new(1, 9).unwrap();
         assert!((1..100u32).all(|k| r.shard_of(k) == 0));
+        assert_eq!(r.shard_of_bytes(b"anything"), 0);
+    }
+
+    #[test]
+    fn byte_routing_is_deterministic_and_balanced() {
+        let r = ShardRouter::new(8, 42).unwrap();
+        let mut counts = [0u32; 8];
+        let n = 80_000u32;
+        for k in 0..n {
+            let key = format!("key-{k:08x}");
+            let s = r.shard_of_bytes(key.as_bytes());
+            assert!(s < 8);
+            assert_eq!(s, r.shard_of_bytes(key.as_bytes()));
+            counts[s] += 1;
+        }
+        let expect = n / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 9 / 10 && c < expect * 11 / 10,
+                "shard {i}: {c} keys vs expected {expect}"
+            );
+        }
     }
 }

@@ -20,17 +20,52 @@
 //! per-flush counters and then summed), after which the window is merged
 //! back into the caller's running totals.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use dycuckoo::hashfn::splitmix64;
-use dycuckoo::{Config, DyCuckoo};
+use dycuckoo::unsized_kv::MAX_BLOB_LEN;
+use dycuckoo::{Config, DyCuckoo, UnsizedConfig, UnsizedReport, UnsizedTable};
 use gpu_sim::{CostModel, SchedulePolicy, SimContext};
 
 use crate::admission::{AdmissionPolicy, AdmitError};
 use crate::batcher::{plan_flush, PlannedReply};
 use crate::metrics::{ServiceMetrics, Snapshot, SnapshotRow};
-use crate::request::{Completion, Op, Pending, Reply};
+use crate::request::{
+    ByteCompletion, ByteOp, BytePending, ByteReply, Completion, Op, Pending, Reply,
+};
 use crate::router::ShardRouter;
+
+/// Which key/value shape the service's byte-op API serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// `u32 → u32` only (the historical shape): byte operations are
+    /// refused with [`ServiceError::TierDisabled`] and no unsized state
+    /// is allocated, so every fixed-tier code path and snapshot is
+    /// byte-identical to a service built before this tier existed.
+    Fixed,
+    /// Byte-string keys and values via one [`UnsizedTable`] per shard,
+    /// alongside (not replacing) the fixed-tier tables.
+    Unsized,
+}
+
+impl Tier {
+    /// CLI / artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Fixed => "fixed",
+            Tier::Unsized => "unsized",
+        }
+    }
+
+    /// Inverse of [`Tier::name`].
+    pub fn from_name(name: &str) -> Option<Tier> {
+        match name {
+            "fixed" => Some(Tier::Fixed),
+            "unsized" => Some(Tier::Unsized),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of a [`KvService`].
 #[derive(Debug, Clone)]
@@ -64,6 +99,14 @@ pub struct ServiceConfig {
     /// sweeps non-fixed orders to prove exactly that. Benchmarks keep the
     /// default fixed order.
     pub flush_order: SchedulePolicy,
+    /// Which tier the byte-op API serves. The default [`Tier::Fixed`]
+    /// allocates no unsized state and leaves the `u32` pipeline untouched.
+    pub tier: Tier,
+    /// Per-shard unsized-table configuration (used only when `tier` is
+    /// [`Tier::Unsized`]). Each shard derives its own seed from this one,
+    /// and [`ServiceConfig::migration_quantum`] overrides the embedded
+    /// quantum exactly as it does for the fixed tables.
+    pub unsized_table: UnsizedConfig,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +121,8 @@ impl Default for ServiceConfig {
             seed: 0x5E1C_E000,
             migration_quantum: usize::MAX,
             flush_order: SchedulePolicy::FixedOrder,
+            tier: Tier::Fixed,
+            unsized_table: UnsizedConfig::default(),
         }
     }
 }
@@ -86,6 +131,9 @@ impl ServiceConfig {
     /// Validate the composite configuration.
     pub fn validate(&self) -> Result<(), ServiceError> {
         self.table.validate().map_err(ServiceError::Table)?;
+        if self.tier == Tier::Unsized {
+            self.unsized_table.validate()?;
+        }
         if self.max_batch == 0 {
             return Err(ServiceError::InvalidConfig(
                 "max_batch must be positive".to_string(),
@@ -120,6 +168,19 @@ pub enum ServiceError {
     InvalidConfig(String),
     /// An underlying table operation failed.
     Table(dycuckoo::Error),
+    /// A byte-tier admission refusal (the fixed-tier [`KvService::submit`]
+    /// returns the inner [`AdmitError`] directly).
+    Admit(AdmitError),
+    /// A byte operation reached a service built with [`Tier::Fixed`].
+    TierDisabled,
+    /// A submitted key or value exceeds the unsized tier's blob bound
+    /// (checked at submission so a flush can never fail on user data).
+    OversizedBlob {
+        /// The offending blob's length.
+        len: usize,
+        /// The bound it exceeded.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -127,6 +188,19 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::InvalidConfig(msg) => write!(f, "invalid service config: {msg}"),
             ServiceError::Table(e) => write!(f, "table error: {e}"),
+            ServiceError::Admit(e) => write!(f, "byte-tier admission refused: {e}"),
+            ServiceError::TierDisabled => {
+                write!(
+                    f,
+                    "byte operations require ServiceConfig::tier = Tier::Unsized"
+                )
+            }
+            ServiceError::OversizedBlob { len, max } => {
+                write!(
+                    f,
+                    "blob of {len} bytes exceeds the unsized tier's bound of {max}"
+                )
+            }
         }
     }
 }
@@ -139,10 +213,15 @@ impl From<dycuckoo::Error> for ServiceError {
     }
 }
 
-/// One shard: an independent table plus its request queue.
+/// One shard: an independent table plus its request queue (and, when the
+/// unsized tier is enabled, an independent byte-string table and queue).
 struct Shard {
     table: DyCuckoo,
     queue: VecDeque<Pending>,
+    /// Byte-tier table — `None` unless `tier: Tier::Unsized`.
+    unsized_table: Option<UnsizedTable>,
+    /// Byte-tier queue, flushed by the same size-or-deadline rule.
+    byte_queue: VecDeque<BytePending>,
 }
 
 /// A sharded, batching KV service over DyCuckoo tables.
@@ -152,6 +231,7 @@ pub struct KvService {
     admission: AdmissionPolicy,
     shards: Vec<Shard>,
     completions: VecDeque<Completion>,
+    byte_completions: VecDeque<ByteCompletion>,
     metrics: ServiceMetrics,
     clock: u64,
     next_id: u64,
@@ -170,9 +250,22 @@ impl KvService {
                 migration_quantum: cfg.migration_quantum,
                 ..cfg.table
             };
+            let unsized_table = match cfg.tier {
+                Tier::Fixed => None,
+                Tier::Unsized => {
+                    let ucfg = UnsizedConfig {
+                        seed: splitmix64(cfg.unsized_table.seed ^ (0x5B17_E000 + i as u64)),
+                        migration_quantum: cfg.migration_quantum,
+                        ..cfg.unsized_table
+                    };
+                    Some(UnsizedTable::new(ucfg, sim)?)
+                }
+            };
             shards.push(Shard {
                 table: DyCuckoo::new(table_cfg, sim)?,
                 queue: VecDeque::new(),
+                unsized_table,
+                byte_queue: VecDeque::new(),
             });
         }
         let metrics = ServiceMetrics::new(cfg.shards);
@@ -183,6 +276,7 @@ impl KvService {
             admission,
             shards,
             completions: VecDeque::new(),
+            byte_completions: VecDeque::new(),
             metrics,
             clock: 0,
             next_id: 0,
@@ -243,6 +337,57 @@ impl KvService {
         Ok(id)
     }
 
+    /// Submit one byte-string operation on behalf of `client`. Requires
+    /// `tier: Tier::Unsized`. Blob lengths are validated here so a flush
+    /// can never fail on user data; admission runs against the shard's
+    /// byte queue with the same bounds as the fixed path, and refusals
+    /// are counted into the same shed metrics.
+    pub fn submit_bytes(&mut self, client: u32, op: ByteOp) -> Result<u64, ServiceError> {
+        if self.cfg.tier != Tier::Unsized {
+            return Err(ServiceError::TierDisabled);
+        }
+        let longest = match &op {
+            ByteOp::Put(k, v) => k.len().max(v.len()),
+            ByteOp::Get(k) | ByteOp::Delete(k) => k.len(),
+        };
+        if longest > MAX_BLOB_LEN {
+            return Err(ServiceError::OversizedBlob {
+                len: longest,
+                max: MAX_BLOB_LEN,
+            });
+        }
+        let shard = self.router.shard_of_bytes(op.key());
+        let m = &mut self.metrics.per_shard[shard];
+        m.submitted += 1;
+        let depth = self.shards[shard].byte_queue.len();
+        if let Err(e) = self.admission.admit_depth(shard, depth, op.is_read()) {
+            match e {
+                AdmitError::Overloaded { .. } => m.shed_overloaded += 1,
+                AdmitError::Shed { .. } => m.shed_reads += 1,
+                AdmitError::ZeroKey => {}
+            }
+            if obs::is_enabled() {
+                obs::emit(obs::Event::Shed {
+                    shard: shard as u32,
+                    depth: depth as u32,
+                    hard: matches!(e, AdmitError::Overloaded { .. }),
+                });
+            }
+            return Err(ServiceError::Admit(e));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.shards[shard].byte_queue.push_back(BytePending {
+            id,
+            client,
+            op,
+            submitted_tick: self.clock,
+        });
+        m.admitted += 1;
+        m.max_queue_depth = m.max_queue_depth.max(depth + 1);
+        Ok(id)
+    }
+
     /// Backpressure signal in `[0, 1]` for the shard owning `key`.
     pub fn pressure_for(&self, key: u32) -> f64 {
         let shard = self.router.shard_of(key);
@@ -252,6 +397,11 @@ impl KvService {
     /// Current queue depth of every shard.
     pub fn queue_depths(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.queue.len()).collect()
+    }
+
+    /// Current byte-queue depth of every shard (all zero with `Tier::Fixed`).
+    pub fn byte_queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.byte_queue.len()).collect()
     }
 
     /// Advance the simulated clock one tick, flushing **at most one batch
@@ -282,6 +432,27 @@ impl KvService {
             }
             completed += self.flush(shard, sim)?;
         }
+        if self.cfg.tier == Tier::Unsized {
+            for shard in self.shard_visit_order() {
+                let queue = &self.shards[shard].byte_queue;
+                let by_size = queue.len() >= self.cfg.max_batch;
+                let by_deadline = queue
+                    .front()
+                    .is_some_and(|p| self.clock - p.submitted_tick >= self.cfg.max_delay_ticks);
+                if !by_size && !by_deadline {
+                    continue;
+                }
+                let m = &mut self.metrics.per_shard[shard];
+                m.batches += 1;
+                m.byte_batches += 1;
+                if by_size {
+                    m.flush_by_size += 1;
+                } else {
+                    m.flush_by_deadline += 1;
+                }
+                completed += self.flush_bytes(shard, sim)?;
+            }
+        }
         self.pump_migrations(sim)?;
         Ok(completed)
     }
@@ -311,6 +482,43 @@ impl KvService {
             m.migration_backlog = backlog;
             m.resize_events += report.resizes.len() as u64;
         }
+        // Unsized-tier drains pump on the same cadence. This loop runs
+        // second, so a shard with both tiers mid-migration settles the
+        // backlog gauge at the combined figure.
+        for shard in 0..self.shards.len() {
+            let in_flight = self.shards[shard]
+                .unsized_table
+                .as_ref()
+                .is_some_and(|t| t.migration_in_flight());
+            if !in_flight {
+                continue;
+            }
+            let saved = sim.take_metrics();
+            let outcome = self.shards[shard]
+                .unsized_table
+                .as_mut()
+                .expect("checked in flight")
+                .pump_migration(sim);
+            let window_metrics = sim.take_metrics();
+            let pump_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
+            sim.metrics = saved;
+            sim.metrics.merge(&window_metrics);
+            let report = outcome?;
+            let stats = self.shards[shard]
+                .unsized_table
+                .as_ref()
+                .expect("checked in flight")
+                .stats();
+            let fixed_backlog = self.shards[shard].table.migration_backlog();
+            let m = &mut self.metrics.per_shard[shard];
+            m.service_ns += pump_ns;
+            m.migration_chunks += 1;
+            m.migration_moved += report.migrated_kvs;
+            m.migration_backlog = fixed_backlog + stats.migration_backlog;
+            m.arena_pages = stats.arena_pages;
+            m.arena_live_bytes = stats.arena_live_bytes;
+            m.arena_frag_bytes = stats.arena_frag_bytes;
+        }
         Ok(())
     }
 
@@ -325,6 +533,13 @@ impl KvService {
                 self.metrics.per_shard[shard].batches += 1;
                 self.metrics.per_shard[shard].flush_by_deadline += 1;
                 completed += self.flush(shard, sim)?;
+            }
+            while !self.shards[shard].byte_queue.is_empty() {
+                let m = &mut self.metrics.per_shard[shard];
+                m.batches += 1;
+                m.byte_batches += 1;
+                m.flush_by_deadline += 1;
+                completed += self.flush_bytes(shard, sim)?;
             }
         }
         Ok(completed)
@@ -447,15 +662,139 @@ impl KvService {
         Ok(window.len())
     }
 
+    /// Execute one byte-tier flush window for `shard`. The window is cut
+    /// into maximal runs of one op kind, each run becomes one kernel
+    /// batch (runs execute in submission order, so a read after a write
+    /// of the same key observes it), and duplicate keys inside a put run
+    /// coalesce to the last write. Kernel time is charged on an isolated
+    /// metrics window exactly like the fixed-tier flush.
+    fn flush_bytes(&mut self, shard: usize, sim: &mut SimContext) -> Result<usize, ServiceError> {
+        let window_len = self.shards[shard].byte_queue.len().min(self.cfg.max_batch);
+        let window: Vec<BytePending> = self.shards[shard].byte_queue.drain(..window_len).collect();
+        let recording = obs::is_enabled();
+        if recording {
+            // Plan counts for the span: raw reads/deletes, deduped puts.
+            let (mut probes, mut puts, mut coalesced, mut deletes) = (0u32, 0u32, 0u32, 0u32);
+            let mut seen: HashSet<&[u8]> = HashSet::new();
+            let mut in_put_run = false;
+            for p in &window {
+                match &p.op {
+                    ByteOp::Put(k, _) => {
+                        if !in_put_run {
+                            seen.clear();
+                            in_put_run = true;
+                        }
+                        if seen.insert(k.as_slice()) {
+                            puts += 1;
+                        } else {
+                            coalesced += 1;
+                        }
+                    }
+                    ByteOp::Get(_) => {
+                        probes += 1;
+                        in_put_run = false;
+                    }
+                    ByteOp::Delete(_) => {
+                        deletes += 1;
+                        in_put_run = false;
+                    }
+                }
+            }
+            obs::span_begin(obs::Event::BatchFlush {
+                shard: shard as u32,
+                window: window.len() as u32,
+                probes,
+                puts,
+                deletes,
+                coalesced,
+            });
+        }
+
+        let saved = sim.take_metrics();
+        let outcome = run_byte_window(
+            self.shards[shard]
+                .unsized_table
+                .as_mut()
+                .expect("byte flush requires the unsized tier"),
+            sim,
+            &window,
+        );
+        let window_metrics = sim.take_metrics();
+        let flush_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
+        sim.metrics = saved;
+        sim.metrics.merge(&window_metrics);
+        if recording {
+            obs::span_end(obs::Event::BatchEnd {
+                completed: if outcome.is_ok() {
+                    window.len() as u32
+                } else {
+                    0
+                },
+            });
+        }
+        let out = outcome?;
+
+        let stats = self.shards[shard]
+            .unsized_table
+            .as_ref()
+            .expect("present")
+            .stats();
+        let fixed_backlog = self.shards[shard].table.migration_backlog();
+        let m = &mut self.metrics.per_shard[shard];
+        m.batched_requests += window.len() as u64;
+        m.table_probes += out.probes;
+        m.table_puts += out.puts;
+        m.table_deletes += out.deletes;
+        m.writes_coalesced += out.writes_coalesced;
+        m.service_ns += flush_ns;
+        m.resize_events += out.report.resizes;
+        m.insert_retries += out.report.retries;
+        m.migration_moved += out.report.migrated_kvs;
+        if out.report.migrated_buckets > 0 {
+            m.migration_chunks += 1;
+        }
+        m.migration_backlog = fixed_backlog + stats.migration_backlog;
+        m.arena_pages = stats.arena_pages;
+        m.arena_live_bytes = stats.arena_live_bytes;
+        m.arena_frag_bytes = stats.arena_frag_bytes;
+
+        let completed_tick = self.clock;
+        for (req, reply) in window.into_iter().zip(out.replies) {
+            m.completed += 1;
+            m.latency.record(completed_tick - req.submitted_tick);
+            let key = match req.op {
+                ByteOp::Put(k, _) | ByteOp::Get(k) | ByteOp::Delete(k) => k,
+            };
+            self.byte_completions.push_back(ByteCompletion {
+                id: req.id,
+                client: req.client,
+                key,
+                reply,
+                submitted_tick: req.submitted_tick,
+                completed_tick,
+            });
+        }
+        Ok(window_len)
+    }
+
     /// Take every completion produced so far, in completion order
     /// (per shard: submission order).
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         self.completions.drain(..).collect()
     }
 
-    /// Total live keys across all shards.
+    /// Take every byte-tier completion produced so far, in completion
+    /// order (per shard: submission order).
+    pub fn drain_byte_completions(&mut self) -> Vec<ByteCompletion> {
+        self.byte_completions.drain(..).collect()
+    }
+
+    /// Total live keys across all shards (both tiers).
     pub fn total_keys(&self) -> u64 {
-        self.shards.iter().map(|s| s.table.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.table.len() + s.unsized_table.as_ref().map_or(0, |t| t.len()))
+            .sum()
     }
 
     /// The accumulated service metrics.
@@ -473,11 +812,12 @@ impl KvService {
             .enumerate()
             .map(|(i, (s, m))| {
                 let stats = s.table.stats();
+                let byte_keys = s.unsized_table.as_ref().map_or(0, |t| t.len());
                 SnapshotRow {
                     label: format!("shard {i}"),
-                    keys: stats.occupied,
+                    keys: stats.occupied + byte_keys,
                     fill: stats.fill,
-                    queue_depth: s.queue.len(),
+                    queue_depth: s.queue.len() + s.byte_queue.len(),
                     m: m.clone(),
                 }
             })
@@ -506,9 +846,113 @@ impl KvService {
     pub fn release(self, sim: &mut SimContext) -> Result<(), ServiceError> {
         for shard in self.shards {
             shard.table.release(sim)?;
+            if let Some(t) = shard.unsized_table {
+                t.release(sim)?;
+            }
         }
         Ok(())
     }
+}
+
+/// What one byte-tier flush window produced.
+struct ByteFlushOutcome {
+    /// One reply per window request, in submission order.
+    replies: Vec<ByteReply>,
+    /// Merged kernel reports (resizes, retries, migration work).
+    report: UnsizedReport,
+    /// Keys handed to find kernels.
+    probes: u64,
+    /// Pairs handed to insert kernels (after put-run coalescing).
+    puts: u64,
+    /// Keys handed to delete kernels.
+    deletes: u64,
+    /// Puts superseded inside their run (never reached a kernel).
+    writes_coalesced: u64,
+}
+
+/// Run a byte-tier window against `table`: maximal same-kind runs become
+/// one kernel batch each, executed in submission order. Duplicate keys
+/// inside a put run collapse to the last write (every such put still
+/// answers `Stored` — upsert semantics make the outcomes identical);
+/// duplicate gets and deletes need no dedup, the kernels serialize them.
+fn run_byte_window(
+    table: &mut UnsizedTable,
+    sim: &mut SimContext,
+    window: &[BytePending],
+) -> dycuckoo::Result<ByteFlushOutcome> {
+    fn kind(op: &ByteOp) -> u8 {
+        match op {
+            ByteOp::Put(..) => 0,
+            ByteOp::Get(_) => 1,
+            ByteOp::Delete(_) => 2,
+        }
+    }
+    let mut out = ByteFlushOutcome {
+        replies: Vec::new(),
+        report: UnsizedReport::default(),
+        probes: 0,
+        puts: 0,
+        deletes: 0,
+        writes_coalesced: 0,
+    };
+    let mut replies: Vec<Option<ByteReply>> = vec![None; window.len()];
+    let mut start = 0;
+    while start < window.len() {
+        let k = kind(&window[start].op);
+        let mut end = start;
+        while end < window.len() && kind(&window[end].op) == k {
+            end += 1;
+        }
+        match k {
+            0 => {
+                let mut pairs: Vec<(&[u8], &[u8])> = Vec::new();
+                let mut slot_of: HashMap<&[u8], usize> = HashMap::new();
+                for p in &window[start..end] {
+                    let ByteOp::Put(key, val) = &p.op else {
+                        unreachable!("run holds only puts")
+                    };
+                    match slot_of.get(key.as_slice()) {
+                        Some(&s) => {
+                            pairs[s].1 = val;
+                            out.writes_coalesced += 1;
+                        }
+                        None => {
+                            slot_of.insert(key, pairs.len());
+                            pairs.push((key, val));
+                        }
+                    }
+                }
+                out.puts += pairs.len() as u64;
+                out.report.merge(&table.insert_batch(sim, &pairs)?);
+                for r in &mut replies[start..end] {
+                    *r = Some(ByteReply::Stored);
+                }
+            }
+            1 => {
+                let keys: Vec<&[u8]> = window[start..end].iter().map(|p| p.op.key()).collect();
+                out.probes += keys.len() as u64;
+                let found = table.find_batch(sim, &keys)?;
+                for (i, v) in (start..end).zip(found) {
+                    replies[i] = Some(ByteReply::Value(v));
+                }
+            }
+            _ => {
+                let keys: Vec<&[u8]> = window[start..end].iter().map(|p| p.op.key()).collect();
+                out.deletes += keys.len() as u64;
+                let (removed, report) = table.delete_batch(sim, &keys)?;
+                out.report.merge(&report);
+                for (i, r) in (start..end).zip(removed) {
+                    replies[i] = Some(ByteReply::Deleted(r));
+                }
+            }
+        }
+        start = end;
+    }
+    out.replies = replies
+        .into_iter()
+        .map(|r| r.expect("every request answered"))
+        .collect();
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -529,6 +973,7 @@ mod tests {
             seed: 11,
             migration_quantum: usize::MAX,
             flush_order: SchedulePolicy::FixedOrder,
+            ..ServiceConfig::default()
         }
     }
 
@@ -849,6 +1294,275 @@ mod tests {
                 .sum::<u64>(),
             "totals must be the per-shard sum"
         );
+    }
+
+    fn unsized_cfg(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            tier: Tier::Unsized,
+            unsized_table: UnsizedConfig {
+                n_buckets: 8,
+                ..UnsizedConfig::default()
+            },
+            queue_capacity: 4096,
+            shed_watermark: 4096,
+            ..small_cfg(shards)
+        }
+    }
+
+    /// Deterministic test key: inline (≤ 12 bytes) for even `i`, spilled
+    /// for odd — the byte path exercises both representations.
+    fn bkey(i: u32) -> Vec<u8> {
+        if i.is_multiple_of(2) {
+            format!("k-{i:06}").into_bytes()
+        } else {
+            format!("key-{i:08}-padded-well-past-inline").into_bytes()
+        }
+    }
+
+    #[test]
+    fn byte_put_get_delete_round_trips_across_shards() {
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(unsized_cfg(4), &mut sim).unwrap();
+        for i in 1..=150u32 {
+            let val = format!("value-{i}-{}", "x".repeat((i % 17) as usize));
+            svc.submit_bytes(0, ByteOp::Put(bkey(i), val.into_bytes()))
+                .unwrap();
+        }
+        while svc.byte_queue_depths().iter().any(|&d| d > 0) {
+            svc.tick(&mut sim).unwrap();
+        }
+        svc.drain_byte_completions();
+        for i in 1..=150u32 {
+            svc.submit_bytes(0, ByteOp::Get(bkey(i))).unwrap();
+        }
+        svc.flush_all(&mut sim).unwrap();
+        let got = svc.drain_byte_completions();
+        assert_eq!(got.len(), 150);
+        for c in &got {
+            let i: u32 = std::str::from_utf8(&c.key)
+                .unwrap()
+                .trim_start_matches(|ch: char| !ch.is_ascii_digit())
+                .split('-')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            let want = format!("value-{i}-{}", "x".repeat((i % 17) as usize));
+            assert_eq!(
+                c.reply,
+                ByteReply::Value(Some(want.into_bytes())),
+                "key {:?}",
+                String::from_utf8_lossy(&c.key)
+            );
+        }
+        // Deletes report presence; a second delete of the same key misses.
+        svc.submit_bytes(0, ByteOp::Delete(bkey(2))).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        svc.submit_bytes(0, ByteOp::Delete(bkey(2))).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let dels = svc.drain_byte_completions();
+        assert_eq!(dels.len(), 2);
+        assert_eq!(dels[0].reply, ByteReply::Deleted(true));
+        assert_eq!(dels[1].reply, ByteReply::Deleted(false));
+        svc.release(&mut sim).unwrap();
+    }
+
+    #[test]
+    fn byte_window_preserves_write_then_read_order() {
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(unsized_cfg(1), &mut sim).unwrap();
+        // Same window: put, read-your-write, overwrite, read again. The
+        // run-splitting flush must serve both gets from the preceding put.
+        svc.submit_bytes(7, ByteOp::Put(b"alpha".to_vec(), b"one".to_vec()))
+            .unwrap();
+        svc.submit_bytes(7, ByteOp::Get(b"alpha".to_vec())).unwrap();
+        svc.submit_bytes(7, ByteOp::Put(b"alpha".to_vec(), b"two".to_vec()))
+            .unwrap();
+        svc.submit_bytes(7, ByteOp::Get(b"alpha".to_vec())).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let replies: Vec<ByteReply> = svc
+            .drain_byte_completions()
+            .into_iter()
+            .map(|c| c.reply)
+            .collect();
+        assert_eq!(
+            replies,
+            vec![
+                ByteReply::Stored,
+                ByteReply::Value(Some(b"one".to_vec())),
+                ByteReply::Stored,
+                ByteReply::Value(Some(b"two".to_vec())),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_puts_coalesce_within_a_run() {
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(unsized_cfg(1), &mut sim).unwrap();
+        for v in [b"a".to_vec(), b"b".to_vec(), b"c".to_vec()] {
+            svc.submit_bytes(0, ByteOp::Put(b"dup".to_vec(), v))
+                .unwrap();
+        }
+        svc.flush_all(&mut sim).unwrap();
+        let m = svc.metrics().total();
+        assert_eq!(m.table_puts, 1, "three puts of one key → one kernel pair");
+        assert_eq!(m.writes_coalesced, 2);
+        assert_eq!(m.byte_batches, 1);
+        svc.submit_bytes(0, ByteOp::Get(b"dup".to_vec())).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let last = svc.drain_byte_completions().pop().unwrap();
+        assert_eq!(last.reply, ByteReply::Value(Some(b"c".to_vec())));
+    }
+
+    #[test]
+    fn byte_ops_rejected_on_fixed_tier_and_oversized_blobs() {
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(small_cfg(1), &mut sim).unwrap();
+        assert!(matches!(
+            svc.submit_bytes(0, ByteOp::Get(b"k".to_vec())),
+            Err(ServiceError::TierDisabled)
+        ));
+        let mut svc = KvService::new(unsized_cfg(1), &mut sim).unwrap();
+        let huge = vec![0u8; MAX_BLOB_LEN + 1];
+        assert!(matches!(
+            svc.submit_bytes(0, ByteOp::Put(b"k".to_vec(), huge)),
+            Err(ServiceError::OversizedBlob { .. })
+        ));
+        // Nothing was queued or admitted by the refusals.
+        assert_eq!(svc.metrics().total().admitted, 0);
+        assert_eq!(svc.byte_queue_depths(), vec![0]);
+        // Empty keys are legal in the byte tier (no zero-key sentinel).
+        svc.submit_bytes(0, ByteOp::Put(Vec::new(), b"empty-key".to_vec()))
+            .unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        svc.submit_bytes(0, ByteOp::Get(Vec::new())).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let got = svc.drain_byte_completions();
+        assert_eq!(
+            got.last().unwrap().reply,
+            ByteReply::Value(Some(b"empty-key".to_vec()))
+        );
+    }
+
+    #[test]
+    fn byte_admission_sheds_against_byte_queue_depth() {
+        let mut sim = SimContext::new();
+        let mut cfg = unsized_cfg(1);
+        cfg.queue_capacity = 16;
+        cfg.shed_watermark = 8;
+        let mut svc = KvService::new(cfg, &mut sim).unwrap();
+        let mut shed = 0;
+        let mut overloaded = 0;
+        for i in 0..40u32 {
+            match svc.submit_bytes(0, ByteOp::Put(bkey(i), b"v".to_vec())) {
+                Ok(_) => {}
+                Err(ServiceError::Admit(AdmitError::Overloaded { .. })) => overloaded += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+            match svc.submit_bytes(0, ByteOp::Get(bkey(i))) {
+                Ok(_) => {}
+                Err(ServiceError::Admit(AdmitError::Shed { .. })) => shed += 1,
+                Err(ServiceError::Admit(AdmitError::Overloaded { .. })) => overloaded += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(overloaded > 0, "hard cap never hit");
+        assert!(shed > 0, "watermark never shed a read");
+        assert!(svc.byte_queue_depths()[0] <= 16);
+        let m = svc.metrics().total();
+        assert_eq!(m.shed_total(), overloaded + shed);
+    }
+
+    #[test]
+    fn byte_flushes_populate_arena_gauges_and_both_tiers_coexist() {
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(unsized_cfg(2), &mut sim).unwrap();
+        // Interleave fixed-tier and byte-tier traffic.
+        for i in 1..=120u32 {
+            svc.submit(0, Op::Put(i, i * 7)).unwrap();
+            // Odd bkeys spill, so the arena must hold live bytes.
+            svc.submit_bytes(0, ByteOp::Put(bkey(i), vec![b'v'; 24]))
+                .unwrap();
+        }
+        svc.flush_all(&mut sim).unwrap();
+        let m = svc.metrics().total();
+        assert!(m.byte_batches > 0);
+        assert!(m.arena_pages > 0, "spilled keys must allocate arena pages");
+        assert!(m.arena_live_bytes > 0);
+        // Both tiers answer correctly side by side.
+        svc.drain_completions();
+        svc.drain_byte_completions();
+        for i in 1..=120u32 {
+            svc.submit(0, Op::Get(i)).unwrap();
+            svc.submit_bytes(0, ByteOp::Get(bkey(i))).unwrap();
+        }
+        svc.flush_all(&mut sim).unwrap();
+        for c in svc.drain_completions() {
+            assert_eq!(c.reply, Reply::Value(Some(c.key * 7)));
+        }
+        for c in svc.drain_byte_completions() {
+            assert_eq!(c.reply, ByteReply::Value(Some(vec![b'v'; 24])));
+        }
+        assert_eq!(svc.total_keys(), 240);
+        // The registry gains exactly the gated byte-tier entries.
+        let mut reg = obs::Registry::new();
+        m.register_into(&mut reg, &[("scope", "total")]);
+        assert!(reg
+            .get_gauge("service_arena_live_bytes", &[("scope", "total")])
+            .is_some());
+        svc.release(&mut sim).unwrap();
+    }
+
+    #[test]
+    fn byte_service_is_deterministic_and_pumps_migrations() {
+        let run = || {
+            let mut sim = SimContext::new();
+            let mut cfg = unsized_cfg(2);
+            cfg.unsized_table.n_buckets = 4;
+            cfg.unsized_table.max_load = 0.5;
+            cfg.migration_quantum = 2;
+            let mut svc = KvService::new(cfg, &mut sim).unwrap();
+            for i in 1..=400u32 {
+                let _ = svc.submit_bytes(i % 5, ByteOp::Put(bkey(i), bkey(i ^ 3)));
+                if i % 3 == 0 {
+                    let _ = svc.submit_bytes(i % 5, ByteOp::Get(bkey(i / 3)));
+                }
+                if i % 11 == 0 {
+                    let _ = svc.submit_bytes(i % 5, ByteOp::Delete(bkey(i / 11)));
+                }
+                if i % 7 == 0 {
+                    svc.tick(&mut sim).unwrap();
+                }
+            }
+            svc.flush_all(&mut sim).unwrap();
+            // Idle ticks drain any still-running migration.
+            let mut guard = 0;
+            while svc.metrics().total().migration_backlog > 0 {
+                svc.tick(&mut sim).unwrap();
+                guard += 1;
+                assert!(guard < 10_000, "migration never settled");
+            }
+            (svc.snapshot().to_csv(), svc.drain_byte_completions())
+        };
+        let (csv_a, comp_a) = run();
+        let (csv_b, comp_b) = run();
+        assert_eq!(csv_a, csv_b);
+        assert_eq!(comp_a, comp_b);
+        assert!(!comp_a.is_empty());
+    }
+
+    #[test]
+    fn invalid_unsized_config_is_rejected_at_construction() {
+        let mut cfg = unsized_cfg(1);
+        cfg.unsized_table.n_buckets = 0;
+        let mut sim = SimContext::new();
+        assert!(KvService::new(cfg, &mut sim).is_err());
+        // The same bad embedded config is ignored under Tier::Fixed.
+        let mut cfg = unsized_cfg(1);
+        cfg.unsized_table.n_buckets = 0;
+        cfg.tier = Tier::Fixed;
+        assert!(KvService::new(cfg, &mut sim).is_ok());
     }
 
     #[test]

@@ -10,16 +10,20 @@
 //!   bijection) and skewed duplicate sampling.
 //! * [`stream`] — open-loop adapter flattening a dynamic workload into a
 //!   per-client, per-tick arrival sequence for service front-ends.
+//! * [`strkeys`] — byte-string KV datasets for the unsized tier, with
+//!   key-length distributions pinning the inline/spill split.
 
 pub mod datasets;
 pub mod dynamic;
 pub mod keygen;
 pub mod stream;
+pub mod strkeys;
 pub mod zipf;
 
 pub use datasets::{dataset_by_name, paper_datasets, Dataset, DatasetSpec};
 pub use dynamic::{Batch, DynamicWorkload};
 pub use stream::{RequestStream, StreamOp, StreamRequest};
+pub use strkeys::{LengthDist, StrDatasetSpec};
 
 /// SplitMix64 mixer used for all deterministic sampling in this crate.
 #[inline]

@@ -1,0 +1,228 @@
+//! String-key dataset generation for the unsized tier.
+//!
+//! Generates deterministic, duplicate-free byte-string KV pairs whose key
+//! lengths follow a configurable distribution. The interesting axis for
+//! the unsized tier is the **inline/spill split**: keys of ≤ 12 bytes are
+//! stored inline in the bucket word (probes never touch the arena), longer
+//! keys spill. The three stock distributions pin the two extremes and a
+//! realistic middle:
+//!
+//! * [`LengthDist::AllInline`] — every key fits inline (4..=12 bytes).
+//! * [`LengthDist::Mixed`] — bimodal straddle of the bound (half inline,
+//!   half spilled).
+//! * [`LengthDist::AllSpill`] — every key spills (16..=64 bytes).
+//!
+//! Uniqueness without a dedup set: every key embeds a Feistel-permuted
+//! index as an 8-hex-digit prefix, so two distinct indices can never
+//! collide regardless of the random tail.
+
+use crate::keygen::Feistel;
+use crate::mix64;
+
+/// Key-length distribution of a string dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthDist {
+    /// Uniform 4..=12 bytes: every key inline, zero arena traffic.
+    AllInline,
+    /// Straddles the inline bound: ~half inline, ~half spilled (8..=48).
+    Mixed,
+    /// Uniform 16..=64 bytes: every key spilled.
+    AllSpill,
+    /// Uniform in the given inclusive byte range (min ≥ 8 — the embedded
+    /// uniqueness prefix needs 8 bytes).
+    Uniform(usize, usize),
+}
+
+impl LengthDist {
+    /// The stock distributions the sweeps iterate over.
+    pub const STOCK: [LengthDist; 3] = [
+        LengthDist::AllInline,
+        LengthDist::Mixed,
+        LengthDist::AllSpill,
+    ];
+
+    /// Parse a distribution name (`all_inline` / `mixed` / `all_spill`).
+    pub fn parse(s: &str) -> Option<LengthDist> {
+        match s {
+            "all_inline" => Some(LengthDist::AllInline),
+            "mixed" => Some(LengthDist::Mixed),
+            "all_spill" => Some(LengthDist::AllSpill),
+            _ => None,
+        }
+    }
+
+    /// The distribution's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LengthDist::AllInline => "all_inline",
+            LengthDist::Mixed => "mixed",
+            LengthDist::AllSpill => "all_spill",
+            LengthDist::Uniform(..) => "uniform",
+        }
+    }
+
+    /// Sample a key length for sample index `i` under seed `seed`.
+    /// Deterministic: same `(dist, seed, i)` always yields the same length,
+    /// so callers may use it to widen stable identifiers into byte keys.
+    pub fn key_len(&self, seed: u64, i: u64) -> usize {
+        let r = mix64(seed ^ 0x4C45_4E00 ^ i);
+        match *self {
+            // 4..=12, but the 8-byte uniqueness prefix floors us at 8.
+            LengthDist::AllInline => 8 + (r % 5) as usize,
+            LengthDist::Mixed => {
+                // Even split across the inline bound: half short (8..=12),
+                // half long (16..=48).
+                if r & 1 == 0 {
+                    8 + ((r >> 8) % 5) as usize
+                } else {
+                    16 + ((r >> 8) % 33) as usize
+                }
+            }
+            LengthDist::AllSpill => 16 + (r % 49) as usize,
+            LengthDist::Uniform(lo, hi) => {
+                let lo = lo.max(8);
+                let hi = hi.max(lo);
+                lo + (r % (hi - lo + 1) as u64) as usize
+            }
+        }
+    }
+}
+
+/// Specification of a string-key dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct StrDatasetSpec {
+    /// Distinct KV pairs to generate.
+    pub pairs: usize,
+    /// Key-length distribution.
+    pub key_dist: LengthDist,
+    /// Value length range (inclusive); values need no uniqueness prefix,
+    /// so any bounds work (0 allowed).
+    pub val_len: (usize, usize),
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl StrDatasetSpec {
+    /// Generate the dataset: `pairs` distinct keys with their values.
+    pub fn generate(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let f = Feistel::new(self.seed);
+        (0..self.pairs as u64)
+            .map(|i| {
+                let uniq = f.permute(i as u32);
+                let klen = self.key_dist.key_len(self.seed, i);
+                let key = string_key(self.seed, uniq, klen);
+                let (vlo, vhi) = self.val_len;
+                let vhi = vhi.max(vlo);
+                let r = mix64(self.seed ^ 0x5641_4C00 ^ i);
+                let vlen = vlo + (r % (vhi - vlo + 1) as u64) as usize;
+                let val = value_bytes(self.seed ^ uniq as u64, vlen);
+                (key, val)
+            })
+            .collect()
+    }
+}
+
+/// Build one key: an 8-hex-digit unique prefix plus a printable random
+/// tail, `len` bytes total (`len ≥ 8`).
+fn string_key(seed: u64, uniq: u32, len: usize) -> Vec<u8> {
+    debug_assert!(len >= 8, "keys embed an 8-byte uniqueness prefix");
+    let mut key = Vec::with_capacity(len);
+    for shift in (0..8).rev() {
+        let nibble = (uniq >> (shift * 4)) & 0xF;
+        key.push(b"0123456789abcdef"[nibble as usize]);
+    }
+    let mut i = 0u64;
+    while key.len() < len {
+        let r = mix64(seed ^ ((uniq as u64) << 8) ^ i);
+        for b in r.to_le_bytes() {
+            if key.len() == len {
+                break;
+            }
+            // Printable ASCII tail: realistic for URL/word-style keys.
+            key.push(b'!' + (b % 94));
+        }
+        i += 1;
+    }
+    key
+}
+
+/// Deterministic value payload of `len` bytes.
+fn value_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut val = Vec::with_capacity(len);
+    let mut i = 0u64;
+    while val.len() < len {
+        let r = mix64(seed ^ 0xDA7A ^ i);
+        for b in r.to_le_bytes() {
+            if val.len() == len {
+                break;
+            }
+            val.push(b);
+        }
+        i += 1;
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec(dist: LengthDist) -> StrDatasetSpec {
+        StrDatasetSpec {
+            pairs: 5_000,
+            key_dist: dist,
+            val_len: (0, 32),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_and_deterministic() {
+        for dist in LengthDist::STOCK {
+            let a = spec(dist).generate();
+            let b = spec(dist).generate();
+            assert_eq!(a, b, "{}", dist.name());
+            let set: HashSet<&[u8]> = a.iter().map(|(k, _)| k.as_slice()).collect();
+            assert_eq!(set.len(), a.len(), "{} keys must be unique", dist.name());
+        }
+    }
+
+    #[test]
+    fn stock_distributions_pin_the_inline_spill_split() {
+        const INLINE_MAX: usize = 12;
+        let inline_frac = |d: LengthDist| {
+            let data = spec(d).generate();
+            data.iter().filter(|(k, _)| k.len() <= INLINE_MAX).count() as f64 / data.len() as f64
+        };
+        assert_eq!(inline_frac(LengthDist::AllInline), 1.0);
+        assert_eq!(inline_frac(LengthDist::AllSpill), 0.0);
+        let mixed = inline_frac(LengthDist::Mixed);
+        assert!(
+            (0.1..=0.9).contains(&mixed),
+            "mixed distribution must straddle the inline bound, got {mixed}"
+        );
+    }
+
+    #[test]
+    fn lengths_respect_their_bounds() {
+        for (dist, lo, hi) in [
+            (LengthDist::AllInline, 8, 12),
+            (LengthDist::Mixed, 8, 48),
+            (LengthDist::AllSpill, 16, 64),
+            (LengthDist::Uniform(10, 20), 10, 20),
+        ] {
+            for (k, _) in spec(dist).generate() {
+                assert!((lo..=hi).contains(&k.len()), "{}: {}", dist.name(), k.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_stock_names() {
+        for d in LengthDist::STOCK {
+            assert_eq!(LengthDist::parse(d.name()), Some(d));
+        }
+        assert_eq!(LengthDist::parse("bogus"), None);
+    }
+}

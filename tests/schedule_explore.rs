@@ -22,6 +22,8 @@ fn oracle_clean_on_all_targets_under_varied_schedules() {
                 inject_lock_elision: false,
                 layout: LayoutConfig::default(),
                 migration_quantum: usize::MAX,
+                tier: kv_service::Tier::Fixed,
+                key_dist: workloads::LengthDist::Mixed,
                 ops: gen_ops(seed, 64),
             };
             if let Err(v) = run_case(&case) {
@@ -48,6 +50,8 @@ fn identical_case_yields_identical_digest() {
             inject_lock_elision: false,
             layout: LayoutConfig::default(),
             migration_quantum: usize::MAX,
+            tier: kv_service::Tier::Fixed,
+            key_dist: workloads::LengthDist::Mixed,
             ops: gen_ops(7, 64),
         };
         let first = run_case(&case).expect("clean case");
@@ -75,6 +79,8 @@ fn injected_lock_elision_is_caught_and_shrunk() {
             inject_lock_elision: true,
             layout: LayoutConfig::default(),
             migration_quantum: usize::MAX,
+            tier: kv_service::Tier::Fixed,
+            key_dist: workloads::LengthDist::Mixed,
             ops: gen_ops(seed, 96),
         };
         if run_case(&case).is_ok() {
@@ -114,6 +120,8 @@ fn repro_round_trips_and_replays() {
         inject_lock_elision: true,
         layout: LayoutConfig::default(),
         migration_quantum: usize::MAX,
+        tier: kv_service::Tier::Fixed,
+        key_dist: workloads::LengthDist::Mixed,
         ops: gen_ops(3, 96),
     };
     let violation = run_case(&case).expect_err("injected bug must fire");
@@ -152,6 +160,8 @@ fn aos_and_soa_layouts_agree_under_every_schedule() {
                 inject_lock_elision: false,
                 layout,
                 migration_quantum: usize::MAX,
+                tier: kv_service::Tier::Fixed,
+                key_dist: workloads::LengthDist::Mixed,
                 ops: gen_ops(seed, 96),
             };
             let soa = run_case(&case_with(LayoutConfig::default()))
@@ -254,6 +264,8 @@ fn megakv_stale_eviction_regression() {
         inject_lock_elision: false,
         layout: LayoutConfig::default(),
         migration_quantum: usize::MAX,
+        tier: kv_service::Tier::Fixed,
+        key_dist: workloads::LengthDist::Mixed,
         ops: gen_ops(20, 96),
     };
     if let Err(v) = run_case(&case) {

@@ -19,6 +19,8 @@ fn fuzz_case(target: Target, seed: u64) -> Case {
         inject_lock_elision: false,
         layout: LayoutConfig::default(),
         migration_quantum: usize::MAX,
+        tier: kv_service::Tier::Fixed,
+        key_dist: workloads::LengthDist::Mixed,
         ops: gen_ops(seed, 96),
     }
 }
