@@ -1,0 +1,286 @@
+//! **Negative sweep** — what a lookup that misses costs, and how much of
+//! that cost the two miss shields remove, at several hit ratios.
+//!
+//! Two layers, matching DESIGN.md §4h:
+//!
+//! * **Fingerprint lanes** (raw tables): on `aos32` — the 256-byte
+//!   interleaved bucket whose bare probe spans two cache lines — a probe
+//!   that the bucket's fingerprint word rejects costs one line instead of
+//!   two. `aos32+fp16` beats `aos32+fp8` (fewer false-positive confirms),
+//!   which beats bare `aos32`. On single-line layouts (`soa32`) the lane
+//!   cannot save probe lines; the lines-per-miss ordering is asserted on
+//!   the multi-line layout where the win exists.
+//! * **The service's cuckoo-filter miss shield**: a per-shard filter over
+//!   the live key set answers provably-absent `Get`s at submission time —
+//!   no batcher enqueue, no find kernel. True misses are shed at the
+//!   filter's false-positive complement (≥ 90 % even at 8-bit tags);
+//!   false positives pass through and get the correct not-found from the
+//!   table.
+//!
+//! Every row registers its raw counters into the unified telemetry
+//! registry, so `TELEMETRY_SNAP` pins the whole grid bit-for-bit
+//! (`results/negative-sweep.snap`).
+
+use bench::report::Table;
+use bench::telemetry::Telemetry;
+use bench::{measure, scale, seed};
+use dycuckoo::{Config, DupPolicy, DyCuckoo};
+use gpu_sim::{LayoutConfig, SimContext};
+use kv_service::{KvService, Op, Reply, ServiceConfig};
+use workloads::mix64;
+
+/// Hit ratios swept, with stable labels for telemetry.
+const HIT_RATIOS: [(f64, &str); 3] = [(0.0, "h00"), (0.5, "h50"), (0.9, "h90")];
+
+/// Deterministic query mix: `hit_ratio` of the queries are live keys
+/// (`1..=n`), the rest are provably absent (`n+1..=2n`). Shuffled by the
+/// seed so hits and misses interleave.
+fn query_mix(n: usize, hit_ratio: f64, seed: u64) -> Vec<u32> {
+    let n_hits = (n as f64 * hit_ratio).round() as usize;
+    let mut q: Vec<u32> = Vec::with_capacity(n);
+    let mut rng = mix64(seed ^ 0x4E47_5357_4545_5021);
+    for i in 0..n {
+        rng = mix64(rng);
+        if i < n_hits {
+            q.push((rng % n as u64) as u32 + 1);
+        } else {
+            q.push(n as u32 + (rng % n as u64) as u32 + 1);
+        }
+    }
+    // Fisher–Yates on the same deterministic stream.
+    for i in (1..q.len()).rev() {
+        rng = mix64(rng);
+        q.swap(i, (rng % (i as u64 + 1)) as usize);
+    }
+    q
+}
+
+fn main() {
+    let mut tel = Telemetry::from_env();
+    let scale = scale();
+    let seed = seed();
+    let n = ((100_000.0 * scale).round() as usize).max(2_000);
+    println!("Negative sweep: {n} live keys, {n} queries per row, seed {seed:#x}");
+
+    // ---- Part 1: fingerprint lanes on raw tables -----------------------
+    let mut t = Table::new(&[
+        "layout",
+        "hit",
+        "queries",
+        "misses",
+        "read tx",
+        "tx/op",
+        "tx vs no-fp",
+    ]);
+    // All-miss read totals per layout, for the ordering assertion.
+    let mut all_miss_reads: Vec<(String, u64)> = Vec::new();
+    for spec in ["aos32", "aos32+fp8", "aos32+fp16"] {
+        let layout = LayoutConfig::parse(spec, 4, 4).expect("valid layout spec");
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            seed,
+            initial_buckets: 64,
+            dup_policy: DupPolicy::PaperInsert,
+            layout,
+            ..Config::default()
+        };
+        let mut table = DyCuckoo::new(cfg, &mut sim).expect("table construction");
+        let kvs: Vec<(u32, u32)> = (1..=n as u32).map(|k| (k, k ^ 0xABCD)).collect();
+        table.insert_batch(&mut sim, &kvs).expect("seeding inserts");
+
+        for &(hit, hit_label) in &HIT_RATIOS {
+            let queries = query_mix(n, hit, seed);
+            let (results, m) = measure(&mut sim, |sim| table.find_batch(sim, &queries));
+            let misses = results.iter().filter(|r| r.is_none()).count();
+            let expected_misses = n - (n as f64 * hit).round() as usize;
+            assert_eq!(
+                misses, expected_misses,
+                "{spec} {hit_label}: wrong miss count"
+            );
+            for (q, r) in queries.iter().zip(&results) {
+                match r {
+                    Some(v) => assert_eq!(*v, q ^ 0xABCD, "{spec}: wrong value for {q}"),
+                    None => assert!(*q > n as u32, "{spec}: live key {q} missed"),
+                }
+            }
+            let reads = m.metrics.read_transactions;
+            if hit == 0.0 {
+                all_miss_reads.push((spec.to_string(), reads));
+            }
+            let baseline = all_miss_reads
+                .iter()
+                .find(|(s, _)| s == "aos32")
+                .map(|&(_, r)| r);
+            let vs = match (hit, baseline) {
+                (0.0, Some(b)) if spec != "aos32" => {
+                    format!("{:+.1}%", (reads as f64 / b as f64 - 1.0) * 100.0)
+                }
+                _ => "—".to_string(),
+            };
+            let labels = [
+                ("figure", "negative_sweep"),
+                ("mode", spec),
+                ("hit", hit_label),
+            ];
+            tel.registry().counter("neg_queries", &labels, n as u64);
+            tel.registry().counter("neg_misses", &labels, misses as u64);
+            tel.registry().counter("neg_read_tx", &labels, reads);
+            t.row(vec![
+                spec.to_string(),
+                hit_label.to_string(),
+                n.to_string(),
+                misses.to_string(),
+                reads.to_string(),
+                format!("{:.2}", reads as f64 / n as f64),
+                vs,
+            ]);
+        }
+    }
+    t.print("Fingerprint lanes: find-kernel read transactions on aos32");
+
+    // Headline ordering on the all-miss workload: every added fingerprint
+    // bit removes read traffic.
+    let reads_of = |spec: &str| {
+        all_miss_reads
+            .iter()
+            .find(|(s, _)| s == spec)
+            .map(|&(_, r)| r)
+            .expect("row ran")
+    };
+    let (bare, fp8, fp16) = (
+        reads_of("aos32"),
+        reads_of("aos32+fp8"),
+        reads_of("aos32+fp16"),
+    );
+    println!(
+        "\nAll-miss read tx: aos32 {bare} > +fp8 {fp8} > +fp16 {fp16} \
+         ({:+.1}% and {:+.1}% vs bare)",
+        (fp8 as f64 / bare as f64 - 1.0) * 100.0,
+        (fp16 as f64 / bare as f64 - 1.0) * 100.0,
+    );
+    assert!(
+        fp16 < fp8 && fp8 < bare,
+        "expected lines-per-miss ordering fp16 < fp8 < no-fp on aos32 \
+         (got {fp16} / {fp8} / {bare})"
+    );
+
+    // ---- Part 2: the service's cuckoo-filter miss shield ---------------
+    let mut t = Table::new(&[
+        "filter",
+        "hit",
+        "gets",
+        "misses",
+        "shed",
+        "shed %",
+        "false pos",
+        "probes",
+    ]);
+    for bits in [0u8, 8, 16] {
+        let mode = match bits {
+            0 => "svc-nofilter".to_string(),
+            b => format!("svc-filter{b}"),
+        };
+        for &(hit, hit_label) in &HIT_RATIOS {
+            let mut sim = SimContext::new();
+            let cfg = ServiceConfig {
+                shards: 4,
+                max_batch: 128,
+                max_delay_ticks: 2,
+                queue_capacity: 1024,
+                shed_watermark: 1024,
+                miss_filter_bits: bits,
+                ..ServiceConfig::default()
+            };
+            let mut svc = KvService::new(cfg, &mut sim).expect("service construction");
+            let kvs: Vec<(u32, u32)> = (1..=n as u32).map(|k| (k, k ^ 0xABCD)).collect();
+            for chunk in kvs.chunks(256) {
+                for &(k, v) in chunk {
+                    svc.submit(0, Op::Put(k, v)).expect("put admitted");
+                }
+                svc.tick(&mut sim).expect("tick");
+            }
+            svc.flush_all(&mut sim).expect("drain puts");
+            svc.drain_completions();
+
+            let queries = query_mix(n, hit, seed);
+            for chunk in queries.chunks(256) {
+                for &k in chunk {
+                    svc.submit(0, Op::Get(k)).expect("get admitted");
+                }
+                svc.tick(&mut sim).expect("tick");
+            }
+            svc.flush_all(&mut sim).expect("drain gets");
+
+            // Every reply must be authoritative regardless of the shield:
+            // absent keys answer None (shed or false-positive path alike),
+            // live keys answer their value.
+            let mut misses = 0u64;
+            for c in svc.drain_completions() {
+                match c.reply {
+                    Reply::Value(None) => {
+                        assert!(c.key > n as u32, "live key {} answered None", c.key);
+                        misses += 1;
+                    }
+                    Reply::Value(Some(v)) => {
+                        assert!(c.key <= n as u32, "absent key {} answered Some", c.key);
+                        assert_eq!(v, c.key ^ 0xABCD, "wrong value for {}", c.key);
+                    }
+                    _ => {}
+                }
+            }
+            let total = svc.metrics().total();
+            let expected_misses = (n - (n as f64 * hit).round() as usize) as u64;
+            assert_eq!(
+                misses, expected_misses,
+                "{mode} {hit_label}: wrong miss count"
+            );
+            if bits == 0 {
+                assert_eq!(total.filter_shed, 0, "shield ran while disabled");
+            } else {
+                assert_eq!(
+                    total.filter_false_pos,
+                    misses - total.filter_shed,
+                    "{mode} {hit_label}: every unshed miss is a false positive"
+                );
+                assert!(
+                    total.filter_shed as f64 >= 0.9 * misses as f64,
+                    "{mode} {hit_label}: shed {}/{misses} true misses (< 90%)",
+                    total.filter_shed
+                );
+            }
+            let labels = [
+                ("figure", "negative_sweep"),
+                ("mode", mode.as_str()),
+                ("hit", hit_label),
+            ];
+            tel.registry().counter("neg_queries", &labels, n as u64);
+            tel.registry().counter("neg_misses", &labels, misses);
+            tel.registry()
+                .counter("neg_filter_shed", &labels, total.filter_shed);
+            tel.registry()
+                .counter("neg_filter_false_pos", &labels, total.filter_false_pos);
+            tel.registry()
+                .counter("neg_table_probes", &labels, total.table_probes);
+            t.row(vec![
+                match bits {
+                    0 => "off".to_string(),
+                    b => format!("{b}-bit"),
+                },
+                hit_label.to_string(),
+                n.to_string(),
+                misses.to_string(),
+                total.filter_shed.to_string(),
+                if misses > 0 {
+                    format!("{:.1}%", total.filter_shed as f64 / misses as f64 * 100.0)
+                } else {
+                    "—".to_string()
+                },
+                total.filter_false_pos.to_string(),
+                total.table_probes.to_string(),
+            ]);
+        }
+    }
+    t.print("Miss shield: true misses shed before the batcher, per filter width");
+
+    tel.finish();
+}

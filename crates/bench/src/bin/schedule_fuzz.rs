@@ -16,6 +16,7 @@
 //! schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]
 //!               [--layout SPEC] [--migration-quanta q1,q2,..]
 //!               [--tier fixed|unsized] [--key-dists d1,d2,..]
+//!               [--fingerprints b1,b2,..] [--miss-filter]
 //!               [--inject-lock-elision] [--expect-violations]
 //!               [--out DIR] [--budget-secs S] [--replay FILE]
 //! ```
@@ -42,6 +43,16 @@
 //! * `--key-dists d1,d2,..` — key-length distributions to sweep under
 //!   `--tier unsized` (`all_inline`, `mixed`, `all_spill`; default
 //!   `mixed`). Ignored by the fixed tier.
+//! * `--fingerprints b1,b2,..` — fingerprint-lane widths to sweep (`0`,
+//!   `8`, `16`; default `0`, the bare historical layout). Every case runs
+//!   once per width with the lane forced onto the DyCuckoo-family layouts.
+//!   The oracle is gate-blind *and* a fingerprint gate charges only memory
+//!   lines, so a nonzero width must leave every verdict — and every
+//!   digest — identical to the `0` run.
+//! * `--miss-filter` — arm the service target's per-shard cuckoo-filter
+//!   miss shield (8-bit tags). Shed gets complete at submission time, so
+//!   service digests legitimately differ from the unshielded run; the
+//!   oracle still requires reference-exact replies.
 //! * `--inject-lock-elision` — plant the known lock-elision bug in the
 //!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
 //!   `--expect-violations` to prove the oracle catches and shrinks it.
@@ -71,6 +82,8 @@ struct Args {
     migration_quanta: Vec<usize>,
     tier: Tier,
     key_dists: Vec<LengthDist>,
+    fingerprints: Vec<u8>,
+    miss_filter: bool,
     targets_pinned: bool,
     expect_violations: bool,
     out_dir: String,
@@ -84,6 +97,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
          \x20                    [--layout SPEC] [--migration-quanta q1,q2,..]\n\
          \x20                    [--tier fixed|unsized] [--key-dists d1,d2,..]\n\
+         \x20                    [--fingerprints b1,b2,..] [--miss-filter]\n\
          \x20                    [--inject-lock-elision] [--expect-violations]\n\
          \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
     );
@@ -101,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         migration_quanta: vec![usize::MAX],
         tier: Tier::Fixed,
         key_dists: vec![LengthDist::Mixed],
+        fingerprints: vec![0],
+        miss_filter: false,
         targets_pinned: false,
         expect_violations: false,
         out_dir: ".".to_string(),
@@ -173,6 +189,17 @@ fn parse_args() -> Result<Args, String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--fingerprints" => {
+                let list = val("--fingerprints")?;
+                args.fingerprints = list
+                    .split(',')
+                    .map(|s| match s.trim().parse::<u8>() {
+                        Ok(b @ (0 | 8 | 16)) => Ok(b),
+                        _ => Err(format!("bad fingerprint width {s:?} (want 0, 8 or 16)")),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--miss-filter" => args.miss_filter = true,
             "--expect-violations" => args.expect_violations = true,
             "--out" => args.out_dir = val("--out")?,
             "--budget-secs" => {
@@ -260,60 +287,70 @@ fn main() -> ExitCode {
                         &[LengthDist::Mixed]
                     };
                     for &key_dist in dists {
-                        if let Some(budget) = args.budget_secs {
-                            if start.elapsed().as_secs() >= budget {
-                                budget_hit = true;
-                                break 'sweep;
-                            }
-                        }
-                        let case = Case {
-                            target,
-                            policy,
-                            workload_seed: seed,
-                            inject_lock_elision: args.inject,
-                            layout: args.layout,
-                            migration_quantum: quantum,
-                            tier: args.tier,
-                            key_dist,
-                            ops: gen_ops(seed, args.ops),
-                        };
-                        cases += 1;
-                        match run_case(&case) {
-                            Ok(d) => digest = fold(digest, d),
-                            Err(v) => {
-                                violations += 1;
-                                digest = fold(digest, 0xBAD);
-                                let (min, min_violation) = shrink_case(&case);
-                                let repro = Repro {
-                                    case: min.clone(),
-                                    violation: min_violation.detail.clone(),
-                                };
-                                let qtag = if quantum == usize::MAX {
-                                    String::new()
-                                } else {
-                                    format!("-q{quantum}")
-                                };
-                                let ttag = if args.tier == Tier::Unsized {
-                                    format!("-{}", key_dist.name())
-                                } else {
-                                    String::new()
-                                };
-                                let file = format!(
-                                    "{}/repro-{}-{seed}{qtag}{ttag}.ron",
-                                    args.out_dir.trim_end_matches('/'),
-                                    target.name()
-                                );
-                                if let Err(e) = std::fs::write(&file, repro.to_ron()) {
-                                    eprintln!("warning: cannot write {file}: {e}");
+                        for &fingerprint in &args.fingerprints {
+                            if let Some(budget) = args.budget_secs {
+                                if start.elapsed().as_secs() >= budget {
+                                    budget_hit = true;
+                                    break 'sweep;
                                 }
-                                println!(
-                                    "REPRO target={} seed={seed} policy={} quantum={quantum} ops={} file={file}",
-                                    target.name(),
-                                    policy.spec(),
-                                    min.ops.len()
-                                );
-                                println!("  first violation: {v}");
-                                println!("  shrunk violation: {min_violation}");
+                            }
+                            let case = Case {
+                                target,
+                                policy,
+                                workload_seed: seed,
+                                inject_lock_elision: args.inject,
+                                layout: args.layout,
+                                migration_quantum: quantum,
+                                tier: args.tier,
+                                key_dist,
+                                fingerprint,
+                                miss_filter: args.miss_filter,
+                                ops: gen_ops(seed, args.ops),
+                            };
+                            cases += 1;
+                            match run_case(&case) {
+                                Ok(d) => digest = fold(digest, d),
+                                Err(v) => {
+                                    violations += 1;
+                                    digest = fold(digest, 0xBAD);
+                                    let (min, min_violation) = shrink_case(&case);
+                                    let repro = Repro {
+                                        case: min.clone(),
+                                        violation: min_violation.detail.clone(),
+                                    };
+                                    let qtag = if quantum == usize::MAX {
+                                        String::new()
+                                    } else {
+                                        format!("-q{quantum}")
+                                    };
+                                    let ttag = if args.tier == Tier::Unsized {
+                                        format!("-{}", key_dist.name())
+                                    } else {
+                                        String::new()
+                                    };
+                                    let fptag = if fingerprint > 0 {
+                                        format!("-fp{fingerprint}")
+                                    } else {
+                                        String::new()
+                                    };
+                                    let mftag = if args.miss_filter { "-mf" } else { "" };
+                                    let file = format!(
+                                        "{}/repro-{}-{seed}{qtag}{ttag}{fptag}{mftag}.ron",
+                                        args.out_dir.trim_end_matches('/'),
+                                        target.name()
+                                    );
+                                    if let Err(e) = std::fs::write(&file, repro.to_ron()) {
+                                        eprintln!("warning: cannot write {file}: {e}");
+                                    }
+                                    println!(
+                                        "REPRO target={} seed={seed} policy={} quantum={quantum} fp={fingerprint} ops={} file={file}",
+                                        target.name(),
+                                        policy.spec(),
+                                        min.ops.len()
+                                    );
+                                    println!("  first violation: {v}");
+                                    println!("  shrunk violation: {min_violation}");
+                                }
                             }
                         }
                     }

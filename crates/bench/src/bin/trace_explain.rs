@@ -141,6 +141,8 @@ fn load_case(args: &Args) -> Result<Case, String> {
         migration_quantum: args.migration_quantum,
         tier: kv_service::Tier::Fixed,
         key_dist: workloads::LengthDist::Mixed,
+        fingerprint: 0,
+        miss_filter: false,
         ops: gen_ops(args.seed, args.ops),
     })
 }

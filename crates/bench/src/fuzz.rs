@@ -133,6 +133,18 @@ pub struct Case {
     /// when `tier` is unsized (ignored by the fixed tier). Repro artifacts
     /// carry the stock distribution names.
     pub key_dist: LengthDist,
+    /// Fingerprint-lane width forced onto the DyCuckoo-family layouts
+    /// (core, wide, unsized, and the service's shard tables): 0 — the
+    /// default and the historical shape — leaves `layout` untouched, 8/16
+    /// overrides its `fp_bits` so every probe is fingerprint-gated. The
+    /// oracle is gate-blind: results must stay reference-identical, and
+    /// (because a gate charges lines, never lookups or rounds) digests
+    /// must match the ungated run bit-for-bit.
+    pub fingerprint: u8,
+    /// Arm the service target's per-shard cuckoo-filter miss shield
+    /// (8-bit tags). Shed gets must still produce reference-exact
+    /// replies; non-service targets ignore the flag.
+    pub miss_filter: bool,
     /// The operation sequence.
     pub ops: Vec<FuzzOp>,
 }
@@ -319,6 +331,17 @@ fn table_seed(case: &Case) -> u64 {
     mix64(case.workload_seed ^ 0xC0FF_EE00)
 }
 
+/// The case's layout with its fingerprint override applied. Only the
+/// DyCuckoo-family runners use this — the baselines keep the raw layout,
+/// since the fingerprint lane is a DyCuckoo engine feature.
+fn fp_layout(case: &Case) -> LayoutConfig {
+    if case.fingerprint > 0 {
+        case.layout.with_fp(case.fingerprint)
+    } else {
+        case.layout
+    }
+}
+
 fn setup_err(e: impl fmt::Display) -> Violation {
     Violation::new(format!("table construction failed: {e}"))
 }
@@ -334,7 +357,7 @@ fn build_table(case: &Case, sim: &mut SimContext) -> Result<Box<dyn GpuHashTable
                     dup_policy: DupPolicy::Upsert,
                     schedule: case.policy,
                     inject_lock_elision: case.inject_lock_elision,
-                    layout: case.layout,
+                    layout: fp_layout(case),
                     migration_quantum: case.migration_quantum,
                     ..Config::default()
                 },
@@ -453,7 +476,7 @@ fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
     let wide_layout = LayoutConfig {
         key_bytes: 8,
         val_bytes: 8,
-        ..case.layout
+        ..fp_layout(case)
     };
     let mut table = WideDyCuckoo::with_layout(4, 4, table_seed(case), wide_layout, &mut sim)
         .map_err(setup_err)?;
@@ -614,7 +637,7 @@ fn run_unsized_case(case: &Case) -> Result<Digest, Violation> {
         layout: LayoutConfig {
             key_bytes: 16,
             val_bytes: 8,
-            ..case.layout
+            ..fp_layout(case)
         },
         max_load: 0.8,
         migration_quantum: case.migration_quantum,
@@ -740,7 +763,7 @@ fn run_service_case(case: &Case) -> Result<Digest, Violation> {
             dup_policy: DupPolicy::Upsert,
             schedule: case.policy,
             inject_lock_elision: case.inject_lock_elision,
-            layout: case.layout,
+            layout: fp_layout(case),
             ..Config::default()
         },
         max_batch: 16,
@@ -750,6 +773,7 @@ fn run_service_case(case: &Case) -> Result<Digest, Violation> {
         seed: mix64(seed ^ 0x0A11),
         migration_quantum: case.migration_quantum,
         flush_order: case.policy,
+        miss_filter_bits: if case.miss_filter { 8 } else { 0 },
         ..ServiceConfig::default()
     };
     let mut svc = KvService::new(cfg, &mut sim).map_err(setup_err)?;
@@ -893,6 +917,8 @@ impl Repro {
             "    key_dist: \"{}\",\n",
             self.case.key_dist.name()
         ));
+        out.push_str(&format!("    fingerprint: {},\n", self.case.fingerprint));
+        out.push_str(&format!("    miss_filter: {},\n", self.case.miss_filter));
         out.push_str(&format!(
             "    violation: \"{}\",\n",
             escape(&self.violation)
@@ -982,6 +1008,39 @@ impl Repro {
                 LengthDist::Mixed
             }
         };
+        // Optional (absent in artifacts predating fingerprint gating);
+        // absent means no fingerprint lane.
+        let mark = c.pos;
+        let fingerprint = match c.ident() {
+            Ok(name) if name == "fingerprint" => {
+                c.expect(':')?;
+                let bits = c.number()? as u8;
+                c.expect(',')?;
+                if !matches!(bits, 0 | 8 | 16) {
+                    return Err(format!("bad fingerprint width {bits}"));
+                }
+                bits
+            }
+            _ => {
+                c.pos = mark;
+                0
+            }
+        };
+        // Optional (absent in artifacts predating the miss shield);
+        // absent means no filter.
+        let mark = c.pos;
+        let miss_filter = match c.ident() {
+            Ok(name) if name == "miss_filter" => {
+                c.expect(':')?;
+                let b = c.boolean()?;
+                c.expect(',')?;
+                b
+            }
+            _ => {
+                c.pos = mark;
+                false
+            }
+        };
         c.field("violation")?;
         let violation = c.string()?;
         c.expect(',')?;
@@ -1023,6 +1082,8 @@ impl Repro {
                 migration_quantum,
                 tier,
                 key_dist,
+                fingerprint,
+                miss_filter,
                 ops,
             },
             violation,
@@ -1194,6 +1255,8 @@ mod tests {
             migration_quantum: usize::MAX,
             tier: Tier::Fixed,
             key_dist: LengthDist::Mixed,
+            fingerprint: 0,
+            miss_filter: false,
             ops: gen_ops(1, 96),
         };
         let a = run_case(&case).expect("no violation");
@@ -1217,6 +1280,8 @@ mod tests {
                     migration_quantum: quantum,
                     tier: Tier::Fixed,
                     key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: false,
                     ops: gen_ops(5, 160),
                 };
                 let a = run_case(&case)
@@ -1238,6 +1303,8 @@ mod tests {
             migration_quantum: usize::MAX,
             tier: Tier::Fixed,
             key_dist: LengthDist::Mixed,
+            fingerprint: 0,
+            miss_filter: false,
             ops: gen_ops(3, 96),
         };
         let rev = Case {
@@ -1262,6 +1329,8 @@ mod tests {
                 migration_quantum: 64,
                 tier: Tier::Fixed,
                 key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: vec![FuzzOp::Insert(1, 2), FuzzOp::Find(1), FuzzOp::Delete(1)],
             },
             violation: "find(1) = None, reference says Some(2) — a \"lost\" key\\".to_string(),
@@ -1285,6 +1354,8 @@ mod tests {
                 migration_quantum: usize::MAX,
                 tier: Tier::Fixed,
                 key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: vec![FuzzOp::Insert(3, 4)],
             },
             violation: "x".to_string(),
@@ -1314,6 +1385,8 @@ mod tests {
                 migration_quantum: usize::MAX,
                 tier: Tier::Fixed,
                 key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: vec![],
             },
             violation: String::new(),
@@ -1340,6 +1413,8 @@ mod tests {
             migration_quantum: quantum,
             tier: Tier::Unsized,
             key_dist: dist,
+            fingerprint: 0,
+            miss_filter: false,
             ops: gen_ops(11, n),
         }
     }
@@ -1396,6 +1471,8 @@ mod tests {
                 migration_quantum: 8,
                 tier: Tier::Unsized,
                 key_dist: LengthDist::AllSpill,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: vec![FuzzOp::Insert(9, 9), FuzzOp::Delete(9)],
             },
             violation: "arena leak".to_string(),
@@ -1421,6 +1498,8 @@ mod tests {
                 migration_quantum: 32,
                 tier: Tier::Fixed,
                 key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: vec![FuzzOp::Find(7)],
             },
             violation: "y".to_string(),
@@ -1434,5 +1513,156 @@ mod tests {
         assert!(!text.contains("tier"));
         let back = Repro::from_ron(&text).expect("legacy artifact must parse");
         assert_eq!(back, repro);
+    }
+
+    #[test]
+    fn ron_roundtrips_fingerprint_and_miss_filter() {
+        let repro = Repro {
+            case: Case {
+                target: Target::KvService,
+                policy: SchedulePolicy::Shuffled { seed: 3 },
+                workload_seed: 21,
+                inject_lock_elision: false,
+                layout: LayoutConfig::parse("aos32", 4, 4).unwrap(),
+                migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                fingerprint: 16,
+                miss_filter: true,
+                ops: vec![FuzzOp::Insert(5, 6), FuzzOp::Find(5), FuzzOp::Find(99)],
+            },
+            violation: "shed get answered Some".to_string(),
+        };
+        let text = repro.to_ron();
+        assert!(text.contains("fingerprint: 16"));
+        assert!(text.contains("miss_filter: true"));
+        let back = Repro::from_ron(&text).expect("parse");
+        assert_eq!(back, repro);
+    }
+
+    /// Artifacts written before the fingerprint lane and the miss shield
+    /// existed still parse: the width defaults to 0 and the shield to off,
+    /// recovering the historical case shape exactly.
+    #[test]
+    fn ron_accepts_legacy_artifacts_without_fingerprint_fields() {
+        let repro = Repro {
+            case: Case {
+                target: Target::DyCuckoo,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 4,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
+                ops: vec![FuzzOp::Insert(1, 1)],
+            },
+            violation: "z".to_string(),
+        };
+        let text: String = repro
+            .to_ron()
+            .lines()
+            .filter(|l| !l.contains("fingerprint:") && !l.contains("miss_filter:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(!text.contains("fingerprint"));
+        let back = Repro::from_ron(&text).expect("legacy artifact must parse");
+        assert_eq!(back, repro);
+    }
+
+    #[test]
+    fn ron_rejects_bad_fingerprint_width() {
+        let good = Repro {
+            case: Case {
+                target: Target::DyCuckoo,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 0,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                fingerprint: 8,
+                miss_filter: false,
+                ops: vec![],
+            },
+            violation: String::new(),
+        };
+        let bad = good.to_ron().replace("fingerprint: 8", "fingerprint: 7");
+        assert!(Repro::from_ron(&bad).is_err());
+    }
+
+    /// A fingerprint gate charges memory lines, never lookups or rounds —
+    /// so a gated run must not only pass the oracle on every gated tier
+    /// but produce the *same digest* as the bare run, case for case.
+    #[test]
+    fn fingerprint_gate_leaves_every_digest_unchanged() {
+        for (target, tier) in [
+            (Target::DyCuckoo, Tier::Fixed),
+            (Target::WideDyCuckoo, Tier::Fixed),
+            (Target::KvService, Tier::Fixed),
+            (Target::DyCuckoo, Tier::Unsized),
+        ] {
+            for quantum in [usize::MAX, 8] {
+                let base = Case {
+                    target,
+                    policy: SchedulePolicy::Shuffled { seed: 13 },
+                    workload_seed: 13,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::parse("aos32", 4, 4).unwrap(),
+                    migration_quantum: quantum,
+                    tier,
+                    key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: false,
+                    ops: gen_ops(13, 160),
+                };
+                let bare = run_case(&base)
+                    .unwrap_or_else(|v| panic!("{} bare q={quantum}: {v}", target.name()));
+                for fp in [8u8, 16] {
+                    let gated = Case {
+                        fingerprint: fp,
+                        ..base.clone()
+                    };
+                    let d = run_case(&gated)
+                        .unwrap_or_else(|v| panic!("{} fp{fp} q={quantum}: {v}", target.name()));
+                    assert_eq!(
+                        d,
+                        bare,
+                        "{} fp{fp} q={quantum}: gate changed the digest",
+                        target.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The miss shield sheds provably-absent gets at submission time; the
+    /// service oracle must stay reference-exact under every policy it
+    /// sweeps, with and without in-flight migration.
+    #[test]
+    fn service_oracle_passes_with_miss_filter() {
+        for seed in [0u64, 7, 19] {
+            for quantum in [usize::MAX, 8] {
+                let case = Case {
+                    target: Target::KvService,
+                    policy: SchedulePolicy::from_seed(seed),
+                    workload_seed: seed,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::default(),
+                    migration_quantum: quantum,
+                    tier: Tier::Fixed,
+                    key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: true,
+                    ops: gen_ops(seed, 160),
+                };
+                let a = run_case(&case).unwrap_or_else(|v| panic!("seed={seed} q={quantum}: {v}"));
+                let b = run_case(&case).expect("second run");
+                assert_eq!(a, b, "seed={seed} q={quantum}: digest unstable");
+            }
+        }
     }
 }

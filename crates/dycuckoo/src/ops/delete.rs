@@ -52,9 +52,8 @@ impl RoundKernel<DeleteWarp> for DeleteKernel<'_> {
                 (&mut self.tables[t], hash.bucket(key, n))
             }
         };
-        self.shape.cfg.layout.charge_probe(ctx);
         let mut finished = false;
-        if let Some(slot) = table.find_slot(bucket, key) {
+        if let Some(slot) = table.probe_find(bucket, key, ctx) {
             table.erase(bucket, slot);
             self.shape.cfg.layout.charge_key_write(ctx);
             self.deleted += 1;

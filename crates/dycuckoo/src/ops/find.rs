@@ -54,8 +54,7 @@ impl RoundKernel<FindWarp> for FindKernel<'_> {
                 (table, self.shape.hashes[t].bucket(key, table.n_buckets()))
             }
         };
-        self.shape.cfg.layout.charge_probe(ctx);
-        if let Some(slot) = table.find_slot(bucket, key) {
+        if let Some(slot) = table.probe_find(bucket, key, ctx) {
             // Hit: fetch the value (free under AoS — it came with the probe).
             self.shape.cfg.layout.charge_value_read(ctx);
             self.results[warp.out_base + warp.cur] = Some(table.bucket_vals(bucket)[slot]);

@@ -376,9 +376,12 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     let mut found = None;
                     for t in self.shape.candidates(op.key).iter() {
                         let (b, _, in_fresh) = self.locate(t, op.key);
-                        self.shape.cfg.layout.charge_probe(ctx);
                         warp.ops[leader].probes += 1;
-                        if self.store_ro(t, in_fresh).find_slot(b, op.key).is_some() {
+                        if self
+                            .store_ro(t, in_fresh)
+                            .probe_find(b, op.key, ctx)
+                            .is_some()
+                        {
                             found = Some(t);
                             break;
                         }
@@ -410,9 +413,8 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 }
                 // Re-verify under the lock: the key may have been evicted to
                 // another candidate bucket since the optimistic probe.
-                self.shape.cfg.layout.charge_probe(ctx);
                 warp.ops[leader].probes += 1;
-                if let Some(slot) = self.store_ro(t, in_fresh).find_slot(b, op.key) {
+                if let Some(slot) = self.store_ro(t, in_fresh).probe_find(b, op.key, ctx) {
                     self.store(t, in_fresh).update_val(b, slot, op.val);
                     self.shape.cfg.layout.charge_value_write(ctx);
                     self.out.updated += 1;
@@ -491,10 +493,10 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     }
                     return StepOutcome::Pending;
                 }
-                self.shape.cfg.layout.charge_probe(ctx);
                 warp.ops[leader].probes += 1;
                 let op = warp.ops[leader];
-                if let Some(slot) = self.store_ro(t, in_fresh).find_slot(b, op.key) {
+                let (dup, empty) = self.store_ro(t, in_fresh).probe_for_insert(b, op.key, ctx);
+                if let Some(slot) = dup {
                     // Same-bucket duplicate: update in place (Algorithm 1's
                     // "loc[l].key == k'" arm).
                     self.store(t, in_fresh).update_val(b, slot, op.val);
@@ -502,7 +504,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     self.out.updated += 1;
                     retire(&op, obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
-                } else if let Some(slot) = self.store_ro(t, in_fresh).find_empty(b) {
+                } else if let Some(slot) = empty {
                     self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
                     self.shape.cfg.layout.charge_kv_write(ctx);
                     self.out.inserted += 1;

@@ -246,6 +246,71 @@ fn word_h48(w: u128) -> u64 {
     }
 }
 
+/// Fingerprint-lane hash of a stored key word. Must be stable for a given
+/// *logical* key: inline words are the key itself, but spill handles are
+/// re-homed (page/off change) by migration drains, so a spill word hashes
+/// its full 64-bit stable hash `(fp16 << 48) | h48` and never its handle
+/// bits. Installed into every [`UnsizedStore`] via `set_fp_fn`.
+fn word_fp_hash(w: u128) -> u64 {
+    match decode_key(w) {
+        KeyRepr::Inline { .. } => splitmix64((w ^ (w >> 64)) as u64),
+        KeyRepr::Spill { fp, h48, .. } => ((fp as u64) << 48) | h48,
+    }
+}
+
+/// The query-side mirror of [`word_fp_hash`]: what the stored word's lane
+/// hash will be, computed without knowing the arena handle.
+fn query_fp_hash(q: &Query) -> u64 {
+    match q.inline {
+        Some(w) => splitmix64((w ^ (w >> 64)) as u64),
+        None => ((q.fp as u64) << 48) | q.h48,
+    }
+}
+
+/// Fingerprint-gated probe wrapper around [`match_slot`], charged like
+/// [`BucketStore::probe_find`]: a gate rejection reads only the
+/// fingerprint line; a pass pays the key lines and scans as before.
+fn probe_match(
+    store: &UnsizedStore,
+    arena: &ByteArena,
+    layout: &LayoutConfig,
+    b: usize,
+    q: &Query,
+    key: &[u8],
+    ctx: &mut RoundCtx,
+) -> Option<usize> {
+    if !store.fp_active() {
+        layout.charge_probe(ctx);
+        return match_slot(store, arena, b, q, key, ctx);
+    }
+    layout.charge_fp_probe(ctx);
+    let fp = store.fp_of_hash(query_fp_hash(q));
+    if !store.bucket_fps(b).contains(&fp) {
+        debug_assert!(
+            match_slot_uncharged(store, arena, b, q, key).is_none(),
+            "fingerprint false negative"
+        );
+        return None;
+    }
+    layout.charge_fp_confirm(ctx);
+    match_slot(store, arena, b, q, key, ctx)
+}
+
+/// [`match_slot`] without line charges (debug assertions only).
+fn match_slot_uncharged(
+    store: &UnsizedStore,
+    arena: &ByteArena,
+    b: usize,
+    q: &Query,
+    key: &[u8],
+) -> Option<usize> {
+    let mut m = gpu_sim::Metrics::default();
+    let mut ctx = RoundCtx::new(&mut m);
+    let r = match_slot(store, arena, b, q, key, &mut ctx);
+    ctx.finish();
+    r
+}
+
 /// Where a key of subtable `t` lives: `(bucket, lock_space, in_fresh)`.
 fn locate(
     salts: &[u64; SUBTABLES],
@@ -383,8 +448,7 @@ impl RoundKernel<FindWarp> for FindKernel<'_> {
         } else {
             &self.tables[t]
         };
-        self.layout.charge_probe(ctx);
-        if let Some(slot) = match_slot(store, self.arena, b, q, key, ctx) {
+        if let Some(slot) = probe_match(store, self.arena, &self.layout, b, q, key, ctx) {
             self.layout.charge_value_read(ctx);
             let vw = store.bucket_vals(b)[slot];
             let bytes = match decode_val(vw) {
@@ -572,10 +636,17 @@ impl RoundKernel<InsWarp> for InsertKernel<'_> {
                     warp.rr += 1; // revote
                     return StepOutcome::Pending;
                 }
-                self.layout.charge_probe(ctx);
                 let (key, val) = self.pairs[op.idx];
                 let q = self.queries[op.idx];
-                let found = match_slot(self.store_ro(t, in_fresh), self.arena, b, &q, key, ctx);
+                let found = probe_match(
+                    self.store_ro(t, in_fresh),
+                    self.arena,
+                    &self.layout,
+                    b,
+                    &q,
+                    key,
+                    ctx,
+                );
                 if let Some(slot) = found {
                     // Upsert: free the old value's bytes, store the new.
                     let old_vw = self.store_ro(t, in_fresh).bucket_vals(b)[slot];
@@ -613,8 +684,20 @@ impl RoundKernel<InsWarp> for InsertKernel<'_> {
                     warp.rr += 1; // revote
                     return StepOutcome::Pending;
                 }
-                self.layout.charge_probe(ctx);
-                if let Some(slot) = self.store_ro(t, in_fresh).find_empty(b) {
+                // An empty slot is answerable from the fingerprint lane
+                // alone (fps[s] == 0 ⟺ empty), so the gated layout reads
+                // one fingerprint line here instead of the key lines.
+                let empty = if self.store_ro(t, in_fresh).fp_active() {
+                    self.layout.charge_fp_probe(ctx);
+                    let store = self.store_ro(t, in_fresh);
+                    let e = store.bucket_fps(b).iter().position(|&f| f == 0);
+                    debug_assert_eq!(e, store.find_empty(b));
+                    e
+                } else {
+                    self.layout.charge_probe(ctx);
+                    self.store_ro(t, in_fresh).find_empty(b)
+                };
+                if let Some(slot) = empty {
                     let (kw, vw) = self.words_of(&op, ctx);
                     self.store(t, in_fresh).write_new(b, slot, kw, vw);
                     self.layout.charge_kv_write(ctx);
@@ -735,10 +818,10 @@ impl RoundKernel<DelWarp> for DeleteKernel<'_> {
             warp.rr += 1; // revote
             return StepOutcome::Pending;
         }
-        self.layout.charge_probe(ctx);
-        let found = match_slot(
+        let found = probe_match(
             self.store_ro(op.t, in_fresh),
             self.arena,
+            &self.layout,
             b,
             &q,
             self.keys[op.idx],
@@ -929,10 +1012,13 @@ impl UnsizedTable {
     /// Create an empty table, allocating its subtables on the device.
     pub fn new(cfg: UnsizedConfig, sim: &mut SimContext) -> Result<Self> {
         cfg.validate()?;
-        let tables = [
+        let mut tables = [
             UnsizedStore::new(cfg.n_buckets, cfg.layout),
             UnsizedStore::new(cfg.n_buckets, cfg.layout),
         ];
+        for t in tables.iter_mut() {
+            t.set_fp_fn(word_fp_hash);
+        }
         let mut ledger_bytes = 0;
         for t in &tables {
             sim.device.alloc(t.device_bytes())?;
@@ -1055,9 +1141,11 @@ impl UnsizedTable {
             0
         };
         let old_n = self.tables[t].n_buckets();
+        let mut fresh = UnsizedStore::new(old_n * 2, self.cfg.layout);
+        fresh.set_fp_fn(word_fp_hash);
         self.drain = Some(Drain {
             table: t,
-            fresh: UnsizedStore::new(old_n * 2, self.cfg.layout),
+            fresh,
             cursor: 0,
             span: old_n,
         });

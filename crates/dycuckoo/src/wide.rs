@@ -41,6 +41,32 @@ fn fold_key(key: u64) -> u32 {
     (splitmix64(key) >> 16) as u32
 }
 
+/// Fingerprint-gated bucket scan for the lock-free batch paths, which
+/// charge raw transaction counters instead of going through a
+/// [`RoundCtx`]. Mirrors [`BucketStore::probe_find`]: without a lane the
+/// full key scan is charged; with one, a gate rejection pays only the
+/// single fingerprint line and the key lines are charged on a match.
+#[inline]
+fn gated_find_raw(
+    store: &WideSubTable,
+    b: usize,
+    key: u64,
+    metrics: &mut gpu_sim::Metrics,
+) -> Option<usize> {
+    let layout = store.layout();
+    if !store.fp_active() {
+        metrics.read_transactions += layout.probe_lines();
+        return store.find_slot(b, key);
+    }
+    metrics.read_transactions += layout.fp_lines();
+    if !store.bucket_fps(b).contains(&store.fp_of(key)) {
+        debug_assert!(store.find_slot(b, key).is_none());
+        return None;
+    }
+    metrics.read_transactions += layout.probe_lines();
+    store.find_slot(b, key)
+}
+
 /// A dynamic two-layer cuckoo table over 64-bit keys and values.
 ///
 /// Key 0 is reserved as the empty sentinel (as in the 32-bit table).
@@ -168,8 +194,7 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
             let (i, j) = self.pair.pair_of(fk);
             for t in [i, j] {
                 let (b, _, in_fresh) = self.locate(t, op.key);
-                self.layout.charge_probe(ctx);
-                if self.store(t, in_fresh).find_slot(b, op.key).is_some() {
+                if self.store(t, in_fresh).probe_find(b, op.key, ctx).is_some() {
                     let cur = &mut warp.ops[warp.cur];
                     cur.target = t;
                     cur.tried_both = true;
@@ -184,13 +209,13 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
         if !ctx.atomic_cas_lock(&mut self.store(t, in_fresh).locks, space, b) {
             return StepOutcome::Pending; // warp-serial table: simple spin
         }
-        self.layout.charge_probe(ctx);
-        if let Some(slot) = self.store(t, in_fresh).find_slot(b, op.key) {
+        let (dup, empty) = self.store(t, in_fresh).probe_for_insert(b, op.key, ctx);
+        if let Some(slot) = dup {
             self.store(t, in_fresh).update_val(b, slot, op.val);
             self.layout.charge_value_write(ctx);
             self.updated += 1;
             warp.cur += 1;
-        } else if let Some(slot) = self.store(t, in_fresh).find_empty(b) {
+        } else if let Some(slot) = empty {
             self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
             self.layout.charge_kv_write(ctx);
             self.inserted += 1;
@@ -546,7 +571,6 @@ impl WideDyCuckoo {
     pub fn find_batch(&self, sim: &mut SimContext, keys: &[u64]) -> Vec<Option<u64>> {
         sim.metrics.ops += keys.len() as u64;
         let metrics = &mut sim.metrics;
-        let probe = self.layout.probe_lines();
         let value_read = self.layout.value_read_lines();
         let mut out = Vec::with_capacity(keys.len());
         let mut rounds = 0u64;
@@ -571,10 +595,9 @@ impl WideDyCuckoo {
                             )
                         }
                     };
-                    metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
-                    if let Some(slot) = store.find_slot(b, key) {
+                    if let Some(slot) = gated_find_raw(store, b, key, metrics) {
                         metrics.read_transactions += value_read;
                         found = Some(store.bucket_vals(b)[slot]);
                         break;
@@ -592,7 +615,6 @@ impl WideDyCuckoo {
     pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u64]) -> u64 {
         sim.metrics.ops += keys.len() as u64;
         let metrics = &mut sim.metrics;
-        let probe = self.layout.probe_lines();
         let key_write = self.layout.key_write_lines();
         let mut deleted = 0;
         let mut rounds = 0u64;
@@ -618,10 +640,9 @@ impl WideDyCuckoo {
                             (&mut self.tables[t], self.hashes[t].bucket(fold_key(key), n))
                         }
                     };
-                    metrics.read_transactions += probe;
                     metrics.lookups += 1;
                     warp_rounds += 1;
-                    if let Some(slot) = store.find_slot(b, key) {
+                    if let Some(slot) = gated_find_raw(store, b, key, metrics) {
                         store.erase(b, slot);
                         metrics.write_transactions += key_write;
                         deleted += 1;

@@ -168,6 +168,12 @@ pub struct LayoutConfig {
     pub key_bytes: u64,
     /// Bytes per value (4 or 8).
     pub val_bytes: u64,
+    /// Bits per slot in the optional fingerprint lane (0 = no lane,
+    /// otherwise 8 or 16). The lane is a separate densely packed word per
+    /// bucket — at most 32 × 2 B = 64 B, so it always fits one cache line
+    /// regardless of geometry. Probes read it first and only touch the key
+    /// lines when some slot's fingerprint matches.
+    pub fp_bits: u8,
 }
 
 impl Default for LayoutConfig {
@@ -186,6 +192,7 @@ impl LayoutConfig {
             slots,
             key_bytes,
             val_bytes,
+            fp_bits: 0,
         }
     }
 
@@ -196,6 +203,16 @@ impl LayoutConfig {
             slots,
             key_bytes,
             val_bytes,
+            fp_bits: 0,
+        }
+    }
+
+    /// The same layout with a fingerprint lane of `bits` bits per slot
+    /// (0 removes the lane; 8 and 16 are the supported widths).
+    pub const fn with_fp(self, bits: u8) -> Self {
+        Self {
+            fp_bits: bits,
+            ..self
         }
     }
 
@@ -216,21 +233,37 @@ impl LayoutConfig {
                 self.key_bytes, self.val_bytes
             ));
         }
+        if !matches!(self.fp_bits, 0 | 8 | 16) {
+            return Err(format!(
+                "layout fingerprint bits must be 0, 8 or 16, got {}",
+                self.fp_bits
+            ));
+        }
         Ok(())
     }
 
-    /// Short spec string, e.g. `soa32` or `aos16` (geometry of the word
-    /// sizes is implied by the table's key/value types).
+    /// Short spec string, e.g. `soa32`, `aos16` or `soa32+fp8` (geometry
+    /// of the word sizes is implied by the table's key/value types).
     pub fn spec(&self) -> String {
-        format!("{}{}", self.scheme.name(), self.slots)
+        if self.fp_bits > 0 {
+            format!("{}{}+fp{}", self.scheme.name(), self.slots, self.fp_bits)
+        } else {
+            format!("{}{}", self.scheme.name(), self.slots)
+        }
     }
 
-    /// Parse a `soa32` / `aos16`-style spec for a table with the given
-    /// key/value word sizes.
+    /// Parse a `soa32` / `aos16` / `soa32+fp8`-style spec for a table with
+    /// the given key/value word sizes.
     pub fn parse(spec: &str, key_bytes: u64, val_bytes: u64) -> Option<Self> {
-        let (scheme, slots) = if let Some(rest) = spec.strip_prefix("soa") {
+        let (base, fp_bits) = match spec.split_once('+') {
+            None => (spec, 0u8),
+            Some((base, "fp8")) => (base, 8),
+            Some((base, "fp16")) => (base, 16),
+            Some(_) => return None,
+        };
+        let (scheme, slots) = if let Some(rest) = base.strip_prefix("soa") {
             (LayoutScheme::Soa, rest)
-        } else if let Some(rest) = spec.strip_prefix("aos") {
+        } else if let Some(rest) = base.strip_prefix("aos") {
             (LayoutScheme::Aos, rest)
         } else {
             return None;
@@ -241,6 +274,7 @@ impl LayoutConfig {
             slots,
             key_bytes,
             val_bytes,
+            fp_bits,
         };
         cfg.validate().ok().map(|()| cfg)
     }
@@ -269,10 +303,42 @@ impl LayoutConfig {
         (LINE_BYTES / self.key_bytes) as usize
     }
 
+    /// Whether this layout carries a fingerprint lane.
+    pub fn has_fp(&self) -> bool {
+        self.fp_bits > 0
+    }
+
+    /// Bytes of one bucket's fingerprint word (unpadded; 0 without a
+    /// lane).
+    pub fn fp_area_bytes(&self) -> u64 {
+        self.slots as u64 * self.fp_bits as u64 / 8
+    }
+
+    /// Lines the fingerprint word spans: at most 32 slots × 2 B = 64 B,
+    /// so always exactly one line when the lane exists.
+    pub fn fp_lines(&self) -> u64 {
+        if self.has_fp() {
+            lines(self.fp_area_bytes())
+        } else {
+            0
+        }
+    }
+
+    /// Largest fingerprint value the lane can hold (0 is reserved for
+    /// empty slots so emptiness is answerable from the lane alone).
+    pub fn fp_max(&self) -> u64 {
+        (1u64 << self.fp_bits) - 1
+    }
+
     /// Device bytes of one bucket including layout padding, excluding the
     /// lock word.
     pub fn bucket_stride_bytes(&self) -> u64 {
-        self.rules().bucket_stride_bytes(self)
+        let fp = if self.has_fp() {
+            round_up(self.fp_area_bytes(), SECTOR_BYTES)
+        } else {
+            0
+        };
+        self.rules().bucket_stride_bytes(self) + fp
     }
 
     /// Device bytes of a table of `n_buckets` buckets: padded bucket
@@ -286,9 +352,10 @@ impl LayoutConfig {
         self.rules().probe_lines(self)
     }
 
-    /// Lines to read (or write) one whole bucket during a rehash drain.
+    /// Lines to read (or write) one whole bucket during a rehash drain
+    /// (the fingerprint word drains along with the bucket).
     pub fn drain_lines(&self) -> u64 {
-        self.rules().drain_lines(self)
+        self.rules().drain_lines(self) + self.fp_lines()
     }
 
     /// Extra read transactions fetching a value after a key hit costs.
@@ -296,19 +363,22 @@ impl LayoutConfig {
         self.rules().value_read_lines(self)
     }
 
-    /// Write transactions placing (or swapping) a full KV pair costs.
+    /// Write transactions placing (or swapping) a full KV pair costs
+    /// (placing a key also stamps its slot in the fingerprint word).
     pub fn kv_write_lines(&self) -> u64 {
-        self.rules().kv_write_lines(self)
+        self.rules().kv_write_lines(self) + self.fp_lines()
     }
 
-    /// Write transactions an in-place value update costs.
+    /// Write transactions an in-place value update costs (the key — and
+    /// hence its fingerprint — is untouched).
     pub fn value_write_lines(&self) -> u64 {
         self.rules().value_write_lines(self)
     }
 
-    /// Write transactions erasing a key costs.
+    /// Write transactions erasing a key costs (erasing also clears the
+    /// slot's fingerprint).
     pub fn key_write_lines(&self) -> u64 {
-        self.rules().key_write_lines(self)
+        self.rules().key_write_lines(self) + self.fp_lines()
     }
 
     /// Charge a bucket probe: one logical lookup, spanning however many
@@ -320,10 +390,31 @@ impl LayoutConfig {
         }
     }
 
+    /// Charge reading a bucket's fingerprint word: still one logical
+    /// lookup (the probe *started*), but only the single fingerprint
+    /// line — the key lines are only paid if the gate passes.
+    pub fn charge_fp_probe(&self, ctx: &mut RoundCtx) {
+        debug_assert!(self.has_fp());
+        ctx.read_bucket();
+        for _ in 1..self.fp_lines() {
+            ctx.read_line();
+        }
+    }
+
+    /// Charge confirming a fingerprint match against the key lines. The
+    /// lookup was already counted by [`Self::charge_fp_probe`], so this is
+    /// pure line traffic: the same key lines a bare probe would scan.
+    pub fn charge_fp_confirm(&self, ctx: &mut RoundCtx) {
+        debug_assert!(self.has_fp());
+        for _ in 0..self.probe_lines() {
+            ctx.read_line();
+        }
+    }
+
     /// Charge fetching a value after a key hit (free under AoS: the value
     /// arrived with the probed line).
     pub fn charge_value_read(&self, ctx: &mut RoundCtx) {
-        for _ in 0..self.rules().value_read_lines(self) {
+        for _ in 0..self.value_read_lines() {
             ctx.read_line();
         }
     }
@@ -331,14 +422,14 @@ impl LayoutConfig {
     /// Charge writing a fresh KV pair (or swapping one during an
     /// eviction).
     pub fn charge_kv_write(&self, ctx: &mut RoundCtx) {
-        for _ in 0..self.rules().kv_write_lines(self) {
+        for _ in 0..self.kv_write_lines() {
             ctx.write_line();
         }
     }
 
     /// Charge an in-place value update.
     pub fn charge_value_write(&self, ctx: &mut RoundCtx) {
-        for _ in 0..self.rules().value_write_lines(self) {
+        for _ in 0..self.value_write_lines() {
             ctx.write_line();
         }
     }
@@ -346,7 +437,7 @@ impl LayoutConfig {
     /// Charge erasing a key (SoA deliberately touches no value line — the
     /// reason the paper splits the arrays).
     pub fn charge_key_write(&self, ctx: &mut RoundCtx) {
-        for _ in 0..self.rules().key_write_lines(self) {
+        for _ in 0..self.key_write_lines() {
             ctx.write_line();
         }
     }
@@ -472,5 +563,79 @@ mod tests {
     fn keys_per_line_tracks_key_width() {
         assert_eq!(LayoutConfig::soa(32, 4, 4).keys_per_line(), 32);
         assert_eq!(LayoutConfig::soa(16, 8, 8).keys_per_line(), 16);
+    }
+
+    #[test]
+    fn fp_lane_always_spans_one_line() {
+        // Even the widest lane (32 slots × 2 B = 64 B) fits one line.
+        for (slots, bits) in [(8, 8), (16, 8), (32, 8), (8, 16), (16, 16), (32, 16)] {
+            let l = LayoutConfig::soa(slots, 4, 4).with_fp(bits);
+            assert!(l.validate().is_ok());
+            assert_eq!(l.fp_lines(), 1, "soa{slots}+fp{bits}");
+        }
+        assert_eq!(LayoutConfig::soa(32, 4, 4).fp_lines(), 0);
+    }
+
+    #[test]
+    fn fp_lane_charges_one_line_per_gate_and_full_probe_on_confirm() {
+        let l = LayoutConfig::aos(32, 4, 4).with_fp(8);
+        // Gate rejection: one line, one logical lookup.
+        let m = charges(|ctx| l.charge_fp_probe(ctx));
+        assert_eq!((m.read_transactions, m.lookups), (1, 1));
+        // Gate pass: fp line + the full two-line aos32 key scan, still
+        // one logical lookup — more lines than a bare probe on a pass,
+        // fewer on a reject. That trade is the whole point.
+        let m = charges(|ctx| {
+            l.charge_fp_probe(ctx);
+            l.charge_fp_confirm(ctx);
+        });
+        assert_eq!((m.read_transactions, m.lookups), (3, 1));
+        let bare = charges(|ctx| LayoutConfig::aos(32, 4, 4).charge_probe(ctx));
+        assert_eq!((bare.read_transactions, bare.lookups), (2, 1));
+    }
+
+    #[test]
+    fn fp_lane_adds_stride_and_write_lines() {
+        let base = LayoutConfig::soa(32, 4, 4);
+        let l = base.with_fp(16);
+        // 32 × 2 B = 64 B lane, sector-padded.
+        assert_eq!(l.bucket_stride_bytes(), base.bucket_stride_bytes() + 64);
+        assert_eq!(l.kv_write_lines(), base.kv_write_lines() + 1);
+        assert_eq!(l.key_write_lines(), base.key_write_lines() + 1);
+        assert_eq!(l.drain_lines(), base.drain_lines() + 1);
+        // Value-only traffic never touches the lane.
+        assert_eq!(l.value_write_lines(), base.value_write_lines());
+        assert_eq!(l.value_read_lines(), base.value_read_lines());
+        // fp8 lane on 8 slots is 8 B but still pads to a sector.
+        let small = LayoutConfig::soa(8, 4, 4).with_fp(8);
+        assert_eq!(
+            small.bucket_stride_bytes(),
+            LayoutConfig::soa(8, 4, 4).bucket_stride_bytes() + 32
+        );
+    }
+
+    #[test]
+    fn fp_spec_round_trips() {
+        for spec in ["soa32+fp8", "soa32+fp16", "aos16+fp8", "aos32+fp16"] {
+            let l = LayoutConfig::parse(spec, 4, 4).unwrap();
+            assert_eq!(l.spec(), spec);
+            assert!(l.validate().is_ok());
+        }
+        assert!(LayoutConfig::parse("soa32+fp4", 4, 4).is_none());
+        assert!(LayoutConfig::parse("soa32+", 4, 4).is_none());
+        assert!(LayoutConfig::parse("soa32+filter", 4, 4).is_none());
+        assert!(LayoutConfig::soa(32, 4, 4).with_fp(7).validate().is_err());
+    }
+
+    #[test]
+    fn fp_off_is_bit_identical_to_the_historical_layout() {
+        let l = LayoutConfig::default();
+        assert_eq!(l.fp_bits, 0);
+        assert!(!l.has_fp());
+        assert_eq!(l.spec(), "soa32");
+        assert_eq!(l.bucket_stride_bytes(), 256);
+        assert_eq!(l.kv_write_lines(), 2);
+        assert_eq!(l.key_write_lines(), 1);
+        assert_eq!(l.drain_lines(), 2);
     }
 }

@@ -14,9 +14,17 @@
 //! slot stores is inherently layout-free — every access is an uncoalesced
 //! single-slot transaction charged at the call site.
 
-use crate::atomic::Locks;
+use crate::atomic::{Locks, RoundCtx};
 
 use super::layout::LayoutConfig;
+
+/// The splitmix64 finalizer — the store's default fingerprint mixer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// A key or value word a store can hold: fixed width, with a reserved
 /// all-zeroes sentinel for empty slots.
@@ -31,21 +39,43 @@ pub trait SlotWord: Copy + Eq + std::fmt::Debug {
     fn is_empty_word(self) -> bool {
         self == Self::EMPTY
     }
+
+    /// Default hash feeding the fingerprint lane: any deterministic
+    /// function of the stored word preserves false-negative freedom.
+    /// Stores whose words are *not* stable for a given logical key (the
+    /// unsized tier's spill handles move between arena pages) install a
+    /// custom function via [`BucketStore::set_fp_fn`] instead.
+    fn fp_hash(self) -> u64;
 }
 
 impl SlotWord for u32 {
     const EMPTY: Self = 0;
     const BYTES: u64 = 4;
+
+    #[inline]
+    fn fp_hash(self) -> u64 {
+        mix64(self as u64)
+    }
 }
 
 impl SlotWord for u64 {
     const EMPTY: Self = 0;
     const BYTES: u64 = 8;
+
+    #[inline]
+    fn fp_hash(self) -> u64 {
+        mix64(self)
+    }
 }
 
 impl SlotWord for u128 {
     const EMPTY: Self = 0;
     const BYTES: u64 = 16;
+
+    #[inline]
+    fn fp_hash(self) -> u64 {
+        mix64((self ^ (self >> 64)) as u64)
+    }
 }
 
 /// A bucketized key/value store with per-bucket locks.
@@ -59,6 +89,12 @@ impl SlotWord for u128 {
 pub struct BucketStore<K: SlotWord, V: SlotWord> {
     keys: Vec<K>,
     vals: Vec<V>,
+    /// Per-slot fingerprints, allocated only when the layout carries a
+    /// fingerprint lane. Invariant: `fps[idx] == 0` ⟺ `keys[idx]` empty,
+    /// so emptiness is answerable from the lane alone.
+    fps: Vec<u16>,
+    /// Hash feeding the lane; defaults to [`SlotWord::fp_hash`].
+    fp_fn: fn(K) -> u64,
     /// Per-bucket lock flags (public so kernels can pass them to
     /// [`crate::RoundCtx`] atomics).
     pub locks: Locks,
@@ -78,14 +114,57 @@ impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
             V::BYTES,
             "layout value width vs value type"
         );
+        let fp_slots = if layout.has_fp() {
+            n_buckets * layout.slots
+        } else {
+            0
+        };
         Self {
             keys: vec![K::EMPTY; n_buckets * layout.slots],
             vals: vec![V::EMPTY; n_buckets * layout.slots],
+            fps: vec![0; fp_slots],
+            fp_fn: K::fp_hash,
             locks: Locks::new(n_buckets),
             layout,
             n_buckets,
             occupied: 0,
         }
+    }
+
+    /// Install a custom fingerprint hash. Must be called before any key
+    /// is stored — the lane is not recomputed retroactively.
+    pub fn set_fp_fn(&mut self, f: fn(K) -> u64) {
+        debug_assert_eq!(self.occupied, 0, "set_fp_fn on a populated store");
+        self.fp_fn = f;
+    }
+
+    /// Whether this store maintains a fingerprint lane.
+    #[inline]
+    pub fn fp_active(&self) -> bool {
+        self.layout.has_fp()
+    }
+
+    /// The fingerprint the lane stores for `key`: the configured hash
+    /// folded into `1..=2^bits - 1` (0 is the empty-slot sentinel).
+    #[inline]
+    pub fn fp_of(&self, key: K) -> u16 {
+        self.fp_of_hash((self.fp_fn)(key))
+    }
+
+    /// Fold a precomputed fingerprint hash into the lane's value range.
+    /// Query paths that cannot reconstruct the stored word (the unsized
+    /// tier's spill handles) hash their side and fold here.
+    #[inline]
+    pub fn fp_of_hash(&self, h: u64) -> u16 {
+        debug_assert!(self.fp_active());
+        (h % self.layout.fp_max() + 1) as u16
+    }
+
+    /// The fingerprint word of bucket `b`.
+    #[inline]
+    pub fn bucket_fps(&self, b: usize) -> &[u16] {
+        let s = self.layout.slots;
+        &self.fps[b * s..(b + 1) * s]
     }
 
     /// The layout this store was created under.
@@ -157,6 +236,62 @@ impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
         self.find_slot(b, K::EMPTY)
     }
 
+    /// Fingerprint-gated probe for `key` in bucket `b`, charging as it
+    /// goes. Without a lane this is exactly a bare probe (one
+    /// `charge_probe` + `find_slot`). With a lane, the gate reads only
+    /// the fingerprint word; the key lines are charged (and scanned)
+    /// only when some slot's fingerprint matches — a false positive
+    /// still pays the confirm and then misses on the key scan, so the
+    /// result is always identical to the ungated probe.
+    pub fn probe_find(&self, b: usize, key: K, ctx: &mut RoundCtx) -> Option<usize> {
+        if !self.fp_active() {
+            self.layout.charge_probe(ctx);
+            return self.find_slot(b, key);
+        }
+        self.layout.charge_fp_probe(ctx);
+        let fp = self.fp_of(key);
+        if !self.bucket_fps(b).contains(&fp) {
+            debug_assert!(
+                self.find_slot(b, key).is_none(),
+                "fingerprint false negative"
+            );
+            return None;
+        }
+        self.layout.charge_fp_confirm(ctx);
+        self.find_slot(b, key)
+    }
+
+    /// Fingerprint-gated insert-side probe: `(duplicate slot, empty
+    /// slot)` for `key` in bucket `b`, charged like [`Self::probe_find`].
+    /// The empty slot is read off the fingerprint word itself when the
+    /// lane exists (`fps[s] == 0` ⟺ empty), so a gate rejection still
+    /// answers "where can this key go" from the single fingerprint line.
+    pub fn probe_for_insert(
+        &self,
+        b: usize,
+        key: K,
+        ctx: &mut RoundCtx,
+    ) -> (Option<usize>, Option<usize>) {
+        if !self.fp_active() {
+            self.layout.charge_probe(ctx);
+            return (self.find_slot(b, key), self.find_empty(b));
+        }
+        self.layout.charge_fp_probe(ctx);
+        let fp = self.fp_of(key);
+        let fps = self.bucket_fps(b);
+        let empty = fps.iter().position(|&f| f == 0);
+        debug_assert_eq!(empty, self.find_empty(b), "fp lane / key lane empty drift");
+        if !fps.contains(&fp) {
+            debug_assert!(
+                self.find_slot(b, key).is_none(),
+                "fingerprint false negative"
+            );
+            return (None, empty);
+        }
+        self.layout.charge_fp_confirm(ctx);
+        (self.find_slot(b, key), empty)
+    }
+
     /// Read the KV pair at `(bucket, slot)`.
     #[inline]
     pub fn slot(&self, b: usize, s: usize) -> (K, V) {
@@ -170,6 +305,9 @@ impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
         let idx = b * self.layout.slots + s;
         debug_assert!(self.keys[idx].is_empty_word(), "write_new over a live slot");
         debug_assert!(!key.is_empty_word());
+        if self.fp_active() {
+            self.fps[idx] = self.fp_of(key);
+        }
         self.keys[idx] = key;
         self.vals[idx] = val;
         self.occupied += 1;
@@ -190,6 +328,9 @@ impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
         let idx = b * self.layout.slots + s;
         debug_assert!(!self.keys[idx].is_empty_word(), "swap with an empty slot");
         let old = (self.keys[idx], self.vals[idx]);
+        if self.fp_active() {
+            self.fps[idx] = self.fp_of(key);
+        }
         self.keys[idx] = key;
         self.vals[idx] = val;
         old
@@ -202,6 +343,9 @@ impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
     pub fn erase(&mut self, b: usize, s: usize) {
         let idx = b * self.layout.slots + s;
         debug_assert!(!self.keys[idx].is_empty_word(), "erasing an empty slot");
+        if self.fp_active() {
+            self.fps[idx] = 0;
+        }
         self.keys[idx] = K::EMPTY;
         self.occupied -= 1;
     }
@@ -367,6 +511,77 @@ mod tests {
     fn wide_words_use_eight_byte_accounting() {
         let t: BucketStore<u64, u64> = BucketStore::new(3, LayoutConfig::soa(16, 8, 8));
         assert_eq!(t.device_bytes(), 3 * (16 * 16 + 4));
+    }
+
+    #[test]
+    fn fp_lane_tracks_mutations() {
+        let mut t: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::default().with_fp(8));
+        assert!(t.fp_active());
+        let s = t.find_empty(1).unwrap();
+        t.write_new(1, s, 42, 7);
+        assert_eq!(t.bucket_fps(1)[s], t.fp_of(42));
+        let old = t.swap(1, s, 99, 8);
+        assert_eq!(old, (42, 7));
+        assert_eq!(t.bucket_fps(1)[s], t.fp_of(99));
+        t.erase(1, s);
+        assert_eq!(t.bucket_fps(1)[s], 0);
+    }
+
+    #[test]
+    fn gated_probe_matches_bare_probe_results() {
+        use crate::metrics::Metrics;
+
+        let mut gated: BucketStore<u32, u32> =
+            BucketStore::new(4, LayoutConfig::default().with_fp(16));
+        let mut bare: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::default());
+        for k in 1..=100u32 {
+            let b = (k % 4) as usize;
+            if let Some(s) = gated.find_empty(b) {
+                gated.write_new(b, s, k, k);
+                bare.write_new(b, s, k, k);
+            }
+        }
+        let mut m = Metrics::default();
+        let mut ctx = RoundCtx::new(&mut m);
+        for k in 1..=200u32 {
+            let b = (k % 4) as usize;
+            assert_eq!(
+                gated.probe_find(b, k, &mut ctx),
+                bare.find_slot(b, k),
+                "key {k}"
+            );
+            let (dup, empty) = gated.probe_for_insert(b, k, &mut ctx);
+            assert_eq!(dup, bare.find_slot(b, k), "key {k}");
+            assert_eq!(empty, bare.find_empty(b), "key {k}");
+        }
+        ctx.finish();
+    }
+
+    #[test]
+    fn gated_probe_saves_lines_on_multi_line_layouts() {
+        use crate::metrics::Metrics;
+
+        // aos32 probes span two lines; the fp gate answers a clean miss
+        // from one. Use an empty table so every lookup is a gate reject.
+        let gated: BucketStore<u32, u32> =
+            BucketStore::new(4, LayoutConfig::aos(32, 4, 4).with_fp(8));
+        let bare: BucketStore<u32, u32> = BucketStore::new(4, LayoutConfig::aos(32, 4, 4));
+        let miss_lines = |f: &dyn Fn(&mut RoundCtx)| {
+            let mut m = Metrics::default();
+            let mut ctx = RoundCtx::new(&mut m);
+            f(&mut ctx);
+            ctx.finish();
+            (m.read_transactions, m.lookups)
+        };
+        let g = miss_lines(&|ctx| {
+            assert!(gated.probe_find(0, 7, ctx).is_none());
+        });
+        let b = miss_lines(&|ctx| {
+            bare.layout().charge_probe(ctx);
+            assert!(bare.find_slot(0, 7).is_none());
+        });
+        assert_eq!(g, (1, 1));
+        assert_eq!(b, (2, 1));
     }
 
     #[test]

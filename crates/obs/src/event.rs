@@ -192,6 +192,15 @@ pub enum Event {
         /// for a soft `Shed` (read dropped above the watermark).
         hard: bool,
     },
+    /// The cuckoo-filter miss shield answered a Get `Value(None)` at
+    /// submission time (the key was provably absent; no batcher enqueue,
+    /// no kernel work).
+    FilterShed {
+        /// Shard index.
+        shard: u32,
+        /// The absent key.
+        key: u32,
+    },
 }
 
 impl Event {
@@ -210,6 +219,7 @@ impl Event {
             Event::BatchFlush { .. } => "batch_flush",
             Event::BatchEnd { .. } => "batch_end",
             Event::Shed { .. } => "shed",
+            Event::FilterShed { .. } => "filter_shed",
         }
     }
 

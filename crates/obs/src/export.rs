@@ -113,6 +113,9 @@ fn write_args(out: &mut String, e: &Event) {
         Event::Shed { shard, depth, hard } => {
             let _ = write!(out, ",\"shard\":{shard},\"depth\":{depth},\"hard\":{hard}");
         }
+        Event::FilterShed { shard, key } => {
+            let _ = write!(out, ",\"shard\":{shard},\"key\":{key}");
+        }
     }
 }
 

@@ -45,12 +45,14 @@
 
 mod admission;
 mod batcher;
+mod filter;
 mod metrics;
 mod request;
 mod router;
 mod service;
 
 pub use admission::{AdmissionPolicy, AdmitError};
+pub use filter::{CuckooFilter, MissFilter};
 pub use metrics::{LatencyHistogram, ServiceMetrics, ShardMetrics, Snapshot, SnapshotRow};
 pub use request::{ByteCompletion, ByteOp, ByteReply, Completion, Op, Reply};
 pub use router::ShardRouter;

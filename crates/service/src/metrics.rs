@@ -168,6 +168,19 @@ pub struct ShardMetrics {
     pub arena_live_bytes: u64,
     /// Arena bytes freed but not yet reused — fragmentation (gauge).
     pub arena_frag_bytes: u64,
+    /// Gets answered `Value(None)` at submission by the cuckoo-filter
+    /// miss shield (never entered the batcher). Always 0 with
+    /// `miss_filter_bits: 0` — this gates the filter metrics'
+    /// registration.
+    pub filter_shed: u64,
+    /// Gets the filter let through that the table then missed — filter
+    /// false positives (they still received the correct `Value(None)`).
+    pub filter_false_pos: u64,
+    /// Live keys tracked by the shard's filter at the last flush (gauge;
+    /// totals sum across shards).
+    pub filter_keys: u64,
+    /// Times the shard's filter overflowed and was rebuilt larger.
+    pub filter_rebuilds: u64,
     /// Deepest queue observed.
     pub max_queue_depth: usize,
     /// Simulated nanoseconds spent executing this shard's kernels
@@ -205,6 +218,10 @@ impl ShardMetrics {
         self.arena_pages += other.arena_pages;
         self.arena_live_bytes += other.arena_live_bytes;
         self.arena_frag_bytes += other.arena_frag_bytes;
+        self.filter_shed += other.filter_shed;
+        self.filter_false_pos += other.filter_false_pos;
+        self.filter_keys += other.filter_keys;
+        self.filter_rebuilds += other.filter_rebuilds;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.service_ns += other.service_ns;
         self.latency.merge(&other.latency);
@@ -299,6 +316,15 @@ impl ShardMetrics {
                 labels,
                 self.arena_frag_bytes as f64,
             );
+        }
+        // Filter metrics appear only once a miss shield has actually done
+        // something (shed, passed a false positive, or tracked a key), so
+        // filter-off registries keep their exact historical shape.
+        if self.filter_shed > 0 || self.filter_false_pos > 0 || self.filter_keys > 0 {
+            reg.counter("service_filter_shed", labels, self.filter_shed);
+            reg.counter("service_filter_false_pos", labels, self.filter_false_pos);
+            reg.counter("service_filter_rebuilds", labels, self.filter_rebuilds);
+            reg.gauge("service_filter_keys", labels, self.filter_keys as f64);
         }
         reg.gauge(
             "service_max_queue_depth",

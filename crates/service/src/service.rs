@@ -29,6 +29,7 @@ use gpu_sim::{CostModel, SchedulePolicy, SimContext};
 
 use crate::admission::{AdmissionPolicy, AdmitError};
 use crate::batcher::{plan_flush, PlannedReply};
+use crate::filter::MissFilter;
 use crate::metrics::{ServiceMetrics, Snapshot, SnapshotRow};
 use crate::request::{
     ByteCompletion, ByteOp, BytePending, ByteReply, Completion, Op, Pending, Reply,
@@ -107,6 +108,12 @@ pub struct ServiceConfig {
     /// and [`ServiceConfig::migration_quantum`] overrides the embedded
     /// quantum exactly as it does for the fixed tables.
     pub unsized_table: UnsizedConfig,
+    /// Fingerprint width of the per-shard cuckoo-filter miss shield: 0
+    /// (the default) allocates no filter and leaves every submit/flush
+    /// path byte-identical to a service built before the shield existed;
+    /// 8 or 16 sheds provably-absent `Get`s at submission time (see
+    /// [`crate::filter::MissFilter`]).
+    pub miss_filter_bits: u8,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +130,7 @@ impl Default for ServiceConfig {
             flush_order: SchedulePolicy::FixedOrder,
             tier: Tier::Fixed,
             unsized_table: UnsizedConfig::default(),
+            miss_filter_bits: 0,
         }
     }
 }
@@ -143,6 +151,12 @@ impl ServiceConfig {
             return Err(ServiceError::InvalidConfig(format!(
                 "max_batch ({}) cannot exceed queue_capacity ({})",
                 self.max_batch, self.queue_capacity
+            )));
+        }
+        if !matches!(self.miss_filter_bits, 0 | 8 | 16) {
+            return Err(ServiceError::InvalidConfig(format!(
+                "miss_filter_bits must be 0, 8, or 16 (got {})",
+                self.miss_filter_bits
             )));
         }
         self.admission()
@@ -222,6 +236,8 @@ struct Shard {
     unsized_table: Option<UnsizedTable>,
     /// Byte-tier queue, flushed by the same size-or-deadline rule.
     byte_queue: VecDeque<BytePending>,
+    /// Cuckoo-filter miss shield — `None` unless `miss_filter_bits > 0`.
+    filter: Option<MissFilter>,
 }
 
 /// A sharded, batching KV service over DyCuckoo tables.
@@ -261,11 +277,18 @@ impl KvService {
                     Some(UnsizedTable::new(ucfg, sim)?)
                 }
             };
+            let filter = (cfg.miss_filter_bits > 0).then(|| {
+                MissFilter::new(
+                    cfg.miss_filter_bits,
+                    splitmix64(cfg.seed ^ (0xF117_E000 + i as u64)),
+                )
+            });
             shards.push(Shard {
                 table: DyCuckoo::new(table_cfg, sim)?,
                 queue: VecDeque::new(),
                 unsized_table,
                 byte_queue: VecDeque::new(),
+                filter,
             });
         }
         let metrics = ServiceMetrics::new(cfg.shards);
@@ -322,6 +345,41 @@ impl KvService {
                     });
                 }
                 return Err(e);
+            }
+        }
+        // Miss shield: a Get whose key the filter provably excludes — and
+        // for which no write is queued in this shard's window (those are
+        // the coalescer's to answer) — completes right now with
+        // `Value(None)`, never entering the batcher. A filter *hit* proves
+        // nothing and flows through to the table unchanged.
+        if let (&Op::Get(key), Some(filter)) = (&op, self.shards[shard].filter.as_ref()) {
+            let write_pending = self.shards[shard]
+                .queue
+                .iter()
+                .any(|p| p.op.key() == key && !p.op.is_read());
+            if !write_pending && !filter.may_contain(key) {
+                let id = self.next_id;
+                self.next_id += 1;
+                m.admitted += 1;
+                m.completed += 1;
+                m.filter_shed += 1;
+                m.latency.record(0);
+                if obs::is_enabled() {
+                    obs::emit(obs::Event::FilterShed {
+                        shard: shard as u32,
+                        key,
+                    });
+                }
+                self.completions.push_back(Completion {
+                    id,
+                    client,
+                    key,
+                    reply: Reply::Value(None),
+                    submitted_tick: self.clock,
+                    completed_tick: self.clock,
+                    coalesced: false,
+                });
+                return Ok(id);
             }
         }
         let id = self.next_id;
@@ -639,10 +697,18 @@ impl KvService {
         }
         m.migration_backlog = self.shards[shard].table.migration_backlog();
 
+        let filter_on = self.shards[shard].filter.is_some();
         let completed_tick = self.clock;
         for (req, planned) in window.iter().zip(&plan.replies) {
             let (reply, coalesced) = match *planned {
-                PlannedReply::FromTable(idx) => (Reply::Value(found[idx]), false),
+                PlannedReply::FromTable(idx) => {
+                    // A Get only reaches the find kernel past the shield,
+                    // so a table miss here is a filter false positive.
+                    if filter_on && found[idx].is_none() {
+                        m.filter_false_pos += 1;
+                    }
+                    (Reply::Value(found[idx]), false)
+                }
                 PlannedReply::Local(v) => (Reply::Value(v), true),
                 PlannedReply::Stored => (Reply::Stored, false),
                 PlannedReply::Deleted => (Reply::Deleted, false),
@@ -658,6 +724,20 @@ impl KvService {
                 completed_tick,
                 coalesced,
             });
+        }
+        if let Some(filter) = self.shards[shard].filter.as_mut() {
+            // The kernels have committed this window. Replay its writes in
+            // submission order (last write wins, matching the planner's
+            // coalescing) so the shield tracks the table's live-key set.
+            for req in &window {
+                match req.op {
+                    Op::Put(k, _) => filter.insert(k),
+                    Op::Delete(k) => filter.remove(k),
+                    Op::Get(_) => {}
+                }
+            }
+            m.filter_keys = filter.keys();
+            m.filter_rebuilds = filter.rebuilds();
         }
         Ok(window.len())
     }

@@ -120,6 +120,102 @@ impl DynamicWorkload {
             phase1_len,
         }
     }
+
+    /// [`DynamicWorkload::build`] with a controlled find hit ratio.
+    ///
+    /// The paper's protocol samples every find from the live population
+    /// (hit-heavy); negative-lookup studies need the complement. Here each
+    /// find is a live-pool sample with probability `hit_ratio` and a key
+    /// **provably outside the dataset** otherwise, so `1 - hit_ratio` of
+    /// phase-1 finds are guaranteed misses. Inserts and deletes are built
+    /// by the same rules as [`DynamicWorkload::build`] (but on an
+    /// independent random sequence — this is a new workload family, not a
+    /// perturbation of the old one).
+    pub fn build_with_hit_ratio(
+        dataset: &Dataset,
+        batch_size: usize,
+        r: f64,
+        seed: u64,
+        hit_ratio: f64,
+    ) -> Self {
+        assert!(batch_size > 0);
+        assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&hit_ratio));
+        let deletes_per_batch = ((batch_size as f64 * r).round() as usize).min(batch_size);
+        let dataset_keys: std::collections::HashSet<u32> =
+            dataset.pairs.iter().map(|&(k, _)| k).collect();
+
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut live_pool: Vec<u32> = Vec::new();
+        let mut live_set: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut rng = mix64(seed ^ 0x4E65_6761_7469_7665);
+        let mut next = || {
+            rng = mix64(rng);
+            rng
+        };
+
+        for chunk in dataset.pairs.chunks(batch_size) {
+            let inserts = chunk.to_vec();
+            for &(k, _) in chunk {
+                if live_set.insert(k) {
+                    live_pool.push(k);
+                }
+            }
+            let mut finds = Vec::with_capacity(chunk.len());
+            for _ in 0..chunk.len() {
+                let draw = next();
+                let hit = (draw >> 11) as f64 / (1u64 << 53) as f64 <= hit_ratio;
+                if hit && !live_pool.is_empty() {
+                    finds.push(live_pool[(next() % live_pool.len() as u64) as usize]);
+                } else {
+                    // Rejection-sample a nonzero key outside the dataset —
+                    // a guaranteed miss regardless of delete history.
+                    loop {
+                        let k = (next() % u32::MAX as u64) as u32 + 1;
+                        if !dataset_keys.contains(&k) {
+                            finds.push(k);
+                            break;
+                        }
+                    }
+                }
+            }
+            let n_del = deletes_per_batch.min(live_pool.len());
+            let mut deletes = Vec::with_capacity(n_del);
+            for _ in 0..n_del {
+                let idx = (next() % live_pool.len() as u64) as usize;
+                let k = live_pool.swap_remove(idx);
+                live_set.remove(&k);
+                deletes.push(k);
+            }
+            batches.push(Batch {
+                inserts,
+                finds,
+                deletes,
+            });
+        }
+
+        let phase1_len = batches.len();
+        let mut phase2: Vec<Batch> = Vec::with_capacity(phase1_len);
+        for b in &batches {
+            let inserts: Vec<(u32, u32)> = b
+                .deletes
+                .iter()
+                .map(|&k| (k, k.wrapping_mul(0x85EB_CA6B)))
+                .collect();
+            let deletes: Vec<u32> = b.inserts.iter().map(|&(k, _)| k).collect();
+            let finds = b.finds.clone();
+            phase2.push(Batch {
+                inserts,
+                finds,
+                deletes,
+            });
+        }
+        batches.extend(phase2);
+        DynamicWorkload {
+            batches,
+            phase1_len,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +314,60 @@ mod tests {
             assert_eq!(x.finds, y.finds);
             assert_eq!(x.deletes, y.deletes);
         }
+    }
+
+    #[test]
+    fn hit_ratio_zero_makes_every_phase1_find_a_miss() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build_with_hit_ratio(&ds, 100, 0.2, 7, 0.0);
+        let dataset_keys: std::collections::HashSet<u32> =
+            ds.pairs.iter().map(|&(k, _)| k).collect();
+        for b in &w.batches[..w.phase1_len] {
+            assert_eq!(b.finds.len(), 100);
+            for &k in &b.finds {
+                assert!(k != 0 && !dataset_keys.contains(&k), "find {k} can hit");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_ratio_mixes_live_and_absent_finds() {
+        let ds = small_dataset();
+        let w = DynamicWorkload::build_with_hit_ratio(&ds, 100, 0.0, 8, 0.5);
+        let dataset_keys: std::collections::HashSet<u32> =
+            ds.pairs.iter().map(|&(k, _)| k).collect();
+        let (mut hits, mut misses) = (0usize, 0usize);
+        for b in &w.batches[..w.phase1_len] {
+            for &k in &b.finds {
+                if dataset_keys.contains(&k) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+        }
+        let total = (hits + misses) as f64;
+        assert!(
+            (0.35..=0.65).contains(&(hits as f64 / total)),
+            "hit fraction {:.2} far from requested 0.5",
+            hits as f64 / total
+        );
+    }
+
+    #[test]
+    fn hit_ratio_workload_is_deterministic_and_leaves_build_alone() {
+        let ds = small_dataset();
+        let a = DynamicWorkload::build_with_hit_ratio(&ds, 64, 0.2, 5, 0.9);
+        let b = DynamicWorkload::build_with_hit_ratio(&ds, 64, 0.2, 5, 0.9);
+        for (x, y) in a.batches.iter().zip(&b.batches) {
+            assert_eq!(x.inserts, y.inserts);
+            assert_eq!(x.finds, y.finds);
+            assert_eq!(x.deletes, y.deletes);
+        }
+        // The classic builder is a distinct family: same batching skeleton,
+        // untouched sampling sequence.
+        let classic = DynamicWorkload::build(&ds, 64, 0.2, 5);
+        assert_eq!(classic.phase1_len, a.phase1_len);
     }
 
     #[test]

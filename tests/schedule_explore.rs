@@ -24,6 +24,8 @@ fn oracle_clean_on_all_targets_under_varied_schedules() {
                 migration_quantum: usize::MAX,
                 tier: kv_service::Tier::Fixed,
                 key_dist: workloads::LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: gen_ops(seed, 64),
             };
             if let Err(v) = run_case(&case) {
@@ -52,6 +54,8 @@ fn identical_case_yields_identical_digest() {
             migration_quantum: usize::MAX,
             tier: kv_service::Tier::Fixed,
             key_dist: workloads::LengthDist::Mixed,
+            fingerprint: 0,
+            miss_filter: false,
             ops: gen_ops(7, 64),
         };
         let first = run_case(&case).expect("clean case");
@@ -81,6 +85,8 @@ fn injected_lock_elision_is_caught_and_shrunk() {
             migration_quantum: usize::MAX,
             tier: kv_service::Tier::Fixed,
             key_dist: workloads::LengthDist::Mixed,
+            fingerprint: 0,
+            miss_filter: false,
             ops: gen_ops(seed, 96),
         };
         if run_case(&case).is_ok() {
@@ -122,6 +128,8 @@ fn repro_round_trips_and_replays() {
         migration_quantum: usize::MAX,
         tier: kv_service::Tier::Fixed,
         key_dist: workloads::LengthDist::Mixed,
+        fingerprint: 0,
+        miss_filter: false,
         ops: gen_ops(3, 96),
     };
     let violation = run_case(&case).expect_err("injected bug must fire");
@@ -162,6 +170,8 @@ fn aos_and_soa_layouts_agree_under_every_schedule() {
                 migration_quantum: usize::MAX,
                 tier: kv_service::Tier::Fixed,
                 key_dist: workloads::LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
                 ops: gen_ops(seed, 96),
             };
             let soa = run_case(&case_with(LayoutConfig::default()))
@@ -266,6 +276,8 @@ fn megakv_stale_eviction_regression() {
         migration_quantum: usize::MAX,
         tier: kv_service::Tier::Fixed,
         key_dist: workloads::LengthDist::Mixed,
+        fingerprint: 0,
+        miss_filter: false,
         ops: gen_ops(20, 96),
     };
     if let Err(v) = run_case(&case) {

@@ -21,6 +21,8 @@ fn fuzz_case(target: Target, seed: u64) -> Case {
         migration_quantum: usize::MAX,
         tier: kv_service::Tier::Fixed,
         key_dist: workloads::LengthDist::Mixed,
+        fingerprint: 0,
+        miss_filter: false,
         ops: gen_ops(seed, 96),
     }
 }
