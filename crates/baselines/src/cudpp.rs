@@ -15,6 +15,7 @@
 //! * Exceeding the iteration cap means a **full rebuild with fresh hash
 //!   functions**; deletion is unsupported.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{
     run_rounds_with, Metrics, RoundCtx, RoundKernel, SchedulePolicy, SimContext, SlotStore,
     StepOutcome, WARP_SIZE,
@@ -126,7 +127,7 @@ impl RoundKernel<Vec<CuOp>> for CuInsertKernel<'_> {
             op.val = old_val;
             op.fn_idx = (prev_fn + 1) % self.hashes.len();
             op.iters += 1;
-            ctx.metrics.evictions += 1;
+            ctx.metrics.charge(ChargeKind::Evictions, 1);
             if op.iters >= self.max_iter {
                 op.failed = true;
                 self.failed.push((op.key, op.val));
@@ -233,7 +234,8 @@ impl Cudpp {
             });
         }
         let mut live: Vec<(u32, u32)> = self.store.iter_live_except(EMPTY).collect();
-        sim.metrics.read_transactions += self.n_slots as u64 / 16; // drain scan (coalesced)
+        sim.metrics
+            .charge(ChargeKind::ReadTx, self.n_slots as u64 / 16); // drain scan (coalesced)
         live.extend(extra);
         self.store.clear();
         self.occupied = 0;
@@ -260,7 +262,7 @@ impl GpuHashTable for Cudpp {
         if kvs.iter().any(|&(k, _)| k == EMPTY) {
             return Err(TableError::ZeroKey);
         }
-        sim.metrics.ops += kvs.len() as u64;
+        sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
         let failed = self.run_insert(&mut sim.metrics, kvs);
         if failed.is_empty() {
             Ok(())
@@ -283,8 +285,8 @@ impl GpuHashTable for Cudpp {
                 for h in &self.hashes {
                     let slot = (h.raw(key) % self.n_slots as u64) as usize;
                     probes += 1;
-                    metrics.random_read_transactions += 1;
-                    metrics.lookups += 1;
+                    metrics.charge(ChargeKind::RandomReadTx, 1);
+                    metrics.charge(ChargeKind::Lookups, 1);
                     if self.store.key(slot) == key {
                         found = Some(self.store.val(slot));
                         break;
@@ -301,8 +303,8 @@ impl GpuHashTable for Cudpp {
             }
             rounds += max_probes;
         }
-        metrics.rounds += rounds;
-        metrics.ops += keys.len() as u64;
+        metrics.charge(ChargeKind::Rounds, rounds);
+        metrics.charge(ChargeKind::Ops, keys.len() as u64);
         results
     }
 

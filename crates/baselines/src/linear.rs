@@ -10,6 +10,7 @@
 //! θ, Linear does not. Deletion tombstones the slot (probes must not stop
 //! at tombstones), so the scheme cannot shrink.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{
     run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, SlotStore, StepOutcome,
     WARP_SIZE,
@@ -235,7 +236,7 @@ impl LinearProbing {
             deleted += kernel.deleted;
             failed += kernel.failed;
         }
-        sim.metrics.ops += n as u64;
+        sim.metrics.charge(ChargeKind::Ops, n as u64);
         (results, inserted, updated, deleted, failed)
     }
 }

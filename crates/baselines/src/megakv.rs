@@ -21,6 +21,7 @@
 //!   rehash (the memory spike visible in the filled-factor tracking
 //!   figure).
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{
     run_rounds_with, BucketStore, LayoutConfig, Metrics, RoundCtx, RoundKernel, SchedulePolicy,
     SimContext, StepOutcome, WARP_SIZE,
@@ -153,7 +154,7 @@ impl RoundKernel<MkWarp> for MkInsertKernel<'_> {
                     % self.layout.slots;
                 let (ek, ev) = self.tables[t].swap(b, slot, op.key, op.val);
                 self.layout.charge_kv_write(ctx);
-                ctx.metrics.evictions += 1;
+                ctx.metrics.charge(ChargeKind::Evictions, 1);
                 let cur = &mut warp.ops[warp.cur];
                 cur.key = ek;
                 cur.val = ev;
@@ -283,7 +284,8 @@ impl MegaKv {
         // Drain all live KVs (the layout's drain lines per bucket).
         let mut live: Vec<(u32, u32)> = Vec::with_capacity(self.len() as usize);
         for t in &self.tables {
-            sim.metrics.read_transactions += drain * t.n_buckets() as u64;
+            sim.metrics
+                .charge(ChargeKind::ReadTx, drain * t.n_buckets() as u64);
             live.extend(t.iter_live());
         }
         let old_bytes: u64 = self.tables.iter().map(|t| t.device_bytes()).sum();
@@ -342,7 +344,8 @@ impl MegaKv {
         let drain = self.layout.drain_lines();
         let mut live: Vec<(u32, u32)> = Vec::new();
         for t in &self.tables {
-            sim.metrics.read_transactions += drain * t.n_buckets() as u64;
+            sim.metrics
+                .charge(ChargeKind::ReadTx, drain * t.n_buckets() as u64);
             live.extend(t.iter_live());
         }
         let old_bytes: u64 = self.tables.iter().map(|t| t.device_bytes()).sum();
@@ -405,7 +408,7 @@ impl GpuHashTable for MegaKv {
         if kvs.iter().any(|&(k, _)| k == EMPTY_KEY) {
             return Err(TableError::ZeroKey);
         }
-        sim.metrics.ops += kvs.len() as u64;
+        sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
         let ops: Vec<MkOp> = kvs
             .iter()
             .map(|&(key, val)| MkOp {
@@ -460,11 +463,11 @@ impl GpuHashTable for MegaKv {
                 let mut found = None;
                 for t in 0..2 {
                     let b = self.hashes[t].bucket(key, self.tables[t].n_buckets());
-                    metrics.read_transactions += probe;
-                    metrics.lookups += 1;
+                    metrics.charge(ChargeKind::ReadTx, probe);
+                    metrics.charge(ChargeKind::Lookups, 1);
                     warp_rounds += 1;
                     if let Some(slot) = self.tables[t].find_slot(b, key) {
-                        metrics.read_transactions += value_read;
+                        metrics.charge(ChargeKind::ReadTx, value_read);
                         found = Some(self.tables[t].bucket_vals(b)[slot]);
                         break;
                     }
@@ -473,8 +476,8 @@ impl GpuHashTable for MegaKv {
             }
             rounds = rounds.max(warp_rounds);
         }
-        metrics.rounds += rounds;
-        metrics.ops += keys.len() as u64;
+        metrics.charge(ChargeKind::Rounds, rounds);
+        metrics.charge(ChargeKind::Ops, keys.len() as u64);
         results
     }
 
@@ -489,12 +492,12 @@ impl GpuHashTable for MegaKv {
             for &key in chunk {
                 for t in 0..2 {
                     let b = self.hashes[t].bucket(key, self.tables[t].n_buckets());
-                    metrics.read_transactions += probe;
-                    metrics.lookups += 1;
+                    metrics.charge(ChargeKind::ReadTx, probe);
+                    metrics.charge(ChargeKind::Lookups, 1);
                     warp_rounds += 1;
                     if let Some(slot) = self.tables[t].find_slot(b, key) {
                         self.tables[t].erase(b, slot);
-                        metrics.write_transactions += key_write;
+                        metrics.charge(ChargeKind::WriteTx, key_write);
                         deleted += 1;
                         break;
                     }
@@ -502,8 +505,8 @@ impl GpuHashTable for MegaKv {
             }
             rounds = rounds.max(warp_rounds);
         }
-        metrics.rounds += rounds;
-        metrics.ops += keys.len() as u64;
+        metrics.charge(ChargeKind::Rounds, rounds);
+        metrics.charge(ChargeKind::Ops, keys.len() as u64);
         self.maybe_resize(sim)?;
         Ok(deleted)
     }

@@ -15,6 +15,7 @@
 //! * **Chained lookups**: a find may traverse several slabs, each a random
 //!   128-byte transaction — the `Ω(log log m)`-tail the paper mentions.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{
     run_rounds_with, RoundCtx, RoundKernel, SchedulePolicy, SimContext, SlotStore, StepOutcome,
     WARP_SIZE,
@@ -206,7 +207,7 @@ fn run_slab_insert(
     let mut updated = 0u64;
     let mut pending: Vec<usize> = (0..warps.len()).collect();
     while !pending.is_empty() {
-        sim.metrics.rounds += 1;
+        sim.metrics.charge(ChargeKind::Rounds, 1);
         let mut metrics = std::mem::take(&mut sim.metrics);
         let mut ctx = RoundCtx::new(&mut metrics);
         let mut still = Vec::with_capacity(pending.len());
@@ -296,7 +297,7 @@ fn run_slab_insert(
         sim.metrics = metrics;
         pending = still;
     }
-    sim.metrics.ops += kvs.len() as u64;
+    sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
     Ok((inserted, updated))
 }
 
@@ -435,7 +436,7 @@ impl GpuHashTable for SlabHash {
             results: &mut results,
         };
         run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, self.schedule);
-        sim.metrics.ops += keys.len() as u64;
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         results
     }
 
@@ -447,7 +448,7 @@ impl GpuHashTable for SlabHash {
             deleted: 0,
         };
         run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, schedule);
-        sim.metrics.ops += keys.len() as u64;
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         Ok(kernel.deleted)
     }
 

@@ -1,0 +1,648 @@
+//! **perf_ledger** — the canonical scenario suite behind the repo's
+//! machine-readable performance ledger and CI budget gates.
+//!
+//! Runs six fixed-size scenarios spanning the stack's cost surfaces —
+//! static insert, static find, negative lookups, dynamic churn, the
+//! unsized string-key tier, and mid-migration churn — each under the
+//! [`obs::attr`] cost-attribution profiler, and emits:
+//!
+//! * **`BENCH.json`** (`--json PATH`, default `BENCH.json`): a
+//!   schema-versioned machine-readable ledger — per scenario: ops, Mops,
+//!   transaction counts, lines/probe, and the top attribution paths.
+//! * **`TELEMETRY_SNAP`**: the unified registry snapshot carrying both the
+//!   aggregate `ledger_*` counters and the per-path `attr_tx{path=...}`
+//!   attribution, so CI's byte-for-byte diff against
+//!   `results/perf-ledger.snap` doubles as a per-path attribution diff.
+//!
+//! Every scenario asserts the **conservation law** in-process: the sum of
+//! attributed counters equals the `Metrics` totals for all twelve counter
+//! kinds — a drifted charge site fails the run, not just the snapshot.
+//!
+//! **Budget gates**: each scenario carries a hard transaction budget
+//! (~15 % above the pinned cost). Exceeding it prints which attribution
+//! paths regressed — diffed against the pinned snapshot when present —
+//! and exits 1. `--inject-violation` halves the budgets so CI can prove
+//! the gate fires; `--validate FILE` checks an existing `BENCH.json`
+//! against the expected schema version and scenario set without running
+//! anything.
+//!
+//! Scenario sizes are fixed (not `REPRO_SCALE`-dependent): budgets and the
+//! pinned snapshot only make sense against one canonical workload.
+//!
+//! ```text
+//! perf_ledger [--json PATH] [--pinned PATH] [--inject-violation]
+//! perf_ledger --validate FILE
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use bench::measure;
+use bench::report::Table;
+use bench::telemetry::Telemetry;
+use dycuckoo::{Config, DyCuckoo, UnsizedConfig, UnsizedTable};
+use gpu_sim::{ChargeKind, Metrics, SimContext};
+use obs::attr;
+use workloads::{LengthDist, StrDatasetSpec};
+
+const SCHEMA_VERSION: u32 = 1;
+const BATCH: usize = 512;
+const SEED: u64 = 0xD_1CE;
+/// Keys in the fixed-tier static scenarios.
+const STATIC_PAIRS: u32 = 20_000;
+/// Pairs in the unsized-tier mix.
+const STRKEY_PAIRS: usize = 6_000;
+
+/// Per-scenario transaction budgets: the measured canonical cost plus
+/// ~15 % headroom. A regression that pushes any scenario past its budget
+/// fails CI with an attribution diff naming the paths that moved.
+const BUDGETS: &[(&str, u64)] = &[
+    ("static_insert", 139_000),
+    ("static_find", 59_000),
+    ("negative_find", 46_000),
+    ("dynamic_churn", 73_000),
+    ("strkey_mix", 168_000),
+    ("migration_churn", 260_000),
+];
+
+struct Scenario {
+    name: &'static str,
+    ops: u64,
+    mops: f64,
+    metrics: Metrics,
+    /// Read transactions per probe net of one value line per hit; only
+    /// meaningful for find-dominated windows (None elsewhere).
+    lines_per_probe: Option<f64>,
+    attribution: attr::Attribution,
+}
+
+fn budget_of(name: &str) -> u64 {
+    BUDGETS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, b)| *b)
+        .unwrap_or(u64::MAX)
+}
+
+/// Assert Σ attributed == Metrics totals for every counter kind. The
+/// choke-point design makes this hold by construction; a failure means a
+/// charge site bypassed `Metrics::charge`.
+fn assert_conservation(name: &str, attribution: &attr::Attribution, totals: &Metrics) {
+    for kind in ChargeKind::ALL {
+        assert_eq!(
+            attribution.total(kind),
+            totals.get(kind),
+            "{name}: attribution drift on {} (Σ attributed != Metrics total)",
+            kind.name(),
+        );
+    }
+}
+
+/// Run one attributed scenario: `f` performs the measured windows against
+/// `sim` and returns (ops, accumulated window metrics, simulated ns).
+/// Charges outside `measure` windows (e.g. resizes between batches) are
+/// folded into the totals so conservation covers the whole window.
+fn run_scenario(
+    name: &'static str,
+    sim: &mut SimContext,
+    lines_per_probe: impl FnOnce(&Metrics) -> Option<f64>,
+    f: impl FnOnce(&mut SimContext) -> (u64, Metrics, f64),
+) -> Scenario {
+    // Drop charges from table construction / earlier scenarios so the
+    // attribution window and the conservation totals start together.
+    let _ = sim.take_metrics();
+    attr::start();
+    let (ops, mut totals, ns) = f(sim);
+    // Residual charges that happened on `sim` outside any measure window.
+    totals.merge(&sim.take_metrics());
+    let attribution = attr::stop();
+    assert_conservation(name, &attribution, &totals);
+    let mops = ops as f64 * 1000.0 / ns;
+    Scenario {
+        name,
+        ops,
+        mops,
+        lines_per_probe: lines_per_probe(&totals),
+        metrics: totals,
+        attribution,
+    }
+}
+
+fn find_lines_per_probe(m: &Metrics) -> Option<f64> {
+    // Net of one value line per hit (ops - misses): both tiers' split
+    // layouts charge exactly one line per found value.
+    Some((m.read_transactions as f64) / m.lookups as f64)
+}
+
+/// Scenarios 1–3: build one fixed-tier table, then measure insert-all,
+/// find-all, and all-miss windows separately.
+fn fixed_static_suite(out: &mut Vec<Scenario>) {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(
+        Config {
+            seed: SEED,
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .expect("fixed-tier table");
+    let kvs: Vec<(u32, u32)> = (1..=STATIC_PAIRS).map(|k| (k, k ^ 0x5A5A)).collect();
+
+    out.push(run_scenario(
+        "static_insert",
+        &mut sim,
+        |_| None,
+        |sim| {
+            let (mut ops, mut total, mut ns) = (0, Metrics::default(), 0.0);
+            for chunk in kvs.chunks(BATCH) {
+                let (r, m) = measure(sim, |sim| table.insert_batch(sim, chunk));
+                r.expect("static insert");
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            (ops, total, ns)
+        },
+    ));
+    assert_eq!(table.len(), STATIC_PAIRS as u64, "static inserts lost");
+
+    let keys: Vec<u32> = (1..=STATIC_PAIRS).collect();
+    out.push(run_scenario(
+        "static_find",
+        &mut sim,
+        find_lines_per_probe,
+        |sim| {
+            let (mut found, mut ops, mut total, mut ns) = (0u64, 0, Metrics::default(), 0.0);
+            for chunk in keys.chunks(BATCH) {
+                let (got, m) = measure(sim, |sim| table.find_batch(sim, chunk));
+                found += got.iter().filter(|g| g.is_some()).count() as u64;
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            assert_eq!(found, STATIC_PAIRS as u64, "find-all missed keys");
+            (ops, total, ns)
+        },
+    ));
+
+    let absent: Vec<u32> = (STATIC_PAIRS + 1..=2 * STATIC_PAIRS).collect();
+    out.push(run_scenario(
+        "negative_find",
+        &mut sim,
+        find_lines_per_probe,
+        |sim| {
+            let (mut hits, mut ops, mut total, mut ns) = (0u64, 0, Metrics::default(), 0.0);
+            for chunk in absent.chunks(BATCH) {
+                let (got, m) = measure(sim, |sim| table.find_batch(sim, chunk));
+                hits += got.iter().filter(|g| g.is_some()).count() as u64;
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            assert_eq!(hits, 0, "negative window found phantom keys");
+            (ops, total, ns)
+        },
+    ));
+}
+
+/// Scenario 4: the r-sweep shape — delete/insert churn at a steady size,
+/// driving both the delete path and fresh-key inserts (with any resizes
+/// the flux triggers attributed to `maintenance/*`).
+fn dynamic_churn(out: &mut Vec<Scenario>) {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(
+        Config {
+            seed: SEED,
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .expect("churn table");
+    let base: Vec<(u32, u32)> = (1..=16_000u32).map(|k| (k, k ^ 0x5A5A)).collect();
+    for chunk in base.chunks(BATCH) {
+        table.insert_batch(&mut sim, chunk).expect("churn preload");
+    }
+    out.push(run_scenario(
+        "dynamic_churn",
+        &mut sim,
+        |_| None,
+        |sim| {
+            let (mut ops, mut total, mut ns) = (0, Metrics::default(), 0.0);
+            let mut next_key = 16_001u32;
+            for round in 0..16u32 {
+                let dead: Vec<u32> =
+                    (round * BATCH as u32 + 1..=(round + 1) * BATCH as u32).collect();
+                let (r, m) = measure(sim, |sim| table.delete_batch(sim, &dead));
+                r.expect("churn delete");
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+                let fresh: Vec<(u32, u32)> = (next_key..next_key + BATCH as u32)
+                    .map(|k| (k, k ^ 0x5A5A))
+                    .collect();
+                next_key += BATCH as u32;
+                let (r, m) = measure(sim, |sim| table.insert_batch(sim, &fresh));
+                r.expect("churn insert");
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            (ops, total, ns)
+        },
+    ));
+}
+
+/// Scenario 5: the unsized tier under the mixed key-length distribution —
+/// insert-all then find-all, with arena dereferences attributed under
+/// `arena-deref`.
+fn strkey_mix(out: &mut Vec<Scenario>) {
+    let data = StrDatasetSpec {
+        pairs: STRKEY_PAIRS,
+        key_dist: LengthDist::Mixed,
+        val_len: (0, 24),
+        seed: SEED,
+    }
+    .generate();
+    let mut sim = SimContext::new();
+    let mut table = UnsizedTable::new(
+        UnsizedConfig {
+            seed: SEED,
+            ..UnsizedConfig::default()
+        },
+        &mut sim,
+    )
+    .expect("unsized table");
+    out.push(run_scenario(
+        "strkey_mix",
+        &mut sim,
+        |_| None,
+        |sim| {
+            let (mut ops, mut total, mut ns) = (0, Metrics::default(), 0.0);
+            for chunk in data.chunks(BATCH) {
+                let refs: Vec<(&[u8], &[u8])> = chunk
+                    .iter()
+                    .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                    .collect();
+                let (r, m) = measure(sim, |sim| table.insert_batch(sim, &refs));
+                r.expect("strkey insert");
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            let mut found = 0u64;
+            for chunk in data.chunks(BATCH) {
+                let keys: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_slice()).collect();
+                let (got, m) = measure(sim, |sim| table.find_batch(sim, &keys));
+                found += got
+                    .expect("strkey find")
+                    .iter()
+                    .filter(|g| g.is_some())
+                    .count() as u64;
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            assert_eq!(found, STRKEY_PAIRS as u64, "strkey find-all missed keys");
+            (ops, total, ns)
+        },
+    ));
+}
+
+/// Scenario 6: growth under a finite migration quantum with finds
+/// interleaved mid-migration, so `maintenance/migrate` carries real
+/// traffic alongside the op paths.
+fn migration_churn(out: &mut Vec<Scenario>) {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(
+        Config {
+            seed: SEED,
+            migration_quantum: 16,
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .expect("migration table");
+    out.push(run_scenario(
+        "migration_churn",
+        &mut sim,
+        |_| None,
+        |sim| {
+            let (mut ops, mut total, mut ns) = (0, Metrics::default(), 0.0);
+            let kvs: Vec<(u32, u32)> = (1..=24_000u32).map(|k| (k, k ^ 0x5A5A)).collect();
+            for chunk in kvs.chunks(BATCH) {
+                let (r, m) = measure(sim, |sim| table.insert_batch(sim, chunk));
+                r.expect("migration insert");
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+                // Probe a stripe of already-inserted keys while the
+                // migration machine is (often) mid-drain.
+                let lo = chunk[0].0.saturating_sub(BATCH as u32).max(1);
+                let probes: Vec<u32> = (lo..lo + (BATCH / 4) as u32).collect();
+                let (_, m) = measure(sim, |sim| table.find_batch(sim, &probes));
+                ops += m.ops;
+                total.merge(&m.metrics);
+                ns += m.ns;
+            }
+            (ops, total, ns)
+        },
+    ));
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the ledger as schema-versioned JSON (hand-rolled, deterministic
+/// key order, fixed float precision).
+fn to_json(scenarios: &[Scenario], inject: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"suite\": \"perf-ledger\",");
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, s) in scenarios.iter().enumerate() {
+        let m = &s.metrics;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(s.name));
+        let _ = writeln!(out, "      \"ops\": {},", s.ops);
+        let _ = writeln!(out, "      \"mops\": {:.3},", s.mops);
+        let _ = writeln!(out, "      \"transactions\": {},", m.transactions());
+        let _ = writeln!(out, "      \"read_transactions\": {},", m.read_transactions);
+        let _ = writeln!(
+            out,
+            "      \"write_transactions\": {},",
+            m.write_transactions
+        );
+        let _ = writeln!(out, "      \"lookups\": {},", m.lookups);
+        let _ = writeln!(out, "      \"evictions\": {},", m.evictions);
+        let _ = writeln!(out, "      \"rounds\": {},", m.rounds);
+        match s.lines_per_probe {
+            Some(l) => {
+                let _ = writeln!(out, "      \"lines_per_probe\": {l:.4},");
+            }
+            None => {
+                let _ = writeln!(out, "      \"lines_per_probe\": null,");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "      \"budget_transactions\": {},",
+            effective_budget(s.name, inject)
+        );
+        let _ = writeln!(out, "      \"top_paths\": [");
+        let top = s.attribution.top_paths(3);
+        for (j, (path, tx)) in top.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"path\": \"{}\", \"transactions\": {}}}{}",
+                json_escape(path),
+                tx,
+                if j + 1 < top.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < scenarios.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn effective_budget(name: &str, inject: bool) -> u64 {
+    let b = budget_of(name);
+    if inject {
+        b / 2
+    } else {
+        b
+    }
+}
+
+/// Lightweight schema validation of an existing `BENCH.json`: version,
+/// suite, and every canonical scenario present with its required keys.
+fn validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_ledger --validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    let mut check = |cond: bool, what: &str| {
+        if !cond {
+            eprintln!("perf_ledger --validate: {path}: {what}");
+            ok = false;
+        }
+    };
+    check(
+        text.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")),
+        &format!("missing or wrong schema_version (expected {SCHEMA_VERSION})"),
+    );
+    check(
+        text.contains("\"suite\": \"perf-ledger\""),
+        "missing suite marker",
+    );
+    for (name, _) in BUDGETS {
+        check(
+            text.contains(&format!("\"name\": \"{name}\"")),
+            &format!("scenario {name} missing"),
+        );
+    }
+    for key in [
+        "\"ops\":",
+        "\"mops\":",
+        "\"transactions\":",
+        "\"lines_per_probe\":",
+        "\"budget_transactions\":",
+        "\"top_paths\":",
+    ] {
+        check(
+            text.matches(key).count() >= BUDGETS.len(),
+            &format!("key {key} missing from some scenario"),
+        );
+    }
+    if ok {
+        println!("perf_ledger --validate: {path}: OK (schema v{SCHEMA_VERSION})");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parse `attr_tx{...} value` lines out of a registry snapshot.
+fn attr_tx_lines(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("attr_tx{") {
+            if let Some((labels, value)) = rest.rsplit_once("} ") {
+                if let Ok(v) = value.trim().parse::<u64>() {
+                    out.insert(labels.to_string(), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Print the per-path attribution diff between the pinned snapshot and
+/// this run, largest absolute delta first — the layer that regressed is
+/// the top line.
+fn print_attribution_diff(pinned_path: &str, current_snap: &str) {
+    let current = attr_tx_lines(current_snap);
+    match std::fs::read_to_string(pinned_path) {
+        Ok(pinned_text) => {
+            let pinned = attr_tx_lines(&pinned_text);
+            let mut deltas: Vec<(i64, String, u64, u64)> = Vec::new();
+            let keys: std::collections::BTreeSet<&String> =
+                pinned.keys().chain(current.keys()).collect();
+            for key in keys {
+                let was = pinned.get(key).copied().unwrap_or(0);
+                let now = current.get(key).copied().unwrap_or(0);
+                if was != now {
+                    deltas.push((now as i64 - was as i64, key.clone(), was, now));
+                }
+            }
+            if deltas.is_empty() {
+                println!(
+                    "  attribution unchanged vs {pinned_path} — the regression is in a \
+                     path-neutral cost (check budgets against the pinned totals)"
+                );
+                return;
+            }
+            deltas.sort_by_key(|&(d, ref k, _, _)| (std::cmp::Reverse(d.abs()), k.clone()));
+            println!("  attribution diff vs {pinned_path} (worst first):");
+            for (delta, key, was, now) in deltas {
+                println!("    {{{key}}}: {was} -> {now} ({delta:+})");
+            }
+        }
+        Err(_) => {
+            println!(
+                "  no pinned snapshot at {pinned_path}; full attribution of the \
+                 violating run:"
+            );
+            for (labels, v) in current {
+                println!("    {{{labels}}}: {v}");
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json_path = "BENCH.json".to_string();
+    let mut pinned_path = "results/perf-ledger.snap".to_string();
+    let mut inject = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("perf_ledger: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--json" => json_path = val("--json"),
+            "--pinned" => pinned_path = val("--pinned"),
+            "--inject-violation" => inject = true,
+            "--validate" => return validate(&val("--validate")),
+            other => {
+                eprintln!(
+                    "perf_ledger: unknown flag {other:?}\n\
+                     usage: perf_ledger [--json PATH] [--pinned PATH] [--inject-violation]\n\
+                     \x20      perf_ledger --validate FILE"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut tel = Telemetry::from_env();
+    println!(
+        "Perf ledger: canonical scenario suite (fixed sizes: {STATIC_PAIRS} static pairs, \
+         {STRKEY_PAIRS} string pairs), attribution on, schema v{SCHEMA_VERSION}"
+    );
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    fixed_static_suite(&mut scenarios);
+    dynamic_churn(&mut scenarios);
+    strkey_mix(&mut scenarios);
+    migration_churn(&mut scenarios);
+
+    let mut t = Table::new(&[
+        "scenario",
+        "ops",
+        "Mops",
+        "transactions",
+        "lines/probe",
+        "budget",
+        "top attribution path",
+    ]);
+    for s in &scenarios {
+        let top = s
+            .attribution
+            .top_paths(1)
+            .first()
+            .map(|(p, tx)| format!("{p} ({tx} tx)"))
+            .unwrap_or_default();
+        t.row(vec![
+            s.name.to_string(),
+            s.ops.to_string(),
+            format!("{:.1}", s.mops),
+            s.metrics.transactions().to_string(),
+            s.lines_per_probe
+                .map(|l| format!("{l:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            effective_budget(s.name, inject).to_string(),
+            top,
+        ]);
+    }
+    t.print("Perf ledger: canonical scenarios, transaction budgets, attribution");
+
+    // Registry: aggregate counters plus the per-path attribution, so the
+    // pinned snapshot *is* the attribution baseline CI diffs against.
+    for s in &scenarios {
+        let labels = [("figure", "perf_ledger"), ("scenario", s.name)];
+        let reg = tel.registry();
+        reg.counter("ledger_ops", &labels, s.ops);
+        reg.counter("ledger_tx", &labels, s.metrics.transactions());
+        reg.counter("ledger_read_tx", &labels, s.metrics.read_transactions);
+        reg.counter("ledger_write_tx", &labels, s.metrics.write_transactions);
+        reg.counter("ledger_lookups", &labels, s.metrics.lookups);
+        reg.counter("ledger_evictions", &labels, s.metrics.evictions);
+        reg.gauge("ledger_mops", &labels, s.mops);
+        s.attribution.register_into(reg, &[("scenario", s.name)]);
+    }
+    let current_snap = tel.registry().to_text();
+
+    let json = to_json(&scenarios, inject);
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("perf_ledger: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nledger written to {json_path} (schema v{SCHEMA_VERSION})");
+
+    // Budget gate: check every scenario, report all violations, then fail.
+    let mut violations = 0;
+    for s in &scenarios {
+        let budget = effective_budget(s.name, inject);
+        let tx = s.metrics.transactions();
+        if tx > budget {
+            violations += 1;
+            println!(
+                "\nBUDGET VIOLATION scenario={}: transactions {tx} > budget {budget}",
+                s.name
+            );
+            print_attribution_diff(&pinned_path, &current_snap);
+        }
+    }
+    tel.finish();
+    if violations > 0 {
+        println!("\n{violations} scenario(s) over budget — failing the gate");
+        return ExitCode::FAILURE;
+    }
+    println!("all {} scenarios within budget", scenarios.len());
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,11 @@ const BINARIES: &[&str] = &[
     "ablation_voter",
     "ablation_two_layer",
     "ablation_distribution",
+    "layout_sweep",
+    "maintenance_sweep",
+    "strkey_sweep",
+    "negative_sweep",
+    "perf_ledger",
 ];
 
 fn main() {

@@ -13,7 +13,7 @@
 //! ```text
 //! trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]
 //!               [--migration-quantum Q] [--inject-lock-elision] [--top K]
-//!               [--chrome PATH] [--jsonl PATH]
+//!               [--chrome PATH] [--jsonl PATH] [--folded PATH]
 //! ```
 //!
 //! * `--replay FILE` — re-run a `schedule_fuzz` repro artifact. The oracle
@@ -29,6 +29,12 @@
 //! * `--chrome PATH` — also write the trace as Chrome `trace_event` JSON
 //!   (open in Perfetto or `chrome://tracing`).
 //! * `--jsonl PATH` — also write the raw event stream as JSON lines.
+//! * `--folded PATH` — also write flamegraph-collapsed folded stacks
+//!   (`frame;frame;frame weight` lines): each retired op contributes its
+//!   causal span chain plus an `op:kind:outcome` leaf weighted by its
+//!   schedule footprint, and each maintenance span its chain weighted by
+//!   its own footprint. Loads directly in inferno's `flamegraph.pl`
+//!   replacement or speedscope.
 //!
 //! An op's cost here is its schedule footprint, not wall time: each bucket
 //! probe costs 1, each eviction step 2 (a read + a relocation write), each
@@ -55,6 +61,7 @@ struct Args {
     top: usize,
     chrome: Option<String>,
     jsonl: Option<String>,
+    folded: Option<String>,
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -62,7 +69,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]\n\
          \x20                    [--migration-quantum Q] [--inject-lock-elision] [--top K]\n\
-         \x20                    [--chrome PATH] [--jsonl PATH]"
+         \x20                    [--chrome PATH] [--jsonl PATH] [--folded PATH]"
     );
     ExitCode::from(2)
 }
@@ -79,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         top: 5,
         chrome: None,
         jsonl: None,
+        folded: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
             "--top" => args.top = val("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
             "--chrome" => args.chrome = Some(val("--chrome")?),
             "--jsonl" => args.jsonl = Some(val("--jsonl")?),
+            "--folded" => args.folded = Some(val("--folded")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -408,6 +417,74 @@ fn explain_maintenance(events: &[TraceEvent], spans: &HashMap<u32, Span>, top: u
     }
 }
 
+/// Frame chain of a span: ancestors outermost-first, each named like the
+/// Chrome trace (`launch:insert`, `flush:shard0`, ...).
+fn span_chain_frames(events: &[TraceEvent], spans: &HashMap<u32, Span>, leaf: u32) -> Vec<String> {
+    let mut chain: Vec<u32> = Vec::new();
+    let mut cur = leaf;
+    while cur != 0 && chain.len() < 8 {
+        chain.push(cur);
+        cur = match spans.get(&cur) {
+            Some(s) => s.parent,
+            None => 0,
+        };
+    }
+    chain
+        .iter()
+        .rev()
+        .filter_map(|id| spans.get(id))
+        .map(|s| obs::export::span_name(&events[s.open].event))
+        .collect()
+}
+
+/// Collapse the recorded causal spans into flamegraph folded stacks:
+/// `frame;frame;frame weight` per line, identical stacks aggregated,
+/// deterministically sorted. Retired ops weigh their schedule footprint
+/// under an `op:kind:outcome` leaf; maintenance spans weigh their own
+/// footprint (so resize/migrate cost shows up under the flush or launch
+/// that triggered it).
+fn folded_stacks(events: &[TraceEvent], spans: &HashMap<u32, Span>) -> String {
+    let mut stacks: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut bump = |frames: Vec<String>, weight: u64| {
+        if weight > 0 && !frames.is_empty() {
+            *stacks.entry(frames.join(";")).or_insert(0) += weight;
+        }
+    };
+    for te in events {
+        match te.event {
+            Event::OpRetired {
+                kind,
+                outcome,
+                probes,
+                evict_depth,
+                lock_waits,
+                ..
+            } => {
+                let mut frames = span_chain_frames(events, spans, te.span);
+                frames.push(format!("op:{}:{}", kind.name(), outcome.name()));
+                bump(frames, cost(probes, evict_depth, lock_waits));
+            }
+            Event::ResizeBegin { .. } | Event::MigrateChunkBegin { .. } => {
+                let Some(span) = spans.get(&te.span) else {
+                    continue;
+                };
+                let mut frames = span_chain_frames(events, spans, span.parent);
+                frames.push(obs::export::span_name(&te.event));
+                bump(frames, maintenance_cost(events, span));
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -461,6 +538,16 @@ fn main() -> ExitCode {
     }
 
     let (spans, locks) = index_spans(&trace.events);
+    if let Some(path) = &args.folded {
+        let folded = folded_stacks(&trace.events, &spans);
+        if let Err(e) = std::fs::write(path, &folded) {
+            return usage(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "folded stacks written to {path} ({} distinct stacks; feed to inferno/speedscope)",
+            folded.lines().count()
+        );
+    }
     explain_maintenance(&trace.events, &spans, args.top);
     // Rank retired ops by schedule footprint; ties break toward the
     // earliest retire so the listing is deterministic.

@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{ballot, run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutcome, WARP_SIZE};
 
 use crate::config::{Coordination, Distribution, DupPolicy, Layering};
@@ -324,9 +325,10 @@ impl InsertKernel<'_> {
                     warp.active &= !(1 << leader);
                     return;
                 };
+                let _attr = obs::attr::scope("evict-chain");
                 let (ek, ev) = self.store(t, in_fresh).swap(b, slot, op.key, op.val);
                 self.shape.cfg.layout.charge_kv_write(ctx);
-                ctx.metrics.evictions += 1;
+                ctx.metrics.charge(ChargeKind::Evictions, 1);
                 if obs::is_enabled() {
                     obs::emit(obs::Event::EvictStep {
                         op: op.salt,

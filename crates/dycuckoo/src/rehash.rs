@@ -19,6 +19,7 @@
 //! Every alloc/free here also updates the caller's device-byte ledger so
 //! [`crate::DyCuckoo::verify_integrity`] can cross-check the footprint.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{Metrics, SimContext};
 
 use crate::error::Result;
@@ -55,12 +56,12 @@ pub(crate) fn upsize(
     let hash = &shape.hashes[idx];
     let mut fresh = SubTable::new(new_n, layout);
     let m = &mut sim.metrics;
-    m.rounds += 1; // every old bucket is handled by an independent warp
+    m.charge(ChargeKind::Rounds, 1); // every old bucket is handled by an independent warp
     let old = &tables[idx];
     let mut moved = 0u64;
     for b in 0..old_n {
         // One warp: read the old bucket's lines (keys + values).
-        m.read_transactions += drain;
+        m.charge(ChargeKind::ReadTx, drain);
         let mut wrote_lo = false;
         let mut wrote_hi = false;
         for s in 0..old.slots_per_bucket() {
@@ -85,7 +86,10 @@ pub(crate) fn upsize(
             }
         }
         // The full bucket lines per destination bucket actually written.
-        m.write_transactions += drain * (wrote_lo as u64 + wrote_hi as u64);
+        m.charge(
+            ChargeKind::WriteTx,
+            drain * (wrote_lo as u64 + wrote_hi as u64),
+        );
     }
     let old_bytes = tables[idx].device_bytes();
     tables[idx] = fresh;
@@ -121,12 +125,12 @@ pub(crate) fn downsize_collect(
     let mut fresh = SubTable::new(new_n, layout);
     let mut residuals: Vec<InsertOp> = Vec::new();
     let m = &mut sim.metrics;
-    m.rounds += 1;
+    m.charge(ChargeKind::Rounds, 1);
     let old = &tables[idx];
     let mut moved = 0u64;
     for nb in 0..new_n {
         // One warp reads both source buckets in full.
-        m.read_transactions += 2 * drain;
+        m.charge(ChargeKind::ReadTx, 2 * drain);
         let mut wrote = false;
         for ob in [nb, nb + new_n] {
             for s in 0..old.slots_per_bucket() {
@@ -145,7 +149,7 @@ pub(crate) fn downsize_collect(
             }
         }
         if wrote {
-            m.write_transactions += drain;
+            m.charge(ChargeKind::WriteTx, drain);
         }
     }
     let old_bytes = tables[idx].device_bytes();

@@ -14,6 +14,7 @@
 //!   [`DyCuckoo::migrate_quantum`] call) drains at most one quantum of
 //!   source buckets, so no single batch pays for a whole-subtable rehash.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::SimContext;
 
 use crate::config::Config;
@@ -141,6 +142,7 @@ impl DyCuckoo {
             "stop-the-world resize with a migration in flight"
         );
         self.decision.record(matches!(op, ResizeOp::Upsize(_)));
+        let _attr = obs::attr::scope("maintenance/resize");
         let recording = obs::is_enabled();
         if recording {
             let (grow, i) = match op {
@@ -329,6 +331,7 @@ impl DyCuckoo {
     ) -> Result<u64> {
         let mut scratch = BatchReport::default();
         self.finish_migration(sim, &mut scratch)?;
+        let _attr = obs::attr::scope("maintenance/rehash");
         let layout = self.shape.cfg.layout;
         let old = &self.tables[idx];
         let old_buckets = old.n_buckets();
@@ -338,7 +341,10 @@ impl DyCuckoo {
             (old_buckets / 2).max(1)
         };
         // Drain: read every key and value line of the subtable.
-        sim.metrics.read_transactions += layout.drain_lines() * old_buckets as u64;
+        sim.metrics.charge(
+            ChargeKind::ReadTx,
+            layout.drain_lines() * old_buckets as u64,
+        );
         let drained: Vec<(u32, u32)> = old.iter_live().collect();
         let old_bytes = old.device_bytes();
         let new_bytes = layout.device_bytes_for(new_buckets);
@@ -521,6 +527,7 @@ impl DyCuckoo {
         let rest = state.span - state.cursor;
         debug_assert!(rest > 0, "Draining implies undrained source buckets");
         let budget = budget.max(1).min(rest);
+        let _attr = obs::attr::scope("maintenance/migrate");
         let recording = obs::is_enabled();
         if recording {
             obs::span_begin(obs::Event::MigrateChunkBegin {

@@ -2,6 +2,7 @@
 //! that pack user operations into warps and drive the kernels in
 //! [`crate::ops`], plus the stash fast paths wrapped around them.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::SimContext;
 
 use crate::error::{Error, Result};
@@ -26,7 +27,8 @@ impl DyCuckoo {
             attempted: kvs.len(),
             ..BatchReport::default()
         };
-        sim.metrics.ops += kvs.len() as u64;
+        let _attr = obs::attr::scope("dycuckoo/insert");
+        sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
         self.decision.note_batch();
         // Stashed keys are updated in place so a key never lives in both
         // the stash and a subtable.
@@ -34,6 +36,7 @@ impl DyCuckoo {
         let mut rest: &[(u32, u32)] = kvs;
         if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
             let stash = self.stash.as_mut().expect("checked above");
+            let _stash_attr = obs::attr::scope("stash");
             let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
             filtered = kvs
                 .iter()
@@ -85,7 +88,8 @@ impl DyCuckoo {
 
     /// Look up a batch of keys; returns one `Option<value>` per key.
     pub fn find_batch(&self, sim: &mut SimContext, keys: &[u32]) -> Vec<Option<u32>> {
-        sim.metrics.ops += keys.len() as u64;
+        let _attr = obs::attr::scope("dycuckoo/find");
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         let mut results = run_find(
             &self.tables,
             &self.shape,
@@ -94,6 +98,7 @@ impl DyCuckoo {
             &mut sim.metrics,
         );
         if let Some(stash) = self.stash.as_ref().filter(|s| !s.is_empty()) {
+            let _stash_attr = obs::attr::scope("stash");
             let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
             for (key, r) in keys.iter().zip(results.iter_mut()) {
                 if r.is_none() {
@@ -111,7 +116,8 @@ impl DyCuckoo {
             attempted: keys.len(),
             ..BatchReport::default()
         };
-        sim.metrics.ops += keys.len() as u64;
+        let _attr = obs::attr::scope("dycuckoo/delete");
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         self.decision.note_batch();
         report.deleted = run_delete(
             &mut self.tables,
@@ -122,6 +128,7 @@ impl DyCuckoo {
         );
         if self.stash.as_ref().is_some_and(|s| !s.is_empty()) {
             let stash = self.stash.as_mut().expect("checked above");
+            let _stash_attr = obs::attr::scope("stash");
             let mut ctx = gpu_sim::RoundCtx::new(&mut sim.metrics);
             for &key in keys {
                 if stash.erase(key, &mut ctx) {

@@ -40,9 +40,12 @@ pub fn blob_lines(len: u32) -> u64 {
     (len as u64).div_ceil(LINE_BYTES).max(1)
 }
 
-/// Charge reading a blob of `len` bytes.
+/// Charge reading a blob of `len` bytes. Attributed to an `arena-deref`
+/// child of whatever domain is active, so folded views separate payload
+/// streaming from bucket probes.
 #[inline]
 pub fn charge_blob_read(ctx: &mut RoundCtx, len: u32) {
+    let _attr = obs::attr::scope("arena-deref");
     for _ in 0..blob_lines(len) {
         ctx.read_line();
     }
@@ -51,6 +54,7 @@ pub fn charge_blob_read(ctx: &mut RoundCtx, len: u32) {
 /// Charge writing a blob of `len` bytes.
 #[inline]
 pub fn charge_blob_write(ctx: &mut RoundCtx, len: u32) {
+    let _attr = obs::attr::scope("arena-deref");
     for _ in 0..blob_lines(len) {
         ctx.write_line();
     }

@@ -29,6 +29,7 @@
 //! SoA with 8 × 16-byte key words — exactly one key line per probe, the
 //! same as the u32 tier) plus the arena's explicit blob-line charges.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{
     ballot, run_rounds_quantum, run_rounds_with, BucketStore, LayoutConfig, RoundCtx, RoundKernel,
     SchedulePolicy, SimContext, StepOutcome, WARP_SIZE,
@@ -713,7 +714,7 @@ impl RoundKernel<InsWarp> for InsertKernel<'_> {
                     let (kw, vw) = self.words_of(&op, ctx);
                     let (ek, ev) = self.store(t, in_fresh).swap(b, victim, kw, vw);
                     self.layout.charge_kv_write(ctx);
-                    ctx.metrics.evictions += 1;
+                    ctx.metrics.charge(ChargeKind::Evictions, 1);
                     let lane = &mut warp.ops[leader];
                     lane.carried = Some((ek, ev, word_h48(ek)));
                     lane.evictions = op.evictions + 1;
@@ -1159,6 +1160,7 @@ impl UnsizedTable {
         };
         let quantum = self.cfg.migration_quantum.max(1);
         let end = drain.cursor.saturating_add(quantum).min(drain.span);
+        let _attr = obs::attr::scope("maintenance/migrate");
         let recording = obs::is_enabled();
         if end > drain.cursor {
             if recording {
@@ -1268,7 +1270,8 @@ impl UnsizedTable {
         pairs: &[(&[u8], &[u8])],
     ) -> Result<UnsizedReport> {
         Self::check_blobs(pairs.iter().flat_map(|(k, v)| [*k, *v].into_iter()))?;
-        sim.metrics.ops += pairs.len() as u64;
+        let _attr = obs::attr::scope("unsized/insert");
+        sim.metrics.charge(ChargeKind::Ops, pairs.len() as u64);
         let queries: Vec<Query> = pairs.iter().map(|(k, _)| query(k)).collect();
         let base = self.op_counter;
         self.op_counter += pairs.len() as u64;
@@ -1338,7 +1341,8 @@ impl UnsizedTable {
         keys: &[&[u8]],
     ) -> Result<Vec<Option<Vec<u8>>>> {
         Self::check_blobs(keys.iter().copied())?;
-        sim.metrics.ops += keys.len() as u64;
+        let _attr = obs::attr::scope("unsized/find");
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         let queries: Vec<Query> = keys.iter().map(|k| query(k)).collect();
         let mut results: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
         let mut warps: Vec<FindWarp> = (0..keys.len())
@@ -1386,7 +1390,8 @@ impl UnsizedTable {
         keys: &[&[u8]],
     ) -> Result<(Vec<bool>, UnsizedReport)> {
         Self::check_blobs(keys.iter().copied())?;
-        sim.metrics.ops += keys.len() as u64;
+        let _attr = obs::attr::scope("unsized/delete");
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         let queries: Vec<Query> = keys.iter().map(|k| query(k)).collect();
         let mut removed = vec![false; keys.len()];
         let ops: Vec<DelOp> = (0..keys.len()).map(|idx| DelOp { idx, t: 0 }).collect();

@@ -16,6 +16,7 @@
 //! experiments can quantify the halved bucket arity directly against the
 //! 4-byte table, under either layout scheme.
 
+use gpu_sim::ChargeKind;
 use gpu_sim::{
     run_rounds_with, BucketStore, LayoutConfig, RoundCtx, RoundKernel, SchedulePolicy, SimContext,
     StepOutcome, WARP_SIZE,
@@ -55,15 +56,15 @@ fn gated_find_raw(
 ) -> Option<usize> {
     let layout = store.layout();
     if !store.fp_active() {
-        metrics.read_transactions += layout.probe_lines();
+        metrics.charge(ChargeKind::ReadTx, layout.probe_lines());
         return store.find_slot(b, key);
     }
-    metrics.read_transactions += layout.fp_lines();
+    metrics.charge(ChargeKind::ReadTx, layout.fp_lines());
     if !store.bucket_fps(b).contains(&store.fp_of(key)) {
         debug_assert!(store.find_slot(b, key).is_none());
         return None;
     }
-    metrics.read_transactions += layout.probe_lines();
+    metrics.charge(ChargeKind::ReadTx, layout.probe_lines());
     store.find_slot(b, key)
 }
 
@@ -231,7 +232,7 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
                 % self.layout.slots;
             let (ek, ev) = self.store(t, in_fresh).swap(b, slot, op.key, op.val);
             self.layout.charge_kv_write(ctx);
-            ctx.metrics.evictions += 1;
+            ctx.metrics.charge(ChargeKind::Evictions, 1);
             let next = self.pair.partner(fold_key(ek), t);
             let cur = &mut warp.ops[warp.cur];
             cur.key = ek;
@@ -369,12 +370,13 @@ impl WideDyCuckoo {
             .expect("non-empty");
         let old_n = self.tables[idx].n_buckets();
         let new_n = old_n * 2;
+        let _attr = obs::attr::scope("maintenance/rehash");
         let drain = self.layout.drain_lines();
         let mut fresh = WideSubTable::new(new_n, self.layout);
         sim.device.alloc(fresh.device_bytes())?;
-        sim.metrics.rounds += 1;
+        sim.metrics.charge(ChargeKind::Rounds, 1);
         for b in 0..old_n {
-            sim.metrics.read_transactions += drain;
+            sim.metrics.charge(ChargeKind::ReadTx, drain);
             for s in 0..self.layout.slots {
                 let (k, v) = self.tables[idx].slot(b, s);
                 if k == EMPTY {
@@ -385,7 +387,7 @@ impl WideDyCuckoo {
                 let slot = fresh.find_empty(nb).expect("doubled bucket");
                 fresh.write_new(nb, slot, k, v);
             }
-            sim.metrics.write_transactions += drain;
+            sim.metrics.charge(ChargeKind::WriteTx, drain);
         }
         let old_bytes = self.tables[idx].device_bytes();
         self.tables[idx] = fresh;
@@ -454,14 +456,15 @@ impl WideDyCuckoo {
             return Ok(0);
         }
         let idx = m.idx;
+        let _attr = obs::attr::scope("maintenance/migrate");
         let end = (m.cursor + budget.max(1)).min(m.old_n);
         let drain = self.layout.drain_lines();
         let old = &mut self.tables[idx];
         let new_n = m.old_n * 2;
-        sim.metrics.rounds += 1;
+        sim.metrics.charge(ChargeKind::Rounds, 1);
         let mut moved = 0u64;
         for b in m.cursor..end {
-            sim.metrics.read_transactions += drain;
+            sim.metrics.charge(ChargeKind::ReadTx, drain);
             for s in 0..self.layout.slots {
                 let (k, v) = old.slot(b, s);
                 if k == EMPTY {
@@ -474,7 +477,7 @@ impl WideDyCuckoo {
                 old.erase(b, s);
                 moved += 1;
             }
-            sim.metrics.write_transactions += drain;
+            sim.metrics.charge(ChargeKind::WriteTx, drain);
         }
         m.cursor = end;
         m.moved += moved;
@@ -499,7 +502,8 @@ impl WideDyCuckoo {
         if kvs.iter().any(|&(k, _)| k == EMPTY) {
             return Err(Error::ZeroKey);
         }
-        sim.metrics.ops += kvs.len() as u64;
+        let _attr = obs::attr::scope("wide/insert");
+        sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
         let mut pending: Vec<(u64, u64)> = kvs.to_vec();
         let mut attempts = 0;
         while !pending.is_empty() {
@@ -569,7 +573,8 @@ impl WideDyCuckoo {
 
     /// Look up a batch of wide keys: at most two bucket probes each.
     pub fn find_batch(&self, sim: &mut SimContext, keys: &[u64]) -> Vec<Option<u64>> {
-        sim.metrics.ops += keys.len() as u64;
+        let _attr = obs::attr::scope("wide/find");
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         let metrics = &mut sim.metrics;
         let value_read = self.layout.value_read_lines();
         let mut out = Vec::with_capacity(keys.len());
@@ -595,10 +600,10 @@ impl WideDyCuckoo {
                             )
                         }
                     };
-                    metrics.lookups += 1;
+                    metrics.charge(ChargeKind::Lookups, 1);
                     warp_rounds += 1;
                     if let Some(slot) = gated_find_raw(store, b, key, metrics) {
-                        metrics.read_transactions += value_read;
+                        metrics.charge(ChargeKind::ReadTx, value_read);
                         found = Some(store.bucket_vals(b)[slot]);
                         break;
                     }
@@ -607,13 +612,14 @@ impl WideDyCuckoo {
             }
             rounds = rounds.max(warp_rounds);
         }
-        metrics.rounds += rounds;
+        metrics.charge(ChargeKind::Rounds, rounds);
         out
     }
 
     /// Delete a batch of wide keys; returns the number erased.
     pub fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u64]) -> u64 {
-        sim.metrics.ops += keys.len() as u64;
+        let _attr = obs::attr::scope("wide/delete");
+        sim.metrics.charge(ChargeKind::Ops, keys.len() as u64);
         let metrics = &mut sim.metrics;
         let key_write = self.layout.key_write_lines();
         let mut deleted = 0;
@@ -640,11 +646,11 @@ impl WideDyCuckoo {
                             (&mut self.tables[t], self.hashes[t].bucket(fold_key(key), n))
                         }
                     };
-                    metrics.lookups += 1;
+                    metrics.charge(ChargeKind::Lookups, 1);
                     warp_rounds += 1;
                     if let Some(slot) = gated_find_raw(store, b, key, metrics) {
                         store.erase(b, slot);
-                        metrics.write_transactions += key_write;
+                        metrics.charge(ChargeKind::WriteTx, key_write);
                         deleted += 1;
                         break;
                     }
@@ -652,7 +658,7 @@ impl WideDyCuckoo {
             }
             rounds = rounds.max(warp_rounds);
         }
-        metrics.rounds += rounds;
+        metrics.charge(ChargeKind::Rounds, rounds);
         deleted
     }
 }

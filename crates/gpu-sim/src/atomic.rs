@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use crate::metrics::Metrics;
+use crate::metrics::{ChargeKind, Metrics};
 
 /// A table of per-bucket lock flags with deferred (end-of-round) release.
 #[derive(Debug, Clone, Default)]
@@ -115,7 +115,7 @@ impl<'a> RoundCtx<'a> {
     fn record_atomic(&mut self, space: u32, index: usize) {
         let addr = ((space as u64) << 40) | index as u64;
         *self.conflicts.entry(addr).or_insert(0) += 1;
-        self.metrics.atomic_ops += 1;
+        self.metrics.charge(ChargeKind::AtomicOps, 1);
     }
 
     /// Issue an `atomicCAS` lock acquisition on `locks[index]`. `space`
@@ -125,7 +125,7 @@ impl<'a> RoundCtx<'a> {
         self.record_atomic(space, index);
         let ok = locks.try_acquire(index);
         if !ok {
-            self.metrics.lock_failures += 1;
+            self.metrics.charge(ChargeKind::LockFailures, 1);
             if obs::is_enabled() {
                 obs::emit(obs::Event::LockConflict {
                     space,
@@ -153,43 +153,43 @@ impl<'a> RoundCtx<'a> {
     /// Charge one coalesced read transaction that probes a bucket.
     #[inline]
     pub fn read_bucket(&mut self) {
-        self.metrics.read_transactions += 1;
-        self.metrics.lookups += 1;
+        self.metrics.charge(ChargeKind::ReadTx, 1);
+        self.metrics.charge(ChargeKind::Lookups, 1);
     }
 
     /// Charge one coalesced read transaction that is not a bucket probe
     /// (e.g. fetching a value line after a key hit).
     #[inline]
     pub fn read_line(&mut self) {
-        self.metrics.read_transactions += 1;
+        self.metrics.charge(ChargeKind::ReadTx, 1);
     }
 
     /// Charge one coalesced write transaction.
     #[inline]
     pub fn write_line(&mut self) {
-        self.metrics.write_transactions += 1;
+        self.metrics.charge(ChargeKind::WriteTx, 1);
     }
 
     /// Charge one uncoalesced single-slot read (full line fetched, mostly
     /// wasted). Per-slot schemes like CUDPP probe this way.
     #[inline]
     pub fn read_slot(&mut self) {
-        self.metrics.random_read_transactions += 1;
-        self.metrics.lookups += 1;
+        self.metrics.charge(ChargeKind::RandomReadTx, 1);
+        self.metrics.charge(ChargeKind::Lookups, 1);
     }
 
     /// Charge one uncoalesced single-slot write.
     #[inline]
     pub fn write_slot(&mut self) {
-        self.metrics.random_write_transactions += 1;
+        self.metrics.charge(ChargeKind::RandomWriteTx, 1);
     }
 
     /// Charge one pointer-chased line read (chain traversal step whose
     /// address depends on the previous load).
     #[inline]
     pub fn read_chained(&mut self) {
-        self.metrics.dependent_read_transactions += 1;
-        self.metrics.lookups += 1;
+        self.metrics.charge(ChargeKind::DependentReadTx, 1);
+        self.metrics.charge(ChargeKind::Lookups, 1);
     }
 
     /// Lock failures accumulated so far (including previous rounds of the
@@ -204,7 +204,8 @@ impl<'a> RoundCtx<'a> {
     /// the round's serial tail is the largest conflict group.
     pub fn finish(self) {
         let worst = self.conflicts.values().copied().max().unwrap_or(0);
-        self.metrics.atomic_serial_units += worst as u64;
+        self.metrics
+            .charge(ChargeKind::AtomicSerialUnits, worst as u64);
     }
 }
 

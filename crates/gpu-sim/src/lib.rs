@@ -50,7 +50,7 @@ pub use cost::CostModel;
 pub use device::{Device, DeviceConfig};
 pub use engine::{BucketStore, LayoutConfig, LayoutScheme, SlotStore};
 pub use explore::{shrink_ops, SchedulePolicy};
-pub use metrics::Metrics;
+pub use metrics::{ChargeKind, Metrics};
 pub use scheduler::{
     run_rounds, run_rounds_quantum, run_rounds_with, QuantumOutcome, RoundKernel, StepOutcome,
 };

@@ -44,7 +44,61 @@ pub struct Metrics {
     pub ops: u64,
 }
 
+/// Counter-kind selector for [`Metrics::charge`], re-exported from
+/// [`obs::attr`] so kernels name the counter they bump and cost attribution
+/// sees the identical increment.
+pub use obs::attr::Kind as ChargeKind;
+
 impl Metrics {
+    /// The single charge choke point: increment the counter `kind` selects
+    /// by `n` **and** credit the same amount to the active attribution
+    /// scope ([`obs::attr`]). All live charge sites — `RoundCtx` methods,
+    /// scheduler round ticks, bulk rehash drains, baseline kernels — route
+    /// through here, which is what makes the conservation law
+    /// (Σ attributed == totals) hold by construction. Aggregation paths
+    /// ([`Metrics::merge`], standalone cost references) deliberately do
+    /// not: their increments replay counts that were already attributed
+    /// once.
+    #[inline]
+    pub fn charge(&mut self, kind: ChargeKind, n: u64) {
+        match kind {
+            ChargeKind::ReadTx => self.read_transactions += n,
+            ChargeKind::WriteTx => self.write_transactions += n,
+            ChargeKind::RandomReadTx => self.random_read_transactions += n,
+            ChargeKind::RandomWriteTx => self.random_write_transactions += n,
+            ChargeKind::DependentReadTx => self.dependent_read_transactions += n,
+            ChargeKind::AtomicOps => self.atomic_ops += n,
+            ChargeKind::AtomicSerialUnits => self.atomic_serial_units += n,
+            ChargeKind::Rounds => self.rounds += n,
+            ChargeKind::Lookups => self.lookups += n,
+            ChargeKind::Evictions => self.evictions += n,
+            ChargeKind::LockFailures => self.lock_failures += n,
+            ChargeKind::Ops => self.ops += n,
+        }
+        obs::attr::charge(kind, n);
+    }
+
+    /// Read the counter `kind` selects (the inverse of [`Metrics::charge`]),
+    /// so conservation checks can compare attribution totals against every
+    /// field without naming them one by one.
+    #[inline]
+    pub fn get(&self, kind: ChargeKind) -> u64 {
+        match kind {
+            ChargeKind::ReadTx => self.read_transactions,
+            ChargeKind::WriteTx => self.write_transactions,
+            ChargeKind::RandomReadTx => self.random_read_transactions,
+            ChargeKind::RandomWriteTx => self.random_write_transactions,
+            ChargeKind::DependentReadTx => self.dependent_read_transactions,
+            ChargeKind::AtomicOps => self.atomic_ops,
+            ChargeKind::AtomicSerialUnits => self.atomic_serial_units,
+            ChargeKind::Rounds => self.rounds,
+            ChargeKind::Lookups => self.lookups,
+            ChargeKind::Evictions => self.evictions,
+            ChargeKind::LockFailures => self.lock_failures,
+            ChargeKind::Ops => self.ops,
+        }
+    }
+
     /// Total coalesced memory transactions (reads + writes).
     #[inline]
     pub fn transactions(&self) -> u64 {
@@ -186,6 +240,49 @@ mod tests {
         // Registering again accumulates.
         m.register_into(&mut reg, &labels);
         assert_eq!(reg.get_counter("sim_rounds", &labels), Some(16));
+    }
+
+    #[test]
+    fn charge_bumps_exactly_the_selected_counter() {
+        let mut m = Metrics::default();
+        for (i, kind) in ChargeKind::ALL.iter().enumerate() {
+            m.charge(*kind, (i + 1) as u64);
+        }
+        assert_eq!(m.read_transactions, 1);
+        assert_eq!(m.write_transactions, 2);
+        assert_eq!(m.random_read_transactions, 3);
+        assert_eq!(m.random_write_transactions, 4);
+        assert_eq!(m.dependent_read_transactions, 5);
+        assert_eq!(m.atomic_ops, 6);
+        assert_eq!(m.atomic_serial_units, 7);
+        assert_eq!(m.rounds, 8);
+        assert_eq!(m.lookups, 9);
+        assert_eq!(m.evictions, 10);
+        assert_eq!(m.lock_failures, 11);
+        assert_eq!(m.ops, 12);
+    }
+
+    #[test]
+    fn charge_feeds_the_attribution_tree() {
+        let mut m = Metrics::default();
+        obs::attr::start();
+        {
+            let _s = obs::attr::scope("kernel/insert");
+            m.charge(ChargeKind::ReadTx, 4);
+            m.charge(ChargeKind::Lookups, 4);
+        }
+        m.charge(ChargeKind::Rounds, 2);
+        let attr = obs::attr::stop();
+        // Conservation: the attribution totals equal the Metrics deltas.
+        assert_eq!(attr.total(ChargeKind::ReadTx), m.read_transactions);
+        assert_eq!(attr.total(ChargeKind::Lookups), m.lookups);
+        assert_eq!(attr.total(ChargeKind::Rounds), m.rounds);
+        assert_eq!(
+            attr.get("kernel/insert").unwrap().get(ChargeKind::ReadTx),
+            4
+        );
+        // The un-scoped round tick lands at the root.
+        assert_eq!(attr.get("").unwrap().get(ChargeKind::Rounds), 2);
     }
 
     #[test]

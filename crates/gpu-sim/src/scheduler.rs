@@ -138,7 +138,7 @@ fn run_rounds_core<S, K: RoundKernel<S>>(
     let mut rounds = 0u64;
     while !pending.is_empty() && rounds < max_rounds {
         rounds += 1;
-        metrics.rounds += 1;
+        metrics.charge(crate::metrics::ChargeKind::Rounds, 1);
         if obs::is_enabled() {
             // Stamp flight-recorder events from this round with the
             // cumulative round counter.

@@ -1,0 +1,646 @@
+//! Deterministic cost attribution: *where* did the transactions go?
+//!
+//! The simulator's one invariant is that every memory transaction is
+//! counted exactly ([`gpu_sim::Metrics`]); this module adds the missing
+//! axis — attribution. Engine layers push scoped **domain segments**
+//! (component / phase / op-kind, e.g. `dycuckoo/insert/evict-chain` or
+//! `unsized/find/arena-deref`) onto a thread-local stack, and every charge
+//! that increments a `Metrics` counter is simultaneously credited to the
+//! node at the top of that stack. Zero drift by construction: attribution
+//! observes the *same* increments `Metrics` performs (via the
+//! `Metrics::charge` choke point), so the conservation law
+//!
+//! ```text
+//! Σ over paths of attributed[kind]  ==  Metrics totals charged while on
+//! ```
+//!
+//! holds identically — it is asserted by the `attribution` integration
+//! tests across every schedule policy, both KV tiers, and mid-migration.
+//!
+//! Off by default. When disabled, [`charge`] is a thread-local flag read
+//! and [`scope`] allocates nothing, so enabling attribution can never
+//! change an execution — only observe it (the digest-identity tests pin
+//! this).
+//!
+//! The drained [`Attribution`] renders as an exact-match text tree
+//! ([`Attribution::to_text`]), CSV ([`Attribution::to_csv`]), and
+//! flamegraph-collapsed folded stacks ([`Attribution::to_folded`]) that
+//! load directly in inferno / speedscope.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of attributable counter kinds (mirrors `gpu_sim::Metrics`).
+pub const NUM_KINDS: usize = 12;
+
+/// Which `Metrics` counter a charge increments. One variant per field of
+/// `gpu_sim::Metrics`, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// Coalesced read transactions.
+    ReadTx,
+    /// Coalesced write transactions.
+    WriteTx,
+    /// Uncoalesced single-slot reads.
+    RandomReadTx,
+    /// Uncoalesced single-slot writes.
+    RandomWriteTx,
+    /// Pointer-chased (dependent) line reads.
+    DependentReadTx,
+    /// Atomic operations issued.
+    AtomicOps,
+    /// Per-round largest-conflict-group serial units.
+    AtomicSerialUnits,
+    /// Scheduler rounds executed.
+    Rounds,
+    /// Bucket probes.
+    Lookups,
+    /// Cuckoo evictions.
+    Evictions,
+    /// Failed CAS lock acquisitions.
+    LockFailures,
+    /// Operations completed.
+    Ops,
+}
+
+impl Kind {
+    /// Every kind, in `Metrics` field order.
+    pub const ALL: [Kind; NUM_KINDS] = [
+        Kind::ReadTx,
+        Kind::WriteTx,
+        Kind::RandomReadTx,
+        Kind::RandomWriteTx,
+        Kind::DependentReadTx,
+        Kind::AtomicOps,
+        Kind::AtomicSerialUnits,
+        Kind::Rounds,
+        Kind::Lookups,
+        Kind::Evictions,
+        Kind::LockFailures,
+        Kind::Ops,
+    ];
+
+    /// Stable column / field name, matching the `sim_*` registry counters
+    /// without the prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::ReadTx => "read_transactions",
+            Kind::WriteTx => "write_transactions",
+            Kind::RandomReadTx => "random_read_transactions",
+            Kind::RandomWriteTx => "random_write_transactions",
+            Kind::DependentReadTx => "dependent_read_transactions",
+            Kind::AtomicOps => "atomic_ops",
+            Kind::AtomicSerialUnits => "atomic_serial_units",
+            Kind::Rounds => "rounds",
+            Kind::Lookups => "lookups",
+            Kind::Evictions => "evictions",
+            Kind::LockFailures => "lock_failures",
+            Kind::Ops => "ops",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-path counter block: one slot per [`Kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    values: [u64; NUM_KINDS],
+}
+
+impl Counts {
+    /// Value of one counter kind.
+    #[inline]
+    pub fn get(&self, kind: Kind) -> u64 {
+        self.values[kind.index()]
+    }
+
+    /// Coalesced transactions (reads + writes) — the paper's headline cost.
+    #[inline]
+    pub fn transactions(&self) -> u64 {
+        self.get(Kind::ReadTx) + self.get(Kind::WriteTx)
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    fn add(&mut self, other: &Counts) {
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// One node of the in-flight attribution tree. Segment names live in the
+/// parent's `children` map keys; paths are reconstructed at drain time.
+#[derive(Debug)]
+struct Node {
+    children: BTreeMap<String, usize>,
+    counts: Counts,
+}
+
+/// The in-flight profiler: an arena of tree nodes plus the active stack.
+/// Node 0 is the root; charges landing there (no scope active) render as
+/// `(unattributed)`.
+#[derive(Debug)]
+struct Profiler {
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+}
+
+impl Profiler {
+    fn new() -> Self {
+        Self {
+            nodes: vec![Node {
+                children: BTreeMap::new(),
+                counts: Counts::default(),
+            }],
+            stack: vec![0],
+        }
+    }
+
+    fn push(&mut self, segment: &str) {
+        let top = *self.stack.last().expect("stack never empty");
+        let id = match self.nodes[top].children.get(segment) {
+            Some(&id) => id,
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node {
+                    children: BTreeMap::new(),
+                    counts: Counts::default(),
+                });
+                self.nodes[top].children.insert(segment.to_string(), id);
+                id
+            }
+        };
+        self.stack.push(id);
+    }
+
+    fn pop(&mut self) {
+        // The root sentinel stays; a stray pop (scope dropped after stop +
+        // restart) must not underflow.
+        if self.stack.len() > 1 {
+            self.stack.pop();
+        }
+    }
+
+    fn charge(&mut self, kind: Kind, n: u64) {
+        let top = *self.stack.last().expect("stack never empty");
+        self.nodes[top].counts.values[kind.index()] += n;
+    }
+
+    /// Flatten into `path -> self counts`, root as the empty path. Every
+    /// node ever pushed is materialized (interior nodes with zero self
+    /// charges included) so the text tree shows the full domain structure.
+    fn drain(self) -> BTreeMap<String, Counts> {
+        let mut out = BTreeMap::new();
+        let mut todo: Vec<(usize, String)> = vec![(0, String::new())];
+        while let Some((id, path)) = todo.pop() {
+            let node = &self.nodes[id];
+            out.insert(path.clone(), node.counts);
+            for (seg, &child) in &node.children {
+                let child_path = if path.is_empty() {
+                    seg.clone()
+                } else {
+                    format!("{path}/{seg}")
+                };
+                todo.push((child, child_path));
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static PROFILER: RefCell<Option<Profiler>> = const { RefCell::new(None) };
+}
+
+/// Whether attribution is collecting on this thread. Charge sites guard on
+/// this before doing any work beyond the flag read.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Start collecting attribution on this thread (fresh tree; any previous
+/// unfinished collection is discarded).
+pub fn start() {
+    PROFILER.with(|p| *p.borrow_mut() = Some(Profiler::new()));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stop collecting and drain the attribution tree. Returns an empty
+/// [`Attribution`] if [`start`] was never called.
+pub fn stop() -> Attribution {
+    ENABLED.with(|e| e.set(false));
+    let profiler = PROFILER.with(|p| p.borrow_mut().take());
+    Attribution {
+        paths: profiler.map(Profiler::drain).unwrap_or_default(),
+    }
+}
+
+/// Credit `n` units of `kind` to the innermost active scope (the root if
+/// none). No-op when attribution is off — `gpu_sim::Metrics::charge` calls
+/// this unconditionally, so this early-out is the entire disabled-run cost.
+#[inline]
+pub fn charge(kind: Kind, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    PROFILER.with(|p| {
+        if let Some(prof) = p.borrow_mut().as_mut() {
+            prof.charge(kind, n);
+        }
+    });
+}
+
+/// RAII guard for one pushed domain path; pops its segments on drop.
+#[derive(Debug)]
+#[must_use = "dropping the scope immediately pops it"]
+pub struct Scope {
+    depth: usize,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if self.depth > 0 {
+            PROFILER.with(|p| {
+                if let Some(prof) = p.borrow_mut().as_mut() {
+                    for _ in 0..self.depth {
+                        prof.pop();
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Push a `/`-separated domain path (e.g. `"dycuckoo/insert"`); every
+/// [`charge`] until the returned guard drops is credited to that node.
+/// Free when attribution is off.
+pub fn scope(path: &str) -> Scope {
+    if !is_enabled() {
+        return Scope { depth: 0 };
+    }
+    let mut depth = 0;
+    PROFILER.with(|p| {
+        if let Some(prof) = p.borrow_mut().as_mut() {
+            for seg in path.split('/').filter(|s| !s.is_empty()) {
+                prof.push(seg);
+                depth += 1;
+            }
+        }
+    });
+    Scope { depth }
+}
+
+/// Like [`scope`], but the path is only *built* when attribution is on —
+/// use for dynamic segments (`format!("service/flush/shard{i}")`) so
+/// disabled runs never allocate.
+pub fn scope_with<F: FnOnce() -> String>(f: F) -> Scope {
+    if !is_enabled() {
+        return Scope { depth: 0 };
+    }
+    scope(&f())
+}
+
+/// A drained attribution tree: per-path **self** counts (charges made while
+/// that exact path was innermost). The empty path is the root — charges
+/// made outside any scope — rendered as `(unattributed)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Attribution {
+    paths: BTreeMap<String, Counts>,
+}
+
+/// Display name for the root path.
+const ROOT_NAME: &str = "(unattributed)";
+
+impl Attribution {
+    /// Total of `kind` across every path (root included). By the
+    /// conservation law this equals the `Metrics` delta of the window.
+    pub fn total(&self, kind: Kind) -> u64 {
+        self.paths.values().map(|c| c.get(kind)).sum()
+    }
+
+    /// Total coalesced transactions across every path.
+    pub fn total_transactions(&self) -> u64 {
+        self.paths.values().map(|c| c.transactions()).sum()
+    }
+
+    /// Self counts of one exact path (`""` for the root).
+    pub fn get(&self, path: &str) -> Option<&Counts> {
+        self.paths.get(path)
+    }
+
+    /// Iterate `(path, self counts)` in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Counts)> {
+        self.paths.iter().map(|(p, c)| (p.as_str(), c))
+    }
+
+    /// Subtree counts of one path: its self counts plus every descendant's.
+    pub fn subtree(&self, path: &str) -> Counts {
+        let mut total = Counts::default();
+        for (p, c) in &self.paths {
+            if path.is_empty()
+                || p == path
+                || (p.len() > path.len() && p.starts_with(path) && p.as_bytes()[path.len()] == b'/')
+            {
+                total.add(c);
+            }
+        }
+        total
+    }
+
+    /// The `k` paths with the largest self transaction counts, descending
+    /// (ties broken by path order). Root included only if it has traffic.
+    pub fn top_paths(&self, k: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .paths
+            .iter()
+            .filter(|(_, c)| c.transactions() > 0)
+            .map(|(p, c)| (display_path(p), c.transactions()))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Exact-match text tree: one line per path in sorted order, indented
+    /// by depth, with self and subtree transaction counts plus self
+    /// lookups/rounds/ops.
+    pub fn to_text(&self) -> String {
+        let mut out =
+            String::from("path (indent = depth) | self_tx | subtree_tx | lookups | rounds | ops\n");
+        for (path, counts) in &self.paths {
+            let depth = if path.is_empty() {
+                0
+            } else {
+                path.matches('/').count() + 1
+            };
+            let seg = if path.is_empty() {
+                ROOT_NAME
+            } else {
+                path.rsplit('/').next().unwrap_or(path)
+            };
+            let subtree = self.subtree(path);
+            let _ = writeln!(
+                out,
+                "{:indent$}{seg} | {} | {} | {} | {} | {}",
+                "",
+                counts.transactions(),
+                subtree.transactions(),
+                counts.get(Kind::Lookups),
+                counts.get(Kind::Rounds),
+                counts.get(Kind::Ops),
+                indent = depth * 2,
+            );
+        }
+        out
+    }
+
+    /// Wide CSV: `path` plus one column per [`Kind`], RFC 4180-quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("path");
+        for kind in Kind::ALL {
+            out.push(',');
+            out.push_str(kind.name());
+        }
+        out.push('\n');
+        for (path, counts) in &self.paths {
+            out.push_str(&crate::registry::csv_field(&display_path(path)));
+            for kind in Kind::ALL {
+                let _ = write!(out, ",{}", counts.get(kind));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Flamegraph-collapsed folded stacks for one counter kind:
+    /// `seg;seg;seg value` per line, sorted, zero-value paths skipped.
+    /// Loads directly in inferno / speedscope.
+    pub fn to_folded(&self, kind: Kind) -> String {
+        let mut out = String::new();
+        for (path, counts) in &self.paths {
+            let v = counts.get(kind);
+            if v == 0 {
+                continue;
+            }
+            let frames = if path.is_empty() {
+                ROOT_NAME.to_string()
+            } else {
+                path.replace('/', ";")
+            };
+            let _ = writeln!(out, "{frames} {v}");
+        }
+        out
+    }
+
+    /// Fold per-path transaction counts into a unified [`crate::Registry`]
+    /// as `attr_tx{path=...}` counters (plus `attr_lookups`/`attr_ops`),
+    /// so pinned registry snapshots carry the attribution and CI's
+    /// byte-for-byte snapshot diff doubles as a per-path attribution diff.
+    pub fn register_into(&self, reg: &mut crate::Registry, extra: &[(&str, &str)]) {
+        for (path, counts) in &self.paths {
+            if counts.is_zero() {
+                continue;
+            }
+            let shown = display_path(path);
+            let mut labels: Vec<(&str, &str)> = extra.to_vec();
+            labels.push(("path", shown.as_str()));
+            reg.counter("attr_tx", &labels, counts.transactions());
+            reg.counter("attr_lookups", &labels, counts.get(Kind::Lookups));
+            reg.counter("attr_ops", &labels, counts.get(Kind::Ops));
+        }
+    }
+}
+
+fn display_path(path: &str) -> String {
+    if path.is_empty() {
+        ROOT_NAME.to_string()
+    } else {
+        path.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn charged(kind: Kind, n: u64) {
+        charge(kind, n);
+    }
+
+    #[test]
+    fn disabled_charges_and_scopes_are_noops() {
+        assert!(!is_enabled());
+        let _s = scope("a/b");
+        charged(Kind::ReadTx, 5);
+        let attr = stop();
+        assert_eq!(attr.total(Kind::ReadTx), 0);
+    }
+
+    #[test]
+    fn charges_credit_the_innermost_scope() {
+        start();
+        charged(Kind::ReadTx, 1); // root
+        {
+            let _a = scope("dycuckoo/insert");
+            charged(Kind::ReadTx, 10);
+            charged(Kind::Lookups, 10);
+            {
+                let _b = scope("evict-chain");
+                charged(Kind::WriteTx, 3);
+                charged(Kind::Evictions, 3);
+            }
+            charged(Kind::ReadTx, 2);
+        }
+        let attr = stop();
+        assert_eq!(attr.get("").unwrap().get(Kind::ReadTx), 1);
+        assert_eq!(attr.get("dycuckoo/insert").unwrap().get(Kind::ReadTx), 12);
+        assert_eq!(
+            attr.get("dycuckoo/insert/evict-chain")
+                .unwrap()
+                .get(Kind::WriteTx),
+            3
+        );
+        // Conservation within the structure itself.
+        assert_eq!(attr.total(Kind::ReadTx), 13);
+        assert_eq!(attr.total(Kind::WriteTx), 3);
+        assert_eq!(attr.total_transactions(), 16);
+        // Subtree rolls descendants up.
+        assert_eq!(attr.subtree("dycuckoo").transactions(), 15);
+        assert_eq!(attr.subtree("").transactions(), 16);
+    }
+
+    #[test]
+    fn scope_with_only_formats_when_enabled() {
+        let mut called = false;
+        {
+            let _s = scope_with(|| {
+                called = true;
+                "x".to_string()
+            });
+        }
+        assert!(!called, "path built while attribution off");
+        start();
+        {
+            let _s = scope_with(|| "svc/flush/shard3".to_string());
+            charged(Kind::WriteTx, 7);
+        }
+        let attr = stop();
+        assert_eq!(attr.get("svc/flush/shard3").unwrap().get(Kind::WriteTx), 7);
+    }
+
+    #[test]
+    fn folded_output_is_semicolon_separated_and_sorted() {
+        start();
+        {
+            let _a = scope("t/insert");
+            charged(Kind::ReadTx, 4);
+        }
+        {
+            let _b = scope("t/find");
+            charged(Kind::ReadTx, 2);
+        }
+        charged(Kind::ReadTx, 1);
+        let attr = stop();
+        let folded = attr.to_folded(Kind::ReadTx);
+        assert_eq!(folded, "(unattributed) 1\nt;find 2\nt;insert 4\n");
+    }
+
+    #[test]
+    fn csv_has_one_column_per_kind() {
+        start();
+        {
+            let _a = scope("x");
+            charged(Kind::Ops, 9);
+        }
+        let attr = stop();
+        let csv = attr.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header.split(',').count(), 1 + NUM_KINDS);
+        assert!(header.ends_with(",ops"));
+        assert!(csv
+            .lines()
+            .any(|l| l.starts_with("x,") && l.ends_with(",9")));
+    }
+
+    #[test]
+    fn top_paths_sorts_by_transactions_descending() {
+        start();
+        {
+            let _a = scope("small");
+            charged(Kind::ReadTx, 1);
+        }
+        {
+            let _b = scope("big");
+            charged(Kind::WriteTx, 100);
+        }
+        let attr = stop();
+        let top = attr.top_paths(1);
+        assert_eq!(top, vec![("big".to_string(), 100)]);
+    }
+
+    #[test]
+    fn reentrant_scopes_share_nodes() {
+        start();
+        for _ in 0..3 {
+            let _a = scope("t/op");
+            charged(Kind::Rounds, 1);
+        }
+        let attr = stop();
+        assert_eq!(attr.get("t/op").unwrap().get(Kind::Rounds), 3);
+        // Root, interior `t`, and `t/op` — re-entering does not duplicate.
+        assert_eq!(attr.iter().count(), 3);
+    }
+
+    #[test]
+    fn register_into_writes_per_path_counters() {
+        start();
+        {
+            let _a = scope("dyc/find");
+            charged(Kind::ReadTx, 6);
+            charged(Kind::Lookups, 6);
+        }
+        let attr = stop();
+        let mut reg = crate::Registry::new();
+        attr.register_into(&mut reg, &[("scenario", "s1")]);
+        assert_eq!(
+            reg.get_counter("attr_tx", &[("scenario", "s1"), ("path", "dyc/find")]),
+            Some(6)
+        );
+        assert_eq!(
+            reg.get_counter("attr_lookups", &[("scenario", "s1"), ("path", "dyc/find")]),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn stop_without_start_is_empty() {
+        let attr = stop();
+        assert_eq!(attr.total_transactions(), 0);
+        assert!(attr.to_folded(Kind::ReadTx).is_empty());
+    }
+
+    #[test]
+    fn text_tree_indents_by_depth() {
+        start();
+        {
+            let _a = scope("a/b");
+            charged(Kind::ReadTx, 2);
+        }
+        let attr = stop();
+        let text = attr.to_text();
+        assert!(text.contains("\n(unattributed)"));
+        assert!(text.contains("\n  a |"));
+        assert!(text.contains("\n    b | 2 | 2 |"));
+    }
+}

@@ -119,8 +119,11 @@ fn write_args(out: &mut String, e: &Event) {
     }
 }
 
-/// Human-readable span name for a span-opening event.
-fn span_name(e: &Event) -> String {
+/// Human-readable span name for a span-opening event (`launch:insert`,
+/// `resize:upsize:t0`, `migrate:upsize:t0`, `flush:shard3`). Public so
+/// downstream folded-stack exporters name frames identically to the
+/// Chrome trace.
+pub fn span_name(e: &Event) -> String {
     match e {
         Event::LaunchBegin { kind, .. } => format!("launch:{}", kind.name()),
         Event::ResizeBegin { grow, table, .. } => format!(

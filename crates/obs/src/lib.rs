@@ -20,6 +20,14 @@
 //!   recorded event stream for `chrome://tracing`/Perfetto or line-oriented
 //!   tooling.
 
+//! * **Attribution** ([`attr`]): a scoped domain stack charging the same
+//!   counter increments `gpu_sim::Metrics` performs to a deterministic
+//!   attribution tree (text / CSV / folded-stack exports), with a
+//!   conservation law — Σ attributed == totals — asserted in tests.
+//!   Always compiled (independent of the `recorder` feature); off by
+//!   default and free when off.
+
+pub mod attr;
 pub mod event;
 pub mod export;
 pub mod registry;

@@ -153,10 +153,15 @@ impl Registry {
     }
 
     /// CSV form of the snapshot: `name,labels,type,value` rows in the same
-    /// deterministic order as [`Registry::to_text`].
+    /// deterministic order as [`Registry::to_text`]. Name and label fields
+    /// are RFC 4180-quoted, so label values containing commas or quotes
+    /// (e.g. `{path=a,b}` from canonicalized label sets) round-trip instead
+    /// of corrupting the column structure.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("name,labels,type,value\n");
         for ((name, labels), value) in &self.metrics {
+            let name = csv_field(name);
+            let labels = csv_field(labels);
             match value {
                 Value::Counter(c) => {
                     let _ = writeln!(out, "{name},{labels},counter,{c}");
@@ -167,6 +172,17 @@ impl Registry {
             }
         }
         out
+    }
+}
+
+/// RFC 4180 field quoting: wrap fields containing commas, quotes, or line
+/// breaks in double quotes, doubling any embedded quote. Plain fields pass
+/// through unchanged so existing snapshots stay byte-identical.
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
     }
 }
 
@@ -208,6 +224,46 @@ mod tests {
         assert_eq!(text, r.clone().to_text());
         assert!(r.to_csv().starts_with("name,labels,type,value\n"));
         assert_eq!(r.to_csv().lines().count(), 1 + r.len());
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_commas_and_quotes() {
+        let mut r = Registry::new();
+        // Canonical label rendering of a multi-label set embeds a comma,
+        // and adversarial label *values* can carry quotes; both must stay
+        // inside one CSV column.
+        r.counter("x", &[("a", "1"), ("b", "2")], 7);
+        r.counter("path", &[("p", "say \"hi\", world")], 3);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,labels,type,value");
+        assert!(csv.contains("x,\"{a=1,b=2}\",counter,7"));
+        assert!(csv.contains("path,\"{p=say \"\"hi\"\", world}\",counter,3"));
+        // Unquoting each data row must yield exactly four columns.
+        for line in &lines[1..] {
+            let mut cols = 1;
+            let mut in_quotes = false;
+            let mut chars = line.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' if in_quotes && chars.peek() == Some(&'"') => {
+                        chars.next();
+                    }
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => cols += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(cols, 4, "row has wrong column count: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_field_passes_plain_strings_through() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+        assert_eq!(csv_field(""), "");
     }
 
     #[test]

@@ -620,6 +620,7 @@ impl KvService {
         let window_len = self.shards[shard].queue.len().min(self.cfg.max_batch);
         let window: Vec<Pending> = self.shards[shard].queue.drain(..window_len).collect();
         let plan = plan_flush(&window);
+        let _attr = obs::attr::scope_with(|| format!("service/flush/shard{shard}"));
         let recording = obs::is_enabled();
         if recording {
             obs::span_begin(obs::Event::BatchFlush {
@@ -751,6 +752,7 @@ impl KvService {
     fn flush_bytes(&mut self, shard: usize, sim: &mut SimContext) -> Result<usize, ServiceError> {
         let window_len = self.shards[shard].byte_queue.len().min(self.cfg.max_batch);
         let window: Vec<BytePending> = self.shards[shard].byte_queue.drain(..window_len).collect();
+        let _attr = obs::attr::scope_with(|| format!("service/flush/shard{shard}"));
         let recording = obs::is_enabled();
         if recording {
             // Plan counts for the span: raw reads/deletes, deduped puts.

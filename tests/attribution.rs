@@ -1,0 +1,260 @@
+//! Cost-attribution conservation gates (DESIGN.md §4i), pinned from the
+//! outside of the engine.
+//!
+//! Two laws, both structural consequences of the `Metrics::charge` choke
+//! point, re-proved here over real executions so a future charge site that
+//! bypasses the choke point (or a scope that leaks) fails loudly:
+//!
+//! 1. **Conservation** — with the profiler armed, the sum of attributed
+//!    counters over the whole tree equals the engine's `Metrics` totals for
+//!    every one of the twelve counter kinds. Checked across all eight
+//!    schedule-policy flavors, on both table tiers, and mid-incremental-
+//!    migration, where charges flow through the most distinct scopes
+//!    (op paths, eviction chains, maintenance, arena dereferences).
+//! 2. **Observer neutrality** — arming the profiler must not perturb the
+//!    execution it observes: the differential-oracle digest of a fuzz case
+//!    is bit-identical with attribution on and off, and a telemetry
+//!    registry snapshot of the same run carries identical `sim_*` lines.
+
+use std::collections::BTreeMap;
+
+use bench::fuzz::{self, Case, Target};
+use dycuckoo::{Config, DyCuckoo, UnsizedConfig, UnsizedTable};
+use gpu_sim::{ChargeKind, LayoutConfig, Metrics, SchedulePolicy, SimContext};
+use kv_service::Tier;
+use obs::attr;
+use workloads::LengthDist;
+
+/// Assert Σ attributed == engine totals for every counter kind, and that
+/// the root of every attributed path is one of the expected domains.
+fn assert_conserved(attr: &attr::Attribution, totals: &Metrics, ctx: &str) {
+    for kind in ChargeKind::ALL {
+        assert_eq!(
+            attr.total(kind),
+            totals.get(kind),
+            "{ctx}: attribution drift on {}",
+            kind.name()
+        );
+    }
+}
+
+/// Drive a mixed insert/find/delete workload on the fixed tier and return
+/// (attribution, totals).
+fn run_fixed(policy: SchedulePolicy, quantum: usize) -> (attr::Attribution, Metrics) {
+    let mut sim = SimContext::new();
+    let mut table = DyCuckoo::new(
+        Config {
+            seed: 0xA11CE,
+            schedule: policy,
+            migration_quantum: quantum,
+            // Start tiny so the workload forces structural resizes and the
+            // maintenance scopes carry real traffic.
+            initial_buckets: 8,
+            ..Config::default()
+        },
+        &mut sim,
+    )
+    .expect("table");
+    let _ = sim.take_metrics();
+    attr::start();
+    let kvs: Vec<(u32, u32)> = (1..=4096u32).map(|k| (k, k.rotate_left(7))).collect();
+    for chunk in kvs.chunks(256) {
+        table.insert_batch(&mut sim, chunk).expect("insert");
+    }
+    let keys: Vec<u32> = (1..=4096).collect();
+    let found = table.find_batch(&mut sim, &keys);
+    assert!(found.iter().all(|g| g.is_some()), "find-all missed");
+    let dead: Vec<u32> = (1..=1024).collect();
+    table.delete_batch(&mut sim, &dead).expect("delete");
+    let attribution = attr::stop();
+    (attribution, sim.take_metrics())
+}
+
+/// Same shape on the unsized tier (byte-string keys through the arena).
+fn run_unsized(policy: SchedulePolicy) -> (attr::Attribution, Metrics) {
+    let mut sim = SimContext::new();
+    let mut table = UnsizedTable::new(
+        UnsizedConfig {
+            seed: 0xA11CE,
+            schedule: policy,
+            ..UnsizedConfig::default()
+        },
+        &mut sim,
+    )
+    .expect("unsized table");
+    let _ = sim.take_metrics();
+    attr::start();
+    let kvs: Vec<(Vec<u8>, Vec<u8>)> = (0..1024u32)
+        .map(|i| {
+            // Mix inline-width and spilling keys so arena scopes engage.
+            let key = if i % 3 == 0 {
+                format!("key-{i}").into_bytes()
+            } else {
+                format!("long-spilling-key-{i}-{}", "x".repeat(24)).into_bytes()
+            };
+            (key, i.to_le_bytes().to_vec())
+        })
+        .collect();
+    for chunk in kvs.chunks(128) {
+        let refs: Vec<(&[u8], &[u8])> = chunk
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        table.insert_batch(&mut sim, &refs).expect("insert");
+    }
+    let keys: Vec<&[u8]> = kvs.iter().map(|(k, _)| k.as_slice()).collect();
+    for chunk in keys.chunks(128) {
+        let got = table.find_batch(&mut sim, chunk).expect("find");
+        assert!(got.iter().all(|g| g.is_some()), "unsized find-all missed");
+    }
+    let attribution = attr::stop();
+    (attribution, sim.take_metrics())
+}
+
+/// Conservation across every schedule-policy flavor the fuzzer sweeps
+/// (`from_seed(0..8)` covers Shuffled/ContendedFirst/Rotating/Reversed,
+/// two parameterizations each), stop-the-world resizes.
+#[test]
+fn conservation_holds_across_all_schedule_policies() {
+    for seed in 0..8 {
+        let policy = SchedulePolicy::from_seed(seed);
+        let (attribution, totals) = run_fixed(policy, usize::MAX);
+        assert_conserved(&attribution, &totals, &format!("policy seed {seed}"));
+        // The workload is big enough that every major domain carries cost.
+        for path in ["dycuckoo/insert", "dycuckoo/find", "dycuckoo/delete"] {
+            assert!(
+                attribution.get(path).is_some(),
+                "policy seed {seed}: no charges under {path}"
+            );
+        }
+    }
+}
+
+/// Conservation mid-incremental-migration: a finite quantum keeps resize
+/// drains in flight across batches, so `maintenance/*` scopes interleave
+/// with op scopes — the nesting the profiler exists to untangle.
+#[test]
+fn conservation_holds_mid_migration() {
+    for seed in 0..8 {
+        let policy = SchedulePolicy::from_seed(seed);
+        let (attribution, totals) = run_fixed(policy, 8);
+        assert_conserved(&attribution, &totals, &format!("mid-migration seed {seed}"));
+        let maint: u64 = attribution
+            .iter()
+            .filter(|(p, _)| p.contains("maintenance/"))
+            .map(|(_, c)| c.transactions())
+            .sum();
+        assert!(
+            maint > 0,
+            "mid-migration seed {seed}: no maintenance traffic attributed"
+        );
+    }
+}
+
+/// Conservation on the unsized tier, arena dereferences included.
+#[test]
+fn conservation_holds_on_unsized_tier() {
+    for seed in 0..8 {
+        let policy = SchedulePolicy::from_seed(seed);
+        let (attribution, totals) = run_unsized(policy);
+        assert_conserved(&attribution, &totals, &format!("unsized seed {seed}"));
+        assert!(
+            attribution
+                .iter()
+                .any(|(p, c)| p.ends_with("arena-deref") && !c.is_zero()),
+            "unsized seed {seed}: no arena-deref charges attributed"
+        );
+    }
+}
+
+/// The attribution subtree/top_paths views agree with the flat totals:
+/// the root subtree *is* the whole execution.
+#[test]
+fn subtree_of_root_equals_totals() {
+    let (attribution, totals) = run_fixed(SchedulePolicy::from_seed(0), usize::MAX);
+    let root = attribution.subtree("");
+    for kind in ChargeKind::ALL {
+        assert_eq!(root.get(kind), totals.get(kind));
+    }
+    let insert = attribution.subtree("dycuckoo/insert");
+    let direct = attribution.get("dycuckoo/insert").unwrap();
+    assert!(insert.transactions() >= direct.transactions());
+}
+
+/// Observer neutrality, digest form: running the same differential-oracle
+/// fuzz cases with the profiler armed yields bit-identical digests. This
+/// is the gate that keeps the pinned 64-seed fuzz digest stable whether or
+/// not anyone is watching.
+#[test]
+fn fuzz_digests_identical_with_attribution_on_and_off() {
+    let mut cases: Vec<Case> = Vec::new();
+    for seed in 0..4u64 {
+        for target in [Target::DyCuckoo, Target::KvService] {
+            cases.push(Case {
+                target,
+                policy: SchedulePolicy::from_seed(seed),
+                workload_seed: seed,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: if seed % 2 == 0 { usize::MAX } else { 8 },
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
+                ops: fuzz::gen_ops(seed, 192),
+            });
+        }
+    }
+    for case in &cases {
+        let off = fuzz::run_case(case).expect("case clean with attribution off");
+        attr::start();
+        let on = fuzz::run_case(case).expect("case clean with attribution on");
+        let tree = attr::stop();
+        assert_eq!(
+            off, on,
+            "digest perturbed by attribution for seed {} target {:?}",
+            case.workload_seed, case.target
+        );
+        assert!(tree.total_transactions() > 0, "profiler saw no charges");
+    }
+}
+
+/// Observer neutrality, snapshot form: the `sim_*` registry lines of one
+/// run are byte-identical with attribution on and off (the profiler reads
+/// the same increments; it never adds or reroutes any).
+#[test]
+fn registry_snapshot_identical_with_attribution_on_and_off() {
+    let run = |armed: bool| -> BTreeMap<String, String> {
+        if armed {
+            attr::start();
+        }
+        let (_, totals) = {
+            let mut sim = SimContext::new();
+            let mut table = DyCuckoo::new(
+                Config {
+                    seed: 7,
+                    ..Config::default()
+                },
+                &mut sim,
+            )
+            .expect("table");
+            let kvs: Vec<(u32, u32)> = (1..=2048u32).map(|k| (k, k + 1)).collect();
+            table.insert_batch(&mut sim, &kvs).expect("insert");
+            ((), sim.take_metrics())
+        };
+        if armed {
+            let _ = attr::stop();
+        }
+        let mut reg = obs::Registry::new();
+        totals.register_into(&mut reg, &[("run", "neutrality")]);
+        reg.to_text()
+            .lines()
+            .filter(|l| l.starts_with("sim_"))
+            .map(|l| {
+                let (k, v) = l.rsplit_once(' ').expect("metric line");
+                (k.to_string(), v.to_string())
+            })
+            .collect()
+    };
+    assert_eq!(run(false), run(true));
+}
