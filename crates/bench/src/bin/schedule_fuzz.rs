@@ -53,6 +53,14 @@
 //!   miss shield (8-bit tags). Shed gets complete at submission time, so
 //!   service digests legitimately differ from the unshielded run; the
 //!   oracle still requires reference-exact replies.
+//! * `--host-par N` — run the host-par differential on `N` OS threads
+//!   alongside every sim execution: fixed-tier table cases mirror each
+//!   batch into a `dycuckoo::ParTable` whose final logical map must match
+//!   the reference, and service cases re-run under `Backend::HostPar`
+//!   whose digest must equal the sim digest bit-for-bit. The reported
+//!   digests are always the sim executions', so a `--host-par` sweep must
+//!   print the same summary as the bare run — that equality *is* the
+//!   differential verdict.
 //! * `--inject-lock-elision` — plant the known lock-elision bug in the
 //!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
 //!   `--expect-violations` to prove the oracle catches and shrinks it.
@@ -84,6 +92,7 @@ struct Args {
     key_dists: Vec<LengthDist>,
     fingerprints: Vec<u8>,
     miss_filter: bool,
+    host_par: usize,
     targets_pinned: bool,
     expect_violations: bool,
     out_dir: String,
@@ -97,7 +106,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
          \x20                    [--layout SPEC] [--migration-quanta q1,q2,..]\n\
          \x20                    [--tier fixed|unsized] [--key-dists d1,d2,..]\n\
-         \x20                    [--fingerprints b1,b2,..] [--miss-filter]\n\
+         \x20                    [--fingerprints b1,b2,..] [--miss-filter] [--host-par N]\n\
          \x20                    [--inject-lock-elision] [--expect-violations]\n\
          \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
     );
@@ -117,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
         key_dists: vec![LengthDist::Mixed],
         fingerprints: vec![0],
         miss_filter: false,
+        host_par: 0,
         targets_pinned: false,
         expect_violations: false,
         out_dir: ".".to_string(),
@@ -200,6 +210,13 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--miss-filter" => args.miss_filter = true,
+            "--host-par" => {
+                args.host_par = val("--host-par")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("--host-par wants a positive thread count")?;
+            }
             "--expect-violations" => args.expect_violations = true,
             "--out" => args.out_dir = val("--out")?,
             "--budget-secs" => {
@@ -305,6 +322,7 @@ fn main() -> ExitCode {
                                 key_dist,
                                 fingerprint,
                                 miss_filter: args.miss_filter,
+                                host_par_threads: args.host_par,
                                 ops: gen_ops(seed, args.ops),
                             };
                             cases += 1;
@@ -334,8 +352,13 @@ fn main() -> ExitCode {
                                         String::new()
                                     };
                                     let mftag = if args.miss_filter { "-mf" } else { "" };
+                                    let hptag = if args.host_par > 0 {
+                                        format!("-hp{}", args.host_par)
+                                    } else {
+                                        String::new()
+                                    };
                                     let file = format!(
-                                        "{}/repro-{}-{seed}{qtag}{ttag}{fptag}{mftag}.ron",
+                                        "{}/repro-{}-{seed}{qtag}{ttag}{fptag}{mftag}{hptag}.ron",
                                         args.out_dir.trim_end_matches('/'),
                                         target.name()
                                     );

@@ -24,12 +24,21 @@
 //!   capacity (default 0.8);
 //! * `SERVICE_OVERLOAD` — overload multiplier vs capacity (default 2.0);
 //! * `SERVICE_CSV=1` — dump the full per-shard CSV snapshots.
+//!
+//! With `--threads N` (or `SERVICE_THREADS=N`), a host-par wall-clock
+//! section follows: the nominal run repeats under `Backend::HostPar` at
+//! 1, 2, … N worker threads, each run's metrics CSV is required to match
+//! the sim run byte-for-byte, and real elapsed time is reported as
+//! ops/sec with scaling vs the 1-thread run. Wall-clock numbers are
+//! machine-dependent by nature, so the section prints only when asked
+//! and registers nothing — the pinned telemetry snapshot stays
+//! byte-identical.
 
 use bench::telemetry::Telemetry;
 use bench::{scale, seed};
 use dycuckoo::Config;
 use gpu_sim::SimContext;
-use kv_service::{AdmitError, KvService, Op, ServiceConfig, Snapshot};
+use kv_service::{AdmitError, Backend, KvService, Op, ServiceConfig, Snapshot};
 use workloads::stream::{RequestStream, StreamOp};
 use workloads::{DatasetSpec, DynamicWorkload};
 
@@ -161,11 +170,30 @@ fn register_run(reg: &mut obs::Registry, run: &str, snap: &Snapshot) {
     }
 }
 
+/// `--threads N` from argv, falling back to `SERVICE_THREADS`; 0 means
+/// the wall-clock section is off (the default).
+fn threads_arg() -> usize {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--threads" {
+            match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => return n,
+                _ => {
+                    eprintln!("service_load: --threads wants a positive count");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    env_usize("SERVICE_THREADS", 0)
+}
+
 fn main() {
     let mut tel = Telemetry::from_env();
     let scale = scale();
     let seed = seed();
     let shards = env_usize("SERVICE_SHARDS", 4);
+    let threads = threads_arg();
     let nominal_frac = env_f64("SERVICE_RATE", 0.8);
     let overload_mult = env_f64("SERVICE_OVERLOAD", 2.0);
     let dump_csv = std::env::var("SERVICE_CSV").is_ok_and(|v| v == "1");
@@ -236,5 +264,38 @@ fn main() {
     );
     if !(bounded && shed) {
         std::process::exit(1);
+    }
+
+    // Host-par wall clock: real threads, real time. Every run must still
+    // render the sim run's metrics CSV byte-for-byte (the differential);
+    // only the elapsed-time column varies by machine, which is why none
+    // of this is registered or pinned.
+    if threads > 0 {
+        println!("--- host-par wall clock ({threads} threads max; not pinned) ---");
+        let mut base_secs = None;
+        let mut t = 1;
+        loop {
+            let cfg = ServiceConfig {
+                backend: Backend::HostPar { threads: t },
+                ..svc_cfg.clone()
+            };
+            let start = std::time::Instant::now();
+            let r = run(&stream, &cfg, nominal_rate, false);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            if r.csv != a.csv {
+                println!("  threads={t}  FAIL: host-par metrics CSV diverged from the sim run");
+                std::process::exit(1);
+            }
+            let base = *base_secs.get_or_insert(secs);
+            println!(
+                "  threads={t:>2}  {:>12.0} ops/sec wall   ({secs:.3}s, {:.2}x vs 1 thread, CSV matches sim)",
+                r.completed as f64 / secs,
+                base / secs
+            );
+            if t >= threads {
+                break;
+            }
+            t = (t * 2).min(threads);
+        }
     }
 }

@@ -152,6 +152,7 @@ fn load_case(args: &Args) -> Result<Case, String> {
         key_dist: workloads::LengthDist::Mixed,
         fingerprint: 0,
         miss_filter: false,
+        host_par_threads: 0,
         ops: gen_ops(args.seed, args.ops),
     })
 }

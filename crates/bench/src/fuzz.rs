@@ -32,10 +32,10 @@ use std::fmt;
 use baselines::{
     Cudpp, DyCuckooTable, GpuHashTable, LinearProbing, MegaKv, ResizeBounds, SlabHash,
 };
-use dycuckoo::{Config, DupPolicy, UnsizedConfig, UnsizedTable, WideDyCuckoo};
+use dycuckoo::{Config, DupPolicy, ParTable, UnsizedConfig, UnsizedTable, WideDyCuckoo};
 use gpu_sim::explore::mix64;
 use gpu_sim::{LayoutConfig, SchedulePolicy, SimContext};
-use kv_service::{KvService, Op, Reply, ServiceConfig, Tier};
+use kv_service::{Backend, KvService, Op, Reply, ServiceConfig, Tier};
 use workloads::LengthDist;
 
 /// Which implementation a fuzz case drives.
@@ -145,6 +145,18 @@ pub struct Case {
     /// (8-bit tags). Shed gets must still produce reference-exact
     /// replies; non-service targets ignore the flag.
     pub miss_filter: bool,
+    /// Run the host-par differential alongside the sim execution with this
+    /// many OS threads. `0` — the default and the historical shape —
+    /// disables it and leaves every digest untouched. Nonzero on a
+    /// fixed-tier table target mirrors every batch into a
+    /// [`dycuckoo::ParTable`] and requires the final logical map to match
+    /// the reference exactly (the sim run already matched it, so this is a
+    /// sim-vs-host-par differential by transitivity); on the service
+    /// target the whole case re-runs under `Backend::HostPar` and its
+    /// digest must equal the `Backend::Sim` digest bit-for-bit. The
+    /// returned digest is always the sim execution's, so pinned values
+    /// never move.
+    pub host_par_threads: usize,
     /// The operation sequence.
     pub ops: Vec<FuzzOp>,
 }
@@ -468,7 +480,91 @@ fn run_table_case(case: &Case) -> Result<Digest, Violation> {
     let mut d = fold(0, sim.metrics.rounds);
     d = fold(d, sim.metrics.lock_failures);
     d = fold(d, table.len());
+    if case.host_par_threads > 0 {
+        run_host_par_table_diff(case)?;
+    }
     Ok(d)
+}
+
+/// The host-par differential: replay the case's batches through a
+/// [`ParTable`] on `host_par_threads` real OS threads and check every
+/// batch — and the final logical map — against a reference `HashMap`.
+///
+/// The reference model is maintained independently of the sim runner's
+/// (baselines like CUDPP skip deletes, which would skew a shared model),
+/// so the check composes with every fixed-tier target: the sim execution
+/// proved `sim == reference`, this proves `host-par == reference`, hence
+/// `host-par == sim` on the final logical map. Physical placement and
+/// grow counts are schedule-dependent by design and stay outside the
+/// comparison — and outside the digest, which this function never touches.
+fn run_host_par_table_diff(case: &Case) -> Result<(), Violation> {
+    let cfg = Config {
+        initial_buckets: 4,
+        seed: table_seed(case),
+        layout: fp_layout(case),
+        ..Config::default()
+    };
+    let mut par = ParTable::new(cfg, case.host_par_threads)
+        .map_err(|e| Violation::new(format!("host-par table construction failed: {e}")))?;
+    let mut model: HashMap<u32, u32> = HashMap::new();
+    for (i, batch) in batches(&case.ops).into_iter().enumerate() {
+        match batch {
+            Batch::Insert(kvs) => {
+                par.insert_batch(&kvs)
+                    .map_err(|e| Violation::new(format!("host-par insert batch {i}: {e}")))?;
+                for &(k, v) in &kvs {
+                    model.insert(k, v);
+                }
+                let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+                let got = par.find_batch(&keys);
+                check_finds(
+                    &format!("host-par after insert batch {i}"),
+                    &keys,
+                    &got,
+                    &model,
+                )?;
+            }
+            Batch::Find(keys) => {
+                let got = par.find_batch(&keys);
+                check_finds(&format!("host-par find batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Delete(keys) => {
+                let mut want = 0u64;
+                for &k in &keys {
+                    if model.remove(&k).is_some() {
+                        want += 1;
+                    }
+                }
+                let got = par.delete_batch(&keys);
+                if got != want {
+                    return Err(Violation::new(format!(
+                        "host-par delete batch {i}: erased {got} keys, reference says {want}"
+                    )));
+                }
+            }
+        }
+    }
+    // Final logical map, exactly: sorted live pairs against the reference.
+    let mut live = par.live_pairs();
+    live.sort_unstable();
+    let mut want: Vec<(u32, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    want.sort_unstable();
+    if live != want {
+        let diff = live
+            .iter()
+            .filter(|p| !want.contains(p))
+            .chain(want.iter().filter(|p| !live.contains(p)))
+            .take(4)
+            .collect::<Vec<_>>();
+        return Err(Violation::new(format!(
+            "host-par final map diverged from the reference ({} vs {} pairs; first diffs {diff:?})",
+            live.len(),
+            want.len()
+        )));
+    }
+    par.verify()
+        .map_err(|e| Violation::new(format!("host-par structural verify failed: {e}")))?;
+    Ok(())
 }
 
 fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
@@ -752,7 +848,30 @@ fn run_unsized_case(case: &Case) -> Result<Digest, Violation> {
     Ok(d)
 }
 
+/// The service oracle, with the host-par differential layered on top: the
+/// case always runs under `Backend::Sim` (whose digest is returned, so
+/// pinned values never move), and with `host_par_threads > 0` it runs a
+/// second time under `Backend::HostPar` — same workload, same reference
+/// checks — and the two digests must agree bit-for-bit. The digest folds
+/// every completion tick and the final key count, so agreement means the
+/// threaded backend produced the same completions on the same simulated
+/// ticks with the same final table sizes.
 fn run_service_case(case: &Case) -> Result<Digest, Violation> {
+    let d = run_service_backend(case, Backend::Sim)?;
+    if case.host_par_threads > 0 {
+        let threads = case.host_par_threads;
+        let dp = run_service_backend(case, Backend::HostPar { threads })?;
+        if dp != d {
+            return Err(Violation::new(format!(
+                "host-par({threads} threads) service digest {dp:#018x} \
+                 diverged from sim digest {d:#018x}"
+            )));
+        }
+    }
+    Ok(d)
+}
+
+fn run_service_backend(case: &Case, backend: Backend) -> Result<Digest, Violation> {
     let mut sim = SimContext::new();
     let seed = table_seed(case);
     let cfg = ServiceConfig {
@@ -774,6 +893,7 @@ fn run_service_case(case: &Case) -> Result<Digest, Violation> {
         migration_quantum: case.migration_quantum,
         flush_order: case.policy,
         miss_filter_bits: if case.miss_filter { 8 } else { 0 },
+        backend,
         ..ServiceConfig::default()
     };
     let mut svc = KvService::new(cfg, &mut sim).map_err(setup_err)?;
@@ -919,6 +1039,14 @@ impl Repro {
         ));
         out.push_str(&format!("    fingerprint: {},\n", self.case.fingerprint));
         out.push_str(&format!("    miss_filter: {},\n", self.case.miss_filter));
+        // Emitted only when armed, so artifacts from the historical sweep
+        // shape stay byte-identical.
+        if self.case.host_par_threads > 0 {
+            out.push_str(&format!(
+                "    host_par_threads: {},\n",
+                self.case.host_par_threads
+            ));
+        }
         out.push_str(&format!(
             "    violation: \"{}\",\n",
             escape(&self.violation)
@@ -1041,6 +1169,25 @@ impl Repro {
                 false
             }
         };
+        // Optional (absent in artifacts predating the host-par backend, and
+        // in any artifact that did not arm the differential); absent means
+        // sim-only.
+        let mark = c.pos;
+        let host_par_threads = match c.ident() {
+            Ok(name) if name == "host_par_threads" => {
+                c.expect(':')?;
+                let n = c.number()? as usize;
+                c.expect(',')?;
+                if n == 0 {
+                    return Err("host_par_threads must be positive when present".to_string());
+                }
+                n
+            }
+            _ => {
+                c.pos = mark;
+                0
+            }
+        };
         c.field("violation")?;
         let violation = c.string()?;
         c.expect(',')?;
@@ -1084,6 +1231,7 @@ impl Repro {
                 key_dist,
                 fingerprint,
                 miss_filter,
+                host_par_threads,
                 ops,
             },
             violation,
@@ -1257,6 +1405,7 @@ mod tests {
             key_dist: LengthDist::Mixed,
             fingerprint: 0,
             miss_filter: false,
+            host_par_threads: 0,
             ops: gen_ops(1, 96),
         };
         let a = run_case(&case).expect("no violation");
@@ -1282,6 +1431,7 @@ mod tests {
                     key_dist: LengthDist::Mixed,
                     fingerprint: 0,
                     miss_filter: false,
+                    host_par_threads: 0,
                     ops: gen_ops(5, 160),
                 };
                 let a = run_case(&case)
@@ -1305,6 +1455,7 @@ mod tests {
             key_dist: LengthDist::Mixed,
             fingerprint: 0,
             miss_filter: false,
+            host_par_threads: 0,
             ops: gen_ops(3, 96),
         };
         let rev = Case {
@@ -1331,6 +1482,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![FuzzOp::Insert(1, 2), FuzzOp::Find(1), FuzzOp::Delete(1)],
             },
             violation: "find(1) = None, reference says Some(2) — a \"lost\" key\\".to_string(),
@@ -1356,6 +1508,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![FuzzOp::Insert(3, 4)],
             },
             violation: "x".to_string(),
@@ -1387,6 +1540,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![],
             },
             violation: String::new(),
@@ -1415,6 +1569,7 @@ mod tests {
             key_dist: dist,
             fingerprint: 0,
             miss_filter: false,
+            host_par_threads: 0,
             ops: gen_ops(11, n),
         }
     }
@@ -1473,6 +1628,7 @@ mod tests {
                 key_dist: LengthDist::AllSpill,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![FuzzOp::Insert(9, 9), FuzzOp::Delete(9)],
             },
             violation: "arena leak".to_string(),
@@ -1500,6 +1656,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![FuzzOp::Find(7)],
             },
             violation: "y".to_string(),
@@ -1529,6 +1686,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 16,
                 miss_filter: true,
+                host_par_threads: 0,
                 ops: vec![FuzzOp::Insert(5, 6), FuzzOp::Find(5), FuzzOp::Find(99)],
             },
             violation: "shed get answered Some".to_string(),
@@ -1557,6 +1715,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![FuzzOp::Insert(1, 1)],
             },
             violation: "z".to_string(),
@@ -1586,6 +1745,7 @@ mod tests {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 8,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: vec![],
             },
             violation: String::new(),
@@ -1617,6 +1777,7 @@ mod tests {
                     key_dist: LengthDist::Mixed,
                     fingerprint: 0,
                     miss_filter: false,
+                    host_par_threads: 0,
                     ops: gen_ops(13, 160),
                 };
                 let bare = run_case(&base)
@@ -1657,6 +1818,7 @@ mod tests {
                     key_dist: LengthDist::Mixed,
                     fingerprint: 0,
                     miss_filter: true,
+                    host_par_threads: 0,
                     ops: gen_ops(seed, 160),
                 };
                 let a = run_case(&case).unwrap_or_else(|v| panic!("seed={seed} q={quantum}: {v}"));
@@ -1664,5 +1826,108 @@ mod tests {
                 assert_eq!(a, b, "seed={seed} q={quantum}: digest unstable");
             }
         }
+    }
+
+    /// The host-par differential passes on the table and service targets
+    /// at 1, 2 and 8 threads — and, because the returned digest is always
+    /// the sim execution's, arming it must leave every digest untouched.
+    #[test]
+    fn host_par_diff_passes_and_leaves_the_digest_unchanged() {
+        for target in [Target::DyCuckoo, Target::KvService] {
+            for seed in [0u64, 9] {
+                let base = Case {
+                    target,
+                    policy: SchedulePolicy::from_seed(seed),
+                    workload_seed: seed,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::default(),
+                    migration_quantum: usize::MAX,
+                    tier: Tier::Fixed,
+                    key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: false,
+                    host_par_threads: 0,
+                    ops: gen_ops(seed, 160),
+                };
+                let bare = run_case(&base)
+                    .unwrap_or_else(|v| panic!("{} seed={seed} bare: {v}", target.name()));
+                for threads in [1usize, 2, 8] {
+                    let par = Case {
+                        host_par_threads: threads,
+                        ..base.clone()
+                    };
+                    let d = run_case(&par).unwrap_or_else(|v| {
+                        panic!("{} seed={seed} threads={threads}: {v}", target.name())
+                    });
+                    assert_eq!(
+                        d,
+                        bare,
+                        "{} seed={seed} threads={threads}: differential moved the digest",
+                        target.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The differential also holds mid-migration and with the miss shield
+    /// armed on the service target — the threaded backend must track the
+    /// sim through incremental drains and shed gets alike.
+    #[test]
+    fn host_par_diff_passes_mid_migration_and_with_miss_filter() {
+        let case = Case {
+            target: Target::KvService,
+            policy: SchedulePolicy::Shuffled { seed: 23 },
+            workload_seed: 23,
+            inject_lock_elision: false,
+            layout: LayoutConfig::default(),
+            migration_quantum: 8,
+            tier: Tier::Fixed,
+            key_dist: LengthDist::Mixed,
+            fingerprint: 0,
+            miss_filter: true,
+            host_par_threads: 4,
+            ops: gen_ops(23, 160),
+        };
+        let a = run_case(&case).unwrap_or_else(|v| panic!("{v}"));
+        let b = run_case(&case).expect("second run");
+        assert_eq!(a, b, "digest unstable");
+    }
+
+    #[test]
+    fn ron_roundtrips_host_par_threads() {
+        let repro = Repro {
+            case: Case {
+                target: Target::KvService,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 31,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
+                host_par_threads: 8,
+                ops: vec![FuzzOp::Insert(2, 3), FuzzOp::Find(2)],
+            },
+            violation: "host-par digest diverged".to_string(),
+        };
+        let text = repro.to_ron();
+        assert!(text.contains("host_par_threads: 8"));
+        let back = Repro::from_ron(&text).expect("parse");
+        assert_eq!(back, repro);
+        // A sim-only case emits no field at all, keeping the historical
+        // artifact shape byte-identical.
+        let sim_only = Repro {
+            case: Case {
+                host_par_threads: 0,
+                ..repro.case.clone()
+            },
+            violation: String::new(),
+        };
+        assert!(!sim_only.to_ron().contains("host_par_threads"));
+        let back = Repro::from_ron(&sim_only.to_ron()).expect("parse sim-only");
+        assert_eq!(back, sim_only);
     }
 }

@@ -14,13 +14,47 @@ use crate::config::Distribution;
 use crate::hashfn::splitmix64;
 use crate::subtable::SubTable;
 
-/// Theorem-1 weight of a subtable: `n_i / C(m_i, 2)`, with `C(m,2) < 1`
-/// clamped so empty tables get a very large (but finite) weight.
+/// Theorem-1 weight from raw capacity/occupancy numbers: `n_i / C(m_i,
+/// 2)`, with `C(m,2) < 1` clamped so empty tables get a very large (but
+/// finite) weight. Backend-generic: the sim backend reads a
+/// [`SubTable`], the host-par backend reads its striped store's relaxed
+/// occupancy counter — both feed this one formula.
+#[inline]
+pub fn weight_of(capacity_slots: u64, occupied: u64) -> f64 {
+    let m = occupied as f64;
+    let pairs = (m * (m - 1.0) / 2.0).max(1.0);
+    capacity_slots as f64 / pairs
+}
+
+/// Theorem-1 weight of a subtable: `n_i / C(m_i, 2)`.
 #[inline]
 pub fn weight(table: &SubTable) -> f64 {
-    let m = table.occupied() as f64;
-    let pairs = (m * (m - 1.0) / 2.0).max(1.0);
-    table.capacity_slots() as f64 / pairs
+    weight_of(table.capacity_slots(), table.occupied())
+}
+
+/// Backend-generic candidate choice: like [`choose_among`] but reading
+/// subtable weights through a closure, so callers that do not hold
+/// `&[SubTable]` (the host-par backend's striped stores) steer with the
+/// identical coin and sampling rule. Deterministic given
+/// `(seed, key, salt)` and the weights.
+pub fn choose_among_by(
+    dist: Distribution,
+    weight_at: impl Fn(usize) -> f64,
+    candidates: &[usize],
+    seed: u64,
+    key: u32,
+    salt: u64,
+) -> usize {
+    debug_assert!(!candidates.is_empty());
+    let coin = splitmix64(seed ^ ((key as u64) << 17) ^ salt);
+    match dist {
+        Distribution::Uniform => candidates[(coin % candidates.len() as u64) as usize],
+        Distribution::Balanced => {
+            let weights: Vec<f64> = candidates.iter().map(|&c| weight_at(c)).collect();
+            let i = weighted_index(&weights, coin).expect("Theorem-1 weights are positive");
+            candidates[i]
+        }
+    }
 }
 
 /// Choose among candidate subtables for a fresh insert. Deterministic
@@ -33,16 +67,7 @@ pub fn choose_among(
     key: u32,
     salt: u64,
 ) -> usize {
-    debug_assert!(!candidates.is_empty());
-    let coin = splitmix64(seed ^ ((key as u64) << 17) ^ salt);
-    match dist {
-        Distribution::Uniform => candidates[(coin % candidates.len() as u64) as usize],
-        Distribution::Balanced => {
-            let weights: Vec<f64> = candidates.iter().map(|&c| weight(&tables[c])).collect();
-            let i = weighted_index(&weights, coin).expect("Theorem-1 weights are positive");
-            candidates[i]
-        }
-    }
+    choose_among_by(dist, |c| weight(&tables[c]), candidates, seed, key, salt)
 }
 
 /// Choose between the two subtables of a first-layer pair for a fresh

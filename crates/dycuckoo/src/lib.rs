@@ -28,6 +28,7 @@ pub mod config;
 pub mod distribute;
 pub mod error;
 pub mod hashfn;
+pub mod host_par;
 pub mod ops;
 pub mod rehash;
 pub mod resize;
@@ -41,6 +42,7 @@ pub mod wide;
 
 pub use config::{Config, Coordination, Distribution, DupPolicy, Layering, BUCKET_SLOTS};
 pub use error::{Error, Result};
+pub use host_par::{ParReport, ParTable};
 pub use resize::ResizeOp;
 pub use stats::{SubTableStats, TableStats};
 pub use table::{buckets_for_load, mixed_bucket_sizes, BatchReport, DyCuckoo, ResizeEvent};

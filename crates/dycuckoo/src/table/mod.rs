@@ -37,8 +37,9 @@ const RESIZE_CHECK_INTERVAL: usize = 1 << 16;
 /// configurations converge in a handful.
 const MAX_RESIZE_ITERS: u32 = 64;
 
-/// Cap on upsize-and-retry cycles for failed inserts.
-const MAX_INSERT_RETRIES: u32 = 40;
+/// Cap on upsize-and-retry cycles for failed inserts (shared with the
+/// host-par backend, whose sequential overflow drain retries the same way).
+pub(crate) const MAX_INSERT_RETRIES: u32 = 40;
 
 /// Immutable shape shared by all kernels: configuration and hash functions.
 /// Hash functions are fixed at construction and survive every resize — the
@@ -107,6 +108,24 @@ impl Candidates {
 }
 
 impl TableShape {
+    /// Derive the shape — hash-function parameters and the config they
+    /// came from — every backend shares. The sim backend
+    /// ([`DyCuckoo::new`]) and the host-par backend
+    /// ([`crate::host_par::ParTable`]) both construct their shape here,
+    /// which is what makes their key→candidate-bucket routing identical.
+    pub fn from_config(cfg: Config) -> Self {
+        let pair = PairHash::new(cfg.seed ^ 0x9E37_79B9, cfg.num_tables);
+        let hashes = (0..cfg.num_tables)
+            .map(|i| {
+                UniversalHash::from_seed(
+                    cfg.seed
+                        .wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
+            .collect();
+        Self { cfg, pair, hashes }
+    }
+
     /// The subtables that may hold `key`, per the configured layering.
     pub fn candidates(&self, key: u32) -> Candidates {
         match self.cfg.layering {

@@ -11,12 +11,10 @@ use gpu_sim::SimContext;
 
 use crate::config::Config;
 use crate::error::Result;
-use crate::hashfn::UniversalHash;
 use crate::resize;
 use crate::stash::Stash;
 use crate::stats::{SubTableStats, TableStats};
 use crate::subtable::SubTable;
-use crate::two_layer::PairHash;
 
 use super::{DyCuckoo, TableShape};
 
@@ -24,15 +22,7 @@ impl DyCuckoo {
     /// Create a table with `cfg.initial_buckets` buckets per subtable.
     pub fn new(cfg: Config, sim: &mut SimContext) -> Result<Self> {
         cfg.validate()?;
-        let pair = PairHash::new(cfg.seed ^ 0x9E37_79B9, cfg.num_tables);
-        let hashes = (0..cfg.num_tables)
-            .map(|i| {
-                UniversalHash::from_seed(
-                    cfg.seed
-                        .wrapping_add(0x517C_C1B7_2722_0A95u64.wrapping_mul(i as u64 + 1)),
-                )
-            })
-            .collect();
+        let shape = TableShape::from_config(cfg);
         let tables: Vec<SubTable> = (0..cfg.num_tables)
             .map(|_| SubTable::new(cfg.initial_buckets, cfg.layout))
             .collect();
@@ -50,7 +40,7 @@ impl DyCuckoo {
             None
         };
         Ok(Self {
-            shape: TableShape { cfg, pair, hashes },
+            shape,
             tables,
             stash,
             migration: super::migration::MigrationMachine::Idle,

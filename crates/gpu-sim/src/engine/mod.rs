@@ -15,6 +15,9 @@
 //!   eviction-destination steering.
 //! * [`sizing`] — capacity sizing (buckets for a target filled factor)
 //!   shared by all schemes and bucket widths.
+//! * [`striped`] — the lock-striped, thread-safe access mode of the
+//!   bucketized store that the `host-par` backend runs real OS threads
+//!   against (the sim path keeps the round scheduler's atomic locks).
 //!
 //! The default layout reproduces the pre-engine accounting exactly, so the
 //! schedule-fuzz digests and telemetry snapshots pin the refactor as
@@ -25,8 +28,10 @@ pub mod layout;
 pub mod probe;
 pub mod sizing;
 pub mod store;
+pub mod striped;
 
 pub use layout::{Aos, BucketLayout, LayoutConfig, LayoutScheme, Soa, LINE_BYTES, LOCK_BYTES};
 pub use probe::{nth_active_lane, pack_warps, rotated_index, weighted_index};
 pub use sizing::{buckets_for_load, mixed_bucket_sizes};
 pub use store::{BucketStore, SlotStore, SlotWord};
+pub use striped::{StripeGuard, StripedStore};

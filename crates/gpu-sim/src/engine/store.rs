@@ -144,6 +144,14 @@ impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
         self.layout.has_fp()
     }
 
+    /// The installed fingerprint hash (so a thread-safe twin can be
+    /// created with identical lane contents; see
+    /// [`BucketStore::to_striped`]).
+    #[inline]
+    pub fn fp_fn(&self) -> fn(K) -> u64 {
+        self.fp_fn
+    }
+
     /// The fingerprint the lane stores for `key`: the configured hash
     /// folded into `1..=2^bits - 1` (0 is the empty-slot sentinel).
     #[inline]

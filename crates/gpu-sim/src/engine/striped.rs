@@ -1,0 +1,531 @@
+//! Lock-striped, thread-safe access mode for the bucketized store.
+//!
+//! [`StripedStore`] holds the same logical content as a [`BucketStore`] —
+//! bucketed key/value arrays with an optional fingerprint lane — but
+//! partitions the buckets into contiguous **stripes**, each guarded by its
+//! own mutex, so real OS threads can operate on disjoint stripes
+//! concurrently. This is the storage half of the `host-par` backend: the
+//! simulated path keeps using [`BucketStore`] under the round scheduler's
+//! `atomicCAS` bucket locks, while the host-parallel path locks a stripe
+//! and performs the identical slot transitions under it.
+//!
+//! ## Locking protocol
+//!
+//! * A bucket `b` belongs to exactly one stripe, [`StripedStore::stripe_of`]
+//!   `(b)`. All reads and writes of a bucket's slots require holding that
+//!   stripe's guard ([`StripedStore::lock_stripe`]).
+//! * Operations that touch several buckets (cuckoo inserts probe every
+//!   candidate bucket of a key) must acquire the distinct stripes in
+//!   **canonical order** — ascending `(table index, stripe index)` — and
+//!   never acquire a lower-ordered stripe while holding a higher one.
+//!   Callers own this ordering; `vendor/interleave`'s exhaustive schedule
+//!   explorer pins the protocol (canonical order is deadlock-free, the
+//!   reversed order deadlocks) and the claim semantics (a slot is claimed
+//!   only while its stripe is held, so concurrent inserts cannot lose
+//!   updates the way the `inject_lock_elision` fault does).
+//! * [`StripedStore::try_lock_stripe`] is the voter-style non-blocking
+//!   acquire: a failed attempt is counted (the host-par analogue of a
+//!   failed `atomicCAS` re-vote) and the caller may go do other work.
+//!
+//! ## Memory ordering
+//!
+//! Slot data is published by the stripe mutexes' release/acquire pairs;
+//! no slot word is ever read outside a guard. The only lock-free state is
+//! bookkeeping: `occupied` and the contention counter are relaxed atomics,
+//! read at quiesce points (between batches, after `std::thread::scope`
+//! joins) where the joining thread already synchronizes-with every worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use super::layout::LayoutConfig;
+use super::store::{BucketStore, SlotWord};
+
+/// One stripe's share of the key/value/fingerprint lanes.
+#[derive(Debug)]
+struct Stripe<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    /// Per-slot fingerprints; empty when the layout carries no lane.
+    /// Invariant (mirrors [`BucketStore`]): `fps[idx] == 0` ⟺ empty slot.
+    fps: Vec<u16>,
+}
+
+/// A bucketized key/value store whose buckets are partitioned into
+/// mutex-guarded stripes. Logical slot transitions (`write_new`,
+/// `update_val`, `swap`, `erase`) are exactly [`BucketStore`]'s, so a
+/// store converted in either direction holds the identical content.
+#[derive(Debug)]
+pub struct StripedStore<K: SlotWord, V: SlotWord> {
+    stripes: Vec<Mutex<Stripe<K, V>>>,
+    /// Buckets per stripe (the last stripe may be shorter).
+    buckets_per_stripe: usize,
+    n_buckets: usize,
+    layout: LayoutConfig,
+    fp_fn: fn(K) -> u64,
+    /// Live slots across all stripes. Relaxed: a monotonic counter whose
+    /// exact value is only inspected at quiesce points.
+    occupied: AtomicU64,
+    /// Failed [`StripedStore::try_lock_stripe`] attempts (the host-par
+    /// analogue of failed `atomicCAS` lock acquisitions).
+    contended: AtomicU64,
+}
+
+impl<K: SlotWord, V: SlotWord> StripedStore<K, V> {
+    /// Create an empty striped store of `n_buckets` buckets under
+    /// `layout`, with `buckets_per_stripe` buckets per lock.
+    pub fn new(n_buckets: usize, layout: LayoutConfig, buckets_per_stripe: usize) -> Self {
+        assert!(n_buckets >= 1, "bucket count must be positive");
+        assert!(buckets_per_stripe >= 1, "stripe width must be positive");
+        let slots = layout.slots;
+        let has_fp = layout.has_fp();
+        let n_stripes = n_buckets.div_ceil(buckets_per_stripe);
+        let stripes = (0..n_stripes)
+            .map(|s| {
+                let lo = s * buckets_per_stripe;
+                let hi = (lo + buckets_per_stripe).min(n_buckets);
+                let n = (hi - lo) * slots;
+                Mutex::new(Stripe {
+                    keys: vec![K::EMPTY; n],
+                    vals: vec![V::EMPTY; n],
+                    fps: vec![0; if has_fp { n } else { 0 }],
+                })
+            })
+            .collect();
+        Self {
+            stripes,
+            buckets_per_stripe,
+            n_buckets,
+            layout,
+            fp_fn: K::fp_hash,
+            occupied: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Install a custom fingerprint hash. Must be called before any key
+    /// is stored — the lane is not recomputed retroactively.
+    pub fn set_fp_fn(&mut self, f: fn(K) -> u64) {
+        debug_assert_eq!(
+            self.occupied.load(Ordering::Relaxed),
+            0,
+            "set_fp_fn on a populated store"
+        );
+        self.fp_fn = f;
+    }
+
+    /// The stripe bucket `b` belongs to.
+    #[inline]
+    pub fn stripe_of(&self, b: usize) -> usize {
+        debug_assert!(b < self.n_buckets);
+        b / self.buckets_per_stripe
+    }
+
+    /// Number of stripes (locks).
+    #[inline]
+    pub fn n_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    /// The layout this store was created under.
+    #[inline]
+    pub fn layout(&self) -> &LayoutConfig {
+        &self.layout
+    }
+
+    /// Slots per bucket.
+    #[inline]
+    pub fn slots_per_bucket(&self) -> usize {
+        self.layout.slots
+    }
+
+    /// Total key slots.
+    #[inline]
+    pub fn capacity_slots(&self) -> u64 {
+        (self.n_buckets * self.layout.slots) as u64
+    }
+
+    /// Live slots. Exact only at quiesce points (no stripe held for
+    /// writing elsewhere).
+    #[inline]
+    pub fn occupied(&self) -> u64 {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// Filled factor `θ_i`. Exact only at quiesce points.
+    #[inline]
+    pub fn fill_factor(&self) -> f64 {
+        self.occupied() as f64 / self.capacity_slots() as f64
+    }
+
+    /// Device bytes under the layout (same accounting as the bucket
+    /// store: padded bucket strides plus one lock word per bucket).
+    pub fn device_bytes(&self) -> u64 {
+        self.layout.device_bytes_for(self.n_buckets)
+    }
+
+    /// Failed non-blocking lock attempts so far.
+    #[inline]
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Block until stripe `s` is held. Callers locking several stripes
+    /// must acquire them in ascending `(table, stripe)` order.
+    pub fn lock_stripe(&self, s: usize) -> StripeGuard<'_, K, V> {
+        StripeGuard {
+            store: self,
+            stripe: s,
+            guard: self.stripes[s].lock().expect("stripe lock poisoned"),
+        }
+    }
+
+    /// Voter-style non-blocking acquire: `None` (counted as contention)
+    /// when another thread holds stripe `s`.
+    pub fn try_lock_stripe(&self, s: usize) -> Option<StripeGuard<'_, K, V>> {
+        match self.stripes[s].try_lock() {
+            Ok(guard) => Some(StripeGuard {
+                store: self,
+                stripe: s,
+                guard,
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("stripe lock poisoned"),
+        }
+    }
+
+    /// All live `(key, value)` pairs, in bucket-then-slot order.
+    /// `&mut self` proves quiescence, so no stripe lock is taken.
+    pub fn live_pairs(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.occupied() as usize);
+        for stripe in &mut self.stripes {
+            let stripe = stripe.get_mut().expect("stripe lock poisoned");
+            for (k, v) in stripe.keys.iter().zip(stripe.vals.iter()) {
+                if !k.is_empty_word() {
+                    out.push((*k, *v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Recount occupancy from the key lanes (accounting-drift checks).
+    pub fn recount(&mut self) -> u64 {
+        let mut n = 0;
+        for stripe in &mut self.stripes {
+            let stripe = stripe.get_mut().expect("stripe lock poisoned");
+            n += stripe.keys.iter().filter(|k| !k.is_empty_word()).count() as u64;
+        }
+        n
+    }
+
+    /// Copy this store's content into a fresh [`BucketStore`] (same
+    /// layout, same bucket/slot placement). `&mut self` proves quiescence.
+    pub fn to_bucket_store(&mut self) -> BucketStore<K, V> {
+        let mut out = BucketStore::new(self.n_buckets, self.layout);
+        out.set_fp_fn(self.fp_fn);
+        let slots = self.layout.slots;
+        for (si, stripe) in self.stripes.iter_mut().enumerate() {
+            let stripe = stripe.get_mut().expect("stripe lock poisoned");
+            let base = si * self.buckets_per_stripe;
+            for (i, (k, v)) in stripe.keys.iter().zip(stripe.vals.iter()).enumerate() {
+                if !k.is_empty_word() {
+                    out.write_new(base + i / slots, i % slots, *k, *v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<K: SlotWord, V: SlotWord> BucketStore<K, V> {
+    /// Copy this store's content into a striped thread-safe twin (same
+    /// layout, same bucket/slot placement, same fingerprint hash).
+    pub fn to_striped(&self, buckets_per_stripe: usize) -> StripedStore<K, V> {
+        let mut out = StripedStore::new(self.n_buckets(), *self.layout(), buckets_per_stripe);
+        out.set_fp_fn(self.fp_fn());
+        for b in 0..self.n_buckets() {
+            let mut g = out.lock_stripe(out.stripe_of(b));
+            for (s, &k) in self.bucket_keys(b).iter().enumerate() {
+                if !k.is_empty_word() {
+                    g.write_new(b, s, k, self.bucket_vals(b)[s]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exclusive access to one stripe's buckets. All slot reads and writes of
+/// the stripe's buckets go through this guard; releasing it publishes the
+/// writes to the next holder.
+#[derive(Debug)]
+pub struct StripeGuard<'a, K: SlotWord, V: SlotWord> {
+    store: &'a StripedStore<K, V>,
+    guard: MutexGuard<'a, Stripe<K, V>>,
+    stripe: usize,
+}
+
+impl<K: SlotWord, V: SlotWord> StripeGuard<'_, K, V> {
+    /// The stripe this guard holds.
+    #[inline]
+    pub fn stripe(&self) -> usize {
+        self.stripe
+    }
+
+    /// Flat index of `(b, s)` within the stripe's lanes.
+    #[inline]
+    fn idx(&self, b: usize, s: usize) -> usize {
+        debug_assert_eq!(
+            self.store.stripe_of(b),
+            self.stripe,
+            "bucket outside stripe"
+        );
+        debug_assert!(s < self.store.layout.slots);
+        (b - self.stripe * self.store.buckets_per_stripe) * self.store.layout.slots + s
+    }
+
+    /// The keys of bucket `b` (must belong to this stripe).
+    #[inline]
+    pub fn bucket_keys(&self, b: usize) -> &[K] {
+        let lo = self.idx(b, 0);
+        &self.guard.keys[lo..lo + self.store.layout.slots]
+    }
+
+    /// The slot in bucket `b` holding `key`, if any.
+    #[inline]
+    pub fn find_slot(&self, b: usize, key: K) -> Option<usize> {
+        self.bucket_keys(b).iter().position(|&k| k == key)
+    }
+
+    /// An empty slot in bucket `b`, if any.
+    #[inline]
+    pub fn find_empty(&self, b: usize) -> Option<usize> {
+        self.find_slot(b, K::EMPTY)
+    }
+
+    /// Read the KV pair at `(bucket, slot)`.
+    #[inline]
+    pub fn slot(&self, b: usize, s: usize) -> (K, V) {
+        let idx = self.idx(b, s);
+        (self.guard.keys[idx], self.guard.vals[idx])
+    }
+
+    /// Write a KV pair into an **empty** slot, growing the occupancy
+    /// count and maintaining the fingerprint lane.
+    pub fn write_new(&mut self, b: usize, s: usize, key: K, val: V) {
+        let idx = self.idx(b, s);
+        debug_assert!(
+            self.guard.keys[idx].is_empty_word(),
+            "write_new over a live slot"
+        );
+        debug_assert!(!key.is_empty_word());
+        if self.store.layout.has_fp() {
+            let fp = (self.store.fp_fn)(key) % self.store.layout.fp_max() + 1;
+            self.guard.fps[idx] = fp as u16;
+        }
+        self.guard.keys[idx] = key;
+        self.guard.vals[idx] = val;
+        self.store.occupied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value of a live slot (in-place update).
+    pub fn update_val(&mut self, b: usize, s: usize, val: V) {
+        let idx = self.idx(b, s);
+        debug_assert!(!self.guard.keys[idx].is_empty_word());
+        self.guard.vals[idx] = val;
+    }
+
+    /// Swap the KV at `(b, s)` with the given pair, returning the evicted
+    /// occupant. Occupancy is unchanged; the fingerprint lane follows.
+    pub fn swap(&mut self, b: usize, s: usize, key: K, val: V) -> (K, V) {
+        let idx = self.idx(b, s);
+        debug_assert!(
+            !self.guard.keys[idx].is_empty_word(),
+            "swap with an empty slot"
+        );
+        let old = (self.guard.keys[idx], self.guard.vals[idx]);
+        if self.store.layout.has_fp() {
+            let fp = (self.store.fp_fn)(key) % self.store.layout.fp_max() + 1;
+            self.guard.fps[idx] = fp as u16;
+        }
+        self.guard.keys[idx] = key;
+        self.guard.vals[idx] = val;
+        old
+    }
+
+    /// Erase the key at `(b, s)`, shrinking the occupancy count. The
+    /// value is deliberately untouched (SoA deletion pays no value
+    /// traffic), matching [`BucketStore::erase`].
+    pub fn erase(&mut self, b: usize, s: usize) {
+        let idx = self.idx(b, s);
+        debug_assert!(
+            !self.guard.keys[idx].is_empty_word(),
+            "erasing an empty slot"
+        );
+        if self.store.layout.has_fp() {
+            self.guard.fps[idx] = 0;
+        }
+        self.guard.keys[idx] = K::EMPTY;
+        self.store.occupied.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n_buckets: usize) -> StripedStore<u32, u32> {
+        StripedStore::new(n_buckets, LayoutConfig::default(), 2)
+    }
+
+    #[test]
+    fn roundtrip_matches_bucket_store_semantics() {
+        let mut t = store(8);
+        {
+            let mut g = t.lock_stripe(t.stripe_of(5));
+            let s = g.find_empty(5).unwrap();
+            g.write_new(5, s, 99, 7);
+            assert_eq!(g.find_slot(5, 99), Some(s));
+            assert_eq!(g.slot(5, s), (99, 7));
+            g.update_val(5, s, 8);
+            assert_eq!(g.slot(5, s), (99, 8));
+            let old = g.swap(5, s, 100, 9);
+            assert_eq!(old, (99, 8));
+        }
+        assert_eq!(t.occupied(), 1);
+        {
+            let mut g = t.lock_stripe(t.stripe_of(5));
+            let s = g.find_slot(5, 100).unwrap();
+            g.erase(5, s);
+        }
+        assert_eq!(t.occupied(), 0);
+        assert_eq!(t.recount(), 0);
+    }
+
+    #[test]
+    fn stripe_mapping_partitions_buckets() {
+        let t = store(7); // 2 buckets per stripe → stripes {0,1} {2,3} {4,5} {6}
+        assert_eq!(t.n_stripes(), 4);
+        assert_eq!(t.stripe_of(0), 0);
+        assert_eq!(t.stripe_of(1), 0);
+        assert_eq!(t.stripe_of(6), 3);
+        // The short tail stripe still addresses its bucket.
+        let mut g = t.lock_stripe(3);
+        g.write_new(6, 0, 42, 1);
+        assert_eq!(g.find_slot(6, 42), Some(0));
+    }
+
+    #[test]
+    fn fp_lane_tracks_mutations() {
+        let mut t: StripedStore<u32, u32> =
+            StripedStore::new(4, LayoutConfig::default().with_fp(8), 2);
+        let reference: BucketStore<u32, u32> =
+            BucketStore::new(4, LayoutConfig::default().with_fp(8));
+        {
+            let mut g = t.lock_stripe(0);
+            g.write_new(1, 3, 42, 7);
+            let old = g.swap(1, 3, 99, 8);
+            assert_eq!(old, (42, 7));
+            g.erase(1, 3);
+            g.write_new(1, 3, 42, 7);
+        }
+        // Same fingerprint value as the bucket store computes for the key.
+        let bs = t.to_bucket_store();
+        assert_eq!(bs.bucket_fps(1)[3], reference.fp_of(42));
+    }
+
+    #[test]
+    fn conversions_preserve_placement_and_content() {
+        let mut bs: BucketStore<u32, u32> = BucketStore::new(6, LayoutConfig::default());
+        for k in 1..=50u32 {
+            let b = (k % 6) as usize;
+            if let Some(s) = bs.find_empty(b) {
+                bs.write_new(b, s, k, k * 3);
+            }
+        }
+        let mut striped = bs.to_striped(2);
+        assert_eq!(striped.occupied(), bs.occupied());
+        let back = striped.to_bucket_store();
+        assert_eq!(back.occupied(), bs.occupied());
+        for b in 0..6 {
+            assert_eq!(back.bucket_keys(b), bs.bucket_keys(b), "bucket {b}");
+            assert_eq!(back.bucket_vals(b), bs.bucket_vals(b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn try_lock_counts_contention() {
+        let t = store(4);
+        let g = t.lock_stripe(0);
+        assert!(t.try_lock_stripe(0).is_none());
+        assert!(t.try_lock_stripe(1).is_some());
+        drop(g);
+        assert!(t.try_lock_stripe(0).is_some());
+        assert_eq!(t.contended(), 1);
+    }
+
+    #[test]
+    fn threads_on_disjoint_stripes_do_not_lose_updates() {
+        let t = store(8); // 4 stripes
+        std::thread::scope(|scope| {
+            for stripe in 0..4usize {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..40u32 {
+                        let b = stripe * 2 + (i % 2) as usize;
+                        let key = 1 + stripe as u32 * 1000 + i;
+                        let mut g = t.lock_stripe(stripe);
+                        if let Some(s) = g.find_empty(b) {
+                            g.write_new(b, s, key, i);
+                        }
+                    }
+                });
+            }
+        });
+        let mut t = t;
+        assert_eq!(t.occupied(), 4 * 40);
+        assert_eq!(t.recount(), 4 * 40);
+        assert_eq!(t.live_pairs().len(), 4 * 40);
+    }
+
+    #[test]
+    fn contending_threads_on_one_stripe_serialize() {
+        let t = store(2); // a single stripe: every write contends
+        std::thread::scope(|scope| {
+            for thread in 0..4u32 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..16u32 {
+                        let key = 1 + thread * 100 + i;
+                        loop {
+                            // Voter-style: retry on a contended stripe.
+                            let Some(mut g) = t.try_lock_stripe(0) else {
+                                std::hint::spin_loop();
+                                continue;
+                            };
+                            let b = (key % 2) as usize;
+                            if let Some(s) = g.find_empty(b) {
+                                g.write_new(b, s, key, i);
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let mut t = t;
+        // 64 slots per bucket-pair; all 64 distinct keys must have landed.
+        assert_eq!(t.recount(), 64);
+        assert_eq!(t.occupied(), 64);
+    }
+}

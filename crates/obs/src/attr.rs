@@ -261,6 +261,31 @@ pub fn charge(kind: Kind, n: u64) {
     });
 }
 
+/// Replay a drained [`Attribution`] into this thread's active profiler,
+/// each path re-rooted under the currently innermost scope (the drained
+/// root's charges land on that scope itself). No-op when attribution is
+/// off.
+///
+/// This is how the `host-par` backend keeps the conservation law across
+/// threads: a worker collects its kernel charges with [`start`]/[`stop`]
+/// (attribution state is thread-local), and the coordinator absorbs the
+/// result inside its own `service/flush/shardN` scope — producing the
+/// same paths the single-threaded backend charges directly.
+pub fn absorb(attribution: &Attribution) {
+    if !is_enabled() {
+        return;
+    }
+    for (path, counts) in attribution.iter() {
+        let _scope = scope(path);
+        for kind in Kind::ALL {
+            let n = counts.get(kind);
+            if n > 0 {
+                charge(kind, n);
+            }
+        }
+    }
+}
+
 /// RAII guard for one pushed domain path; pops its segments on drop.
 #[derive(Debug)]
 #[must_use = "dropping the scope immediately pops it"]
@@ -342,6 +367,24 @@ impl Attribution {
     /// Iterate `(path, self counts)` in sorted path order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Counts)> {
         self.paths.iter().map(|(p, c)| (p.as_str(), c))
+    }
+
+    /// Fold another attribution window into this one: path-wise counter
+    /// sums, with paths present in only one side carried over verbatim.
+    ///
+    /// This is the quiesce-point merge of the `host-par` backend:
+    /// attribution state is thread-local, so every worker thread drains
+    /// its own [`Attribution`] and the coordinator folds them after the
+    /// join. Merging is associative and commutative with
+    /// `Attribution::default()` as identity (pinned by property tests),
+    /// so the merge order — thread index, completion order, whatever the
+    /// scheduler produced — cannot change the totals, and the
+    /// conservation law (Σ attributed == merged `Metrics` deltas) is
+    /// preserved because both sides are summed the same way.
+    pub fn merge(&mut self, other: &Attribution) {
+        for (path, counts) in &other.paths {
+            self.paths.entry(path.clone()).or_default().add(counts);
+        }
     }
 
     /// Subtree counts of one path: its self counts plus every descendant's.
@@ -642,5 +685,67 @@ mod tests {
         assert!(text.contains("\n(unattributed)"));
         assert!(text.contains("\n  a |"));
         assert!(text.contains("\n    b | 2 | 2 |"));
+    }
+
+    #[test]
+    fn absorb_reroots_a_drained_window_under_the_current_scope() {
+        // A "worker" window with root charges and a nested path.
+        start();
+        charged(Kind::Ops, 2); // worker root
+        {
+            let _k = scope("dycuckoo/insert");
+            charged(Kind::ReadTx, 5);
+        }
+        let worker = stop();
+        // The "coordinator" absorbs it under its flush scope.
+        start();
+        {
+            let _s = scope("service/flush/shard0");
+            absorb(&worker);
+        }
+        let attr = stop();
+        assert_eq!(attr.get("service/flush/shard0").unwrap().get(Kind::Ops), 2);
+        assert_eq!(
+            attr.get("service/flush/shard0/dycuckoo/insert")
+                .unwrap()
+                .get(Kind::ReadTx),
+            5
+        );
+        // Conservation: totals carried over exactly.
+        for kind in Kind::ALL {
+            assert_eq!(attr.total(kind), worker.total(kind), "{kind:?}");
+        }
+        // Disabled absorb is a no-op.
+        absorb(&worker);
+        let after = stop();
+        assert_eq!(after.total(Kind::Ops), 0);
+    }
+
+    #[test]
+    fn merge_sums_shared_paths_and_carries_disjoint_ones() {
+        start();
+        {
+            let _a = scope("kernel/insert");
+            charged(Kind::ReadTx, 3);
+        }
+        let mut a = stop();
+        start();
+        {
+            let _a = scope("kernel/insert");
+            charged(Kind::ReadTx, 4);
+        }
+        {
+            let _b = scope("kernel/find");
+            charged(Kind::Lookups, 5);
+        }
+        let b = stop();
+        a.merge(&b);
+        assert_eq!(a.get("kernel/insert").unwrap().get(Kind::ReadTx), 7);
+        assert_eq!(a.get("kernel/find").unwrap().get(Kind::Lookups), 5);
+        assert_eq!(a.total(Kind::ReadTx), 7);
+        // Identity: merging an empty window changes nothing.
+        let before = a.clone();
+        a.merge(&Attribution::default());
+        assert_eq!(a, before);
     }
 }

@@ -56,4 +56,4 @@ pub use filter::{CuckooFilter, MissFilter};
 pub use metrics::{LatencyHistogram, ServiceMetrics, ShardMetrics, Snapshot, SnapshotRow};
 pub use request::{ByteCompletion, ByteOp, ByteReply, Completion, Op, Reply};
 pub use router::ShardRouter;
-pub use service::{KvService, ServiceConfig, ServiceError, Tier};
+pub use service::{Backend, KvService, ServiceConfig, ServiceError, Tier};

@@ -28,7 +28,7 @@ use dycuckoo::{Config, DyCuckoo, UnsizedConfig, UnsizedReport, UnsizedTable};
 use gpu_sim::{CostModel, SchedulePolicy, SimContext};
 
 use crate::admission::{AdmissionPolicy, AdmitError};
-use crate::batcher::{plan_flush, PlannedReply};
+use crate::batcher::{plan_flush, FlushPlan, PlannedReply};
 use crate::filter::MissFilter;
 use crate::metrics::{ServiceMetrics, Snapshot, SnapshotRow};
 use crate::request::{
@@ -64,6 +64,37 @@ impl Tier {
             "fixed" => Some(Tier::Fixed),
             "unsized" => Some(Tier::Unsized),
             _ => None,
+        }
+    }
+}
+
+/// Which execution backend runs the shard kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic SIMT simulation: every kernel runs inline on the
+    /// calling thread against the caller's [`SimContext`]. The historical
+    /// (and default) mode — all pinned snapshots are produced here.
+    Sim,
+    /// Real OS threads: each due shard's flush window runs on its own
+    /// scoped worker thread (at most `threads` concurrently) against a
+    /// per-shard persistent [`SimContext`] owned by the service. Replies,
+    /// completions, service metrics, and the caller's metric totals are
+    /// identical to [`Backend::Sim`] by construction — shards are fully
+    /// independent and results are applied in shard-visit order at the
+    /// join. Device-byte accounting lives in the per-shard contexts
+    /// instead of the caller's.
+    HostPar {
+        /// Maximum worker threads per flush wave (≥ 1).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// CLI / artifact name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::HostPar { .. } => "host-par",
         }
     }
 }
@@ -114,6 +145,11 @@ pub struct ServiceConfig {
     /// 8 or 16 sheds provably-absent `Get`s at submission time (see
     /// [`crate::filter::MissFilter`]).
     pub miss_filter_bits: u8,
+    /// Which execution backend runs the shard kernels. The default
+    /// [`Backend::Sim`] keeps every code path (and pinned snapshot)
+    /// byte-identical to a service built before the host-par backend
+    /// existed.
+    pub backend: Backend,
 }
 
 impl Default for ServiceConfig {
@@ -131,6 +167,7 @@ impl Default for ServiceConfig {
             tier: Tier::Fixed,
             unsized_table: UnsizedConfig::default(),
             miss_filter_bits: 0,
+            backend: Backend::Sim,
         }
     }
 }
@@ -152,6 +189,11 @@ impl ServiceConfig {
                 "max_batch ({}) cannot exceed queue_capacity ({})",
                 self.max_batch, self.queue_capacity
             )));
+        }
+        if matches!(self.backend, Backend::HostPar { threads: 0 }) {
+            return Err(ServiceError::InvalidConfig(
+                "Backend::HostPar needs at least one worker thread".to_string(),
+            ));
         }
         if !matches!(self.miss_filter_bits, 0 | 8 | 16) {
             return Err(ServiceError::InvalidConfig(format!(
@@ -246,6 +288,12 @@ pub struct KvService {
     router: ShardRouter,
     admission: AdmissionPolicy,
     shards: Vec<Shard>,
+    /// Per-shard kernel contexts — empty under [`Backend::Sim`] (the
+    /// caller's context runs everything), one per shard under
+    /// [`Backend::HostPar`] so workers execute kernels without sharing
+    /// the caller's `SimContext`. Device-byte accounting for the shard's
+    /// tables lives here in host-par mode.
+    shard_sims: Vec<SimContext>,
     completions: VecDeque<Completion>,
     byte_completions: VecDeque<ByteCompletion>,
     metrics: ServiceMetrics,
@@ -259,8 +307,21 @@ impl KvService {
     pub fn new(cfg: ServiceConfig, sim: &mut SimContext) -> Result<Self, ServiceError> {
         cfg.validate()?;
         let router = ShardRouter::new(cfg.shards, cfg.seed).map_err(ServiceError::InvalidConfig)?;
+        // Host-par shards allocate on their own persistent contexts (same
+        // device model as the caller's) so worker threads never touch the
+        // caller's SimContext.
+        let mut shard_sims: Vec<SimContext> = match cfg.backend {
+            Backend::Sim => Vec::new(),
+            Backend::HostPar { .. } => (0..cfg.shards)
+                .map(|_| SimContext::with_config(*sim.device.config()))
+                .collect(),
+        };
         let mut shards = Vec::with_capacity(cfg.shards);
         for i in 0..cfg.shards {
+            let build_sim: &mut SimContext = match shard_sims.get_mut(i) {
+                Some(s) => s,
+                None => &mut *sim,
+            };
             let table_cfg = Config {
                 seed: splitmix64(cfg.table.seed.wrapping_add(i as u64)),
                 migration_quantum: cfg.migration_quantum,
@@ -274,7 +335,7 @@ impl KvService {
                         migration_quantum: cfg.migration_quantum,
                         ..cfg.unsized_table
                     };
-                    Some(UnsizedTable::new(ucfg, sim)?)
+                    Some(UnsizedTable::new(ucfg, build_sim)?)
                 }
             };
             let filter = (cfg.miss_filter_bits > 0).then(|| {
@@ -284,7 +345,7 @@ impl KvService {
                 )
             });
             shards.push(Shard {
-                table: DyCuckoo::new(table_cfg, sim)?,
+                table: DyCuckoo::new(table_cfg, build_sim)?,
                 queue: VecDeque::new(),
                 unsized_table,
                 byte_queue: VecDeque::new(),
@@ -298,6 +359,7 @@ impl KvService {
             router,
             admission,
             shards,
+            shard_sims,
             completions: VecDeque::new(),
             byte_completions: VecDeque::new(),
             metrics,
@@ -473,6 +535,11 @@ impl KvService {
         self.clock += 1;
         obs::set_clock(self.clock);
         let mut completed = 0;
+        // Queues cannot change mid-tick, so the due set is fixed up front;
+        // the Sim path flushes inline in visit order, the HostPar path
+        // fans the same set out to worker threads and applies results in
+        // the same order.
+        let mut due: Vec<usize> = Vec::new();
         for shard in self.shard_visit_order() {
             let queue = &self.shards[shard].queue;
             let by_size = queue.len() >= self.cfg.max_batch;
@@ -488,7 +555,17 @@ impl KvService {
             } else {
                 self.metrics.per_shard[shard].flush_by_deadline += 1;
             }
-            completed += self.flush(shard, sim)?;
+            due.push(shard);
+        }
+        match self.cfg.backend {
+            Backend::Sim => {
+                for shard in due {
+                    completed += self.flush(shard, sim)?;
+                }
+            }
+            Backend::HostPar { threads } => {
+                completed += self.flush_host_par(&due, threads, sim, false)?;
+            }
         }
         if self.cfg.tier == Tier::Unsized {
             for shard in self.shard_visit_order() {
@@ -520,16 +597,25 @@ impl KvService {
     /// pump is charged on an isolated metrics window like a flush. A no-op
     /// in stop-the-world mode (nothing is ever left in flight).
     fn pump_migrations(&mut self, sim: &mut SimContext) -> Result<(), ServiceError> {
+        let host_par = !self.shard_sims.is_empty();
         for shard in 0..self.shards.len() {
             if !self.shards[shard].table.migration_in_flight() {
                 continue;
             }
-            let saved = sim.take_metrics();
             let mut report = dycuckoo::BatchReport::default();
-            let outcome = self.shards[shard].table.migrate_quantum(sim, &mut report);
-            let window_metrics = sim.take_metrics();
+            let (outcome, window_metrics) = {
+                let ksim: &mut SimContext = if host_par {
+                    &mut self.shard_sims[shard]
+                } else {
+                    &mut *sim
+                };
+                let saved = ksim.take_metrics();
+                let outcome = self.shards[shard].table.migrate_quantum(ksim, &mut report);
+                let wm = ksim.take_metrics();
+                ksim.metrics = saved;
+                (outcome, wm)
+            };
             let pump_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
-            sim.metrics = saved;
             sim.metrics.merge(&window_metrics);
             outcome?;
             let backlog = self.shards[shard].table.migration_backlog();
@@ -551,15 +637,23 @@ impl KvService {
             if !in_flight {
                 continue;
             }
-            let saved = sim.take_metrics();
-            let outcome = self.shards[shard]
-                .unsized_table
-                .as_mut()
-                .expect("checked in flight")
-                .pump_migration(sim);
-            let window_metrics = sim.take_metrics();
+            let (outcome, window_metrics) = {
+                let ksim: &mut SimContext = if host_par {
+                    &mut self.shard_sims[shard]
+                } else {
+                    &mut *sim
+                };
+                let saved = ksim.take_metrics();
+                let outcome = self.shards[shard]
+                    .unsized_table
+                    .as_mut()
+                    .expect("checked in flight")
+                    .pump_migration(ksim);
+                let wm = ksim.take_metrics();
+                ksim.metrics = saved;
+                (outcome, wm)
+            };
             let pump_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
-            sim.metrics = saved;
             sim.metrics.merge(&window_metrics);
             let report = outcome?;
             let stats = self.shards[shard]
@@ -586,6 +680,33 @@ impl KvService {
         self.clock += 1;
         obs::set_clock(self.clock);
         let mut completed = 0;
+        if let Backend::HostPar { threads } = self.cfg.backend {
+            // Each worker drains its shard's whole queue, window by
+            // window; results are applied in visit order so completions
+            // come out exactly as the Sim path emits them.
+            let due: Vec<usize> = self
+                .shard_visit_order()
+                .into_iter()
+                .filter(|&s| !self.shards[s].queue.is_empty())
+                .collect();
+            for &shard in &due {
+                let windows = self.shards[shard].queue.len().div_ceil(self.cfg.max_batch) as u64;
+                let m = &mut self.metrics.per_shard[shard];
+                m.batches += windows;
+                m.flush_by_deadline += windows;
+            }
+            completed += self.flush_host_par(&due, threads, sim, true)?;
+            for shard in self.shard_visit_order() {
+                while !self.shards[shard].byte_queue.is_empty() {
+                    let m = &mut self.metrics.per_shard[shard];
+                    m.batches += 1;
+                    m.byte_batches += 1;
+                    m.flush_by_deadline += 1;
+                    completed += self.flush_bytes(shard, sim)?;
+                }
+            }
+            return Ok(completed);
+        }
         for shard in self.shard_visit_order() {
             while !self.shards[shard].queue.is_empty() {
                 self.metrics.per_shard[shard].batches += 1;
@@ -635,11 +756,6 @@ impl KvService {
 
         // Isolated measurement window: the roofline is non-linear, so this
         // flush's ns must be computed on its own counters.
-        type FlushKernels = (
-            Vec<Option<u32>>,
-            Option<dycuckoo::BatchReport>,
-            Option<dycuckoo::BatchReport>,
-        );
         let saved = sim.take_metrics();
         let run = |table: &mut DyCuckoo, sim: &mut SimContext| -> dycuckoo::Result<FlushKernels> {
             let found = if plan.probes.is_empty() {
@@ -743,6 +859,192 @@ impl KvService {
         Ok(window.len())
     }
 
+    /// Execute the due shards' flush windows on worker threads (the
+    /// [`Backend::HostPar`] path). The coordinator compiles every window
+    /// up front, one worker per shard runs that shard's windows in order
+    /// against the shard's own [`SimContext`] (waves of at most
+    /// `threads` workers), and results are applied in visit order — so
+    /// replies, completions, per-shard metrics, spans, and the caller's
+    /// metric totals are identical to the Sim path by construction. With
+    /// `drain_all`, every shard's queue is drained to empty (the
+    /// [`KvService::flush_all`] contract); otherwise one window each.
+    fn flush_host_par(
+        &mut self,
+        due: &[usize],
+        threads: usize,
+        sim: &mut SimContext,
+        drain_all: bool,
+    ) -> Result<usize, ServiceError> {
+        if due.is_empty() {
+            return Ok(0);
+        }
+        let mut prepped: Vec<(usize, Vec<PreparedWindow>)> = Vec::with_capacity(due.len());
+        for &shard in due {
+            let mut windows = Vec::new();
+            loop {
+                let window_len = self.shards[shard].queue.len().min(self.cfg.max_batch);
+                let window: Vec<Pending> = self.shards[shard].queue.drain(..window_len).collect();
+                let plan = plan_flush(&window);
+                windows.push(PreparedWindow { window, plan });
+                if !drain_all || self.shards[shard].queue.is_empty() {
+                    break;
+                }
+            }
+            prepped.push((shard, windows));
+        }
+        let profile = obs::attr::is_enabled();
+        // Hand each worker exclusive &mut access to its shard's table and
+        // context; `take` makes aliasing impossible by construction.
+        let mut cells: Vec<Option<(&mut Shard, &mut SimContext)>> = self
+            .shards
+            .iter_mut()
+            .zip(self.shard_sims.iter_mut())
+            .map(Some)
+            .collect();
+        let mut results: Vec<Vec<FlushKernelResult>> = Vec::with_capacity(prepped.len());
+        for wave in prepped.chunks(threads.max(1)) {
+            let wave_results: Vec<Vec<FlushKernelResult>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|(shard, windows)| {
+                        let (shard_state, ksim) =
+                            cells[*shard].take().expect("duplicate shard in flush wave");
+                        scope.spawn(move || {
+                            windows
+                                .iter()
+                                .map(|w| {
+                                    run_flush_kernels(
+                                        &mut shard_state.table,
+                                        ksim,
+                                        &w.plan,
+                                        profile,
+                                    )
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("host-par flush worker panicked"))
+                    .collect()
+            });
+            results.extend(wave_results);
+        }
+        drop(cells);
+        let mut completed = 0;
+        for ((shard, windows), shard_results) in prepped.into_iter().zip(results) {
+            for (w, r) in windows.into_iter().zip(shard_results) {
+                completed += self.apply_flush(shard, w.window, w.plan, r, sim)?;
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Coordinator-side application of one worker-run flush window:
+    /// metric merges, spans, attribution absorption, completions, filter
+    /// replay — the exact post-kernel tail of [`KvService::flush`],
+    /// executed in visit order at the quiesce point.
+    fn apply_flush(
+        &mut self,
+        shard: usize,
+        window: Vec<Pending>,
+        plan: FlushPlan,
+        r: FlushKernelResult,
+        sim: &mut SimContext,
+    ) -> Result<usize, ServiceError> {
+        // The caller's running totals receive the same isolated window
+        // the Sim path merges.
+        sim.metrics.merge(&r.window_metrics);
+        let _attr = obs::attr::scope_with(|| format!("service/flush/shard{shard}"));
+        // Worker-side kernel charges re-root under this flush's scope, so
+        // attribution paths match the Sim backend's exactly.
+        obs::attr::absorb(&r.attr);
+        let recording = obs::is_enabled();
+        if recording {
+            // Spans are emitted at the apply point (recorder state is
+            // thread-local, so workers cannot emit them); begin and end
+            // are adjacent because the kernel time already passed.
+            obs::span_begin(obs::Event::BatchFlush {
+                shard: shard as u32,
+                window: window.len() as u32,
+                probes: plan.probes.len() as u32,
+                puts: plan.puts.len() as u32,
+                deletes: plan.deletes.len() as u32,
+                coalesced: (plan.coalesced_local + plan.dedup_saved + plan.writes_coalesced) as u32,
+            });
+            obs::span_end(obs::Event::BatchEnd {
+                completed: if r.outcome.is_ok() {
+                    window.len() as u32
+                } else {
+                    0
+                },
+            });
+        }
+        let (found, ins, del) = r.outcome?;
+
+        let m = &mut self.metrics.per_shard[shard];
+        m.batched_requests += window.len() as u64;
+        m.table_probes += plan.probes.len() as u64;
+        m.table_puts += plan.puts.len() as u64;
+        m.table_deletes += plan.deletes.len() as u64;
+        m.coalesced_local += plan.coalesced_local;
+        m.dedup_saved += plan.dedup_saved;
+        m.writes_coalesced += plan.writes_coalesced;
+        m.service_ns += r.flush_ns;
+        for report in [&ins, &del].into_iter().flatten() {
+            m.resize_events += report.resizes.len() as u64;
+            m.insert_retries += report.retries as u64;
+            if report.resize_stall() {
+                m.resize_stall_batches += 1;
+            }
+            m.migration_moved += report.migrated_kvs;
+            if report.migrated_buckets > 0 {
+                m.migration_chunks += 1;
+            }
+        }
+        m.migration_backlog = self.shards[shard].table.migration_backlog();
+
+        let filter_on = self.shards[shard].filter.is_some();
+        let completed_tick = self.clock;
+        for (req, planned) in window.iter().zip(&plan.replies) {
+            let (reply, coalesced) = match *planned {
+                PlannedReply::FromTable(idx) => {
+                    if filter_on && found[idx].is_none() {
+                        m.filter_false_pos += 1;
+                    }
+                    (Reply::Value(found[idx]), false)
+                }
+                PlannedReply::Local(v) => (Reply::Value(v), true),
+                PlannedReply::Stored => (Reply::Stored, false),
+                PlannedReply::Deleted => (Reply::Deleted, false),
+            };
+            m.completed += 1;
+            m.latency.record(completed_tick - req.submitted_tick);
+            self.completions.push_back(Completion {
+                id: req.id,
+                client: req.client,
+                key: req.op.key(),
+                reply,
+                submitted_tick: req.submitted_tick,
+                completed_tick,
+                coalesced,
+            });
+        }
+        if let Some(filter) = self.shards[shard].filter.as_mut() {
+            for req in &window {
+                match req.op {
+                    Op::Put(k, _) => filter.insert(k),
+                    Op::Delete(k) => filter.remove(k),
+                    Op::Get(_) => {}
+                }
+            }
+            m.filter_keys = filter.keys();
+            m.filter_rebuilds = filter.rebuilds();
+        }
+        Ok(window.len())
+    }
+
     /// Execute one byte-tier flush window for `shard`. The window is cut
     /// into maximal runs of one op kind, each run becomes one kernel
     /// batch (runs execute in submission order, so a read after a write
@@ -792,18 +1094,31 @@ impl KvService {
             });
         }
 
-        let saved = sim.take_metrics();
-        let outcome = run_byte_window(
-            self.shards[shard]
-                .unsized_table
-                .as_mut()
-                .expect("byte flush requires the unsized tier"),
-            sim,
-            &window,
-        );
-        let window_metrics = sim.take_metrics();
+        // Host-par services run byte-tier kernels on the shard's own
+        // context (coordinator thread, sequentially); Sim uses the
+        // caller's. Either way the isolated window merges into the
+        // caller's running totals.
+        let host_par = !self.shard_sims.is_empty();
+        let (outcome, window_metrics) = {
+            let ksim: &mut SimContext = if host_par {
+                &mut self.shard_sims[shard]
+            } else {
+                &mut *sim
+            };
+            let saved = ksim.take_metrics();
+            let outcome = run_byte_window(
+                self.shards[shard]
+                    .unsized_table
+                    .as_mut()
+                    .expect("byte flush requires the unsized tier"),
+                ksim,
+                &window,
+            );
+            let wm = ksim.take_metrics();
+            ksim.metrics = saved;
+            (outcome, wm)
+        };
         let flush_ns = CostModel::new(sim.device.config()).kernel_time_ns(&window_metrics);
-        sim.metrics = saved;
         sim.metrics.merge(&window_metrics);
         if recording {
             obs::span_end(obs::Event::BatchEnd {
@@ -926,13 +1241,97 @@ impl KvService {
 
     /// Tear down, returning every shard's device memory to the simulator.
     pub fn release(self, sim: &mut SimContext) -> Result<(), ServiceError> {
-        for shard in self.shards {
-            shard.table.release(sim)?;
+        // Host-par shards allocated on their own contexts, so their bytes
+        // return there; Sim shards return to the caller's.
+        let mut shard_sims = self.shard_sims;
+        let host_par = !shard_sims.is_empty();
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            let ksim: &mut SimContext = if host_par {
+                &mut shard_sims[i]
+            } else {
+                &mut *sim
+            };
+            shard.table.release(ksim)?;
             if let Some(t) = shard.unsized_table {
-                t.release(sim)?;
+                t.release(ksim)?;
             }
         }
         Ok(())
+    }
+}
+
+/// One flush window, compiled by the coordinator and ready for kernels.
+struct PreparedWindow {
+    window: Vec<Pending>,
+    plan: FlushPlan,
+}
+
+/// The kernels of one fixed-tier flush window: find results, then the
+/// insert and delete batch reports.
+type FlushKernels = (
+    Vec<Option<u32>>,
+    Option<dycuckoo::BatchReport>,
+    Option<dycuckoo::BatchReport>,
+);
+
+/// What one window's kernels produced on a host-par worker thread.
+struct FlushKernelResult {
+    outcome: dycuckoo::Result<FlushKernels>,
+    /// The isolated metrics window the kernels charged.
+    window_metrics: gpu_sim::Metrics,
+    /// Roofline kernel time of that window.
+    flush_ns: f64,
+    /// The worker's thread-local attribution window (empty when
+    /// profiling is off).
+    attr: obs::attr::Attribution,
+}
+
+/// Run one compiled window's kernels against `table` on `ksim`, charging
+/// an isolated metrics window (restored afterwards, so `ksim.metrics`
+/// is untouched). Thread-safe given exclusive access to both — this is
+/// the function host-par workers execute.
+fn run_flush_kernels(
+    table: &mut DyCuckoo,
+    ksim: &mut SimContext,
+    plan: &FlushPlan,
+    profile: bool,
+) -> FlushKernelResult {
+    if profile {
+        obs::attr::start();
+    }
+    let saved = ksim.take_metrics();
+    let run = |table: &mut DyCuckoo, sim: &mut SimContext| -> dycuckoo::Result<FlushKernels> {
+        let found = if plan.probes.is_empty() {
+            Vec::new()
+        } else {
+            table.find_batch(sim, &plan.probes)
+        };
+        let ins = if plan.puts.is_empty() {
+            None
+        } else {
+            Some(table.insert_batch(sim, &plan.puts)?)
+        };
+        let del = if plan.deletes.is_empty() {
+            None
+        } else {
+            Some(table.delete_batch(sim, &plan.deletes)?)
+        };
+        Ok((found, ins, del))
+    };
+    let outcome = run(table, ksim);
+    let window_metrics = ksim.take_metrics();
+    ksim.metrics = saved;
+    let flush_ns = CostModel::new(ksim.device.config()).kernel_time_ns(&window_metrics);
+    let attr = if profile {
+        obs::attr::stop()
+    } else {
+        obs::attr::Attribution::default()
+    };
+    FlushKernelResult {
+        outcome,
+        window_metrics,
+        flush_ns,
+        attr,
     }
 }
 
@@ -1632,6 +2031,98 @@ mod tests {
         assert_eq!(csv_a, csv_b);
         assert_eq!(comp_a, comp_b);
         assert!(!comp_a.is_empty());
+    }
+
+    /// Drive an identical workload through a configurable backend and
+    /// return everything observable: completions, byte completions, and
+    /// the snapshot CSV (which folds in per-shard metrics and kernel ns).
+    fn backend_probe(backend: Backend) -> (Vec<Completion>, Vec<ByteCompletion>, String, u64) {
+        let mut sim = SimContext::new();
+        let mut cfg = unsized_cfg(4);
+        cfg.backend = backend;
+        cfg.miss_filter_bits = 8;
+        cfg.migration_quantum = 4;
+        let mut svc = KvService::new(cfg, &mut sim).unwrap();
+        for i in 1..=600u32 {
+            let _ = svc.submit(i % 5, Op::Put(i, i ^ 0x00C0_FFEE));
+            if i % 3 == 0 {
+                let _ = svc.submit(i % 5, Op::Get(i / 3));
+            }
+            if i % 11 == 0 {
+                let _ = svc.submit(i % 5, Op::Delete(i / 11));
+            }
+            if i % 9 == 0 {
+                let _ = svc.submit_bytes(i % 5, ByteOp::Put(bkey(i), bkey(i ^ 7)));
+            }
+            if i % 8 == 0 {
+                svc.tick(&mut sim).unwrap();
+            }
+        }
+        svc.flush_all(&mut sim).unwrap();
+        let mut guard = 0;
+        while svc.metrics().total().migration_backlog > 0 {
+            svc.tick(&mut sim).unwrap();
+            guard += 1;
+            assert!(guard < 10_000, "migration never settled");
+        }
+        let csv = svc.snapshot().to_csv();
+        let keys = svc.total_keys();
+        let fixed = svc.drain_completions();
+        let bytes = svc.drain_byte_completions();
+        svc.release(&mut sim).unwrap();
+        (fixed, bytes, csv, keys)
+    }
+
+    #[test]
+    fn host_par_backend_matches_sim_exactly() {
+        let sim_run = backend_probe(Backend::Sim);
+        for threads in [1usize, 2, 8] {
+            let par_run = backend_probe(Backend::HostPar { threads });
+            assert_eq!(par_run.0, sim_run.0, "{threads} threads: completions");
+            assert_eq!(par_run.1, sim_run.1, "{threads} threads: byte completions");
+            assert_eq!(par_run.2, sim_run.2, "{threads} threads: snapshot CSV");
+            assert_eq!(par_run.3, sim_run.3, "{threads} threads: total keys");
+        }
+    }
+
+    #[test]
+    fn host_par_rejects_zero_threads() {
+        let mut sim = SimContext::new();
+        let cfg = ServiceConfig {
+            backend: Backend::HostPar { threads: 0 },
+            ..ServiceConfig::default()
+        };
+        assert!(matches!(
+            KvService::new(cfg, &mut sim),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn host_par_attribution_conserves_into_caller_metrics() {
+        let mut sim = SimContext::new();
+        let mut cfg = small_cfg(2);
+        cfg.backend = Backend::HostPar { threads: 2 };
+        let mut svc = KvService::new(cfg, &mut sim).unwrap();
+        obs::attr::start();
+        let before = sim.metrics.clone();
+        for k in 1..=120u32 {
+            svc.submit(0, Op::Put(k, k)).unwrap();
+        }
+        svc.flush_all(&mut sim).unwrap();
+        let attr = obs::attr::stop();
+        // Worker-side kernel charges were absorbed under the flush scopes,
+        // so the conservation law holds against the caller's metric delta.
+        for kind in gpu_sim::ChargeKind::ALL {
+            assert_eq!(
+                attr.total(kind),
+                sim.metrics.get(kind) - before.get(kind),
+                "{kind:?}"
+            );
+        }
+        assert!(attr
+            .iter()
+            .any(|(p, _)| p.starts_with("service/flush/shard")));
     }
 
     #[test]

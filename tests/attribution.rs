@@ -201,6 +201,7 @@ fn fuzz_digests_identical_with_attribution_on_and_off() {
                 key_dist: LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: fuzz::gen_ops(seed, 192),
             });
         }

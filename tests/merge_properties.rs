@@ -1,0 +1,153 @@
+//! Algebraic laws of the per-thread observability merges (DESIGN.md §4j).
+//!
+//! The host-par backend gives every worker thread its own `Metrics`
+//! window and (optionally) its own `Attribution` tree, then merges them
+//! into the caller's totals at quiesce points — in thread-index order,
+//! but *correctness must not depend on that order*. That is only true if
+//! merge is a commutative monoid: associative, commutative, with the
+//! empty value as identity. These property tests pin all three laws for
+//! both structures over arbitrary counter loads, plus the end-to-end
+//! conservation law on a real `ParTable`: whatever the thread count and
+//! workload, the merged attribution accounts for every merged metric,
+//! kind for kind.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dycuckoo::{Config, ParTable};
+use gpu_sim::{ChargeKind, Metrics};
+use obs::attr;
+
+/// A `Metrics` with the given per-kind counter loads (profiler disarmed,
+/// so `charge` only increments the struct).
+fn metrics_from(loads: &[u64]) -> Metrics {
+    let mut m = Metrics::default();
+    for (kind, &n) in ChargeKind::ALL.into_iter().zip(loads) {
+        m.charge(kind, n);
+    }
+    m
+}
+
+fn merged(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// An `Attribution` built by replaying `(path, kind, n)` charges through
+/// the thread-local profiler — the only constructor there is, which is
+/// the point: these trees are shaped exactly like real drained windows.
+fn attr_from(entries: &[(usize, usize, u64)]) -> attr::Attribution {
+    const PATHS: [&str; 5] = ["", "insert", "insert/evict", "find", "maintenance/drain"];
+    attr::start();
+    for &(p, k, n) in entries {
+        let _scope = attr::scope(PATHS[p % PATHS.len()]);
+        attr::charge(ChargeKind::ALL[k % 12], n);
+    }
+    attr::stop()
+}
+
+fn attr_merged(a: &attr::Attribution, b: &attr::Attribution) -> attr::Attribution {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Counter loads small enough that three-way sums cannot overflow.
+fn loads() -> impl Strategy<Value = Vec<u64>> {
+    vec(0u64..1 << 40, 12)
+}
+
+fn attr_entries() -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    vec((0usize..5, 0usize..12, 0u64..1 << 40), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_merge_is_commutative(a in loads(), b in loads()) {
+        let (a, b) = (metrics_from(&a), metrics_from(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn metrics_merge_is_associative(a in loads(), b in loads(), c in loads()) {
+        let (a, b, c) = (metrics_from(&a), metrics_from(&b), metrics_from(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn metrics_merge_has_the_empty_window_as_identity(a in loads()) {
+        let a = metrics_from(&a);
+        prop_assert_eq!(merged(&a, &Metrics::default()), a.clone());
+        prop_assert_eq!(merged(&Metrics::default(), &a), a);
+    }
+
+    #[test]
+    fn attribution_merge_is_commutative(a in attr_entries(), b in attr_entries()) {
+        let (a, b) = (attr_from(&a), attr_from(&b));
+        prop_assert_eq!(attr_merged(&a, &b), attr_merged(&b, &a));
+    }
+
+    #[test]
+    fn attribution_merge_is_associative(
+        a in attr_entries(),
+        b in attr_entries(),
+        c in attr_entries(),
+    ) {
+        let (a, b, c) = (attr_from(&a), attr_from(&b), attr_from(&c));
+        prop_assert_eq!(
+            attr_merged(&attr_merged(&a, &b), &c),
+            attr_merged(&a, &attr_merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn attribution_merge_has_the_empty_tree_as_identity(a in attr_entries()) {
+        let a = attr_from(&a);
+        let empty = attr_from(&[]);
+        prop_assert_eq!(attr_merged(&a, &empty), a.clone());
+        prop_assert_eq!(attr_merged(&empty, &a), a);
+    }
+
+    /// End to end: a profiled `ParTable` run on 1..=8 threads merges its
+    /// workers' windows into totals whose attribution conserves every
+    /// counter kind — Σ attributed == merged metrics, exactly, however
+    /// the scheduler interleaved the workers.
+    #[test]
+    fn par_table_conserves_attribution_across_threads(
+        threads in 1usize..=8,
+        seed in 0u64..1024,
+        kvs in vec((1u32..2000, any::<u32>()), 1..400),
+    ) {
+        let mut table = ParTable::new(
+            Config {
+                initial_buckets: 4,
+                seed,
+                ..Config::default()
+            },
+            threads,
+        )
+        .expect("table");
+        table.set_profiling(true);
+        table.insert_batch(&kvs).expect("insert");
+        let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+        let _ = table.find_batch(&keys);
+        let _ = table.delete_batch(&keys[..keys.len() / 2]);
+        let totals = table.take_metrics();
+        let tree = table.take_attribution();
+        for kind in ChargeKind::ALL {
+            prop_assert_eq!(
+                tree.total(kind),
+                totals.get(kind),
+                "attribution drift on {} with {} threads",
+                kind.name(),
+                threads
+            );
+        }
+        // ParTable charges logical kinds (ops, lookups), not memory
+        // transactions — those belong to the sim device model.
+        prop_assert!(tree.total(ChargeKind::Ops) > 0, "profiler saw no ops");
+    }
+}

@@ -26,6 +26,7 @@ fn oracle_clean_on_all_targets_under_varied_schedules() {
                 key_dist: workloads::LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: gen_ops(seed, 64),
             };
             if let Err(v) = run_case(&case) {
@@ -56,6 +57,7 @@ fn identical_case_yields_identical_digest() {
             key_dist: workloads::LengthDist::Mixed,
             fingerprint: 0,
             miss_filter: false,
+            host_par_threads: 0,
             ops: gen_ops(7, 64),
         };
         let first = run_case(&case).expect("clean case");
@@ -87,6 +89,7 @@ fn injected_lock_elision_is_caught_and_shrunk() {
             key_dist: workloads::LengthDist::Mixed,
             fingerprint: 0,
             miss_filter: false,
+            host_par_threads: 0,
             ops: gen_ops(seed, 96),
         };
         if run_case(&case).is_ok() {
@@ -130,6 +133,7 @@ fn repro_round_trips_and_replays() {
         key_dist: workloads::LengthDist::Mixed,
         fingerprint: 0,
         miss_filter: false,
+        host_par_threads: 0,
         ops: gen_ops(3, 96),
     };
     let violation = run_case(&case).expect_err("injected bug must fire");
@@ -172,6 +176,7 @@ fn aos_and_soa_layouts_agree_under_every_schedule() {
                 key_dist: workloads::LengthDist::Mixed,
                 fingerprint: 0,
                 miss_filter: false,
+                host_par_threads: 0,
                 ops: gen_ops(seed, 96),
             };
             let soa = run_case(&case_with(LayoutConfig::default()))
@@ -278,6 +283,7 @@ fn megakv_stale_eviction_regression() {
         key_dist: workloads::LengthDist::Mixed,
         fingerprint: 0,
         miss_filter: false,
+        host_par_threads: 0,
         ops: gen_ops(20, 96),
     };
     if let Err(v) = run_case(&case) {

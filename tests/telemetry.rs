@@ -23,6 +23,7 @@ fn fuzz_case(target: Target, seed: u64) -> Case {
         key_dist: workloads::LengthDist::Mixed,
         fingerprint: 0,
         miss_filter: false,
+        host_par_threads: 0,
         ops: gen_ops(seed, 96),
     }
 }

@@ -1,0 +1,336 @@
+//! Offline stand-in for a [loom](https://crates.io/crates/loom)-style
+//! interleaving explorer.
+//!
+//! This workspace must build and test **without registry access** (the
+//! tier-1 gate is `cargo build --release && cargo test -q` on an offline
+//! machine), so the real loom cannot be resolved — and loom's model of
+//! real `std::sync` types is heavier than the host-par lock protocol
+//! needs. This vendored crate implements the subset the workspace's
+//! interleaving tests use: **exhaustive depth-first exploration of every
+//! schedule of a small, explicitly modeled protocol**, with deadlock
+//! detection.
+//!
+//! The model is deliberately simple:
+//!
+//! * Shared state is a plain value `S` the test defines — locks are
+//!   boolean flags, slots are `Option`s, whatever the protocol needs.
+//! * Each thread is a closure `FnMut(&mut S) -> Step` that performs **one
+//!   atomic step per call** and reports [`Step::Ready`] (made progress),
+//!   [`Step::Blocked`] (cannot progress until another thread changes the
+//!   state — the call must not have mutated `S`), or [`Step::Done`].
+//! * [`explore`] rebuilds the whole execution from the `factory` closure
+//!   once per schedule and drives the threads through every possible
+//!   interleaving: at each scheduling point it branches over every thread
+//!   that is neither done nor known-blocked. A thread that returns
+//!   `Blocked` leaves the candidate set until *any* other thread makes
+//!   progress (progress may unblock it); if every live thread is blocked,
+//!   the schedule is a **deadlock** and is recorded in the [`Report`].
+//!
+//! Everything is deterministic: schedules are enumerated in a fixed
+//! depth-first order, so a failure always reproduces and the schedule
+//! that produced it (a sequence of thread indices) is a committable
+//! artifact.
+//!
+//! ```
+//! use interleave::{explore, Step};
+//!
+//! // Two threads each increment a shared counter twice.
+//! let report = explore(
+//!     || {
+//!         let mk = || {
+//!             let mut left = 2u32;
+//!             Box::new(move |s: &mut u32| {
+//!                 *s += 1;
+//!                 left -= 1;
+//!                 if left == 0 { Step::Done } else { Step::Ready }
+//!             }) as interleave::ThreadFn<u32>
+//!         };
+//!         (0u32, vec![mk(), mk()])
+//!     },
+//!     |state, _schedule| assert_eq!(*state, 4),
+//! );
+//! assert_eq!(report.completed, 6); // C(4,2) interleavings of 2+2 steps
+//! assert_eq!(report.deadlocks, 0);
+//! ```
+
+/// What one thread step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The thread made progress and has more steps to run.
+    Ready,
+    /// The thread cannot progress until another thread changes the shared
+    /// state (e.g. a modeled lock is held). The step must not have
+    /// mutated the state — the explorer treats it as a no-op and will not
+    /// reschedule the thread until some other thread progresses.
+    Blocked,
+    /// The thread finished; it is never scheduled again.
+    Done,
+}
+
+/// One modeled thread: a state machine advanced one atomic step per call.
+pub type ThreadFn<S> = Box<dyn FnMut(&mut S) -> Step>;
+
+/// What an exploration found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules executed (completed + deadlocked).
+    pub schedules: u64,
+    /// Schedules on which every thread reached [`Step::Done`].
+    pub completed: u64,
+    /// Schedules on which every live thread was blocked.
+    pub deadlocks: u64,
+    /// The first deadlocking schedule, as the sequence of thread indices
+    /// that was stepped (a committable repro).
+    pub first_deadlock: Option<Vec<usize>>,
+    /// The exploration hit the schedule cap before exhausting the tree;
+    /// counts above are lower bounds, not totals.
+    pub truncated: bool,
+}
+
+/// Default schedule cap for [`explore`]: far beyond any protocol small
+/// enough to model here, but a hard stop against an accidental state-space
+/// explosion hanging the test suite.
+pub const DEFAULT_CAP: u64 = 1 << 20;
+
+/// Per-schedule step cap: a thread looping `Ready` forever is a test bug
+/// (the explorer can only terminate if every thread eventually finishes),
+/// so it panics rather than hanging.
+const MAX_STEPS_PER_SCHEDULE: usize = 100_000;
+
+/// Exhaustively explore every interleaving of the threads built by
+/// `factory`, calling `on_complete(&final_state, &schedule)` once per
+/// schedule on which every thread finished. Deadlocks do not call
+/// `on_complete`; they are counted (and the first one recorded) in the
+/// returned [`Report`]. Equivalent to [`explore_capped`] with
+/// [`DEFAULT_CAP`].
+pub fn explore<S>(
+    factory: impl Fn() -> (S, Vec<ThreadFn<S>>),
+    on_complete: impl FnMut(&S, &[usize]),
+) -> Report {
+    explore_capped(DEFAULT_CAP, factory, on_complete)
+}
+
+/// [`explore`] with an explicit schedule cap. When the cap is hit the
+/// report's `truncated` flag is set and exploration stops early.
+pub fn explore_capped<S>(
+    cap: u64,
+    factory: impl Fn() -> (S, Vec<ThreadFn<S>>),
+    mut on_complete: impl FnMut(&S, &[usize]),
+) -> Report {
+    // The DFS frontier: at decision point `d` of the current schedule,
+    // `stack[d]` indexes into that point's candidate list. Each iteration
+    // replays the prefix recorded in `stack` from a fresh `factory()`
+    // execution (threads carry internal state, so there is no way to
+    // rewind them — rebuilding is the loom approach too), extends it with
+    // first-candidate choices to a terminal state, then backtracks to the
+    // deepest point with an untried alternative.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut report = Report::default();
+    loop {
+        if report.schedules >= cap {
+            report.truncated = true;
+            return report;
+        }
+        let (mut state, mut threads) = factory();
+        let n = threads.len();
+        let mut done = vec![false; n];
+        let mut blocked = vec![false; n];
+        let mut schedule: Vec<usize> = Vec::new();
+        // Candidate-set size at each decision point of THIS schedule,
+        // aligned with `stack`; consulted by the backtracking step below.
+        let mut width: Vec<usize> = Vec::new();
+        let deadlocked = loop {
+            let cands: Vec<usize> = (0..n).filter(|&t| !done[t] && !blocked[t]).collect();
+            if cands.is_empty() {
+                break !done.iter().all(|&d| d);
+            }
+            let depth = width.len();
+            if depth >= stack.len() {
+                stack.push(0);
+            }
+            let t = cands[stack[depth]];
+            width.push(cands.len());
+            schedule.push(t);
+            assert!(
+                schedule.len() <= MAX_STEPS_PER_SCHEDULE,
+                "a modeled thread never finishes (over {MAX_STEPS_PER_SCHEDULE} steps)"
+            );
+            match threads[t](&mut state) {
+                Step::Ready => blocked.fill(false),
+                Step::Done => {
+                    done[t] = true;
+                    blocked.fill(false);
+                }
+                Step::Blocked => blocked[t] = true,
+            }
+        };
+        report.schedules += 1;
+        if deadlocked {
+            report.deadlocks += 1;
+            if report.first_deadlock.is_none() {
+                report.first_deadlock = Some(schedule.clone());
+            }
+        } else {
+            report.completed += 1;
+            on_complete(&state, &schedule);
+        }
+        // Backtrack: drop exhausted tail decisions, advance the deepest
+        // one that still has an untried candidate.
+        stack.truncate(width.len());
+        while let (Some(&choice), Some(&w)) = (stack.last(), width.last()) {
+            if choice + 1 < w {
+                *stack.last_mut().unwrap() += 1;
+                break;
+            }
+            stack.pop();
+            width.pop();
+        }
+        if stack.is_empty() {
+            return report;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A thread that runs `steps` unconditional increments.
+    fn incrementer(steps: u32) -> ThreadFn<u32> {
+        let mut left = steps;
+        Box::new(move |s: &mut u32| {
+            *s += 1;
+            left -= 1;
+            if left == 0 {
+                Step::Done
+            } else {
+                Step::Ready
+            }
+        })
+    }
+
+    #[test]
+    fn enumerates_every_interleaving_exactly_once() {
+        // 2 threads x 2 steps: C(4,2) = 6 interleavings, each seen once.
+        let mut seen = Vec::new();
+        let report = explore(
+            || (0u32, vec![incrementer(2), incrementer(2)]),
+            |state, schedule| {
+                assert_eq!(*state, 4);
+                seen.push(schedule.to_vec());
+            },
+        );
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.deadlocks, 0);
+        assert!(!report.truncated);
+        let mut dedup = seen.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "a schedule repeated");
+    }
+
+    #[test]
+    fn single_thread_has_one_schedule() {
+        let report = explore(
+            || (0u32, vec![incrementer(3)]),
+            |state, schedule| {
+                assert_eq!(*state, 3);
+                assert_eq!(schedule, [0, 0, 0]);
+            },
+        );
+        assert_eq!(report.schedules, 1);
+    }
+
+    /// Lock-ordered acquisition: both threads take flag locks 0 then 1 —
+    /// blocking (without state change) when the flag is held — and every
+    /// schedule completes.
+    fn ordered_locker(order: [usize; 2]) -> ThreadFn<[bool; 2]> {
+        let mut pc = 0usize;
+        Box::new(move |locks: &mut [bool; 2]| match pc {
+            0 | 1 => {
+                let l = order[pc];
+                if locks[l] {
+                    Step::Blocked
+                } else {
+                    locks[l] = true;
+                    pc += 1;
+                    Step::Ready
+                }
+            }
+            2 => {
+                locks[order[1]] = false;
+                pc += 1;
+                Step::Ready
+            }
+            _ => {
+                locks[order[0]] = false;
+                Step::Done
+            }
+        })
+    }
+
+    #[test]
+    fn consistent_lock_order_never_deadlocks() {
+        let report = explore(
+            || {
+                (
+                    [false; 2],
+                    vec![ordered_locker([0, 1]), ordered_locker([0, 1])],
+                )
+            },
+            |locks, _| assert_eq!(*locks, [false; 2]),
+        );
+        assert!(report.completed > 0);
+        assert_eq!(report.deadlocks, 0);
+    }
+
+    #[test]
+    fn opposite_lock_order_deadlocks_and_reports_the_schedule() {
+        let report = explore(
+            || {
+                (
+                    [false; 2],
+                    vec![ordered_locker([0, 1]), ordered_locker([1, 0])],
+                )
+            },
+            |_, _| {},
+        );
+        assert!(report.deadlocks > 0, "AB/BA must deadlock on some schedule");
+        assert!(report.completed > 0, "and complete on others");
+        let repro = report.first_deadlock.expect("deadlock schedule recorded");
+        // The classic repro: each thread takes its first lock, then both
+        // block on the other's.
+        assert!(repro.contains(&0) && repro.contains(&1));
+    }
+
+    #[test]
+    fn blocked_thread_resumes_after_progress() {
+        // Thread 1 blocks until thread 0 sets the flag; every schedule
+        // must still complete.
+        let report = explore(
+            || {
+                let setter: ThreadFn<bool> = Box::new(|flag: &mut bool| {
+                    *flag = true;
+                    Step::Done
+                });
+                let waiter: ThreadFn<bool> =
+                    Box::new(|flag: &mut bool| if *flag { Step::Done } else { Step::Blocked });
+                (false, vec![setter, waiter])
+            },
+            |flag, _| assert!(*flag),
+        );
+        assert!(report.completed > 0);
+        assert_eq!(report.deadlocks, 0);
+    }
+
+    #[test]
+    fn cap_truncates_instead_of_hanging() {
+        let report = explore_capped(
+            3,
+            || (0u32, vec![incrementer(4), incrementer(4), incrementer(4)]),
+            |_, _| {},
+        );
+        assert!(report.truncated);
+        assert_eq!(report.schedules, 3);
+    }
+}
