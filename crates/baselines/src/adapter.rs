@@ -56,6 +56,20 @@ impl GpuHashTable for DyCuckooTable {
         Ok(self.inner.delete_batch(sim, keys)?.deleted)
     }
 
+    fn upsert_batch(
+        &mut self,
+        sim: &mut SimContext,
+        kvs: &[(u32, u32)],
+        rule: dycuckoo::MergeRule,
+    ) -> Result<()> {
+        self.inner.upsert_batch(sim, kvs, rule)?;
+        Ok(())
+    }
+
+    fn supports_upsert(&self) -> bool {
+        true
+    }
+
     fn len(&self) -> u64 {
         self.inner.len()
     }
@@ -96,5 +110,19 @@ mod tests {
         assert_eq!(t.name(), "DyCuckoo");
         assert!(t.supports_delete());
         assert!(t.fill_factor() > 0.0);
+    }
+
+    #[test]
+    fn adapter_upsert_merges() {
+        let mut sim = SimContext::new();
+        let cfg = Config {
+            initial_buckets: 4,
+            ..Config::default()
+        };
+        let mut t = DyCuckooTable::new(cfg, &mut sim).unwrap();
+        assert!(t.supports_upsert());
+        t.upsert_batch(&mut sim, &[(1, 5), (1, 7)], dycuckoo::MergeRule::Add)
+            .unwrap();
+        assert_eq!(t.find_batch(&mut sim, &[1]), vec![Some(12)]);
     }
 }

@@ -76,6 +76,25 @@ pub trait GpuHashTable {
     /// Delete a batch of keys, returning the number of keys erased.
     fn delete_batch(&mut self, sim: &mut SimContext, keys: &[u32]) -> Result<u64>;
 
+    /// Read-modify-write a batch of `(key, arg)` pairs under `rule`:
+    /// absent keys store `rule.initial(arg)`, present keys
+    /// `rule.merge(old, arg)`, applied exactly once per pair. Only schemes
+    /// whose insert path can merge in place support this; the default
+    /// reports [`TableError::Unsupported`].
+    fn upsert_batch(
+        &mut self,
+        _sim: &mut SimContext,
+        _kvs: &[(u32, u32)],
+        _rule: dycuckoo::MergeRule,
+    ) -> Result<()> {
+        Err(TableError::Unsupported("upsert_batch"))
+    }
+
+    /// Whether the scheme supports [`GpuHashTable::upsert_batch`].
+    fn supports_upsert(&self) -> bool {
+        false
+    }
+
     /// Live KV pairs.
     fn len(&self) -> u64;
 

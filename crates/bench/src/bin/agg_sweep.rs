@@ -1,0 +1,279 @@
+//! **agg_sweep** — the read-modify-write pipeline on its two target
+//! workloads: hash aggregation (group-by) and frontier dedup.
+//!
+//! Part 1 streams the aggregation profiles of `workloads::groupby` (the
+//! COM/TW duplication statistics recast as group cardinalities, plus a
+//! 64-group hot profile) through `upsert_batch`:
+//!
+//! * **SUM per group** under `MergeRule::Add` — readback of every group
+//!   must equal the exact sequential fold (wrapping arithmetic, same as
+//!   the merge rule).
+//! * **COUNT DISTINCT** from the same pass, for free: the sum of
+//!   `UpsertReport::fresh_count()` across batches *is* the distinct-key
+//!   count, asserted against the exact sequential answer.
+//! * **COUNT per group** under `increment_batch` — readback must equal
+//!   the exact occurrence counts.
+//!
+//! Part 2 runs the frontier-dedup loop of state-space exploration: each
+//! round upserts the candidate frontier under `MergeRule::Min` (value =
+//! discovery round; rounds only grow, so Min pins the first sighting),
+//! keeps exactly the `fresh` positions as the next frontier, and expands
+//! them. Termination and the reachable-state count are asserted against
+//! the host-side reference BFS, and every settled state's stored
+//! discovery round must match the reference depth.
+//!
+//! All headline numbers register into the unified telemetry registry, so
+//! `TELEMETRY_SNAP=<path>` pins the whole sweep bit-for-bit
+//! (`results/agg-sweep.snap`). Aggregate results enter the snapshot as
+//! order-independent checksums folded over sorted keys.
+
+use std::collections::HashMap;
+
+use bench::report::Table;
+use bench::telemetry::Telemetry;
+use bench::{measure, scale, seed};
+use dycuckoo::{Config, DyCuckoo, MergeRule};
+use gpu_sim::SimContext;
+use workloads::{aggregation_specs, mix64, FrontierSpec};
+
+/// Upserts per kernel batch — large enough to exercise intra-batch
+/// duplicate coalescing on the hot profiles.
+const BATCH: usize = 1024;
+
+fn table(seed: u64, sim: &mut SimContext) -> DyCuckoo {
+    let cfg = Config {
+        seed,
+        initial_buckets: 64,
+        ..Config::default()
+    };
+    DyCuckoo::new(cfg, sim).expect("table construction")
+}
+
+/// Deterministic order-independent digest of an aggregate: fold
+/// `mix64(key, value)` terms with wrapping addition (commutative, so the
+/// iteration order of the reference map cannot leak into the snapshot).
+fn digest(pairs: impl Iterator<Item = (u32, u32)>) -> u64 {
+    pairs.fold(0u64, |acc, (k, v)| {
+        acc.wrapping_add(mix64(((k as u64) << 32) | v as u64))
+    })
+}
+
+fn main() {
+    let mut tel = Telemetry::from_env();
+    let scale = scale();
+    let seed = seed();
+
+    // ---- Part 1: group-by aggregation ----------------------------------
+    let mut t = Table::new(&[
+        "dataset", "rows", "distinct", "exact", "max dup", "resizes", "mops",
+    ]);
+    for spec in aggregation_specs() {
+        // The specs carry paper-sized volumes; run them at bench scale but
+        // never collapse a profile below 64 groups (the hot profile should
+        // stay contended, not degenerate).
+        let mut spec = spec.scaled(scale * 0.005);
+        spec.groups = spec.groups.max(64);
+        let rows = spec.generate(seed);
+
+        // Exact sequential answers (wrapping, matching MergeRule::Add).
+        let mut sums: HashMap<u32, u32> = HashMap::new();
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &(k, v) in &rows {
+            let s = sums.entry(k).or_insert(0);
+            *s = s.wrapping_add(v);
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        let exact_distinct = sums.len();
+
+        // SUM per group + COUNT DISTINCT in one upsert pass.
+        let mut sim = SimContext::new();
+        let mut sum_table = table(seed, &mut sim);
+        let mut fresh_total = 0usize;
+        let mut resizes = 0usize;
+        let (_, m) = measure(&mut sim, |sim| {
+            for chunk in rows.chunks(BATCH) {
+                let rep = sum_table
+                    .upsert_batch(sim, chunk, MergeRule::Add)
+                    .expect("upsert batch");
+                fresh_total += rep.fresh_count();
+                resizes += rep.batch.resizes.len();
+            }
+        });
+        assert_eq!(
+            fresh_total, exact_distinct,
+            "{}: COUNT DISTINCT from fresh flags disagrees with the exact \
+             sequential count",
+            spec.name
+        );
+
+        // Readback: every group's stored sum equals the exact fold.
+        let mut keys: Vec<u32> = sums.keys().copied().collect();
+        keys.sort_unstable();
+        let got = sum_table.find_batch(&mut sim, &keys);
+        for (k, g) in keys.iter().zip(&got) {
+            assert_eq!(
+                *g,
+                Some(sums[k]),
+                "{}: SUM readback mismatch for group {k}",
+                spec.name
+            );
+        }
+
+        // COUNT per group via the increment verb on a fresh table.
+        let row_keys: Vec<u32> = rows.iter().map(|&(k, _)| k).collect();
+        let mut cnt_table = table(seed ^ 1, &mut sim);
+        for chunk in row_keys.chunks(BATCH) {
+            cnt_table
+                .increment_batch(&mut sim, chunk)
+                .expect("increment batch");
+        }
+        let got = cnt_table.find_batch(&mut sim, &keys);
+        for (k, g) in keys.iter().zip(&got) {
+            assert_eq!(
+                *g,
+                Some(counts[k]),
+                "{}: COUNT readback mismatch for group {k}",
+                spec.name
+            );
+        }
+        let max_dup = counts.values().copied().max().unwrap_or(0);
+
+        let labels = [("figure", "agg_sweep"), ("dataset", spec.name)];
+        tel.registry()
+            .counter("agg_rows", &labels, rows.len() as u64);
+        tel.registry()
+            .counter("agg_distinct", &labels, exact_distinct as u64);
+        tel.registry().counter(
+            "agg_sum_digest",
+            &labels,
+            digest(keys.iter().map(|&k| (k, sums[&k]))),
+        );
+        tel.registry().counter(
+            "agg_count_digest",
+            &labels,
+            digest(keys.iter().map(|&k| (k, counts[&k]))),
+        );
+        tel.registry()
+            .counter("agg_resizes", &labels, resizes as u64);
+        t.row(vec![
+            spec.name.to_string(),
+            rows.len().to_string(),
+            fresh_total.to_string(),
+            exact_distinct.to_string(),
+            max_dup.to_string(),
+            resizes.to_string(),
+            format!("{:.1}", m.mops),
+        ]);
+    }
+    t.print("Group-by: SUM/COUNT per group + COUNT DISTINCT from fresh flags");
+
+    // ---- Part 2: frontier dedup ----------------------------------------
+    let fspec = FrontierSpec {
+        name: "frontier",
+        space: ((40_000.0 * scale).round() as usize).max(1_000),
+        branching: 4,
+        seeds: 8,
+    };
+    let trace = fspec.trace(seed);
+
+    // Host-side reference BFS: reachable count and per-state depth.
+    let mut ref_depth: HashMap<u32, u32> = HashMap::new();
+    {
+        // First sighting wins: records `round` and keeps the state.
+        let visit = |ref_depth: &mut HashMap<u32, u32>, s: usize, round: u32| {
+            if let std::collections::hash_map::Entry::Vacant(e) = ref_depth.entry(trace.keys[s]) {
+                e.insert(round);
+                true
+            } else {
+                false
+            }
+        };
+        let mut frontier: Vec<usize> = trace
+            .initial
+            .iter()
+            .copied()
+            .filter(|&s| visit(&mut ref_depth, s, 0))
+            .collect();
+        let mut round = 0u32;
+        while !frontier.is_empty() {
+            round += 1;
+            let mut candidates = Vec::new();
+            for &s in &frontier {
+                trace.successors(s, &mut candidates);
+            }
+            frontier = candidates
+                .into_iter()
+                .filter(|&c| visit(&mut ref_depth, c, round))
+                .collect();
+        }
+    }
+    assert_eq!(ref_depth.len(), trace.exact_reachable());
+
+    // Table-driven exploration: the upsert verdict IS the visited set.
+    let mut sim = SimContext::new();
+    let mut visited = table(seed ^ 2, &mut sim);
+    let mut frontier: Vec<usize> = trace.initial.clone();
+    let mut settled = 0usize;
+    let mut rounds = 0u32;
+    let mut peak = 0usize;
+    while !frontier.is_empty() {
+        peak = peak.max(frontier.len());
+        let batch: Vec<(u32, u32)> = frontier.iter().map(|&s| (trace.keys[s], rounds)).collect();
+        let rep = visited
+            .upsert_batch(&mut sim, &batch, MergeRule::Min)
+            .expect("frontier upsert");
+        let fresh: Vec<usize> = frontier
+            .iter()
+            .zip(&rep.fresh)
+            .filter(|&(_, &f)| f)
+            .map(|(&s, _)| s)
+            .collect();
+        settled += fresh.len();
+        let mut next = Vec::new();
+        for &s in &fresh {
+            trace.successors(s, &mut next);
+        }
+        frontier = next;
+        rounds += 1;
+    }
+    assert_eq!(
+        settled,
+        trace.exact_reachable(),
+        "frontier loop settled a different state count than the reference BFS"
+    );
+
+    // Every settled state's stored value is its discovery round.
+    let mut keys: Vec<u32> = ref_depth.keys().copied().collect();
+    keys.sort_unstable();
+    let got = visited.find_batch(&mut sim, &keys);
+    for (k, g) in keys.iter().zip(&got) {
+        assert_eq!(
+            *g,
+            Some(ref_depth[k]),
+            "state {k}: stored discovery round disagrees with reference depth"
+        );
+    }
+
+    let labels = [("figure", "agg_sweep"), ("dataset", "frontier")];
+    tel.registry()
+        .counter("fr_space", &labels, trace.keys.len() as u64);
+    tel.registry()
+        .counter("fr_reachable", &labels, settled as u64);
+    tel.registry().counter("fr_rounds", &labels, rounds as u64);
+    tel.registry()
+        .counter("fr_peak_frontier", &labels, peak as u64);
+    tel.registry().counter(
+        "fr_depth_digest",
+        &labels,
+        digest(keys.iter().map(|&k| (k, ref_depth[&k]))),
+    );
+    println!(
+        "\nFrontier dedup: {} of {} states reached in {} rounds \
+         (peak frontier {peak}, depths verified against reference BFS)",
+        settled,
+        trace.keys.len(),
+        rounds
+    );
+
+    tel.finish();
+}

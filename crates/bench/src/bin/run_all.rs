@@ -27,6 +27,7 @@ const BINARIES: &[&str] = &[
     "maintenance_sweep",
     "strkey_sweep",
     "negative_sweep",
+    "agg_sweep",
     "perf_ledger",
 ];
 

@@ -16,7 +16,7 @@
 //! schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]
 //!               [--layout SPEC] [--migration-quanta q1,q2,..]
 //!               [--tier fixed|unsized] [--key-dists d1,d2,..]
-//!               [--fingerprints b1,b2,..] [--miss-filter]
+//!               [--fingerprints b1,b2,..] [--miss-filter] [--rmw]
 //!               [--inject-lock-elision] [--expect-violations]
 //!               [--out DIR] [--budget-secs S] [--replay FILE]
 //! ```
@@ -61,6 +61,11 @@
 //!   digests are always the sim executions', so a `--host-par` sweep must
 //!   print the same summary as the bare run — that equality *is* the
 //!   differential verdict.
+//! * `--rmw` — arm the read-modify-write verbs: workloads come from
+//!   `gen_ops_rmw`, which mixes upserts (all five merge rules) and
+//!   increments into the stream. A different generator means different
+//!   op streams and therefore different digests, so the historical
+//!   (unarmed) sweep's pinned digest is untouched by construction.
 //! * `--inject-lock-elision` — plant the known lock-elision bug in the
 //!   DyCuckoo insert kernel (see `Config::inject_lock_elision`); used with
 //!   `--expect-violations` to prove the oracle catches and shrinks it.
@@ -74,7 +79,7 @@
 
 use std::process::ExitCode;
 
-use bench::fuzz::{gen_ops, run_case, shrink_case, Case, Repro, Target};
+use bench::fuzz::{gen_ops, gen_ops_rmw, run_case, shrink_case, Case, Repro, Target};
 use gpu_sim::explore::mix64;
 use gpu_sim::{LayoutConfig, SchedulePolicy};
 use kv_service::Tier;
@@ -92,6 +97,7 @@ struct Args {
     key_dists: Vec<LengthDist>,
     fingerprints: Vec<u8>,
     miss_filter: bool,
+    rmw: bool,
     host_par: usize,
     targets_pinned: bool,
     expect_violations: bool,
@@ -106,7 +112,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: schedule_fuzz [--seeds N] [--ops N] [--targets a,b,..] [--policies s1,s2,..]\n\
          \x20                    [--layout SPEC] [--migration-quanta q1,q2,..]\n\
          \x20                    [--tier fixed|unsized] [--key-dists d1,d2,..]\n\
-         \x20                    [--fingerprints b1,b2,..] [--miss-filter] [--host-par N]\n\
+         \x20                    [--fingerprints b1,b2,..] [--miss-filter] [--rmw] [--host-par N]\n\
          \x20                    [--inject-lock-elision] [--expect-violations]\n\
          \x20                    [--out DIR] [--budget-secs S] [--replay FILE]"
     );
@@ -126,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
         key_dists: vec![LengthDist::Mixed],
         fingerprints: vec![0],
         miss_filter: false,
+        rmw: false,
         host_par: 0,
         targets_pinned: false,
         expect_violations: false,
@@ -210,6 +217,7 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--miss-filter" => args.miss_filter = true,
+            "--rmw" => args.rmw = true,
             "--host-par" => {
                 args.host_par = val("--host-par")?
                     .parse::<usize>()
@@ -323,7 +331,11 @@ fn main() -> ExitCode {
                                 fingerprint,
                                 miss_filter: args.miss_filter,
                                 host_par_threads: args.host_par,
-                                ops: gen_ops(seed, args.ops),
+                                ops: if args.rmw {
+                                    gen_ops_rmw(seed, args.ops)
+                                } else {
+                                    gen_ops(seed, args.ops)
+                                },
                             };
                             cases += 1;
                             match run_case(&case) {
@@ -352,13 +364,14 @@ fn main() -> ExitCode {
                                         String::new()
                                     };
                                     let mftag = if args.miss_filter { "-mf" } else { "" };
+                                    let rmwtag = if args.rmw { "-rmw" } else { "" };
                                     let hptag = if args.host_par > 0 {
                                         format!("-hp{}", args.host_par)
                                     } else {
                                         String::new()
                                     };
                                     let file = format!(
-                                        "{}/repro-{}-{seed}{qtag}{ttag}{fptag}{mftag}{hptag}.ron",
+                                        "{}/repro-{}-{seed}{qtag}{ttag}{fptag}{mftag}{rmwtag}{hptag}.ron",
                                         args.out_dir.trim_end_matches('/'),
                                         target.name()
                                     );

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]
-//!               [--migration-quantum Q] [--inject-lock-elision] [--top K]
+//!               [--migration-quantum Q] [--inject-lock-elision] [--rmw] [--top K]
 //!               [--chrome PATH] [--jsonl PATH] [--folded PATH]
 //! ```
 //!
@@ -25,6 +25,10 @@
 //! * `--migration-quantum Q` — `inf` (default) or a bucket count; finite
 //!   values run resizes as incremental migrations, so the trace shows
 //!   per-chunk `migrate:*` spans instead of one stop-the-world `resize:*`.
+//! * `--rmw` — generate the workload with `gen_ops_rmw` (upserts under
+//!   every merge rule plus increments). Retired read-modify-write ops are
+//!   additionally ranked in their own section, so merge-heavy hot keys
+//!   are visible even when plain inserts dominate the global top-k.
 //! * `--top K` — how many retired ops to explain (default 5).
 //! * `--chrome PATH` — also write the trace as Chrome `trace_event` JSON
 //!   (open in Perfetto or `chrome://tracing`).
@@ -46,7 +50,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use bench::fuzz::{gen_ops, run_case, Case, Repro, Target};
+use bench::fuzz::{gen_ops, gen_ops_rmw, run_case, Case, Repro, Target};
 use gpu_sim::{LayoutConfig, SchedulePolicy};
 use obs::{Event, TraceEvent};
 
@@ -57,6 +61,7 @@ struct Args {
     ops: usize,
     policy: Option<SchedulePolicy>,
     inject: bool,
+    rmw: bool,
     migration_quantum: usize,
     top: usize,
     chrome: Option<String>,
@@ -68,7 +73,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("trace_explain: {err}");
     eprintln!(
         "usage: trace_explain [--replay FILE | --target NAME --seed N --ops N [--policy SPEC]]\n\
-         \x20                    [--migration-quantum Q] [--inject-lock-elision] [--top K]\n\
+         \x20                    [--migration-quantum Q] [--inject-lock-elision] [--rmw] [--top K]\n\
          \x20                    [--chrome PATH] [--jsonl PATH] [--folded PATH]"
     );
     ExitCode::from(2)
@@ -82,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         ops: 96,
         policy: None,
         inject: false,
+        rmw: false,
         migration_quantum: usize::MAX,
         top: 5,
         chrome: None,
@@ -108,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--inject-lock-elision" => args.inject = true,
+            "--rmw" => args.rmw = true,
             "--migration-quantum" => {
                 let spec = val("--migration-quantum")?;
                 args.migration_quantum = match spec.trim() {
@@ -153,7 +160,11 @@ fn load_case(args: &Args) -> Result<Case, String> {
         fingerprint: 0,
         miss_filter: false,
         host_par_threads: 0,
-        ops: gen_ops(args.seed, args.ops),
+        ops: if args.rmw {
+            gen_ops_rmw(args.seed, args.ops)
+        } else {
+            gen_ops(args.seed, args.ops)
+        },
     })
 }
 
@@ -552,21 +563,22 @@ fn main() -> ExitCode {
     explain_maintenance(&trace.events, &spans, args.top);
     // Rank retired ops by schedule footprint; ties break toward the
     // earliest retire so the listing is deterministic.
-    let mut retired: Vec<(u64, usize)> = trace
+    let mut retired: Vec<(u64, usize, bool)> = trace
         .events
         .iter()
         .enumerate()
         .filter_map(|(i, te)| match te.event {
             Event::OpRetired {
+                kind,
                 probes,
                 evict_depth,
                 lock_waits,
                 ..
-            } => Some((cost(probes, evict_depth, lock_waits), i)),
+            } => Some((cost(probes, evict_depth, lock_waits), i, kind.is_rmw())),
             _ => None,
         })
         .collect();
-    retired.sort_by_key(|&(c, i)| (std::cmp::Reverse(c), i));
+    retired.sort_by_key(|&(c, i, _)| (std::cmp::Reverse(c), i));
     if retired.is_empty() {
         println!(
             "no per-op retire events (target {} does not emit them); \
@@ -580,8 +592,22 @@ fn main() -> ExitCode {
         args.top.min(retired.len()),
         retired.len()
     );
-    for (rank, &(_, idx)) in retired.iter().take(args.top).enumerate() {
+    for (rank, &(_, idx, _)) in retired.iter().take(args.top).enumerate() {
         explain(rank + 1, &trace.events, &spans, &locks, idx);
+    }
+    // Read-modify-write ops get their own ranking: a merge-heavy hot key
+    // rarely cracks the global top-k (insert eviction chains dominate),
+    // but its cumulative cost is exactly what aggregation workloads tune.
+    let rmw: Vec<&(u64, usize, bool)> = retired.iter().filter(|&&(_, _, r)| r).collect();
+    if !rmw.is_empty() {
+        println!(
+            "\ntop {} of {} retired read-modify-write ops by schedule footprint:",
+            args.top.min(rmw.len()),
+            rmw.len()
+        );
+        for (rank, &&(_, idx, _)) in rmw.iter().take(args.top).enumerate() {
+            explain(rank + 1, &trace.events, &spans, &locks, idx);
+        }
     }
     ExitCode::SUCCESS
 }

@@ -32,7 +32,7 @@ use std::fmt;
 use baselines::{
     Cudpp, DyCuckooTable, GpuHashTable, LinearProbing, MegaKv, ResizeBounds, SlabHash,
 };
-use dycuckoo::{Config, DupPolicy, ParTable, UnsizedConfig, UnsizedTable, WideDyCuckoo};
+use dycuckoo::{Config, DupPolicy, MergeRule, ParTable, UnsizedConfig, UnsizedTable, WideDyCuckoo};
 use gpu_sim::explore::mix64;
 use gpu_sim::{LayoutConfig, SchedulePolicy, SimContext};
 use kv_service::{Backend, KvService, Op, Reply, ServiceConfig, Tier};
@@ -97,6 +97,13 @@ pub enum FuzzOp {
     Find(u32),
     /// Erase `key`.
     Delete(u32),
+    /// Read-modify-write `key` with `arg` under a merge rule. Only the
+    /// RMW-armed generator ([`gen_ops_rmw`]) emits these, so the historical
+    /// seed sweep — and its pinned digests — never sees them.
+    Upsert(u32, u32, MergeRule),
+    /// Counting-table increment (`Upsert` under [`MergeRule::Count`]),
+    /// driven through the dedicated `increment_batch` entry points.
+    Increment(u32),
 }
 
 /// A replayable fuzz case: everything needed to re-run one execution.
@@ -264,6 +271,60 @@ pub fn gen_ops(seed: u64, n: usize) -> Vec<FuzzOp> {
     ops
 }
 
+/// The RMW-armed generator: the same deterministic stream shape as
+/// [`gen_ops`] plus upserts (rules cycling through [`MergeRule::ALL`]) and
+/// increments on the hot range — merge chains build up on contended keys,
+/// which is exactly where voter-claim and eviction races would surface.
+/// A separate function (rather than a flag on `gen_ops`) so the historical
+/// sweep's op streams, and therefore its pinned digests, stay bit-identical.
+pub fn gen_ops_rmw(seed: u64, n: usize) -> Vec<FuzzOp> {
+    let mut rng = Rng::new(seed ^ 0x52_4D57);
+    let mut ops = Vec::with_capacity(n);
+    let any_key = |rng: &mut Rng| -> u32 {
+        let wide = rng.below(4) == 0;
+        let range = if wide { WIDE_KEYS } else { HOT_KEYS };
+        1 + rng.below(range) as u32
+    };
+    while ops.len() < n {
+        let val = |rng: &mut Rng| ((rng.next() as u32) & 0x00FF_FFFF) | 1;
+        match rng.below(100) {
+            0..=5 => {
+                for _ in 0..(n - ops.len()).min(24) {
+                    let k = 1 + rng.below(WIDE_KEYS) as u32;
+                    let v = val(&mut rng);
+                    ops.push(FuzzOp::Insert(k, v));
+                }
+            }
+            6..=10 => {
+                for _ in 0..(n - ops.len()).min(16) {
+                    let k = any_key(&mut rng);
+                    ops.push(FuzzOp::Delete(k));
+                }
+            }
+            11..=35 => {
+                let k = 1 + rng.below(HOT_KEYS) as u32;
+                let v = val(&mut rng);
+                ops.push(FuzzOp::Insert(k, v));
+            }
+            // Upsert burst on the hot range: one rule per burst, so the
+            // batcher folds consecutive ops into a single RMW kernel with
+            // plenty of intra-batch duplicate keys to pre-coalesce.
+            36..=50 => {
+                let rule = MergeRule::ALL[rng.below(MergeRule::ALL.len() as u64) as usize];
+                for _ in 0..(n - ops.len()).min(12) {
+                    let k = 1 + rng.below(HOT_KEYS) as u32;
+                    ops.push(FuzzOp::Upsert(k, val(&mut rng), rule));
+                }
+            }
+            51..=62 => ops.push(FuzzOp::Increment(1 + rng.below(HOT_KEYS) as u32)),
+            63..=85 => ops.push(FuzzOp::Find(any_key(&mut rng))),
+            _ => ops.push(FuzzOp::Delete(any_key(&mut rng))),
+        }
+    }
+    ops.truncate(n);
+    ops
+}
+
 // ---------------------------------------------------------------------------
 // Batching
 // ---------------------------------------------------------------------------
@@ -272,11 +333,17 @@ pub fn gen_ops(seed: u64, n: usize) -> Vec<FuzzOp> {
 /// how the batched APIs are actually driven. An insert batch is cut before
 /// a duplicate key would enter it: duplicate keys *within* one batch race
 /// for last-write-wins under reordering, which would make the reference
-/// model schedule-dependent and the oracle vacuous.
+/// model schedule-dependent and the oracle vacuous. Upsert batches have no
+/// such cut — the engines pre-coalesce duplicate keys in submission order
+/// before the kernel launches, so the reference (apply ops in submission
+/// order) is exact under any schedule, and letting duplicates through is
+/// precisely what exercises that pre-coalescing path.
 enum Batch {
     Insert(Vec<(u32, u32)>),
     Find(Vec<u32>),
     Delete(Vec<u32>),
+    Upsert(Vec<(u32, u32)>, MergeRule),
+    Increment(Vec<u32>),
 }
 
 const MAX_KERNEL_BATCH: usize = 48;
@@ -291,6 +358,10 @@ fn batches(ops: &[FuzzOp]) -> Vec<Batch> {
             }
             (FuzzOp::Find(_), Some(Batch::Find(ks))) => ks.len() < MAX_KERNEL_BATCH,
             (FuzzOp::Delete(_), Some(Batch::Delete(ks))) => ks.len() < MAX_KERNEL_BATCH,
+            (FuzzOp::Upsert(_, _, r), Some(Batch::Upsert(kvs, rule))) => {
+                kvs.len() < MAX_KERNEL_BATCH && r == rule
+            }
+            (FuzzOp::Increment(_), Some(Batch::Increment(ks))) => ks.len() < MAX_KERNEL_BATCH,
             _ => false,
         };
         match (op, fits) {
@@ -317,9 +388,30 @@ fn batches(ops: &[FuzzOp]) -> Vec<Batch> {
                 }
             }
             (FuzzOp::Delete(k), false) => out.push(Batch::Delete(vec![k])),
+            (FuzzOp::Upsert(k, v, _), true) => {
+                if let Some(Batch::Upsert(kvs, _)) = out.last_mut() {
+                    kvs.push((k, v));
+                }
+            }
+            (FuzzOp::Upsert(k, v, r), false) => out.push(Batch::Upsert(vec![(k, v)], r)),
+            (FuzzOp::Increment(k), true) => {
+                if let Some(Batch::Increment(ks)) = out.last_mut() {
+                    ks.push(k);
+                }
+            }
+            (FuzzOp::Increment(k), false) => out.push(Batch::Increment(vec![k])),
         }
     }
     out
+}
+
+/// Apply one RMW to the fixed-tier reference model.
+fn model_upsert(model: &mut HashMap<u32, u32>, k: u32, arg: u32, rule: MergeRule) {
+    let next = match model.get(&k) {
+        Some(&old) => rule.merge(old, arg),
+        None => rule.initial(arg),
+    };
+    model.insert(k, next);
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +553,34 @@ fn run_table_case(case: &Case) -> Result<Digest, Violation> {
                     )));
                 }
             }
+            Batch::Upsert(kvs, rule) => {
+                if !table.supports_upsert() {
+                    continue;
+                }
+                table
+                    .upsert_batch(&mut sim, &kvs, rule)
+                    .map_err(|e| Violation::new(format!("upsert batch {i} failed: {e}")))?;
+                for &(k, v) in &kvs {
+                    model_upsert(&mut model, k, v, rule);
+                }
+                let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+                let got = table.find_batch(&mut sim, &keys);
+                check_finds(&format!("after upsert batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Increment(keys) => {
+                if !table.supports_upsert() {
+                    continue;
+                }
+                let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, 0)).collect();
+                table
+                    .upsert_batch(&mut sim, &kvs, MergeRule::Count)
+                    .map_err(|e| Violation::new(format!("increment batch {i} failed: {e}")))?;
+                for &k in &keys {
+                    model_upsert(&mut model, k, 0, MergeRule::Count);
+                }
+                let got = table.find_batch(&mut sim, &keys);
+                check_finds(&format!("after increment batch {i}"), &keys, &got, &model)?;
+            }
         }
     }
     // Full final sweep: every reference key must be present with the right
@@ -541,6 +661,35 @@ fn run_host_par_table_diff(case: &Case) -> Result<(), Violation> {
                         "host-par delete batch {i}: erased {got} keys, reference says {want}"
                     )));
                 }
+            }
+            Batch::Upsert(kvs, rule) => {
+                par.upsert_batch(&kvs, rule)
+                    .map_err(|e| Violation::new(format!("host-par upsert batch {i}: {e}")))?;
+                for &(k, v) in &kvs {
+                    model_upsert(&mut model, k, v, rule);
+                }
+                let keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+                let got = par.find_batch(&keys);
+                check_finds(
+                    &format!("host-par after upsert batch {i}"),
+                    &keys,
+                    &got,
+                    &model,
+                )?;
+            }
+            Batch::Increment(keys) => {
+                par.increment_batch(&keys)
+                    .map_err(|e| Violation::new(format!("host-par increment batch {i}: {e}")))?;
+                for &k in &keys {
+                    model_upsert(&mut model, k, 0, MergeRule::Count);
+                }
+                let got = par.find_batch(&keys);
+                check_finds(
+                    &format!("host-par after increment batch {i}"),
+                    &keys,
+                    &got,
+                    &model,
+                )?;
             }
         }
     }
@@ -640,6 +789,50 @@ fn run_wide_case(case: &Case) -> Result<Digest, Violation> {
                     return Err(Violation::new(format!(
                         "delete batch {i}: erased {got} keys, reference says {want}"
                     )));
+                }
+            }
+            Batch::Upsert(kvs, rule) => {
+                // The arg stays the raw u32 (no key tag in the high half):
+                // merge algebra over tagged values would be meaningless.
+                let kvs: Vec<(u64, u64)> = kvs.iter().map(|&(k, v)| (widen(k), v as u64)).collect();
+                table
+                    .upsert_batch(&mut sim, &kvs, rule)
+                    .map_err(|e| Violation::new(format!("upsert batch {i} failed: {e}")))?;
+                for &(k, v) in &kvs {
+                    let next = match model.get(&k) {
+                        Some(&old) => rule.merge_u64(old, v),
+                        None => rule.initial_u64(v),
+                    };
+                    model.insert(k, next);
+                }
+                let keys: Vec<u64> = kvs.iter().map(|&(k, _)| k).collect();
+                let got = table.find_batch(&mut sim, &keys);
+                for (&k, g) in keys.iter().zip(&got) {
+                    let want = model.get(&k).copied();
+                    if *g != want {
+                        return Err(Violation::new(format!(
+                            "after upsert batch {i}: find({k:#x}) = {g:?}, reference says {want:?}"
+                        )));
+                    }
+                }
+            }
+            Batch::Increment(keys) => {
+                let keys: Vec<u64> = keys.iter().map(|&k| widen(k)).collect();
+                table
+                    .increment_batch(&mut sim, &keys)
+                    .map_err(|e| Violation::new(format!("increment batch {i} failed: {e}")))?;
+                for &k in &keys {
+                    let next = model.get(&k).map_or(1, |&old| old + 1);
+                    model.insert(k, next);
+                }
+                let got = table.find_batch(&mut sim, &keys);
+                for (&k, g) in keys.iter().zip(&got) {
+                    let want = model.get(&k).copied();
+                    if *g != want {
+                        return Err(Violation::new(format!(
+                            "after increment batch {i}: find({k:#x}) = {g:?}, reference says {want:?}"
+                        )));
+                    }
                 }
             }
         }
@@ -808,6 +1001,53 @@ fn run_unsized_case(case: &Case) -> Result<Digest, Violation> {
                     )));
                 }
             }
+            Batch::Upsert(kvs, rule) => {
+                // The reference applies the same pure byte-merge functions
+                // the engine uses, so the check is exact for every rule
+                // (counter rules read the first 8 bytes little-endian).
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = kvs
+                    .iter()
+                    .map(|&(k, v)| (byte_key(case, k), byte_val(case, v)))
+                    .collect();
+                let refs: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                    .collect();
+                table
+                    .upsert_batch(&mut sim, &refs, rule)
+                    .map_err(|e| Violation::new(format!("upsert batch {i} failed: {e}")))?;
+                for (k, v) in &pairs {
+                    let next = match model.get(k) {
+                        Some(old) => rule.merge_bytes(old, v),
+                        None => rule.initial_bytes(v),
+                    };
+                    model.insert(k.clone(), next);
+                }
+                let keys: Vec<Vec<u8>> = pairs.into_iter().map(|(k, _)| k).collect();
+                let krefs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                let got = table
+                    .find_batch(&mut sim, &krefs)
+                    .map_err(|e| Violation::new(format!("readback after batch {i}: {e}")))?;
+                check(&format!("after upsert batch {i}"), &keys, &got, &model)?;
+            }
+            Batch::Increment(keys) => {
+                let keys: Vec<Vec<u8>> = keys.iter().map(|&k| byte_key(case, k)).collect();
+                let krefs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                table
+                    .increment_batch(&mut sim, &krefs)
+                    .map_err(|e| Violation::new(format!("increment batch {i} failed: {e}")))?;
+                for k in &keys {
+                    let next = match model.get(k) {
+                        Some(old) => MergeRule::Count.merge_bytes(old, &[]),
+                        None => MergeRule::Count.initial_bytes(&[]),
+                    };
+                    model.insert(k.clone(), next);
+                }
+                let got = table
+                    .find_batch(&mut sim, &krefs)
+                    .map_err(|e| Violation::new(format!("readback after batch {i}: {e}")))?;
+                check(&format!("after increment batch {i}"), &keys, &got, &model)?;
+            }
         }
         // Find-only stretches would otherwise stall a drain forever under a
         // finite quantum; pump like the service layer's idle ticks do.
@@ -908,6 +1148,8 @@ fn run_service_backend(case: &Case, backend: Backend) -> Result<Digest, Violatio
             FuzzOp::Insert(k, v) => Op::Put(k, v),
             FuzzOp::Find(k) => Op::Get(k),
             FuzzOp::Delete(k) => Op::Delete(k),
+            FuzzOp::Upsert(k, v, rule) => Op::Upsert(k, v, rule),
+            FuzzOp::Increment(k) => Op::Increment(k),
         };
         let want = match op {
             Op::Get(k) => Reply::Value(model.get(&k).copied()),
@@ -918,6 +1160,14 @@ fn run_service_backend(case: &Case, backend: Backend) -> Result<Digest, Violatio
             Op::Delete(k) => {
                 model.remove(&k);
                 Reply::Deleted
+            }
+            Op::Upsert(k, v, rule) => {
+                model_upsert(&mut model, k, v, rule);
+                Reply::Merged
+            }
+            Op::Increment(k) => {
+                model_upsert(&mut model, k, 0, MergeRule::Count);
+                Reply::Merged
             }
         };
         match svc.submit((i % 7) as u32, op) {
@@ -1057,6 +1307,10 @@ impl Repro {
                 FuzzOp::Insert(k, v) => out.push_str(&format!("        Insert({k}, {v}),\n")),
                 FuzzOp::Find(k) => out.push_str(&format!("        Find({k}),\n")),
                 FuzzOp::Delete(k) => out.push_str(&format!("        Delete({k}),\n")),
+                FuzzOp::Upsert(k, v, rule) => {
+                    out.push_str(&format!("        Upsert({k}, {v}, \"{}\"),\n", rule.name()))
+                }
+                FuzzOp::Increment(k) => out.push_str(&format!("        Increment({k}),\n")),
             }
         }
         out.push_str("    ],\n");
@@ -1211,6 +1465,17 @@ impl Repro {
                 }
                 "Find" => FuzzOp::Find(c.number()? as u32),
                 "Delete" => FuzzOp::Delete(c.number()? as u32),
+                "Upsert" => {
+                    let k = c.number()? as u32;
+                    c.expect(',')?;
+                    let v = c.number()? as u32;
+                    c.expect(',')?;
+                    let rule_name = c.string()?;
+                    let rule = MergeRule::parse(&rule_name)
+                        .ok_or_else(|| format!("unknown merge rule {rule_name:?}"))?;
+                    FuzzOp::Upsert(k, v, rule)
+                }
+                "Increment" => FuzzOp::Increment(c.number()? as u32),
                 other => return Err(format!("unknown op {other:?}")),
             };
             c.expect(')')?;
@@ -1929,5 +2194,181 @@ mod tests {
         assert!(!sim_only.to_ron().contains("host_par_threads"));
         let back = Repro::from_ron(&sim_only.to_ron()).expect("parse sim-only");
         assert_eq!(back, sim_only);
+    }
+
+    #[test]
+    fn gen_ops_rmw_is_deterministic_and_emits_every_verb() {
+        let a = gen_ops_rmw(7, 300);
+        assert_eq!(a, gen_ops_rmw(7, 300));
+        assert_eq!(a.len(), 300);
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Insert(..))));
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Find(_))));
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Delete(_))));
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Upsert(..))));
+        assert!(a.iter().any(|o| matches!(o, FuzzOp::Increment(_))));
+        // Duplicate keys inside one upsert batch must survive batching —
+        // they are what exercises the engines' pre-coalescing.
+        let mut saw_dup = false;
+        for seed in 0..8 {
+            for b in batches(&gen_ops_rmw(seed, 300)) {
+                if let Batch::Upsert(kvs, _) = b {
+                    let mut keys: Vec<u32> = kvs.iter().map(|&(k, _)| k).collect();
+                    keys.sort_unstable();
+                    let n = keys.len();
+                    keys.dedup();
+                    saw_dup |= keys.len() < n;
+                }
+            }
+        }
+        assert!(saw_dup, "no upsert batch ever held a duplicate key");
+    }
+
+    /// Eight concrete schedule policies — every variant, two parameter
+    /// draws for the seeded ones. The RMW oracle must be reference-exact
+    /// and digest-stable under each, on the core table and the service.
+    #[test]
+    fn rmw_oracle_passes_under_every_policy() {
+        let policies = [
+            SchedulePolicy::FixedOrder,
+            SchedulePolicy::Reversed,
+            SchedulePolicy::Rotating { stride: 1 },
+            SchedulePolicy::Rotating { stride: 3 },
+            SchedulePolicy::Shuffled { seed: 7 },
+            SchedulePolicy::Shuffled { seed: 29 },
+            SchedulePolicy::ContendedFirst { seed: 5 },
+            SchedulePolicy::ContendedFirst { seed: 31 },
+        ];
+        for target in [Target::DyCuckoo, Target::KvService] {
+            for policy in policies {
+                let case = Case {
+                    target,
+                    policy,
+                    workload_seed: 41,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::default(),
+                    migration_quantum: usize::MAX,
+                    tier: Tier::Fixed,
+                    key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: false,
+                    host_par_threads: 0,
+                    ops: gen_ops_rmw(41, 200),
+                };
+                let a =
+                    run_case(&case).unwrap_or_else(|v| panic!("{} {policy:?}: {v}", target.name()));
+                let b = run_case(&case).expect("second run");
+                assert_eq!(a, b, "{} {policy:?}: digest unstable", target.name());
+            }
+        }
+    }
+
+    /// RMW ops stay reference-exact while an incremental migration is in
+    /// flight, on every tier that migrates: merge state must never be
+    /// duplicated or dropped across the old/new table routing.
+    #[test]
+    fn rmw_oracle_passes_mid_migration_on_every_tier() {
+        for (target, tier) in [
+            (Target::DyCuckoo, Tier::Fixed),
+            (Target::WideDyCuckoo, Tier::Fixed),
+            (Target::KvService, Tier::Fixed),
+            (Target::DyCuckoo, Tier::Unsized),
+        ] {
+            for quantum in [2usize, 8] {
+                let case = Case {
+                    target,
+                    policy: SchedulePolicy::Shuffled { seed: 43 },
+                    workload_seed: 43,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::default(),
+                    migration_quantum: quantum,
+                    tier,
+                    key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: false,
+                    host_par_threads: 0,
+                    ops: gen_ops_rmw(43, 200),
+                };
+                let a = run_case(&case)
+                    .unwrap_or_else(|v| panic!("{} {:?} q={quantum}: {v}", target.name(), tier));
+                let b = run_case(&case).expect("second run");
+                assert_eq!(a, b, "{} {tier:?} q={quantum}", target.name());
+            }
+        }
+    }
+
+    /// The host-par differential holds for RMW workloads at 1, 2 and 8
+    /// threads on both the raw table and the service — the stripe-lock
+    /// merge path must produce the same final logical map as the sim.
+    #[test]
+    fn rmw_host_par_diff_passes_at_every_thread_count() {
+        for target in [Target::DyCuckoo, Target::KvService] {
+            for threads in [1usize, 2, 8] {
+                let case = Case {
+                    target,
+                    policy: SchedulePolicy::ContendedFirst { seed: 47 },
+                    workload_seed: 47,
+                    inject_lock_elision: false,
+                    layout: LayoutConfig::default(),
+                    migration_quantum: usize::MAX,
+                    tier: Tier::Fixed,
+                    key_dist: LengthDist::Mixed,
+                    fingerprint: 0,
+                    miss_filter: false,
+                    host_par_threads: threads,
+                    ops: gen_ops_rmw(47, 200),
+                };
+                run_case(&case)
+                    .unwrap_or_else(|v| panic!("{} threads={threads}: {v}", target.name()));
+            }
+        }
+    }
+
+    /// The unsized-tier RMW oracle passes on every stock key-length
+    /// distribution (inline and spilled values both hit the byte-merge
+    /// path in the found-arm).
+    #[test]
+    fn rmw_unsized_oracle_passes_on_every_stock_distribution() {
+        for dist in LengthDist::STOCK {
+            let case = Case {
+                ops: gen_ops_rmw(11, 160),
+                ..unsized_case(dist, usize::MAX, 0)
+            };
+            let a = run_case(&case).unwrap_or_else(|v| panic!("{}: {v}", dist.name()));
+            let b = run_case(&case).expect("second run");
+            assert_eq!(a, b, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn ron_roundtrips_rmw_ops() {
+        let repro = Repro {
+            case: Case {
+                target: Target::DyCuckoo,
+                policy: SchedulePolicy::FixedOrder,
+                workload_seed: 51,
+                inject_lock_elision: false,
+                layout: LayoutConfig::default(),
+                migration_quantum: usize::MAX,
+                tier: Tier::Fixed,
+                key_dist: LengthDist::Mixed,
+                fingerprint: 0,
+                miss_filter: false,
+                host_par_threads: 0,
+                ops: vec![
+                    FuzzOp::Upsert(3, 9, MergeRule::Add),
+                    FuzzOp::Upsert(3, 1, MergeRule::LastWrite),
+                    FuzzOp::Increment(3),
+                    FuzzOp::Find(3),
+                ],
+            },
+            violation: "merge applied twice".to_string(),
+        };
+        let text = repro.to_ron();
+        assert!(text.contains("Upsert(3, 9, \"add\")"));
+        assert!(text.contains("Increment(3)"));
+        let back = Repro::from_ron(&text).expect("parse");
+        assert_eq!(back, repro);
+        let bad = text.replace("\"add\"", "\"bogus\"");
+        assert!(Repro::from_ron(&bad).is_err());
     }
 }

@@ -54,6 +54,7 @@ use crate::config::Config;
 use crate::distribute;
 use crate::error::{Error, Result};
 use crate::hashfn::splitmix64;
+use crate::rmw::MergeRule;
 use crate::table::{TableShape, MAX_INSERT_RETRIES};
 
 /// What one insert worker hands back at the join: its overflow keys (in
@@ -139,13 +140,17 @@ impl<'a> CandGuards<'a> {
     }
 }
 
-/// Concurrent-phase insert of one key: all candidate stripes held, upsert
-/// or claim an empty slot; full candidates overflow to the drain.
+/// Concurrent-phase placement of one key: all candidate stripes held,
+/// merge a duplicate in place (inside the probe-duplicate-then-claim
+/// critical section — the guards cover every candidate, so the duplicate
+/// check and the merge are one atomic step) or claim an empty slot; full
+/// candidates overflow to the drain.
 fn par_insert_one(
     shape: &TableShape,
     tables: &[StripedStore<u32, u32>],
     key: u32,
     val: u32,
+    rule: MergeRule,
     m: &mut Metrics,
 ) -> Placed {
     let cands = shape.candidates(key);
@@ -163,7 +168,12 @@ fn par_insert_one(
         m.charge(ChargeKind::Lookups, 1);
         let g = held.guard_mut(t, s);
         if let Some(slot) = g.find_slot(b, key) {
-            g.update_val(b, slot, val);
+            let new = if rule.reads_old() {
+                rule.merge(g.slot(b, slot).1, val)
+            } else {
+                val
+            };
+            g.update_val(b, slot, new);
             m.charge(ChargeKind::Ops, 1);
             return Placed::Updated;
         }
@@ -185,12 +195,40 @@ fn par_insert_one(
     for (t, s, b) in order {
         let g = held.guard_mut(t, s);
         if let Some(slot) = g.find_empty(b) {
-            g.write_new(b, slot, key, val);
+            g.write_new(b, slot, key, rule.initial(val));
             m.charge(ChargeKind::Ops, 1);
             return Placed::Inserted;
         }
     }
     Placed::Overflow
+}
+
+/// Fold a batch's duplicate keys into one `(key, arg)` per unique key in
+/// first-touch order, returning the effective rule (`Count` occurrences
+/// normalize to one `Add` of the occurrence count). With unique keys, the
+/// concurrent phase applies at most one merge per key against the
+/// pre-batch value, so the final map is schedule-independent.
+fn coalesce_rmw(kvs: &[(u32, u32)], rule: MergeRule) -> (MergeRule, Vec<(u32, u32)>) {
+    let eff = match rule {
+        MergeRule::Count => MergeRule::Add,
+        r => r,
+    };
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(kvs.len());
+    let mut index: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &(k, arg) in kvs {
+        let a = if rule == MergeRule::Count { 1 } else { arg };
+        match index.entry(k) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let i = *e.get();
+                out[i].1 = eff.fold_args(out[i].1, a).expect("Count normalized to Add");
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push((k, a));
+            }
+        }
+    }
+    (eff, out)
 }
 
 impl ParTable {
@@ -302,6 +340,31 @@ impl ParTable {
         if kvs.iter().any(|&(k, _)| k == 0) {
             return Err(Error::ZeroKey);
         }
+        self.batch_impl(kvs, MergeRule::LastWrite)
+    }
+
+    /// Read-modify-write a batch under `rule` (host-par analogue of
+    /// [`crate::DyCuckoo::upsert_batch`]): absent keys insert
+    /// `rule.initial(arg)`, present keys merge inside the candidate-guard
+    /// critical section. Duplicate keys are pre-coalesced in submission
+    /// order, so the final logical map matches the sim backend at any
+    /// thread count.
+    pub fn upsert_batch(&mut self, kvs: &[(u32, u32)], rule: MergeRule) -> Result<ParReport> {
+        if kvs.iter().any(|&(k, _)| k == 0) {
+            return Err(Error::ZeroKey);
+        }
+        let (eff, entries) = coalesce_rmw(kvs, rule);
+        self.batch_impl(&entries, eff)
+    }
+
+    /// Counting-table special case: bump each key's counter by its number
+    /// of occurrences in the batch, inserting absent keys at their count.
+    pub fn increment_batch(&mut self, keys: &[u32]) -> Result<ParReport> {
+        let kvs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, 0)).collect();
+        self.upsert_batch(&kvs, MergeRule::Count)
+    }
+
+    fn batch_impl(&mut self, kvs: &[(u32, u32)], rule: MergeRule) -> Result<ParReport> {
         let mut report = ParReport::default();
         if kvs.is_empty() {
             return Ok(report);
@@ -322,7 +385,7 @@ impl ParTable {
                         let mut overflow = Vec::new();
                         let (mut inserted, mut updated) = (0u64, 0u64);
                         for &(k, v) in chunk {
-                            match par_insert_one(shape, tables, k, v, &mut m) {
+                            match par_insert_one(shape, tables, k, v, rule, &mut m) {
                                 Placed::Updated => updated += 1,
                                 Placed::Inserted => inserted += 1,
                                 Placed::Overflow => overflow.push((k, v)),
@@ -358,7 +421,10 @@ impl ParTable {
         }
         let mut drain_result = Ok(());
         for (k, v) in overflow {
-            if let Err(e) = self.seq_insert(k, v) {
+            // An overflowed key is absent (batch keys are unique after
+            // coalescing and the dup scan held every candidate), so the
+            // drain inserts the materialized initial value.
+            if let Err(e) = self.seq_insert(k, rule.initial(v)) {
                 drain_result = Err(e);
                 break;
             }

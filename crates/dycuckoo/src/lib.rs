@@ -32,6 +32,7 @@ pub mod host_par;
 pub mod ops;
 pub mod rehash;
 pub mod resize;
+pub mod rmw;
 pub mod stash;
 pub mod stats;
 pub mod subtable;
@@ -44,7 +45,10 @@ pub use config::{Config, Coordination, Distribution, DupPolicy, Layering, BUCKET
 pub use error::{Error, Result};
 pub use host_par::{ParReport, ParTable};
 pub use resize::ResizeOp;
+pub use rmw::MergeRule;
 pub use stats::{SubTableStats, TableStats};
-pub use table::{buckets_for_load, mixed_bucket_sizes, BatchReport, DyCuckoo, ResizeEvent};
+pub use table::{
+    buckets_for_load, mixed_bucket_sizes, BatchReport, DyCuckoo, ResizeEvent, UpsertReport,
+};
 pub use unsized_kv::{UnsizedConfig, UnsizedReport, UnsizedStats, UnsizedTable};
 pub use wide::WideDyCuckoo;

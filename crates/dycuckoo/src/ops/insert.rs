@@ -27,6 +27,7 @@ use gpu_sim::{ballot, run_rounds_with, Metrics, RoundCtx, RoundKernel, StepOutco
 
 use crate::config::{Coordination, Distribution, DupPolicy, Layering};
 use crate::distribute::{choose_among, choose_victim};
+use crate::rmw::MergeRule;
 use crate::subtable::{SubTable, EMPTY_KEY};
 use crate::table::migration::{MigrationView, Route};
 use crate::table::{TableShape, MAX_TABLES};
@@ -66,6 +67,16 @@ pub(crate) struct InsertOp {
     probes: u32,
     /// Failed bucket-lock acquisitions this op has suffered.
     lock_waits: u32,
+    /// Merge rule applied when the key is found present. `val` holds the
+    /// raw *argument* while the rule is armed; every write site goes
+    /// through `rule.initial`/`rule.merge`, and any path that materializes
+    /// the KV (eviction swap, failure retry) resets the rule to
+    /// `LastWrite` so downstream re-insert machinery stays verbatim.
+    rule: MergeRule,
+    /// Caller-side index for freshness tracking (`u32::MAX` = untracked):
+    /// pushed to [`InsertOutcome::merged`] when the op merges into an
+    /// existing key instead of placing a fresh one.
+    out_idx: u32,
 }
 
 /// Emit the op's flight-recorder retirement event. Call at every point
@@ -73,8 +84,15 @@ pub(crate) struct InsertOp {
 #[inline]
 fn retire(op: &InsertOp, outcome: obs::OpOutcome) {
     if obs::is_enabled() {
+        // Tracked RMW ops retire as `Upsert`; eviction carries and plain
+        // inserts (out_idx cleared / never set) as `Insert`.
+        let kind = if op.out_idx != u32::MAX {
+            obs::OpKind::Upsert
+        } else {
+            obs::OpKind::Insert
+        };
         obs::emit(obs::Event::OpRetired {
-            kind: obs::OpKind::Insert,
+            kind,
             op: op.salt,
             key: op.key as u64,
             outcome,
@@ -97,6 +115,27 @@ impl InsertOp {
             skip_dup_check: false,
             probes: 0,
             lock_waits: 0,
+            rule: MergeRule::LastWrite,
+            out_idx: u32::MAX,
+        }
+    }
+
+    /// A fresh read-modify-write op: insert `rule.initial(arg)` if `key` is
+    /// absent, merge `rule.merge(old, arg)` under the claim lock if present.
+    /// `out_idx` tags the op in [`InsertOutcome::merged`] (`u32::MAX` to
+    /// opt out of tracking).
+    pub fn upsert(key: u32, arg: u32, salt: u64, rule: MergeRule, out_idx: u32) -> Self {
+        Self {
+            key,
+            val: arg,
+            salt,
+            evictions: 0,
+            phase: Phase::Init,
+            skip_dup_check: false,
+            probes: 0,
+            lock_waits: 0,
+            rule,
+            out_idx,
         }
     }
 
@@ -113,6 +152,8 @@ impl InsertOp {
             skip_dup_check: true,
             probes: 0,
             lock_waits: 0,
+            rule: MergeRule::LastWrite,
+            out_idx: u32::MAX,
         }
     }
 }
@@ -147,8 +188,14 @@ pub(crate) struct InsertOutcome {
     pub updated: u64,
     /// Operations that exceeded the eviction limit (carrying whatever KV
     /// the chain was holding when it gave up). The caller upsizes and
-    /// retries these.
+    /// retries these. Unapplied merges are materialized at the failure
+    /// site (`val = rule.initial(arg)`, rule reset to `LastWrite`), so
+    /// retry paths may re-insert the KV verbatim.
     pub failed: Vec<InsertOp>,
+    /// `out_idx` tags of tracked ops that merged into an existing key
+    /// (the key was already present). Tracked ops absent from this list
+    /// placed a fresh key — the signal frontier-dedup workloads consume.
+    pub merged: Vec<u32>,
 }
 
 struct InsertKernel<'a> {
@@ -227,6 +274,48 @@ impl InsertKernel<'_> {
 }
 
 impl InsertKernel<'_> {
+    /// Apply the op's merge into an existing slot under the held lock:
+    /// read the old value when the rule needs it (one value-read line;
+    /// `LastWrite` blind-writes and charges nothing extra), write the
+    /// merged value, and record the op as non-fresh.
+    fn merge_in_place(
+        &mut self,
+        op: &InsertOp,
+        t: usize,
+        b: usize,
+        slot: usize,
+        in_fresh: bool,
+        ctx: &mut RoundCtx,
+    ) {
+        let new = if op.rule.reads_old() {
+            let old = self.store_ro(t, in_fresh).slot(b, slot).1;
+            self.shape.cfg.layout.charge_value_read(ctx);
+            op.rule.merge(old, op.val)
+        } else {
+            op.val
+        };
+        self.store(t, in_fresh).update_val(b, slot, new);
+        self.shape.cfg.layout.charge_value_write(ctx);
+        self.out.updated += 1;
+        if op.out_idx != u32::MAX {
+            self.out.merged.push(op.out_idx);
+        }
+    }
+
+    /// Fail the op: materialize an unapplied merge first (the key is
+    /// absent, so the retry must insert `rule.initial(arg)` — ops already
+    /// in an eviction chain carry a victim's literal KV and are left
+    /// alone), then retire and push to `failed`.
+    fn fail(&mut self, warp: &mut InsertWarp, leader: usize, mut op: InsertOp) {
+        if op.evictions == 0 {
+            op.val = op.rule.initial(op.val);
+            op.rule = MergeRule::LastWrite;
+        }
+        retire(&op, obs::OpOutcome::Failed);
+        self.out.failed.push(op);
+        warp.active &= !(1 << leader);
+    }
+
     /// Pick the initial second-layer target for a fresh op, honouring the
     /// exclusion.
     fn route(&self, op: &InsertOp) -> usize {
@@ -310,9 +399,7 @@ impl InsertKernel<'_> {
                 // Every victim would land in the excluded subtable
                 // (vanishingly rare): give up, let the caller retry after
                 // the resize completes.
-                retire(&op, obs::OpOutcome::Failed);
-                self.out.failed.push(op);
-                warp.active &= !(1 << leader);
+                self.fail(warp, leader, op);
             }
             Some(slot) => {
                 let victim_key = self.store_ro(t, in_fresh).slot(b, slot).0;
@@ -320,13 +407,16 @@ impl InsertKernel<'_> {
                     self.shape
                         .evict_destination(self.tables, victim_key, t, excluded, salt)
                 else {
-                    retire(&op, obs::OpOutcome::Failed);
-                    self.out.failed.push(op);
-                    warp.active &= !(1 << leader);
+                    self.fail(warp, leader, op);
                     return;
                 };
                 let _attr = obs::attr::scope("evict-chain");
-                let (ek, ev) = self.store(t, in_fresh).swap(b, slot, op.key, op.val);
+                // The swap places the op's key as a *fresh* entry (the dup
+                // scan above found no duplicate), so an armed merge rule
+                // materializes here; the carried victim is a literal KV.
+                let (ek, ev) =
+                    self.store(t, in_fresh)
+                        .swap(b, slot, op.key, op.rule.initial(op.val));
                 self.shape.cfg.layout.charge_kv_write(ctx);
                 ctx.metrics.charge(ChargeKind::Evictions, 1);
                 if obs::is_enabled() {
@@ -343,6 +433,8 @@ impl InsertKernel<'_> {
                 lane_op.key = ek;
                 lane_op.val = ev;
                 lane_op.evictions = op.evictions + 1;
+                lane_op.rule = MergeRule::LastWrite;
+                lane_op.out_idx = u32::MAX;
                 lane_op.phase = Phase::Probe {
                     target: next,
                     reroutes_left: 0,
@@ -417,9 +509,7 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 // another candidate bucket since the optimistic probe.
                 warp.ops[leader].probes += 1;
                 if let Some(slot) = self.store_ro(t, in_fresh).probe_find(b, op.key, ctx) {
-                    self.store(t, in_fresh).update_val(b, slot, op.val);
-                    self.shape.cfg.layout.charge_value_write(ctx);
-                    self.out.updated += 1;
+                    self.merge_in_place(&op, t, b, slot, in_fresh, ctx);
                     retire(&warp.ops[leader], obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
                 } else {
@@ -455,18 +545,17 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                     let dup = snap.iter().position(|&k| k == op.key);
                     let empty = snap.iter().position(|&k| k == EMPTY_KEY);
                     if let Some(slot) = dup {
-                        self.store(t, in_fresh).update_val(b, slot, op.val);
-                        self.shape.cfg.layout.charge_value_write(ctx);
-                        self.out.updated += 1;
+                        self.merge_in_place(&op, t, b, slot, in_fresh, ctx);
                         retire(&op, obs::OpOutcome::Updated);
                         warp.active &= !(1 << leader);
                     } else if let Some(slot) = empty {
+                        let stored = op.rule.initial(op.val);
                         if self.store_ro(t, in_fresh).slot(b, slot).0 == EMPTY_KEY {
-                            self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
+                            self.store(t, in_fresh).write_new(b, slot, op.key, stored);
                         } else {
                             // The slot was claimed earlier this round: the
                             // lost update the elided lock would have caused.
-                            self.store(t, in_fresh).swap(b, slot, op.key, op.val);
+                            self.store(t, in_fresh).swap(b, slot, op.key, stored);
                         }
                         self.shape.cfg.layout.charge_kv_write(ctx);
                         self.out.inserted += 1;
@@ -499,15 +588,14 @@ impl RoundKernel<InsertWarp> for InsertKernel<'_> {
                 let op = warp.ops[leader];
                 let (dup, empty) = self.store_ro(t, in_fresh).probe_for_insert(b, op.key, ctx);
                 if let Some(slot) = dup {
-                    // Same-bucket duplicate: update in place (Algorithm 1's
-                    // "loc[l].key == k'" arm).
-                    self.store(t, in_fresh).update_val(b, slot, op.val);
-                    self.shape.cfg.layout.charge_value_write(ctx);
-                    self.out.updated += 1;
+                    // Same-bucket duplicate: merge in place (Algorithm 1's
+                    // "loc[l].key == k'" arm, generalized over the rule).
+                    self.merge_in_place(&op, t, b, slot, in_fresh, ctx);
                     retire(&op, obs::OpOutcome::Updated);
                     warp.active &= !(1 << leader);
                 } else if let Some(slot) = empty {
-                    self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
+                    self.store(t, in_fresh)
+                        .write_new(b, slot, op.key, op.rule.initial(op.val));
                     self.shape.cfg.layout.charge_kv_write(ctx);
                     self.out.inserted += 1;
                     retire(&op, obs::OpOutcome::Inserted);

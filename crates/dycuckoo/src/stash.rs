@@ -141,6 +141,30 @@ impl Stash {
         }
     }
 
+    /// Read-modify-write a stashed key's value; returns whether it was
+    /// present. Costs one probe, one value-read line and one write — the
+    /// stash analogue of the insert kernel's duplicate-merge path.
+    pub fn update_with(
+        &mut self,
+        key: u32,
+        f: impl FnOnce(u32) -> u32,
+        ctx: &mut RoundCtx,
+    ) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        self.charge_probe(ctx);
+        match self.keys.iter().position(|&k| k == key) {
+            Some(i) => {
+                ctx.read_line();
+                self.vals[i] = f(self.vals[i]);
+                ctx.write_line();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drain every stashed pair (after a resize has made room in the
     /// subtables proper).
     pub fn drain(&mut self, ctx: &mut RoundCtx) -> Vec<(u32, u32)> {

@@ -235,6 +235,25 @@ impl BatchReport {
     }
 }
 
+/// Outcome of a batched read-modify-write ([`DyCuckoo::upsert_batch`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpsertReport {
+    /// The underlying batch outcome (insert/update/resize accounting).
+    pub batch: BatchReport,
+    /// One flag per input position: `true` iff the op placed its key
+    /// fresh (the key was absent immediately before the op applied).
+    /// Later occurrences of a duplicated key within the batch are never
+    /// fresh — frontier-dedup workloads keep exactly the `true` positions.
+    pub fresh: Vec<bool>,
+}
+
+impl UpsertReport {
+    /// Number of input positions that placed a fresh key.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.iter().filter(|&&f| f).count()
+    }
+}
+
 /// The dynamic two-layer cuckoo hash table of the paper.
 ///
 /// All operations are batched and charged to a [`SimContext`], whose metrics

@@ -38,6 +38,7 @@ use gpu_sim::{
 use crate::error::{Error, Result};
 use crate::hashfn::splitmix64;
 use crate::ops::{nth_active_lane, pack_warps};
+use crate::rmw::MergeRule;
 
 use super::arena::{charge_blob_read, charge_blob_write, ByteArena, PAGE_BYTES};
 use super::encoding::{
@@ -561,6 +562,12 @@ struct InsertKernel<'a> {
     migration: Option<(UView, &'a mut UnsizedStore)>,
     pairs: &'a [(&'a [u8], &'a [u8])],
     queries: &'a [Query],
+    /// Merge applied to fresh ops: absent keys store `rule.initial_bytes`,
+    /// present keys `rule.merge_bytes` under the bucket lock. Carried
+    /// (evicted) words pass through literally — they were materialized when
+    /// first placed, so eviction chains never re-apply the merge.
+    rule: MergeRule,
+    kind: obs::OpKind,
     out: InsOut,
 }
 
@@ -600,7 +607,8 @@ impl InsertKernel<'_> {
             Some((kw, vw, _)) => (kw, vw),
             None => {
                 let (key, val) = self.pairs[op.idx];
-                encode_entry(self.arena, &self.queries[op.idx], key, val, ctx)
+                let stored = self.rule.initial_bytes(val);
+                encode_entry(self.arena, &self.queries[op.idx], key, &stored, ctx)
             }
         }
     }
@@ -608,7 +616,7 @@ impl InsertKernel<'_> {
     fn retire(&self, op: &InsOp, outcome: obs::OpOutcome) {
         if obs::is_enabled() {
             obs::emit(obs::Event::OpRetired {
-                kind: obs::OpKind::Insert,
+                kind: self.kind,
                 op: op.salt,
                 key: self.op_h48(op),
                 outcome,
@@ -649,12 +657,28 @@ impl RoundKernel<InsWarp> for InsertKernel<'_> {
                     ctx,
                 );
                 if let Some(slot) = found {
-                    // Upsert: free the old value's bytes, store the new.
+                    // Present: merge (reading the old bytes when the rule
+                    // needs them), free the old value's bytes, store the new.
                     let old_vw = self.store_ro(t, in_fresh).bucket_vals(b)[slot];
+                    let merged;
+                    let stored: &[u8] = if self.rule.reads_old() {
+                        self.layout.charge_value_read(ctx);
+                        let old = match decode_val(old_vw) {
+                            ValRepr::Inline { len, bytes } => bytes[..len as usize].to_vec(),
+                            ValRepr::Spill(blob) => {
+                                charge_blob_read(ctx, blob.len);
+                                self.arena.read(blob)
+                            }
+                        };
+                        merged = self.rule.merge_bytes(&old, val);
+                        &merged
+                    } else {
+                        val
+                    };
                     if let Some(blob) = decode_val(old_vw).spill() {
                         self.arena.free(blob);
                     }
-                    let vw = encode_value(self.arena, val, ctx);
+                    let vw = encode_value(self.arena, stored, ctx);
                     self.store(t, in_fresh).update_val(b, slot, vw);
                     self.layout.charge_value_write(ctx);
                     self.out.updated += 1;
@@ -1230,6 +1254,8 @@ impl UnsizedTable {
         pairs: &[(&[u8], &[u8])],
         queries: &[Query],
         ops: Vec<InsOp>,
+        rule: MergeRule,
+        kind: obs::OpKind,
     ) -> InsOut {
         let mut warps: Vec<InsWarp> = pack_warps(ops).into_iter().map(InsWarp::new).collect();
         let migration = self.drain.as_mut().map(|d| (d.view(), &mut d.fresh));
@@ -1243,13 +1269,15 @@ impl UnsizedTable {
             migration,
             pairs,
             queries,
+            rule,
+            kind,
             out: InsOut::default(),
         };
         let recording = obs::is_enabled();
         let rounds_before = sim.metrics.rounds;
         if recording {
             obs::span_begin(obs::Event::LaunchBegin {
-                kind: obs::OpKind::Insert,
+                kind,
                 warps: warps.len() as u32,
             });
         }
@@ -1269,8 +1297,74 @@ impl UnsizedTable {
         sim: &mut SimContext,
         pairs: &[(&[u8], &[u8])],
     ) -> Result<UnsizedReport> {
-        Self::check_blobs(pairs.iter().flat_map(|(k, v)| [*k, *v].into_iter()))?;
         let _attr = obs::attr::scope("unsized/insert");
+        self.rmw_batch(sim, pairs, MergeRule::LastWrite, obs::OpKind::Insert)
+    }
+
+    /// Read-modify-write a batch of byte-string `(key, arg)` pairs under
+    /// `rule`: absent keys store `rule.initial_bytes(arg)`, present keys
+    /// `rule.merge_bytes(old, arg)` inside the insert kernel's bucket-lock
+    /// critical section. `Add`/`Count` treat values as 8-byte little-endian
+    /// counters; `Max`/`Min` compare lexicographically.
+    ///
+    /// Unlike [`UnsizedTable::insert_batch`], duplicate keys within the
+    /// batch are allowed: they are pre-coalesced in submission order into
+    /// one kernel op per unique key (`Count` occurrences normalize to one
+    /// `Add` of the occurrence count).
+    pub fn upsert_batch(
+        &mut self,
+        sim: &mut SimContext,
+        pairs: &[(&[u8], &[u8])],
+        rule: MergeRule,
+    ) -> Result<UnsizedReport> {
+        let _attr = obs::attr::scope("unsized/upsert");
+        let one = 1u64.to_le_bytes();
+        let eff = match rule {
+            MergeRule::Count => MergeRule::Add,
+            r => r,
+        };
+        // Coalesce duplicates: fold each key's occurrences into one arg via
+        // the rule's own merge (exact for every stock rule — see
+        // `MergeRule::fold_args` for the u32 statement of the law).
+        let mut entries: Vec<(&[u8], Vec<u8>)> = Vec::new();
+        let mut index: std::collections::HashMap<&[u8], usize> = std::collections::HashMap::new();
+        for &(k, v) in pairs {
+            let arg: &[u8] = if rule == MergeRule::Count { &one } else { v };
+            match index.entry(k) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let slot = &mut entries[*e.get()].1;
+                    *slot = eff.merge_bytes(slot, arg);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(entries.len());
+                    entries.push((k, arg.to_vec()));
+                }
+            }
+        }
+        let coalesced: Vec<(&[u8], &[u8])> =
+            entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        self.rmw_batch(sim, &coalesced, eff, obs::OpKind::Upsert)
+    }
+
+    /// Counting-table special case: bump each key's 8-byte little-endian
+    /// counter by its number of occurrences in the batch.
+    pub fn increment_batch(
+        &mut self,
+        sim: &mut SimContext,
+        keys: &[&[u8]],
+    ) -> Result<UnsizedReport> {
+        let pairs: Vec<(&[u8], &[u8])> = keys.iter().map(|&k| (k, &[][..])).collect();
+        self.upsert_batch(sim, &pairs, MergeRule::Count)
+    }
+
+    fn rmw_batch(
+        &mut self,
+        sim: &mut SimContext,
+        pairs: &[(&[u8], &[u8])],
+        rule: MergeRule,
+        kind: obs::OpKind,
+    ) -> Result<UnsizedReport> {
+        Self::check_blobs(pairs.iter().flat_map(|(k, v)| [*k, *v].into_iter()))?;
         sim.metrics.charge(ChargeKind::Ops, pairs.len() as u64);
         let queries: Vec<Query> = pairs.iter().map(|(k, _)| query(k)).collect();
         let base = self.op_counter;
@@ -1285,7 +1379,7 @@ impl UnsizedTable {
             })
             .collect();
         let mut report = UnsizedReport::default();
-        let mut out = self.run_insert_kernel(sim, pairs, &queries, ops);
+        let mut out = self.run_insert_kernel(sim, pairs, &queries, ops, rule, kind);
         report.inserted += out.inserted;
         report.updated += out.updated;
         // Insertion failure triggers upsizing; retries ride the drain as it
@@ -1314,7 +1408,7 @@ impl UnsizedTable {
                 })
                 .collect();
             self.op_counter += out.failed.len() as u64;
-            out = self.run_insert_kernel(sim, pairs, &queries, retry_ops);
+            out = self.run_insert_kernel(sim, pairs, &queries, retry_ops, rule, kind);
             report.inserted += out.inserted;
             report.updated += out.updated;
         }
@@ -1330,7 +1424,7 @@ impl UnsizedTable {
             self.pump_quantum(sim, &mut report);
         }
         self.sync_device(sim)?;
-        self.debug_verify("insert_batch");
+        self.debug_verify("rmw_batch");
         Ok(report)
     }
 

@@ -24,6 +24,7 @@ use gpu_sim::{
 
 use crate::error::{Error, Result};
 use crate::hashfn::{splitmix64, UniversalHash};
+use crate::rmw::MergeRule;
 use crate::two_layer::PairHash;
 
 /// Key slots per bucket: 16 eight-byte keys fill one 128-byte line.
@@ -132,6 +133,10 @@ struct WideOp {
     checked_dup: bool,
     tried_both: bool,
     evictions: u32,
+    /// Merge rule applied on the duplicate path; `val` is the raw
+    /// argument while armed. Eviction swaps materialize the KV and reset
+    /// to `LastWrite` (carried victims are literal pairs).
+    rule: MergeRule,
 }
 
 struct WideInsertKernel<'a> {
@@ -212,12 +217,20 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
         }
         let (dup, empty) = self.store(t, in_fresh).probe_for_insert(b, op.key, ctx);
         if let Some(slot) = dup {
-            self.store(t, in_fresh).update_val(b, slot, op.val);
+            let new = if op.rule.reads_old() {
+                let old = self.store(t, in_fresh).slot(b, slot).1;
+                self.layout.charge_value_read(ctx);
+                op.rule.merge_u64(old, op.val)
+            } else {
+                op.val
+            };
+            self.store(t, in_fresh).update_val(b, slot, new);
             self.layout.charge_value_write(ctx);
             self.updated += 1;
             warp.cur += 1;
         } else if let Some(slot) = empty {
-            self.store(t, in_fresh).write_new(b, slot, op.key, op.val);
+            self.store(t, in_fresh)
+                .write_new(b, slot, op.key, op.rule.initial_u64(op.val));
             self.layout.charge_kv_write(ctx);
             self.inserted += 1;
             warp.cur += 1;
@@ -230,7 +243,9 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
             // Evict a pseudo-random victim to its own partner subtable.
             let slot = (splitmix64(self.seed ^ op.key ^ (op.evictions as u64) << 24) as usize)
                 % self.layout.slots;
-            let (ek, ev) = self.store(t, in_fresh).swap(b, slot, op.key, op.val);
+            let (ek, ev) =
+                self.store(t, in_fresh)
+                    .swap(b, slot, op.key, op.rule.initial_u64(op.val));
             self.layout.charge_kv_write(ctx);
             ctx.metrics.charge(ChargeKind::Evictions, 1);
             let next = self.pair.partner(fold_key(ek), t);
@@ -241,6 +256,7 @@ impl RoundKernel<WideWarp> for WideInsertKernel<'_> {
             cur.checked_dup = true; // evicted keys are unique by construction
             cur.tried_both = true;
             cur.evictions = op.evictions + 1;
+            cur.rule = MergeRule::LastWrite; // victim KVs are literal
             if cur.evictions >= self.eviction_limit {
                 self.failed.push((cur.key, cur.val));
                 warp.cur += 1;
@@ -504,12 +520,72 @@ impl WideDyCuckoo {
         }
         let _attr = obs::attr::scope("wide/insert");
         sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
-        let mut pending: Vec<(u64, u64)> = kvs.to_vec();
+        self.run_batch(sim, kvs, MergeRule::LastWrite)
+    }
+
+    /// Read-modify-write a batch under `rule` (wide analogue of
+    /// [`crate::DyCuckoo::upsert_batch`]): absent keys insert
+    /// `rule.initial_u64(arg)`, present keys merge under the bucket lock.
+    /// Duplicate keys are pre-coalesced in submission order (`Count`
+    /// occurrences normalize to one `Add`).
+    pub fn upsert_batch(
+        &mut self,
+        sim: &mut SimContext,
+        kvs: &[(u64, u64)],
+        rule: MergeRule,
+    ) -> Result<()> {
+        if kvs.iter().any(|&(k, _)| k == EMPTY) {
+            return Err(Error::ZeroKey);
+        }
+        let _attr = obs::attr::scope("wide/upsert");
+        sim.metrics.charge(ChargeKind::Ops, kvs.len() as u64);
+        let eff = match rule {
+            MergeRule::Count => MergeRule::Add,
+            r => r,
+        };
+        let mut entries: Vec<(u64, u64)> = Vec::with_capacity(kvs.len());
+        let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for &(k, arg) in kvs {
+            let a = if rule == MergeRule::Count { 1 } else { arg };
+            match index.entry(k) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let i = *e.get();
+                    entries[i].1 = match eff {
+                        MergeRule::LastWrite => a,
+                        _ => eff.merge_u64(entries[i].1, a),
+                    };
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(entries.len());
+                    entries.push((k, a));
+                }
+            }
+        }
+        self.run_batch(sim, &entries, eff)
+    }
+
+    /// Counting-table special case over wide keys.
+    pub fn increment_batch(&mut self, sim: &mut SimContext, keys: &[u64]) -> Result<()> {
+        let kvs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+        self.upsert_batch(sim, &kvs, MergeRule::Count)
+    }
+
+    /// Drive batches of `(key, arg, rule)` through the kernel until every
+    /// op lands; failed ops carry materialized victim KVs and retry as
+    /// `LastWrite` after a grow.
+    fn run_batch(
+        &mut self,
+        sim: &mut SimContext,
+        kvs: &[(u64, u64)],
+        rule: MergeRule,
+    ) -> Result<()> {
+        let mut pending: Vec<(u64, u64, MergeRule)> =
+            kvs.iter().map(|&(k, v)| (k, v, rule)).collect();
         let mut attempts = 0;
         while !pending.is_empty() {
             let ops: Vec<WideOp> = pending
                 .iter()
-                .map(|&(key, val)| {
+                .map(|&(key, val, rule)| {
                     self.op_counter += 1;
                     let (i, j) = self.pair_of(key);
                     let target = if splitmix64(self.seed ^ self.op_counter) & 1 == 0 {
@@ -524,6 +600,7 @@ impl WideDyCuckoo {
                         checked_dup: false,
                         tried_both: false,
                         evictions: 0,
+                        rule,
                     }
                 })
                 .collect();
@@ -550,7 +627,13 @@ impl WideDyCuckoo {
                     .map(|m| (m.idx, m.cursor, m.old_n, &mut m.fresh)),
             };
             run_rounds_with(&mut kernel, &mut warps, &mut sim.metrics, self.schedule);
-            pending = kernel.failed;
+            // Failed ops hold materialized victim KVs (the eviction swap
+            // reset their rule), so retries are plain last-write inserts.
+            pending = kernel
+                .failed
+                .iter()
+                .map(|&(k, v)| (k, v, MergeRule::LastWrite))
+                .collect();
             if !pending.is_empty() {
                 attempts += 1;
                 if attempts > 40 {

@@ -1,0 +1,118 @@
+//! Property tests for the merge-rule algebra behind `upsert_batch`.
+//!
+//! The pipeline's correctness argument leans on one algebraic fact: for a
+//! commutative rule, the final table state depends only on the *multiset*
+//! of upserts applied, never on their order or batch slicing. That is what
+//! licenses the scheduler to retire same-key upserts in any interleaving
+//! (after per-batch coalescing) and the service to compose pending merges
+//! in its read-your-writes window. These properties pin the fact down for
+//! `Add` — both on the pure algebra and end-to-end through the table.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use dycuckoo::{Config, DyCuckoo, MergeRule};
+use gpu_sim::SimContext;
+
+/// SplitMix64 step for deterministic in-test shuffling.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffled(pairs: &[(u32, u32)], seed: u64) -> Vec<(u32, u32)> {
+    let mut out = pairs.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (mix(seed ^ i as u64) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Apply `pairs` as `Add` upserts in batches of `cut`, return the final
+/// logical map via readback of every key that occurred.
+fn table_after(pairs: &[(u32, u32)], cut: usize, seed: u64) -> HashMap<u32, u32> {
+    let mut sim = SimContext::new();
+    let cfg = Config {
+        seed,
+        initial_buckets: 8,
+        ..Config::default()
+    };
+    let mut table = DyCuckoo::new(cfg, &mut sim).expect("table construction");
+    for chunk in pairs.chunks(cut.max(1)) {
+        table
+            .upsert_batch(&mut sim, chunk, MergeRule::Add)
+            .expect("upsert batch");
+    }
+    let mut keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.iter()
+        .zip(table.find_batch(&mut sim, &keys))
+        .map(|(&k, v)| (k, v.expect("upserted key present")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pure algebra: folding any permutation of `Add` args from any start
+    /// state reaches the same value (wrapping-sum invariance).
+    #[test]
+    fn add_fold_is_permutation_invariant(
+        args in proptest::collection::vec(any::<u32>(), 1..64),
+        start_some in any::<bool>(),
+        start_val in any::<u32>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let start = start_some.then_some(start_val);
+        prop_assert!(MergeRule::Add.is_commutative());
+        let apply = |order: &[u32]| {
+            order.iter().fold(start, |cur, &a| Some(match cur {
+                Some(old) => MergeRule::Add.merge(old, a),
+                None => MergeRule::Add.initial(a),
+            }))
+        };
+        let pairs: Vec<(u32, u32)> = args.iter().map(|&a| (1, a)).collect();
+        let reordered: Vec<u32> = shuffled(&pairs, perm_seed).iter().map(|&(_, a)| a).collect();
+        prop_assert_eq!(apply(&args), apply(&reordered));
+    }
+
+    /// Two-arg coalescing agrees with applying the args one at a time, in
+    /// either order (this is what per-batch duplicate folding relies on).
+    #[test]
+    fn add_fold_args_matches_sequential_merge(a in any::<u32>(), b in any::<u32>(), old in any::<u32>()) {
+        let folded = MergeRule::Add.fold_args(a, b).expect("Add folds");
+        prop_assert_eq!(
+            MergeRule::Add.merge(old, folded),
+            MergeRule::Add.merge(MergeRule::Add.merge(old, a), b)
+        );
+        prop_assert_eq!(MergeRule::Add.fold_args(b, a), Some(folded));
+    }
+
+    /// End to end: the same multiset of `Add` upserts, applied in a
+    /// different order AND a different batch slicing, on a table with a
+    /// different hash seed, yields the same final logical map — eviction
+    /// chains, resizes and per-batch coalescing included.
+    #[test]
+    fn add_batches_commute_through_the_table(
+        pairs in proptest::collection::vec((1u32..48, 1u32..1000), 1..96),
+        perm_seed in any::<u64>(),
+        cut_a in 1usize..32,
+        cut_b in 1usize..32,
+    ) {
+        let a = table_after(&pairs, cut_a, 7);
+        let b = table_after(&shuffled(&pairs, perm_seed), cut_b, 99);
+        prop_assert_eq!(&a, &b);
+        // And both agree with the exact wrapping sum per key.
+        let mut exact: HashMap<u32, u32> = HashMap::new();
+        for &(k, v) in &pairs {
+            let e = exact.entry(k).or_insert(0);
+            *e = e.wrapping_add(v);
+        }
+        prop_assert_eq!(&a, &exact);
+    }
+}

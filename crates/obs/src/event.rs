@@ -14,6 +14,10 @@ pub enum OpKind {
     Find,
     /// Delete kernel.
     Delete,
+    /// Read-modify-write upsert (insert kernel with a merge rule).
+    Upsert,
+    /// Counting-table increment (`Upsert` under the `Count` rule).
+    Increment,
 }
 
 impl OpKind {
@@ -23,7 +27,14 @@ impl OpKind {
             OpKind::Insert => "insert",
             OpKind::Find => "find",
             OpKind::Delete => "delete",
+            OpKind::Upsert => "upsert",
+            OpKind::Increment => "increment",
         }
+    }
+
+    /// Whether the op reads the stored value before writing it (RMW).
+    pub fn is_rmw(self) -> bool {
+        matches!(self, OpKind::Upsert | OpKind::Increment)
     }
 }
 

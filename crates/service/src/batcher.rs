@@ -14,30 +14,50 @@
 //! * several writes to the same key collapse to the key's **last** write —
 //!   only the final state touches the table.
 //!
+//! Read-modify-write ops (`Op::Upsert` / `Op::Increment`) *compose* in the
+//! pending window instead of overwriting:
+//!
+//! * an upsert after a Put/Delete collapses locally (the base value is
+//!   known: `rule.merge(v, a)` / `rule.initial(a)`);
+//! * an upsert over an untouched key opens a **symbolic chain** of
+//!   `(rule, arg)` ops — same-rule neighbors fold via
+//!   [`MergeRule::fold_args`], and the chain flushes as upsert kernels;
+//! * a Get after a chain probes the table (pre-window value) and applies
+//!   the chain at reply time — read-your-merges without running kernels.
+//!
 //! Everything is first-touch ordered, so plans are deterministic.
 
 use std::collections::HashMap;
 
+use dycuckoo::MergeRule;
+
 use crate::request::{Op, Pending};
 
 /// What a pending write window holds for one key.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum WriteState {
     Put(u32),
     Delete,
+    /// A symbolic chain of pending RMW ops over an unknown base value.
+    Rmw(Vec<(MergeRule, u32)>),
 }
 
 /// Where one request's reply comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum PlannedReply {
     /// Get answered by the find kernel: index into [`FlushPlan::probes`].
     FromTable(usize),
     /// Get answered locally from a preceding write in the window.
     Local(Option<u32>),
+    /// Get after a pending RMW chain: probe the pre-window value at
+    /// `probes[idx]`, then apply the chain snapshot at reply time.
+    FromTableRmw(usize, Vec<(MergeRule, u32)>),
     /// Put acknowledgement.
     Stored,
     /// Delete acknowledgement.
     Deleted,
+    /// Upsert/Increment acknowledgement.
+    Merged,
 }
 
 /// The compiled form of one flush window.
@@ -49,6 +69,10 @@ pub(crate) struct FlushPlan {
     pub puts: Vec<(u32, u32)>,
     /// Final deletes (first-write-touch order).
     pub deletes: Vec<u32>,
+    /// Final RMW chains (first-write-touch order). Each key's chain runs
+    /// in order; position `i` of every chain flushes in wave `i`, grouped
+    /// by rule into one upsert kernel per group.
+    pub rmws: Vec<(u32, Vec<(MergeRule, u32)>)>,
     /// Reply source per request, parallel to the input window.
     pub replies: Vec<PlannedReply>,
     /// Gets answered locally from the window (no probe issued).
@@ -85,6 +109,20 @@ pub(crate) fn plan_flush(window: &[Pending]) -> FlushPlan {
                     plan.coalesced_local += 1;
                     plan.replies.push(PlannedReply::Local(None));
                 }
+                Some(WriteState::Rmw(chain)) => {
+                    // The base value is in the table: probe it (probes run
+                    // before write kernels, so the probe sees the
+                    // pre-window value) and apply the chain at reply time.
+                    let snapshot = chain.clone();
+                    let next = plan.probes.len();
+                    let idx = *probe_of.entry(k).or_insert(next);
+                    if idx == next {
+                        plan.probes.push(k);
+                    } else {
+                        plan.dedup_saved += 1;
+                    }
+                    plan.replies.push(PlannedReply::FromTableRmw(idx, snapshot));
+                }
                 None => {
                     let next = plan.probes.len();
                     let idx = *probe_of.entry(k).or_insert(next);
@@ -110,16 +148,61 @@ pub(crate) fn plan_flush(window: &[Pending]) -> FlushPlan {
                 }
                 plan.replies.push(PlannedReply::Deleted);
             }
+            Op::Upsert(..) | Op::Increment(_) => {
+                // Normalize: Increment ≡ Upsert(Count); Count ≡ Add(1)
+                // (identical initial and merge), which makes every chain
+                // element foldable. LastWrite degenerates to Put.
+                let (k, rule, arg) = match req.op {
+                    Op::Increment(k) | Op::Upsert(k, _, MergeRule::Count) => (k, MergeRule::Add, 1),
+                    Op::Upsert(k, v, r) => (k, r, v),
+                    _ => unreachable!("outer match narrowed to RMW ops"),
+                };
+                raw_writes += 1;
+                let next_state = match write_state.get(&k) {
+                    // Base value known locally: collapse the merge now.
+                    Some(WriteState::Put(v)) => WriteState::Put(rule.merge(*v, arg)),
+                    Some(WriteState::Delete) => WriteState::Put(rule.initial(arg)),
+                    Some(WriteState::Rmw(chain)) => {
+                        let mut chain = chain.clone();
+                        match chain.last_mut() {
+                            Some((last_rule, last_arg)) if *last_rule == rule => {
+                                *last_arg = rule
+                                    .fold_args(*last_arg, arg)
+                                    .expect("Count normalized to Add");
+                            }
+                            _ => chain.push((rule, arg)),
+                        }
+                        WriteState::Rmw(chain)
+                    }
+                    None if rule == MergeRule::LastWrite => WriteState::Put(arg),
+                    None => WriteState::Rmw(vec![(rule, arg)]),
+                };
+                if write_state.insert(k, next_state).is_none() {
+                    write_order.push(k);
+                }
+                plan.replies.push(PlannedReply::Merged);
+            }
         }
     }
 
+    let mut final_writes = 0u64;
     for k in write_order {
-        match write_state[&k] {
-            WriteState::Put(v) => plan.puts.push((k, v)),
-            WriteState::Delete => plan.deletes.push(k),
+        match write_state.remove(&k).expect("ordered key has state") {
+            WriteState::Put(v) => {
+                final_writes += 1;
+                plan.puts.push((k, v));
+            }
+            WriteState::Delete => {
+                final_writes += 1;
+                plan.deletes.push(k);
+            }
+            WriteState::Rmw(chain) => {
+                final_writes += chain.len() as u64;
+                plan.rmws.push((k, chain));
+            }
         }
     }
-    plan.writes_coalesced = raw_writes - (plan.puts.len() + plan.deletes.len()) as u64;
+    plan.writes_coalesced = raw_writes - final_writes;
     plan
 }
 
@@ -219,6 +302,70 @@ mod tests {
     fn empty_window_is_empty_plan() {
         let plan = plan_flush(&[]);
         assert!(plan.probes.is_empty() && plan.puts.is_empty() && plan.deletes.is_empty());
+        assert!(plan.rmws.is_empty());
         assert!(plan.replies.is_empty());
+    }
+
+    #[test]
+    fn upserts_compose_and_fold_in_the_window() {
+        let w = pend(&[
+            Op::Upsert(5, 3, MergeRule::Add),
+            Op::Increment(5),
+            Op::Upsert(5, 10, MergeRule::Add),
+            Op::Get(5),
+        ]);
+        let plan = plan_flush(&w);
+        // Increment normalizes to Add(1); three Adds fold into one element.
+        assert_eq!(plan.rmws, vec![(5, vec![(MergeRule::Add, 14)])]);
+        assert_eq!(plan.probes, vec![5]);
+        assert_eq!(
+            plan.replies[3],
+            PlannedReply::FromTableRmw(0, vec![(MergeRule::Add, 14)])
+        );
+        assert_eq!(plan.writes_coalesced, 2);
+    }
+
+    #[test]
+    fn upsert_after_put_collapses_locally() {
+        let w = pend(&[Op::Put(7, 5), Op::Upsert(7, 3, MergeRule::Add), Op::Get(7)]);
+        let plan = plan_flush(&w);
+        assert_eq!(plan.puts, vec![(7, 8)]);
+        assert!(plan.rmws.is_empty());
+        assert_eq!(plan.replies[2], PlannedReply::Local(Some(8)));
+    }
+
+    #[test]
+    fn upsert_after_delete_materializes_the_initial_value() {
+        let w = pend(&[Op::Delete(9), Op::Increment(9), Op::Get(9)]);
+        let plan = plan_flush(&w);
+        // Same supersede rule as Put-after-Delete: the final Put overwrites
+        // whatever the table holds, so the delete never runs a kernel.
+        assert_eq!(plan.puts, vec![(9, 1)]);
+        assert!(plan.deletes.is_empty());
+        assert_eq!(plan.replies[2], PlannedReply::Local(Some(1)));
+    }
+
+    #[test]
+    fn mixed_rule_chains_keep_order() {
+        let w = pend(&[
+            Op::Upsert(2, 5, MergeRule::Add),
+            Op::Upsert(2, 3, MergeRule::Max),
+            Op::Upsert(2, 4, MergeRule::Max),
+        ]);
+        let plan = plan_flush(&w);
+        assert_eq!(
+            plan.rmws,
+            vec![(2, vec![(MergeRule::Add, 5), (MergeRule::Max, 4)])]
+        );
+    }
+
+    #[test]
+    fn last_write_upsert_is_a_put_with_merged_ack() {
+        let w = pend(&[Op::Upsert(4, 9, MergeRule::LastWrite), Op::Get(4)]);
+        let plan = plan_flush(&w);
+        assert_eq!(plan.puts, vec![(4, 9)]);
+        assert!(plan.rmws.is_empty());
+        assert_eq!(plan.replies[0], PlannedReply::Merged);
+        assert_eq!(plan.replies[1], PlannedReply::Local(Some(9)));
     }
 }

@@ -1,5 +1,7 @@
 //! Request/response types of the service boundary.
 
+use dycuckoo::MergeRule;
+
 /// A single-key operation submitted by a logical client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -9,13 +11,20 @@ pub enum Op {
     Put(u32, u32),
     /// Remove a key.
     Delete(u32),
+    /// Read-modify-write: store `rule.initial(arg)` if the key is absent,
+    /// `rule.merge(old, arg)` if present.
+    Upsert(u32, u32, MergeRule),
+    /// Counting-table increment: `Upsert(key, _, MergeRule::Count)`.
+    Increment(u32),
 }
 
 impl Op {
     /// The key this operation addresses (what the router shards on).
     pub fn key(&self) -> u32 {
         match *self {
-            Op::Get(k) | Op::Put(k, _) | Op::Delete(k) => k,
+            Op::Get(k) | Op::Put(k, _) | Op::Delete(k) | Op::Upsert(k, _, _) | Op::Increment(k) => {
+                k
+            }
         }
     }
 
@@ -34,6 +43,8 @@ pub enum Reply {
     Stored,
     /// Delete acknowledged (whether or not the key existed).
     Deleted,
+    /// Upsert/Increment acknowledged (the merge was applied exactly once).
+    Merged,
 }
 
 /// A finished request, handed back to the submitting client.

@@ -24,7 +24,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use dycuckoo::hashfn::splitmix64;
 use dycuckoo::unsized_kv::MAX_BLOB_LEN;
-use dycuckoo::{Config, DyCuckoo, UnsizedConfig, UnsizedReport, UnsizedTable};
+use dycuckoo::{
+    Config, DyCuckoo, MergeRule, UnsizedConfig, UnsizedReport, UnsizedTable, UpsertReport,
+};
 use gpu_sim::{CostModel, SchedulePolicy, SimContext};
 
 use crate::admission::{AdmissionPolicy, AdmitError};
@@ -748,7 +750,7 @@ impl KvService {
                 shard: shard as u32,
                 window: window.len() as u32,
                 probes: plan.probes.len() as u32,
-                puts: plan.puts.len() as u32,
+                puts: (plan.puts.len() + plan.rmws.len()) as u32,
                 deletes: plan.deletes.len() as u32,
                 coalesced: (plan.coalesced_local + plan.dedup_saved + plan.writes_coalesced) as u32,
             });
@@ -768,12 +770,13 @@ impl KvService {
             } else {
                 Some(table.insert_batch(sim, &plan.puts)?)
             };
+            let ups = run_rmw_waves(table, sim, &plan.rmws)?;
             let del = if plan.deletes.is_empty() {
                 None
             } else {
                 Some(table.delete_batch(sim, &plan.deletes)?)
             };
-            Ok((found, ins, del))
+            Ok((found, ins, ups, del))
         };
         let outcome = run(&mut self.shards[shard].table, sim);
         let window_metrics = sim.take_metrics();
@@ -790,18 +793,24 @@ impl KvService {
                 },
             });
         }
-        let (found, ins, del) = outcome?;
+        let (found, ins, ups, del) = outcome?;
 
         let m = &mut self.metrics.per_shard[shard];
         m.batched_requests += window.len() as u64;
         m.table_probes += plan.probes.len() as u64;
-        m.table_puts += plan.puts.len() as u64;
+        // RMW keys are table writes too: fold them into the put count so
+        // the existing CSV/report schema covers aggregation workloads.
+        m.table_puts += (plan.puts.len() + plan.rmws.len()) as u64;
         m.table_deletes += plan.deletes.len() as u64;
         m.coalesced_local += plan.coalesced_local;
         m.dedup_saved += plan.dedup_saved;
         m.writes_coalesced += plan.writes_coalesced;
         m.service_ns += flush_ns;
-        for report in [&ins, &del].into_iter().flatten() {
+        for report in [&ins, &del]
+            .into_iter()
+            .flatten()
+            .chain(ups.iter().map(|u| &u.batch))
+        {
             m.resize_events += report.resizes.len() as u64;
             m.insert_retries += report.retries as u64;
             if report.resize_stall() {
@@ -817,18 +826,29 @@ impl KvService {
         let filter_on = self.shards[shard].filter.is_some();
         let completed_tick = self.clock;
         for (req, planned) in window.iter().zip(&plan.replies) {
-            let (reply, coalesced) = match *planned {
+            let (reply, coalesced) = match planned {
                 PlannedReply::FromTable(idx) => {
                     // A Get only reaches the find kernel past the shield,
                     // so a table miss here is a filter false positive.
-                    if filter_on && found[idx].is_none() {
+                    if filter_on && found[*idx].is_none() {
                         m.filter_false_pos += 1;
                     }
-                    (Reply::Value(found[idx]), false)
+                    (Reply::Value(found[*idx]), false)
                 }
-                PlannedReply::Local(v) => (Reply::Value(v), true),
+                PlannedReply::FromTableRmw(idx, chain) => {
+                    // Probe saw the pre-window value; the pending merges
+                    // land after it in kernel order, so apply them here.
+                    // (Not a false-positive site: pending writes forced
+                    // this key past the shield legitimately.)
+                    (
+                        Reply::Value(MergeRule::apply_chain(chain, found[*idx])),
+                        false,
+                    )
+                }
+                PlannedReply::Local(v) => (Reply::Value(*v), true),
                 PlannedReply::Stored => (Reply::Stored, false),
                 PlannedReply::Deleted => (Reply::Deleted, false),
+                PlannedReply::Merged => (Reply::Merged, false),
             };
             m.completed += 1;
             m.latency.record(completed_tick - req.submitted_tick);
@@ -850,6 +870,9 @@ impl KvService {
                 match req.op {
                     Op::Put(k, _) => filter.insert(k),
                     Op::Delete(k) => filter.remove(k),
+                    // An upsert guarantees the key exists afterwards
+                    // (absent keys materialize the rule's initial value).
+                    Op::Upsert(k, _, _) | Op::Increment(k) => filter.insert(k),
                     Op::Get(_) => {}
                 }
             }
@@ -969,7 +992,7 @@ impl KvService {
                 shard: shard as u32,
                 window: window.len() as u32,
                 probes: plan.probes.len() as u32,
-                puts: plan.puts.len() as u32,
+                puts: (plan.puts.len() + plan.rmws.len()) as u32,
                 deletes: plan.deletes.len() as u32,
                 coalesced: (plan.coalesced_local + plan.dedup_saved + plan.writes_coalesced) as u32,
             });
@@ -981,18 +1004,22 @@ impl KvService {
                 },
             });
         }
-        let (found, ins, del) = r.outcome?;
+        let (found, ins, ups, del) = r.outcome?;
 
         let m = &mut self.metrics.per_shard[shard];
         m.batched_requests += window.len() as u64;
         m.table_probes += plan.probes.len() as u64;
-        m.table_puts += plan.puts.len() as u64;
+        m.table_puts += (plan.puts.len() + plan.rmws.len()) as u64;
         m.table_deletes += plan.deletes.len() as u64;
         m.coalesced_local += plan.coalesced_local;
         m.dedup_saved += plan.dedup_saved;
         m.writes_coalesced += plan.writes_coalesced;
         m.service_ns += r.flush_ns;
-        for report in [&ins, &del].into_iter().flatten() {
+        for report in [&ins, &del]
+            .into_iter()
+            .flatten()
+            .chain(ups.iter().map(|u| &u.batch))
+        {
             m.resize_events += report.resizes.len() as u64;
             m.insert_retries += report.retries as u64;
             if report.resize_stall() {
@@ -1008,16 +1035,21 @@ impl KvService {
         let filter_on = self.shards[shard].filter.is_some();
         let completed_tick = self.clock;
         for (req, planned) in window.iter().zip(&plan.replies) {
-            let (reply, coalesced) = match *planned {
+            let (reply, coalesced) = match planned {
                 PlannedReply::FromTable(idx) => {
-                    if filter_on && found[idx].is_none() {
+                    if filter_on && found[*idx].is_none() {
                         m.filter_false_pos += 1;
                     }
-                    (Reply::Value(found[idx]), false)
+                    (Reply::Value(found[*idx]), false)
                 }
-                PlannedReply::Local(v) => (Reply::Value(v), true),
+                PlannedReply::FromTableRmw(idx, chain) => (
+                    Reply::Value(MergeRule::apply_chain(chain, found[*idx])),
+                    false,
+                ),
+                PlannedReply::Local(v) => (Reply::Value(*v), true),
                 PlannedReply::Stored => (Reply::Stored, false),
                 PlannedReply::Deleted => (Reply::Deleted, false),
+                PlannedReply::Merged => (Reply::Merged, false),
             };
             m.completed += 1;
             m.latency.record(completed_tick - req.submitted_tick);
@@ -1036,6 +1068,7 @@ impl KvService {
                 match req.op {
                     Op::Put(k, _) => filter.insert(k),
                     Op::Delete(k) => filter.remove(k),
+                    Op::Upsert(k, _, _) | Op::Increment(k) => filter.insert(k),
                     Op::Get(_) => {}
                 }
             }
@@ -1267,12 +1300,44 @@ struct PreparedWindow {
 }
 
 /// The kernels of one fixed-tier flush window: find results, then the
-/// insert and delete batch reports.
+/// insert report, the upsert-wave reports, and the delete report.
 type FlushKernels = (
     Vec<Option<u32>>,
     Option<dycuckoo::BatchReport>,
+    Vec<UpsertReport>,
     Option<dycuckoo::BatchReport>,
 );
+
+/// Flush a plan's RMW chains. Wave `i` holds position `i` of every key's
+/// chain, grouped by rule (stable [`MergeRule::ALL`] order) into one upsert
+/// kernel per group. Waves run in order, so a key with a mixed-rule chain
+/// sees its merges applied in submission order; keys never collide inside
+/// a wave because each contributes at most one entry per position.
+fn run_rmw_waves(
+    table: &mut DyCuckoo,
+    sim: &mut SimContext,
+    rmws: &[(u32, Vec<(MergeRule, u32)>)],
+) -> dycuckoo::Result<Vec<UpsertReport>> {
+    let depth = rmws.iter().map(|(_, chain)| chain.len()).max().unwrap_or(0);
+    let mut reports = Vec::new();
+    for wave in 0..depth {
+        for rule in MergeRule::ALL {
+            let batch: Vec<(u32, u32)> = rmws
+                .iter()
+                .filter_map(|(k, chain)| {
+                    chain
+                        .get(wave)
+                        .filter(|&&(r, _)| r == rule)
+                        .map(|&(_, arg)| (*k, arg))
+                })
+                .collect();
+            if !batch.is_empty() {
+                reports.push(table.upsert_batch(sim, &batch, rule)?);
+            }
+        }
+    }
+    Ok(reports)
+}
 
 /// What one window's kernels produced on a host-par worker thread.
 struct FlushKernelResult {
@@ -1311,12 +1376,13 @@ fn run_flush_kernels(
         } else {
             Some(table.insert_batch(sim, &plan.puts)?)
         };
+        let ups = run_rmw_waves(table, sim, &plan.rmws)?;
         let del = if plan.deletes.is_empty() {
             None
         } else {
             Some(table.delete_batch(sim, &plan.deletes)?)
         };
-        Ok((found, ins, del))
+        Ok((found, ins, ups, del))
     };
     let outcome = run(table, ksim);
     let window_metrics = ksim.take_metrics();
@@ -2048,6 +2114,12 @@ mod tests {
             if i % 3 == 0 {
                 let _ = svc.submit(i % 5, Op::Get(i / 3));
             }
+            if i % 4 == 0 {
+                let _ = svc.submit(i % 5, Op::Upsert(i % 50 + 1, i, MergeRule::Add));
+            }
+            if i % 6 == 0 {
+                let _ = svc.submit(i % 5, Op::Increment(i % 30 + 1));
+            }
             if i % 11 == 0 {
                 let _ = svc.submit(i % 5, Op::Delete(i / 11));
             }
@@ -2083,6 +2155,127 @@ mod tests {
             assert_eq!(par_run.2, sim_run.2, "{threads} threads: snapshot CSV");
             assert_eq!(par_run.3, sim_run.3, "{threads} threads: total keys");
         }
+    }
+
+    #[test]
+    fn upsert_and_increment_round_trip_against_reference() {
+        use std::collections::HashMap;
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(small_cfg(2), &mut sim).unwrap();
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let rules = [
+            MergeRule::LastWrite,
+            MergeRule::Add,
+            MergeRule::Max,
+            MergeRule::Min,
+            MergeRule::Count,
+        ];
+        let upsert = |model: &mut HashMap<u32, u32>, k: u32, v: u32, rule: MergeRule| {
+            let next = match model.get(&k) {
+                Some(&old) => rule.merge(old, v),
+                None => rule.initial(v),
+            };
+            model.insert(k, next);
+        };
+        for i in 0..400u32 {
+            let k = i % 37 + 1;
+            let arg = i.wrapping_mul(2654435761) >> 20;
+            match i % 7 {
+                0 => {
+                    svc.submit(0, Op::Put(k, arg)).unwrap();
+                    model.insert(k, arg);
+                }
+                1 => {
+                    svc.submit(0, Op::Delete(k)).unwrap();
+                    model.remove(&k);
+                }
+                2 => {
+                    svc.submit(0, Op::Increment(k)).unwrap();
+                    let n = model.get(&k).map_or(1, |&old| old + 1);
+                    model.insert(k, n);
+                }
+                _ => {
+                    let rule = rules[(i % 5) as usize];
+                    svc.submit(0, Op::Upsert(k, arg, rule)).unwrap();
+                    upsert(&mut model, k, arg, rule);
+                }
+            }
+            if i % 6 == 5 {
+                svc.tick(&mut sim).unwrap();
+            }
+        }
+        svc.flush_all(&mut sim).unwrap();
+        for c in svc.drain_completions() {
+            assert!(
+                matches!(c.reply, Reply::Stored | Reply::Deleted | Reply::Merged),
+                "write ack for key {}: {:?}",
+                c.key,
+                c.reply
+            );
+        }
+        for k in 1..=37u32 {
+            svc.submit(0, Op::Get(k)).unwrap();
+            svc.flush_all(&mut sim).unwrap();
+            let got = svc.drain_completions();
+            assert_eq!(
+                got[0].reply,
+                Reply::Value(model.get(&k).copied()),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn rmw_window_composes_and_reads_through() {
+        let mut sim = SimContext::new();
+        let mut svc = KvService::new(small_cfg(1), &mut sim).unwrap();
+        // Seed a base value in an earlier window.
+        svc.submit(0, Op::Put(5, 100)).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        svc.drain_completions();
+        // One window: two increments and a get. The probe sees the
+        // pre-window value; the reply must still fold the pending merges.
+        svc.submit(0, Op::Increment(5)).unwrap();
+        svc.submit(0, Op::Increment(5)).unwrap();
+        svc.submit(0, Op::Get(5)).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let got = svc.drain_completions();
+        assert_eq!(got[0].reply, Reply::Merged);
+        assert_eq!(got[1].reply, Reply::Merged);
+        assert_eq!(got[2].reply, Reply::Value(Some(102)));
+        assert!(!got[2].coalesced, "read-through still probes the table");
+        // The table agrees once the window has committed.
+        svc.submit(0, Op::Get(5)).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        assert_eq!(svc.drain_completions()[0].reply, Reply::Value(Some(102)));
+    }
+
+    #[test]
+    fn upserted_keys_enter_the_miss_filter() {
+        let mut sim = SimContext::new();
+        let mut cfg = small_cfg(1);
+        cfg.miss_filter_bits = 8;
+        let mut svc = KvService::new(cfg, &mut sim).unwrap();
+        svc.submit(0, Op::Increment(9)).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        svc.drain_completions();
+        // Known-absent key: the shield answers without a probe.
+        svc.submit(0, Op::Get(1234)).unwrap();
+        // Upserted key: it entered the filter at flush, so this probes.
+        svc.submit(0, Op::Get(9)).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let got = svc.drain_completions();
+        assert_eq!(got[0].reply, Reply::Value(None), "shielded miss");
+        assert_eq!(got[1].reply, Reply::Value(Some(1)));
+        assert_eq!(svc.metrics().total().filter_shed, 1);
+        // A queued upsert counts as a pending write: a get behind it must
+        // not be shielded even though the key is not in the filter yet.
+        svc.submit(0, Op::Increment(77)).unwrap();
+        svc.submit(0, Op::Get(77)).unwrap();
+        svc.flush_all(&mut sim).unwrap();
+        let got = svc.drain_completions();
+        assert_eq!(got[1].reply, Reply::Value(Some(1)));
+        assert_eq!(svc.metrics().total().filter_shed, 1, "no new shield hit");
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`dynamic`] — the two-phase batched workload of the dynamic
 //!   experiments (inserts + finds + r·deletes per batch, then the mirror
 //!   phase with inserts and deletes swapped).
+//! * [`groupby`] — aggregation workloads for the read-modify-write
+//!   pipeline: Zipf group-by row streams and frontier-dedup traces for
+//!   state-space exploration.
 //! * [`keygen`] / [`zipf`] — deterministic unique-key generation (Feistel
 //!   bijection) and skewed duplicate sampling.
 //! * [`stream`] — open-loop adapter flattening a dynamic workload into a
@@ -15,6 +18,7 @@
 
 pub mod datasets;
 pub mod dynamic;
+pub mod groupby;
 pub mod keygen;
 pub mod stream;
 pub mod strkeys;
@@ -22,6 +26,7 @@ pub mod zipf;
 
 pub use datasets::{dataset_by_name, paper_datasets, Dataset, DatasetSpec};
 pub use dynamic::{Batch, DynamicWorkload};
+pub use groupby::{aggregation_specs, FrontierSpec, FrontierTrace, GroupBySpec};
 pub use stream::{RequestStream, StreamOp, StreamRequest};
 pub use strkeys::{LengthDist, StrDatasetSpec};
 

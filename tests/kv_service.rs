@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use dycuckoo::hashfn::UniversalHash;
-use dycuckoo::Config;
+use dycuckoo::{Config, MergeRule};
 use gpu_sim::{SchedulePolicy, SimContext};
 use kv_service::{AdmitError, KvService, Op, Reply, ServiceConfig, ShardRouter};
 
@@ -71,6 +71,22 @@ fn reference_replies(ops: &[Op]) -> Vec<Option<Option<u32>>> {
                 map.remove(&k);
                 None
             }
+            Op::Upsert(k, arg, rule) => {
+                let merged = match map.get(&k) {
+                    Some(&old) => rule.merge(old, arg),
+                    None => rule.initial(arg),
+                };
+                map.insert(k, merged);
+                None
+            }
+            Op::Increment(k) => {
+                let merged = match map.get(&k) {
+                    Some(&old) => MergeRule::Count.merge(old, 0),
+                    None => MergeRule::Count.initial(0),
+                };
+                map.insert(k, merged);
+                None
+            }
         })
         .collect()
 }
@@ -82,6 +98,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         3 => (1u32..400).prop_map(Op::Get),
         4 => ((1u32..400), any::<u32>()).prop_map(|(k, v)| Op::Put(k, v)),
         2 => (1u32..400).prop_map(Op::Delete),
+        2 => ((1u32..400), (0u32..1000), (0usize..5))
+            .prop_map(|(k, v, r)| Op::Upsert(k, v, MergeRule::ALL[r])),
+        1 => (1u32..400).prop_map(Op::Increment),
     ]
 }
 

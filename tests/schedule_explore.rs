@@ -235,6 +235,18 @@ fn layouts_differ_only_in_transaction_counters() {
                     bench::fuzz::FuzzOp::Delete(k) => {
                         table.delete_batch(&mut sim, &[k]).expect("delete");
                     }
+                    // gen_ops never emits RMW verbs (only gen_ops_rmw
+                    // does), but the match stays exhaustive.
+                    bench::fuzz::FuzzOp::Upsert(k, v, rule) => {
+                        table
+                            .upsert_batch(&mut sim, &[(k, v)], rule)
+                            .expect("upsert");
+                    }
+                    bench::fuzz::FuzzOp::Increment(k) => {
+                        table
+                            .upsert_batch(&mut sim, &[(k, 0)], dycuckoo::MergeRule::Count)
+                            .expect("increment");
+                    }
                 }
                 let _ = i;
                 probe_evict_digest.push((
